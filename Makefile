@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-full examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# default (reduced) scale: ~1 minute
+bench:
+	dune exec bench/main.exe
+
+# the paper's 1000-target workload: ~20 minutes
+bench-full:
+	DADU_TARGETS=1000 dune exec bench/main.exe
+
+examples:
+	@for e in quickstart trajectory high_dof_snake accelerator_sim \
+	          solver_shootout redundancy pose_reaching whole_body \
+	          low_torque dynamics_sim obstacle_avoidance; do \
+	  echo "==== $$e ===="; dune exec examples/$$e.exe; echo; done
+
+clean:
+	dune clean

@@ -1,0 +1,242 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Figure 4, Figure 5a/5b, Tables 1-3), runs the ablations from
+   DESIGN.md, and times the actual OCaml kernels with Bechamel.
+
+   Usage:  dune exec bench/main.exe [-- section ...]
+   Sections: table1 fig4 fig5 table2 table3 ablation convergence dse
+   robustness scorecard micro all (default all).
+   Scale knobs: DADU_TARGETS, DADU_MAX_ITERS, DADU_SPECS, DADU_SEED. *)
+
+module Table = Dadu_util.Table
+module Csv = Dadu_util.Csv
+module E = Dadu_experiments
+
+let results_dir = "results"
+
+let ensure_results_dir () =
+  if not (Sys.file_exists results_dir) then Sys.mkdir results_dir 0o755
+
+let write_csv name ~header rows =
+  ensure_results_dir ();
+  let path = Filename.concat results_dir name in
+  Csv.write path ~header rows;
+  Printf.printf "  [csv] %s\n%!" path
+
+let heading title =
+  Printf.printf "\n==== %s ====\n\n%!" title
+
+(* The Figure 5 / Table 2 / Table 3 views share one measurement grid; it is
+   collected lazily so `-- fig4` alone does not pay for it. *)
+let grid = lazy (E.Measurements.collect (E.Runner.default_scale ()))
+
+let run_table1 () =
+  heading "Table 1: methods under evaluation";
+  Table.print (E.Table1.to_table ())
+
+let run_fig4 () =
+  heading "Figure 4: iterations vs number of speculations";
+  let rows = E.Fig4.run (E.Runner.default_scale ()) in
+  Table.print (E.Fig4.to_table rows);
+  print_newline ();
+  print_string (E.Fig4.to_chart rows);
+  write_csv "fig4.csv" ~header:E.Fig4.csv_header (E.Fig4.to_csv_rows rows)
+
+let run_fig5 () =
+  let m = Lazy.force grid in
+  heading "Figure 5(a): iterations under various DOF manipulators";
+  Table.print (E.Fig5.table_iterations m);
+  print_newline ();
+  print_string (E.Fig5.chart_iterations m);
+  heading "Figure 5(b): computation load under various DOF manipulators";
+  Table.print (E.Fig5.table_work m);
+  print_newline ();
+  print_string (E.Fig5.chart_work m);
+  write_csv "fig5.csv" ~header:E.Fig5.csv_header (E.Fig5.to_csv_rows m)
+
+let table2_rows = lazy (E.Table2.compute (Lazy.force grid))
+
+let run_table2 () =
+  let rows = Lazy.force table2_rows in
+  heading "Table 2: performance under various IK methods and architectures";
+  Table.print (E.Table2.to_table rows);
+  Table.print (E.Table2.speedup_table rows);
+  write_csv "table2.csv" ~header:E.Table2.csv_header (E.Table2.to_csv_rows rows)
+
+let run_table3 () =
+  let m = Lazy.force grid in
+  let rows = E.Table3.compute m (Lazy.force table2_rows) in
+  heading "Table 3: hardware platforms and energy per solve";
+  Table.print (E.Table3.platform_table ());
+  Table.print (E.Table3.to_table rows);
+  Printf.printf "Energy efficiency vs TX1 (geomean): %.0fx (paper: ~776x)\n"
+    (E.Table3.efficiency_vs_tx1 rows);
+  write_csv "table3.csv" ~header:E.Table3.csv_header (E.Table3.to_csv_rows rows)
+
+let run_ablation () =
+  let scale = E.Runner.default_scale () in
+  heading "Ablation A1: speculation strategy";
+  Table.print (E.Ablation.strategy_table (E.Ablation.run_strategies scale));
+  heading "Ablation A2: SSU count";
+  let m = Lazy.force grid in
+  Table.print (E.Ablation.ssu_table ~dof:100 (E.Ablation.run_ssus ~dof:100 m));
+  heading "Ablation A3: fixed-point FKU datapath width";
+  Table.print (E.Ablation.fixed_table (E.Ablation.run_fixed scale))
+
+(* ---- Bechamel micro-benchmarks of the real OCaml kernels ---- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let open Dadu_kinematics in
+  let rng = Dadu_util.Rng.create 2024 in
+  let chain100 = Robots.eval_chain ~dof:100 in
+  let chain12 = Robots.eval_chain ~dof:12 in
+  let q100 = Target.random_config rng chain100 in
+  let q12 = Target.random_config rng chain12 in
+  let scratch = Fk.make_scratch () in
+  let j100 = Jacobian.position_jacobian chain100 q100 in
+  let problem12 = Dadu_core.Ik.random_problem rng chain12 in
+  let problem100 = Dadu_core.Ik.random_problem rng chain100 in
+  let short = { Dadu_core.Ik.default_config with max_iterations = 25 } in
+  let pool = Dadu_util.Domain_pool.create (Dadu_util.Domain_pool.recommended_size ()) in
+  let tests =
+    [
+      Test.make ~name:"fk-position-12dof"
+        (Staged.stage (fun () -> ignore (Fk.position ~scratch chain12 q12)));
+      Test.make ~name:"fk-position-100dof"
+        (Staged.stage (fun () -> ignore (Fk.position ~scratch chain100 q100)));
+      Test.make ~name:"jacobian-100dof"
+        (Staged.stage (fun () -> ignore (Jacobian.position_jacobian chain100 q100)));
+      Test.make ~name:"svd-3x100"
+        (Staged.stage (fun () -> ignore (Dadu_linalg.Svd.decompose j100)));
+      Test.make ~name:"jt-serial-25iter-100dof"
+        (Staged.stage (fun () ->
+             ignore (Dadu_core.Jt_serial.solve ~config:short problem100)));
+      Test.make ~name:"quick-ik64-25iter-100dof-seq"
+        (Staged.stage (fun () ->
+             ignore (Dadu_core.Quick_ik.solve ~speculations:64 ~config:short problem100)));
+      Test.make ~name:"quick-ik64-25iter-100dof-par"
+        (Staged.stage (fun () ->
+             ignore
+               (Dadu_core.Quick_ik.solve ~speculations:64
+                  ~mode:(Dadu_core.Quick_ik.Parallel pool) ~config:short problem100)));
+      Test.make ~name:"pinv-solve-12dof"
+        (Staged.stage (fun () -> ignore (Dadu_core.Pinv_svd.solve problem12)));
+    ]
+  in
+  (tests, fun () -> Dadu_util.Domain_pool.shutdown pool)
+
+let run_micro () =
+  let open Bechamel in
+  heading "Bechamel micro-benchmarks (actual OCaml kernels on this host)";
+  let tests, cleanup = micro_tests () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw =
+    Benchmark.all cfg
+      Toolkit.Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"dadu" ~fmt:"%s/%s" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Bechamel.Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let table =
+    Table.create ~title:"nanoseconds per run (OLS estimate)"
+      [ ("kernel", Table.Left); ("ns/run", Table.Right) ]
+  in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let add_row (name, ols) =
+    let estimate =
+      match Analyze.OLS.estimates ols with
+      | Some (x :: _) -> Printf.sprintf "%.0f" x
+      | Some [] | None -> "n/a"
+    in
+    Table.add_row table [ name; estimate ]
+  in
+  List.iter add_row rows;
+  Table.print table;
+  cleanup ()
+
+let run_scorecard () =
+  heading "Reproduction scorecard";
+  let claims = E.Scorecard.evaluate (Lazy.force grid) in
+  Table.print (E.Scorecard.to_table claims);
+  Printf.printf "overall: %s\n"
+    (if E.Scorecard.all_pass claims then "reproduction holds"
+     else "some claims FAILED — see rows above")
+
+let run_robustness () =
+  heading "Seed robustness (reduction across 5 independent workloads)";
+  let rows = E.Robustness.run (E.Runner.default_scale ()) in
+  Table.print (E.Robustness.to_table rows);
+  List.iter
+    (fun dof ->
+      let lo, hi = E.Robustness.reduction_range rows ~dof in
+      Printf.printf "reduction at %d DOF across seeds: %.1f%% .. %.1f%%\n" dof
+        (100. *. lo) (100. *. hi))
+    [ 12; 100 ]
+
+let run_dse () =
+  heading "Design-space exploration (100 DOF, measured Quick-IK iterations)";
+  let m = Lazy.force grid in
+  let iterations =
+    match
+      List.find_opt
+        (fun (p : E.Measurements.per_dof) -> p.E.Measurements.dof = 100)
+        m.E.Measurements.per_dof
+    with
+    | Some p ->
+      Stdlib.max 1
+        (int_of_float
+           (Float.round p.E.Measurements.quick_ik.E.Workload.mean_iterations))
+    | None -> 100
+  in
+  let evaluations =
+    Dadu_accel.Design_space.sweep ~dof:100 ~speculations:64 ~iterations ()
+  in
+  Table.print (Dadu_accel.Design_space.to_table evaluations);
+  Printf.printf
+    "(the paper's 32 SSU / 1 GHz point sits on the Pareto front; * = non-dominated)\n"
+
+let run_convergence () =
+  heading "Convergence profiles (error vs iteration, 25 DOF)";
+  let profiles = E.Convergence.run (E.Runner.default_scale ()) in
+  Table.print (E.Convergence.to_table profiles);
+  print_newline ();
+  print_string (E.Convergence.to_chart profiles)
+
+let sections =
+  [
+    ("table1", run_table1);
+    ("fig4", run_fig4);
+    ("fig5", run_fig5);
+    ("table2", run_table2);
+    ("table3", run_table3);
+    ("ablation", run_ablation);
+    ("convergence", run_convergence);
+    ("dse", run_dse);
+    ("robustness", run_robustness);
+    ("scorecard", run_scorecard);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) when not (List.mem "all" args) -> args
+    | _ -> List.map fst sections
+  in
+  let scale = E.Runner.default_scale () in
+  Format.printf "Dadu benchmark suite — %a@." E.Runner.pp_scale scale;
+  Printf.printf "(paper fidelity: DADU_TARGETS=1000; see DESIGN.md section 4)\n";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown section %S; available: %s all\n" name
+          (String.concat " " (List.map fst sections));
+        exit 2)
+    requested

@@ -1,0 +1,419 @@
+(* dadu — command-line interface to the Dadu IK suite.
+
+   Subcommands:
+     solve   solve one IK problem with a chosen method
+     sweep   run a method across the paper's DOF sweep
+     accel   run the IKAcc accelerator model on one problem
+     robots  list the built-in robot factories *)
+
+open Cmdliner
+open Dadu_kinematics
+open Dadu_core
+module Vec3 = Dadu_linalg.Vec3
+
+(* ---- shared argument parsing ---- *)
+
+let robot_of_string s =
+  let fail () =
+    Error
+      (`Msg
+        (Printf.sprintf
+           "unknown robot %S (expected arm6 | arm7 | scara | snake:<dof> | \
+            eval:<dof> | planar:<dof>)"
+           s))
+  in
+  match String.split_on_char ':' (String.lowercase_ascii s) with
+  | [ "arm6" ] -> Ok (Robots.arm_6dof ())
+  | [ "arm7" ] -> Ok (Robots.arm_7dof ())
+  | [ "scara" ] -> Ok (Robots.scara ())
+  | [ kind; dof ] ->
+    (match (kind, int_of_string_opt dof) with
+    | _, None -> fail ()
+    | _, Some d when d <= 0 -> fail ()
+    | "snake", Some d -> Ok (Robots.snake ~dof:d)
+    | "eval", Some d -> Ok (Robots.eval_chain ~dof:d)
+    | "planar", Some d -> Ok (Robots.planar ~dof:d ~reach:(float_of_int d) ())
+    | _, Some _ -> fail ())
+  | [ _ ] | [] | _ :: _ :: _ -> fail ()
+
+let robot_conv =
+  Arg.conv
+    ( robot_of_string,
+      fun ppf chain -> Format.fprintf ppf "%s" (Chain.name chain) )
+
+let robot_builtin =
+  let doc =
+    "Robot to solve for: arm6, arm7, scara, snake:<dof>, eval:<dof> (the \
+     paper's evaluation chain), or planar:<dof>."
+  in
+  Arg.(value & opt robot_conv (Robots.arm_7dof ()) & info [ "r"; "robot" ] ~doc)
+
+let robot_file =
+  let doc =
+    "Load the robot from a description file instead (see \
+     Dadu_kinematics.Chain_format for the format); overrides --robot."
+  in
+  Arg.(value & opt (some file) None & info [ "f"; "robot-file" ] ~doc)
+
+(* combined robot term: file wins over builtin *)
+let robot =
+  let combine builtin file =
+    match file with
+    | None -> Ok builtin
+    | Some path ->
+      (match Chain_format.parse_file path with
+      | Ok chain -> Ok chain
+      | Error msg -> Error (`Msg (Printf.sprintf "%s: %s" path msg)))
+  in
+  Term.(term_result (const combine $ robot_builtin $ robot_file))
+
+type method_name =
+  | Quick_ik_m
+  | Jt_serial_m
+  | Jt_buss_m
+  | Jt_linesearch_m
+  | Pinv_m
+  | Dls_m
+  | Sdls_m
+  | Ccd_m
+
+let method_enum =
+  [
+    ("quick-ik", Quick_ik_m);
+    ("jt-serial", Jt_serial_m);
+    ("jt-buss", Jt_buss_m);
+    ("jt-linesearch", Jt_linesearch_m);
+    ("pinv", Pinv_m);
+    ("dls", Dls_m);
+    ("sdls", Sdls_m);
+    ("ccd", Ccd_m);
+  ]
+
+let method_arg =
+  let doc =
+    Printf.sprintf "IK method: %s."
+      (String.concat ", " (List.map fst method_enum))
+  in
+  Arg.(value & opt (enum method_enum) Quick_ik_m & info [ "m"; "method" ] ~doc)
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed (targets and starts).")
+
+let speculations =
+  Arg.(
+    value & opt int 64
+    & info [ "s"; "speculations" ] ~doc:"Quick-IK speculation count (paper: 64).")
+
+let max_iters =
+  Arg.(
+    value & opt int 10_000
+    & info [ "max-iters" ] ~doc:"Iteration cap (paper: 10000).")
+
+let accuracy =
+  Arg.(
+    value & opt float 1e-2
+    & info [ "accuracy" ] ~doc:"Position tolerance in meters (paper: 0.01).")
+
+let vec3_conv =
+  let parse s =
+    match String.split_on_char ',' s |> List.map float_of_string_opt with
+    | [ Some x; Some y; Some z ] -> Ok (Vec3.make x y z)
+    | _ -> Error (`Msg (Printf.sprintf "expected x,y,z (got %S)" s))
+  in
+  Arg.conv (parse, fun ppf v -> Vec3.pp ppf v)
+
+let target =
+  let doc = "Target position x,y,z (default: a random reachable position)." in
+  Arg.(value & opt (some vec3_conv) None & info [ "t"; "target" ] ~doc)
+
+let ik_config ~max_iters ~accuracy =
+  { Ik.default_config with max_iterations = max_iters; accuracy }
+
+let solver_of_method m ~speculations ~config =
+  match m with
+  | Quick_ik_m -> fun p -> Quick_ik.solve ~speculations ~config p
+  | Jt_serial_m -> fun p -> Jt_serial.solve ~config p
+  | Jt_buss_m -> fun p -> Jt_buss.solve ~config p
+  | Jt_linesearch_m -> fun p -> Jt_linesearch.solve ~config p
+  | Pinv_m -> fun p -> Pinv_svd.solve ~config p
+  | Dls_m -> fun p -> Dls.solve ~config p
+  | Sdls_m -> fun p -> Sdls.solve ~config p
+  | Ccd_m -> fun p -> Ccd.solve ~config p
+
+let problem_for ~chain ~seed ~target =
+  let rng = Dadu_util.Rng.create seed in
+  let target =
+    match target with Some t -> t | None -> Target.reachable rng chain
+  in
+  Ik.problem ~chain ~target ~theta0:(Target.random_config rng chain)
+
+(* ---- solve ---- *)
+
+let run_solve chain m speculations seed target max_iters accuracy verbose svg =
+  let config = ik_config ~max_iters ~accuracy in
+  let problem = problem_for ~chain ~seed ~target in
+  Format.printf "Robot : %s (%d DOF)@." (Chain.name chain) (Chain.dof chain);
+  Format.printf "Target: %a@." Vec3.pp problem.Ik.target;
+  let solve = solver_of_method m ~speculations ~config in
+  let t0 = Sys.time () in
+  let r = solve problem in
+  let elapsed = Sys.time () -. t0 in
+  Format.printf "Result: %a (host %.1f ms)@." Ik.pp_result r (elapsed *. 1e3);
+  let reached = Fk.position chain r.Ik.theta in
+  Format.printf "FK    : %a (%.2f mm off)@." Vec3.pp reached
+    (1e3 *. Vec3.dist reached problem.Ik.target);
+  if verbose then
+    Format.printf "Angles: %a@." Dadu_linalg.Vec.pp r.Ik.theta;
+  (match svg with
+  | None -> ()
+  | Some path ->
+    Viz.write ~path ~targets:[ problem.Ik.target ] chain
+      [
+        Viz.posture ~label:"start" ~color:"#999999" problem.Ik.theta0;
+        Viz.posture ~label:"solution" ~color:"#1f77b4" r.Ik.theta;
+      ];
+    Format.printf "SVG   : %s@." path);
+  match r.Ik.status with Ik.Converged -> 0 | Ik.Max_iterations | Ik.Stalled -> 1
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the joint-angle solution.")
+
+let svg_out =
+  let doc = "Write an SVG of the start and solution postures to this file." in
+  Arg.(value & opt (some string) None & info [ "svg" ] ~doc)
+
+let solve_cmd =
+  let doc = "Solve one inverse-kinematics problem." in
+  Cmd.v
+    (Cmd.info "solve" ~doc)
+    Term.(
+      const run_solve $ robot $ method_arg $ speculations $ seed $ target
+      $ max_iters $ accuracy $ verbose $ svg_out)
+
+(* ---- sweep ---- *)
+
+let run_sweep m speculations seed targets max_iters =
+  let scale =
+    { Dadu_experiments.Runner.targets; max_iterations = max_iters; speculations; seed }
+  in
+  let name = fst (List.find (fun (_, v) -> v = m) method_enum) in
+  let table =
+    Dadu_util.Table.create
+      ~title:(Printf.sprintf "%s across the paper's DOF sweep" name)
+      [
+        ("DOF", Dadu_util.Table.Right);
+        ("mean iters", Dadu_util.Table.Right);
+        ("median", Dadu_util.Table.Right);
+        ("converged", Dadu_util.Table.Right);
+        ("host time", Dadu_util.Table.Right);
+      ]
+  in
+  List.iter
+    (fun dof ->
+      let chain = Robots.eval_chain ~dof in
+      let solver config p =
+        solver_of_method m ~speculations ~config p
+      in
+      let a = Dadu_experiments.Workload.run scale ~name ~chain ~solver in
+      Dadu_util.Table.add_row table
+        [
+          string_of_int dof;
+          Printf.sprintf "%.1f" a.Dadu_experiments.Workload.mean_iterations;
+          Printf.sprintf "%.0f" a.Dadu_experiments.Workload.median_iterations;
+          Printf.sprintf "%d/%d" a.Dadu_experiments.Workload.converged targets;
+          Printf.sprintf "%.1f s" a.Dadu_experiments.Workload.wall_clock_s;
+        ])
+    Robots.eval_dofs;
+  Dadu_util.Table.print table;
+  0
+
+let sweep_targets =
+  Arg.(value & opt int 25 & info [ "n"; "targets" ] ~doc:"Targets per DOF.")
+
+let sweep_cmd =
+  let doc = "Run one method across the paper's 12-100 DOF evaluation sweep." in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(
+      const run_sweep $ method_arg $ speculations $ seed $ sweep_targets $ max_iters)
+
+(* ---- accel ---- *)
+
+let run_accel chain speculations ssus seed target max_iters accuracy =
+  let config =
+    Dadu_accel.Config.with_ssus ssus Dadu_accel.Config.default
+  in
+  let ik_config = ik_config ~max_iters ~accuracy in
+  let problem = problem_for ~chain ~seed ~target in
+  Format.printf "Robot : %s (%d DOF)@." (Chain.name chain) (Chain.dof chain);
+  let report = Dadu_accel.Ikacc.solve ~config ~ik_config ~speculations problem in
+  Format.printf "%a@." Dadu_accel.Ikacc.pp_report report;
+  match report.Dadu_accel.Ikacc.result.Ik.status with
+  | Ik.Converged -> 0
+  | Ik.Max_iterations | Ik.Stalled -> 1
+
+let ssus =
+  Arg.(value & opt int 32 & info [ "ssus" ] ~doc:"Speculative Search Units (paper: 32).")
+
+let accel_cmd =
+  let doc = "Run the IKAcc accelerator model (cycles, time, energy) on one problem." in
+  Cmd.v
+    (Cmd.info "accel" ~doc)
+    Term.(
+      const run_accel $ robot $ speculations $ ssus $ seed $ target $ max_iters
+      $ accuracy)
+
+(* ---- batch ---- *)
+
+let run_batch chain m speculations seed count max_iters accuracy =
+  let config = ik_config ~max_iters ~accuracy in
+  let rng = Dadu_util.Rng.create seed in
+  let problems = Array.init count (fun _ -> Ik.random_problem rng chain) in
+  let solver = solver_of_method m ~speculations ~config in
+  let pool = Dadu_util.Domain_pool.create (Dadu_util.Domain_pool.recommended_size ()) in
+  let summary = Batch.solve ~pool ~solver problems in
+  Dadu_util.Domain_pool.shutdown pool;
+  Format.printf "Robot    : %s (%d DOF)@." (Chain.name chain) (Chain.dof chain);
+  Format.printf "Solved   : %d/%d targets@." summary.Batch.converged count;
+  Format.printf "Iterations: %.1f mean@." summary.Batch.mean_iterations;
+  Format.printf "Error    : %.3g m mean@." summary.Batch.mean_error;
+  Format.printf "Wall time: %.2f s (%d domains)@." summary.Batch.wall_clock_s
+    (Dadu_util.Domain_pool.recommended_size ());
+  if summary.Batch.converged = count then 0 else 1
+
+let batch_count =
+  Arg.(value & opt int 100 & info [ "n"; "count" ] ~doc:"Number of random targets.")
+
+let batch_cmd =
+  let doc = "Solve a batch of random targets (domain-parallel)." in
+  Cmd.v
+    (Cmd.info "batch" ~doc)
+    Term.(
+      const run_batch $ robot $ method_arg $ speculations $ seed $ batch_count
+      $ max_iters $ accuracy)
+
+(* ---- describe ---- *)
+
+let run_describe chain =
+  print_string (Chain_format.to_string chain);
+  0
+
+let describe_cmd =
+  let doc =
+    "Print a robot as a description file (round-trips through --robot-file)."
+  in
+  Cmd.v (Cmd.info "describe" ~doc) Term.(const run_describe $ robot)
+
+(* ---- plan ---- *)
+
+let sphere_conv =
+  let parse s =
+    match String.split_on_char ',' s |> List.map float_of_string_opt with
+    | [ Some x; Some y; Some z; Some r ] when r > 0. ->
+      Ok (Obstacles.sphere ~center:(Vec3.make x y z) ~radius:r)
+    | _ -> Error (`Msg (Printf.sprintf "expected x,y,z,radius (got %S)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf { Obstacles.center; radius } ->
+        Format.fprintf ppf "%a r=%g" Vec3.pp center radius )
+
+let obstacles_arg =
+  let doc = "Sphere obstacle as x,y,z,radius (repeatable)." in
+  Arg.(value & opt_all sphere_conv [] & info [ "o"; "obstacle" ] ~doc)
+
+let run_plan chain seed target obstacles svg =
+  let rng = Dadu_util.Rng.create seed in
+  let target =
+    match target with Some t -> t | None -> Target.reachable rng chain
+  in
+  let start = Target.random_config rng chain in
+  if Obstacles.penetrates obstacles chain start then begin
+    Format.eprintf "start posture collides; try another --seed@.";
+    1
+  end
+  else begin
+    (* IK for a collision-free goal, then plan *)
+    let rec find_goal attempts =
+      if attempts = 0 then None
+      else begin
+        let theta0 = Target.random_config rng chain in
+        let r = Quick_ik.solve ~speculations:32 (Ik.problem ~chain ~target ~theta0) in
+        if r.Ik.status = Ik.Converged
+           && Obstacles.clearance obstacles chain r.Ik.theta > 0.
+        then Some r.Ik.theta
+        else find_goal (attempts - 1)
+      end
+    in
+    match find_goal 20 with
+    | None ->
+      Format.eprintf "no collision-free IK solution found for %a@." Vec3.pp target;
+      1
+    | Some goal ->
+      let result = Rrt.plan rng ~scene:obstacles ~chain ~start ~goal in
+      if result.Rrt.path = [] then begin
+        Format.printf "planning failed (%d nodes expanded)@." result.Rrt.nodes_expanded;
+        1
+      end
+      else begin
+        let short = Rrt.shortcut rng obstacles chain result.Rrt.path in
+        Format.printf
+          "Planned %d waypoints (%.2f rad), shortcut to %d (%.2f rad); %d nodes, %d collision checks@."
+          (List.length result.Rrt.path)
+          (Rrt.path_length result.Rrt.path)
+          (List.length short) (Rrt.path_length short) result.Rrt.nodes_expanded
+          result.Rrt.collision_checks;
+        (match svg with
+        | None -> ()
+        | Some path ->
+          Viz.write ~path ~targets:[ target ] ~obstacles chain
+            [
+              Viz.posture ~label:"start" ~color:"#999999" start;
+              Viz.posture ~label:"goal" ~color:"#2ca02c" goal;
+            ];
+          Format.printf "SVG   : %s@." path);
+        0
+      end
+  end
+
+let plan_cmd =
+  let doc = "Plan a collision-free joint path to a target (IK + RRT-Connect)." in
+  Cmd.v
+    (Cmd.info "plan" ~doc)
+    Term.(const run_plan $ robot $ seed $ target $ obstacles_arg $ svg_out)
+
+(* ---- robots ---- *)
+
+let run_robots verbose =
+  let entries =
+    [
+      ("arm6", Robots.arm_6dof ());
+      ("arm7", Robots.arm_7dof ());
+      ("scara", Robots.scara ());
+      ("snake:30", Robots.snake ~dof:30);
+      ("eval:12", Robots.eval_chain ~dof:12);
+      ("eval:100", Robots.eval_chain ~dof:100);
+      ("planar:6", Robots.planar ~dof:6 ~reach:6. ());
+    ]
+  in
+  List.iter
+    (fun (key, chain) ->
+      Format.printf "%-10s %s: %d DOF, reach %.2f m@." key (Chain.name chain)
+        (Chain.dof chain) (Chain.reach chain);
+      if verbose then Format.printf "  %a@." Chain.pp chain)
+    entries;
+  0
+
+let robots_cmd =
+  let doc = "List built-in robot factories." in
+  Cmd.v (Cmd.info "robots" ~doc) Term.(const run_robots $ verbose)
+
+(* ---- main ---- *)
+
+let () =
+  let doc = "Quick-IK and IKAcc: inverse kinematics for high-DOF robots (DAC'17)" in
+  let info = Cmd.info "dadu" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ solve_cmd; sweep_cmd; accel_cmd; batch_cmd; plan_cmd; describe_cmd; robots_cmd ]))

@@ -1,0 +1,83 @@
+(* A walk through the IKAcc cycle and energy model (paper section 5).
+
+     dune exec examples/accelerator_sim.exe
+
+   Shows how one Quick-IK iteration maps onto the accelerator's units —
+   SPU pipeline, SSU array, scheduler rounds, selector — and how the
+   hardware size trades against latency and power. *)
+
+open Dadu_accel
+module Table = Dadu_util.Table
+
+let dof = 50
+let speculations = 64
+
+let () =
+  let cfg = Config.default in
+  Format.printf "Configuration: %a@.@." Config.pp cfg;
+
+  (* Unit-by-unit cycle budget for one iteration. *)
+  let spu = Spu.iteration_cycles cfg ~dof in
+  let ssu = Ssu.candidate_cycles cfg ~dof in
+  let plan = Scheduler.plan cfg ~speculations in
+  let iter = Scheduler.iteration_cycles cfg ~dof ~speculations in
+  Format.printf "One Quick-IK iteration at %d DOF, %d speculations:@." dof speculations;
+  Format.printf "  SPU serial pass (4-stage pipeline)  : %5d cycles@." spu;
+  Format.printf "  one SSU speculative search          : %5d cycles@." ssu;
+  Format.printf "  schedules (%d specs / %d SSUs)      : %5d rounds@." speculations
+    cfg.Config.num_ssus plan.Scheduler.schedules;
+  Format.printf "  full iteration                      : %5d cycles (%.2f us)@.@." iter
+    (float_of_int iter /. cfg.Config.frequency_hz *. 1e6);
+
+  (* How the scheduler assigns candidates to SSUs. *)
+  let rounds = Scheduler.assignments cfg ~speculations in
+  List.iteri
+    (fun i round ->
+      Format.printf "  round %d: candidates %d..%d on %d SSUs@." i (List.hd round)
+        (List.nth round (List.length round - 1))
+        (List.length round))
+    rounds;
+
+  (* Hardware size sweep: the paper's 32-SSU choice in context. *)
+  let table =
+    Table.create ~title:"\nSSU count vs one-iteration latency and power"
+      [
+        ("SSUs", Table.Right);
+        ("rounds", Table.Right);
+        ("cycles/iter", Table.Right);
+        ("avg power", Table.Right);
+      ]
+  in
+  List.iter
+    (fun n ->
+      let c = Config.with_ssus n cfg in
+      let cycles = Scheduler.iteration_cycles c ~dof ~speculations in
+      let busy = Scheduler.ssu_busy_cycles c ~dof ~speculations in
+      let spu_busy = Spu.iteration_cycles c ~dof in
+      let e =
+        Energy.of_activity c ~total_cycles:cycles ~spu_busy_cycles:spu_busy
+          ~ssu_busy_cycles:busy
+      in
+      Table.add_row table
+        [
+          string_of_int n;
+          string_of_int (Scheduler.plan c ~speculations).Scheduler.schedules;
+          string_of_int cycles;
+          Printf.sprintf "%.1f mW" (e.Energy.avg_power_w *. 1e3);
+        ])
+    [ 4; 8; 16; 32; 64 ];
+  Table.print table;
+
+  (* The same iteration as a unit-occupancy trace (small sizes so the
+     Gantt chart stays readable). *)
+  let small = Config.with_ssus 4 cfg in
+  Format.printf "@.One iteration at 8 DOF with 8 speculations on 4 SSUs:@.%s@."
+    (Trace.render (Trace.iteration small ~dof:8 ~speculations:8));
+
+  (* End-to-end: a real solve with the full report. *)
+  let rng = Dadu_util.Rng.create 7 in
+  let chain = Dadu_kinematics.Robots.eval_chain ~dof in
+  let problem = Dadu_core.Ik.random_problem rng chain in
+  let report = Ikacc.solve ~speculations problem in
+  Format.printf "@.End-to-end solve on the %d-DOF evaluation chain:@.%a@." dof
+    Ikacc.pp_report report

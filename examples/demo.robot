@@ -1,0 +1,7 @@
+# A 3-DOF demo arm for the CLI cram tests and --robot-file examples.
+chain demo-arm
+base translate 0 0 0.2
+joint shoulder revolute a=0.5 alpha=90deg limits=-170deg,170deg
+joint elbow revolute a=0.4 limits=-150deg,150deg
+joint wrist revolute a=0.25 alpha=-90deg limits=-170deg,170deg
+tool translate 0 0 0.05

@@ -1,0 +1,53 @@
+(* The paper's headline scenario: a 100-DOF hyper-redundant manipulator.
+
+     dune exec examples/high_dof_snake.exe
+
+   Solves a batch of reachable targets with a 100-DOF snake robot and
+   reports what the paper's Table 2 row reports: mean iterations, and the
+   modeled solve time on IKAcc vs the mobile CPU/GPU baselines. *)
+
+open Dadu_kinematics
+open Dadu_core
+module Stats = Dadu_util.Stats
+
+let dof = 100
+let targets = 10
+
+let () =
+  let chain = Robots.snake ~dof in
+  Format.printf "%s: %d joints, +/-120 deg limits, total length %.1f m@."
+    (Chain.name chain) dof (Chain.reach chain);
+  let rng = Dadu_util.Rng.create 44 in
+  let problems = Array.init targets (fun _ -> Ik.random_problem rng chain) in
+
+  Format.printf "@.Solving %d targets with Quick-IK (64 speculations):@." targets;
+  let results = Array.map (fun p -> Quick_ik.solve ~speculations:64 p) problems in
+  let iters = Array.map (fun r -> float_of_int r.Ik.iterations) results in
+  let converged =
+    Array.fold_left
+      (fun acc r -> if r.Ik.status = Ik.Converged then acc + 1 else acc)
+      0 results
+  in
+  Format.printf "  converged %d/%d; iterations: %a@." converged targets
+    Stats.pp_summary (Stats.summarize iters);
+
+  (* The same iteration counts priced on each platform (Table 2 models). *)
+  let mean_iters = Stats.mean iters in
+  let cost = Cost.quick_ik ~dof ~speculations:64 in
+  let atom_ms = Dadu_platforms.Atom.time_s ~cost ~iterations:mean_iters () *. 1e3 in
+  let tx1_ms = Dadu_platforms.Tx1.time_s ~cost ~iterations:mean_iters () *. 1e3 in
+  let ikacc_s =
+    Dadu_accel.Ikacc.time_for_iterations ~dof ~speculations:64
+      ~iterations:(int_of_float (Float.round mean_iters))
+      ()
+  in
+  Format.printf "@.Modeled mean solve time at %.0f iterations:@." mean_iters;
+  Format.printf "  Atom CPU (serial Quick-IK) : %8.2f ms@." atom_ms;
+  Format.printf "  TX1 GPU  (parallel spec.)  : %8.2f ms@." tx1_ms;
+  Format.printf "  IKAcc    (32 SSUs, 1 GHz)   : %8.3f ms  (%.0fx vs CPU, %.0fx vs GPU)@."
+    (ikacc_s *. 1e3) (atom_ms /. (ikacc_s *. 1e3)) (tx1_ms /. (ikacc_s *. 1e3));
+
+  (* Run one solve through the full accelerator report for the energy
+     story. *)
+  let report = Dadu_accel.Ikacc.solve ~speculations:64 problems.(0) in
+  Format.printf "@.One full IKAcc run:@.%a@." Dadu_accel.Ikacc.pp_report report

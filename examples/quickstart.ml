@@ -1,0 +1,48 @@
+(* Quickstart: solve inverse kinematics for a 7-DOF arm with Quick-IK.
+
+     dune exec examples/quickstart.exe
+
+   Walks the shortest useful path through the API: build a robot, pick a
+   reachable target, solve, verify with forward kinematics. *)
+
+open Dadu_kinematics
+open Dadu_core
+
+let () =
+  (* 1. A robot: a 7-DOF redundant arm with realistic joint limits. *)
+  let chain = Robots.arm_7dof () in
+  Format.printf "Robot: %s (%d DOF, reach %.2f m)@." (Chain.name chain)
+    (Chain.dof chain) (Chain.reach chain);
+
+  (* 2. A task: a reachable end-effector position.  Sampling it as the FK
+     image of a random configuration guarantees a solution exists. *)
+  let rng = Dadu_util.Rng.create 2017 in
+  let target = Target.reachable rng chain in
+  Format.printf "Target position: %a@." Dadu_linalg.Vec3.pp target;
+
+  (* 3. An initial guess (here: a random one, as in the paper's Algorithm 1
+     line 1). *)
+  let theta0 = Target.random_config rng chain in
+  let problem = Ik.problem ~chain ~target ~theta0 in
+
+  (* 4. Solve with Quick-IK, 64 speculations (the paper's operating
+     point). *)
+  let result = Quick_ik.solve ~speculations:64 problem in
+  Format.printf "Quick-IK: %a@." Ik.pp_result result;
+
+  (* 5. Verify through forward kinematics. *)
+  let reached = Fk.position chain result.Ik.theta in
+  Format.printf "FK check: reached %a, %.2f mm from target@."
+    Dadu_linalg.Vec3.pp reached
+    (1e3 *. Dadu_linalg.Vec3.dist reached target);
+
+  (* 6. Compare with the baselines the paper measures. *)
+  let show name (r : Ik.result) =
+    Format.printf "  %-22s %4d iterations, final error %.2e m@." name
+      r.Ik.iterations r.Ik.error
+  in
+  Format.printf "Baselines on the same problem:@.";
+  show "JT-Serial (original)" (Jt_serial.solve problem);
+  show "JT + Buss alpha" (Jt_buss.solve problem);
+  show "Pseudoinverse (SVD)" (Pinv_svd.solve problem);
+  show "Damped least squares" (Dls.solve problem)

@@ -1,0 +1,85 @@
+(* Every solver in the library on one problem batch: the library's
+   method-comparison table in miniature.
+
+     dune exec examples/solver_shootout.exe [DOF]
+
+   For each method: iteration count, computation load (speculations x
+   iterations — the paper's Figure 5b metric), convergence rate, and host
+   wall-clock. *)
+
+open Dadu_kinematics
+open Dadu_core
+module Table = Dadu_util.Table
+module Stats = Dadu_util.Stats
+
+let () =
+  let dof =
+    if Array.length Sys.argv > 1 then
+      match int_of_string_opt Sys.argv.(1) with
+      | Some d when d > 1 -> d
+      | Some _ | None ->
+        prerr_endline "usage: solver_shootout [DOF>1]";
+        exit 2
+    else 25
+  in
+  let targets = 15 in
+  let chain = Robots.eval_chain ~dof in
+  let rng = Dadu_util.Rng.create 31 in
+  let problems = Array.init targets (fun _ -> Ik.random_problem rng chain) in
+  let config = Ik.default_config in
+  let solvers =
+    [
+      ("JT-Serial (fixed alpha)", fun p -> Jt_serial.solve ~config p);
+      ("JT + Buss alpha", fun p -> Jt_buss.solve ~config p);
+      ("Quick-IK (16 specs)", fun p -> Quick_ik.solve ~speculations:16 ~config p);
+      ("Quick-IK (64 specs)", fun p -> Quick_ik.solve ~speculations:64 ~config p);
+      ("Pseudoinverse (SVD)", fun p -> Pinv_svd.solve ~config p);
+      ("Damped least squares", fun p -> Dls.solve ~config p);
+      ("Selectively damped LS", fun p -> Sdls.solve ~config p);
+      ( "CCD",
+        fun p -> Ccd.solve ~config:{ config with Ik.max_iterations = 1_000 } p );
+    ]
+  in
+  Format.printf "Solver shootout: %s, %d reachable targets, accuracy %.0e m@.@."
+    (Chain.name chain) targets config.Ik.accuracy;
+  let table =
+    Table.create
+      [
+        ("method", Table.Left);
+        ("mean iters", Table.Right);
+        ("median", Table.Right);
+        ("work (Fig 5b)", Table.Right);
+        ("converged", Table.Right);
+        ("host time", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, solve) ->
+      let t0 = Sys.time () in
+      let results = Array.map solve problems in
+      let elapsed = Sys.time () -. t0 in
+      let iters = Array.map (fun r -> float_of_int r.Ik.iterations) results in
+      let work = Array.map (fun r -> float_of_int (Ik.work r)) results in
+      let converged =
+        Array.fold_left
+          (fun acc r -> if r.Ik.status = Ik.Converged then acc + 1 else acc)
+          0 results
+      in
+      Table.add_row table
+        [
+          name;
+          Table.fmt_float ~decimals:1 (Stats.mean iters);
+          Table.fmt_float ~decimals:0 (Stats.median iters);
+          Table.fmt_sig ~digits:4 (Stats.mean work);
+          Printf.sprintf "%d/%d" converged targets;
+          Printf.sprintf "%.0f ms" (elapsed *. 1e3);
+        ])
+    solvers;
+  Table.print table;
+  print_newline ();
+  print_endline
+    "Reading guide: Quick-IK needs ~2 orders of magnitude fewer iterations than";
+  print_endline
+    "JT-Serial at similar total work (the win is parallelizability, Fig 5b), while";
+  print_endline
+    "the pseudoinverse needs the fewest iterations but each one hides a serial SVD."

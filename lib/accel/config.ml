@@ -1,0 +1,55 @@
+type t = {
+  num_ssus : int;
+  frequency_hz : float;
+  dh_cycles : int;
+  matmul_cycles : int;
+  jacobian_stage_cycles : int;
+  jjte_stage_cycles : int;
+  alpha_cycles : int;
+  update_lanes : int;
+  error_cycles : int;
+  broadcast_cycles : int;
+  select_cycles : int;
+  leakage_w : float;
+  spu_active_w : float;
+  ssu_active_w : float;
+  area_mm2 : float;
+}
+
+let default =
+  {
+    num_ssus = 32;
+    frequency_hz = 1e9;
+    dh_cycles = 24;
+    matmul_cycles = 64;
+    jacobian_stage_cycles = 6;
+    jjte_stage_cycles = 4;
+    alpha_cycles = 20;
+    update_lanes = 4;
+    error_cycles = 8;
+    broadcast_cycles = 4;
+    select_cycles = 6;
+    leakage_w = 0.020;
+    spu_active_w = 0.030;
+    ssu_active_w = 0.006;
+    area_mm2 = 2.27;
+  }
+
+let with_ssus num_ssus t = { t with num_ssus }
+
+let validate t =
+  let positive name x = if x <= 0 then invalid_arg ("Accel config: " ^ name ^ " must be positive") in
+  positive "num_ssus" t.num_ssus;
+  positive "dh_cycles" t.dh_cycles;
+  positive "matmul_cycles" t.matmul_cycles;
+  positive "jacobian_stage_cycles" t.jacobian_stage_cycles;
+  positive "jjte_stage_cycles" t.jjte_stage_cycles;
+  positive "alpha_cycles" t.alpha_cycles;
+  positive "update_lanes" t.update_lanes;
+  positive "error_cycles" t.error_cycles;
+  if t.frequency_hz <= 0. then invalid_arg "Accel config: frequency must be positive"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "IKAcc{%d SSUs at %.2g GHz; matmul %dcy; dh %dcy; area %.2f mm2}" t.num_ssus
+    (t.frequency_hz /. 1e9) t.matmul_cycles t.dh_cycles t.area_mm2

@@ -1,0 +1,37 @@
+(** IKAcc hardware configuration.
+
+    Latency constants are in cycles at [frequency_hz]; they model the units
+    of Figure 2 as synthesized by HLS ("a few multipliers and adders …
+    result in tens of cycles", §5.2).  Power constants are activity-based
+    and calibrated so that a 100-DOF Quick-IK solve averages the paper's
+    reported 158.6 mW @ 1 GHz (Table 3); see DESIGN.md §6. *)
+
+type t = {
+  num_ssus : int;  (** Speculative Search Units; paper: 32 *)
+  frequency_hz : float;  (** paper: 1 GHz *)
+  dh_cycles : int;
+      (** compute one [ⁱ⁻¹Tᵢ(θ)]: CORDIC sin/cos plus matrix assembly *)
+  matmul_cycles : int;  (** one 4×4 matrix product in the FKU logic block *)
+  jacobian_stage_cycles : int;  (** SPU [JᵢC] stage: one cross product *)
+  jjte_stage_cycles : int;  (** SPU [JJᵀEC] stage: rank-1 accumulate *)
+  alpha_cycles : int;  (** ε-dots and division producing [α_base] *)
+  update_lanes : int;  (** parallel MACs computing [θ_k = θ + α_k·Δθ_base] *)
+  error_cycles : int;  (** [‖X_t − X_k‖] *)
+  broadcast_cycles : int;  (** scheduler broadcast, per schedule *)
+  select_cycles : int;  (** selector compare tree, per schedule *)
+  leakage_w : float;  (** static power, whole chip *)
+  spu_active_w : float;  (** SPU dynamic power while busy *)
+  ssu_active_w : float;  (** per-SSU dynamic power while busy *)
+  area_mm2 : float;  (** reported synthesis area (Table 3): 2.27 mm² *)
+}
+
+val default : t
+(** The paper's configuration: 32 SSUs @ 1 GHz. *)
+
+val with_ssus : int -> t -> t
+(** Copy with a different SSU count (ablation A2). *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on non-positive counts/frequencies. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+type serial_out = {
+  e : Vec3.t;
+  err : float;
+  dtheta_base : Vec.t;
+  alpha_base : float;
+}
+
+let serial_pass chain ~theta ~end_transform ~target =
+  Chain.check_config chain theta;
+  let n = Chain.dof chain in
+  let p_end = Mat4.position end_transform in
+  let e = Vec3.sub target p_end in
+  let err = Vec3.norm e in
+  let dtheta_base = Vec.create n in
+  let jjte = ref Vec3.zero in
+  (* Fused pipeline: the accumulator [acc] is ¹Tᵢ₋₁ when joint i is
+     processed (its z-axis and origin define column Jᵢ), then advances by
+     ⁱ⁻¹Tᵢ in the same stage round. *)
+  let acc = Mat4.copy (Chain.base chain) in
+  let tmp = Mat4.identity () in
+  let local = Mat4.identity () in
+  for i = 0 to n - 1 do
+    let { Chain.joint; dh; _ } = Chain.link chain i in
+    let z = Mat4.z_axis acc in
+    let column =
+      match joint.Joint.kind with
+      | Joint.Revolute -> Vec3.cross z (Vec3.sub p_end (Mat4.position acc))
+      | Joint.Prismatic -> z
+    in
+    let je = Vec3.dot column e in
+    dtheta_base.(i) <- je;
+    jjte := Vec3.add !jjte (Vec3.scale je column);
+    Dh.transform_into ~dst:local dh joint.Joint.kind theta.(i);
+    Mat4.mul_into ~dst:tmp acc local;
+    Array.blit tmp 0 acc 0 16
+  done;
+  let denom = Vec3.norm_sq !jjte in
+  let alpha_base = if denom < 1e-30 then 0. else Vec3.dot e !jjte /. denom in
+  { e; err; dtheta_base; alpha_base }
+
+let candidate_pass chain theta = Fk.pose chain theta

@@ -1,0 +1,101 @@
+type design = { num_ssus : int; frequency_hz : float }
+
+type evaluation = {
+  design : design;
+  area_mm2 : float;
+  time_s : float;
+  energy_j : float;
+  power_w : float;
+  edp : float;
+}
+
+let fixed_area_mm2 = 0.67
+
+let ssu_area_mm2 = 0.05
+
+let area ~num_ssus = fixed_area_mm2 +. (float_of_int num_ssus *. ssu_area_mm2)
+
+let evaluate ?(base = Config.default) design ~dof ~speculations ~iterations =
+  if design.num_ssus <= 0 then invalid_arg "Design_space.evaluate: ssus must be positive";
+  if design.frequency_hz <= 0. then
+    invalid_arg "Design_space.evaluate: frequency must be positive";
+  let f_ratio = design.frequency_hz /. base.Config.frequency_hz in
+  let config =
+    {
+      base with
+      Config.num_ssus = design.num_ssus;
+      frequency_hz = design.frequency_hz;
+      (* higher clocks need proportionally higher voltage:
+         P_dyn ∝ f·V² with V ∝ f gives f³; leakage ∝ V gives f *)
+      spu_active_w = base.Config.spu_active_w *. (f_ratio ** 3.);
+      ssu_active_w = base.Config.ssu_active_w *. (f_ratio ** 3.);
+      leakage_w = base.Config.leakage_w *. f_ratio;
+    }
+  in
+  let cycles_per_iter = Scheduler.iteration_cycles config ~dof ~speculations in
+  let total_cycles = iterations * cycles_per_iter in
+  let spu_busy = iterations * Spu.iteration_cycles config ~dof in
+  let ssu_busy = iterations * Scheduler.ssu_busy_cycles config ~dof ~speculations in
+  let energy =
+    Energy.of_activity config ~total_cycles ~spu_busy_cycles:spu_busy
+      ~ssu_busy_cycles:ssu_busy
+  in
+  let time_s = float_of_int total_cycles /. design.frequency_hz in
+  {
+    design;
+    area_mm2 = area ~num_ssus:design.num_ssus;
+    time_s;
+    energy_j = energy.Energy.total_j;
+    power_w = energy.Energy.avg_power_w;
+    edp = energy.Energy.total_j *. time_s;
+  }
+
+let default_designs =
+  List.concat_map
+    (fun num_ssus ->
+      List.map (fun ghz -> { num_ssus; frequency_hz = ghz *. 1e9 }) [ 0.5; 1.; 2. ])
+    [ 8; 16; 32; 64; 128 ]
+
+let sweep ?base ?(designs = default_designs) ~dof ~speculations ~iterations () =
+  List.map (fun d -> evaluate ?base d ~dof ~speculations ~iterations) designs
+
+let dominates a b =
+  a.time_s <= b.time_s && a.energy_j <= b.energy_j && a.area_mm2 <= b.area_mm2
+  && (a.time_s < b.time_s || a.energy_j < b.energy_j || a.area_mm2 < b.area_mm2)
+
+let pareto evaluations =
+  List.filter
+    (fun e -> not (List.exists (fun other -> dominates other e) evaluations))
+    evaluations
+
+let to_table ?(pareto_marks = true) evaluations =
+  let front = if pareto_marks then pareto evaluations else [] in
+  let table =
+    Dadu_util.Table.create
+      ~title:"IKAcc design space (time/energy at the measured iteration count)"
+      [
+        ("SSUs", Dadu_util.Table.Right);
+        ("freq", Dadu_util.Table.Right);
+        ("area", Dadu_util.Table.Right);
+        ("time/solve", Dadu_util.Table.Right);
+        ("energy/solve", Dadu_util.Table.Right);
+        ("avg power", Dadu_util.Table.Right);
+        ("EDP", Dadu_util.Table.Right);
+        ("Pareto", Dadu_util.Table.Left);
+      ]
+  in
+  List.iter
+    (fun e ->
+      Dadu_util.Table.add_row table
+        [
+          string_of_int e.design.num_ssus;
+          Printf.sprintf "%.1f GHz" (e.design.frequency_hz /. 1e9);
+          Printf.sprintf "%.2f mm2" e.area_mm2;
+          Printf.sprintf "%.3f ms" (e.time_s *. 1e3);
+          Printf.sprintf "%.3g mJ" (e.energy_j *. 1e3);
+          Printf.sprintf "%.0f mW" (e.power_w *. 1e3);
+          Printf.sprintf "%.3g uJ.s" (e.edp *. 1e9);
+          (if List.memq e front then "*" else "");
+        ])
+    evaluations;
+  table

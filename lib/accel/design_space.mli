@@ -1,0 +1,52 @@
+(** Design-space exploration around the paper's 32-SSU / 1 GHz point.
+
+    Area model: the paper reports 2.27 mm² (Nangate 65 nm) for 32 SSUs;
+    we apportion it as a fixed part (SPU + scheduler + selector) plus a
+    per-SSU increment, so alternative sizes get first-order area numbers.
+    Frequency scaling: cycle counts are frequency-independent and delay
+    scales as [1/f]; reaching a higher clock takes proportionally higher
+    voltage, so dynamic power scales as [f·V² ∝ f³] (dynamic energy per
+    solve as [f²]) and leakage as [V ∝ f].  That makes frequency a true
+    latency-vs-energy trade — the regime DVFS lives in.  First-order,
+    documented, and good enough to rank designs. *)
+
+type design = { num_ssus : int; frequency_hz : float }
+
+type evaluation = {
+  design : design;
+  area_mm2 : float;
+  time_s : float;  (** per solve, at the given iteration count *)
+  energy_j : float;
+  power_w : float;
+  edp : float;  (** energy × delay *)
+}
+
+val fixed_area_mm2 : float
+(** SPU + scheduler + selector: 0.67 mm². *)
+
+val ssu_area_mm2 : float
+(** 0.05 mm² per SSU (32 × 0.05 + 0.67 = the paper's 2.27). *)
+
+val area : num_ssus:int -> float
+
+val evaluate :
+  ?base:Config.t -> design -> dof:int -> speculations:int -> iterations:int -> evaluation
+
+val default_designs : design list
+(** SSUs {8, 16, 32, 64, 128} × frequencies {0.5, 1, 2} GHz. *)
+
+val sweep :
+  ?base:Config.t ->
+  ?designs:design list ->
+  dof:int ->
+  speculations:int ->
+  iterations:int ->
+  unit ->
+  evaluation list
+
+val pareto : evaluation list -> evaluation list
+(** Non-dominated subset under (time, energy, area), input order
+    preserved. *)
+
+val to_table : ?pareto_marks:bool -> evaluation list -> Dadu_util.Table.t
+(** With [pareto_marks] (default true), Pareto-optimal rows get a [*]. *)

@@ -1,0 +1,23 @@
+type breakdown = {
+  leakage_j : float;
+  spu_j : float;
+  ssu_j : float;
+  total_j : float;
+  avg_power_w : float;
+}
+
+let of_activity (cfg : Config.t) ~total_cycles ~spu_busy_cycles ~ssu_busy_cycles =
+  if total_cycles < 0 || spu_busy_cycles < 0 || ssu_busy_cycles < 0 then
+    invalid_arg "Energy.of_activity: negative cycle count";
+  let seconds cycles = float_of_int cycles /. cfg.Config.frequency_hz in
+  let elapsed = seconds total_cycles in
+  let leakage_j = cfg.Config.leakage_w *. elapsed in
+  let spu_j = cfg.Config.spu_active_w *. seconds spu_busy_cycles in
+  let ssu_j = cfg.Config.ssu_active_w *. seconds ssu_busy_cycles in
+  let total_j = leakage_j +. spu_j +. ssu_j in
+  let avg_power_w = if elapsed > 0. then total_j /. elapsed else 0. in
+  { leakage_j; spu_j; ssu_j; total_j; avg_power_w }
+
+let pp ppf b =
+  Format.fprintf ppf "%.3g J total (leak %.3g, SPU %.3g, SSU %.3g); avg %.1f mW"
+    b.total_j b.leakage_j b.spu_j b.ssu_j (b.avg_power_w *. 1e3)

@@ -1,0 +1,20 @@
+(** Activity-based power/energy model for IKAcc.
+
+    Energy = leakage over the whole run plus per-unit dynamic energy
+    proportional to busy cycles.  Constants in {!Config.default} are
+    calibrated so a 100-DOF / 64-speculation run averages the paper's
+    158.6 mW @ 1 GHz (Table 3). *)
+
+type breakdown = {
+  leakage_j : float;
+  spu_j : float;
+  ssu_j : float;
+  total_j : float;
+  avg_power_w : float;  (** [total_j / elapsed] *)
+}
+
+val of_activity :
+  Config.t -> total_cycles:int -> spu_busy_cycles:int -> ssu_busy_cycles:int -> breakdown
+(** [ssu_busy_cycles] is summed over all SSUs. *)
+
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,80 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+type format = { integer_bits : int; frac_bits : int }
+
+let q8_8 = { integer_bits = 8; frac_bits = 8 }
+let q8_16 = { integer_bits = 8; frac_bits = 16 }
+let q8_24 = { integer_bits = 8; frac_bits = 24 }
+
+let word_width f = 1 + f.integer_bits + f.frac_bits
+
+let resolution f = Float.ldexp 1. (-f.frac_bits)
+
+let max_value f = Float.ldexp 1. f.integer_bits -. resolution f
+
+let quantize f x =
+  if Float.is_nan x then invalid_arg "Fixed.quantize: nan";
+  let hi = max_value f in
+  let clamped = Float.min hi (Float.max (-.hi) x) in
+  let scale = Float.ldexp 1. f.frac_bits in
+  Float.round (clamped *. scale) /. scale
+
+(* 4×4 product with quantization after every multiply-accumulate, as a
+   fixed-point MAC array produces it. *)
+let mul_into_quantized fmt ~dst a b =
+  let q = quantize fmt in
+  for i = 0 to 3 do
+    let base = i * 4 in
+    for j = 0 to 3 do
+      let acc = ref 0. in
+      for k = 0 to 3 do
+        acc := q (!acc +. q (a.(base + k) *. b.((k * 4) + j)))
+      done;
+      dst.(base + j) <- !acc
+    done
+  done
+
+let fk_position fmt chain theta =
+  Chain.check_config chain theta;
+  let q = quantize fmt in
+  let quantize_mat m = Array.map q m in
+  let links = Chain.links chain in
+  let acc = ref (quantize_mat (Chain.base chain)) in
+  let local = Mat4.identity () in
+  let product = Mat4.identity () in
+  for i = 0 to Array.length links - 1 do
+    let { Chain.joint; dh; _ } = links.(i) in
+    Dh.transform_into ~dst:local dh joint.Joint.kind theta.(i);
+    (* the CORDIC/table trig outputs are themselves fixed-point *)
+    for k = 0 to 15 do
+      local.(k) <- q local.(k)
+    done;
+    mul_into_quantized fmt ~dst:product !acc local;
+    Array.blit product 0 !acc 0 16
+  done;
+  mul_into_quantized fmt ~dst:product !acc (quantize_mat (Chain.tool chain));
+  Mat4.position product
+
+type report = {
+  format : format;
+  samples : int;
+  max_error : float;
+  mean_error : float;
+}
+
+let evaluate ?(samples = 100) rng fmt chain =
+  if samples <= 0 then invalid_arg "Fixed.evaluate: samples must be positive";
+  let total = ref 0. in
+  let worst = ref 0. in
+  for _ = 1 to samples do
+    let theta = Target.random_config rng chain in
+    let exact = Fk.position chain theta in
+    let fixed = fk_position fmt chain theta in
+    let err = Vec3.dist exact fixed in
+    total := !total +. err;
+    worst := Float.max !worst err
+  done;
+  { format = fmt; samples; max_error = !worst; mean_error = !total /. float_of_int samples }
+
+let sufficient report ~accuracy = report.max_error < accuracy /. 4.

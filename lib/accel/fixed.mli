@@ -1,0 +1,53 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+(** Fixed-point datapath study for the FKU.
+
+    The paper synthesizes IKAcc with HLS but does not discuss datapath
+    width — the first question an implementer asks, since the FKU chains
+    up to 100 dependent 4×4 products and quantization error compounds
+    multiplicatively.  This module evaluates FK in simulated Q(m.f)
+    fixed-point arithmetic (quantize after every arithmetic result,
+    saturate on overflow) and measures the end-effector error against the
+    float reference, driving ablation A3. *)
+
+type format = {
+  integer_bits : int;  (** magnitude bits (excluding sign) *)
+  frac_bits : int;  (** fractional bits *)
+}
+
+val q8_8 : format
+val q8_16 : format
+val q8_24 : format
+
+val word_width : format -> int
+(** [1 + integer_bits + frac_bits] (sign included). *)
+
+val quantize : format -> float -> float
+(** Round-to-nearest onto the grid [2^-frac_bits], saturating at the
+    format's range. *)
+
+val resolution : format -> float
+(** [2^-frac_bits]. *)
+
+val max_value : format -> float
+
+val fk_position : format -> Chain.t -> Vec.t -> Vec3.t
+(** Forward kinematics with every intermediate (trig results, each product
+    term, each accumulated matrix entry) quantized — what a fixed-point
+    FKU computes. *)
+
+type report = {
+  format : format;
+  samples : int;
+  max_error : float;  (** worst end-effector deviation vs float FK, meters *)
+  mean_error : float;
+}
+
+val evaluate : ?samples:int -> Dadu_util.Rng.t -> format -> Chain.t -> report
+(** Monte-Carlo over random configurations (default 100 samples). *)
+
+val sufficient : report -> accuracy:float -> bool
+(** True when the worst-case FK error is below a safety fraction (1/4) of
+    the IK accuracy target, i.e. quantization cannot flip candidate
+    selection at the convergence threshold. *)

@@ -1,0 +1,39 @@
+(** IKAcc top level: functionally exact Quick-IK plus cycle and energy
+    accounting.
+
+    The functional solve is {!Dadu_core.Quick_ik} with the paper's uniform
+    speculation strategy — the accelerator computes the same arithmetic, so
+    the returned joint angles, errors, and iteration counts are identical
+    to the software solver.  Timing and energy come from the unit cycle
+    models ({!Spu}, {!Ssu}, {!Scheduler}) driven by the measured iteration
+    count. *)
+
+type report = {
+  result : Dadu_core.Ik.result;  (** identical to the software Quick-IK result *)
+  config : Config.t;
+  speculations : int;
+  schedules_per_iteration : int;
+  cycles_per_iteration : int;
+  total_cycles : int;
+  time_s : float;
+  energy : Energy.breakdown;
+  ssu_utilization : float;
+      (** busy SSU-cycles / (num_ssus × total cycles); 1.0 = all SSUs always
+          busy *)
+}
+
+val solve :
+  ?config:Config.t ->
+  ?ik_config:Dadu_core.Ik.config ->
+  ?speculations:int ->
+  Dadu_core.Ik.problem ->
+  report
+(** [speculations] defaults to 64 (the paper's software setting; with the
+    default 32 SSUs it takes 2 schedules per iteration). *)
+
+val time_for_iterations :
+  ?config:Config.t -> dof:int -> speculations:int -> iterations:int -> unit -> float
+(** Seconds the accelerator needs for a given iteration count — the
+    Table 2 model without re-running the solver. *)
+
+val pp_report : Format.formatter -> report -> unit

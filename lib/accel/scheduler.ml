@@ -1,0 +1,29 @@
+type plan = { schedules : int; full_rounds : int; last_round_ssus : int }
+
+let plan (cfg : Config.t) ~speculations =
+  if speculations <= 0 then invalid_arg "Scheduler.plan: speculations must be positive";
+  let n = cfg.Config.num_ssus in
+  let schedules = (speculations + n - 1) / n in
+  let remainder = speculations mod n in
+  if remainder = 0 then { schedules; full_rounds = schedules; last_round_ssus = n }
+  else { schedules; full_rounds = schedules - 1; last_round_ssus = remainder }
+
+let assignments cfg ~speculations =
+  let { schedules; _ } = plan cfg ~speculations in
+  let n = cfg.Config.num_ssus in
+  List.init schedules (fun r ->
+      let lo = r * n in
+      let hi = Stdlib.min speculations ((r + 1) * n) in
+      List.init (hi - lo) (fun k -> lo + k))
+
+let iteration_cycles cfg ~dof ~speculations =
+  let { schedules; _ } = plan cfg ~speculations in
+  let per_round =
+    cfg.Config.broadcast_cycles + Ssu.candidate_cycles cfg ~dof + cfg.Config.select_cycles
+  in
+  Spu.iteration_cycles cfg ~dof + (schedules * per_round)
+
+let ssu_busy_cycles cfg ~dof ~speculations =
+  (* Every candidate occupies exactly one SSU for one round, so the busy
+     SSU-rounds equal the speculation count. *)
+  speculations * Ssu.candidate_cycles cfg ~dof

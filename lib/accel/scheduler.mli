@@ -1,0 +1,27 @@
+(** Parallel Search Scheduler (paper §5.1).
+
+    Maps [Max] software speculations onto [MaxSSUs] hardware units:
+    [⌈Max/MaxSSUs⌉] schedules, each broadcasting [θ, Δθ_base, α_base] and
+    running the assigned SSUs in lockstep; the selector folds each
+    schedule's results as they complete. *)
+
+type plan = {
+  schedules : int;  (** number of scheduling rounds per iteration *)
+  full_rounds : int;  (** rounds with every SSU busy *)
+  last_round_ssus : int;  (** SSUs busy in the final round ([num_ssus] if it is full) *)
+}
+
+val plan : Config.t -> speculations:int -> plan
+
+val assignments : Config.t -> speculations:int -> int list list
+(** Candidate indices grouped by round, in dispatch order:
+    round [r] handles candidates [r·MaxSSUs .. min((r+1)·MaxSSUs, Max)-1].
+    Concatenated, this is [0 .. Max-1] exactly once. *)
+
+val iteration_cycles : Config.t -> dof:int -> speculations:int -> int
+(** Cycles for one full Quick-IK iteration on the accelerator: the SPU
+    serial pass, then per round broadcast + SSU search + selection. *)
+
+val ssu_busy_cycles : Config.t -> dof:int -> speculations:int -> int
+(** Sum over SSUs of their busy cycles in one iteration (for the
+    activity-based energy model). *)

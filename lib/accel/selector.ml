@@ -1,0 +1,24 @@
+let best errors =
+  if Array.length errors = 0 then invalid_arg "Selector.best: no candidates";
+  let best = ref 0 in
+  for k = 1 to Array.length errors - 1 do
+    if errors.(k) < errors.(!best) then best := k
+  done;
+  !best
+
+let fold_rounds rounds =
+  let winner = ref None in
+  let offset = ref 0 in
+  List.iter
+    (fun errors ->
+      Array.iteri
+        (fun k err ->
+          match !winner with
+          | Some (_, best_err) when err >= best_err -> ()
+          | Some _ | None -> winner := Some (!offset + k, err))
+        errors;
+      offset := !offset + Array.length errors)
+    rounds;
+  match !winner with
+  | Some (idx, _) -> idx
+  | None -> invalid_arg "Selector.fold_rounds: no candidates"

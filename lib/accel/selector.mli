@@ -1,0 +1,13 @@
+(** Parameter Selector (Figure 2, bottom): folds candidate errors to the
+    winning [θ_o], keeping the best across schedules. *)
+
+val best : float array -> int
+(** Index of the minimum error; ties go to the smaller index (the smaller
+    speculative [k]), matching Algorithm 1 line 16 and the software
+    {!Dadu_core.Quick_ik} selection exactly.  Raises [Invalid_argument] on
+    an empty array. *)
+
+val fold_rounds : float array list -> int
+(** Selection across scheduling rounds: equivalent to {!best} of the
+    concatenation — the selector stores only the running winner between
+    rounds (constant state, §5.1 "the overhead is negligible"). *)

@@ -1,0 +1,101 @@
+open Dadu_linalg
+open Dadu_kinematics
+module Ik = Dadu_core.Ik
+
+type step = {
+  iteration : int;
+  err_before : float;
+  winner : int;
+  winner_err : float;
+  cycles : int;
+}
+
+type report = {
+  theta : Vec.t;
+  err : float;
+  iterations : int;
+  converged : bool;
+  total_cycles : int;
+  spu_busy_cycles : int;
+  ssu_busy_cycles : int;
+  steps : step list;
+}
+
+let run ?(config = Config.default) ?(ik_config = Ik.default_config)
+    ?(speculations = 64) (problem : Ik.problem) =
+  Config.validate config;
+  if speculations <= 0 then invalid_arg "Sim.run: speculations must be positive";
+  let { Ik.chain; target; theta0 } = problem in
+  let dof = Chain.dof chain in
+  let cycles_per_iteration = Scheduler.iteration_cycles config ~dof ~speculations in
+  let spu_per_iteration = Spu.iteration_cycles config ~dof in
+  let ssu_per_iteration = Scheduler.ssu_busy_cycles config ~dof ~speculations in
+  let rounds = Scheduler.assignments config ~speculations in
+  (* register state carried between iterations: θ and the winning ¹T_N *)
+  let rec go theta end_transform iteration steps =
+    let finish ~err ~converged =
+      {
+        theta;
+        err;
+        iterations = iteration;
+        converged;
+        total_cycles = iteration * cycles_per_iteration;
+        spu_busy_cycles = iteration * spu_per_iteration;
+        ssu_busy_cycles = iteration * ssu_per_iteration;
+        steps = List.rev steps;
+      }
+    in
+    let serial = Datapath.serial_pass chain ~theta ~end_transform ~target in
+    if serial.Datapath.err < ik_config.Ik.accuracy then
+      finish ~err:serial.Datapath.err ~converged:true
+    else if iteration >= ik_config.Ik.max_iterations then
+      finish ~err:serial.Datapath.err ~converged:false
+    else if serial.Datapath.alpha_base = 0. then
+      (* degenerate pose: the hardware would spin without progress; stop
+         as the software's cap eventually would *)
+      finish ~err:serial.Datapath.err ~converged:false
+    else begin
+      (* speculative rounds: each SSU computes θ_k, its FK transform, and
+         the candidate error; the selector folds winners across rounds *)
+      let transforms = Array.make speculations (Mat4.identity ()) in
+      let round_errors =
+        List.map
+          (fun round ->
+            let errors =
+              List.map
+                (fun k ->
+                  let alpha =
+                    float_of_int (k + 1)
+                    /. float_of_int speculations
+                    *. serial.Datapath.alpha_base
+                  in
+                  let theta_k = Vec.axpy alpha serial.Datapath.dtheta_base theta in
+                  let t_k = Datapath.candidate_pass chain theta_k in
+                  transforms.(k) <- t_k;
+                  Vec3.dist target (Mat4.position t_k))
+                round
+            in
+            Array.of_list errors)
+          rounds
+      in
+      let winner = Selector.fold_rounds round_errors in
+      let winner_err = (List.nth round_errors (winner / config.Config.num_ssus)).(winner mod config.Config.num_ssus) in
+      let alpha =
+        float_of_int (winner + 1)
+        /. float_of_int speculations
+        *. serial.Datapath.alpha_base
+      in
+      let theta' = Vec.axpy alpha serial.Datapath.dtheta_base theta in
+      let step =
+        {
+          iteration;
+          err_before = serial.Datapath.err;
+          winner;
+          winner_err;
+          cycles = cycles_per_iteration;
+        }
+      in
+      go theta' transforms.(winner) (iteration + 1) (step :: steps)
+    end
+  in
+  go (Vec.copy theta0) (Fk.pose chain theta0) 0 []

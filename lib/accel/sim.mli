@@ -1,0 +1,42 @@
+open Dadu_linalg
+
+(** Execution-based IKAcc simulator.
+
+    Unlike {!Ikacc} — which runs the software solver and prices the
+    measured iteration count through the analytic cycle model — this
+    simulator *executes* the accelerator's own dataflow step by step:
+    each iteration runs the fused SPU pass ({!Datapath.serial_pass}),
+    dispatches candidates to SSUs round by round through the
+    {!Scheduler}, folds winners through the {!Selector}, and carries the
+    winning candidate's [¹T_N] into the next serial pass exactly as the
+    hardware registers do.  Cycle accounting accrues from the same unit
+    models, so the tests can assert both functional bit-equality with
+    {!Dadu_core.Quick_ik} and cycle-count equality with {!Ikacc}. *)
+
+type step = {
+  iteration : int;
+  err_before : float;  (** error at the top of the iteration *)
+  winner : int;  (** selected candidate index (the speculative [k]) *)
+  winner_err : float;
+  cycles : int;  (** cycles consumed by this iteration *)
+}
+
+type report = {
+  theta : Vec.t;
+  err : float;
+  iterations : int;
+  converged : bool;
+  total_cycles : int;
+  spu_busy_cycles : int;
+  ssu_busy_cycles : int;
+  steps : step list;  (** per-iteration log, in execution order *)
+}
+
+val run :
+  ?config:Config.t ->
+  ?ik_config:Dadu_core.Ik.config ->
+  ?speculations:int ->
+  Dadu_core.Ik.problem ->
+  report
+(** Defaults: paper configuration, paper termination contract, 64
+    speculations. *)

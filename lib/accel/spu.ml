@@ -1,0 +1,14 @@
+let stage_latencies (cfg : Config.t) =
+  [|
+    cfg.Config.dh_cycles;
+    cfg.Config.matmul_cycles;
+    cfg.Config.jacobian_stage_cycles;
+    cfg.Config.jjte_stage_cycles;
+  |]
+
+let initiation_interval cfg = Array.fold_left Stdlib.max 1 (stage_latencies cfg)
+
+let iteration_cycles cfg ~dof =
+  if dof <= 0 then invalid_arg "Spu.iteration_cycles: dof must be positive";
+  let fill = Array.fold_left ( + ) 0 (stage_latencies cfg) in
+  fill + ((dof - 1) * initiation_interval cfg) + cfg.Config.alpha_cycles

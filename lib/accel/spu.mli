@@ -1,0 +1,17 @@
+(** Serial Process Unit cycle model (paper §5.3, Figure 3).
+
+    The serial prologue of every Quick-IK iteration — [ⁱ⁻¹TᵢC → ¹TᵢC →
+    JᵢC → JJᵀEC] — is fused into one loop and pipelined across joints:
+    joint [i]'s transform computes while joint [i−1]'s Jacobian column is
+    folded into [JJᵀe].  After the pipeline drains, a short epilogue
+    produces [α_base] (Eq. 8). *)
+
+val iteration_cycles : Config.t -> dof:int -> int
+(** Cycles for one serial pass over a [dof]-joint chain, including the
+    [α_base] epilogue. *)
+
+val stage_latencies : Config.t -> int array
+(** The four stage latencies, in pipeline order (introspection/tests). *)
+
+val initiation_interval : Config.t -> int
+(** Steady-state cycles per joint = the slowest stage. *)

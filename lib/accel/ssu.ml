@@ -1,0 +1,5 @@
+let candidate_cycles (cfg : Config.t) ~dof =
+  if dof <= 0 then invalid_arg "Ssu.candidate_cycles: dof must be positive";
+  let generate = 1 in
+  let update = (dof + cfg.Config.update_lanes - 1) / cfg.Config.update_lanes in
+  generate + update + Fku.chain_cycles cfg ~dof + cfg.Config.error_cycles

@@ -1,0 +1,8 @@
+(** Speculative Search Unit cycle model (Figure 2, center).
+
+    One SSU processes one candidate [α_k] per schedule: generate [α_k],
+    compute [θ_k = θ + α_k·Δθ_base] on [update_lanes] parallel MACs, run
+    the FKU over the chain, and compute the candidate error. *)
+
+val candidate_cycles : Config.t -> dof:int -> int
+(** Cycles for one speculative search on a [dof]-joint chain. *)

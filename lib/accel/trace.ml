@@ -1,0 +1,89 @@
+type event = {
+  unit_name : string;
+  start_cycle : int;
+  end_cycle : int;
+  candidate : int option;
+}
+
+let iteration (cfg : Config.t) ~dof ~speculations =
+  let spu_cycles = Spu.iteration_cycles cfg ~dof in
+  let ssu_cycles = Ssu.candidate_cycles cfg ~dof in
+  let rounds = Scheduler.assignments cfg ~speculations in
+  let events = ref [ { unit_name = "SPU"; start_cycle = 0; end_cycle = spu_cycles; candidate = None } ] in
+  let clock = ref spu_cycles in
+  List.iter
+    (fun round ->
+      let broadcast_end = !clock + cfg.Config.broadcast_cycles in
+      events :=
+        { unit_name = "broadcast"; start_cycle = !clock; end_cycle = broadcast_end; candidate = None }
+        :: !events;
+      List.iteri
+        (fun slot candidate ->
+          events :=
+            {
+              unit_name = Printf.sprintf "SSU-%d" slot;
+              start_cycle = broadcast_end;
+              end_cycle = broadcast_end + ssu_cycles;
+              candidate = Some candidate;
+            }
+            :: !events)
+        round;
+      let search_end = broadcast_end + ssu_cycles in
+      events :=
+        {
+          unit_name = "select";
+          start_cycle = search_end;
+          end_cycle = search_end + cfg.Config.select_cycles;
+          candidate = None;
+        }
+        :: !events;
+      clock := search_end + cfg.Config.select_cycles)
+    rounds;
+  List.rev !events
+
+let makespan events = List.fold_left (fun acc e -> Stdlib.max acc e.end_cycle) 0 events
+
+let busy_cycles ~prefix events =
+  List.fold_left
+    (fun acc e ->
+      if String.length e.unit_name >= String.length prefix
+         && String.sub e.unit_name 0 (String.length prefix) = prefix
+      then acc + (e.end_cycle - e.start_cycle)
+      else acc)
+    0 events
+
+let render ?(width = 72) events =
+  let total = makespan events in
+  if total = 0 then ""
+  else begin
+    let units =
+      List.fold_left
+        (fun acc e -> if List.mem e.unit_name acc then acc else e.unit_name :: acc)
+        [] events
+      |> List.rev
+    in
+    let scale cycle = cycle * width / total in
+    let buf = Buffer.create 1024 in
+    let label_width =
+      List.fold_left (fun acc u -> Stdlib.max acc (String.length u)) 0 units
+    in
+    List.iter
+      (fun unit_name ->
+        let row = Bytes.make width '.' in
+        List.iter
+          (fun e ->
+            if e.unit_name = unit_name then begin
+              let a = scale e.start_cycle in
+              let b = Stdlib.max (a + 1) (scale e.end_cycle) in
+              for i = a to Stdlib.min (width - 1) (b - 1) do
+                Bytes.set row i '#'
+              done
+            end)
+          events;
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s |%s|\n" label_width unit_name (Bytes.to_string row)))
+      units;
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s  0 .. %d cycles\n" label_width "" total);
+    Buffer.contents buf
+  end

@@ -1,0 +1,29 @@
+(** Cycle-level event trace of one IKAcc iteration.
+
+    Expands the analytic cycle model into explicit unit-occupancy
+    intervals — what a waveform viewer would show — for inspection,
+    schedule debugging, and as an independent cross-check of
+    {!Scheduler.iteration_cycles} (the tests assert the trace's makespan
+    equals the analytic count). *)
+
+type event = {
+  unit_name : string;  (** "SPU", "broadcast", "SSU-3", "select", ... *)
+  start_cycle : int;  (** inclusive *)
+  end_cycle : int;  (** exclusive; [end_cycle > start_cycle] *)
+  candidate : int option;  (** speculation index for SSU events *)
+}
+
+val iteration : Config.t -> dof:int -> speculations:int -> event list
+(** Events of one full Quick-IK iteration, in start order: the SPU serial
+    pass, then per scheduling round a broadcast, the parallel SSU searches,
+    and the selector fold. *)
+
+val makespan : event list -> int
+(** Largest [end_cycle] (0 for the empty trace). *)
+
+val busy_cycles : prefix:string -> event list -> int
+(** Total occupancy of units whose name starts with [prefix] (e.g. "SSU"). *)
+
+val render : ?width:int -> event list -> string
+(** ASCII Gantt chart, one row per unit, time left-to-right scaled into
+    [width] columns (default 72). *)

@@ -1,0 +1,10 @@
+open Dadu_linalg
+
+let buss ~j ~e ~dtheta_base =
+  let jjte = Mat.mul_vec j dtheta_base in
+  let jjte3 = Vec3.of_vec jjte in
+  let denom = Vec3.norm_sq jjte3 in
+  if denom < 1e-30 then 0. else Vec3.dot e jjte3 /. denom
+
+(* J·(Jᵀe): 3 rows × dof columns of multiply-add, then two 3-dots. *)
+let flops dof = (6 * dof) + 12

@@ -1,0 +1,16 @@
+open Dadu_linalg
+
+(** Step-size selection for the Jacobian-transpose family (paper Eq. 8).
+
+    Buss' near-optimal scalar minimizes [‖e − α·J·Jᵀ·e‖] exactly:
+    [α = ⟨e, JJᵀe⟩ / ⟨JJᵀe, JJᵀe⟩]. *)
+
+val buss : j:Mat.t -> e:Vec3.t -> dtheta_base:Vec.t -> float
+(** [buss ~j ~e ~dtheta_base] with [dtheta_base = Jᵀ·e] already computed
+    (every caller needs it anyway).  Returns 0 when [JJᵀe] is numerically
+    zero (singular pose with [e] in the null space) — the update then
+    leaves [θ] unchanged, exactly as the textbook method would. *)
+
+val flops : int -> int
+(** Flop count for a [dof]-column Jacobian (excludes computing
+    [dtheta_base]). *)

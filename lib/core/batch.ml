@@ -1,0 +1,36 @@
+module Pool = Dadu_util.Domain_pool
+
+type summary = {
+  results : Ik.result array;
+  converged : int;
+  mean_iterations : float;
+  mean_error : float;
+  wall_clock_s : float;
+}
+
+let solve ?pool ~solver problems =
+  let n = Array.length problems in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    match pool with
+    | None -> Array.map solver problems
+    | Some pool -> Pool.map pool (fun i -> solver problems.(i)) n
+  in
+  let wall_clock_s = Unix.gettimeofday () -. t0 in
+  let converged =
+    Array.fold_left
+      (fun acc r ->
+        match r.Ik.status with
+        | Ik.Converged -> acc + 1
+        | Ik.Max_iterations | Ik.Stalled -> acc)
+      0 results
+  in
+  let total f = Array.fold_left (fun acc r -> acc +. f r) 0. results in
+  let denom = float_of_int (Stdlib.max 1 n) in
+  {
+    results;
+    converged;
+    mean_iterations = total (fun r -> float_of_int r.Ik.iterations) /. denom;
+    mean_error = total (fun r -> r.Ik.error) /. denom;
+    wall_clock_s;
+  }

@@ -1,0 +1,43 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+(* Best rotation of joint i about its axis: project end-effector and
+   target (relative to the joint origin) onto the plane normal to the
+   axis; the optimal delta is the signed angle between the projections. *)
+let revolute_delta ~axis ~origin ~effector ~target =
+  let pe = Vec3.sub effector origin in
+  let pt = Vec3.sub target origin in
+  let pe_perp = Vec3.sub pe (Vec3.scale (Vec3.dot pe axis) axis) in
+  let pt_perp = Vec3.sub pt (Vec3.scale (Vec3.dot pt axis) axis) in
+  let ne = Vec3.norm pe_perp and nt = Vec3.norm pt_perp in
+  if ne < 1e-12 || nt < 1e-12 then 0.
+  else begin
+    let cosv = Vec3.dot pe_perp pt_perp /. (ne *. nt) in
+    let sinv = Vec3.dot axis (Vec3.cross pe_perp pt_perp) /. (ne *. nt) in
+    Float.atan2 sinv cosv
+  end
+
+let solve ?config (problem : Ik.problem) =
+  let { Ik.chain; target; _ } = problem in
+  let dof = Chain.dof chain in
+  let step { Loop.theta; _ } =
+    let theta = Vec.copy theta in
+    (* Sweep from the distal joint toward the base, refreshing frames after
+       every joint update (each update moves everything distal to it). *)
+    for i = dof - 1 downto 0 do
+      let frames = Fk.frames chain theta in
+      let effector = Mat4.position frames.(dof) in
+      let axis = Mat4.z_axis frames.(i) in
+      let origin = Mat4.position frames.(i) in
+      let { Chain.joint; _ } = Chain.link chain i in
+      let updated =
+        match joint.Joint.kind with
+        | Joint.Revolute ->
+          theta.(i) +. revolute_delta ~axis ~origin ~effector ~target
+        | Joint.Prismatic -> theta.(i) +. Vec3.dot axis (Vec3.sub target effector)
+      in
+      theta.(i) <- Joint.clamp joint updated
+    done;
+    { Loop.theta' = theta; sweeps = 0 }
+  in
+  Loop.run ?config ~speculations:1 ~step problem

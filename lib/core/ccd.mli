@@ -1,0 +1,9 @@
+(** Cyclic coordinate descent IK (paper's reference [4]; related work).
+
+    Sweeps the joints from the end effector toward the base; each joint is
+    set to the closed-form value that minimizes the end-effector-to-target
+    distance with all other joints frozen.  One {!Ik.result.iterations}
+    unit is a full sweep, so iteration counts are comparable with the
+    Jacobian family.  Joint limits are respected. *)
+
+val solve : Ik.solver

@@ -1,0 +1,77 @@
+open Dadu_kinematics
+
+type per_iteration = { serial_flops : float; parallel_flops : float }
+
+let total c = c.serial_flops +. c.parallel_flops
+
+let serial_only serial_flops = { serial_flops; parallel_flops = 0. }
+
+let fk_flops ~dof = float_of_int (Fk.flops_per_position dof)
+
+let frames_flops ~dof = fk_flops ~dof
+
+let jacobian_from_frames_flops ~dof = float_of_int (12 * dof)
+
+let jt_e_flops ~dof = float_of_int (6 * dof)
+
+let alpha_flops ~dof = float_of_int (Alpha.flops dof)
+
+let update_flops ~dof = float_of_int (2 * dof)
+
+let error_flops = 8.
+
+(* Shared serial prologue of every Jacobian-transpose iteration: FK frames,
+   error norm, Jacobian, Δθ_base = Jᵀe, α_base. *)
+let jt_prologue ~dof =
+  frames_flops ~dof +. error_flops
+  +. jacobian_from_frames_flops ~dof
+  +. jt_e_flops ~dof +. alpha_flops ~dof
+
+let jt_buss ~dof = serial_only (jt_prologue ~dof +. update_flops ~dof)
+
+let jt_serial ~dof =
+  serial_only (jt_prologue ~dof -. alpha_flops ~dof +. update_flops ~dof)
+
+let quick_ik ~dof ~speculations =
+  let per_candidate = update_flops ~dof +. fk_flops ~dof +. error_flops in
+  {
+    serial_flops = jt_prologue ~dof;
+    parallel_flops = float_of_int speculations *. per_candidate;
+  }
+
+(* One sweep over the 3 column pairs of the N×3 matrix: per pair three
+   length-N dots (6N), the column rotation (4N), and the 3×3 V rotation. *)
+let svd_sweep_flops ~dof = 3. *. ((10. *. float_of_int dof) +. 12.)
+
+let apply_pinv_flops ~dof = float_of_int ((12 * dof) + 9)
+
+let pinv_svd ~dof ~sweeps =
+  serial_only
+    (frames_flops ~dof +. error_flops
+    +. jacobian_from_frames_flops ~dof
+    +. (sweeps *. svd_sweep_flops ~dof)
+    +. apply_pinv_flops ~dof +. update_flops ~dof)
+
+let sdls ~dof ~sweeps =
+  (* Pseudoinverse application plus per-direction damping bookkeeping:
+     column norms (2N per column ≈ 6N) and three clamped accumulations. *)
+  let damping = float_of_int ((6 * dof) + (3 * ((4 * dof) + 6))) in
+  serial_only
+    (frames_flops ~dof +. error_flops
+    +. jacobian_from_frames_flops ~dof
+    +. (sweeps *. svd_sweep_flops ~dof)
+    +. damping +. update_flops ~dof)
+
+let dls ~dof =
+  let gram = float_of_int (12 * dof) in
+  let solve3 = 60. in
+  serial_only
+    (frames_flops ~dof +. error_flops
+    +. jacobian_from_frames_flops ~dof
+    +. gram +. solve3 +. jt_e_flops ~dof +. update_flops ~dof)
+
+let ccd ~dof =
+  (* Each joint update recomputes frames and does a constant amount of
+     projection work (two projections, two norms, one atan2 ≈ 40). *)
+  let per_joint = frames_flops ~dof +. 40. in
+  serial_only ((float_of_int dof *. per_joint) +. frames_flops ~dof +. error_flops)

@@ -1,0 +1,45 @@
+(** Analytic per-iteration operation counts for every solver.
+
+    The platform models (Atom/TX1 timing, Figure 5b's computation load)
+    need the floating-point work of each method as a function of DOF.
+    Counts follow the implementations in this library operation-for-
+    operation; tests cross-check the structural identities (e.g. Quick-IK's
+    serial part equals JT-Serial minus its update). *)
+
+type per_iteration = {
+  serial_flops : float;
+      (** work with sequential dependences — cannot be spread across
+          speculative candidates (Jacobian, [Δθ_base], [α_base], ...) *)
+  parallel_flops : float;
+      (** total work across all speculative candidates; independent per
+          candidate, so it divides by the available parallelism *)
+}
+
+val total : per_iteration -> float
+(** [serial_flops +. parallel_flops]. *)
+
+val fk_flops : dof:int -> float
+(** One forward-kinematics position evaluation. *)
+
+val jt_serial : dof:int -> per_iteration
+(** Fixed-α original transpose method (no per-iteration α recompute). *)
+
+val jt_buss : dof:int -> per_iteration
+(** Transpose method with Eq. 8 recomputed every iteration. *)
+
+val quick_ik : dof:int -> speculations:int -> per_iteration
+
+val pinv_svd : dof:int -> sweeps:float -> per_iteration
+(** [sweeps] is the average Jacobi sweeps per iteration, taken from
+    measured [Ik.result.svd_sweeps]. *)
+
+val sdls : dof:int -> sweeps:float -> per_iteration
+
+val dls : dof:int -> per_iteration
+
+val ccd : dof:int -> per_iteration
+(** One full sweep; our CCD refreshes frames after each joint update, so a
+    sweep is O(dof²). *)
+
+val svd_sweep_flops : dof:int -> float
+(** One one-sided-Jacobi sweep on the 3-column [Jᵀ]. *)

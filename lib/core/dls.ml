@@ -1,0 +1,16 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+let solve ?(lambda = 0.1) ?config (problem : Ik.problem) =
+  let step { Loop.theta; frames; e; _ } =
+    let j = Jacobian.position_jacobian_of_frames problem.Ik.chain frames in
+    let a = Mat.gram j in
+    let l2 = lambda *. lambda in
+    for i = 0 to 2 do
+      Mat.set a i i (Mat.get a i i +. l2)
+    done;
+    let y = Cholesky.solve a (Vec3.to_vec e) in
+    let dtheta = Mat.mul_transpose_vec j y in
+    { Loop.theta' = Vec.add theta dtheta; sweeps = 0 }
+  in
+  Loop.run ?config ~speculations:1 ~step problem

@@ -1,0 +1,8 @@
+(** Damped least squares (Levenberg–Marquardt-style) IK.
+
+    [Δθ = Jᵀ·(J·Jᵀ + λ²I)⁻¹·e]: the 3×3 system is solved by Cholesky, so
+    no SVD is needed.  A standard robust baseline between the transpose and
+    pseudoinverse methods (the paper's reference [11] discusses it). *)
+
+val solve : ?lambda:float -> Ik.solver
+(** [lambda] is the damping factor, default 0.1 (in task-space units). *)

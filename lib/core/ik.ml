@@ -1,0 +1,47 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+type problem = { chain : Chain.t; target : Vec3.t; theta0 : Vec.t }
+
+let problem ~chain ~target ~theta0 =
+  Chain.check_config chain theta0;
+  { chain; target; theta0 = Vec.copy theta0 }
+
+let random_problem rng chain =
+  let target = Target.reachable rng chain in
+  let theta0 = Target.random_config rng chain in
+  { chain; target; theta0 }
+
+type config = {
+  accuracy : float;
+  max_iterations : int;
+  stall_iterations : int option;
+}
+
+let default_config = { accuracy = 1e-2; max_iterations = 10_000; stall_iterations = None }
+
+type status = Converged | Max_iterations | Stalled
+
+type result = {
+  theta : Vec.t;
+  error : float;
+  iterations : int;
+  speculations : int;
+  status : status;
+  svd_sweeps : int;
+}
+
+let work r = r.speculations * r.iterations
+
+let error_of chain target theta = Vec3.dist target (Fk.position chain theta)
+
+let pp_status ppf = function
+  | Converged -> Format.pp_print_string ppf "converged"
+  | Max_iterations -> Format.pp_print_string ppf "max-iterations"
+  | Stalled -> Format.pp_print_string ppf "stalled"
+
+let pp_result ppf r =
+  Format.fprintf ppf "%a in %d iters (err %.3g, %d specs)" pp_status r.status
+    r.iterations r.error r.speculations
+
+type solver = ?config:config -> problem -> result

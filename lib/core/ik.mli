@@ -1,0 +1,64 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+(** Shared inverse-kinematics types: problems, configuration, results.
+
+    All solvers in this library share the same termination contract so
+    their iteration counts are comparable (the paper's Figures 4–5 compare
+    iteration counts across methods): stop when the end-effector position
+    error drops below [accuracy], when [max_iterations] is reached, or —
+    optionally — when no candidate has improved the error for
+    [stall_iterations] consecutive iterations. *)
+
+type problem = {
+  chain : Chain.t;
+  target : Vec3.t;
+  theta0 : Vec.t;  (** initial joint configuration *)
+}
+
+val problem : chain:Chain.t -> target:Vec3.t -> theta0:Vec.t -> problem
+(** Validates that [theta0] matches the chain's DOF. *)
+
+val random_problem : Dadu_util.Rng.t -> Chain.t -> problem
+(** Reachable target and random initial configuration, both drawn from the
+    generator — the paper's per-target setup (Algorithm 1 line 1). *)
+
+type config = {
+  accuracy : float;  (** position tolerance in meters; paper: 1e-2 *)
+  max_iterations : int;  (** iteration cap; paper: 10_000 *)
+  stall_iterations : int option;
+      (** early stop after this many non-improving iterations; [None]
+          reproduces the paper exactly *)
+}
+
+val default_config : config
+(** [{accuracy = 1e-2; max_iterations = 10_000; stall_iterations = None}] —
+    the paper's §6.1 accuracy constraint. *)
+
+type status =
+  | Converged
+  | Max_iterations
+  | Stalled
+
+type result = {
+  theta : Vec.t;  (** final joint configuration *)
+  error : float;  (** final [‖X_t − f(θ)‖] *)
+  iterations : int;  (** outer iterations executed *)
+  speculations : int;  (** candidates evaluated per iteration (1 = serial) *)
+  status : status;
+  svd_sweeps : int;  (** total Jacobi sweeps (pseudoinverse methods only) *)
+}
+
+val work : result -> int
+(** [speculations × iterations] — the paper's Figure 5(b) computation-load
+    metric. *)
+
+val error_of : Chain.t -> Vec3.t -> Vec.t -> float
+(** [‖target − f(θ)‖]. *)
+
+val pp_status : Format.formatter -> status -> unit
+
+val pp_result : Format.formatter -> result -> unit
+
+type solver = ?config:config -> problem -> result
+(** Common solver shape; every module in this library exports one. *)

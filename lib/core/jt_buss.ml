@@ -1,0 +1,11 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+let solve ?on_iteration ?config (problem : Ik.problem) =
+  let step { Loop.theta; frames; e; _ } =
+    let j = Jacobian.position_jacobian_of_frames problem.Ik.chain frames in
+    let dtheta_base = Mat.mul_transpose_vec j (Vec3.to_vec e) in
+    let alpha = Alpha.buss ~j ~e ~dtheta_base in
+    { Loop.theta' = Vec.axpy alpha dtheta_base theta; sweeps = 0 }
+  in
+  Loop.run ?config ?on_iteration ~speculations:1 ~step problem

@@ -1,0 +1,9 @@
+(** Jacobian transpose with Buss' adaptive scalar (Eq. 8) — ablation.
+
+    Equivalent to Quick-IK with a single speculation fixed at [k = Max]:
+    every iteration steps by [α_base·Jᵀ·e].  Isolates how much of
+    Quick-IK's gain comes from the adaptive base scalar alone versus the
+    speculative search around it (see the ablation bench and
+    EXPERIMENTS.md). *)
+
+val solve : ?on_iteration:(iter:int -> err:float -> unit) -> Ik.solver

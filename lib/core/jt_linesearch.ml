@@ -1,0 +1,57 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+let golden = (sqrt 5. -. 1.) /. 2.
+
+(* Golden-section minimization of f over [0, hi] with a fixed evaluation
+   budget; returns the best argument probed. *)
+let golden_section ~budget f hi =
+  let a = ref 0. and b = ref hi in
+  let x1 = ref (!b -. (golden *. (!b -. !a))) in
+  let x2 = ref (!a +. (golden *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  let remaining = ref (budget - 2) in
+  while !remaining > 0 do
+    if !f1 < !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (golden *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (golden *. (!b -. !a));
+      f2 := f !x2
+    end;
+    decr remaining
+  done;
+  if !f1 < !f2 then (!x1, !f1) else (!x2, !f2)
+
+let solve ?(evaluations = 20) ?(range = 1.0) ?on_iteration ?config (problem : Ik.problem) =
+  if evaluations < 2 then
+    invalid_arg "Jt_linesearch.solve: need at least 2 evaluations";
+  if range <= 0. then invalid_arg "Jt_linesearch.solve: range must be positive";
+  let { Ik.chain; target; _ } = problem in
+  let scratch = Fk.make_scratch () in
+  let step { Loop.theta; frames; e; err; _ } =
+    let j = Jacobian.position_jacobian_of_frames chain frames in
+    let dtheta_base = Mat.mul_transpose_vec j (Vec3.to_vec e) in
+    let alpha_base = Alpha.buss ~j ~e ~dtheta_base in
+    if alpha_base = 0. then { Loop.theta' = theta; sweeps = 0 }
+    else begin
+      let error_at alpha =
+        let cand = Vec.axpy alpha dtheta_base theta in
+        Vec3.dist target (Fk.position ~scratch chain cand)
+      in
+      let best_alpha, best_err =
+        golden_section ~budget:evaluations error_at (range *. alpha_base)
+      in
+      (* never regress: α = 0 keeps the current error *)
+      if best_err < err then { Loop.theta' = Vec.axpy best_alpha dtheta_base theta; sweeps = 0 }
+      else { Loop.theta' = theta; sweeps = 0 }
+    end
+  in
+  Loop.run ?config ?on_iteration ~speculations:evaluations ~step problem

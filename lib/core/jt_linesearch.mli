@@ -1,0 +1,23 @@
+(** Jacobian transpose with an exact sequential line search — the software
+    competitor to Quick-IK's parallel speculation.
+
+    Quick-IK evaluates [Max] candidate steps in parallel and keeps the
+    best; a serial solver would instead run a 1-D minimization of the true
+    error [‖X_t − f(θ + α·Δθ_base)‖] over [α].  This solver does exactly
+    that with golden-section search.  Per iteration it converges to the
+    best step with ~[log(1/precision)] *sequential* FK evaluations — so it
+    matches (or beats) Quick-IK's iteration count while being impossible
+    to finish in one hardware round: precisely the serial-vs-speculative
+    trade the paper's architecture exploits.  [Ik.result.speculations]
+    reports the FK evaluations per iteration so Figure-5b-style work
+    comparisons remain meaningful. *)
+
+val solve :
+  ?evaluations:int ->
+  ?range:float ->
+  ?on_iteration:(iter:int -> err:float -> unit) ->
+  Ik.solver
+(** [evaluations] is the FK-evaluation budget per line search (default 20
+    ≈ 1e-4 relative precision); [range] the search interval upper bound as
+    a multiple of [α_base] (default 1.0, matching Quick-IK's Eq. 9
+    interval). *)

@@ -1,0 +1,44 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+(* r_i = sum of link extents distal to joint i; a revolute column's norm
+   ‖z × (p_end − p_i)‖ never exceeds it, and a prismatic column has unit
+   norm, also bounded when links are at least that long.  Then
+   λ_max(JJᵀ) ≤ tr(JJᵀ) = Σ‖J_i‖² ≤ Σ r_i². *)
+let stability_bound chain =
+  let links = Chain.links chain in
+  let n = Array.length links in
+  let bound = ref 0. in
+  let distal = ref 0. in
+  for i = n - 1 downto 0 do
+    let { Chain.joint; dh; _ } = links.(i) in
+    let travel =
+      match joint.Joint.kind with
+      | Joint.Revolute -> 0.
+      | Joint.Prismatic ->
+        if Joint.unbounded joint then 1.
+        else Float.max (Float.abs joint.Joint.lower) (Float.abs joint.Joint.upper)
+    in
+    distal := !distal +. Float.abs dh.Dh.a +. Float.abs dh.Dh.d +. travel;
+    let column_bound =
+      match joint.Joint.kind with Joint.Revolute -> !distal | Joint.Prismatic -> 1.
+    in
+    bound := !bound +. (column_bound *. column_bound)
+  done;
+  !bound
+
+let solve ?alpha ?(gain = 1.0) ?on_iteration ?config (problem : Ik.problem) =
+  let { Ik.chain; _ } = problem in
+  let alpha =
+    match alpha with
+    | Some a -> a
+    | None ->
+      let bound = stability_bound chain in
+      if bound < 1e-12 then gain else gain /. bound
+  in
+  let step { Loop.theta; frames; e; _ } =
+    let j = Jacobian.position_jacobian_of_frames chain frames in
+    let dtheta_base = Mat.mul_transpose_vec j (Vec3.to_vec e) in
+    { Loop.theta' = Vec.axpy alpha dtheta_base theta; sweeps = 0 }
+  in
+  Loop.run ?config ?on_iteration ~speculations:1 ~step problem

@@ -1,0 +1,22 @@
+(** The original Jacobian-transpose IK method — the paper's "JT-Serial"
+    baseline (§3, Eq. 7; Wolovich & Elliott 1984).
+
+    Steps by [Δθ = α·Jᵀ·e] with a *fixed* scalar [α].  Gradient descent on
+    [‖e‖²] is stable only for [α < 2/λ_max(J·Jᵀ)], and a fixed scalar must
+    satisfy that bound at {e every pose the solve visits}, so it has to be
+    chosen against the workspace-wide worst case.  That worst-case bound
+    grows cubically with DOF for a serial chain — which is exactly why the
+    original method needs the enormous, DOF-exploding iteration counts the
+    paper sets out to eliminate (Figure 5a's JT-Serial bars saturating at
+    the 10 k cap). *)
+
+val stability_bound : Dadu_kinematics.Chain.t -> float
+(** Workspace-wide upper bound on [λ_max(J·Jᵀ)]:
+    [Σᵢ rᵢ²] where [rᵢ] is the maximum distance from joint [i]'s axis to
+    the end effector (sum of distal link extents).  [λ_max ≤ tr(JJᵀ) =
+    Σᵢ‖Jᵢ‖² ≤ Σᵢ rᵢ²] at every configuration. *)
+
+val solve : ?alpha:float -> ?gain:float -> ?on_iteration:(iter:int -> err:float -> unit) -> Ik.solver
+(** If [alpha] is given it is used verbatim.  Otherwise
+    [α = gain / stability_bound chain]; any [gain < 2] is provably stable
+    everywhere, and the default [gain = 1.0] keeps a ×2 margin. *)

@@ -1,0 +1,41 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+type step_input = {
+  iter : int;
+  theta : Vec.t;
+  frames : Mat4.t array;
+  e : Vec3.t;
+  err : float;
+}
+
+type step_output = { theta' : Vec.t; sweeps : int }
+
+let run ?(config = Ik.default_config) ?(on_iteration = fun ~iter:_ ~err:_ -> ())
+    ~speculations ~step (problem : Ik.problem) =
+  let { Ik.chain; target; theta0 } = problem in
+  let dof = Chain.dof chain in
+  let finish status ~theta ~err ~iter ~sweeps =
+    { Ik.theta; error = err; iterations = iter; speculations; status; svd_sweeps = sweeps }
+  in
+  let rec go theta iter sweeps best_err stalled_for =
+    let frames = Fk.frames chain theta in
+    let x = Mat4.position frames.(dof) in
+    let e = Vec3.sub target x in
+    let err = Vec3.norm e in
+    on_iteration ~iter ~err;
+    if err < config.Ik.accuracy then finish Ik.Converged ~theta ~err ~iter ~sweeps
+    else if iter >= config.Ik.max_iterations then
+      finish Ik.Max_iterations ~theta ~err ~iter ~sweeps
+    else begin
+      let improving = err < best_err -. 1e-15 in
+      let stalled_for = if improving then 0 else stalled_for + 1 in
+      match config.Ik.stall_iterations with
+      | Some limit when stalled_for >= limit ->
+        finish Ik.Stalled ~theta ~err ~iter ~sweeps
+      | Some _ | None ->
+        let { theta'; sweeps = used } = step { iter; theta; frames; e; err } in
+        go theta' (iter + 1) (sweeps + used) (Float.min best_err err) stalled_for
+    end
+  in
+  go (Vec.copy theta0) 0 0 infinity 0

@@ -1,0 +1,36 @@
+open Dadu_linalg
+
+(** Shared iteration driver for all IK solvers.
+
+    Centralizes the termination contract (accuracy check, iteration cap,
+    stall detection) so every solver counts iterations identically — the
+    precondition for the paper's cross-method iteration comparisons. *)
+
+type step_input = {
+  iter : int;  (** 0-based index of the current iteration *)
+  theta : Vec.t;  (** current configuration (do not mutate) *)
+  frames : Mat4.t array;  (** cumulative transforms at [theta] *)
+  e : Vec3.t;  (** position error vector [X_t − f(θ)] *)
+  err : float;  (** [‖e‖] *)
+}
+
+type step_output = {
+  theta' : Vec.t;  (** next configuration *)
+  sweeps : int;  (** SVD sweeps consumed by this step (0 if none) *)
+}
+
+val run :
+  ?config:Ik.config ->
+  ?on_iteration:(iter:int -> err:float -> unit) ->
+  speculations:int ->
+  step:(step_input -> step_output) ->
+  Ik.problem ->
+  Ik.result
+(** Runs [step] until the error at the top of an iteration is below
+    [config.accuracy], the cap is hit, or — when [stall_iterations] is set
+    — the error has not improved for that many consecutive iterations.
+    [Ik.result.iterations] is the number of [step] calls executed.
+
+    [on_iteration] observes the error at the top of every iteration
+    (including the final one that terminates the loop) — used by the
+    convergence-profile experiment; it must not mutate solver state. *)

@@ -1,0 +1,101 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+type point_task = { link : int; target : Vec3.t; weight : float }
+
+type problem = { chain : Chain.t; tasks : point_task list; theta0 : Vec.t }
+
+let problem ~chain ~tasks ~theta0 =
+  Chain.check_config chain theta0;
+  if tasks = [] then invalid_arg "Multitask.problem: no tasks";
+  List.iter
+    (fun { link; weight; _ } ->
+      if link < 1 || link > Chain.dof chain then
+        invalid_arg
+          (Printf.sprintf "Multitask.problem: link %d outside [1, %d]" link
+             (Chain.dof chain));
+      if weight <= 0. then invalid_arg "Multitask.problem: weight must be positive")
+    tasks;
+  { chain; tasks; theta0 = Vec.copy theta0 }
+
+type result = {
+  theta : Vec.t;
+  errors : float list;
+  iterations : int;
+  converged : bool;
+}
+
+let point_position chain theta ~link =
+  let frames = Fk.frames chain theta in
+  Mat4.position frames.(link)
+
+(* One task block: the position Jacobian of the frame after [link] links —
+   joints at or beyond the control point cannot move it. *)
+let task_block chain frames ~link =
+  let n = Chain.dof chain in
+  let p = Mat4.position frames.(link) in
+  let block = Mat.create 3 n in
+  for i = 0 to link - 1 do
+    let { Chain.joint; _ } = Chain.link chain i in
+    let z = Mat4.z_axis frames.(i) in
+    let column =
+      match joint.Joint.kind with
+      | Joint.Revolute -> Vec3.cross z (Vec3.sub p (Mat4.position frames.(i)))
+      | Joint.Prismatic -> z
+    in
+    Mat.set block 0 i column.Vec3.x;
+    Mat.set block 1 i column.Vec3.y;
+    Mat.set block 2 i column.Vec3.z
+  done;
+  block
+
+let stacked_jacobian chain theta ~tasks =
+  let n = Chain.dof chain in
+  let frames = Fk.frames chain theta in
+  let k = List.length tasks in
+  let j = Mat.create (3 * k) n in
+  List.iteri
+    (fun t { link; weight; _ } ->
+      let block = task_block chain frames ~link in
+      for row = 0 to 2 do
+        for col = 0 to n - 1 do
+          Mat.set j ((3 * t) + row) col (weight *. Mat.get block row col)
+        done
+      done)
+    tasks;
+  j
+
+let solve ?(accuracy = 1e-2) ?(max_iterations = 10_000) ?(lambda = 0.1)
+    ({ chain; tasks; theta0 } : problem) =
+  let k = List.length tasks in
+  let rec go theta iteration =
+    let frames = Fk.frames chain theta in
+    let errors =
+      List.map
+        (fun { link; target; _ } -> Vec3.dist target (Mat4.position frames.(link)))
+        tasks
+    in
+    let converged = List.for_all (fun e -> e < accuracy) errors in
+    if converged || iteration >= max_iterations then
+      { theta; errors; iterations = iteration; converged }
+    else begin
+      let e = Vec.create (3 * k) in
+      List.iteri
+        (fun t { link; target; weight } ->
+          let d = Vec3.sub target (Mat4.position frames.(link)) in
+          e.((3 * t) + 0) <- weight *. d.Vec3.x;
+          e.((3 * t) + 1) <- weight *. d.Vec3.y;
+          e.((3 * t) + 2) <- weight *. d.Vec3.z)
+        tasks;
+      let j = stacked_jacobian chain theta ~tasks in
+      let a = Mat.gram j in
+      let l2 = lambda *. lambda in
+      for i = 0 to (3 * k) - 1 do
+        Mat.set a i i (Mat.get a i i +. l2)
+      done;
+      let y = Cholesky.solve a e in
+      let dtheta = Mat.mul_transpose_vec j y in
+      go (Vec.add theta dtheta) (iteration + 1)
+    end
+  in
+  go (Vec.copy theta0) 0

@@ -1,0 +1,48 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+(** Multi-point position tasks: several control points on one chain.
+
+    The paper's related work dismisses CCD because it handles "only one
+    end-effector"; the Jacobian family generalizes naturally — stack one
+    3-row position Jacobian per control point and solve the joint system.
+    This is the core of whole-body control: e.g. a snake robot holding its
+    midpoint over a support while the tip reaches a goal. *)
+
+type point_task = {
+  link : int;
+      (** control point = origin of the frame after this many links
+          ([link = dof] is the end effector, [link = dof/2] mid-chain);
+          must be in [\[1, dof\]] *)
+  target : Vec3.t;
+  weight : float;  (** relative importance; must be positive *)
+}
+
+type problem = {
+  chain : Chain.t;
+  tasks : point_task list;  (** at least one *)
+  theta0 : Vec.t;
+}
+
+val problem : chain:Chain.t -> tasks:point_task list -> theta0:Vec.t -> problem
+(** Validates link indices, weights, and the start configuration. *)
+
+type result = {
+  theta : Vec.t;
+  errors : float list;  (** final per-task position errors, task order *)
+  iterations : int;
+  converged : bool;  (** every task within [accuracy] *)
+}
+
+val point_position : Chain.t -> Vec.t -> link:int -> Vec3.t
+(** Position of a control point at a configuration. *)
+
+val stacked_jacobian : Chain.t -> Vec.t -> tasks:point_task list -> Mat.t
+(** The [3k×N] weighted task Jacobian (rows of task [t] scaled by its
+    weight); joints distal to a control point get zero columns in its
+    block. *)
+
+val solve :
+  ?accuracy:float -> ?max_iterations:int -> ?lambda:float -> problem -> result
+(** Damped least squares on the stacked system.  [accuracy] defaults to
+    1e-2 m (per task), [max_iterations] to 10 000, [lambda] to 0.1. *)

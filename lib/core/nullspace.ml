@@ -1,0 +1,90 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+type objective =
+  | Joint_centering
+  | Reference of Vec.t
+  | Custom of (Vec.t -> Vec.t)
+
+let centering_target (joint : Joint.t) =
+  if Joint.unbounded joint then 0.
+  else (joint.Joint.lower +. joint.Joint.upper) /. 2.
+
+let objective_gradient objective chain theta =
+  match objective with
+  | Joint_centering ->
+    Array.mapi
+      (fun i qi -> centering_target (Chain.link chain i).Chain.joint -. qi)
+      theta
+  | Reference reference ->
+    Chain.check_config chain reference;
+    Vec.sub reference theta
+  | Custom f ->
+    let z = f theta in
+    Chain.check_config chain z;
+    z
+
+let half_span (joint : Joint.t) =
+  if Joint.unbounded joint then Float.pi else Joint.span joint /. 2.
+
+let comfort chain theta =
+  Chain.check_config chain theta;
+  let n = Chain.dof chain in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    let joint = (Chain.link chain i).Chain.joint in
+    let d = (theta.(i) -. centering_target joint) /. half_span joint in
+    acc := !acc +. (d *. d)
+  done;
+  !acc /. float_of_int n
+
+(* Solve (JJᵀ + λ²I) y = rhs once per application; shared by the task step
+   and the nullspace projection. *)
+let damped_gram_solve j lambda rhs =
+  let a = Mat.gram j in
+  let rows, _ = Mat.dims j in
+  let l2 = lambda *. lambda in
+  for i = 0 to rows - 1 do
+    Mat.set a i i (Mat.get a i i +. l2)
+  done;
+  Cholesky.solve a rhs
+
+let solve ?(lambda = 0.1) ?(nullspace_gain = 0.1) ~objective ?config
+    (problem : Ik.problem) =
+  let { Ik.chain; _ } = problem in
+  let step { Loop.theta; frames; e; _ } =
+    let j = Jacobian.position_jacobian_of_frames chain frames in
+    (* task step: Δθ_task = Jᵀ(JJᵀ + λ²)⁻¹ e *)
+    let y = damped_gram_solve j lambda (Vec3.to_vec e) in
+    let dtheta_task = Mat.mul_transpose_vec j y in
+    (* secondary step projected into the nullspace:
+       z_proj = z − Jᵀ(JJᵀ + λ²)⁻¹ J z *)
+    let z = objective_gradient objective chain theta in
+    let jz = Mat.mul_vec j z in
+    let y2 = damped_gram_solve j lambda jz in
+    let z_proj = Vec.sub z (Mat.mul_transpose_vec j y2) in
+    let theta' = Vec.add theta dtheta_task in
+    Vec.add_inplace theta' (Vec.scale nullspace_gain z_proj);
+    { Loop.theta' ; sweeps = 0 }
+  in
+  Loop.run ?config ~speculations:1 ~step problem
+
+let optimize ?(iterations = 100) ?(gain = 0.05) ?(lambda = 0.05) ~objective chain
+    ~target ~theta =
+  if iterations < 0 then invalid_arg "Nullspace.optimize: negative iterations";
+  let theta = ref (Vec.copy theta) in
+  for _ = 1 to iterations do
+    let j = Jacobian.position_jacobian chain !theta in
+    (* projected secondary step *)
+    let z = objective_gradient objective chain !theta in
+    let jz = Mat.mul_vec j z in
+    let y = damped_gram_solve j lambda jz in
+    let z_proj = Vec.sub z (Mat.mul_transpose_vec j y) in
+    Vec.add_inplace !theta (Vec.scale gain z_proj);
+    (* task re-correction keeps the end effector pinned *)
+    let e = Vec3.sub target (Fk.position chain !theta) in
+    let j' = Jacobian.position_jacobian chain !theta in
+    let y' = damped_gram_solve j' lambda (Vec3.to_vec e) in
+    Vec.add_inplace !theta (Mat.mul_transpose_vec j' y')
+  done;
+  !theta

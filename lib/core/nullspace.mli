@@ -1,0 +1,52 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+(** Redundancy resolution: exploit the extra DOF of high-DOF chains.
+
+    A 100-joint manipulator reaching a 3-D position has a 97-dimensional
+    self-motion manifold; this solver spends it on a secondary objective
+    by projecting the objective's gradient into the Jacobian's nullspace:
+    [Δθ = J⁺e + γ·(I − J⁺J)·z].  The task error converges exactly as in
+    plain damped least squares; the secondary objective only reshapes the
+    arm within the solution manifold. *)
+
+type objective =
+  | Joint_centering
+      (** pull every limited joint toward the middle of its travel
+          (unbounded joints toward 0) *)
+  | Reference of Vec.t
+      (** pull toward a preferred configuration (dimension must match) *)
+  | Custom of (Vec.t -> Vec.t)
+      (** arbitrary gradient [z(θ)]; must return a [dof]-vector *)
+
+val objective_gradient : objective -> Chain.t -> Vec.t -> Vec.t
+(** The raw secondary gradient [z(θ)] (before projection). *)
+
+val comfort : Chain.t -> Vec.t -> float
+(** Mean squared normalized distance from each limited joint to its travel
+    center (0 = all centered, 1 = all at their limits); the metric
+    [Joint_centering] descends.  Unbounded joints measure distance from 0
+    against a π half-span. *)
+
+val solve :
+  ?lambda:float -> ?nullspace_gain:float -> objective:objective -> Ik.solver
+(** Damped-least-squares task step plus projected secondary step.
+    [lambda] defaults to 0.1, [nullspace_gain] to 0.1 (per-iteration step
+    along the projected gradient). *)
+
+val optimize :
+  ?iterations:int ->
+  ?gain:float ->
+  ?lambda:float ->
+  objective:objective ->
+  Chain.t ->
+  target:Vec3.t ->
+  theta:Vec.t ->
+  Vec.t
+(** Pure self-motion: starting from a configuration that already solves
+    the task, walk [iterations] (default 100) steps of size [gain]
+    (default 0.05) along the objective's nullspace-projected gradient,
+    re-correcting the task error after each step so the end effector never
+    drifts.  Unlike {!solve} — which stops the moment the task converges —
+    this keeps optimizing at a held task point.  Returns the improved
+    configuration. *)

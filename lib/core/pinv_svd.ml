@@ -1,0 +1,16 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+let clamp_max_abs limit v =
+  let worst = Vec.max_abs v in
+  if worst > limit then Vec.scale (limit /. worst) v else v
+
+let solve ?(rcond = 1e-6) ?(max_step = 0.5) ?on_iteration ?config (problem : Ik.problem) =
+  let step { Loop.theta; frames; e; _ } =
+    let j = Jacobian.position_jacobian_of_frames problem.Ik.chain frames in
+    let svd = Svd.decompose j in
+    let dtheta = Svd.apply_pinv ~rcond svd (Vec3.to_vec e) in
+    let dtheta = if Float.is_finite max_step then clamp_max_abs max_step dtheta else dtheta in
+    { Loop.theta' = Vec.add theta dtheta; sweeps = svd.Svd.sweeps }
+  in
+  Loop.run ?config ?on_iteration ~speculations:1 ~step problem

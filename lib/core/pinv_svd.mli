@@ -1,0 +1,15 @@
+(** Pseudoinverse IK via SVD (paper's "J⁻¹-SVD" baseline, §3).
+
+    Newton-style update [Δθ = J⁺·e] with the Moore–Penrose pseudoinverse
+    computed through a one-sided-Jacobi SVD each iteration — the method of
+    the KDL solver in ROS that the paper benchmarks against.  Converges in
+    few iterations but each iteration pays the (serial) SVD.
+    [Ik.result.svd_sweeps] accumulates the Jacobi sweeps so the cost models
+    can charge them. *)
+
+val solve : ?rcond:float -> ?max_step:float -> ?on_iteration:(iter:int -> err:float -> unit) -> Ik.solver
+(** [rcond] (default 1e-6) is the relative singular-value cutoff —
+    effectively a numerical-damping knob near singular poses.  [max_step]
+    (default [0.5]) caps [‖Δθ‖∞] per iteration; the linearization [Eq. 4]
+    only holds locally, and an uncapped Newton step from a random start
+    can diverge on deep chains.  Pass [infinity] to disable. *)

@@ -1,0 +1,60 @@
+open Dadu_util
+open Dadu_linalg
+open Dadu_kinematics
+
+type strategy = Uniform | Log_spaced | Extended of float
+
+type mode = Sequential | Parallel of Domain_pool.t
+
+let candidate_alpha strategy ~speculations ~alpha_base k =
+  let max = float_of_int speculations in
+  let kf = float_of_int (k + 1) in
+  match strategy with
+  | Uniform -> kf /. max *. alpha_base
+  | Extended factor -> kf /. max *. factor *. alpha_base
+  | Log_spaced ->
+    if speculations = 1 then alpha_base
+    else begin
+      (* Geometric ladder with the same endpoints as Uniform:
+         α_min = α_base/Max, α_max = α_base. *)
+      let ratio = (1. /. max) ** (1. /. (max -. 1.)) in
+      alpha_base *. (ratio ** (max -. kf))
+    end
+
+let solve ?(speculations = 64) ?(strategy = Uniform) ?(mode = Sequential) ?on_iteration ?config
+    (problem : Ik.problem) =
+  if speculations <= 0 then invalid_arg "Quick_ik.solve: speculations must be positive";
+  let { Ik.chain; target; _ } = problem in
+  let dof = Chain.dof chain in
+  (* Per-candidate buffers, reused across iterations; each candidate owns
+     its FK scratch so parallel evaluation never shares mutable state. *)
+  let cand_theta = Array.init speculations (fun _ -> Vec.create dof) in
+  let cand_err = Array.make speculations infinity in
+  let scratches = Array.init speculations (fun _ -> Fk.make_scratch ()) in
+  let step { Loop.theta; frames; e; _ } =
+    let j = Jacobian.position_jacobian_of_frames chain frames in
+    let dtheta_base = Mat.mul_transpose_vec j (Vec3.to_vec e) in
+    let alpha_base = Alpha.buss ~j ~e ~dtheta_base in
+    if alpha_base = 0. then { Loop.theta' = theta; sweeps = 0 }
+    else begin
+      let evaluate k =
+        let alpha = candidate_alpha strategy ~speculations ~alpha_base k in
+        Vec.axpy_into ~dst:cand_theta.(k) alpha dtheta_base theta;
+        let x = Fk.position ~scratch:scratches.(k) chain cand_theta.(k) in
+        cand_err.(k) <- Vec3.dist target x
+      in
+      (match mode with
+      | Sequential ->
+        for k = 0 to speculations - 1 do
+          evaluate k
+        done
+      | Parallel pool -> Domain_pool.parallel_for pool speculations evaluate);
+      (* Algorithm 1 line 16: minimum error, ties toward smaller k. *)
+      let best = ref 0 in
+      for k = 1 to speculations - 1 do
+        if cand_err.(k) < cand_err.(!best) then best := k
+      done;
+      { Loop.theta' = Vec.copy cand_theta.(!best); sweeps = 0 }
+    end
+  in
+  Loop.run ?config ?on_iteration ~speculations ~step problem

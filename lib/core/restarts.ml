@@ -1,0 +1,29 @@
+open Dadu_kinematics
+
+type outcome = { result : Ik.result; attempts : int; total_iterations : int }
+
+let solve rng ?(max_attempts = 5) ~solver (problem : Ik.problem) =
+  if max_attempts <= 0 then invalid_arg "Restarts.solve: max_attempts must be positive";
+  let rec go attempt total_iterations best =
+    let problem =
+      if attempt = 1 then problem
+      else { problem with Ik.theta0 = Target.random_config rng problem.Ik.chain }
+    in
+    let result = solver problem in
+    let total_iterations = total_iterations + result.Ik.iterations in
+    let best =
+      match best with
+      | Some (prev : Ik.result) when prev.Ik.error <= result.Ik.error -> Some prev
+      | Some _ | None -> Some result
+    in
+    match result.Ik.status with
+    | Ik.Converged -> { result; attempts = attempt; total_iterations }
+    | Ik.Max_iterations | Ik.Stalled ->
+      if attempt >= max_attempts then begin
+        match best with
+        | Some result -> { result; attempts = attempt; total_iterations }
+        | None -> assert false
+      end
+      else go (attempt + 1) total_iterations best
+  in
+  go 1 0 None

@@ -1,0 +1,25 @@
+(** Random-restart wrapper.
+
+    IK from a random start can land in a local minimum (CCD is especially
+    prone; the transpose family stalls near singular folds).  The paper's
+    protocol draws one random start per target; this wrapper retries with
+    fresh starts until a solve converges, which is how a production solver
+    wraps any of the methods here. *)
+
+type outcome = {
+  result : Ik.result;
+  attempts : int;  (** starts consumed, 1..max_attempts *)
+  total_iterations : int;  (** summed over every attempt (honest cost) *)
+}
+
+val solve :
+  Dadu_util.Rng.t ->
+  ?max_attempts:int ->
+  solver:(Ik.problem -> Ik.result) ->
+  Ik.problem ->
+  outcome
+(** [solve rng ~solver problem] tries [problem] as given, then up to
+    [max_attempts − 1] (default 5 total) more times with freshly sampled
+    start configurations (the target never changes).  Returns the first
+    converged outcome, or — if none converge — the attempt with the
+    smallest final error. *)

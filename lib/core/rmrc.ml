@@ -1,0 +1,53 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+type sample = { time : float; theta : Vec.t; position : Vec3.t; error : float }
+
+type trace = {
+  samples : sample array;
+  max_error_after_settle : float;
+  final_error : float;
+}
+
+let clamp_rates limit v =
+  Array.map (fun x -> Float.min limit (Float.max (-.limit) x)) v
+
+let follow ?(dt = 0.01) ?(gain = 4.0) ?(lambda = 0.05) ?(joint_rate_limit = 10.)
+    ~chain ~theta0 ~duration target =
+  if dt <= 0. then invalid_arg "Rmrc.follow: dt must be positive";
+  if duration < dt then invalid_arg "Rmrc.follow: duration shorter than one tick";
+  Chain.check_config chain theta0;
+  let ticks = int_of_float (Float.round (duration /. dt)) + 1 in
+  let theta = ref (Vec.copy theta0) in
+  let samples =
+    Array.init ticks (fun i ->
+        let time = float_of_int i *. dt in
+        let position = Fk.position chain !theta in
+        let goal = target time in
+        let error = Vec3.dist goal position in
+        let sample = { time; theta = Vec.copy !theta; position; error } in
+        (* command for the next interval *)
+        let feedforward =
+          Vec3.scale (1. /. dt) (Vec3.sub (target (time +. dt)) goal)
+        in
+        let desired =
+          Vec3.add feedforward (Vec3.scale gain (Vec3.sub goal position))
+        in
+        let j = Jacobian.position_jacobian chain !theta in
+        let svd = Svd.decompose j in
+        let rates = Svd.apply_damped ~lambda svd (Vec3.to_vec desired) in
+        let rates = clamp_rates joint_rate_limit rates in
+        theta := Vec.axpy dt rates !theta;
+        sample)
+  in
+  let settle_from = Array.length samples / 2 in
+  let max_error_after_settle =
+    Array.fold_left
+      (fun acc s -> if s.time >= float_of_int settle_from *. dt then Float.max acc s.error else acc)
+      0. samples
+  in
+  {
+    samples;
+    max_error_after_settle;
+    final_error = samples.(Array.length samples - 1).error;
+  }

@@ -1,0 +1,44 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+(** Resolved motion rate control — Whitney 1969, the paper's reference [5]
+    and the origin of the Jacobian-IK family.
+
+    Velocity-level control: at each tick the joint rates are
+    [θ̇ = J⁺_λ·(ẋ_d + k_p·e)] — the damped pseudoinverse maps the desired
+    task velocity plus a proportional error correction into joint space —
+    and the configuration integrates forward by one time step.  Where the
+    position-level solvers answer "what angles reach X", RMRC answers
+    "how do I move smoothly as X moves". *)
+
+type sample = {
+  time : float;
+  theta : Vec.t;
+  position : Vec3.t;  (** actual end-effector position at [time] *)
+  error : float;  (** distance to the moving target at [time] *)
+}
+
+type trace = {
+  samples : sample array;  (** one per tick, in time order *)
+  max_error_after_settle : float;
+      (** worst tracking error in the second half of the run *)
+  final_error : float;
+}
+
+val follow :
+  ?dt:float ->
+  ?gain:float ->
+  ?lambda:float ->
+  ?joint_rate_limit:float ->
+  chain:Chain.t ->
+  theta0:Vec.t ->
+  duration:float ->
+  (float -> Vec3.t) ->
+  trace
+(** [follow ~chain ~theta0 ~duration target] tracks [target t] for
+    [t ∈ [0, duration]].  [dt] is the control period (default 10 ms, a
+    100 Hz loop); [gain] the proportional error feedback (default 4 /s);
+    [lambda] the pseudoinverse damping (default 0.05); [joint_rate_limit]
+    clamps each joint's speed in rad/s or m/s (default 10).  The target's
+    feed-forward velocity is estimated by finite differences of
+    [target]. *)

@@ -1,0 +1,45 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+(* Clamp every component of v to [-limit, limit], rescaling the whole
+   vector if its largest magnitude exceeds the limit (Buss & Kim's
+   ClampMaxAbs). *)
+let clamp_max_abs limit v =
+  let worst = Vec.max_abs v in
+  if worst > limit then Vec.scale (limit /. worst) v else v
+
+let solve ?(gamma_max = Float.pi /. 4.) ?config (problem : Ik.problem) =
+  let { Ik.chain; _ } = problem in
+  let dof = Chain.dof chain in
+  let step { Loop.theta; frames; e; _ } =
+    let j = Jacobian.position_jacobian_of_frames chain frames in
+    let svd = Svd.decompose j in
+    let r = Svd.rank ~rcond:1e-9 svd in
+    (* Column norms ρ_j = ‖∂p/∂θ_j‖ (Buss & Kim §4). *)
+    let rho = Array.init dof (fun jcol -> Vec.norm (Mat.col j jcol)) in
+    let e_vec = Vec3.to_vec e in
+    let dtheta = Vec.create dof in
+    for i = 0 to r - 1 do
+      let sigma = svd.Svd.sigma.(i) in
+      if sigma > 0. then begin
+        let ui = Mat.col svd.Svd.u i in
+        let vi = Mat.col svd.Svd.v i in
+        let omega = Vec.dot ui e_vec /. sigma in
+        (* M_i estimates how much joint motion a unit task-space move in
+           direction u_i costs; N_i = ‖u_i‖ = 1 for one end effector. *)
+        let m_i =
+          let acc = ref 0. in
+          for jcol = 0 to dof - 1 do
+            acc := !acc +. (Float.abs vi.(jcol) *. rho.(jcol))
+          done;
+          !acc /. sigma
+        in
+        let gamma_i = Float.min 1. (1. /. Float.max m_i 1e-12) *. gamma_max in
+        let phi = clamp_max_abs gamma_i (Vec.scale omega vi) in
+        Vec.add_inplace dtheta phi
+      end
+    done;
+    let dtheta = clamp_max_abs gamma_max dtheta in
+    { Loop.theta' = Vec.add theta dtheta; sweeps = svd.Svd.sweeps }
+  in
+  Loop.run ?config ~speculations:1 ~step problem

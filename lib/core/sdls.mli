@@ -1,0 +1,11 @@
+(** Selectively damped least squares — Buss & Kim 2005, the paper's
+    reference [20] ("the improvement is limited").
+
+    Damps each singular direction of [J] independently: directions whose
+    unit task-space motion would require large joint motion get their step
+    clamped harder.  Implemented for the single-end-effector position task
+    used throughout the evaluation. *)
+
+val solve : ?gamma_max:float -> Ik.solver
+(** [gamma_max] bounds the per-direction (and total) joint change per
+    iteration, in radians; default π/4 as in the original publication. *)

@@ -1,0 +1,49 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+type waypoint = { index : int; target : Vec3.t; result : Ik.result }
+
+type report = {
+  waypoints : waypoint array;
+  converged : int;
+  cold_start_iterations : int;
+  warm_mean_iterations : float;
+  max_error : float;
+}
+
+let track ~solver ~chain ~theta0 path =
+  if Array.length path = 0 then invalid_arg "Servo.track: empty path";
+  Chain.check_config chain theta0;
+  let theta = ref (Vec.copy theta0) in
+  let waypoints =
+    Array.mapi
+      (fun index target ->
+        let problem = Ik.problem ~chain ~target ~theta0:!theta in
+        let result = solver problem in
+        theta := result.Ik.theta;
+        { index; target; result })
+      path
+  in
+  let converged =
+    Array.fold_left
+      (fun acc w ->
+        match w.result.Ik.status with
+        | Ik.Converged -> acc + 1
+        | Ik.Max_iterations | Ik.Stalled -> acc)
+      0 waypoints
+  in
+  let warm = Array.length waypoints - 1 in
+  let warm_total =
+    Array.fold_left
+      (fun acc w -> if w.index = 0 then acc else acc + w.result.Ik.iterations)
+      0 waypoints
+  in
+  {
+    waypoints;
+    converged;
+    cold_start_iterations = waypoints.(0).result.Ik.iterations;
+    warm_mean_iterations =
+      (if warm = 0 then 0. else float_of_int warm_total /. float_of_int warm);
+    max_error =
+      Array.fold_left (fun acc w -> Float.max acc w.result.Ik.error) 0. waypoints;
+  }

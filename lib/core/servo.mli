@@ -1,0 +1,36 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+(** Trajectory tracking: repeated IK along a workspace path with warm
+    starts — the control-loop usage behind the paper's "real-time IK
+    solver" framing.
+
+    Each waypoint's solve starts from the previous waypoint's solution, so
+    after the first (cold) solve the per-waypoint cost collapses to a
+    couple of iterations. *)
+
+type waypoint = {
+  index : int;
+  target : Vec3.t;
+  result : Ik.result;
+}
+
+type report = {
+  waypoints : waypoint array;  (** in path order *)
+  converged : int;
+  cold_start_iterations : int;  (** iterations of the first waypoint *)
+  warm_mean_iterations : float;
+      (** mean over the remaining waypoints (0 for a 1-point path) *)
+  max_error : float;  (** worst final error across the path *)
+}
+
+val track :
+  solver:(Ik.problem -> Ik.result) ->
+  chain:Chain.t ->
+  theta0:Vec.t ->
+  Vec3.t array ->
+  report
+(** [track ~solver ~chain ~theta0 path] solves every waypoint in order.
+    A waypoint that fails to converge still hands its (best-effort) final
+    configuration to the next one, as a controller would.  Raises
+    [Invalid_argument] on an empty path. *)

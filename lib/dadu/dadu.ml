@@ -1,0 +1,13 @@
+(** Umbrella entry point: every Dadu library under one name.
+
+    [Dadu.Core.Quick_ik.solve], [Dadu.Accel.Ikacc.solve], ... — convenient
+    for scripts and the toplevel; the individual [dadu_*] libraries remain
+    available for finer-grained dependencies. *)
+
+module Util = Dadu_util
+module Linalg = Dadu_linalg
+module Kinematics = Dadu_kinematics
+module Core = Dadu_core
+module Accel = Dadu_accel
+module Platforms = Dadu_platforms
+module Experiments = Dadu_experiments

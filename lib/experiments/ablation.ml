@@ -1,0 +1,199 @@
+open Dadu_core
+open Dadu_kinematics
+module Table = Dadu_util.Table
+module Accel = Dadu_accel
+
+type strategy_cell = { label : string; aggregate : Workload.aggregate }
+
+type strategy_row = { dof : int; cells : strategy_cell list }
+
+let strategies =
+  [
+    ( "uniform (Eq. 9)",
+      fun ~speculations ?config p ->
+        Quick_ik.solve ~speculations ~strategy:Quick_ik.Uniform ?config p );
+    ( "log-spaced",
+      fun ~speculations ?config p ->
+        Quick_ik.solve ~speculations ~strategy:Quick_ik.Log_spaced ?config p );
+    ( "extended x2",
+      fun ~speculations ?config p ->
+        Quick_ik.solve ~speculations ~strategy:(Quick_ik.Extended 2.0) ?config p );
+    ("buss-alpha only", fun ~speculations:_ ?config p -> Jt_buss.solve ?config p);
+    ( "serial line search",
+      fun ~speculations:_ ?config p -> Jt_linesearch.solve ~evaluations:20 ?config p );
+  ]
+
+let run_strategies ?(dofs = [ 12; 50; 100 ]) (scale : Runner.scale) =
+  List.map
+    (fun dof ->
+      let chain = Robots.eval_chain ~dof in
+      let cells =
+        List.map
+          (fun (label, make) ->
+            let solver config p =
+              make ~speculations:scale.Runner.speculations ?config:(Some config) p
+            in
+            { label; aggregate = Workload.run scale ~name:label ~chain ~solver })
+          strategies
+      in
+      { dof; cells })
+    dofs
+
+let strategy_table rows =
+  let labels =
+    match rows with
+    | [] -> List.map fst strategies
+    | { cells; _ } :: _ -> List.map (fun c -> c.label) cells
+  in
+  let columns = ("DOF", Table.Right) :: List.map (fun l -> (l, Table.Right)) labels in
+  let table =
+    Table.create ~title:"Ablation A1: mean Quick-IK iterations by speculation strategy"
+      columns
+  in
+  List.iter
+    (fun { dof; cells } ->
+      Table.add_row table
+        (string_of_int dof
+        :: List.map
+             (fun c -> Table.fmt_float ~decimals:1 c.aggregate.Workload.mean_iterations)
+             cells))
+    rows;
+  table
+
+type ssu_row = {
+  num_ssus : int;
+  schedules : int;
+  time_ms : float;
+  utilization : float;
+  avg_power_w : float;
+}
+
+let run_ssus ?(ssus = [ 8; 16; 32; 64; 128 ]) ~dof (t : Measurements.t) =
+  let m =
+    match
+      List.find_opt (fun (m : Measurements.per_dof) -> m.Measurements.dof = dof)
+        t.Measurements.per_dof
+    with
+    | Some m -> m
+    | None -> raise Not_found
+  in
+  let speculations = t.Measurements.scale.Runner.speculations in
+  let iterations =
+    Stdlib.max 1
+      (int_of_float (Float.round m.Measurements.quick_ik.Workload.mean_iterations))
+  in
+  List.map
+    (fun num_ssus ->
+      let config = Accel.Config.with_ssus num_ssus Accel.Config.default in
+      let plan = Accel.Scheduler.plan config ~speculations in
+      let cycles_per_iter = Accel.Scheduler.iteration_cycles config ~dof ~speculations in
+      let total_cycles = iterations * cycles_per_iter in
+      let spu_busy = iterations * Accel.Spu.iteration_cycles config ~dof in
+      let ssu_busy =
+        iterations * Accel.Scheduler.ssu_busy_cycles config ~dof ~speculations
+      in
+      let energy =
+        Accel.Energy.of_activity config ~total_cycles ~spu_busy_cycles:spu_busy
+          ~ssu_busy_cycles:ssu_busy
+      in
+      {
+        num_ssus;
+        schedules = plan.Accel.Scheduler.schedules;
+        time_ms = float_of_int total_cycles /. config.Accel.Config.frequency_hz *. 1e3;
+        utilization =
+          float_of_int ssu_busy /. float_of_int (num_ssus * total_cycles);
+        avg_power_w = energy.Accel.Energy.avg_power_w;
+      })
+    ssus
+
+let ssu_table ~dof rows =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Ablation A2: IKAcc size vs latency at %d DOF (64 software speculations)" dof)
+      [
+        ("SSUs", Table.Right);
+        ("schedules/iter", Table.Right);
+        ("solve time (ms)", Table.Right);
+        ("SSU utilization", Table.Right);
+        ("avg power", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          string_of_int r.num_ssus;
+          string_of_int r.schedules;
+          Table.fmt_float ~decimals:4 r.time_ms;
+          Printf.sprintf "%.0f%%" (100. *. r.utilization);
+          Printf.sprintf "%.1f mW" (r.avg_power_w *. 1e3);
+        ])
+    rows;
+  table
+
+type fixed_row = {
+  format : Accel.Fixed.format;
+  reports : (int * Accel.Fixed.report) list;
+}
+
+let default_formats =
+  List.map
+    (fun frac_bits -> { Accel.Fixed.integer_bits = 8; frac_bits })
+    [ 8; 12; 16; 20; 24 ]
+
+let run_fixed ?(formats = default_formats) ?(dofs = [ 12; 100 ]) ?(samples = 40)
+    (scale : Runner.scale) =
+  List.map
+    (fun format ->
+      let reports =
+        List.map
+          (fun dof ->
+            let rng = Dadu_util.Rng.create (scale.Runner.seed + dof) in
+            let chain = Robots.eval_chain ~dof in
+            (dof, Accel.Fixed.evaluate ~samples rng format chain))
+          dofs
+      in
+      { format; reports })
+    formats
+
+let fixed_table rows =
+  let dofs =
+    match rows with [] -> [] | { reports; _ } :: _ -> List.map fst reports
+  in
+  let columns =
+    ("FKU format", Table.Left) :: ("word bits", Table.Right)
+    :: List.concat_map
+         (fun dof ->
+           [
+             (Printf.sprintf "max err @%d DOF" dof, Table.Right);
+             (Printf.sprintf "ok @%d DOF" dof, Table.Right);
+           ])
+         dofs
+  in
+  let table =
+    Table.create
+      ~title:
+        "Ablation A3: fixed-point FKU datapath width vs end-effector error \
+         (ok = cannot disturb selection at 1e-2 m accuracy)"
+      columns
+  in
+  List.iter
+    (fun { format; reports } ->
+      let cells =
+        List.concat_map
+          (fun (_, (r : Accel.Fixed.report)) ->
+            [
+              Printf.sprintf "%.2e m" r.Accel.Fixed.max_error;
+              (if Accel.Fixed.sufficient r ~accuracy:1e-2 then "yes" else "no");
+            ])
+          reports
+      in
+      Table.add_row table
+        (Printf.sprintf "Q%d.%d" format.Accel.Fixed.integer_bits
+           format.Accel.Fixed.frac_bits
+        :: string_of_int (Accel.Fixed.word_width format)
+        :: cells))
+    rows;
+  table

@@ -1,0 +1,60 @@
+(** Ablations for the design choices DESIGN.md calls out.
+
+    A1 — speculation strategy (paper §4 "Speculation strategy"): the paper
+    speculates uniformly over [(0, α_base]] (Eq. 9).  We compare that
+    against geometric spacing, an extended range that also overshoots
+    [α_base], and the no-speculation limit (Buss' α alone), to show where
+    the speculative search actually earns its keep.
+
+    A2 — SSU count (paper §5.1): fewer SSUs mean more schedules per
+    iteration; more SSUs than speculations idle.  Sweeps the hardware size
+    against solve latency at fixed software speculations.
+
+    A3 — FKU datapath width: the paper's HLS design leaves the arithmetic
+    format unstated; this sweep measures the end-effector error of a
+    fixed-point FKU across fractional widths and DOF, identifying the
+    narrowest datapath that cannot disturb candidate selection at the
+    paper's 1e-2 m accuracy. *)
+
+type strategy_cell = { label : string; aggregate : Workload.aggregate }
+
+type strategy_row = { dof : int; cells : strategy_cell list }
+
+val strategies : (string * (speculations:int -> Dadu_core.Ik.solver)) list
+(** Labelled solver constructors: uniform, log-spaced, extended ×2,
+    Buss-α-only, and a sequential golden-section line search (the serial
+    competitor to parallel speculation). *)
+
+val run_strategies : ?dofs:int list -> Runner.scale -> strategy_row list
+
+val strategy_table : strategy_row list -> Dadu_util.Table.t
+
+type ssu_row = {
+  num_ssus : int;
+  schedules : int;
+  time_ms : float;  (** per solve at the measured iteration count *)
+  utilization : float;
+  avg_power_w : float;
+}
+
+val run_ssus :
+  ?ssus:int list -> dof:int -> Measurements.t -> ssu_row list
+(** Uses the Quick-IK iteration count measured at [dof] in the grid;
+    raises [Not_found] if that DOF is absent. *)
+
+val ssu_table : dof:int -> ssu_row list -> Dadu_util.Table.t
+
+type fixed_row = {
+  format : Dadu_accel.Fixed.format;
+  reports : (int * Dadu_accel.Fixed.report) list;  (** per DOF *)
+}
+
+val run_fixed :
+  ?formats:Dadu_accel.Fixed.format list ->
+  ?dofs:int list ->
+  ?samples:int ->
+  Runner.scale ->
+  fixed_row list
+(** Defaults: Q8.{8,12,16,20,24}; DOFs {12, 100}; 40 samples. *)
+
+val fixed_table : fixed_row list -> Dadu_util.Table.t

@@ -1,0 +1,92 @@
+open Dadu_core
+open Dadu_kinematics
+module Table = Dadu_util.Table
+
+type profile = { name : string; checkpoints : (int * float) list }
+
+let checkpoints = [ 0; 1; 2; 5; 10; 20; 50; 100; 200; 500; 1_000; 2_000; 5_000; 10_000 ]
+
+(* Record the error trace of one solve; the trace always has at least one
+   entry (iteration 0). *)
+let trace_of solve problem =
+  let errors = ref [] in
+  let on_iteration ~iter:_ ~err = errors := err :: !errors in
+  ignore (solve ~on_iteration problem);
+  Array.of_list (List.rev !errors)
+
+let sample_trace trace iteration =
+  let n = Array.length trace in
+  trace.(Stdlib.min iteration (n - 1))
+
+let profile_of (scale : Runner.scale) ~chain ~name ~solve =
+  let rng = Dadu_util.Rng.create (scale.Runner.seed + 7_777) in
+  let problems =
+    Array.init scale.Runner.targets (fun _ -> Ik.random_problem rng chain)
+  in
+  let traces = Array.map (trace_of solve) problems in
+  let cap = scale.Runner.max_iterations in
+  let checkpoints =
+    List.filter_map
+      (fun c ->
+        if c > cap then None
+        else begin
+          let mean =
+            Array.fold_left (fun acc t -> acc +. sample_trace t c) 0. traces
+            /. float_of_int (Array.length traces)
+          in
+          Some (c, mean)
+        end)
+      checkpoints
+  in
+  { name; checkpoints }
+
+let run ?(dof = 25) (scale : Runner.scale) =
+  let chain = Robots.eval_chain ~dof in
+  let config = Runner.ik_config scale in
+  [
+    profile_of scale ~chain ~name:"JT-Serial" ~solve:(fun ~on_iteration p ->
+        Jt_serial.solve ~on_iteration ~config p);
+    profile_of scale ~chain ~name:"J-1-SVD" ~solve:(fun ~on_iteration p ->
+        Pinv_svd.solve ~on_iteration ~config p);
+    profile_of scale ~chain ~name:"JT-Speculation" ~solve:(fun ~on_iteration p ->
+        Quick_ik.solve ~speculations:scale.Runner.speculations ~on_iteration ~config p);
+  ]
+
+let to_table profiles =
+  let columns =
+    ("iteration", Table.Right)
+    :: List.map (fun p -> (p.name, Table.Right)) profiles
+  in
+  let table =
+    Table.create ~title:"Convergence profiles: mean position error (m) vs iteration"
+      columns
+  in
+  let iteration_grid =
+    match profiles with [] -> [] | p :: _ -> List.map fst p.checkpoints
+  in
+  List.iter
+    (fun iteration ->
+      let row =
+        string_of_int iteration
+        :: List.map
+             (fun p -> Table.fmt_sig ~digits:3 (List.assoc iteration p.checkpoints))
+             profiles
+      in
+      Table.add_row table row)
+    iteration_grid;
+  table
+
+let to_chart profiles =
+  let groups =
+    List.map
+      (fun p ->
+        {
+          Dadu_util.Chart.label = p.name;
+          bars =
+            List.map
+              (fun (iteration, err) -> (Printf.sprintf "iter %5d" iteration, err))
+              p.checkpoints;
+        })
+      profiles
+  in
+  Dadu_util.Chart.render ~log:true groups

@@ -1,0 +1,25 @@
+(** Convergence profiles: error vs iteration for the three §6.2 methods.
+
+    Not a figure in the paper, but the mechanism behind Figure 5a made
+    visible: the transpose method's error decays geometrically with a
+    DOF-dependent rate, Quick-IK steepens that decay by picking the best
+    speculative step each iteration, and the pseudoinverse is Newton-like.
+    Mean error over a target batch, sampled at logarithmic iteration
+    checkpoints; runs that have already terminated hold their final
+    error. *)
+
+type profile = {
+  name : string;
+  checkpoints : (int * float) list;  (** (iteration, mean error) ascending *)
+}
+
+val checkpoints : int list
+(** [0; 1; 2; 5; 10; ...; 10000] — logarithmic sampling grid. *)
+
+val run : ?dof:int -> Runner.scale -> profile list
+(** Profiles for JT-Serial, J⁻¹-SVD, and Quick-IK at [dof] (default 25). *)
+
+val to_table : profile list -> Dadu_util.Table.t
+
+val to_chart : profile list -> string
+(** Log-scale bars of mean error at each checkpoint, grouped by method. *)

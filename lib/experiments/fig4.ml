@@ -1,0 +1,85 @@
+open Dadu_core
+open Dadu_kinematics
+module Table = Dadu_util.Table
+
+type cell = { speculations : int; aggregate : Workload.aggregate }
+
+type row = { dof : int; cells : cell list }
+
+let speculation_counts = [ 16; 32; 64; 128 ]
+
+let run ?(dofs = Robots.eval_dofs) ?(counts = speculation_counts) scale =
+  List.map
+    (fun dof ->
+      let chain = Robots.eval_chain ~dof in
+      let cells =
+        List.map
+          (fun speculations ->
+            let aggregate =
+              Workload.run scale
+                ~name:(Printf.sprintf "Quick-IK/%d" speculations)
+                ~chain
+                ~solver:(fun config p -> Quick_ik.solve ~speculations ~config p)
+            in
+            { speculations; aggregate })
+          counts
+      in
+      { dof; cells })
+    dofs
+
+let to_table rows =
+  let counts =
+    match rows with [] -> speculation_counts | { cells; _ } :: _ -> List.map (fun c -> c.speculations) cells
+  in
+  let columns =
+    ("DOF", Table.Right)
+    :: List.map (fun c -> (Printf.sprintf "%d specs" c, Table.Right)) counts
+  in
+  let table =
+    Table.create ~title:"Figure 4: mean Quick-IK iterations vs number of speculations" columns
+  in
+  List.iter
+    (fun { dof; cells } ->
+      let row =
+        string_of_int dof
+        :: List.map
+             (fun { aggregate; _ } -> Table.fmt_float ~decimals:1 aggregate.Workload.mean_iterations)
+             cells
+      in
+      Table.add_row table row)
+    rows;
+  table
+
+let to_chart rows =
+  let groups =
+    List.map
+      (fun { dof; cells } ->
+        {
+          Dadu_util.Chart.label = Printf.sprintf "%d DOF" dof;
+          bars =
+            List.map
+              (fun { speculations; aggregate } ->
+                ( Printf.sprintf "%3d specs" speculations,
+                  aggregate.Workload.mean_iterations ))
+              cells;
+        })
+      rows
+  in
+  Dadu_util.Chart.render groups
+
+let csv_header = [ "dof"; "speculations"; "mean_iterations"; "converged"; "targets" ]
+
+let to_csv_rows rows =
+  List.concat_map
+    (fun { dof; cells } ->
+      List.map
+        (fun { speculations; aggregate } ->
+          [
+            string_of_int dof;
+            string_of_int speculations;
+            Printf.sprintf "%.3f" aggregate.Workload.mean_iterations;
+            string_of_int aggregate.Workload.converged;
+            string_of_int aggregate.Workload.targets;
+          ])
+        cells)
+    rows

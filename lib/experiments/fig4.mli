@@ -1,0 +1,25 @@
+(** Figure 4: Quick-IK iterations vs number of speculations.
+
+    For each evaluation DOF and each speculation count in {16, 32, 64, 128},
+    solve the target batch and report mean iterations.  The paper's
+    conclusion — iterations fall with speculation count but 128 buys little
+    over 64 — is what the bench output should show. *)
+
+type cell = { speculations : int; aggregate : Workload.aggregate }
+
+type row = { dof : int; cells : cell list }
+
+val speculation_counts : int list
+(** [[16; 32; 64; 128]], the paper's sweep. *)
+
+val run : ?dofs:int list -> ?counts:int list -> Runner.scale -> row list
+
+val to_table : row list -> Dadu_util.Table.t
+
+val to_chart : row list -> string
+(** ASCII bar rendering of the same data (one group per DOF). *)
+
+val to_csv_rows : row list -> string list list
+(** [dof, speculations, mean_iterations, converged, targets] per line. *)
+
+val csv_header : string list

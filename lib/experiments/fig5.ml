@@ -1,0 +1,86 @@
+module Table = Dadu_util.Table
+
+let methods (m : Measurements.per_dof) =
+  [ m.Measurements.jt_serial; m.Measurements.pinv_svd; m.Measurements.quick_ik ]
+
+let table_iterations (t : Measurements.t) =
+  let table =
+    Table.create ~title:"Figure 5(a): mean iterations under various DOF manipulators"
+      [
+        ("DOF", Table.Right);
+        ("JT-Serial", Table.Right);
+        ("J-1-SVD", Table.Right);
+        ("JT-Speculation", Table.Right);
+        ("reduction vs JT", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (m : Measurements.per_dof) ->
+      Table.add_row table
+        [
+          string_of_int m.Measurements.dof;
+          Table.fmt_float ~decimals:1 m.Measurements.jt_serial.Workload.mean_iterations;
+          Table.fmt_float ~decimals:1 m.Measurements.pinv_svd.Workload.mean_iterations;
+          Table.fmt_float ~decimals:1 m.Measurements.quick_ik.Workload.mean_iterations;
+          Printf.sprintf "%.1f%%" (100. *. Measurements.reduction_vs_jt m);
+        ])
+    t.Measurements.per_dof;
+  table
+
+let table_work (t : Measurements.t) =
+  let table =
+    Table.create
+      ~title:"Figure 5(b): computation load (speculations x iterations) under various DOF"
+      [
+        ("DOF", Table.Right);
+        ("JT-Serial", Table.Right);
+        ("J-1-SVD", Table.Right);
+        ("JT-Speculation", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (m : Measurements.per_dof) ->
+      let work (a : Workload.aggregate) = Table.fmt_sig ~digits:4 a.Workload.mean_work in
+      Table.add_row table
+        [
+          string_of_int m.Measurements.dof;
+          work m.Measurements.jt_serial;
+          work m.Measurements.pinv_svd;
+          work m.Measurements.quick_ik;
+        ])
+    t.Measurements.per_dof;
+  table
+
+let chart_of (t : Measurements.t) value =
+  let groups =
+    List.map
+      (fun (m : Measurements.per_dof) ->
+        {
+          Dadu_util.Chart.label = Printf.sprintf "%d DOF" m.Measurements.dof;
+          bars = List.map (fun (a : Workload.aggregate) -> (a.Workload.name, value a)) (methods m);
+        })
+      t.Measurements.per_dof
+  in
+  Dadu_util.Chart.render ~log:true groups
+
+let chart_iterations t = chart_of t (fun a -> a.Workload.mean_iterations)
+
+let chart_work t = chart_of t (fun a -> a.Workload.mean_work)
+
+let csv_header = [ "dof"; "method"; "mean_iterations"; "mean_work"; "converged"; "targets" ]
+
+let to_csv_rows (t : Measurements.t) =
+  List.concat_map
+    (fun (m : Measurements.per_dof) ->
+      List.map
+        (fun (a : Workload.aggregate) ->
+          [
+            string_of_int m.Measurements.dof;
+            a.Workload.name;
+            Printf.sprintf "%.3f" a.Workload.mean_iterations;
+            Printf.sprintf "%.3f" a.Workload.mean_work;
+            string_of_int a.Workload.converged;
+            string_of_int a.Workload.targets;
+          ])
+        (methods m))
+    t.Measurements.per_dof

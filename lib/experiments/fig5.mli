@@ -1,0 +1,25 @@
+(** Figure 5: iteration counts (a) and computation load (b) across DOF.
+
+    Rendered from the shared {!Measurements.t} grid.  The shapes to check
+    against the paper: (a) Quick-IK cuts JT-Serial's iterations by ~97 %
+    down to the pseudoinverse method's order of magnitude; (b) Quick-IK's
+    *total* computation load (speculations × iterations) stays on JT-Serial's
+    level — the win is parallelizability, not fewer operations. *)
+
+val table_iterations : Measurements.t -> Dadu_util.Table.t
+(** Figure 5(a): mean iterations per method per DOF, plus the reduction of
+    Quick-IK vs JT-Serial. *)
+
+val table_work : Measurements.t -> Dadu_util.Table.t
+(** Figure 5(b): mean speculations × iterations per method per DOF. *)
+
+val chart_iterations : Measurements.t -> string
+(** Figure 5(a) as log-scale ASCII bars, like the paper's axis. *)
+
+val chart_work : Measurements.t -> string
+(** Figure 5(b) as log-scale ASCII bars. *)
+
+val csv_header : string list
+
+val to_csv_rows : Measurements.t -> string list list
+(** [dof, method, mean_iterations, mean_work, converged, targets]. *)

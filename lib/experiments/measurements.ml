@@ -1,0 +1,34 @@
+open Dadu_core
+open Dadu_kinematics
+
+type per_dof = {
+  dof : int;
+  jt_serial : Workload.aggregate;
+  pinv_svd : Workload.aggregate;
+  quick_ik : Workload.aggregate;
+}
+
+type t = { scale : Runner.scale; per_dof : per_dof list }
+
+let collect ?(dofs = Robots.eval_dofs) (scale : Runner.scale) =
+  let per_dof =
+    List.map
+      (fun dof ->
+        let chain = Robots.eval_chain ~dof in
+        let run name solver = Workload.run scale ~name ~chain ~solver in
+        {
+          dof;
+          jt_serial = run "JT-Serial" (fun config p -> Jt_serial.solve ~config p);
+          pinv_svd = run "J-1-SVD" (fun config p -> Pinv_svd.solve ~config p);
+          quick_ik =
+            run "JT-Speculation"
+              (fun config p ->
+                Quick_ik.solve ~speculations:scale.Runner.speculations ~config p);
+        })
+      dofs
+  in
+  { scale; per_dof }
+
+let reduction_vs_jt { jt_serial; quick_ik; _ } =
+  if jt_serial.Workload.mean_iterations <= 0. then 0.
+  else 1. -. (quick_ik.Workload.mean_iterations /. jt_serial.Workload.mean_iterations)

@@ -1,0 +1,26 @@
+(** The shared measurement grid behind Figure 5 and Tables 2–3.
+
+    One pass over the paper's DOF sweep running the three §6.2 methods —
+    JT-Serial, J⁻¹-SVD, and Quick-IK (JT-Speculation) — on identical
+    problem batches.  Figure 5a/5b and Tables 2/3 are all views of this
+    grid, so collecting it once keeps the bench suite fast and the views
+    mutually consistent. *)
+
+type per_dof = {
+  dof : int;
+  jt_serial : Workload.aggregate;
+  pinv_svd : Workload.aggregate;
+  quick_ik : Workload.aggregate;
+}
+
+type t = {
+  scale : Runner.scale;
+  per_dof : per_dof list;  (** ascending DOF, the paper's {12,25,50,75,100} *)
+}
+
+val collect : ?dofs:int list -> Runner.scale -> t
+(** [dofs] defaults to {!Dadu_kinematics.Robots.eval_dofs}. *)
+
+val reduction_vs_jt : per_dof -> float
+(** Fraction of JT-Serial iterations eliminated by Quick-IK (the paper's
+    headline 97 %). *)

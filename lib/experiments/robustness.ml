@@ -1,0 +1,87 @@
+open Dadu_core
+open Dadu_kinematics
+module Table = Dadu_util.Table
+
+type cell = {
+  dof : int;
+  jt_mean_iterations : float;
+  quick_mean_iterations : float;
+  reduction : float;
+}
+
+type row = { seed : int; cells : cell list }
+
+let run ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(dofs = [ 12; 100 ]) (scale : Runner.scale) =
+  List.map
+    (fun seed ->
+      let scale = { scale with Runner.seed } in
+      let cells =
+        List.map
+          (fun dof ->
+            let chain = Robots.eval_chain ~dof in
+            let jt =
+              Workload.run scale ~name:"JT-Serial" ~chain ~solver:(fun config p ->
+                  Jt_serial.solve ~config p)
+            in
+            let quick =
+              Workload.run scale ~name:"Quick-IK" ~chain ~solver:(fun config p ->
+                  Quick_ik.solve ~speculations:scale.Runner.speculations ~config p)
+            in
+            {
+              dof;
+              jt_mean_iterations = jt.Workload.mean_iterations;
+              quick_mean_iterations = quick.Workload.mean_iterations;
+              reduction =
+                (if jt.Workload.mean_iterations <= 0. then 0.
+                 else 1. -. (quick.Workload.mean_iterations /. jt.Workload.mean_iterations));
+            })
+          dofs
+      in
+      { seed; cells })
+    seeds
+
+let to_table rows =
+  let dofs = match rows with [] -> [] | r :: _ -> List.map (fun c -> c.dof) r.cells in
+  let columns =
+    ("seed", Table.Right)
+    :: List.concat_map
+         (fun dof ->
+           [
+             (Printf.sprintf "JT @%d" dof, Table.Right);
+             (Printf.sprintf "Quick @%d" dof, Table.Right);
+             (Printf.sprintf "reduction @%d" dof, Table.Right);
+           ])
+         dofs
+  in
+  let table =
+    Table.create ~title:"Seed robustness of the iteration reduction" columns
+  in
+  List.iter
+    (fun { seed; cells } ->
+      let cells_rendered =
+        List.concat_map
+          (fun c ->
+            [
+              Table.fmt_float ~decimals:0 c.jt_mean_iterations;
+              Table.fmt_float ~decimals:1 c.quick_mean_iterations;
+              Printf.sprintf "%.1f%%" (100. *. c.reduction);
+            ])
+          cells
+      in
+      Table.add_row table (string_of_int seed :: cells_rendered))
+    rows;
+  table
+
+let reduction_range rows ~dof =
+  let reductions =
+    List.filter_map
+      (fun { cells; _ } ->
+        List.find_opt (fun c -> c.dof = dof) cells |> Option.map (fun c -> c.reduction))
+      rows
+  in
+  match reductions with
+  | [] -> raise Not_found
+  | first :: rest ->
+    List.fold_left
+      (fun (lo, hi) r -> (Float.min lo r, Float.max hi r))
+      (first, first) rest

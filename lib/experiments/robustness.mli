@@ -1,0 +1,26 @@
+(** Seed-robustness of the headline claim.
+
+    The 97 % iteration reduction is a statistic over randomly drawn
+    targets and starts; this experiment re-draws the whole workload under
+    several master seeds and reports the reduction's spread — showing the
+    result is a property of the method, not of seed 42. *)
+
+type cell = {
+  dof : int;
+  jt_mean_iterations : float;
+  quick_mean_iterations : float;
+  reduction : float;  (** fraction of JT-Serial iterations eliminated *)
+}
+
+type row = { seed : int; cells : cell list }
+
+val run : ?seeds:int list -> ?dofs:int list -> Runner.scale -> row list
+(** [seeds] defaults to [[1; 2; 3; 4; 5]], [dofs] to [[12; 100]].  The
+    scale's own seed is ignored; everything else (targets per
+    configuration, caps, speculations) applies. *)
+
+val to_table : row list -> Dadu_util.Table.t
+
+val reduction_range : row list -> dof:int -> float * float
+(** (min, max) reduction across seeds at one DOF; raises [Not_found] if
+    the DOF is absent. *)

@@ -1,0 +1,32 @@
+type scale = {
+  targets : int;
+  max_iterations : int;
+  speculations : int;
+  seed : int;
+}
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some v when v > 0 -> v
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "%s must be a positive integer (got %S)" name s))
+
+let default_scale () =
+  {
+    targets = env_int "DADU_TARGETS" 25;
+    max_iterations = env_int "DADU_MAX_ITERS" 10_000;
+    speculations = env_int "DADU_SPECS" 64;
+    seed = env_int "DADU_SEED" 42;
+  }
+
+let paper_scale = { targets = 1_000; max_iterations = 10_000; speculations = 64; seed = 42 }
+
+let ik_config scale =
+  { Dadu_core.Ik.default_config with max_iterations = scale.max_iterations }
+
+let pp_scale ppf s =
+  Format.fprintf ppf "%d targets/config, cap %d iters, %d speculations, seed %d"
+    s.targets s.max_iterations s.speculations s.seed

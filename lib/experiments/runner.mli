@@ -1,0 +1,30 @@
+(** Experiment scaling knobs.
+
+    The paper runs 1 000 targets per configuration with a 10 000-iteration
+    cap — hours of CPU for the full grid.  The default scale keeps every
+    experiment faithful (same chains, same accuracy, same cap) but samples
+    fewer targets so the whole bench suite finishes in minutes.  Environment
+    variables raise it to full fidelity:
+
+    - [DADU_TARGETS]   targets per configuration (default 25; paper 1000)
+    - [DADU_MAX_ITERS] iteration cap (default 10000, the paper's value)
+    - [DADU_SEED]      master seed (default 42)
+    - [DADU_SPECS]     Quick-IK speculation count (default 64, the paper's) *)
+
+type scale = {
+  targets : int;
+  max_iterations : int;
+  speculations : int;
+  seed : int;
+}
+
+val default_scale : unit -> scale
+(** Reads the environment variables at call time. *)
+
+val paper_scale : scale
+(** 1 000 targets, 10 000-iteration cap — the full-fidelity setting. *)
+
+val ik_config : scale -> Dadu_core.Ik.config
+(** Paper termination contract at this scale's iteration cap. *)
+
+val pp_scale : Format.formatter -> scale -> unit

@@ -1,0 +1,145 @@
+module Table = Dadu_util.Table
+module Stats = Dadu_util.Stats
+
+type verdict = Pass | Partial | Fail
+
+type claim = {
+  id : string;
+  description : string;
+  paper : string;
+  measured : string;
+  verdict : verdict;
+}
+
+(* ratio-band judgement for calibrated quantities: Pass within [band]×,
+   Partial within [band²]× (right order of magnitude), Fail beyond *)
+let ratio_verdict ~band ~paper ~measured =
+  if paper <= 0. || measured <= 0. then Fail
+  else begin
+    let r = Float.max (measured /. paper) (paper /. measured) in
+    if r <= band then Pass else if r <= band *. band then Partial else Fail
+  end
+
+let evaluate (m : Measurements.t) =
+  let grid = m.Measurements.per_dof in
+  let quick (p : Measurements.per_dof) = p.Measurements.quick_ik in
+  let jt (p : Measurements.per_dof) = p.Measurements.jt_serial in
+  let t2 = Table2.compute m in
+  let t3 = Table3.compute m t2 in
+  let claims = ref [] in
+  let add id description ~paper ~measured verdict =
+    claims := { id; description; paper; measured; verdict } :: !claims
+  in
+
+  (* Fig 5a: ≥97 % reduction *)
+  let reductions = List.map Measurements.reduction_vs_jt grid in
+  let min_reduction = List.fold_left Float.min 1. reductions in
+  add "fig5a-reduction" "Quick-IK cuts JT-Serial iterations by ~97%" ~paper:"97%"
+    ~measured:(Printf.sprintf "%.1f%%..%.1f%%" (100. *. min_reduction)
+                 (100. *. List.fold_left Float.max 0. reductions))
+    (if min_reduction >= 0.95 then Pass
+     else if min_reduction >= 0.85 then Partial
+     else Fail);
+
+  (* Fig 5a: JT-Serial grows with DOF toward the cap *)
+  let jt_iters = List.map (fun p -> (jt p).Workload.mean_iterations) grid in
+  (* "explodes with DOF toward the cap": thousands at the low end already,
+     non-decreasing, and the high end saturating near the cap *)
+  let first = List.hd jt_iters and last = List.hd (List.rev jt_iters) in
+  let thousands = first > 1_000. in
+  let non_decreasing = last >= first in
+  let saturating = last > 5_000. in
+  add "fig5a-jt-growth" "JT-Serial iterations explode with DOF toward the 10k cap"
+    ~paper:"thousands, saturating"
+    ~measured:(Printf.sprintf "%.0f -> %.0f" first last)
+    (if thousands && non_decreasing && saturating then Pass
+     else if non_decreasing then Partial
+     else Fail);
+
+  (* Fig 5b: Quick-IK load within an order of magnitude of JT-Serial *)
+  let load_ratios =
+    List.map
+      (fun p -> (quick p).Workload.mean_work /. (jt p).Workload.mean_work)
+      grid
+  in
+  let load_ok = List.for_all (fun r -> r > 0.1 && r < 10.) load_ratios in
+  add "fig5b-load" "Quick-IK total load stays on JT-Serial's level"
+    ~paper:"comparable (parallelizable)"
+    ~measured:(Printf.sprintf "ratio %.2f..%.2f"
+                 (List.fold_left Float.min infinity load_ratios)
+                 (List.fold_left Float.max 0. load_ratios))
+    (if load_ok then Pass else Partial);
+
+  (* Table 2: platform ordering at every DOF *)
+  let ordering_ok =
+    List.for_all
+      (fun (r : Table2.row) ->
+        r.Table2.quick_ikacc_ms < r.Table2.quick_tx1_ms
+        && r.Table2.quick_tx1_ms < r.Table2.quick_atom_ms
+        && r.Table2.quick_atom_ms < 100. *. r.Table2.jt_serial_atom_ms)
+      t2
+  in
+  add "table2-ordering" "IKAcc < TX1 < Atom at every DOF" ~paper:"strict ordering"
+    ~measured:(if ordering_ok then "holds at every DOF" else "violated")
+    (if ordering_ok then Pass else Fail);
+
+  let s = Table2.speedups t2 in
+  add "table2-vs-tx1" "IKAcc ~30x faster than the TX1 GPU port" ~paper:"~30x"
+    ~measured:(Printf.sprintf "%.0fx" s.Table2.ikacc_vs_tx1)
+    (ratio_verdict ~band:2. ~paper:30. ~measured:s.Table2.ikacc_vs_tx1);
+  add "table2-vs-cpu" "IKAcc ~1700x faster than CPU JT-Serial" ~paper:"~1700x"
+    ~measured:(Printf.sprintf "%.0fx" s.Table2.ikacc_vs_jt_serial_atom)
+    (ratio_verdict ~band:3. ~paper:1700. ~measured:s.Table2.ikacc_vs_jt_serial_atom);
+  add "table2-tx1-vs-atom" "GPU port ~40x faster than CPU Quick-IK" ~paper:"~40x"
+    ~measured:(Printf.sprintf "%.0fx" s.Table2.tx1_vs_quick_atom)
+    (ratio_verdict ~band:2. ~paper:40. ~measured:s.Table2.tx1_vs_quick_atom);
+
+  (* Table 3: IKAcc average power and energy efficiency *)
+  let powers = List.map (fun (r : Table3.row) -> r.Table3.ikacc_avg_power_w) t3 in
+  let power_mean = Stats.mean (Array.of_list powers) in
+  add "table3-power" "IKAcc averages 158.6 mW" ~paper:"158.6 mW"
+    ~measured:(Printf.sprintf "%.1f mW" (power_mean *. 1e3))
+    (ratio_verdict ~band:1.15 ~paper:0.1586 ~measured:power_mean);
+  let eff = Table3.efficiency_vs_tx1 t3 in
+  add "table3-efficiency" "~776x energy efficiency vs TX1" ~paper:"~776x"
+    ~measured:(Printf.sprintf "%.0fx" eff)
+    (ratio_verdict ~band:2. ~paper:776. ~measured:eff);
+
+  (* abstract: 100-DOF real-time *)
+  (match
+     List.find_opt (fun (r : Table2.row) -> r.Table2.dof = 100) t2
+   with
+  | Some r ->
+    add "abstract-realtime" "100-DOF IK solved within 12 ms on IKAcc" ~paper:"12 ms"
+      ~measured:(Printf.sprintf "%.2f ms" r.Table2.quick_ikacc_ms)
+      (if r.Table2.quick_ikacc_ms <= 12. then Pass else Fail)
+  | None -> ());
+
+  List.rev !claims
+
+let verdict_string = function Pass -> "PASS" | Partial -> "partial" | Fail -> "FAIL"
+
+let to_table claims =
+  let table =
+    Table.create ~title:"Reproduction scorecard (paper claim vs this repository)"
+      [
+        ("claim", Table.Left);
+        ("paper", Table.Right);
+        ("measured", Table.Right);
+        ("verdict", Table.Left);
+      ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row table [ c.description; c.paper; c.measured; verdict_string c.verdict ])
+    claims;
+  table
+
+let all_pass ?(allow_partial = true) claims =
+  List.for_all
+    (fun c ->
+      match c.verdict with
+      | Pass -> true
+      | Partial -> allow_partial
+      | Fail -> false)
+    claims

@@ -1,0 +1,16 @@
+module Table = Dadu_util.Table
+
+let to_table () =
+  let table =
+    Table.create ~title:"Table 1: the methods in evaluations"
+      [
+        ("Method", Table.Left);
+        ("Intel Atom", Table.Left);
+        ("Nvidia TX1", Table.Left);
+        ("IKAcc", Table.Left);
+      ]
+  in
+  Table.add_row table [ "Original transpose method"; "JT-Serial"; "-"; "-" ];
+  Table.add_row table [ "Pseudoinverse method"; "J-1-SVD"; "-"; "-" ];
+  Table.add_row table [ "Quick-IK"; "JT-Speculation"; "JT-TX1"; "JT-IKAcc" ];
+  table

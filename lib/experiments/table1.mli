@@ -1,0 +1,6 @@
+(** Table 1: the method ↔ platform naming matrix (paper §6.1).
+
+    Static — it documents which implementation runs where and the labels
+    used by every other table. *)
+
+val to_table : unit -> Dadu_util.Table.t

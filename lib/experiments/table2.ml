@@ -1,0 +1,130 @@
+open Dadu_core
+module Table = Dadu_util.Table
+module Stats = Dadu_util.Stats
+
+type row = {
+  dof : int;
+  jt_serial_atom_ms : float;
+  pinv_svd_atom_ms : float;
+  quick_atom_ms : float;
+  quick_tx1_ms : float;
+  quick_ikacc_ms : float;
+}
+
+let compute ?(accel_config = Dadu_accel.Config.default) (t : Measurements.t) =
+  let specs = t.Measurements.scale.Runner.speculations in
+  let ms x = x *. 1e3 in
+  List.map
+    (fun (m : Measurements.per_dof) ->
+      let dof = m.Measurements.dof in
+      let jt = m.Measurements.jt_serial in
+      let pinv = m.Measurements.pinv_svd in
+      let quick = m.Measurements.quick_ik in
+      let quick_cost = Cost.quick_ik ~dof ~speculations:specs in
+      let ikacc_cycles_per_iter =
+        Dadu_accel.Scheduler.iteration_cycles accel_config ~dof ~speculations:specs
+      in
+      let ikacc_s =
+        quick.Workload.mean_iterations
+        *. float_of_int ikacc_cycles_per_iter
+        /. accel_config.Dadu_accel.Config.frequency_hz
+      in
+      {
+        dof;
+        jt_serial_atom_ms =
+          ms
+            (Dadu_platforms.Atom.time_s ~cost:(Cost.jt_serial ~dof)
+               ~iterations:jt.Workload.mean_iterations ());
+        pinv_svd_atom_ms =
+          ms
+            (Dadu_platforms.Atom.time_s
+               ~cost:(Cost.pinv_svd ~dof ~sweeps:pinv.Workload.mean_sweeps_per_iteration)
+               ~iterations:pinv.Workload.mean_iterations ());
+        quick_atom_ms =
+          ms
+            (Dadu_platforms.Atom.time_s ~cost:quick_cost
+               ~iterations:quick.Workload.mean_iterations ());
+        quick_tx1_ms =
+          ms
+            (Dadu_platforms.Tx1.time_s ~cost:quick_cost
+               ~iterations:quick.Workload.mean_iterations ());
+        quick_ikacc_ms = ms ikacc_s;
+      })
+    t.Measurements.per_dof
+
+let to_table rows =
+  let table =
+    Table.create
+      ~title:
+        "Table 2: average solve time (ms); JT-Serial/J-1-SVD/JT-Speculation on Atom, \
+         JT-TX1 on TX1, JT-IKAcc on IKAcc"
+      [
+        ("DOF", Table.Right);
+        ("JT-Serial", Table.Right);
+        ("J-1-SVD", Table.Right);
+        ("JT-Speculation", Table.Right);
+        ("JT-TX1", Table.Right);
+        ("JT-IKAcc", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          string_of_int r.dof;
+          Table.fmt_float ~decimals:2 r.jt_serial_atom_ms;
+          Table.fmt_float ~decimals:2 r.pinv_svd_atom_ms;
+          Table.fmt_float ~decimals:2 r.quick_atom_ms;
+          Table.fmt_float ~decimals:2 r.quick_tx1_ms;
+          Table.fmt_float ~decimals:4 r.quick_ikacc_ms;
+        ])
+    rows;
+  table
+
+type speedups = {
+  ikacc_vs_jt_serial_atom : float;
+  ikacc_vs_tx1 : float;
+  ikacc_vs_pinv_atom : float;
+  tx1_vs_quick_atom : float;
+}
+
+let speedups rows =
+  let gm f = Stats.geomean (Array.of_list (List.map f rows)) in
+  {
+    ikacc_vs_jt_serial_atom = gm (fun r -> r.jt_serial_atom_ms /. r.quick_ikacc_ms);
+    ikacc_vs_tx1 = gm (fun r -> r.quick_tx1_ms /. r.quick_ikacc_ms);
+    ikacc_vs_pinv_atom = gm (fun r -> r.pinv_svd_atom_ms /. r.quick_ikacc_ms);
+    tx1_vs_quick_atom = gm (fun r -> r.quick_atom_ms /. r.quick_tx1_ms);
+  }
+
+let speedup_table rows =
+  let s = speedups rows in
+  let table =
+    Table.create ~title:"Table 2 headline speedups (geomean across DOF sweep)"
+      [ ("Comparison", Table.Left); ("This repo", Table.Right); ("Paper", Table.Right) ]
+  in
+  Table.add_row table
+    [ "IKAcc vs JT-Serial (Atom)"; Printf.sprintf "%.0fx" s.ikacc_vs_jt_serial_atom; "~1700x" ];
+  Table.add_row table
+    [ "IKAcc vs Quick-IK (TX1)"; Printf.sprintf "%.0fx" s.ikacc_vs_tx1; "~30x" ];
+  Table.add_row table
+    [ "IKAcc vs J-1-SVD (Atom)"; Printf.sprintf "%.0fx" s.ikacc_vs_pinv_atom; "~100x" ];
+  Table.add_row table
+    [ "TX1 vs Quick-IK (Atom)"; Printf.sprintf "%.0fx" s.tx1_vs_quick_atom; "~40x" ];
+  table
+
+let csv_header =
+  [ "dof"; "jt_serial_atom_ms"; "pinv_svd_atom_ms"; "quick_atom_ms"; "quick_tx1_ms"; "quick_ikacc_ms" ]
+
+let to_csv_rows rows =
+  List.map
+    (fun r ->
+      [
+        string_of_int r.dof;
+        Printf.sprintf "%.4f" r.jt_serial_atom_ms;
+        Printf.sprintf "%.4f" r.pinv_svd_atom_ms;
+        Printf.sprintf "%.4f" r.quick_atom_ms;
+        Printf.sprintf "%.4f" r.quick_tx1_ms;
+        Printf.sprintf "%.6f" r.quick_ikacc_ms;
+      ])
+    rows

@@ -1,0 +1,36 @@
+(** Table 2: average solve time (ms) per method and platform.
+
+    CPU/GPU columns come from the platform cost models driven by measured
+    iteration counts; the IKAcc column comes from the accelerator cycle
+    model.  The shapes to check against the paper: JT-IKAcc fastest at
+    every DOF by orders of magnitude; JT-TX1 well ahead of the Atom
+    columns but only a few × ahead of J⁻¹-SVD; times grow with DOF. *)
+
+type row = {
+  dof : int;
+  jt_serial_atom_ms : float;
+  pinv_svd_atom_ms : float;
+  quick_atom_ms : float;
+  quick_tx1_ms : float;
+  quick_ikacc_ms : float;
+}
+
+val compute : ?accel_config:Dadu_accel.Config.t -> Measurements.t -> row list
+
+val to_table : row list -> Dadu_util.Table.t
+
+type speedups = {
+  ikacc_vs_jt_serial_atom : float;  (** paper: ~1700× (mean across DOF) *)
+  ikacc_vs_tx1 : float;  (** paper: ~30× *)
+  ikacc_vs_pinv_atom : float;
+  tx1_vs_quick_atom : float;  (** paper: ~40× *)
+}
+
+val speedups : row list -> speedups
+(** Geometric means across the DOF sweep. *)
+
+val speedup_table : row list -> Dadu_util.Table.t
+
+val csv_header : string list
+
+val to_csv_rows : row list -> string list list

@@ -1,0 +1,124 @@
+module Table = Dadu_util.Table
+module Stats = Dadu_util.Stats
+module Platform = Dadu_platforms.Platform
+module Accel = Dadu_accel
+
+let platform_table () =
+  let table =
+    Table.create ~title:"Table 3: the details of various hardware platforms"
+      [
+        ("Platform", Table.Left);
+        ("Technology", Table.Left);
+        ("Frequency", Table.Left);
+        ("Average Power", Table.Left);
+        ("Area", Table.Left);
+      ]
+  in
+  Table.add_row table [ "Intel Atom"; "32nm"; "1.86GHz"; "10W"; "-" ];
+  Table.add_row table [ "Nvidia TX1"; "20nm"; "up to 1.9GHz"; "4.8W"; "-" ];
+  Table.add_row table [ "IKAcc"; "65nm 1.1V"; "1GHz"; "158.6mW"; "2.27mm2" ];
+  table
+
+type row = {
+  dof : int;
+  jt_serial_atom_j : float;
+  pinv_svd_atom_j : float;
+  quick_atom_j : float;
+  quick_tx1_j : float;
+  quick_ikacc_j : float;
+  ikacc_avg_power_w : float;
+}
+
+let compute ?(accel_config = Accel.Config.default) (t : Measurements.t)
+    (table2_rows : Table2.row list) =
+  let specs = t.Measurements.scale.Runner.speculations in
+  List.map2
+    (fun (m : Measurements.per_dof) (t2 : Table2.row) ->
+      let dof = m.Measurements.dof in
+      let iterations =
+        int_of_float (Float.round m.Measurements.quick_ik.Workload.mean_iterations)
+        |> Stdlib.max 1
+      in
+      let cycles_per_iter =
+        Accel.Scheduler.iteration_cycles accel_config ~dof ~speculations:specs
+      in
+      let spu_busy = iterations * Accel.Spu.iteration_cycles accel_config ~dof in
+      let ssu_busy =
+        iterations * Accel.Scheduler.ssu_busy_cycles accel_config ~dof ~speculations:specs
+      in
+      let energy =
+        Accel.Energy.of_activity accel_config
+          ~total_cycles:(iterations * cycles_per_iter)
+          ~spu_busy_cycles:spu_busy ~ssu_busy_cycles:ssu_busy
+      in
+      let s_of_ms ms = ms /. 1e3 in
+      {
+        dof;
+        jt_serial_atom_j =
+          Platform.energy Platform.atom ~time_s:(s_of_ms t2.Table2.jt_serial_atom_ms);
+        pinv_svd_atom_j =
+          Platform.energy Platform.atom ~time_s:(s_of_ms t2.Table2.pinv_svd_atom_ms);
+        quick_atom_j =
+          Platform.energy Platform.atom ~time_s:(s_of_ms t2.Table2.quick_atom_ms);
+        quick_tx1_j =
+          Platform.energy Platform.tx1 ~time_s:(s_of_ms t2.Table2.quick_tx1_ms);
+        quick_ikacc_j = energy.Accel.Energy.total_j;
+        ikacc_avg_power_w = energy.Accel.Energy.avg_power_w;
+      })
+    t.Measurements.per_dof table2_rows
+
+let to_table rows =
+  let table =
+    Table.create ~title:"Energy per solve (J); IKAcc column from the activity model"
+      [
+        ("DOF", Table.Right);
+        ("JT-Serial@Atom", Table.Right);
+        ("J-1-SVD@Atom", Table.Right);
+        ("Quick-IK@Atom", Table.Right);
+        ("Quick-IK@TX1", Table.Right);
+        ("Quick-IK@IKAcc", Table.Right);
+        ("IKAcc avg power", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          string_of_int r.dof;
+          Table.fmt_sig ~digits:3 r.jt_serial_atom_j;
+          Table.fmt_sig ~digits:3 r.pinv_svd_atom_j;
+          Table.fmt_sig ~digits:3 r.quick_atom_j;
+          Table.fmt_sig ~digits:3 r.quick_tx1_j;
+          Printf.sprintf "%.3g mJ" (r.quick_ikacc_j *. 1e3);
+          Printf.sprintf "%.1f mW" (r.ikacc_avg_power_w *. 1e3);
+        ])
+    rows;
+  table
+
+let efficiency_vs_tx1 rows =
+  Stats.geomean (Array.of_list (List.map (fun r -> r.quick_tx1_j /. r.quick_ikacc_j) rows))
+
+let csv_header =
+  [
+    "dof";
+    "jt_serial_atom_j";
+    "pinv_svd_atom_j";
+    "quick_atom_j";
+    "quick_tx1_j";
+    "quick_ikacc_j";
+    "ikacc_avg_power_w";
+  ]
+
+let to_csv_rows rows =
+  List.map
+    (fun r ->
+      [
+        string_of_int r.dof;
+        Printf.sprintf "%.5g" r.jt_serial_atom_j;
+        Printf.sprintf "%.5g" r.pinv_svd_atom_j;
+        Printf.sprintf "%.5g" r.quick_atom_j;
+        Printf.sprintf "%.5g" r.quick_tx1_j;
+        Printf.sprintf "%.5g" r.quick_ikacc_j;
+        Printf.sprintf "%.5g" r.ikacc_avg_power_w;
+      ])
+    rows

@@ -1,0 +1,31 @@
+(** Table 3: platform details, plus the energy-per-solve companion the
+    paper reports in §6.3.2 prose (IKAcc ≈ 1.92 mJ at 100 DOF; TX1 ≈
+    1.49 J; Atom pseudoinverse ≈ 1 J at 12 DOF; ~776× energy efficiency
+    over TX1). *)
+
+val platform_table : unit -> Dadu_util.Table.t
+(** The literal Table 3: technology, frequency, average power, area. *)
+
+type row = {
+  dof : int;
+  jt_serial_atom_j : float;
+  pinv_svd_atom_j : float;
+  quick_atom_j : float;
+  quick_tx1_j : float;
+  quick_ikacc_j : float;
+  ikacc_avg_power_w : float;  (** from the activity model, per DOF *)
+}
+
+val compute :
+  ?accel_config:Dadu_accel.Config.t -> Measurements.t -> Table2.row list -> row list
+(** Energies are Table 2 times × platform average power for CPU/GPU, and
+    the activity-based {!Dadu_accel.Energy} model for IKAcc. *)
+
+val to_table : row list -> Dadu_util.Table.t
+
+val efficiency_vs_tx1 : row list -> float
+(** Geomean of TX1 energy / IKAcc energy — the paper's 776×. *)
+
+val csv_header : string list
+
+val to_csv_rows : row list -> string list list

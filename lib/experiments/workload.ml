@@ -1,0 +1,61 @@
+open Dadu_core
+module Rng = Dadu_util.Rng
+module Stats = Dadu_util.Stats
+
+type aggregate = {
+  name : string;
+  dof : int;
+  targets : int;
+  converged : int;
+  mean_iterations : float;
+  median_iterations : float;
+  max_iterations_observed : int;
+  mean_error : float;
+  mean_work : float;
+  speculations : int;
+  mean_sweeps_per_iteration : float;
+  wall_clock_s : float;
+}
+
+let run (scale : Runner.scale) ~name ~chain ~solver =
+  let dof = Dadu_kinematics.Chain.dof chain in
+  (* Seed depends on scale.seed and dof only: every solver at a given DOF
+     sees the identical batch of problems. *)
+  let rng = Rng.create (scale.Runner.seed + (1_000_003 * dof)) in
+  let problems = Array.init scale.Runner.targets (fun _ -> Ik.random_problem rng chain) in
+  let config = Runner.ik_config scale in
+  let t0 = Sys.time () in
+  let results = Array.map (solver config) problems in
+  let wall_clock_s = Sys.time () -. t0 in
+  let iterations = Array.map (fun r -> float_of_int r.Ik.iterations) results in
+  let total_iters = Array.fold_left (fun acc r -> acc + r.Ik.iterations) 0 results in
+  let total_sweeps = Array.fold_left (fun acc r -> acc + r.Ik.svd_sweeps) 0 results in
+  {
+    name;
+    dof;
+    targets = scale.Runner.targets;
+    converged =
+      Array.fold_left
+        (fun acc r -> match r.Ik.status with Ik.Converged -> acc + 1 | Ik.Max_iterations | Ik.Stalled -> acc)
+        0 results;
+    mean_iterations = Stats.mean iterations;
+    median_iterations = Stats.median iterations;
+    max_iterations_observed =
+      Array.fold_left (fun acc r -> Stdlib.max acc r.Ik.iterations) 0 results;
+    mean_error =
+      Stats.mean (Array.map (fun r -> r.Ik.error) results);
+    mean_work =
+      Stats.mean (Array.map (fun r -> float_of_int (Ik.work r)) results);
+    speculations = (if Array.length results = 0 then 1 else results.(0).Ik.speculations);
+    mean_sweeps_per_iteration =
+      (if total_iters = 0 then 0. else float_of_int total_sweeps /. float_of_int total_iters);
+    wall_clock_s;
+  }
+
+let convergence_rate a =
+  if a.targets = 0 then 0. else float_of_int a.converged /. float_of_int a.targets
+
+let pp ppf a =
+  Format.fprintf ppf
+    "%s @ %d DOF: %.1f mean iters (median %.0f), %d/%d converged, work %.3g"
+    a.name a.dof a.mean_iterations a.median_iterations a.converged a.targets a.mean_work

@@ -1,0 +1,34 @@
+open Dadu_core
+
+(** Running one solver over a batch of random targets and aggregating the
+    statistics the paper reports. *)
+
+type aggregate = {
+  name : string;  (** solver label, e.g. "JT-Serial" *)
+  dof : int;
+  targets : int;
+  converged : int;  (** solves that met the accuracy threshold *)
+  mean_iterations : float;
+  median_iterations : float;
+  max_iterations_observed : int;
+  mean_error : float;  (** final error, converged or not *)
+  mean_work : float;  (** mean speculations × iterations (Figure 5b) *)
+  speculations : int;  (** per-iteration candidates (1 for serial methods) *)
+  mean_sweeps_per_iteration : float;  (** SVD methods; 0 otherwise *)
+  wall_clock_s : float;  (** host time actually spent running the batch *)
+}
+
+val run :
+  Runner.scale ->
+  name:string ->
+  chain:Dadu_kinematics.Chain.t ->
+  solver:(Ik.config -> Ik.problem -> Ik.result) ->
+  aggregate
+(** Draws [scale.targets] problems (reachable target + random start) from a
+    generator seeded by [scale.seed] and the chain's DOF, solves each, and
+    aggregates.  The same scale and chain always produce the same problem
+    batch, so different solvers see identical workloads. *)
+
+val convergence_rate : aggregate -> float
+
+val pp : Format.formatter -> aggregate -> unit

@@ -1,0 +1,66 @@
+open Dadu_linalg
+
+type link = { name : string; joint : Joint.t; dh : Dh.t }
+
+type t = {
+  chain_name : string;
+  links : link array;
+  base : Mat4.t;
+  tool : Mat4.t;
+}
+
+let make ?(name = "chain") ?base ?tool links =
+  if Array.length links = 0 then invalid_arg "Chain.make: no links";
+  let base = match base with Some b -> Mat4.copy b | None -> Mat4.identity () in
+  let tool = match tool with Some t -> Mat4.copy t | None -> Mat4.identity () in
+  { chain_name = name; links = Array.copy links; base; tool }
+
+let name t = t.chain_name
+
+let dof t = Array.length t.links
+
+let links t = t.links
+
+let link t i = t.links.(i)
+
+let base t = t.base
+
+let tool t = t.tool
+
+let reach t =
+  Array.fold_left
+    (fun acc { joint; dh; _ } ->
+      let travel =
+        match joint.Joint.kind with
+        | Joint.Revolute -> 0.
+        | Joint.Prismatic ->
+          if Joint.unbounded joint then infinity
+          else Float.max (Float.abs joint.Joint.lower) (Float.abs joint.Joint.upper)
+      in
+      acc +. Float.abs dh.Dh.a +. Float.abs dh.Dh.d +. travel)
+    0. t.links
+
+let check_config t q =
+  if Array.length q <> dof t then
+    invalid_arg
+      (Printf.sprintf "Chain %s: config has %d entries, expected %d" t.chain_name
+         (Array.length q) (dof t))
+
+let clamp_config t q =
+  check_config t q;
+  Array.mapi (fun i qi -> Joint.clamp t.links.(i).joint qi) q
+
+let config_inside t q =
+  check_config t q;
+  let rec loop i =
+    i >= dof t || (Joint.inside t.links.(i).joint q.(i) && loop (i + 1))
+  in
+  loop 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>chain %s (%d DOF)" t.chain_name (dof t);
+  Array.iter
+    (fun { name; joint; dh } ->
+      Format.fprintf ppf "@,  %s: %a %a" name Joint.pp joint Dh.pp dh)
+    t.links;
+  Format.fprintf ppf "@]"

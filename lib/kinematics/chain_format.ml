@@ -1,0 +1,167 @@
+open Dadu_linalg
+
+let ( let* ) = Result.bind
+
+let fail line fmt = Printf.ksprintf (fun msg -> Error (Printf.sprintf "line %d: %s" line msg)) fmt
+
+(* "90deg" -> radians; bare numbers pass through *)
+let parse_number line s =
+  let deg = Filename.check_suffix s "deg" in
+  let body = if deg then String.sub s 0 (String.length s - 3) else s in
+  match float_of_string_opt body with
+  | Some v -> Ok (if deg then v *. Float.pi /. 180. else v)
+  | None -> fail line "expected a number, got %S" s
+
+let parse_assignment line s =
+  match String.index_opt s '=' with
+  | None -> fail line "expected key=value, got %S" s
+  | Some i ->
+    Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let parse_limits line s =
+  match String.split_on_char ',' s with
+  | [ lo; hi ] ->
+    let* lo = parse_number line lo in
+    let* hi = parse_number line hi in
+    if lo > hi then fail line "limits out of order (%g > %g)" lo hi else Ok (lo, hi)
+  | [] | [ _ ] | _ :: _ :: _ -> fail line "expected limits=lo,hi, got %S" s
+
+let parse_joint line name kind_str params =
+  let* kind =
+    match kind_str with
+    | "revolute" -> Ok Joint.Revolute
+    | "prismatic" -> Ok Joint.Prismatic
+    | other -> fail line "unknown joint kind %S (revolute | prismatic)" other
+  in
+  let rec fold params a alpha d theta limits =
+    match params with
+    | [] -> Ok (a, alpha, d, theta, limits)
+    | p :: rest ->
+      let* key, value = parse_assignment line p in
+      (match key with
+      | "a" ->
+        let* v = parse_number line value in
+        fold rest v alpha d theta limits
+      | "alpha" ->
+        let* v = parse_number line value in
+        fold rest a v d theta limits
+      | "d" ->
+        let* v = parse_number line value in
+        fold rest a alpha v theta limits
+      | "theta" ->
+        let* v = parse_number line value in
+        fold rest a alpha d v limits
+      | "limits" ->
+        let* v = parse_limits line value in
+        fold rest a alpha d theta (Some v)
+      | other -> fail line "unknown joint parameter %S" other)
+  in
+  let* a, alpha, d, theta, limits = fold params 0. 0. 0. 0. None in
+  let lower, upper =
+    match limits with Some (lo, hi) -> (lo, hi) | None -> (neg_infinity, infinity)
+  in
+  let joint =
+    match kind with
+    | Joint.Revolute -> Joint.revolute ~lower ~upper ()
+    | Joint.Prismatic -> Joint.prismatic ~lower ~upper ()
+  in
+  Ok { Chain.name; joint; dh = Dh.make ~a ~alpha ~d ~theta () }
+
+let parse_transform line words =
+  match words with
+  | [ "translate"; x; y; z ] ->
+    let* x = parse_number line x in
+    let* y = parse_number line y in
+    let* z = parse_number line z in
+    Ok (Mat4.translation (Vec3.make x y z))
+  | "rotate" :: axis :: [ angle ] ->
+    let* angle = parse_number line angle in
+    (match axis with
+    | "x" -> Ok (Mat4.rot_x angle)
+    | "y" -> Ok (Mat4.rot_y angle)
+    | "z" -> Ok (Mat4.rot_z angle)
+    | other -> fail line "unknown rotation axis %S (x | y | z)" other)
+  | _ -> fail line "expected 'translate x y z' or 'rotate axis angle'"
+
+let strip_comment s = match String.index_opt s '#' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let words s =
+  String.split_on_char ' ' (String.trim s)
+  |> List.filter (fun w -> w <> "")
+
+let parse content =
+  let lines = String.split_on_char '\n' content in
+  let rec go lines line_no name base tool links =
+    match lines with
+    | [] ->
+      if links = [] then Error "no joints declared"
+      else begin
+        let links = Array.of_list (List.rev links) in
+        let name = Option.value name ~default:"chain" in
+        Ok (Chain.make ~name ~base ~tool links)
+      end
+    | line :: rest ->
+      (match words (strip_comment line) with
+      | [] -> go rest (line_no + 1) name base tool links
+      | [ "chain"; chain_name ] -> go rest (line_no + 1) (Some chain_name) base tool links
+      | "base" :: transform ->
+        let* t = parse_transform line_no transform in
+        go rest (line_no + 1) name (Mat4.mul base t) tool links
+      | "tool" :: transform ->
+        let* t = parse_transform line_no transform in
+        go rest (line_no + 1) name base (Mat4.mul tool t) links
+      | "joint" :: joint_name :: kind :: params ->
+        let* link = parse_joint line_no joint_name kind params in
+        go rest (line_no + 1) name base tool (link :: links)
+      | [ "joint" ] | [ "joint"; _ ] ->
+        fail line_no "joint needs a name and a kind"
+      | directive :: _ -> fail line_no "unknown directive %S" directive)
+  in
+  go lines 1 None (Mat4.identity ()) (Mat4.identity ()) []
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | content -> parse content
+  | exception Sys_error msg -> Error msg
+
+let float_str x = Printf.sprintf "%.17g" x
+
+let transform_lines keyword t buf =
+  let p = Mat4.position t in
+  if not (Rot.approx_equal ~tol:1e-12 (Mat4.rotation t) (Rot.identity ())) then
+    Buffer.add_string buf
+      (Printf.sprintf "# %s rotation dropped (translations only)\n" keyword);
+  if Vec3.norm p > 0. then
+    Buffer.add_string buf
+      (Printf.sprintf "%s translate %s %s %s\n" keyword (float_str p.Vec3.x)
+         (float_str p.Vec3.y) (float_str p.Vec3.z))
+
+let to_string chain =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "chain %s\n" (Chain.name chain));
+  transform_lines "base" (Chain.base chain) buf;
+  Array.iter
+    (fun { Chain.name; joint; dh } ->
+      let kind =
+        match joint.Joint.kind with
+        | Joint.Revolute -> "revolute"
+        | Joint.Prismatic -> "prismatic"
+      in
+      Buffer.add_string buf (Printf.sprintf "joint %s %s" name kind);
+      let param key v default =
+        if v <> default then Buffer.add_string buf (Printf.sprintf " %s=%s" key (float_str v))
+      in
+      param "a" dh.Dh.a 0.;
+      param "alpha" dh.Dh.alpha 0.;
+      param "d" dh.Dh.d 0.;
+      param "theta" dh.Dh.theta 0.;
+      if not (Joint.unbounded joint) then
+        Buffer.add_string buf
+          (Printf.sprintf " limits=%s,%s" (float_str joint.Joint.lower)
+             (float_str joint.Joint.upper));
+      Buffer.add_char buf '\n')
+    (Chain.links chain);
+  transform_lines "tool" (Chain.tool chain) buf;
+  Buffer.contents buf

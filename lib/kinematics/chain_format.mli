@@ -1,0 +1,31 @@
+(** A plain-text robot description format (a minimal URDF stand-in).
+
+    One declaration per line; [#] starts a comment.  Lengths are meters,
+    angles are radians unless suffixed [deg].  Example:
+
+    {v
+    # a 3-DOF arm with a raised base and a tool offset
+    chain demo-arm
+    base translate 0 0 0.2
+    joint shoulder revolute a=0.5 alpha=90deg limits=-170deg,170deg
+    joint elbow revolute a=0.4
+    joint quill prismatic limits=0,0.18
+    tool translate 0 0 0.05
+    v}
+
+    [base] and [tool] lines may repeat; their transforms compose in file
+    order.  Supported transforms: [translate x y z] and
+    [rotate (x|y|z) angle]. *)
+
+val parse : string -> (Chain.t, string) result
+(** Parses a description from a string.  Errors carry the 1-based line
+    number and what was expected. *)
+
+val parse_file : string -> (Chain.t, string) result
+(** Reads and parses a file; I/O failures are reported in the error. *)
+
+val to_string : Chain.t -> string
+(** Serializes a chain; [parse (to_string c)] reconstructs a chain with
+    identical kinematics.  Base and tool transforms must be pure
+    translations to round-trip exactly (rotation parts are emitted as a
+    comment and dropped); all chains built by {!Robots} qualify. *)

@@ -1,0 +1,41 @@
+type t = { a : float; alpha : float; d : float; theta : float }
+
+let make ?(a = 0.) ?(alpha = 0.) ?(d = 0.) ?(theta = 0.) () = { a; alpha; d; theta }
+
+(* Standard DH matrix:
+   | cθ  −sθ·cα   sθ·sα   a·cθ |
+   | sθ   cθ·cα  −cθ·sα   a·sθ |
+   | 0    sα      cα      d    |
+   | 0    0       0       1    |  *)
+let transform_into ~dst dh kind q =
+  let theta, d =
+    match (kind : Joint.kind) with
+    | Revolute -> (dh.theta +. q, dh.d)
+    | Prismatic -> (dh.theta, dh.d +. q)
+  in
+  let ct = cos theta and st = sin theta in
+  let ca = cos dh.alpha and sa = sin dh.alpha in
+  dst.(0) <- ct;
+  dst.(1) <- -.st *. ca;
+  dst.(2) <- st *. sa;
+  dst.(3) <- dh.a *. ct;
+  dst.(4) <- st;
+  dst.(5) <- ct *. ca;
+  dst.(6) <- -.ct *. sa;
+  dst.(7) <- dh.a *. st;
+  dst.(8) <- 0.;
+  dst.(9) <- sa;
+  dst.(10) <- ca;
+  dst.(11) <- d;
+  dst.(12) <- 0.;
+  dst.(13) <- 0.;
+  dst.(14) <- 0.;
+  dst.(15) <- 1.
+
+let transform dh kind q =
+  let dst = Array.make 16 0. in
+  transform_into ~dst dh kind q;
+  dst
+
+let pp ppf t =
+  Format.fprintf ppf "{a=%g; alpha=%g; d=%g; theta=%g}" t.a t.alpha t.d t.theta

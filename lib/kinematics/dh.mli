@@ -1,0 +1,26 @@
+open Dadu_linalg
+
+(** Denavit–Hartenberg link parameters (standard convention).
+
+    Each link's frame-to-frame transform is
+    [Rz(θ)·Tz(d)·Tx(a)·Rx(α)].  For a revolute joint the joint variable
+    adds to [theta]; for a prismatic joint it adds to [d]. *)
+
+type t = {
+  a : float;  (** link length (along x) *)
+  alpha : float;  (** link twist (about x) *)
+  d : float;  (** link offset (along z); variable part for prismatic *)
+  theta : float;  (** joint angle offset (about z); variable part for revolute *)
+}
+
+val make : ?a:float -> ?alpha:float -> ?d:float -> ?theta:float -> unit -> t
+(** All parameters default to 0. *)
+
+val transform : t -> Joint.kind -> float -> Mat4.t
+(** [transform dh kind q] is the link transform with joint value [q]
+    applied to the convention-appropriate parameter. *)
+
+val transform_into : dst:Mat4.t -> t -> Joint.kind -> float -> unit
+(** Allocation-free version for the FK hot loop. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,222 @@
+open Dadu_linalg
+
+type body = { mass : float; com : Vec3.t; inertia : Mat.t }
+
+let point_mass mass com =
+  if mass < 0. then invalid_arg "Dynamics.point_mass: negative mass";
+  { mass; com; inertia = Mat.create 3 3 }
+
+let rod ~mass ~length =
+  if mass < 0. then invalid_arg "Dynamics.rod: negative mass";
+  let i_transverse = mass *. length *. length /. 12. in
+  let inertia = Mat.create 3 3 in
+  Mat.set inertia 1 1 i_transverse;
+  Mat.set inertia 2 2 i_transverse;
+  { mass; com = Vec3.make (-.length /. 2.) 0. 0.; inertia }
+
+type model = { chain : Chain.t; bodies : body array; gravity : Vec3.t }
+
+let default_gravity = Vec3.make 0. 0. (-9.81)
+
+let model ?(gravity = default_gravity) chain bodies =
+  if Array.length bodies <> Chain.dof chain then
+    invalid_arg "Dynamics.model: one body per link required";
+  Array.iter
+    (fun b -> if b.mass < 0. then invalid_arg "Dynamics.model: negative mass")
+    bodies;
+  { chain; bodies; gravity }
+
+let uniform_rods ?gravity ?(total_mass = 10.) chain =
+  let links = Chain.links chain in
+  let lengths = Array.map (fun l -> Float.abs l.Chain.dh.Dh.a) links in
+  let total_length = Array.fold_left ( +. ) 0. lengths in
+  let bodies =
+    Array.map
+      (fun length ->
+        let mass =
+          if total_length > 0. then total_mass *. length /. total_length
+          else total_mass /. float_of_int (Array.length links)
+        in
+        if length > 0. then rod ~mass ~length else point_mass mass Vec3.zero)
+      lengths
+  in
+  model ?gravity chain bodies
+
+(* world-frame inertia: R·I·Rᵀ *)
+let world_inertia (r : Rot.t) inertia =
+  let rm = Mat.init 3 3 (fun i j -> Rot.get r i j) in
+  Mat.mul rm (Mat.mul inertia (Mat.transpose rm))
+
+(* Per-link world-frame state computed by the outward pass. *)
+type link_state = {
+  omega : Vec3.t;  (** angular velocity of the link *)
+  omega_dot : Vec3.t;
+  v_origin : Vec3.t;  (** velocity of the link frame origin *)
+  a_origin : Vec3.t;  (** acceleration of the link frame origin (gravity folded in) *)
+  com_world : Vec3.t;
+  v_com : Vec3.t;
+  a_com : Vec3.t;
+}
+
+let outward_pass { chain; bodies; gravity } ~q ~qd ~qdd =
+  Chain.check_config chain q;
+  Chain.check_config chain qd;
+  Chain.check_config chain qdd;
+  let n = Chain.dof chain in
+  let frames = Fk.frames chain q in
+  let states = Array.make n None in
+  (* base: stationary; the −g base acceleration trick folds gravity into
+     every inertial force *)
+  let omega = ref Vec3.zero in
+  let omega_dot = ref Vec3.zero in
+  let v = ref Vec3.zero in
+  let a = ref (Vec3.neg gravity) in
+  for i = 0 to n - 1 do
+    let { Chain.joint; _ } = Chain.link chain i in
+    let axis = Mat4.z_axis frames.(i) in
+    let o_parent = Mat4.position frames.(i) in
+    let o_child = Mat4.position frames.(i + 1) in
+    let r = Vec3.sub o_child o_parent in
+    let omega_parent = !omega and omega_dot_parent = !omega_dot in
+    (match joint.Joint.kind with
+    | Joint.Revolute ->
+      omega := Vec3.add omega_parent (Vec3.scale qd.(i) axis);
+      omega_dot :=
+        Vec3.add omega_dot_parent
+          (Vec3.add (Vec3.scale qdd.(i) axis)
+             (Vec3.scale qd.(i) (Vec3.cross omega_parent axis)));
+      (* origin of the child frame rides on the parent body extended by r *)
+      v := Vec3.add !v (Vec3.cross !omega r);
+      a :=
+        Vec3.add !a
+          (Vec3.add (Vec3.cross !omega_dot r)
+             (Vec3.cross !omega (Vec3.cross !omega r)))
+    | Joint.Prismatic ->
+      (* axis fixed in the parent link; sliding velocity along it *)
+      let v_rel = Vec3.scale qd.(i) axis in
+      v := Vec3.add !v (Vec3.add (Vec3.cross !omega r) v_rel);
+      a :=
+        Vec3.add !a
+          (Vec3.add
+             (Vec3.add (Vec3.cross !omega_dot r)
+                (Vec3.cross !omega (Vec3.cross !omega r)))
+             (Vec3.add (Vec3.scale qdd.(i) axis)
+                (Vec3.scale 2. (Vec3.cross !omega v_rel)))));
+    let com_world = Mat4.transform_point frames.(i + 1) bodies.(i).com in
+    let rc = Vec3.sub com_world o_child in
+    let v_com = Vec3.add !v (Vec3.cross !omega rc) in
+    let a_com =
+      Vec3.add !a
+        (Vec3.add (Vec3.cross !omega_dot rc)
+           (Vec3.cross !omega (Vec3.cross !omega rc)))
+    in
+    states.(i) <-
+      Some
+        {
+          omega = !omega;
+          omega_dot = !omega_dot;
+          v_origin = !v;
+          a_origin = !a;
+          com_world;
+          v_com;
+          a_com;
+        }
+  done;
+  ( frames,
+    Array.map
+      (function Some s -> s | None -> assert false)
+      states )
+
+let inverse_dynamics ({ chain; bodies; _ } as m) ~q ~qd ~qdd =
+  let n = Chain.dof chain in
+  let frames, states = outward_pass m ~q ~qd ~qdd in
+  let tau = Vec.create n in
+  (* inward pass: accumulate force/moment from the tip *)
+  let f_child = ref Vec3.zero in
+  let n_child = ref Vec3.zero in
+  let o_child_origin = ref (Mat4.position frames.(n)) in
+  for i = n - 1 downto 0 do
+    let s = states.(i) in
+    let b = bodies.(i) in
+    let o_i = Mat4.position frames.(i) in
+    let rot = Mat4.rotation frames.(i + 1) in
+    let iw = world_inertia rot b.inertia in
+    let f_inertial = Vec3.scale b.mass s.a_com in
+    let n_inertial =
+      Vec3.add
+        (Vec3.of_vec (Mat.mul_vec iw (Vec3.to_vec s.omega_dot)))
+        (Vec3.cross s.omega (Vec3.of_vec (Mat.mul_vec iw (Vec3.to_vec s.omega))))
+    in
+    let f = Vec3.add f_inertial !f_child in
+    let moment =
+      (* moments about the joint origin o_i *)
+      Vec3.add
+        (Vec3.add n_inertial !n_child)
+        (Vec3.add
+           (Vec3.cross (Vec3.sub s.com_world o_i) f_inertial)
+           (Vec3.cross (Vec3.sub !o_child_origin o_i) !f_child))
+    in
+    let axis = Mat4.z_axis frames.(i) in
+    let { Chain.joint; _ } = Chain.link chain i in
+    tau.(i) <-
+      (match joint.Joint.kind with
+      | Joint.Revolute -> Vec3.dot axis moment
+      | Joint.Prismatic -> Vec3.dot axis f);
+    f_child := f;
+    n_child := moment;
+    o_child_origin := o_i
+  done;
+  tau
+
+let gravity_torques m q =
+  let n = Chain.dof m.chain in
+  inverse_dynamics m ~q ~qd:(Vec.create n) ~qdd:(Vec.create n)
+
+let kinetic_energy ({ chain; bodies; _ } as m) ~q ~qd =
+  let n = Chain.dof chain in
+  let frames, states = outward_pass m ~q ~qd ~qdd:(Vec.create n) in
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    let s = states.(i) in
+    let b = bodies.(i) in
+    let rot = Mat4.rotation frames.(i + 1) in
+    let iw = world_inertia rot b.inertia in
+    let rotational =
+      Vec3.dot s.omega (Vec3.of_vec (Mat.mul_vec iw (Vec3.to_vec s.omega)))
+    in
+    total := !total +. (0.5 *. b.mass *. Vec3.norm_sq s.v_com) +. (0.5 *. rotational)
+  done;
+  !total
+
+let potential_energy { chain; bodies; gravity } q =
+  let frames = Fk.frames chain q in
+  let total = ref 0. in
+  Array.iteri
+    (fun i (b : body) ->
+      let com_world = Mat4.transform_point frames.(i + 1) b.com in
+      total := !total -. (b.mass *. Vec3.dot gravity com_world))
+    bodies;
+  !total
+
+let gravity_effort m q = Vec.norm_sq (gravity_torques m q)
+
+let bias_torques m ~q ~qd =
+  inverse_dynamics m ~q ~qd ~qdd:(Vec.create (Chain.dof m.chain))
+
+let mass_matrix m q =
+  let n = Chain.dof m.chain in
+  let zero = Vec.create n in
+  let gravity_part = inverse_dynamics m ~q ~qd:zero ~qdd:zero in
+  let mm = Mat.create n n in
+  for j = 0 to n - 1 do
+    let e = Vec.create n in
+    e.(j) <- 1.;
+    let tau = inverse_dynamics m ~q ~qd:zero ~qdd:e in
+    Mat.set_col mm j (Vec.sub tau gravity_part)
+  done;
+  mm
+
+let forward_dynamics m ~q ~qd ~tau =
+  Chain.check_config m.chain tau;
+  let rhs = Vec.sub tau (bias_torques m ~q ~qd) in
+  Cholesky.solve (mass_matrix m q) rhs

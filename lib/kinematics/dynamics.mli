@@ -1,0 +1,73 @@
+open Dadu_linalg
+
+(** Rigid-body dynamics for serial chains: recursive Newton–Euler.
+
+    The paper frames kinematics as "the basis of robotic control, which
+    manages the robots' movement, walking and balancing"; the torque side
+    of that control is dynamics.  This module computes inverse dynamics
+    [τ(q, q̇, q̈)] — and its [gravity_torques] special case — which the
+    examples use to pick low-effort postures among the many IK solutions
+    of a redundant chain.
+
+    Every body [i] is rigidly attached to frame [i+1] (it moves with
+    joint [i]); its inertial parameters are expressed in that frame. *)
+
+type body = {
+  mass : float;  (** kg; non-negative *)
+  com : Vec3.t;  (** center of mass, in the link's own frame *)
+  inertia : Mat.t;  (** 3×3 rotational inertia about the COM, link frame *)
+}
+
+val point_mass : float -> Vec3.t -> body
+(** Zero rotational inertia. *)
+
+val rod : mass:float -> length:float -> body
+(** Uniform thin rod spanning the link: in standard DH the link frame's
+    origin sits at the link's far end with the rod behind it along its
+    x-axis, so the COM is at [−length/2]; [I = m·l²/12] about the
+    transverse axes. *)
+
+type model = {
+  chain : Chain.t;
+  bodies : body array;  (** one per link *)
+  gravity : Vec3.t;  (** gravitational acceleration, base frame *)
+}
+
+val model : ?gravity:Vec3.t -> Chain.t -> body array -> model
+(** [gravity] defaults to [(0, 0, −9.81)].  Raises [Invalid_argument] on a
+    body-count mismatch or a negative mass. *)
+
+val uniform_rods : ?gravity:Vec3.t -> ?total_mass:float -> Chain.t -> model
+(** Every link a uniform rod of its DH [a]-length (links with [a = 0] get
+    a point mass at their origin), masses proportional to length and
+    summing to [total_mass] (default 10 kg). *)
+
+val inverse_dynamics : model -> q:Vec.t -> qd:Vec.t -> qdd:Vec.t -> Vec.t
+(** Joint torques (N·m; forces for prismatic joints, N) realizing the
+    acceleration [qdd] at state [(q, qd)] under gravity. *)
+
+val gravity_torques : model -> Vec.t -> Vec.t
+(** [inverse_dynamics] with zero velocity and acceleration: the static
+    holding torques at configuration [q]. *)
+
+val kinetic_energy : model -> q:Vec.t -> qd:Vec.t -> float
+
+val potential_energy : model -> Vec.t -> float
+(** Gravitational potential, zero level at the base origin. *)
+
+val gravity_effort : model -> Vec.t -> float
+(** [‖gravity_torques‖²] — the scalar the low-torque-posture example
+    descends. *)
+
+val bias_torques : model -> q:Vec.t -> qd:Vec.t -> Vec.t
+(** [C(q,q̇)·q̇ + G(q)]: the torques with zero acceleration —
+    [inverse_dynamics] at [q̈ = 0]. *)
+
+val mass_matrix : model -> Vec.t -> Mat.t
+(** The joint-space inertia matrix [M(q)] (symmetric positive definite),
+    assembled column by column from [inverse_dynamics] with unit
+    accelerations. *)
+
+val forward_dynamics : model -> q:Vec.t -> qd:Vec.t -> tau:Vec.t -> Vec.t
+(** [q̈ = M(q)⁻¹·(τ − C·q̇ − G)] — the exact inverse of
+    {!inverse_dynamics} (the tests assert the round trip). *)

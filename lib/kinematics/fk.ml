@@ -1,0 +1,60 @@
+open Dadu_linalg
+
+type scratch = { mutable acc : Mat4.t; mutable tmp : Mat4.t; local : Mat4.t }
+
+let make_scratch () =
+  { acc = Mat4.identity (); tmp = Mat4.identity (); local = Mat4.identity () }
+
+(* Folds the chain product left-to-right, ping-ponging between the two
+   accumulator buffers so nothing is allocated. *)
+let run_chain scratch chain q =
+  Chain.check_config chain q;
+  let links = Chain.links chain in
+  Array.blit (Chain.base chain) 0 scratch.acc 0 16;
+  for i = 0 to Array.length links - 1 do
+    let { Chain.joint; dh; _ } = links.(i) in
+    Dh.transform_into ~dst:scratch.local dh joint.Joint.kind q.(i);
+    Mat4.mul_into ~dst:scratch.tmp scratch.acc scratch.local;
+    let swap = scratch.acc in
+    scratch.acc <- scratch.tmp;
+    scratch.tmp <- swap
+  done;
+  Mat4.mul_into ~dst:scratch.tmp scratch.acc (Chain.tool chain);
+  let swap = scratch.acc in
+  scratch.acc <- scratch.tmp;
+  scratch.tmp <- swap
+
+(* Without an explicit scratch a fresh one is allocated: a shared global
+   default would race under domain-parallel solving (Batch, Quick_ik's
+   Parallel mode). *)
+let position ?scratch chain q =
+  let scratch = match scratch with Some s -> s | None -> make_scratch () in
+  run_chain scratch chain q;
+  Mat4.position scratch.acc
+
+let pose chain q =
+  let scratch = make_scratch () in
+  run_chain scratch chain q;
+  Mat4.copy scratch.acc
+
+let frames chain q =
+  Chain.check_config chain q;
+  let links = Chain.links chain in
+  let n = Array.length links in
+  let result = Array.make (n + 1) (Mat4.identity ()) in
+  result.(0) <- Mat4.copy (Chain.base chain);
+  let local = Mat4.identity () in
+  for i = 0 to n - 1 do
+    let { Chain.joint; dh; _ } = links.(i) in
+    Dh.transform_into ~dst:local dh joint.Joint.kind q.(i);
+    let next = Array.make 16 0. in
+    Mat4.mul_into ~dst:next result.(i) local;
+    result.(i + 1) <- next
+  done;
+  result.(n) <- Mat4.mul result.(n) (Chain.tool chain);
+  result
+
+(* One 4×4 matrix product is 64 multiplies + 48 adds = 112 flops; building
+   a DH local transform costs 4 trigs + 2 multiplies, counted as 10.  The
+   chain does [dof] products plus one for the tool. *)
+let flops_per_position dof = (dof + 1) * 112 + (dof * 10)

@@ -1,0 +1,31 @@
+open Dadu_linalg
+
+(** Forward kinematics: Eq. 10 of the paper, [f(θ) = ∏ ⁱ⁻¹Tᵢ].
+
+    The speculative search evaluates FK once per candidate per iteration,
+    so this is the hottest code in the library.  {!scratch} lets callers
+    amortize the two ping-pong accumulators and the per-link local
+    transform across calls. *)
+
+type scratch
+
+val make_scratch : unit -> scratch
+
+val position : ?scratch:scratch -> Chain.t -> Vec.t -> Vec3.t
+(** End-effector position [f(θ)] in the base frame.  Without [scratch] a
+    fresh workspace is allocated, so concurrent calls from different
+    domains are safe; hot loops should pass their own scratch. *)
+
+val pose : Chain.t -> Vec.t -> Mat4.t
+(** Full end-effector transform (base and tool included). *)
+
+val frames : Chain.t -> Vec.t -> Mat4.t array
+(** Cumulative transforms: [frames.(i)] is [⁰Tᵢ] (base through link [i-1]),
+    so the array has [dof+1] entries; the last includes the tool.
+    [frames.(0)] is the base transform.  This is the [¹Tᵢ] set the paper's
+    Jacobian stage consumes. *)
+
+val flops_per_position : int -> int
+(** Floating-point operation count of one {!position} call for a [dof]-link
+    chain; used by the platform cost models.  Counts the 4×4 matrix product
+    chain exactly as the accelerator's FKU executes it. *)

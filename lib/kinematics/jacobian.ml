@@ -1,0 +1,67 @@
+open Dadu_linalg
+
+let position_jacobian_of_frames chain frames =
+  let n = Chain.dof chain in
+  if Array.length frames <> n + 1 then
+    invalid_arg "Jacobian.position_jacobian_of_frames: wrong frame count";
+  let p_end = Mat4.position frames.(n) in
+  let j = Mat.create 3 n in
+  for i = 0 to n - 1 do
+    let { Chain.joint; _ } = Chain.link chain i in
+    let z = Mat4.z_axis frames.(i) in
+    let column =
+      match joint.Joint.kind with
+      | Joint.Revolute -> Vec3.cross z (Vec3.sub p_end (Mat4.position frames.(i)))
+      | Joint.Prismatic -> z
+    in
+    Mat.set j 0 i column.Vec3.x;
+    Mat.set j 1 i column.Vec3.y;
+    Mat.set j 2 i column.Vec3.z
+  done;
+  j
+
+let position_jacobian chain q = position_jacobian_of_frames chain (Fk.frames chain q)
+
+let full_jacobian chain q =
+  let n = Chain.dof chain in
+  let frames = Fk.frames chain q in
+  let p_end = Mat4.position frames.(n) in
+  let j = Mat.create 6 n in
+  for i = 0 to n - 1 do
+    let { Chain.joint; _ } = Chain.link chain i in
+    let z = Mat4.z_axis frames.(i) in
+    let linear, angular =
+      match joint.Joint.kind with
+      | Joint.Revolute ->
+        (Vec3.cross z (Vec3.sub p_end (Mat4.position frames.(i))), z)
+      | Joint.Prismatic -> (z, Vec3.zero)
+    in
+    Mat.set j 0 i linear.Vec3.x;
+    Mat.set j 1 i linear.Vec3.y;
+    Mat.set j 2 i linear.Vec3.z;
+    Mat.set j 3 i angular.Vec3.x;
+    Mat.set j 4 i angular.Vec3.y;
+    Mat.set j 5 i angular.Vec3.z
+  done;
+  j
+
+let numerical_position_jacobian ?(eps = 1e-6) chain q =
+  let n = Chain.dof chain in
+  let j = Mat.create 3 n in
+  let scratch = Fk.make_scratch () in
+  for i = 0 to n - 1 do
+    let qp = Vec.copy q and qm = Vec.copy q in
+    qp.(i) <- qp.(i) +. eps;
+    qm.(i) <- qm.(i) -. eps;
+    let fp = Fk.position ~scratch chain qp in
+    let fm = Fk.position ~scratch chain qm in
+    let d = Vec3.scale (1. /. (2. *. eps)) (Vec3.sub fp fm) in
+    Mat.set j 0 i d.Vec3.x;
+    Mat.set j 1 i d.Vec3.y;
+    Mat.set j 2 i d.Vec3.z
+  done;
+  j
+
+(* Frames pass ≈ FK cost; per column: one cross product (9) plus one
+   subtraction (3). *)
+let flops dof = Fk.flops_per_position dof + (dof * 12)

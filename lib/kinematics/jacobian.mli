@@ -1,0 +1,27 @@
+open Dadu_linalg
+
+(** Geometric Jacobians.
+
+    For a revolute joint [i] with axis [z_{i-1}] and origin [p_{i-1}] (both
+    in the base frame), the position Jacobian column is
+    [z_{i-1} × (p_end − p_{i-1})]; for a prismatic joint it is [z_{i-1}].
+    The full Jacobian stacks an angular block ([z_{i-1}] for revolute,
+    [0] for prismatic) under the linear block. *)
+
+val position_jacobian : Chain.t -> Vec.t -> Mat.t
+(** 3×dof Jacobian of the end-effector position at configuration [q]. *)
+
+val position_jacobian_of_frames : Chain.t -> Mat4.t array -> Mat.t
+(** Same, reusing cumulative frames from {!Fk.frames} (avoids recomputing
+    FK when the caller already has the frames). *)
+
+val full_jacobian : Chain.t -> Vec.t -> Mat.t
+(** 6×dof Jacobian: rows 0–2 linear velocity, rows 3–5 angular velocity. *)
+
+val numerical_position_jacobian : ?eps:float -> Chain.t -> Vec.t -> Mat.t
+(** Central finite differences of {!Fk.position}; the test oracle for the
+    analytic Jacobian.  [eps] defaults to 1e-6. *)
+
+val flops : int -> int
+(** Flop count of one [position_jacobian] evaluation (including the FK
+    frames pass) for a [dof]-link chain; used by the cost models. *)

@@ -1,0 +1,23 @@
+type kind = Revolute | Prismatic
+
+type t = { kind : kind; lower : float; upper : float }
+
+let make kind lower upper =
+  if lower > upper then invalid_arg "Joint: lower limit exceeds upper limit";
+  { kind; lower; upper }
+
+let revolute ?(lower = neg_infinity) ?(upper = infinity) () = make Revolute lower upper
+
+let prismatic ?(lower = neg_infinity) ?(upper = infinity) () = make Prismatic lower upper
+
+let unbounded t = t.lower = neg_infinity && t.upper = infinity
+
+let clamp t q = Float.min t.upper (Float.max t.lower q)
+
+let inside t q = q >= t.lower && q <= t.upper
+
+let span t = t.upper -. t.lower
+
+let pp ppf t =
+  let kind = match t.kind with Revolute -> "revolute" | Prismatic -> "prismatic" in
+  Format.fprintf ppf "%s[%g, %g]" kind t.lower t.upper

@@ -1,0 +1,28 @@
+(** Joint descriptions: kind and travel limits. *)
+
+type kind =
+  | Revolute  (** joint variable is an angle (radians) *)
+  | Prismatic  (** joint variable is a displacement (meters) *)
+
+type t = {
+  kind : kind;
+  lower : float;  (** lower travel limit; [neg_infinity] if unbounded *)
+  upper : float;  (** upper travel limit; [infinity] if unbounded *)
+}
+
+val revolute : ?lower:float -> ?upper:float -> unit -> t
+(** Unbounded by default. *)
+
+val prismatic : ?lower:float -> ?upper:float -> unit -> t
+
+val unbounded : t -> bool
+
+val clamp : t -> float -> float
+(** Clamps a joint value into the travel range. *)
+
+val inside : t -> float -> bool
+
+val span : t -> float
+(** [upper − lower]; [infinity] when unbounded. *)
+
+val pp : Format.formatter -> t -> unit

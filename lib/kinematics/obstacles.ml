@@ -1,0 +1,55 @@
+open Dadu_linalg
+
+type sphere = { center : Vec3.t; radius : float }
+
+let sphere ~center ~radius =
+  if radius <= 0. then invalid_arg "Obstacles.sphere: radius must be positive";
+  { center; radius }
+
+type scene = sphere list
+
+let point_segment_distance p a b =
+  let ab = Vec3.sub b a in
+  let len_sq = Vec3.norm_sq ab in
+  if len_sq < 1e-24 then Vec3.dist p a
+  else begin
+    let t = Vec3.dot (Vec3.sub p a) ab /. len_sq in
+    let t = Float.min 1. (Float.max 0. t) in
+    Vec3.dist p (Vec3.add a (Vec3.scale t ab))
+  end
+
+let segment_clearance a b { center; radius } =
+  point_segment_distance center a b -. radius
+
+let clearance scene chain q =
+  if scene = [] then infinity
+  else begin
+    let frames = Fk.frames chain q in
+    let best = ref infinity in
+    for i = 0 to Chain.dof chain - 1 do
+      let a = Mat4.position frames.(i) in
+      let b = Mat4.position frames.(i + 1) in
+      List.iter
+        (fun s -> best := Float.min !best (segment_clearance a b s))
+        scene
+    done;
+    !best
+  end
+
+let penetrates scene chain q = clearance scene chain q < 0.
+
+let clearance_gradient ?(eps = 1e-5) scene chain q =
+  Array.init (Vec.dim q) (fun i ->
+      let plus = Vec.copy q and minus = Vec.copy q in
+      plus.(i) <- plus.(i) +. eps;
+      minus.(i) <- minus.(i) -. eps;
+      (clearance scene chain plus -. clearance scene chain minus) /. (2. *. eps))
+
+let avoidance_objective ?(margin = 0.1) scene chain q =
+  let c = clearance scene chain q in
+  if c >= margin then Vec.create (Vec.dim q)
+  else begin
+    let gradient = clearance_gradient scene chain q in
+    let norm = Vec.norm gradient in
+    if norm < 1e-12 then gradient else Vec.scale (1. /. norm) gradient
+  end

@@ -1,0 +1,40 @@
+open Dadu_linalg
+
+(** Sphere-obstacle scenes and chain clearance.
+
+    Links are treated as line segments between consecutive frame origins;
+    clearance is the smallest distance from any link to any obstacle
+    surface (negative when penetrating).  The gradient of clearance feeds
+    the nullspace machinery, so a redundant chain can keep reaching while
+    its body stays clear — see the obstacle-avoidance example. *)
+
+type sphere = { center : Vec3.t; radius : float }
+
+val sphere : center:Vec3.t -> radius:float -> sphere
+(** Raises [Invalid_argument] on a non-positive radius. *)
+
+type scene = sphere list
+
+val point_segment_distance : Vec3.t -> Vec3.t -> Vec3.t -> float
+(** [point_segment_distance p a b]: distance from [p] to segment [ab]
+    (degenerate segments allowed). *)
+
+val segment_clearance : Vec3.t -> Vec3.t -> sphere -> float
+(** Distance from segment [ab] to the sphere's surface; negative inside. *)
+
+val clearance : scene -> Chain.t -> Vec.t -> float
+(** Minimum surface distance over all links × obstacles; [infinity] for an
+    empty scene. *)
+
+val penetrates : scene -> Chain.t -> Vec.t -> bool
+(** [clearance < 0]. *)
+
+val clearance_gradient : ?eps:float -> scene -> Chain.t -> Vec.t -> Vec.t
+(** Finite-difference gradient of {!clearance} with respect to the joint
+    vector ([eps] defaults to 1e-5) — pass it (scaled) as a
+    [Nullspace.Custom] objective to push the body away from obstacles. *)
+
+val avoidance_objective : ?margin:float -> scene -> Chain.t -> Vec.t -> Vec.t
+(** Gradient ascent on clearance, active only below [margin] (default
+    0.1 m): zero once the chain is comfortably clear, unit-capped norm
+    otherwise — shaped for use as a [Nullspace.Custom] objective. *)

@@ -1,0 +1,104 @@
+let deg x = x *. Float.pi /. 180.
+
+let revolute_link ?(lower = neg_infinity) ?(upper = infinity) name dh =
+  { Chain.name; joint = Joint.revolute ~lower ~upper (); dh }
+
+let planar ?name ~dof ~reach () =
+  if dof <= 0 then invalid_arg "Robots.planar: dof must be positive";
+  let a = reach /. float_of_int dof in
+  let links =
+    Array.init dof (fun i ->
+        revolute_link (Printf.sprintf "j%d" (i + 1)) (Dh.make ~a ()))
+  in
+  let name = Option.value name ~default:(Printf.sprintf "planar-%ddof" dof) in
+  Chain.make ~name links
+
+let spatial ?name ?(twist_deg = 90.) ~dof ~reach () =
+  if dof <= 0 then invalid_arg "Robots.spatial: dof must be positive";
+  let a = reach /. float_of_int dof in
+  let links =
+    Array.init dof (fun i ->
+        let alpha = if i mod 2 = 0 then deg twist_deg else deg (-.twist_deg) in
+        revolute_link (Printf.sprintf "j%d" (i + 1)) (Dh.make ~a ~alpha ()))
+  in
+  let name = Option.value name ~default:(Printf.sprintf "spatial-%ddof" dof) in
+  Chain.make ~name links
+
+let random rng ?name ~dof ~reach () =
+  if dof <= 0 then invalid_arg "Robots.random: dof must be positive";
+  let twists = [| 0.; deg 90.; deg (-90.); deg 45.; deg (-45.) |] in
+  let raw = Array.init dof (fun _ -> 0.2 +. Dadu_util.Rng.float rng 0.8) in
+  let total = Array.fold_left ( +. ) 0. raw in
+  let links =
+    Array.init dof (fun i ->
+        let a = raw.(i) /. total *. reach in
+        let alpha = twists.(Dadu_util.Rng.int rng (Array.length twists)) in
+        revolute_link (Printf.sprintf "j%d" (i + 1)) (Dh.make ~a ~alpha ()))
+  in
+  let name = Option.value name ~default:(Printf.sprintf "random-%ddof" dof) in
+  Chain.make ~name links
+
+let eval_chain ~dof =
+  spatial
+    ~name:(Printf.sprintf "eval-%ddof" dof)
+    ~twist_deg:10. ~dof ~reach:(float_of_int dof) ()
+
+let eval_dofs = [ 12; 25; 50; 75; 100 ]
+
+let arm_6dof () =
+  (* Elbow manipulator with a spherical wrist; dimensions in meters are in
+     the KUKA KR AGILUS class. *)
+  let lim d = (-.deg d, deg d) in
+  let link name (lower, upper) dh = revolute_link ~lower ~upper name dh in
+  Chain.make ~name:"arm-6dof"
+    [|
+      link "base" (lim 170.) (Dh.make ~d:0.4 ~a:0.025 ~alpha:(deg (-90.)) ());
+      link "shoulder" (lim 120.) (Dh.make ~a:0.455 ());
+      link "elbow" (lim 155.) (Dh.make ~a:0.035 ~alpha:(deg (-90.)) ());
+      link "wrist-roll" (lim 185.) (Dh.make ~d:0.42 ~alpha:(deg 90.) ());
+      link "wrist-pitch" (lim 120.) (Dh.make ~alpha:(deg (-90.)) ());
+      link "flange" (lim 350.) (Dh.make ~d:0.08 ());
+    |]
+
+let arm_7dof () =
+  (* Redundant humanoid-class arm: shoulder 3R, elbow 1R, wrist 3R. *)
+  let lim d = (-.deg d, deg d) in
+  let link name (lower, upper) dh = revolute_link ~lower ~upper name dh in
+  Chain.make ~name:"arm-7dof"
+    [|
+      link "shoulder-yaw" (lim 170.) (Dh.make ~d:0.32 ~alpha:(deg (-90.)) ());
+      link "shoulder-pitch" (lim 120.) (Dh.make ~alpha:(deg 90.) ());
+      link "shoulder-roll" (lim 170.) (Dh.make ~d:0.33 ~alpha:(deg (-90.)) ());
+      link "elbow" (lim 135.) (Dh.make ~alpha:(deg 90.) ());
+      link "wrist-roll" (lim 170.) (Dh.make ~d:0.27 ~alpha:(deg (-90.)) ());
+      link "wrist-pitch" (lim 115.) (Dh.make ~alpha:(deg 90.) ());
+      link "wrist-yaw" (lim 170.) (Dh.make ~d:0.1 ());
+    |]
+
+let snake ~dof =
+  if dof <= 0 then invalid_arg "Robots.snake: dof must be positive";
+  let a = 1.0 /. float_of_int dof in
+  let lower = -.deg 120. and upper = deg 120. in
+  let links =
+    Array.init dof (fun i ->
+        let alpha = if i mod 2 = 0 then deg 90. else deg (-90.) in
+        revolute_link ~lower ~upper
+          (Printf.sprintf "seg%d" (i + 1))
+          (Dh.make ~a ~alpha ()))
+  in
+  Chain.make ~name:(Printf.sprintf "snake-%ddof" dof) links
+
+let scara () =
+  Chain.make ~name:"scara"
+    [|
+      revolute_link ~lower:(-.deg 130.) ~upper:(deg 130.) "shoulder"
+        (Dh.make ~a:0.25 ());
+      revolute_link ~lower:(-.deg 145.) ~upper:(deg 145.) "elbow"
+        (Dh.make ~a:0.21 ~alpha:Float.pi ());
+      {
+        Chain.name = "quill";
+        joint = Joint.prismatic ~lower:0. ~upper:0.18 ();
+        dh = Dh.make ();
+      };
+      revolute_link ~lower:(-.Float.pi) ~upper:Float.pi "wrist" (Dh.make ());
+    |]

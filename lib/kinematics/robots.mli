@@ -1,0 +1,49 @@
+(** Manipulator factories.
+
+    Includes the evaluation chains of the paper (12/25/50/75/100 DOF;
+    geometry unspecified there, so we use spatial serial revolute chains
+    with unit total reach — see DESIGN.md §2) and a few named robots for
+    the examples. *)
+
+val planar : ?name:string -> dof:int -> reach:float -> unit -> Chain.t
+(** All-revolute chain in the xy-plane, equal link lengths summing to
+    [reach]. *)
+
+val spatial :
+  ?name:string -> ?twist_deg:float -> dof:int -> reach:float -> unit -> Chain.t
+(** All-revolute chain with link twists alternating [+twist_deg]/[−twist_deg]
+    (default 90°), equal link lengths summing to [reach]; any non-zero twist
+    gives every joint authority over all three coordinates.  Small twists
+    make the out-of-plane direction ill-conditioned — which is what makes
+    the transpose method slow. *)
+
+val random : Dadu_util.Rng.t -> ?name:string -> dof:int -> reach:float -> unit -> Chain.t
+(** Random link lengths (normalized to [reach]) and twists drawn from
+    {0, ±90°, ±45°}; all revolute.  Deterministic in the generator. *)
+
+val eval_chain : dof:int -> Chain.t
+(** The chain used in all paper-reproduction experiments:
+    [spatial ~twist_deg:10.0] with 1 m links ([reach = dof] meters).  The
+    paper does not publish its manipulators' geometry; this choice
+    reproduces the paper's iteration-count regime — JT-Serial in the
+    thousands of iterations (often hitting the 10 k cap), Quick-IK two
+    orders of magnitude lower, pseudoinverse lowest — while keeping the
+    position task fully 3-D.  See DESIGN.md §2 and EXPERIMENTS.md. *)
+
+val eval_dofs : int list
+(** [[12; 25; 50; 75; 100]] — the paper's DOF sweep. *)
+
+val arm_6dof : unit -> Chain.t
+(** Elbow manipulator with spherical wrist (KUKA-KR-class geometry),
+    realistic joint limits. *)
+
+val arm_7dof : unit -> Chain.t
+(** Redundant 7-DOF arm (humanoid-arm-class geometry), realistic joint
+    limits. *)
+
+val snake : dof:int -> Chain.t
+(** High-DOF snake/hyper-redundant robot: spatial chain with ±120° joint
+    limits; the 100-DOF headline case of the paper's abstract. *)
+
+val scara : unit -> Chain.t
+(** 4-DOF SCARA (RRPR) — exercises the prismatic-joint code paths. *)

@@ -1,0 +1,183 @@
+open Dadu_linalg
+module Rng = Dadu_util.Rng
+
+type params = {
+  step : float;
+  goal_bias : float;
+  max_nodes : int;
+  collision_resolution : float;
+  margin : float;
+}
+
+let default_params =
+  {
+    step = 0.2;
+    goal_bias = 0.1;
+    max_nodes = 2000;
+    collision_resolution = 0.05;
+    margin = 0.;
+  }
+
+type result = { path : Vec.t list; nodes_expanded : int; collision_checks : int }
+
+(* a tree is a growable array of (configuration, parent index) *)
+type tree = { mutable nodes : (Vec.t * int) array; mutable size : int }
+
+let tree_create root = { nodes = Array.make 64 (root, -1); size = 1 }
+
+let tree_add tree q parent =
+  if tree.size = Array.length tree.nodes then begin
+    let bigger = Array.make (2 * tree.size) tree.nodes.(0) in
+    Array.blit tree.nodes 0 bigger 0 tree.size;
+    tree.nodes <- bigger
+  end;
+  tree.nodes.(tree.size) <- (q, parent);
+  tree.size <- tree.size + 1;
+  tree.size - 1
+
+let tree_nearest tree q =
+  let best = ref 0 and best_d = ref infinity in
+  for i = 0 to tree.size - 1 do
+    let d = Vec.dist (fst tree.nodes.(i)) q in
+    if d < !best_d then begin
+      best_d := d;
+      best := i
+    end
+  done;
+  !best
+
+let tree_path tree idx =
+  let rec up idx acc =
+    if idx < 0 then acc
+    else begin
+      let q, parent = tree.nodes.(idx) in
+      up parent (q :: acc)
+    end
+  in
+  up idx []
+
+let interpolate a b t = Vec.init (Vec.dim a) (fun i -> a.(i) +. (t *. (b.(i) -. a.(i))))
+
+let config_free checks ~margin scene chain q =
+  incr checks;
+  Obstacles.clearance scene chain q > margin
+
+(* checks the open segment (a, b]; assumes a is already known free *)
+let segment_free checks ~margin ~resolution scene chain a b =
+  let d = Vec.dist a b in
+  let steps = Stdlib.max 1 (int_of_float (Float.ceil (d /. resolution))) in
+  let rec ok i =
+    i > steps
+    ||
+    let t = float_of_int i /. float_of_int steps in
+    config_free checks ~margin scene chain (interpolate a b t) && ok (i + 1)
+  in
+  ok 1
+
+let steer ~step from target =
+  let d = Vec.dist from target in
+  if d <= step then target else interpolate from target (step /. d)
+
+let random_config rng chain =
+  Target.random_config rng chain
+
+let plan ?(params = default_params) rng ~scene ~chain ~start ~goal =
+  Chain.check_config chain start;
+  Chain.check_config chain goal;
+  let checks = ref 0 in
+  let margin = params.margin in
+  if not (config_free checks ~margin scene chain start) then
+    invalid_arg "Rrt.plan: start configuration collides";
+  if not (config_free checks ~margin scene chain goal) then
+    invalid_arg "Rrt.plan: goal configuration collides";
+  let resolution = params.collision_resolution in
+  let tree_a = tree_create (Vec.copy start) in
+  let tree_b = tree_create (Vec.copy goal) in
+  (* grow [tree] toward [q]; return the index of the new node, or -1 *)
+  let extend tree q =
+    let near_idx = tree_nearest tree q in
+    let near = fst tree.nodes.(near_idx) in
+    let next = steer ~step:params.step near q in
+    if Vec.dist near next < 1e-12 then -1
+    else if segment_free checks ~margin ~resolution scene chain near next then
+      tree_add tree next near_idx
+    else -1
+  in
+  let rec grow from_tree to_tree swapped iterations =
+    if from_tree.size + to_tree.size >= params.max_nodes then
+      { path = []; nodes_expanded = from_tree.size + to_tree.size; collision_checks = !checks }
+    else begin
+      let sample =
+        if Rng.float rng 1. < params.goal_bias then Vec.copy (fst to_tree.nodes.(0))
+        else random_config rng chain
+      in
+      let new_idx = extend from_tree sample in
+      if new_idx < 0 then grow to_tree from_tree (not swapped) (iterations + 1)
+      else begin
+        let new_q = fst from_tree.nodes.(new_idx) in
+        (* try to connect the other tree straight to the new node *)
+        let other_idx = tree_nearest to_tree new_q in
+        let other_q = fst to_tree.nodes.(other_idx) in
+        if
+          Vec.dist new_q other_q <= params.step
+          && segment_free checks ~margin ~resolution scene chain other_q new_q
+        then begin
+          let from_path = tree_path from_tree new_idx in
+          let to_path = List.rev (tree_path to_tree other_idx) in
+          let joined = from_path @ to_path in
+          let path = if swapped then List.rev joined else joined in
+          {
+            path;
+            nodes_expanded = from_tree.size + to_tree.size;
+            collision_checks = !checks;
+          }
+        end
+        else grow to_tree from_tree (not swapped) (iterations + 1)
+      end
+    end
+  in
+  grow tree_a tree_b false 0
+
+let path_collision_free ?(margin = 0.) ?(resolution = 0.05) scene chain path =
+  let checks = ref 0 in
+  match path with
+  | [] -> false
+  | first :: rest ->
+    config_free checks ~margin scene chain first
+    &&
+    let rec ok prev = function
+      | [] -> true
+      | q :: rest ->
+        segment_free checks ~margin ~resolution scene chain prev q && ok q rest
+    in
+    ok first rest
+
+let path_length path =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (acc +. Vec.dist a b) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0. path
+
+let shortcut ?(attempts = 100) ?(margin = 0.) ?(resolution = 0.05) rng scene chain
+    path =
+  let checks = ref 0 in
+  let current = ref (Array.of_list path) in
+  let n () = Array.length !current in
+  if n () > 2 then
+    for _ = 1 to attempts do
+      let len = n () in
+      if len > 2 then begin
+        let i = Rng.int rng (len - 2) in
+        let j = i + 2 + Rng.int rng (len - i - 2) in
+        let a = !current.(i) and b = !current.(j) in
+        if segment_free checks ~margin ~resolution scene chain a b then begin
+          let replaced =
+            Array.concat
+              [ Array.sub !current 0 (i + 1); Array.sub !current j (len - j) ]
+          in
+          current := replaced
+        end
+      end
+    done;
+  Array.to_list !current

@@ -1,0 +1,67 @@
+open Dadu_linalg
+
+(** Joint-space motion planning: RRT-Connect over the obstacle scene.
+
+    IK produces a goal configuration; getting there without sweeping the
+    body through an obstacle is a planning problem.  This is the standard
+    bidirectional RRT: grow one tree from the start and one from the goal,
+    steering each new sample toward its nearest neighbour in bounded
+    steps, keeping only collision-free edges, and connecting the trees
+    when they meet.  Collision checking densely samples each edge against
+    {!Obstacles.clearance}. *)
+
+type params = {
+  step : float;  (** maximum joint-space extension per edge, rad (0.2) *)
+  goal_bias : float;  (** probability of sampling the other tree's root (0.1) *)
+  max_nodes : int;  (** total node budget across both trees (2000) *)
+  collision_resolution : float;
+      (** joint-space distance between collision checks along an edge
+          (0.05) *)
+  margin : float;  (** required clearance around obstacles, m (0.0) *)
+}
+
+val default_params : params
+
+type result = {
+  path : Vec.t list;  (** start .. goal inclusive; [] when planning failed *)
+  nodes_expanded : int;
+  collision_checks : int;
+}
+
+val plan :
+  ?params:params ->
+  Dadu_util.Rng.t ->
+  scene:Obstacles.scene ->
+  chain:Chain.t ->
+  start:Vec.t ->
+  goal:Vec.t ->
+  result
+(** Plans between two collision-free configurations; raises
+    [Invalid_argument] if either endpoint collides (within [margin]) or is
+    outside joint limits.  Deterministic in the generator. *)
+
+val path_collision_free :
+  ?margin:float ->
+  ?resolution:float ->
+  Obstacles.scene ->
+  Chain.t ->
+  Vec.t list ->
+  bool
+(** Validates a path by dense interpolation ([resolution] defaults to
+    0.05 rad) — the test oracle for {!plan}. *)
+
+val path_length : Vec.t list -> float
+(** Total joint-space (Euclidean) length. *)
+
+val shortcut :
+  ?attempts:int ->
+  ?margin:float ->
+  ?resolution:float ->
+  Dadu_util.Rng.t ->
+  Obstacles.scene ->
+  Chain.t ->
+  Vec.t list ->
+  Vec.t list
+(** Randomized shortcutting: repeatedly tries to replace a random
+    sub-path with a straight collision-free segment ([attempts] default
+    100).  Never lengthens the path; endpoints are preserved. *)

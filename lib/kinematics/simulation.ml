@@ -1,0 +1,55 @@
+open Dadu_linalg
+
+type state = { time : float; q : Vec.t; qd : Vec.t }
+
+type controller = state -> Vec.t
+
+let zero_torque state = Vec.create (Vec.dim state.q)
+
+let pd ?gravity_compensation ~kp ~kd ~target () state =
+  let reference = target state.time in
+  let feedback =
+    Vec.init (Vec.dim state.q) (fun i ->
+        (kp *. (reference.(i) -. state.q.(i))) -. (kd *. state.qd.(i)))
+  in
+  match gravity_compensation with
+  | None -> feedback
+  | Some model -> Vec.add feedback (Dynamics.gravity_torques model state.q)
+
+(* One RK4 step on the first-order system (q, qd)' = (qd, FD(q, qd, τ)),
+   with τ sampled once at the step start (zero-order hold). *)
+let step model controller ~dt state =
+  if dt <= 0. then invalid_arg "Simulation.step: dt must be positive";
+  let tau = controller state in
+  let deriv q qd = (qd, Dynamics.forward_dynamics model ~q ~qd ~tau) in
+  let shift q qd (dq, dqd) h = (Vec.axpy h dq q, Vec.axpy h dqd qd) in
+  let k1 = deriv state.q state.qd in
+  let q2, qd2 = shift state.q state.qd k1 (dt /. 2.) in
+  let k2 = deriv q2 qd2 in
+  let q3, qd3 = shift state.q state.qd k2 (dt /. 2.) in
+  let k3 = deriv q3 qd3 in
+  let q4, qd4 = shift state.q state.qd k3 dt in
+  let k4 = deriv q4 qd4 in
+  let combine f1 f2 f3 f4 base =
+    Vec.init (Vec.dim base) (fun i ->
+        base.(i)
+        +. (dt /. 6. *. (f1.(i) +. (2. *. f2.(i)) +. (2. *. f3.(i)) +. f4.(i))))
+  in
+  {
+    time = state.time +. dt;
+    q = combine (fst k1) (fst k2) (fst k3) (fst k4) state.q;
+    qd = combine (snd k1) (snd k2) (snd k3) (snd k4) state.qd;
+  }
+
+let simulate model controller ~dt ~duration initial =
+  if duration < 0. then invalid_arg "Simulation.simulate: negative duration";
+  let ticks = int_of_float (Float.round (duration /. dt)) in
+  let states = Array.make (ticks + 1) initial in
+  for i = 1 to ticks do
+    states.(i) <- step model controller ~dt states.(i - 1)
+  done;
+  states
+
+let total_energy model state =
+  Dynamics.kinetic_energy model ~q:state.q ~qd:state.qd
+  +. Dynamics.potential_energy model state.q

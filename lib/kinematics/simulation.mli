@@ -1,0 +1,35 @@
+open Dadu_linalg
+
+(** Forward simulation of chain dynamics.
+
+    Integrates [q̈ = FD(q, q̇, τ)] with classical Runge–Kutta 4, driving the
+    torques from a user controller each step — the plant model a
+    computed-torque or PD controller is tested against. *)
+
+type state = { time : float; q : Vec.t; qd : Vec.t }
+
+type controller = state -> Vec.t
+(** Maps the current state to joint torques (dimension = DOF). *)
+
+val zero_torque : controller
+(** Free (passive) dynamics — useful for energy-conservation checks. *)
+
+val pd :
+  ?gravity_compensation:Dynamics.model -> kp:float -> kd:float ->
+  target:(float -> Vec.t) -> unit -> controller
+(** Joint-space PD tracking of a reference trajectory [target t]:
+    [τ = k_p·(q_ref − q) − k_d·q̇ (+ G(q))].  Passing the model as
+    [gravity_compensation] adds the exact gravity feed-forward — the
+    difference the computed-torque example demonstrates. *)
+
+val step : Dynamics.model -> controller -> dt:float -> state -> state
+(** One RK4 step (torque held constant across the substeps, as a
+    zero-order-hold controller would). *)
+
+val simulate :
+  Dynamics.model -> controller -> dt:float -> duration:float -> state -> state array
+(** Trajectory of states at [t = 0, dt, 2·dt, …, duration], the initial
+    state included. *)
+
+val total_energy : Dynamics.model -> state -> float
+(** Kinetic + potential at a state. *)

@@ -1,0 +1,106 @@
+open Dadu_linalg
+
+type sample = { q : Vec.t; qd : Vec.t; qdd : Vec.t }
+
+type trajectory = { duration : float; at : float -> sample }
+
+(* Quintic with zero boundary velocity/acceleration reduces to the
+   classic smoothstep-like profile s(u) = 10u³ − 15u⁴ + 6u⁵. *)
+let quintic ~q0 ~q1 ~duration =
+  if duration <= 0. then invalid_arg "Spline.quintic: duration must be positive";
+  if Vec.dim q0 <> Vec.dim q1 then invalid_arg "Spline.quintic: dimension mismatch";
+  let q0 = Vec.copy q0 and q1 = Vec.copy q1 in
+  let at t =
+    let u = Float.min 1. (Float.max 0. (t /. duration)) in
+    let s = ((10. +. (((6. *. u) -. 15.) *. u)) *. u *. u *. u) in
+    let sd = 30. *. u *. u *. ((u -. 1.) ** 2.) /. duration in
+    let sdd = (60. *. u *. (1. -. (3. *. u) +. (2. *. u *. u))) /. (duration *. duration) in
+    let n = Vec.dim q0 in
+    {
+      q = Vec.init n (fun i -> q0.(i) +. (s *. (q1.(i) -. q0.(i))));
+      qd = Vec.init n (fun i -> sd *. (q1.(i) -. q0.(i)));
+      qdd = Vec.init n (fun i -> sdd *. (q1.(i) -. q0.(i)));
+    }
+  in
+  { duration; at }
+
+(* Cubic Hermite segment on [0, h] with endpoint values/velocities. *)
+let hermite ~h ~p0 ~p1 ~v0 ~v1 tau =
+  let u = tau /. h in
+  let u2 = u *. u and u3 = u *. u *. u in
+  let h00 = (2. *. u3) -. (3. *. u2) +. 1. in
+  let h10 = u3 -. (2. *. u2) +. u in
+  let h01 = (-2. *. u3) +. (3. *. u2) in
+  let h11 = u3 -. u2 in
+  let pos = (h00 *. p0) +. (h10 *. h *. v0) +. (h01 *. p1) +. (h11 *. h *. v1) in
+  let d00 = ((6. *. u2) -. (6. *. u)) /. h in
+  let d10 = (3. *. u2) -. (4. *. u) +. 1. in
+  let d01 = ((-6. *. u2) +. (6. *. u)) /. h in
+  let d11 = (3. *. u2) -. (2. *. u) in
+  let velocity = (d00 *. p0) +. (d10 *. v0) +. (d01 *. p1) +. (d11 *. v1) in
+  let a00 = ((12. *. u) -. 6.) /. (h *. h) in
+  let a10 = ((6. *. u) -. 4.) /. h in
+  let a01 = ((-12. *. u) +. 6.) /. (h *. h) in
+  let a11 = ((6. *. u) -. 2.) /. h in
+  let accel = (a00 *. p0) +. (a10 *. v0) +. (a01 *. p1) +. (a11 *. v1) in
+  (pos, velocity, accel)
+
+let via_points points =
+  (match points with
+  | [] | [ _ ] -> invalid_arg "Spline.via_points: need at least two points"
+  | (t0, _) :: _ when Float.abs t0 > 1e-12 ->
+    invalid_arg "Spline.via_points: first time must be 0"
+  | _ -> ());
+  let pts = Array.of_list points in
+  let k = Array.length pts in
+  let dim = Vec.dim (snd pts.(0)) in
+  Array.iter
+    (fun (_, q) ->
+      if Vec.dim q <> dim then invalid_arg "Spline.via_points: dimension mismatch")
+    pts;
+  for i = 1 to k - 1 do
+    if fst pts.(i) <= fst pts.(i - 1) then
+      invalid_arg "Spline.via_points: times must be strictly increasing"
+  done;
+  (* knot velocities: central differences inside, rest at the ends *)
+  let velocities =
+    Array.init k (fun i ->
+        if i = 0 || i = k - 1 then Vec.create dim
+        else begin
+          let tm, qm = pts.(i - 1) and tp, qp = pts.(i + 1) in
+          Vec.init dim (fun j -> (qp.(j) -. qm.(j)) /. (tp -. tm))
+        end)
+  in
+  let duration = fst pts.(k - 1) in
+  let at t =
+    let t = Float.min duration (Float.max 0. t) in
+    (* find the segment containing t *)
+    let seg = ref 0 in
+    for i = 0 to k - 2 do
+      if t >= fst pts.(i) then seg := i
+    done;
+    let i = !seg in
+    let t_lo, q_lo = pts.(i) and t_hi, q_hi = pts.(i + 1) in
+    let h = t_hi -. t_lo in
+    let tau = t -. t_lo in
+    let q = Vec.create dim and qd = Vec.create dim and qdd = Vec.create dim in
+    for j = 0 to dim - 1 do
+      let pos, vel, acc =
+        hermite ~h ~p0:q_lo.(j) ~p1:q_hi.(j) ~v0:velocities.(i).(j)
+          ~v1:velocities.(i + 1).(j) tau
+      in
+      q.(j) <- pos;
+      qd.(j) <- vel;
+      qdd.(j) <- acc
+    done;
+    { q; qd; qdd }
+  in
+  { duration; at }
+
+let max_speed ?(samples = 200) trajectory =
+  let worst = ref 0. in
+  for i = 0 to samples do
+    let t = trajectory.duration *. float_of_int i /. float_of_int samples in
+    worst := Float.max !worst (Vec.max_abs (trajectory.at t).qd)
+  done;
+  !worst

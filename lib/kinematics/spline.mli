@@ -1,0 +1,38 @@
+open Dadu_linalg
+
+(** Joint-space trajectory generation.
+
+    IK answers *where* the joints should be; a controller also needs a
+    smooth *when*.  This module builds time-parameterized joint
+    trajectories: quintic point-to-point motions (zero velocity and
+    acceleration at both ends — the standard rest-to-rest profile) and
+    piecewise-cubic interpolation through via points with
+    finite-difference velocities, C¹-continuous.  Outputs plug directly
+    into {!Simulation.pd} as reference trajectories. *)
+
+type sample = {
+  q : Vec.t;
+  qd : Vec.t;
+  qdd : Vec.t;
+}
+
+type trajectory = {
+  duration : float;
+  at : float -> sample;
+      (** clamped: [at t] for [t < 0] is the start, for [t > duration] the
+          end *)
+}
+
+val quintic : q0:Vec.t -> q1:Vec.t -> duration:float -> trajectory
+(** Rest-to-rest: [q(0) = q0, q(T) = q1], zero velocity and acceleration
+    at both ends.  Raises [Invalid_argument] on non-positive duration or
+    dimension mismatch. *)
+
+val via_points : (float * Vec.t) list -> trajectory
+(** Piecewise cubic through timed waypoints [(t, q)]; times must be
+    strictly increasing and start at 0.  Velocities at interior knots are
+    central finite differences (Catmull-Rom style); the end knots are at
+    rest.  Requires at least two points. *)
+
+val max_speed : ?samples:int -> trajectory -> float
+(** Largest [‖q̇‖∞] over a uniform sampling (default 200 samples). *)

@@ -1,0 +1,32 @@
+open Dadu_linalg
+
+module Rng = Dadu_util.Rng
+
+let random_joint_value rng (joint : Joint.t) =
+  let lo, hi =
+    if Joint.unbounded joint then begin
+      match joint.Joint.kind with
+      | Joint.Revolute -> (-.Float.pi, Float.pi)
+      | Joint.Prismatic -> (-1., 1.)
+    end
+    else (joint.Joint.lower, joint.Joint.upper)
+  in
+  Rng.uniform rng lo hi
+
+let random_config rng chain =
+  Array.init (Chain.dof chain) (fun i ->
+      random_joint_value rng (Chain.link chain i).Chain.joint)
+
+let reachable rng chain = Fk.position chain (random_config rng chain)
+
+let batch rng chain k = Array.init k (fun _ -> reachable rng chain)
+
+let unreachable rng chain =
+  let reach = Chain.reach chain in
+  if not (Float.is_finite reach) then
+    invalid_arg "Target.unreachable: chain has unbounded reach";
+  let direction =
+    Vec3.normalize
+      (Vec3.make (Rng.gaussian rng) (Rng.gaussian rng) (Rng.gaussian rng))
+  in
+  Vec3.scale (1.5 *. Float.max reach 1e-6) direction

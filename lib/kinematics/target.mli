@@ -1,0 +1,22 @@
+open Dadu_linalg
+
+(** Target sampling for IK workloads.
+
+    The paper evaluates "1K target positions" per configuration.  Sampling
+    a target as the FK image of a random joint configuration guarantees it
+    is reachable, which the convergence statistics assume. *)
+
+val random_config : Dadu_util.Rng.t -> Chain.t -> Vec.t
+(** Uniform within joint limits; unbounded revolute joints draw from
+    [\[−π, π\]], unbounded prismatic joints from [\[−1, 1\]]. *)
+
+val reachable : Dadu_util.Rng.t -> Chain.t -> Vec3.t
+(** FK of {!random_config}. *)
+
+val batch : Dadu_util.Rng.t -> Chain.t -> int -> Vec3.t array
+(** [batch rng chain k] draws [k] reachable targets. *)
+
+val unreachable : Dadu_util.Rng.t -> Chain.t -> Vec3.t
+(** A point strictly outside the workspace sphere (at 1.5× reach in a
+    random direction); for no-solution behaviour tests.  Requires a finite
+    {!Chain.reach}. *)

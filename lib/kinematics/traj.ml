@@ -1,0 +1,41 @@
+open Dadu_linalg
+
+let line ~from ~to_ ~samples =
+  if samples < 2 then invalid_arg "Traj.line: need at least 2 samples";
+  Array.init samples (fun i ->
+      Vec3.lerp from to_ (float_of_int i /. float_of_int (samples - 1)))
+
+(* Build an orthonormal frame (u, v) spanning the plane normal to n. *)
+let plane_basis normal =
+  let n = Vec3.normalize normal in
+  let seed = if Float.abs n.Vec3.x < 0.9 then Vec3.ex else Vec3.ey in
+  let u = Vec3.normalize (Vec3.cross n seed) in
+  let v = Vec3.cross n u in
+  (u, v)
+
+let circle ~center ~radius ~normal ~samples =
+  if samples < 2 then invalid_arg "Traj.circle: need at least 2 samples";
+  if radius <= 0. then invalid_arg "Traj.circle: radius must be positive";
+  let u, v = plane_basis normal in
+  Array.init samples (fun i ->
+      let t = 2. *. Float.pi *. float_of_int i /. float_of_int samples in
+      Vec3.add center
+        (Vec3.add
+           (Vec3.scale (radius *. cos t) u)
+           (Vec3.scale (radius *. sin t) v)))
+
+let lissajous ~center ~amplitude ~freq:(fx, fy, fz) ~samples =
+  if samples < 2 then invalid_arg "Traj.lissajous: need at least 2 samples";
+  Array.init samples (fun i ->
+      let t = 2. *. Float.pi *. float_of_int i /. float_of_int samples in
+      Vec3.make
+        (center.Vec3.x +. (amplitude.Vec3.x *. sin (float_of_int fx *. t)))
+        (center.Vec3.y +. (amplitude.Vec3.y *. sin (float_of_int fy *. t)))
+        (center.Vec3.z +. (amplitude.Vec3.z *. sin (float_of_int fz *. t))))
+
+let arc_length points =
+  let total = ref 0. in
+  for i = 1 to Array.length points - 1 do
+    total := !total +. Vec3.dist points.(i - 1) points.(i)
+  done;
+  !total

@@ -1,0 +1,28 @@
+open Dadu_linalg
+
+(** Workspace trajectories for the tracking examples.
+
+    A trajectory is a sampled sequence of end-effector positions; the
+    trajectory example solves IK for each sample, warm-starting from the
+    previous solution. *)
+
+val line : from:Vec3.t -> to_:Vec3.t -> samples:int -> Vec3.t array
+(** Inclusive endpoints; [samples >= 2]. *)
+
+val circle :
+  center:Vec3.t -> radius:float -> normal:Vec3.t -> samples:int -> Vec3.t array
+(** Closed circle (last sample approaches the first); [normal] need not be
+    unit length.  Raises [Invalid_argument] on a zero normal or
+    non-positive radius. *)
+
+val lissajous :
+  center:Vec3.t ->
+  amplitude:Vec3.t ->
+  freq:int * int * int ->
+  samples:int ->
+  Vec3.t array
+(** 3-D Lissajous figure: component [c] is
+    [center.c + amplitude.c * sin(freq_c * t)] for [t] over one period. *)
+
+val arc_length : Vec3.t array -> float
+(** Sum of segment lengths. *)

@@ -1,0 +1,59 @@
+exception Not_positive_definite
+
+let factorize a =
+  let n, n' = Mat.dims a in
+  if n <> n' then invalid_arg "Cholesky.factorize: not square";
+  let l = Mat.create n n in
+  for j = 0 to n - 1 do
+    let sum = ref (Mat.get a j j) in
+    for k = 0 to j - 1 do
+      let ljk = Mat.get l j k in
+      sum := !sum -. (ljk *. ljk)
+    done;
+    if !sum <= 0. then raise Not_positive_definite;
+    let ljj = sqrt !sum in
+    Mat.set l j j ljj;
+    for i = j + 1 to n - 1 do
+      let sum = ref (Mat.get a i j) in
+      for k = 0 to j - 1 do
+        sum := !sum -. (Mat.get l i k *. Mat.get l j k)
+      done;
+      Mat.set l i j (!sum /. ljj)
+    done
+  done;
+  l
+
+let solve_factored l b =
+  let n, _ = Mat.dims l in
+  if Array.length b <> n then invalid_arg "Cholesky.solve_factored: dimension mismatch";
+  (* forward: L·y = b *)
+  let y = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let sum = ref b.(i) in
+    for k = 0 to i - 1 do
+      sum := !sum -. (Mat.get l i k *. y.(k))
+    done;
+    y.(i) <- !sum /. Mat.get l i i
+  done;
+  (* backward: Lᵀ·x = y *)
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let sum = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      sum := !sum -. (Mat.get l k i *. x.(k))
+    done;
+    x.(i) <- !sum /. Mat.get l i i
+  done;
+  x
+
+let solve a b = solve_factored (factorize a) b
+
+let inverse a =
+  let n, _ = Mat.dims a in
+  let l = factorize a in
+  let inv = Mat.create n n in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1. else 0.) in
+    Mat.set_col inv j (solve_factored l e)
+  done;
+  inv

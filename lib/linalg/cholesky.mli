@@ -1,0 +1,21 @@
+(** Cholesky factorization and SPD solves.
+
+    The damped-least-squares solver needs [(J·Jᵀ + λ²I)⁻¹·e] where the
+    system is a small (3×3 or 6×6) symmetric positive-definite matrix. *)
+
+exception Not_positive_definite
+
+val factorize : Mat.t -> Mat.t
+(** Lower-triangular [L] with [A = L·Lᵀ].  Raises
+    {!Not_positive_definite} if a pivot is non-positive, and
+    [Invalid_argument] if the input is not square. *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** [solve a b] solves [A·x = b] for SPD [A] (factorizes internally). *)
+
+val solve_factored : Mat.t -> Vec.t -> Vec.t
+(** [solve_factored l b] with [l] from {!factorize}: forward then back
+    substitution. *)
+
+val inverse : Mat.t -> Mat.t
+(** SPD inverse via n solves. *)

@@ -1,0 +1,81 @@
+type t = { values : Vec.t; vectors : Mat.t; sweeps : int }
+
+let check_symmetric tol a =
+  let n, n' = Mat.dims a in
+  if n <> n' then invalid_arg "Eigen.decompose: not square";
+  let scale = Float.max 1. (Mat.max_abs a) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Float.abs (Mat.get a i j -. Mat.get a j i) > tol *. scale then
+        invalid_arg "Eigen.decompose: not symmetric"
+    done
+  done
+
+(* Classical Jacobi: repeatedly zero the largest off-diagonal entry with a
+   Givens rotation, accumulating the rotations into V. *)
+let decompose ?(max_sweeps = 60) ?(tol = 1e-9) a =
+  check_symmetric tol a;
+  let n, _ = Mat.dims a in
+  let m = Mat.copy a in
+  let v = Mat.identity n in
+  let off_diagonal_norm () =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        acc := !acc +. (2. *. Mat.get m i j *. Mat.get m i j)
+      done
+    done;
+    sqrt !acc
+  in
+  let rotate p q =
+    let apq = Mat.get m p q in
+    if Float.abs apq > 1e-300 then begin
+      let app = Mat.get m p p and aqq = Mat.get m q q in
+      let theta = (aqq -. app) /. (2. *. apq) in
+      let t =
+        Float.copy_sign 1. theta /. (Float.abs theta +. sqrt (1. +. (theta *. theta)))
+      in
+      let c = 1. /. sqrt (1. +. (t *. t)) in
+      let s = c *. t in
+      for k = 0 to n - 1 do
+        let mkp = Mat.get m k p and mkq = Mat.get m k q in
+        Mat.set m k p ((c *. mkp) -. (s *. mkq));
+        Mat.set m k q ((s *. mkp) +. (c *. mkq))
+      done;
+      for k = 0 to n - 1 do
+        let mpk = Mat.get m p k and mqk = Mat.get m q k in
+        Mat.set m p k ((c *. mpk) -. (s *. mqk));
+        Mat.set m q k ((s *. mpk) +. (c *. mqk))
+      done;
+      for k = 0 to n - 1 do
+        let vkp = Mat.get v k p and vkq = Mat.get v k q in
+        Mat.set v k p ((c *. vkp) -. (s *. vkq));
+        Mat.set v k q ((s *. vkp) +. (c *. vkq))
+      done
+    end
+  in
+  let scale = Float.max 1e-300 (Mat.max_abs a) in
+  let sweeps = ref 0 in
+  while off_diagonal_norm () > 1e-12 *. scale && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate p q
+      done
+    done
+  done;
+  (* sort descending, permuting the eigenvector columns alongside *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> Float.compare (Mat.get m j j) (Mat.get m i i)) order;
+  let values = Array.map (fun i -> Mat.get m i i) order in
+  let vectors = Mat.init n n (fun r c -> Mat.get v r order.(c)) in
+  { values; vectors; sweeps = !sweeps }
+
+let reconstruct { values; vectors; _ } =
+  let n, _ = Mat.dims vectors in
+  Mat.init n n (fun i j ->
+      let acc = ref 0. in
+      for k = 0 to n - 1 do
+        acc := !acc +. (Mat.get vectors i k *. values.(k) *. Mat.get vectors j k)
+      done;
+      !acc)

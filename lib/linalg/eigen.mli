@@ -1,0 +1,19 @@
+(** Symmetric eigendecomposition by the classical Jacobi method.
+
+    Used for manipulability ellipsoids ([J·Jᵀ]'s eigenstructure) and as a
+    second opinion on the SVD (singular values of [A] are the square roots
+    of [AᵀA]'s eigenvalues — a cross-check the tests exploit). *)
+
+type t = {
+  values : Vec.t;  (** eigenvalues, descending *)
+  vectors : Mat.t;  (** column [k] is the unit eigenvector of [values.(k)] *)
+  sweeps : int;
+}
+
+val decompose : ?max_sweeps:int -> ?tol:float -> Mat.t -> t
+(** Input must be square and symmetric (validated to [tol]; default 1e-9
+    relative).  [max_sweeps] defaults to 60.  Raises [Invalid_argument]
+    on non-square or asymmetric input. *)
+
+val reconstruct : t -> Mat.t
+(** [V·diag(λ)·Vᵀ]. *)

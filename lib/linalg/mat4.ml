@@ -1,0 +1,92 @@
+type t = float array
+
+let identity () =
+  [| 1.; 0.; 0.; 0.; 0.; 1.; 0.; 0.; 0.; 0.; 1.; 0.; 0.; 0.; 0.; 1. |]
+
+let copy = Array.copy
+
+let get t i j = t.((i * 4) + j)
+
+let set t i j x = t.((i * 4) + j) <- x
+
+let mul_into ~dst a b =
+  assert (dst != a && dst != b);
+  for i = 0 to 3 do
+    let base = i * 4 in
+    for j = 0 to 3 do
+      dst.(base + j) <-
+        (a.(base) *. b.(j))
+        +. (a.(base + 1) *. b.(4 + j))
+        +. (a.(base + 2) *. b.(8 + j))
+        +. (a.(base + 3) *. b.(12 + j))
+    done
+  done
+
+let mul a b =
+  let dst = Array.make 16 0. in
+  mul_into ~dst a b;
+  dst
+
+let transform_point t (v : Vec3.t) =
+  Vec3.make
+    ((t.(0) *. v.x) +. (t.(1) *. v.y) +. (t.(2) *. v.z) +. t.(3))
+    ((t.(4) *. v.x) +. (t.(5) *. v.y) +. (t.(6) *. v.z) +. t.(7))
+    ((t.(8) *. v.x) +. (t.(9) *. v.y) +. (t.(10) *. v.z) +. t.(11))
+
+let transform_dir t (v : Vec3.t) =
+  Vec3.make
+    ((t.(0) *. v.x) +. (t.(1) *. v.y) +. (t.(2) *. v.z))
+    ((t.(4) *. v.x) +. (t.(5) *. v.y) +. (t.(6) *. v.z))
+    ((t.(8) *. v.x) +. (t.(9) *. v.y) +. (t.(10) *. v.z))
+
+let position t = Vec3.make t.(3) t.(7) t.(11)
+
+let x_axis t = Vec3.make t.(0) t.(4) t.(8)
+let y_axis t = Vec3.make t.(1) t.(5) t.(9)
+let z_axis t = Vec3.make t.(2) t.(6) t.(10)
+
+let translation (v : Vec3.t) =
+  [| 1.; 0.; 0.; v.x; 0.; 1.; 0.; v.y; 0.; 0.; 1.; v.z; 0.; 0.; 0.; 1. |]
+
+let of_rot_trans (r : Rot.t) (p : Vec3.t) =
+  [|
+    r.(0); r.(1); r.(2); p.x;
+    r.(3); r.(4); r.(5); p.y;
+    r.(6); r.(7); r.(8); p.z;
+    0.; 0.; 0.; 1.;
+  |]
+[@@ocamlformat "disable"]
+
+let rot_x a = of_rot_trans (Rot.rot_x a) Vec3.zero
+let rot_y a = of_rot_trans (Rot.rot_y a) Vec3.zero
+let rot_z a = of_rot_trans (Rot.rot_z a) Vec3.zero
+
+let rotation t =
+  [| t.(0); t.(1); t.(2); t.(4); t.(5); t.(6); t.(8); t.(9); t.(10) |]
+
+let inverse_rigid t =
+  let r = rotation t in
+  let rt = Rot.transpose r in
+  let p = position t in
+  let p' = Vec3.neg (Rot.apply rt p) in
+  of_rot_trans rt p'
+
+let approx_equal ?(tol = 1e-9) a b =
+  let rec loop k = k >= 16 || (Float.abs (a.(k) -. b.(k)) <= tol && loop (k + 1)) in
+  loop 0
+
+let is_rigid ?(tol = 1e-9) t =
+  Rot.is_orthonormal ~tol (rotation t)
+  && Float.abs t.(12) <= tol
+  && Float.abs t.(13) <= tol
+  && Float.abs t.(14) <= tol
+  && Float.abs (t.(15) -. 1.) <= tol
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to 3 do
+    Format.fprintf ppf "[%8.4g, %8.4g, %8.4g, %8.4g]" (get t i 0) (get t i 1)
+      (get t i 2) (get t i 3);
+    if i < 3 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,120 @@
+type t = { w : float; x : float; y : float; z : float }
+
+let identity = { w = 1.; x = 0.; y = 0.; z = 0. }
+
+let make w x y z = { w; x; y; z }
+
+let norm q = sqrt ((q.w *. q.w) +. (q.x *. q.x) +. (q.y *. q.y) +. (q.z *. q.z))
+
+let normalize q =
+  let n = norm q in
+  if n = 0. then invalid_arg "Quat.normalize: zero quaternion";
+  { w = q.w /. n; x = q.x /. n; y = q.y /. n; z = q.z /. n }
+
+let conjugate q = { q with x = -.q.x; y = -.q.y; z = -.q.z }
+
+let mul a b =
+  {
+    w = (a.w *. b.w) -. (a.x *. b.x) -. (a.y *. b.y) -. (a.z *. b.z);
+    x = (a.w *. b.x) +. (a.x *. b.w) +. (a.y *. b.z) -. (a.z *. b.y);
+    y = (a.w *. b.y) -. (a.x *. b.z) +. (a.y *. b.w) +. (a.z *. b.x);
+    z = (a.w *. b.z) +. (a.x *. b.y) -. (a.y *. b.x) +. (a.z *. b.w);
+  }
+
+let of_axis_angle axis angle =
+  let u = Vec3.normalize axis in
+  let h = angle /. 2. in
+  let s = sin h in
+  { w = cos h; x = u.x *. s; y = u.y *. s; z = u.z *. s }
+
+let clamp lo hi v = Float.min hi (Float.max lo v)
+
+let to_axis_angle q =
+  let q = if q.w < 0. then { w = -.q.w; x = -.q.x; y = -.q.y; z = -.q.z } else q in
+  let s = sqrt ((q.x *. q.x) +. (q.y *. q.y) +. (q.z *. q.z)) in
+  if s < 1e-12 then (Vec3.ex, 0.)
+  else begin
+    let angle = 2. *. Float.atan2 s q.w in
+    (Vec3.make (q.x /. s) (q.y /. s) (q.z /. s), angle)
+  end
+
+(* Shepperd's method: pick the largest of w², x², y², z² from the trace
+   pattern to avoid catastrophic cancellation. *)
+let of_rot r =
+  let m00 = r.(0) and m01 = r.(1) and m02 = r.(2) in
+  let m10 = r.(3) and m11 = r.(4) and m12 = r.(5) in
+  let m20 = r.(6) and m21 = r.(7) and m22 = r.(8) in
+  let trace = m00 +. m11 +. m22 in
+  let q =
+    if trace > 0. then begin
+      let s = sqrt (trace +. 1.) *. 2. in
+      make (0.25 *. s) ((m21 -. m12) /. s) ((m02 -. m20) /. s) ((m10 -. m01) /. s)
+    end
+    else if m00 > m11 && m00 > m22 then begin
+      let s = sqrt (1. +. m00 -. m11 -. m22) *. 2. in
+      make ((m21 -. m12) /. s) (0.25 *. s) ((m01 +. m10) /. s) ((m02 +. m20) /. s)
+    end
+    else if m11 > m22 then begin
+      let s = sqrt (1. +. m11 -. m00 -. m22) *. 2. in
+      make ((m02 -. m20) /. s) ((m01 +. m10) /. s) (0.25 *. s) ((m12 +. m21) /. s)
+    end
+    else begin
+      let s = sqrt (1. +. m22 -. m00 -. m11) *. 2. in
+      make ((m10 -. m01) /. s) ((m02 +. m20) /. s) ((m12 +. m21) /. s) (0.25 *. s)
+    end
+  in
+  normalize q
+
+let to_rot q =
+  let { w; x; y; z } = normalize q in
+  [|
+    1. -. (2. *. ((y *. y) +. (z *. z)));
+    2. *. ((x *. y) -. (w *. z));
+    2. *. ((x *. z) +. (w *. y));
+    2. *. ((x *. y) +. (w *. z));
+    1. -. (2. *. ((x *. x) +. (z *. z)));
+    2. *. ((y *. z) -. (w *. x));
+    2. *. ((x *. z) -. (w *. y));
+    2. *. ((y *. z) +. (w *. x));
+    1. -. (2. *. ((x *. x) +. (y *. y)));
+  |]
+
+let rotate q v = Rot.apply (to_rot q) v
+
+let slerp a b t =
+  let a = normalize a and b = normalize b in
+  let d = (a.w *. b.w) +. (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z) in
+  let b, d =
+    if d < 0. then ({ w = -.b.w; x = -.b.x; y = -.b.y; z = -.b.z }, -.d) else (b, d)
+  in
+  if d > 0.9995 then
+    normalize
+      {
+        w = a.w +. (t *. (b.w -. a.w));
+        x = a.x +. (t *. (b.x -. a.x));
+        y = a.y +. (t *. (b.y -. a.y));
+        z = a.z +. (t *. (b.z -. a.z));
+      }
+  else begin
+    let theta = Float.acos (clamp (-1.) 1. d) in
+    let s = sin theta in
+    let wa = sin ((1. -. t) *. theta) /. s in
+    let wb = sin (t *. theta) /. s in
+    {
+      w = (wa *. a.w) +. (wb *. b.w);
+      x = (wa *. a.x) +. (wb *. b.x);
+      y = (wa *. a.y) +. (wb *. b.y);
+      z = (wa *. a.z) +. (wb *. b.z);
+    }
+  end
+
+let approx_equal ?(tol = 1e-9) a b =
+  let eq a b =
+    Float.abs (a.w -. b.w) <= tol
+    && Float.abs (a.x -. b.x) <= tol
+    && Float.abs (a.y -. b.y) <= tol
+    && Float.abs (a.z -. b.z) <= tol
+  in
+  eq a b || eq a { w = -.b.w; x = -.b.x; y = -.b.y; z = -.b.z }
+
+let pp ppf q = Format.fprintf ppf "(%g; %g, %g, %g)" q.w q.x q.y q.z

@@ -1,0 +1,39 @@
+(** Unit quaternions for orientation interpolation.
+
+    Used by the trajectory example and the 6-DOF pose-task extension to
+    interpolate end-effector orientations without gimbal issues. *)
+
+type t = { w : float; x : float; y : float; z : float }
+
+val identity : t
+
+val make : float -> float -> float -> float -> t
+
+val norm : t -> float
+
+val normalize : t -> t
+(** Raises [Invalid_argument] on the zero quaternion. *)
+
+val conjugate : t -> t
+
+val mul : t -> t -> t
+
+val of_axis_angle : Vec3.t -> float -> t
+
+val to_axis_angle : t -> Vec3.t * float
+(** Angle in [\[0, π\]]; unit-x axis for the identity. *)
+
+val of_rot : Rot.t -> t
+(** Shepperd's method; input must be a rotation matrix. *)
+
+val to_rot : t -> Rot.t
+
+val rotate : t -> Vec3.t -> Vec3.t
+
+val slerp : t -> t -> float -> t
+(** Spherical linear interpolation along the shorter arc. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Equality up to sign (q and −q are the same rotation). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+type t = float array
+
+let identity () = [| 1.; 0.; 0.; 0.; 1.; 0.; 0.; 0.; 1. |]
+
+let get r i j = r.((i * 3) + j)
+
+let mul a b =
+  let c = Array.make 9 0. in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      let acc = ref 0. in
+      for k = 0 to 2 do
+        acc := !acc +. (a.((i * 3) + k) *. b.((k * 3) + j))
+      done;
+      c.((i * 3) + j) <- !acc
+    done
+  done;
+  c
+
+let transpose a =
+  [| a.(0); a.(3); a.(6); a.(1); a.(4); a.(7); a.(2); a.(5); a.(8) |]
+
+let apply r (v : Vec3.t) =
+  Vec3.make
+    ((r.(0) *. v.x) +. (r.(1) *. v.y) +. (r.(2) *. v.z))
+    ((r.(3) *. v.x) +. (r.(4) *. v.y) +. (r.(5) *. v.z))
+    ((r.(6) *. v.x) +. (r.(7) *. v.y) +. (r.(8) *. v.z))
+
+let rot_x a =
+  let c = cos a and s = sin a in
+  [| 1.; 0.; 0.; 0.; c; -.s; 0.; s; c |]
+
+let rot_y a =
+  let c = cos a and s = sin a in
+  [| c; 0.; s; 0.; 1.; 0.; -.s; 0.; c |]
+
+let rot_z a =
+  let c = cos a and s = sin a in
+  [| c; -.s; 0.; s; c; 0.; 0.; 0.; 1. |]
+
+let rpy ~roll ~pitch ~yaw = mul (rot_z yaw) (mul (rot_y pitch) (rot_x roll))
+
+let to_rpy r =
+  (* r20 = −sin(pitch) *)
+  let sp = -.r.(6) in
+  if Float.abs sp > 1. -. 1e-12 then begin
+    (* gimbal lock: pitch = ±π/2; put all the remaining rotation in yaw *)
+    let pitch = Float.copy_sign (Float.pi /. 2.) sp in
+    let yaw = Float.atan2 (-.r.(1)) r.(4) in
+    (0., pitch, yaw)
+  end
+  else begin
+    let pitch = Float.asin sp in
+    let roll = Float.atan2 r.(7) r.(8) in
+    let yaw = Float.atan2 r.(3) r.(0) in
+    (roll, pitch, yaw)
+  end
+
+(* Rodrigues: R = I + sin(t)·K + (1−cos t)·K², K the skew matrix of the
+   unit axis. *)
+let of_axis_angle axis angle =
+  let u = Vec3.normalize axis in
+  let c = cos angle and s = sin angle in
+  let v = 1. -. c in
+  let { Vec3.x; y; z } = u in
+  [|
+    c +. (x *. x *. v);
+    (x *. y *. v) -. (z *. s);
+    (x *. z *. v) +. (y *. s);
+    (y *. x *. v) +. (z *. s);
+    c +. (y *. y *. v);
+    (y *. z *. v) -. (x *. s);
+    (z *. x *. v) -. (y *. s);
+    (z *. y *. v) +. (x *. s);
+    c +. (z *. z *. v);
+  |]
+
+let clamp lo hi x = Float.min hi (Float.max lo x)
+
+let to_axis_angle r =
+  let trace = r.(0) +. r.(4) +. r.(8) in
+  let angle = Float.acos (clamp (-1.) 1. ((trace -. 1.) /. 2.)) in
+  if angle < 1e-12 then (Vec3.ex, 0.)
+  else if Float.abs (angle -. Float.pi) < 1e-6 then begin
+    (* Near π the antisymmetric part vanishes; recover the axis from the
+       diagonal of (R + I)/2 = uuᵀ, signs from the off-diagonals. *)
+    let xx = Float.max 0. ((r.(0) +. 1.) /. 2.) in
+    let yy = Float.max 0. ((r.(4) +. 1.) /. 2.) in
+    let zz = Float.max 0. ((r.(8) +. 1.) /. 2.) in
+    let x = sqrt xx in
+    let y = Float.copy_sign (sqrt yy) (r.(1) +. r.(3)) in
+    let y = if x < 1e-9 then sqrt yy else y in
+    let z =
+      if x >= 1e-9 then Float.copy_sign (sqrt zz) (r.(2) +. r.(6))
+      else if y >= 1e-9 then Float.copy_sign (sqrt zz) (r.(5) +. r.(7))
+      else sqrt zz
+    in
+    (Vec3.normalize (Vec3.make x y z), angle)
+  end
+  else begin
+    let s = 2. *. sin angle in
+    let axis =
+      Vec3.make ((r.(7) -. r.(5)) /. s) ((r.(2) -. r.(6)) /. s) ((r.(3) -. r.(1)) /. s)
+    in
+    (Vec3.normalize axis, angle)
+  end
+
+let angle_between a b =
+  let _, angle = to_axis_angle (mul (transpose a) b) in
+  angle
+
+let is_orthonormal ?(tol = 1e-9) r =
+  let t = transpose r in
+  let p = mul t r in
+  let id = identity () in
+  let ok = ref true in
+  Array.iteri (fun k x -> if Float.abs (x -. id.(k)) > tol then ok := false) p;
+  !ok
+
+let approx_equal ?(tol = 1e-9) a b =
+  let rec loop k = k >= 9 || (Float.abs (a.(k) -. b.(k)) <= tol && loop (k + 1)) in
+  loop 0
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>[%g, %g, %g]@,[%g, %g, %g]@,[%g, %g, %g]@]" r.(0) r.(1)
+    r.(2) r.(3) r.(4) r.(5) r.(6) r.(7) r.(8)

@@ -1,0 +1,48 @@
+(** 3×3 rotation matrices.
+
+    Used for transform decomposition, orientation tasks (6-DOF extension),
+    and tests.  Row-major length-9 arrays. *)
+
+type t = float array
+(** Length-9 row-major array. *)
+
+val identity : unit -> t
+
+val get : t -> int -> int -> float
+
+val mul : t -> t -> t
+
+val transpose : t -> t
+
+val apply : t -> Vec3.t -> Vec3.t
+
+val rot_x : float -> t
+val rot_y : float -> t
+val rot_z : float -> t
+
+val rpy : roll:float -> pitch:float -> yaw:float -> t
+(** Roll-pitch-yaw (XYZ extrinsic / ZYX intrinsic):
+    [Rz(yaw)·Ry(pitch)·Rx(roll)] — the convention pose targets are usually
+    specified in. *)
+
+val to_rpy : t -> float * float * float
+(** Inverse of {!rpy} with pitch in [\[−π/2, π/2\]]; at gimbal lock
+    ([|pitch| = π/2]) roll is set to 0 and yaw absorbs the remaining
+    rotation. *)
+
+val of_axis_angle : Vec3.t -> float -> t
+(** Rodrigues' formula; the axis is normalized internally.  Raises
+    [Invalid_argument] on a zero axis. *)
+
+val to_axis_angle : t -> Vec3.t * float
+(** Inverse of {!of_axis_angle}; angle in [\[0, π\]].  For the identity the
+    axis is arbitrary (unit x). *)
+
+val angle_between : t -> t -> float
+(** Geodesic distance on SO(3): the rotation angle of [aᵀ·b]. *)
+
+val is_orthonormal : ?tol:float -> t -> bool
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+type t = float array
+
+let create n = Array.make n 0.
+
+let init = Array.init
+
+let copy = Array.copy
+
+let dim = Array.length
+
+let of_list = Array.of_list
+
+let to_list = Array.to_list
+
+let fill v x = Array.fill v 0 (Array.length v) x
+
+let check_same_dim name x y =
+  if Array.length x <> Array.length y then invalid_arg (name ^ ": dimension mismatch")
+
+let add x y =
+  check_same_dim "Vec.add" x y;
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  check_same_dim "Vec.sub" x y;
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let scale a x = Array.map (fun xi -> a *. xi) x
+
+let neg x = Array.map (fun xi -> -.xi) x
+
+let add_inplace x y =
+  check_same_dim "Vec.add_inplace" x y;
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- x.(i) +. y.(i)
+  done
+
+let axpy a x y =
+  check_same_dim "Vec.axpy" x y;
+  Array.init (Array.length x) (fun i -> (a *. x.(i)) +. y.(i))
+
+let axpy_into ~dst a x y =
+  check_same_dim "Vec.axpy_into" x y;
+  check_same_dim "Vec.axpy_into" x dst;
+  for i = 0 to Array.length x - 1 do
+    dst.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let dot x y =
+  check_same_dim "Vec.dot" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm_sq x = dot x x
+
+let norm x = sqrt (norm_sq x)
+
+let dist x y =
+  check_same_dim "Vec.dist" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    let d = x.(i) -. y.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let map = Array.map
+
+let mapi = Array.mapi
+
+let max_abs x = Array.fold_left (fun acc xi -> Float.max acc (Float.abs xi)) 0. x
+
+let approx_equal ?(tol = 1e-9) x y =
+  Array.length x = Array.length y
+  &&
+  let rec loop i =
+    i >= Array.length x || (Float.abs (x.(i) -. y.(i)) <= tol && loop (i + 1))
+  in
+  loop 0
+
+let pp ppf v =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    v

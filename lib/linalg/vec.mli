@@ -1,0 +1,61 @@
+(** Dense n-dimensional float vectors.
+
+    Joint-angle vectors [θ] in the IK solvers are [Vec.t] of length DOF.
+    Operations allocate fresh vectors unless suffixed [_into] or named
+    imperatively ([axpy_into], [add_inplace], ...). *)
+
+type t = float array
+(** Exposed representation: plain float arrays, so chains of hot loops can
+    index directly.  All functions treat inputs as immutable unless
+    documented otherwise. *)
+
+val create : int -> t
+(** Zero vector of the given dimension. *)
+
+val init : int -> (int -> float) -> t
+
+val copy : t -> t
+
+val dim : t -> int
+
+val of_list : float list -> t
+
+val to_list : t -> float list
+
+val fill : t -> float -> unit
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+
+val add_inplace : t -> t -> unit
+(** [add_inplace x y] sets [x.(i) <- x.(i) +. y.(i)]. *)
+
+val axpy : float -> t -> t -> t
+(** [axpy a x y] is [a*x + y]. *)
+
+val axpy_into : dst:t -> float -> t -> t -> unit
+(** [axpy_into ~dst a x y] writes [a*x + y] into [dst] (which may alias
+    [y], but not [x] unless [a = 1.]). *)
+
+val dot : t -> t -> float
+
+val norm : t -> float
+(** Euclidean norm. *)
+
+val norm_sq : t -> float
+
+val dist : t -> t -> float
+
+val map : (float -> float) -> t -> t
+
+val mapi : (int -> float -> float) -> t -> t
+
+val max_abs : t -> float
+(** Infinity norm; 0 for the empty vector. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Component-wise comparison within absolute tolerance (default 1e-9). *)
+
+val pp : Format.formatter -> t -> unit

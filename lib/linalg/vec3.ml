@@ -1,0 +1,52 @@
+type t = { x : float; y : float; z : float }
+
+let zero = { x = 0.; y = 0.; z = 0. }
+
+let make x y z = { x; y; z }
+
+let ex = make 1. 0. 0.
+let ey = make 0. 1. 0.
+let ez = make 0. 0. 1.
+
+let add a b = { x = a.x +. b.x; y = a.y +. b.y; z = a.z +. b.z }
+
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y; z = a.z -. b.z }
+
+let scale s a = { x = s *. a.x; y = s *. a.y; z = s *. a.z }
+
+let neg a = { x = -.a.x; y = -.a.y; z = -.a.z }
+
+let dot a b = (a.x *. b.x) +. (a.y *. b.y) +. (a.z *. b.z)
+
+let cross a b =
+  {
+    x = (a.y *. b.z) -. (a.z *. b.y);
+    y = (a.z *. b.x) -. (a.x *. b.z);
+    z = (a.x *. b.y) -. (a.y *. b.x);
+  }
+
+let norm_sq a = dot a a
+
+let norm a = sqrt (norm_sq a)
+
+let dist a b = norm (sub a b)
+
+let normalize a =
+  let n = norm a in
+  if n = 0. then invalid_arg "Vec3.normalize: zero vector";
+  scale (1. /. n) a
+
+let lerp a b t = add a (scale t (sub b a))
+
+let of_vec v =
+  if Array.length v <> 3 then invalid_arg "Vec3.of_vec: expected length 3";
+  { x = v.(0); y = v.(1); z = v.(2) }
+
+let to_vec a = [| a.x; a.y; a.z |]
+
+let approx_equal ?(tol = 1e-9) a b =
+  Float.abs (a.x -. b.x) <= tol
+  && Float.abs (a.y -. b.y) <= tol
+  && Float.abs (a.z -. b.z) <= tol
+
+let pp ppf a = Format.fprintf ppf "(%g, %g, %g)" a.x a.y a.z

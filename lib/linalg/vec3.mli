@@ -1,0 +1,41 @@
+(** 3-dimensional vectors: end-effector positions and joint axes.
+
+    Unboxed record representation — positions flow through the innermost
+    solver loops, so this type avoids the bounds checks and indirection of
+    a general {!Vec.t}. *)
+
+type t = { x : float; y : float; z : float }
+
+val zero : t
+val make : float -> float -> float -> t
+val ex : t
+val ey : t
+val ez : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+
+val dot : t -> t -> float
+val cross : t -> t -> t
+
+val norm : t -> float
+val norm_sq : t -> float
+val dist : t -> t -> float
+
+val normalize : t -> t
+(** Unit vector in the same direction.  Raises [Invalid_argument] on the
+    zero vector. *)
+
+val lerp : t -> t -> float -> t
+(** [lerp a b t] is [a + t*(b-a)]. *)
+
+val of_vec : Vec.t -> t
+(** From a length-3 {!Vec.t}. *)
+
+val to_vec : t -> Vec.t
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

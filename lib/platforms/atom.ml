@@ -1,0 +1,7 @@
+let default_effective_flops = 2.5e7
+
+let time_s ?(effective_flops = default_effective_flops) ~cost ~iterations () =
+  if iterations < 0. then invalid_arg "Atom.time_s: negative iterations";
+  iterations *. Dadu_core.Cost.total cost /. effective_flops
+
+let energy_j ~time_s = Platform.energy Platform.atom ~time_s

@@ -1,0 +1,20 @@
+(** Mobile-CPU timing model (paper's "Intel Atom" columns).
+
+    A scalar in-order CPU runs every solver serially, so solve time is
+    simply total floating-point work divided by an effective throughput.
+    The default throughput is calibrated to the paper's Table 2 anchor
+    (JT-Serial, 100 DOF ≈ 13 s) given our measured iteration counts; it is
+    deliberately far below the chip's peak because it absorbs the ROS/KDL
+    software stack the paper actually ran (allocation, virtual dispatch,
+    scalar trig).  See DESIGN.md §6. *)
+
+val default_effective_flops : float
+(** 2.5e7 flop/s. *)
+
+val time_s :
+  ?effective_flops:float -> cost:Dadu_core.Cost.per_iteration -> iterations:float -> unit -> float
+(** Mean solve time: [iterations × (serial + parallel flops) / throughput]
+    — a CPU executes the "parallel" speculation work serially. *)
+
+val energy_j : time_s:float -> float
+(** At the platform's 10 W average. *)

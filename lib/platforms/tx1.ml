@@ -1,0 +1,19 @@
+type params = {
+  per_iteration_overhead_s : float;
+  host_flops : float;
+  gpu_flops : float;
+}
+
+let default_params =
+  { per_iteration_overhead_s = 150e-6; host_flops = 2e8; gpu_flops = 2.7e9 }
+
+let time_s ?(params = default_params) ~cost ~iterations () =
+  if iterations < 0. then invalid_arg "Tx1.time_s: negative iterations";
+  let per_iteration =
+    params.per_iteration_overhead_s
+    +. (cost.Dadu_core.Cost.serial_flops /. params.host_flops)
+    +. (cost.Dadu_core.Cost.parallel_flops /. params.gpu_flops)
+  in
+  iterations *. per_iteration
+
+let energy_j ~time_s = Platform.energy Platform.tx1 ~time_s

@@ -1,0 +1,30 @@
+(** Jetson TX1 timing model (paper's "JT-TX1" column).
+
+    The paper's GPU port runs the speculative searches on the TX1's GPU and
+    the serial prologue on its A57 host, exchanging data every iteration —
+    and observes that this exchange dominates ("GPU needs to exchange data
+    with CPU at each iteration", §6.3.1).  The model charges, per
+    iteration:
+
+    - a fixed launch/synchronization overhead,
+    - the serial prologue on the host at a scalar effective throughput,
+    - the speculation work on the GPU at a low effective throughput
+      (64 candidates × a ~100-deep sequential FK chain is a tiny,
+      latency-bound kernel; nowhere near peak).
+
+    Defaults are calibrated to the paper's Table 2 JT-TX1 column at 12 and
+    100 DOF; see DESIGN.md §6. *)
+
+type params = {
+  per_iteration_overhead_s : float;  (** launch + host↔device sync; 150 µs *)
+  host_flops : float;  (** A57 scalar effective throughput; 2e8 *)
+  gpu_flops : float;  (** small-kernel effective throughput; 2.7e9 *)
+}
+
+val default_params : params
+
+val time_s :
+  ?params:params -> cost:Dadu_core.Cost.per_iteration -> iterations:float -> unit -> float
+
+val energy_j : time_s:float -> float
+(** At the platform's 4.8 W average. *)

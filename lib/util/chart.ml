@@ -1,0 +1,42 @@
+type group = { label : string; bars : (string * float) list }
+
+let render ?(width = 50) ?(log = false) groups =
+  if groups = [] then ""
+  else begin
+    let transform v = if log then log10 (1. +. Float.max 0. v) else Float.max 0. v in
+    let max_value =
+      List.fold_left
+        (fun acc { bars; _ } ->
+          List.fold_left (fun acc (_, v) -> Float.max acc (transform v)) acc bars)
+        0. groups
+    in
+    let label_width =
+      List.fold_left
+        (fun acc { label; bars } ->
+          List.fold_left
+            (fun acc (series, _) -> Stdlib.max acc (String.length series))
+            (Stdlib.max acc (String.length label))
+            bars)
+        0 groups
+    in
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun { label; bars } ->
+        Buffer.add_string buf (Printf.sprintf "%s\n" label);
+        List.iter
+          (fun (series, value) ->
+            let len =
+              if max_value <= 0. then 0
+              else
+                int_of_float
+                  (Float.round (transform value /. max_value *. float_of_int width))
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "  %-*s |%s %g\n" label_width series
+                 (String.make len '#') value))
+          bars;
+        Buffer.add_char buf '\n')
+      groups;
+    if log then Buffer.add_string buf "(bar lengths on a log10 scale)\n";
+    Buffer.contents buf
+  end

@@ -1,0 +1,17 @@
+(** ASCII bar charts for the bench output.
+
+    The paper's Figures 4–5 are grouped bar charts (Figure 5 on a log
+    axis); this renders the same data as horizontal text bars so the shape
+    is visible straight from the terminal, alongside the numeric tables. *)
+
+type group = {
+  label : string;  (** e.g. the DOF value *)
+  bars : (string * float) list;  (** (series label, value) *)
+}
+
+val render : ?width:int -> ?log:bool -> group list -> string
+(** Horizontal bars scaled to the global maximum.  [width] is the maximum
+    bar length in characters (default 50).  With [log] (default false),
+    lengths follow [log10(1 + value)] — matching the paper's log-scale
+    axes — while the printed numbers stay linear.  Negative values render
+    as empty bars; an empty group list renders as the empty string. *)

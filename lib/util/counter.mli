@@ -1,0 +1,23 @@
+(** Named operation counters.
+
+    Lightweight accounting used by the accelerator simulator and tests to
+    tally events (cycles, multiplies, schedules, ...) by name. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> int -> unit
+(** [add t name n] increments counter [name] by [n], creating it at 0. *)
+
+val incr : t -> string -> unit
+(** [incr t name] is [add t name 1]. *)
+
+val get : t -> string -> int
+(** Current value; 0 for unknown names. *)
+
+val reset : t -> unit
+(** Zeroes every counter. *)
+
+val to_list : t -> (string * int) list
+(** All counters, sorted by name. *)

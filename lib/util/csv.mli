@@ -1,0 +1,11 @@
+(** Minimal CSV emission for experiment results. *)
+
+val escape : string -> string
+(** Quotes a field if it contains a comma, quote, or newline. *)
+
+val row_to_string : string list -> string
+(** One CSV line without trailing newline. *)
+
+val write : string -> header:string list -> string list list -> unit
+(** [write path ~header rows] writes a CSV file, creating parent output as
+    needed under the current directory. *)

@@ -1,0 +1,119 @@
+type t = {
+  total_workers : int; (* including the caller *)
+  mutex : Mutex.t;
+  ready : Condition.t;
+  finished : Condition.t;
+  mutable generation : int;
+  mutable body : int -> unit;
+  mutable total : int;
+  next : int Atomic.t;
+  completed : int Atomic.t;
+  mutable failure : exn option;
+  mutable shutting_down : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Work-stealing inner loop shared by workers and the caller: grab the next
+   index until the range is exhausted.  The last finisher signals
+   [finished]. *)
+let drain t =
+  let rec loop () =
+    let i = Atomic.fetch_and_add t.next 1 in
+    if i < t.total then begin
+      (try t.body i
+       with exn ->
+         Mutex.lock t.mutex;
+         if t.failure = None then t.failure <- Some exn;
+         Mutex.unlock t.mutex);
+      let done_count = 1 + Atomic.fetch_and_add t.completed 1 in
+      if done_count = t.total then begin
+        Mutex.lock t.mutex;
+        Condition.broadcast t.finished;
+        Mutex.unlock t.mutex
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker t =
+  let my_generation = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while t.generation = !my_generation && not t.shutting_down do
+      Condition.wait t.ready t.mutex
+    done;
+    if t.shutting_down then Mutex.unlock t.mutex
+    else begin
+      my_generation := t.generation;
+      Mutex.unlock t.mutex;
+      drain t;
+      loop ()
+    end
+  in
+  loop ()
+
+let create n =
+  if n <= 0 then invalid_arg "Domain_pool.create: size must be positive";
+  let t =
+    {
+      total_workers = n;
+      mutex = Mutex.create ();
+      ready = Condition.create ();
+      finished = Condition.create ();
+      generation = 0;
+      body = ignore;
+      total = 0;
+      next = Atomic.make 0;
+      completed = Atomic.make 0;
+      failure = None;
+      shutting_down = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.total_workers
+
+let parallel_for t n body =
+  if n < 0 then invalid_arg "Domain_pool.parallel_for: negative count";
+  if n > 0 then begin
+    Mutex.lock t.mutex;
+    t.body <- body;
+    t.total <- n;
+    t.failure <- None;
+    Atomic.set t.next 0;
+    Atomic.set t.completed 0;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.ready;
+    Mutex.unlock t.mutex;
+    drain t;
+    Mutex.lock t.mutex;
+    while Atomic.get t.completed < t.total do
+      Condition.wait t.finished t.mutex
+    done;
+    let failure = t.failure in
+    t.body <- ignore;
+    Mutex.unlock t.mutex;
+    match failure with None -> () | Some exn -> raise exn
+  end
+
+let map t f n =
+  if n = 0 then [||]
+  else begin
+    let first = f 0 in
+    let results = Array.make n first in
+    parallel_for t (n - 1) (fun i -> results.(i + 1) <- f (i + 1));
+    results
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutting_down <- true;
+  Condition.broadcast t.ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let recommended_size () = Stdlib.min 8 (Stdlib.max 1 (Domain.recommended_domain_count ()))

@@ -1,0 +1,34 @@
+(** A reusable pool of OCaml 5 domains for data-parallel loops.
+
+    Quick-IK's speculative searches are embarrassingly parallel; this pool
+    plays the role of the paper's "multithreads architecture" on the host.
+    Domains are spawned once and reused across every {!parallel_for} call,
+    because spawning a domain per IK iteration would dominate the runtime.
+
+    The pool serialises concurrent [parallel_for] calls: it is safe to call
+    from one orchestrating thread at a time (the normal bench/solver usage).
+    Loop bodies must not themselves call into the same pool. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns [max 0 (n-1)] worker domains; the caller participates
+    as the [n]-th worker during {!parallel_for}.  [n] must be positive. *)
+
+val size : t -> int
+(** Total parallelism (workers + caller). *)
+
+val parallel_for : t -> int -> (int -> unit) -> unit
+(** [parallel_for t n body] runs [body i] for each [i] in [\[0, n)], work-
+    stealing indices from a shared counter.  Returns when all are done.
+    Exceptions raised by [body] are re-raised in the caller (first one
+    wins; remaining indices may or may not have run). *)
+
+val map : t -> (int -> 'a) -> int -> 'a array
+(** [map t f n] is [Array.init n f] computed in parallel. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  The pool must not be used afterwards. *)
+
+val recommended_size : unit -> int
+(** [Domain.recommended_domain_count], capped to a sane bench value. *)

@@ -1,0 +1,51 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 finalizer (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+(* Keep 62 bits so the conversion to OCaml's 63-bit int stays
+   non-negative. *)
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  r mod bound
+
+(* 53 uniform mantissa bits, in [0, 1). *)
+let unit_float t =
+  let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bits *. 0x1p-53
+
+let float t bound = unit_float t *. bound
+
+let uniform t lo hi = lo +. (unit_float t *. (hi -. lo))
+
+let gaussian t =
+  let rec draw () =
+    let u = unit_float t in
+    if u > 0. then u else draw ()
+  in
+  let u1 = draw () and u2 = unit_float t in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

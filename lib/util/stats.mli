@@ -1,0 +1,35 @@
+(** Summary statistics over float samples. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on an empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n−1 denominator); 0 for singletons. *)
+
+val min : float array -> float
+
+val max : float array -> float
+
+val median : float array -> float
+(** Median by sorting a copy. *)
+
+val percentile : float -> float array -> float
+(** [percentile p xs] for [p] in [\[0, 100\]], linear interpolation between
+    closest ranks. *)
+
+val geomean : float array -> float
+(** Geometric mean; all samples must be positive. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

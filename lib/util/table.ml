@@ -1,0 +1,67 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title columns =
+  { title; headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        match row with
+        | Sep -> acc
+        | Cells cells -> List.map2 (fun w c -> Stdlib.max w (String.length c)) acc cells)
+      (List.map String.length t.headers)
+      rows
+  in
+  let buf = Buffer.create 256 in
+  let hline () =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit cells =
+    List.iter2
+      (fun (w, a) c -> Buffer.add_string buf (Printf.sprintf "| %s " (pad a w c)))
+      (List.combine widths t.aligns)
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+  | None -> ()
+  | Some title -> Buffer.add_string buf (title ^ "\n"));
+  hline ();
+  emit t.headers;
+  hline ();
+  List.iter (function Sep -> hline () | Cells cells -> emit cells) rows;
+  hline ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let fmt_sig ?(digits = 4) x = Printf.sprintf "%.*g" digits x

@@ -1,0 +1,31 @@
+(** Aligned text tables for experiment output.
+
+    Benches print paper-style tables; this module does the column layout.
+    Cells are strings; numeric helpers format floats consistently. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given header cells and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row.  Raises [Invalid_argument] if the arity differs from the
+    header. *)
+
+val add_sep : t -> unit
+(** Appends a horizontal separator row. *)
+
+val render : t -> string
+(** Renders with unicode-free ASCII borders, suitable for logs. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point float formatting used across benches. *)
+
+val fmt_sig : ?digits:int -> float -> string
+(** Significant-digit formatting ([%.*g]). *)

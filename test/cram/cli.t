@@ -1,0 +1,67 @@
+The dadu CLI end to end.  Every invocation here is deterministic (fixed
+seeds, fixed robots), so the outputs are exact.
+
+List the built-in robots:
+
+  $ dadu robots
+  arm6       arm-6dof: 6 DOF, reach 1.42 m
+  arm7       arm-7dof: 7 DOF, reach 1.02 m
+  scara      scara: 4 DOF, reach 0.64 m
+  snake:30   snake-30dof: 30 DOF, reach 1.00 m
+  eval:12    eval-12dof: 12 DOF, reach 12.00 m
+  eval:100   eval-100dof: 100 DOF, reach 100.00 m
+  planar:6   planar-6dof: 6 DOF, reach 6.00 m
+
+A robot description round-trips through describe and --robot-file:
+
+  $ dadu describe -r scara > scara.robot
+  $ dadu describe -f scara.robot
+  chain scara
+  joint shoulder revolute a=0.25 limits=-2.2689280275926285,2.2689280275926285
+  joint elbow revolute a=0.20999999999999999 alpha=3.1415926535897931 limits=-2.5307274153917776,2.5307274153917776
+  joint quill prismatic limits=0,0.17999999999999999
+  joint wrist revolute limits=-3.1415926535897931,3.1415926535897931
+
+Unknown robots and malformed files fail with a clear message:
+
+  $ dadu solve -r hexapod
+  dadu: option '-r': unknown robot "hexapod" (expected arm6 | arm7 | scara |
+        snake:<dof> | eval:<dof> | planar:<dof>)
+  Usage: dadu solve [OPTION]…
+  Try 'dadu solve --help' or 'dadu --help' for more information.
+  [124]
+
+  $ printf 'joint j floppy a=1\n' > bad.robot
+  $ dadu solve -f bad.robot
+  dadu: bad.robot: line 1: unknown joint kind "floppy" (revolute | prismatic)
+  [124]
+
+Solving against a robot file (exit code 0 = converged):
+
+  $ cat > demo.robot <<'EOF'
+  > chain demo-arm
+  > base translate 0 0 0.2
+  > joint shoulder revolute a=0.5 alpha=90deg limits=-170deg,170deg
+  > joint elbow revolute a=0.4 limits=-150deg,150deg
+  > joint wrist revolute a=0.25 alpha=-90deg limits=-170deg,170deg
+  > tool translate 0 0 0.05
+  > EOF
+  $ dadu solve -f demo.robot -m quick-ik --seed 7 > solve.out; echo "exit $?"
+  exit 0
+  $ grep -c "Result: converged" solve.out
+  1
+
+The accelerator model reports schedules and utilization:
+
+  $ dadu accel -r eval:12 --ssus 16 -s 64 --seed 3 | grep -o "4 schedules/iter"
+  4 schedules/iter
+
+Motion planning around an obstacle (deterministic under a fixed seed):
+
+  $ dadu plan -r planar:4 -o 1.55,0.35,0,0.4 -t 1.55,-0.9,0 --seed 2025
+  Planned 52 waypoints (10.20 rad), shortcut to 3 (6.96 rad); 337 nodes, 1961 collision checks
+
+The bench harness renders Table 1 deterministically:
+
+  $ ../../bench/main.exe table1 | grep -c "JT-Speculation"
+  1

@@ -1,0 +1,593 @@
+(* Tests for the IKAcc accelerator simulator: cycle models, scheduler,
+   selector, energy, and functional equivalence to software Quick-IK. *)
+
+open Dadu_accel
+module Ik = Dadu_core.Ik
+module Rng = Dadu_util.Rng
+module Robots = Dadu_kinematics.Robots
+
+let qcheck = QCheck_alcotest.to_alcotest
+let cfg = Config.default
+
+(* ---- Config ---- *)
+
+let test_config_defaults () =
+  Alcotest.(check int) "paper SSU count" 32 cfg.Config.num_ssus;
+  Alcotest.(check (float 1.)) "1 GHz" 1e9 cfg.Config.frequency_hz;
+  Alcotest.(check (float 1e-9)) "paper area" 2.27 cfg.Config.area_mm2;
+  Config.validate cfg
+
+let test_config_with_ssus () =
+  Alcotest.(check int) "override" 8 (Config.with_ssus 8 cfg).Config.num_ssus
+
+let test_config_invalid () =
+  Alcotest.(check bool) "zero SSUs rejected" true
+    (try
+       Config.validate (Config.with_ssus 0 cfg);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Fku / Spu / Ssu ---- *)
+
+let test_fku_linear () =
+  let c10 = Fku.chain_cycles cfg ~dof:10 in
+  let c20 = Fku.chain_cycles cfg ~dof:20 in
+  let c30 = Fku.chain_cycles cfg ~dof:30 in
+  Alcotest.(check int) "constant increment" (c20 - c10) (c30 - c20)
+
+let test_fku_formula () =
+  let fill = cfg.Config.dh_cycles + cfg.Config.matmul_cycles in
+  let steady = Stdlib.max cfg.Config.dh_cycles cfg.Config.matmul_cycles in
+  Alcotest.(check int) "pipelined chain" (fill + (9 * steady)) (Fku.chain_cycles cfg ~dof:10)
+
+let test_fku_invalid () =
+  Alcotest.(check bool) "dof 0 rejected" true
+    (try
+       ignore (Fku.chain_cycles cfg ~dof:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_spu_ii () =
+  Alcotest.(check int) "II = slowest stage" cfg.Config.matmul_cycles
+    (Spu.initiation_interval cfg)
+
+let test_spu_formula () =
+  let fill = Array.fold_left ( + ) 0 (Spu.stage_latencies cfg) in
+  Alcotest.(check int) "pipeline fill + steady + alpha"
+    (fill + (49 * Spu.initiation_interval cfg) + cfg.Config.alpha_cycles)
+    (Spu.iteration_cycles cfg ~dof:50)
+
+let test_spu_stages () =
+  Alcotest.(check int) "four stages (Fig. 3)" 4 (Array.length (Spu.stage_latencies cfg))
+
+let test_ssu_formula () =
+  let dof = 50 in
+  let update = (dof + cfg.Config.update_lanes - 1) / cfg.Config.update_lanes in
+  Alcotest.(check int) "candidate cycles"
+    (1 + update + Fku.chain_cycles cfg ~dof + cfg.Config.error_cycles)
+    (Ssu.candidate_cycles cfg ~dof)
+
+(* ---- Scheduler ---- *)
+
+let test_plan_exact () =
+  let p = Scheduler.plan cfg ~speculations:64 in
+  Alcotest.(check int) "schedules" 2 p.Scheduler.schedules;
+  Alcotest.(check int) "full rounds" 2 p.Scheduler.full_rounds;
+  Alcotest.(check int) "last round full" 32 p.Scheduler.last_round_ssus
+
+let test_plan_remainder () =
+  let p = Scheduler.plan cfg ~speculations:40 in
+  Alcotest.(check int) "schedules" 2 p.Scheduler.schedules;
+  Alcotest.(check int) "full rounds" 1 p.Scheduler.full_rounds;
+  Alcotest.(check int) "remainder" 8 p.Scheduler.last_round_ssus
+
+let test_plan_small () =
+  let p = Scheduler.plan cfg ~speculations:5 in
+  Alcotest.(check int) "one schedule" 1 p.Scheduler.schedules;
+  Alcotest.(check int) "five busy" 5 p.Scheduler.last_round_ssus
+
+let test_assignments_cover =
+  QCheck.Test.make ~name:"assignments cover every candidate once" ~count:100
+    QCheck.(pair (int_range 1 200) (int_range 1 64)) (fun (speculations, ssus) ->
+      let config = Config.with_ssus ssus cfg in
+      let rounds = Scheduler.assignments config ~speculations in
+      let flat = List.concat rounds in
+      List.sort compare flat = List.init speculations Fun.id
+      && List.for_all (fun round -> List.length round <= ssus) rounds)
+
+let test_iteration_cycles_decomposition () =
+  let dof = 30 and speculations = 64 in
+  let per_round =
+    cfg.Config.broadcast_cycles + Ssu.candidate_cycles cfg ~dof + cfg.Config.select_cycles
+  in
+  Alcotest.(check int) "spu + rounds"
+    (Spu.iteration_cycles cfg ~dof + (2 * per_round))
+    (Scheduler.iteration_cycles cfg ~dof ~speculations)
+
+let test_ssu_busy_equals_speculations () =
+  let dof = 25 in
+  Alcotest.(check int) "busy = specs x candidate"
+    (64 * Ssu.candidate_cycles cfg ~dof)
+    (Scheduler.ssu_busy_cycles cfg ~dof ~speculations:64)
+
+let test_more_ssus_never_slower =
+  QCheck.Test.make ~name:"more SSUs never increases iteration cycles" ~count:100
+    QCheck.(pair (int_range 1 128) (int_range 1 64)) (fun (speculations, ssus) ->
+      let a =
+        Scheduler.iteration_cycles (Config.with_ssus ssus cfg) ~dof:20 ~speculations
+      in
+      let b =
+        Scheduler.iteration_cycles (Config.with_ssus (ssus * 2) cfg) ~dof:20 ~speculations
+      in
+      b <= a)
+
+(* ---- Selector ---- *)
+
+let test_selector_best () =
+  Alcotest.(check int) "min index" 2 (Selector.best [| 3.; 1.5; 0.2; 0.9 |])
+
+let test_selector_ties () =
+  Alcotest.(check int) "tie to smaller k" 1 (Selector.best [| 5.; 2.; 2.; 2. |])
+
+let test_selector_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Selector.best: no candidates")
+    (fun () -> ignore (Selector.best [||]))
+
+let test_selector_fold_rounds =
+  QCheck.Test.make ~name:"fold_rounds = best of concatenation" ~count:200
+    QCheck.(
+      list_of_size Gen.(int_range 1 5)
+        (array_of_size Gen.(int_range 1 10) (float_range 0. 100.)))
+    (fun rounds ->
+      let flat = Array.concat rounds in
+      Array.length flat = 0 || Selector.fold_rounds rounds = Selector.best flat)
+
+(* ---- Energy ---- *)
+
+let test_energy_zero () =
+  let b = Energy.of_activity cfg ~total_cycles:0 ~spu_busy_cycles:0 ~ssu_busy_cycles:0 in
+  Alcotest.(check (float 0.)) "zero energy" 0. b.Energy.total_j
+
+let test_energy_additive () =
+  let b =
+    Energy.of_activity cfg ~total_cycles:1000 ~spu_busy_cycles:400 ~ssu_busy_cycles:5000
+  in
+  Alcotest.(check (float 1e-15)) "parts sum"
+    (b.Energy.leakage_j +. b.Energy.spu_j +. b.Energy.ssu_j)
+    b.Energy.total_j
+
+let test_energy_leakage_floor () =
+  let b =
+    Energy.of_activity cfg ~total_cycles:1000 ~spu_busy_cycles:0 ~ssu_busy_cycles:0
+  in
+  Alcotest.(check (float 1e-12)) "idle power = leakage" cfg.Config.leakage_w
+    b.Energy.avg_power_w
+
+let test_energy_negative_rejected () =
+  Alcotest.(check bool) "negative cycles rejected" true
+    (try
+       ignore (Energy.of_activity cfg ~total_cycles:(-1) ~spu_busy_cycles:0 ~ssu_busy_cycles:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Fixed-point datapath ---- *)
+
+let test_fixed_quantize_grid () =
+  let f = Fixed.q8_8 in
+  Alcotest.(check (float 1e-12)) "on grid" 0.5 (Fixed.quantize f 0.5);
+  Alcotest.(check (float 1e-12)) "rounds" 0.50390625 (Fixed.quantize f 0.505);
+  Alcotest.(check (float 1e-12)) "resolution" (1. /. 256.) (Fixed.resolution f)
+
+let test_fixed_saturates () =
+  let f = Fixed.q8_8 in
+  Alcotest.(check (float 1e-9)) "positive saturation" (Fixed.max_value f)
+    (Fixed.quantize f 1e9);
+  Alcotest.(check (float 1e-9)) "negative saturation" (-.Fixed.max_value f)
+    (Fixed.quantize f (-1e9))
+
+let test_fixed_word_width () =
+  Alcotest.(check int) "Q8.16 is 25 bits" 25 (Fixed.word_width Fixed.q8_16);
+  Alcotest.(check int) "Q8.24 is 33 bits" 33 (Fixed.word_width Fixed.q8_24)
+
+let test_fixed_idempotent =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"quantize is idempotent" ~count:200
+       QCheck.(float_range (-200.) 200.) (fun x ->
+         let q = Fixed.quantize Fixed.q8_16 x in
+         Fixed.quantize Fixed.q8_16 q = q))
+
+let test_fixed_fk_error_shrinks_with_bits () =
+  let chain = Robots.eval_chain ~dof:25 in
+  let eval fmt =
+    let rng = Rng.create 55 in
+    (Fixed.evaluate ~samples:30 rng fmt chain).Fixed.max_error
+  in
+  let e8 = eval Fixed.q8_8 and e16 = eval Fixed.q8_16 and e24 = eval Fixed.q8_24 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone: %.2e > %.2e > %.2e" e8 e16 e24)
+    true
+    (e8 > e16 && e16 > e24)
+
+let test_fixed_q24_sufficient_for_paper_accuracy () =
+  (* with 24 fractional bits the quantized FKU cannot disturb candidate
+     selection at the paper's 1e-2 m threshold, even at 100 DOF *)
+  let chain = Robots.eval_chain ~dof:100 in
+  let rng = Rng.create 56 in
+  let report = Fixed.evaluate ~samples:20 rng Fixed.q8_24 chain in
+  Alcotest.(check bool)
+    (Printf.sprintf "max err %.2e" report.Fixed.max_error)
+    true
+    (Fixed.sufficient report ~accuracy:1e-2)
+
+let test_fixed_error_zero_in_float_limit () =
+  (* a very wide format reproduces the float FK to tight tolerance *)
+  let wide = { Fixed.integer_bits = 10; frac_bits = 40 } in
+  let chain = Robots.eval_chain ~dof:12 in
+  let rng = Rng.create 57 in
+  let report = Fixed.evaluate ~samples:10 rng wide chain in
+  Alcotest.(check bool) "negligible error" true (report.Fixed.max_error < 1e-8)
+
+(* ---- Trace ---- *)
+
+let test_trace_makespan_matches_analytic =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"trace makespan = analytic iteration cycles" ~count:100
+       QCheck.(pair (int_range 1 128) (int_range 2 120)) (fun (speculations, dof) ->
+         let events = Trace.iteration cfg ~dof ~speculations in
+         Trace.makespan events = Scheduler.iteration_cycles cfg ~dof ~speculations))
+
+let test_trace_ssu_busy_matches_analytic =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"trace SSU busy = analytic busy cycles" ~count:100
+       QCheck.(pair (int_range 1 128) (int_range 2 120)) (fun (speculations, dof) ->
+         let events = Trace.iteration cfg ~dof ~speculations in
+         Trace.busy_cycles ~prefix:"SSU" events
+         = Scheduler.ssu_busy_cycles cfg ~dof ~speculations))
+
+let test_trace_candidates_covered () =
+  let events = Trace.iteration cfg ~dof:20 ~speculations:50 in
+  let candidates =
+    List.filter_map (fun e -> e.Trace.candidate) events |> List.sort compare
+  in
+  Alcotest.(check (list int)) "every candidate traced" (List.init 50 Fun.id) candidates
+
+let test_trace_spu_first () =
+  let events = Trace.iteration cfg ~dof:20 ~speculations:64 in
+  (match events with
+  | first :: _ ->
+    Alcotest.(check string) "SPU leads" "SPU" first.Trace.unit_name;
+    Alcotest.(check int) "starts at 0" 0 first.Trace.start_cycle
+  | [] -> Alcotest.fail "empty trace");
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "events well-formed" true
+        (e.Trace.end_cycle > e.Trace.start_cycle))
+    events
+
+let test_trace_render () =
+  let events = Trace.iteration cfg ~dof:10 ~speculations:8 in
+  let s = Trace.render events in
+  Alcotest.(check bool) "renders SPU row" true
+    (Astring.String.is_infix ~affix:"SPU" s);
+  Alcotest.(check bool) "renders gantt marks" true
+    (Astring.String.is_infix ~affix:"#" s)
+
+(* ---- Datapath (fused SPU pass, paper section 5.3) ---- *)
+
+let test_datapath_matches_software =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"fused serial pass = software Jacobian path" ~count:100
+       QCheck.(int_range 0 100_000) (fun seed ->
+         let rng = Rng.create seed in
+         let dof = 2 + Rng.int rng 20 in
+         let chain = Robots.eval_chain ~dof in
+         let theta = Dadu_kinematics.Target.random_config rng chain in
+         let target = Dadu_kinematics.Target.reachable rng chain in
+         let end_transform = Dadu_kinematics.Fk.pose chain theta in
+         let out = Datapath.serial_pass chain ~theta ~end_transform ~target in
+         (* software path: materialized Jacobian + Eq. 8 *)
+         let open Dadu_linalg in
+         let j = Dadu_kinematics.Jacobian.position_jacobian chain theta in
+         let e = Vec3.sub target (Dadu_kinematics.Fk.position chain theta) in
+         let dtheta = Mat.mul_transpose_vec j (Vec3.to_vec e) in
+         let alpha = Dadu_core.Alpha.buss ~j ~e ~dtheta_base:dtheta in
+         Vec.approx_equal ~tol:1e-12 out.Datapath.dtheta_base dtheta
+         && Float.abs (out.Datapath.alpha_base -. alpha)
+            <= 1e-12 *. Float.max 1. (Float.abs alpha)))
+
+let test_datapath_prismatic () =
+  let chain = Robots.scara () in
+  let rng = Rng.create 61 in
+  let theta = Dadu_kinematics.Target.random_config rng chain in
+  let target = Dadu_kinematics.Target.reachable rng chain in
+  let end_transform = Dadu_kinematics.Fk.pose chain theta in
+  let out = Datapath.serial_pass chain ~theta ~end_transform ~target in
+  let open Dadu_linalg in
+  let j = Dadu_kinematics.Jacobian.position_jacobian chain theta in
+  let e = Vec3.sub target (Dadu_kinematics.Fk.position chain theta) in
+  let dtheta = Mat.mul_transpose_vec j (Vec3.to_vec e) in
+  Alcotest.(check bool) "prismatic columns handled" true
+    (Vec.approx_equal ~tol:1e-12 out.Datapath.dtheta_base dtheta)
+
+(* ---- Sim (execution-based simulator) ---- *)
+
+let sim_problem seed dof =
+  let rng = Rng.create seed in
+  Ik.random_problem rng (Robots.eval_chain ~dof)
+
+let test_sim_bit_identical_to_quick_ik () =
+  (* The hardware dataflow performs the same float operations in the same
+     order as the software solver, so results are bit-identical. *)
+  List.iter
+    (fun (seed, dof) ->
+      let p = sim_problem seed dof in
+      let sim = Sim.run ~speculations:64 p in
+      let sw = Dadu_core.Quick_ik.solve ~speculations:64 p in
+      Alcotest.(check int) "same iterations" sw.Ik.iterations sim.Sim.iterations;
+      Alcotest.(check bool) "bit-identical theta" true (sw.Ik.theta = sim.Sim.theta);
+      Alcotest.(check (float 0.)) "bit-identical error" sw.Ik.error sim.Sim.err;
+      Alcotest.(check bool) "same verdict" true
+        (sim.Sim.converged = (sw.Ik.status = Ik.Converged)))
+    [ (81, 12); (82, 25); (83, 50) ]
+
+let test_sim_cycles_match_ikacc () =
+  let p = sim_problem 84 25 in
+  let sim = Sim.run ~speculations:64 p in
+  let priced = Ikacc.solve ~speculations:64 p in
+  Alcotest.(check int) "same total cycles" priced.Ikacc.total_cycles sim.Sim.total_cycles;
+  Alcotest.(check int) "same SSU busy cycles"
+    (sim.Sim.iterations * Scheduler.ssu_busy_cycles cfg ~dof:25 ~speculations:64)
+    sim.Sim.ssu_busy_cycles
+
+let test_sim_steps_log () =
+  let p = sim_problem 85 12 in
+  let sim = Sim.run ~speculations:32 p in
+  Alcotest.(check int) "one step per iteration" sim.Sim.iterations
+    (List.length sim.Sim.steps);
+  List.iteri
+    (fun i (s : Sim.step) ->
+      Alcotest.(check int) "ordered" i s.Sim.iteration;
+      Alcotest.(check bool) "winner in range" true (s.Sim.winner >= 0 && s.Sim.winner < 32);
+      Alcotest.(check bool) "winner error consistent" true
+        (s.Sim.winner_err >= 0.))
+    sim.Sim.steps
+
+let test_sim_odd_speculations () =
+  (* speculation count not a multiple of the SSU count exercises the
+     partial last round *)
+  let p = sim_problem 86 12 in
+  let sim = Sim.run ~speculations:50 p in
+  Alcotest.(check bool) "converged" true sim.Sim.converged
+
+(* ---- Design space ---- *)
+
+let test_dse_area_calibration () =
+  Alcotest.(check (float 1e-9)) "paper point area" 2.27
+    (Design_space.area ~num_ssus:32)
+
+let test_dse_evaluate_consistency () =
+  let e =
+    Design_space.evaluate
+      { Design_space.num_ssus = 32; frequency_hz = 1e9 }
+      ~dof:50 ~speculations:64 ~iterations:100
+  in
+  Alcotest.(check (float 1e-15)) "edp = energy x time" (e.Design_space.energy_j *. e.Design_space.time_s)
+    e.Design_space.edp;
+  Alcotest.(check bool) "positive" true
+    (e.Design_space.time_s > 0. && e.Design_space.energy_j > 0.)
+
+let test_dse_frequency_scaling () =
+  let eval f =
+    Design_space.evaluate
+      { Design_space.num_ssus = 32; frequency_hz = f }
+      ~dof:50 ~speculations:64 ~iterations:100
+  in
+  let slow = eval 0.5e9 and fast = eval 1e9 in
+  Alcotest.(check (float 1e-12)) "half frequency, double time"
+    (2. *. fast.Design_space.time_s) slow.Design_space.time_s;
+  (* with V tracking f, the slow design spends less energy per solve *)
+  Alcotest.(check bool) "slow design saves energy" true
+    (slow.Design_space.energy_j < fast.Design_space.energy_j)
+
+let test_dse_pareto_non_dominated =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"pareto front is non-dominated and non-empty" ~count:50
+       QCheck.(int_range 1 1000)
+       (fun iterations ->
+         let evals =
+           Design_space.sweep ~dof:30 ~speculations:64 ~iterations ()
+         in
+         let front = Design_space.pareto evals in
+         front <> []
+         && List.for_all
+              (fun e ->
+                not
+                  (List.exists
+                     (fun o ->
+                       o != e
+                       && o.Design_space.time_s <= e.Design_space.time_s
+                       && o.Design_space.energy_j <= e.Design_space.energy_j
+                       && o.Design_space.area_mm2 <= e.Design_space.area_mm2
+                       && (o.Design_space.time_s < e.Design_space.time_s
+                          || o.Design_space.energy_j < e.Design_space.energy_j
+                          || o.Design_space.area_mm2 < e.Design_space.area_mm2))
+                     evals))
+              front))
+
+let test_dse_paper_point_on_front () =
+  let evals = Design_space.sweep ~dof:100 ~speculations:64 ~iterations:50 () in
+  let front = Design_space.pareto evals in
+  Alcotest.(check bool) "32 SSU / 1 GHz is Pareto-optimal" true
+    (List.exists
+       (fun e ->
+         e.Design_space.design.Design_space.num_ssus = 32
+         && e.Design_space.design.Design_space.frequency_hz = 1e9)
+       front)
+
+(* ---- Ikacc ---- *)
+
+let problem seed dof =
+  let rng = Rng.create seed in
+  Ik.random_problem rng (Robots.eval_chain ~dof)
+
+let test_ikacc_functionally_equals_quick_ik () =
+  let p = problem 71 12 in
+  let report = Ikacc.solve ~speculations:64 p in
+  let software = Dadu_core.Quick_ik.solve ~speculations:64 p in
+  Alcotest.(check int) "same iterations" software.Ik.iterations
+    report.Ikacc.result.Ik.iterations;
+  Alcotest.(check bool) "same joint angles" true
+    (software.Ik.theta = report.Ikacc.result.Ik.theta)
+
+let test_ikacc_report_consistency () =
+  let p = problem 72 25 in
+  let r = Ikacc.solve ~speculations:64 p in
+  Alcotest.(check int) "total = iters x cpi"
+    (r.Ikacc.result.Ik.iterations * r.Ikacc.cycles_per_iteration)
+    r.Ikacc.total_cycles;
+  Alcotest.(check (float 1e-12)) "time = cycles / freq"
+    (float_of_int r.Ikacc.total_cycles /. cfg.Config.frequency_hz)
+    r.Ikacc.time_s;
+  Alcotest.(check int) "2 schedules for 64/32" 2 r.Ikacc.schedules_per_iteration;
+  Alcotest.(check bool) "utilization in (0, 1]" true
+    (r.Ikacc.ssu_utilization > 0. && r.Ikacc.ssu_utilization <= 1.)
+
+let test_ikacc_power_calibration () =
+  (* DESIGN.md section 6: the default config is calibrated to the paper's
+     158.6 mW at 100 DOF / 64 speculations. *)
+  let p = problem 73 100 in
+  let r = Ikacc.solve ~speculations:64 p in
+  let mw = r.Ikacc.energy.Energy.avg_power_w *. 1e3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg power %.1f mW within 145-170" mw)
+    true
+    (mw > 145. && mw < 170.)
+
+let test_ikacc_realtime_100dof () =
+  (* the paper's headline: a 100-DOF solve is real-time (12 ms there; ours
+     is faster because our iteration counts are lower) *)
+  let p = problem 74 100 in
+  let r = Ikacc.solve ~speculations:64 p in
+  Alcotest.(check bool) "converged" true (r.Ikacc.result.Ik.status = Ik.Converged);
+  Alcotest.(check bool) "within 12 ms" true (r.Ikacc.time_s < 12e-3)
+
+let test_ikacc_time_for_iterations () =
+  let t = Ikacc.time_for_iterations ~dof:50 ~speculations:64 ~iterations:100 () in
+  let expected =
+    float_of_int (100 * Scheduler.iteration_cycles cfg ~dof:50 ~speculations:64) /. 1e9
+  in
+  Alcotest.(check (float 1e-15)) "matches scheduler" expected t
+
+let test_ikacc_custom_config () =
+  let p = sim_problem 87 25 in
+  let config = Config.with_ssus 16 cfg in
+  let r = Ikacc.solve ~config ~speculations:64 p in
+  Alcotest.(check int) "4 schedules on 16 SSUs" 4 r.Ikacc.schedules_per_iteration;
+  (* same functional result as the default hardware size *)
+  let r32 = Ikacc.solve ~speculations:64 p in
+  Alcotest.(check bool) "hardware size does not change the math" true
+    (r.Ikacc.result.Ik.theta = r32.Ikacc.result.Ik.theta);
+  Alcotest.(check bool) "but it changes the time" true
+    (r.Ikacc.time_s > r32.Ikacc.time_s)
+
+let test_ikacc_utilization_drops_with_extra_ssus () =
+  let p = problem 75 12 in
+  let r32 = Ikacc.solve ~speculations:64 p in
+  let r128 = Ikacc.solve ~config:(Config.with_ssus 128 cfg) ~speculations:64 p in
+  Alcotest.(check bool) "idle SSUs reduce utilization" true
+    (r128.Ikacc.ssu_utilization < r32.Ikacc.ssu_utilization)
+
+let () =
+  Alcotest.run "dadu_accel"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_config_defaults;
+          Alcotest.test_case "with_ssus" `Quick test_config_with_ssus;
+          Alcotest.test_case "invalid" `Quick test_config_invalid;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "fku linear" `Quick test_fku_linear;
+          Alcotest.test_case "fku formula" `Quick test_fku_formula;
+          Alcotest.test_case "fku invalid" `Quick test_fku_invalid;
+          Alcotest.test_case "spu II" `Quick test_spu_ii;
+          Alcotest.test_case "spu formula" `Quick test_spu_formula;
+          Alcotest.test_case "spu stages" `Quick test_spu_stages;
+          Alcotest.test_case "ssu formula" `Quick test_ssu_formula;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "plan exact" `Quick test_plan_exact;
+          Alcotest.test_case "plan remainder" `Quick test_plan_remainder;
+          Alcotest.test_case "plan small" `Quick test_plan_small;
+          qcheck test_assignments_cover;
+          Alcotest.test_case "iteration decomposition" `Quick
+            test_iteration_cycles_decomposition;
+          Alcotest.test_case "busy = speculations" `Quick test_ssu_busy_equals_speculations;
+          qcheck test_more_ssus_never_slower;
+        ] );
+      ( "selector",
+        [
+          Alcotest.test_case "best" `Quick test_selector_best;
+          Alcotest.test_case "ties" `Quick test_selector_ties;
+          Alcotest.test_case "empty" `Quick test_selector_empty;
+          qcheck test_selector_fold_rounds;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "zero" `Quick test_energy_zero;
+          Alcotest.test_case "additive" `Quick test_energy_additive;
+          Alcotest.test_case "leakage floor" `Quick test_energy_leakage_floor;
+          Alcotest.test_case "negative rejected" `Quick test_energy_negative_rejected;
+        ] );
+      ( "fixed-point",
+        [
+          Alcotest.test_case "quantize grid" `Quick test_fixed_quantize_grid;
+          Alcotest.test_case "saturation" `Quick test_fixed_saturates;
+          Alcotest.test_case "word width" `Quick test_fixed_word_width;
+          test_fixed_idempotent;
+          Alcotest.test_case "error vs bits" `Slow test_fixed_fk_error_shrinks_with_bits;
+          Alcotest.test_case "Q8.24 sufficient" `Slow
+            test_fixed_q24_sufficient_for_paper_accuracy;
+          Alcotest.test_case "float limit" `Quick test_fixed_error_zero_in_float_limit;
+        ] );
+      ( "trace",
+        [
+          test_trace_makespan_matches_analytic;
+          test_trace_ssu_busy_matches_analytic;
+          Alcotest.test_case "candidates covered" `Quick test_trace_candidates_covered;
+          Alcotest.test_case "spu first, well-formed" `Quick test_trace_spu_first;
+          Alcotest.test_case "render" `Quick test_trace_render;
+        ] );
+      ( "datapath-sim",
+        [
+          test_datapath_matches_software;
+          Alcotest.test_case "prismatic datapath" `Quick test_datapath_prismatic;
+          Alcotest.test_case "sim = quick-ik bitwise" `Slow
+            test_sim_bit_identical_to_quick_ik;
+          Alcotest.test_case "sim cycles = priced cycles" `Quick test_sim_cycles_match_ikacc;
+          Alcotest.test_case "step log" `Quick test_sim_steps_log;
+          Alcotest.test_case "odd speculation count" `Quick test_sim_odd_speculations;
+        ] );
+      ( "design-space",
+        [
+          Alcotest.test_case "area calibration" `Quick test_dse_area_calibration;
+          Alcotest.test_case "evaluate consistency" `Quick test_dse_evaluate_consistency;
+          Alcotest.test_case "frequency scaling" `Quick test_dse_frequency_scaling;
+          test_dse_pareto_non_dominated;
+          Alcotest.test_case "paper point on front" `Quick test_dse_paper_point_on_front;
+        ] );
+      ( "ikacc",
+        [
+          Alcotest.test_case "equals software Quick-IK" `Quick
+            test_ikacc_functionally_equals_quick_ik;
+          Alcotest.test_case "report consistency" `Quick test_ikacc_report_consistency;
+          Alcotest.test_case "power calibration" `Slow test_ikacc_power_calibration;
+          Alcotest.test_case "real-time 100 DOF" `Slow test_ikacc_realtime_100dof;
+          Alcotest.test_case "time_for_iterations" `Quick test_ikacc_time_for_iterations;
+          Alcotest.test_case "utilization vs SSUs" `Quick
+            test_ikacc_utilization_drops_with_extra_ssus;
+          Alcotest.test_case "custom hardware size" `Quick test_ikacc_custom_config;
+        ] );
+    ]

@@ -1,0 +1,1285 @@
+(* Unit, integration, and property tests for Dadu_core: the IK solver
+   suite. *)
+
+open Dadu_linalg
+open Dadu_kinematics
+open Dadu_core
+module Rng = Dadu_util.Rng
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Small chains keep solver tests fast; caps are generous enough that a
+   healthy solver converges well before hitting them. *)
+let cfg ?(max_iterations = 3_000) () = { Ik.default_config with max_iterations }
+
+let eval12 = Robots.eval_chain ~dof:12
+
+let problems ?(chain = eval12) ?(seed = 11) n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Ik.random_problem rng chain)
+
+let assert_converged name (r : Ik.result) =
+  Alcotest.(check bool)
+    (name ^ ": converged (err " ^ string_of_float r.Ik.error ^ ")")
+    true
+    (r.Ik.status = Ik.Converged);
+  Alcotest.(check bool) (name ^ ": error below accuracy") true
+    (r.Ik.error < Ik.default_config.Ik.accuracy)
+
+(* solution check straight from FK, independent of the solver's own
+   bookkeeping *)
+let assert_solves name (p : Ik.problem) (r : Ik.result) =
+  let actual = Ik.error_of p.Ik.chain p.Ik.target r.Ik.theta in
+  Alcotest.(check bool) (name ^ ": FK confirms the solution") true
+    (actual < Ik.default_config.Ik.accuracy)
+
+(* ---- Ik ---- *)
+
+let test_ik_problem_validates () =
+  Alcotest.(check bool) "wrong dof rejected" true
+    (try
+       ignore (Ik.problem ~chain:eval12 ~target:Vec3.zero ~theta0:[| 0. |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ik_problem_copies_theta0 () =
+  let theta0 = Array.make 12 0.1 in
+  let p = Ik.problem ~chain:eval12 ~target:Vec3.zero ~theta0 in
+  theta0.(0) <- 99.;
+  Alcotest.(check (float 1e-12)) "copied" 0.1 p.Ik.theta0.(0)
+
+let test_ik_defaults () =
+  Alcotest.(check (float 1e-12)) "accuracy 1e-2" 1e-2 Ik.default_config.Ik.accuracy;
+  Alcotest.(check int) "cap 10k" 10_000 Ik.default_config.Ik.max_iterations;
+  Alcotest.(check bool) "no stall detection" true
+    (Ik.default_config.Ik.stall_iterations = None)
+
+let test_ik_work () =
+  let r =
+    {
+      Ik.theta = [||];
+      error = 0.;
+      iterations = 7;
+      speculations = 64;
+      status = Ik.Converged;
+      svd_sweeps = 0;
+    }
+  in
+  Alcotest.(check int) "work = specs*iters" 448 (Ik.work r)
+
+let test_ik_error_of_zero () =
+  let q = Array.make 12 0.3 in
+  let target = Fk.position eval12 q in
+  Alcotest.(check (float 1e-9)) "zero at exact solution" 0. (Ik.error_of eval12 target q)
+
+(* ---- Loop ---- *)
+
+let test_loop_immediate_convergence () =
+  let q = Array.make 12 0.2 in
+  let p = Ik.problem ~chain:eval12 ~target:(Fk.position eval12 q) ~theta0:q in
+  let r =
+    Loop.run ~speculations:1
+      ~step:(fun _ -> Alcotest.fail "step must not run")
+      p
+  in
+  Alcotest.(check int) "zero iterations" 0 r.Ik.iterations;
+  Alcotest.(check bool) "converged" true (r.Ik.status = Ik.Converged)
+
+let test_loop_cap () =
+  let p = List.hd (Array.to_list (problems 1)) in
+  let count = ref 0 in
+  let r =
+    Loop.run
+      ~config:{ Ik.default_config with max_iterations = 17 }
+      ~speculations:1
+      ~step:(fun { Loop.theta; _ } ->
+        incr count;
+        { Loop.theta' = theta; sweeps = 0 })
+      p
+  in
+  Alcotest.(check int) "step calls = cap" 17 !count;
+  Alcotest.(check int) "iterations = cap" 17 r.Ik.iterations;
+  Alcotest.(check bool) "status max-iterations" true (r.Ik.status = Ik.Max_iterations)
+
+let test_loop_stall_detection () =
+  let p = List.hd (Array.to_list (problems 1)) in
+  let r =
+    Loop.run
+      ~config:{ Ik.default_config with max_iterations = 1000; stall_iterations = Some 5 }
+      ~speculations:1
+      ~step:(fun { Loop.theta; _ } -> { Loop.theta' = theta; sweeps = 0 })
+      p
+  in
+  Alcotest.(check bool) "stalled" true (r.Ik.status = Ik.Stalled);
+  Alcotest.(check bool) "stopped early" true (r.Ik.iterations < 20)
+
+let test_loop_accumulates_sweeps () =
+  let p = List.hd (Array.to_list (problems 1)) in
+  let r =
+    Loop.run
+      ~config:{ Ik.default_config with max_iterations = 4 }
+      ~speculations:1
+      ~step:(fun { Loop.theta; _ } -> { Loop.theta' = theta; sweeps = 3 })
+      p
+  in
+  Alcotest.(check int) "sweeps summed" 12 r.Ik.svd_sweeps
+
+(* ---- Alpha ---- *)
+
+let test_alpha_known () =
+  (* J = [1 0 0; 0 1 0; 0 0 1] (3 joints), e = (2,0,0):
+     JJᵀe = e, so α = e·e / e·e = 1. *)
+  let j = Mat.identity 3 in
+  let e = Vec3.make 2. 0. 0. in
+  let dtheta_base = Mat.mul_transpose_vec j (Vec3.to_vec e) in
+  Alcotest.(check (float 1e-12)) "alpha" 1. (Alpha.buss ~j ~e ~dtheta_base)
+
+let test_alpha_degenerate () =
+  let j = Mat.create 3 4 in
+  let e = Vec3.make 1. 0. 0. in
+  let dtheta_base = Mat.mul_transpose_vec j (Vec3.to_vec e) in
+  Alcotest.(check (float 1e-12)) "zero on singular" 0. (Alpha.buss ~j ~e ~dtheta_base)
+
+let test_alpha_scale_invariance =
+  (* α(J, e) for e' = c·e: JJᵀe' = c·JJᵀe → α unchanged. *)
+  QCheck.Test.make ~name:"alpha invariant to error scaling" ~count:100
+    QCheck.(pair (int_range 0 10_000) (float_range 0.1 5.)) (fun (seed, c) ->
+      let rng = Rng.create seed in
+      let chain = Robots.eval_chain ~dof:6 in
+      let q = Target.random_config rng chain in
+      let j = Jacobian.position_jacobian chain q in
+      let e = Vec3.make (Rng.gaussian rng) (Rng.gaussian rng) (Rng.gaussian rng) in
+      let a1 =
+        Alpha.buss ~j ~e ~dtheta_base:(Mat.mul_transpose_vec j (Vec3.to_vec e))
+      in
+      let e' = Vec3.scale c e in
+      let a2 =
+        Alpha.buss ~j ~e:e' ~dtheta_base:(Mat.mul_transpose_vec j (Vec3.to_vec e'))
+      in
+      Float.abs (a1 -. a2) < 1e-6 *. Float.max 1. (Float.abs a1))
+
+(* ---- Jt_serial ---- *)
+
+let test_jt_stability_bound_planar () =
+  (* planar 3-link, 1 m links: distal reaches are 3, 2, 1 → Σ r² = 14 *)
+  let c = Robots.planar ~dof:3 ~reach:3. () in
+  Alcotest.(check (float 1e-9)) "bound" 14. (Jt_serial.stability_bound c)
+
+let test_jt_serial_converges_small () =
+  let chain = Robots.planar ~dof:3 ~reach:3. () in
+  Array.iter
+    (fun p ->
+      let r = Jt_serial.solve ~config:(cfg ~max_iterations:10_000 ()) p in
+      assert_converged "jt-serial" r;
+      assert_solves "jt-serial" p r)
+    (problems ~chain ~seed:21 5)
+
+let test_jt_serial_error_decreases () =
+  let p = (problems ~seed:22 1).(0) in
+  let r = Jt_serial.solve ~config:(cfg ~max_iterations:50 ()) p in
+  let initial = Ik.error_of p.Ik.chain p.Ik.target p.Ik.theta0 in
+  Alcotest.(check bool) "error reduced" true (r.Ik.error < initial)
+
+let test_jt_serial_alpha_override () =
+  let p = (problems ~seed:23 1).(0) in
+  let r1 = Jt_serial.solve ~alpha:1e-4 ~config:(cfg ~max_iterations:100 ()) p in
+  let r2 = Jt_serial.solve ~alpha:1e-4 ~config:(cfg ~max_iterations:100 ()) p in
+  Alcotest.(check bool) "deterministic" true (r1.Ik.theta = r2.Ik.theta)
+
+let test_jt_serial_gain_speeds_up () =
+  (* larger (still stable) gain must not be slower on a fixed batch *)
+  let ps = problems ~seed:24 5 in
+  let iters gain =
+    Array.fold_left
+      (fun acc p ->
+        acc + (Jt_serial.solve ~gain ~config:(cfg ~max_iterations:10_000 ()) p).Ik.iterations)
+      0 ps
+  in
+  Alcotest.(check bool) "gain 1.0 <= gain 0.25 iterations" true (iters 1.0 <= iters 0.25)
+
+(* ---- Jt_buss / Quick_ik ---- *)
+
+let test_jt_buss_converges () =
+  Array.iter
+    (fun p ->
+      let r = Jt_buss.solve ~config:(cfg ()) p in
+      assert_converged "jt-buss" r;
+      assert_solves "jt-buss" p r)
+    (problems ~seed:31 5)
+
+let test_jt_buss_beats_jt_serial () =
+  let ps = problems ~seed:32 8 in
+  let total solve =
+    Array.fold_left (fun acc p -> acc + (solve p).Ik.iterations) 0 ps
+  in
+  let buss = total (fun p -> Jt_buss.solve ~config:(cfg ~max_iterations:10_000 ()) p) in
+  let serial = total (fun p -> Jt_serial.solve ~config:(cfg ~max_iterations:10_000 ()) p) in
+  Alcotest.(check bool) "adaptive alpha converges faster" true (buss < serial)
+
+let test_quick_ik_converges () =
+  Array.iter
+    (fun p ->
+      let r = Quick_ik.solve ~speculations:64 ~config:(cfg ()) p in
+      assert_converged "quick-ik" r;
+      assert_solves "quick-ik" p r;
+      Alcotest.(check int) "speculations recorded" 64 r.Ik.speculations)
+    (problems ~seed:33 5)
+
+let test_quick_ik_invalid_speculations () =
+  let p = (problems 1).(0) in
+  Alcotest.check_raises "non-positive speculations"
+    (Invalid_argument "Quick_ik.solve: speculations must be positive") (fun () ->
+      ignore (Quick_ik.solve ~speculations:0 p))
+
+let test_quick_ik_one_speculation_is_buss () =
+  (* with Max = 1, the only candidate is α_1 = α_base: identical to
+     Jt_buss step-for-step *)
+  Array.iter
+    (fun p ->
+      let q = Quick_ik.solve ~speculations:1 ~config:(cfg ()) p in
+      let b = Jt_buss.solve ~config:(cfg ()) p in
+      Alcotest.(check int) "same iterations" b.Ik.iterations q.Ik.iterations;
+      Alcotest.(check bool) "same final angles" true (q.Ik.theta = b.Ik.theta))
+    (problems ~seed:34 4)
+
+let test_quick_ik_parallel_bit_identical () =
+  let pool = Dadu_util.Domain_pool.create 4 in
+  Fun.protect ~finally:(fun () -> Dadu_util.Domain_pool.shutdown pool) @@ fun () ->
+  Array.iter
+    (fun p ->
+      let seq = Quick_ik.solve ~speculations:64 ~config:(cfg ()) p in
+      let par =
+        Quick_ik.solve ~speculations:64 ~mode:(Quick_ik.Parallel pool) ~config:(cfg ()) p
+      in
+      Alcotest.(check int) "same iterations" seq.Ik.iterations par.Ik.iterations;
+      Alcotest.(check bool) "bit-identical theta" true (seq.Ik.theta = par.Ik.theta);
+      Alcotest.(check (float 0.)) "bit-identical error" seq.Ik.error par.Ik.error)
+    (problems ~seed:35 4)
+
+let test_quick_ik_extended_one_is_uniform () =
+  Array.iter
+    (fun p ->
+      let u = Quick_ik.solve ~speculations:16 ~strategy:Quick_ik.Uniform ~config:(cfg ()) p in
+      let e =
+        Quick_ik.solve ~speculations:16 ~strategy:(Quick_ik.Extended 1.0) ~config:(cfg ()) p
+      in
+      Alcotest.(check bool) "identical" true (u.Ik.theta = e.Ik.theta))
+    (problems ~seed:36 3)
+
+let test_quick_ik_strategies_converge () =
+  let p = (problems ~seed:37 1).(0) in
+  List.iter
+    (fun (name, strategy) ->
+      let r = Quick_ik.solve ~speculations:32 ~strategy ~config:(cfg ()) p in
+      assert_converged name r)
+    [
+      ("uniform", Quick_ik.Uniform);
+      ("log-spaced", Quick_ik.Log_spaced);
+      ("extended", Quick_ik.Extended 2.0);
+    ]
+
+let test_quick_ik_beats_serial_on_batch () =
+  let ps = problems ~seed:38 6 in
+  let quick =
+    Array.fold_left
+      (fun acc p ->
+        acc + (Quick_ik.solve ~speculations:64 ~config:(cfg ~max_iterations:10_000 ()) p).Ik.iterations)
+      0 ps
+  in
+  let serial =
+    Array.fold_left
+      (fun acc p -> acc + (Jt_serial.solve ~config:(cfg ~max_iterations:10_000 ()) p).Ik.iterations)
+      0 ps
+  in
+  Alcotest.(check bool) "large reduction (>= 5x)" true (quick * 5 < serial)
+
+let test_quick_ik_deterministic () =
+  let p = (problems ~seed:39 1).(0) in
+  let a = Quick_ik.solve ~speculations:64 ~config:(cfg ()) p in
+  let b = Quick_ik.solve ~speculations:64 ~config:(cfg ()) p in
+  Alcotest.(check bool) "repeatable" true (a.Ik.theta = b.Ik.theta)
+
+let test_quick_ik_random_chains () =
+  (* across a fixed population of random chains, quick-ik converges on the
+     vast majority of reachable targets (a few ill-conditioned chains may
+     legitimately hit the cap) and never reports a false convergence *)
+  let converged = ref 0 in
+  let total = 30 in
+  for seed = 0 to total - 1 do
+    let rng = Rng.create seed in
+    let dof = 3 + Rng.int rng 10 in
+    let chain = Robots.random rng ~dof ~reach:2.0 () in
+    let p = Ik.random_problem rng chain in
+    let r = Quick_ik.solve ~speculations:32 p in
+    if r.Ik.status = Ik.Converged then begin
+      incr converged;
+      Alcotest.(check bool) "no false convergence" true
+        (Ik.error_of chain p.Ik.target r.Ik.theta < Ik.default_config.Ik.accuracy)
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "high convergence rate (%d/%d)" !converged total)
+    true
+    (!converged * 10 >= total * 9)
+
+(* ---- Pinv_svd / Dls / Sdls ---- *)
+
+let test_pinv_converges_fast () =
+  Array.iter
+    (fun p ->
+      let r = Pinv_svd.solve ~config:(cfg ()) p in
+      assert_converged "pinv" r;
+      assert_solves "pinv" p r;
+      Alcotest.(check bool) "few iterations" true (r.Ik.iterations <= 60);
+      Alcotest.(check bool) "sweeps recorded" true (r.Ik.svd_sweeps > 0))
+    (problems ~seed:41 5)
+
+let test_pinv_small_step_still_converges () =
+  let p = (problems ~seed:42 1).(0) in
+  let r = Pinv_svd.solve ~max_step:0.1 ~config:(cfg ()) p in
+  assert_converged "pinv small step" r
+
+let test_pinv_100dof () =
+  let chain = Robots.eval_chain ~dof:100 in
+  let p = (problems ~chain ~seed:43 1).(0) in
+  let r = Pinv_svd.solve ~config:(cfg ()) p in
+  assert_converged "pinv 100dof" r
+
+let test_dls_converges () =
+  Array.iter
+    (fun p ->
+      let r = Dls.solve ~config:(cfg ()) p in
+      assert_converged "dls" r;
+      assert_solves "dls" p r)
+    (problems ~seed:44 5)
+
+let test_dls_lambda_tradeoff () =
+  (* heavier damping must not converge in fewer iterations on a batch *)
+  let ps = problems ~seed:45 6 in
+  let total lambda =
+    Array.fold_left
+      (fun acc p -> acc + (Dls.solve ~lambda ~config:(cfg ()) p).Ik.iterations)
+      0 ps
+  in
+  Alcotest.(check bool) "lambda 0.05 <= lambda 1.0 iterations" true
+    (total 0.05 <= total 1.0)
+
+let test_sdls_converges () =
+  Array.iter
+    (fun p ->
+      let r = Sdls.solve ~config:(cfg ()) p in
+      assert_converged "sdls" r;
+      assert_solves "sdls" p r)
+    (problems ~seed:46 5)
+
+let test_sdls_respects_gamma_max () =
+  (* one iteration from a fixed start: ‖Δθ‖∞ ≤ γ_max *)
+  let p = (problems ~seed:47 1).(0) in
+  let gamma_max = 0.2 in
+  let r =
+    Sdls.solve ~gamma_max ~config:{ (cfg ()) with Ik.max_iterations = 1 } p
+  in
+  let dtheta = Vec.sub r.Ik.theta p.Ik.theta0 in
+  Alcotest.(check bool) "step bounded" true (Vec.max_abs dtheta <= gamma_max +. 1e-9)
+
+(* ---- Ccd ---- *)
+
+let test_ccd_converges_planar () =
+  let chain = Robots.planar ~dof:6 ~reach:3. () in
+  Array.iter
+    (fun p ->
+      let r = Ccd.solve ~config:(cfg ~max_iterations:500 ()) p in
+      assert_converged "ccd planar" r;
+      assert_solves "ccd planar" p r)
+    (problems ~chain ~seed:51 5)
+
+let test_ccd_respects_limits () =
+  let chain = Robots.snake ~dof:10 in
+  let p = (problems ~chain ~seed:52 1).(0) in
+  let r = Ccd.solve ~config:(cfg ~max_iterations:300 ()) p in
+  Alcotest.(check bool) "final config inside limits" true
+    (Chain.config_inside chain r.Ik.theta)
+
+let test_ccd_prismatic () =
+  (* CCD is a weak baseline on joint-limited chains (it gets trapped in
+     local minima — the criticism the paper's related work raises), so on
+     SCARA we require a majority of targets to converge and monotone
+     improvement everywhere rather than full convergence. *)
+  let chain = Robots.scara () in
+  let ps = problems ~chain ~seed:53 5 in
+  let converged = ref 0 in
+  Array.iter
+    (fun p ->
+      let r = Ccd.solve ~config:(cfg ~max_iterations:500 ()) p in
+      if r.Ik.status = Ik.Converged then incr converged;
+      let initial = Ik.error_of p.Ik.chain p.Ik.target p.Ik.theta0 in
+      Alcotest.(check bool) "no worse than start" true (r.Ik.error <= initial +. 1e-9))
+    ps;
+  Alcotest.(check bool) "majority converge" true (!converged >= 3)
+
+let test_pose_target_of_mat4_roundtrip () =
+  let chain = Robots.arm_7dof () in
+  let rng = Rng.create 114 in
+  let q = Target.random_config rng chain in
+  let pose = Fk.pose chain q in
+  let t = Pose.target_of_mat4 pose in
+  Alcotest.(check bool) "position extracted" true
+    (Vec3.approx_equal t.Pose.position (Mat4.position pose));
+  Alcotest.(check (float 1e-9)) "orientation extracted" 0.
+    (Rot.angle_between t.Pose.orientation (Mat4.rotation pose))
+
+(* ---- Cost ---- *)
+
+let test_cost_fk_consistency () =
+  List.iter
+    (fun dof ->
+      Alcotest.(check (float 1e-9)) "fk_flops matches kinematics count"
+        (float_of_int (Fk.flops_per_position dof))
+        (Cost.fk_flops ~dof))
+    [ 1; 12; 100 ]
+
+let test_cost_totals () =
+  let c = Cost.quick_ik ~dof:50 ~speculations:64 in
+  Alcotest.(check (float 1e-9)) "total = serial + parallel"
+    (c.Cost.serial_flops +. c.Cost.parallel_flops)
+    (Cost.total c)
+
+let test_cost_quick_ik_structure () =
+  (* Quick-IK's serial prologue equals JT-Buss minus its update. *)
+  let dof = 31 in
+  let quick = Cost.quick_ik ~dof ~speculations:64 in
+  let buss = Cost.jt_buss ~dof in
+  Alcotest.(check (float 1e-9)) "serial parts related"
+    (buss.Cost.serial_flops -. (2. *. float_of_int dof))
+    quick.Cost.serial_flops
+
+let test_cost_parallel_scales_with_specs () =
+  let dof = 40 in
+  let c32 = Cost.quick_ik ~dof ~speculations:32 in
+  let c64 = Cost.quick_ik ~dof ~speculations:64 in
+  Alcotest.(check (float 1e-6)) "parallel flops double"
+    (2. *. c32.Cost.parallel_flops) c64.Cost.parallel_flops;
+  Alcotest.(check (float 1e-9)) "serial unchanged" c32.Cost.serial_flops
+    c64.Cost.serial_flops
+
+let test_cost_monotone_in_dof () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "monotone" true (Cost.total (f 100) > Cost.total (f 12)))
+    [
+      (fun dof -> Cost.jt_serial ~dof);
+      (fun dof -> Cost.jt_buss ~dof);
+      (fun dof -> Cost.quick_ik ~dof ~speculations:64);
+      (fun dof -> Cost.pinv_svd ~dof ~sweeps:6.);
+      (fun dof -> Cost.sdls ~dof ~sweeps:6.);
+      (fun dof -> Cost.dls ~dof);
+      (fun dof -> Cost.ccd ~dof);
+    ]
+
+let test_cost_ccd_superlinear () =
+  Alcotest.(check bool) "ccd is O(dof^2)" true
+    (Cost.total (Cost.ccd ~dof:100) > 3. *. Cost.total (Cost.ccd ~dof:50))
+
+let test_cost_jt_serial_cheaper_than_buss () =
+  Alcotest.(check bool) "fixed alpha skips Eq. 8" true
+    (Cost.total (Cost.jt_serial ~dof:64) < Cost.total (Cost.jt_buss ~dof:64))
+
+let scaled_chain chain s =
+  let links =
+    Array.map
+      (fun { Chain.name; joint; dh } ->
+        { Chain.name; joint; dh = { dh with Dh.a = dh.Dh.a *. s; d = dh.Dh.d *. s } })
+      (Chain.links chain)
+  in
+  Chain.make ~name:(Chain.name chain ^ "-scaled") links
+
+let test_quick_ik_scale_invariance () =
+  (* IK with the transpose family is dimensionally consistent: scaling
+     every length (links, target, accuracy) by s leaves the joint-angle
+     iterates unchanged.  With s a power of two the float arithmetic is
+     exact, so the runs are bit-identical. *)
+  let s = 4.0 in
+  let chain = Robots.eval_chain ~dof:12 in
+  let big = scaled_chain chain s in
+  let rng = Rng.create 110 in
+  for _ = 1 to 3 do
+    let q_goal = Target.random_config rng chain in
+    let theta0 = Target.random_config rng chain in
+    let target = Fk.position chain q_goal in
+    let big_target = Vec3.scale s target in
+    let small =
+      Quick_ik.solve ~speculations:32
+        (Ik.problem ~chain ~target ~theta0)
+    in
+    let big_result =
+      Quick_ik.solve ~speculations:32
+        ~config:{ Ik.default_config with accuracy = Ik.default_config.Ik.accuracy *. s }
+        (Ik.problem ~chain:big ~target:big_target ~theta0)
+    in
+    Alcotest.(check int) "same iterations" small.Ik.iterations big_result.Ik.iterations;
+    Alcotest.(check bool) "identical joint angles" true
+      (small.Ik.theta = big_result.Ik.theta)
+  done
+
+let test_linesearch_converges () =
+  Array.iter
+    (fun p ->
+      let r = Jt_linesearch.solve ~config:(cfg ()) p in
+      assert_converged "jt-linesearch" r;
+      assert_solves "jt-linesearch" p r;
+      Alcotest.(check int) "evaluations recorded" 20 r.Ik.speculations)
+    (problems ~seed:111 4)
+
+let test_linesearch_competitive_with_quick_ik () =
+  (* an exact serial line search needs no more iterations than the
+     64-candidate grid (it refines the same interval) on a batch *)
+  let ps = problems ~seed:112 6 in
+  let total solve = Array.fold_left (fun acc p -> acc + (solve p).Ik.iterations) 0 ps in
+  let ls = total (fun p -> Jt_linesearch.solve ~config:(cfg ()) p) in
+  let quick = total (fun p -> Quick_ik.solve ~speculations:64 ~config:(cfg ()) p) in
+  Alcotest.(check bool)
+    (Printf.sprintf "iterations comparable (ls %d vs quick %d)" ls quick)
+    true
+    (ls <= 2 * quick)
+
+let test_linesearch_never_regresses () =
+  let p = (problems ~seed:113 1).(0) in
+  let errs = ref [] in
+  ignore
+    (Jt_linesearch.solve
+       ~on_iteration:(fun ~iter:_ ~err -> errs := err :: !errs)
+       ~config:(cfg ~max_iterations:200 ()) p);
+  let oldest_first = List.rev !errs in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> b <= a +. 1e-12 && non_increasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "error never increases" true (non_increasing oldest_first)
+
+let test_linesearch_invalid () =
+  let p = (problems 1).(0) in
+  Alcotest.(check bool) "bad budget" true
+    (try
+       ignore (Jt_linesearch.solve ~evaluations:1 p);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Pose (6-DOF task extension) ---- *)
+
+let pose_problems ?(chain = Robots.arm_7dof ()) ?(seed = 71) n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Pose.random_problem rng chain)
+
+let pose_cfg = { Pose.default_config with max_iterations = 5_000 }
+
+let assert_pose_solved name (p : Pose.problem) (r : Pose.result) =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s converged (pos %.4f rot %.4f)" name r.Pose.position_error
+       r.Pose.orientation_error)
+    true
+    (r.Pose.status = Pose.Converged);
+  (* independent FK verification of both error components *)
+  let pose = Fk.pose p.Pose.chain r.Pose.theta in
+  let pos_err = Vec3.dist p.Pose.target.Pose.position (Mat4.position pose) in
+  let rot_err =
+    Rot.angle_between p.Pose.target.Pose.orientation (Mat4.rotation pose)
+  in
+  Alcotest.(check bool) (name ^ ": FK position confirms") true
+    (pos_err < pose_cfg.Pose.position_accuracy);
+  Alcotest.(check bool) (name ^ ": FK orientation confirms") true
+    (rot_err < pose_cfg.Pose.orientation_accuracy)
+
+let test_pose_twist_zero_at_solution () =
+  let chain = Robots.arm_7dof () in
+  let rng = Rng.create 72 in
+  let q = Target.random_config rng chain in
+  let target = Pose.target_of_mat4 (Fk.pose chain q) in
+  let e = Pose.error_twist ~rotation_weight:0.5 chain target q in
+  Alcotest.(check bool) "zero twist" true (Vec.norm e < 1e-9)
+
+let test_pose_twist_pure_translation () =
+  let chain = Robots.arm_7dof () in
+  let rng = Rng.create 73 in
+  let q = Target.random_config rng chain in
+  let pose = Fk.pose chain q in
+  let offset = Vec3.make 0.1 (-0.2) 0.05 in
+  let target =
+    { Pose.position = Vec3.add (Mat4.position pose) offset;
+      orientation = Mat4.rotation pose }
+  in
+  let e = Pose.error_twist ~rotation_weight:0.5 chain target q in
+  Alcotest.(check bool) "translation part" true
+    (Vec3.approx_equal ~tol:1e-9 (Vec3.make e.(0) e.(1) e.(2)) offset);
+  Alcotest.(check bool) "no rotation part" true
+    (Float.abs e.(3) < 1e-9 && Float.abs e.(4) < 1e-9 && Float.abs e.(5) < 1e-9)
+
+let test_pose_dls_converges () =
+  Array.iter
+    (fun p -> assert_pose_solved "pose-dls" p (Pose.solve_dls ~config:pose_cfg p))
+    (pose_problems 5)
+
+let test_pose_quick_converges () =
+  Array.iter
+    (fun p ->
+      assert_pose_solved "pose-quick" p
+        (Pose.solve_quick ~speculations:64 ~config:pose_cfg p))
+    (pose_problems ~seed:74 4)
+
+let test_pose_jt_progresses () =
+  (* pose-JT is slow (same reason as position-JT); require progress and
+     convergence on at least some problems rather than all *)
+  let ps = pose_problems ~seed:75 4 in
+  let converged = ref 0 in
+  Array.iter
+    (fun p ->
+      let r = Pose.solve_jt ~config:pose_cfg p in
+      if r.Pose.status = Pose.Converged then incr converged)
+    ps;
+  Alcotest.(check bool) "at least half converge" true (!converged * 2 >= Array.length ps)
+
+let test_pose_quick_beats_jt () =
+  let ps = pose_problems ~seed:76 4 in
+  let total solve = Array.fold_left (fun acc p -> acc + (solve p).Pose.iterations) 0 ps in
+  let quick = total (fun p -> Pose.solve_quick ~speculations:64 ~config:pose_cfg p) in
+  let jt = total (fun p -> Pose.solve_jt ~config:pose_cfg p) in
+  Alcotest.(check bool) "speculation helps on the pose task" true (quick <= jt)
+
+let test_pose_on_high_dof () =
+  let chain = Robots.eval_chain ~dof:50 in
+  let p = (pose_problems ~chain ~seed:77 1).(0) in
+  let r = Pose.solve_dls ~config:pose_cfg p in
+  assert_pose_solved "pose-dls-50dof" p r
+
+let test_pose_invalid_speculations () =
+  let p = (pose_problems 1).(0) in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Pose.solve_quick ~speculations:0 p);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Nullspace ---- *)
+
+let test_nullspace_converges () =
+  let chain = Robots.snake ~dof:20 in
+  Array.iter
+    (fun p ->
+      let r =
+        Nullspace.solve ~objective:Nullspace.Joint_centering ~config:(cfg ()) p
+      in
+      assert_converged "nullspace" r;
+      assert_solves "nullspace" p r)
+    (problems ~chain ~seed:81 4)
+
+let test_nullspace_improves_comfort () =
+  (* joint-centering must yield a more centered final posture than plain
+     DLS on the same problems, at equal task convergence *)
+  let chain = Robots.snake ~dof:20 in
+  let ps = problems ~chain ~seed:82 6 in
+  let total solve =
+    Array.fold_left (fun acc p -> acc +. Nullspace.comfort chain (solve p).Ik.theta) 0. ps
+  in
+  let plain = total (fun p -> Dls.solve ~config:(cfg ()) p) in
+  let centered =
+    total (fun p ->
+        Nullspace.solve ~objective:Nullspace.Joint_centering ~config:(cfg ()) p)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "comfort improved (%.3f -> %.3f)" plain centered)
+    true (centered < plain)
+
+let test_nullspace_reference_objective () =
+  let chain = Robots.snake ~dof:20 in
+  let p = (problems ~chain ~seed:83 1).(0) in
+  let reference = Array.make 20 0.1 in
+  let r =
+    Nullspace.solve ~objective:(Nullspace.Reference reference) ~config:(cfg ()) p
+  in
+  assert_converged "nullspace-reference" r
+
+let test_nullspace_custom_objective () =
+  let chain = Robots.snake ~dof:20 in
+  let p = (problems ~chain ~seed:84 1).(0) in
+  let r =
+    Nullspace.solve
+      ~objective:(Nullspace.Custom (fun theta -> Vec.scale (-0.5) theta))
+      ~config:(cfg ()) p
+  in
+  assert_converged "nullspace-custom" r
+
+let test_nullspace_gradient_shapes () =
+  let chain = Robots.snake ~dof:8 in
+  let theta = Array.make 8 0.5 in
+  let z = Nullspace.objective_gradient Nullspace.Joint_centering chain theta in
+  Alcotest.(check int) "dof-sized" 8 (Vec.dim z);
+  (* snake joints are centered at 0, so the gradient points back toward 0 *)
+  Array.iter (fun zi -> Alcotest.(check (float 1e-9)) "toward center" (-0.5) zi) z
+
+let test_comfort_bounds () =
+  let chain = Robots.snake ~dof:8 in
+  Alcotest.(check (float 1e-9)) "centered = 0" 0. (Nullspace.comfort chain (Array.make 8 0.));
+  let at_limit = Array.make 8 (120. *. Float.pi /. 180.) in
+  Alcotest.(check (float 1e-9)) "at limits = 1" 1. (Nullspace.comfort chain at_limit)
+
+let test_nullspace_optimize_holds_task () =
+  let chain = Robots.snake ~dof:16 in
+  let rng = Rng.create 85 in
+  let p = (problems ~chain ~seed:85 1).(0) in
+  ignore rng;
+  let solved = Dls.solve ~config:(cfg ()) p in
+  let improved =
+    Nullspace.optimize ~iterations:150 ~objective:Nullspace.Joint_centering chain
+      ~target:p.Ik.target ~theta:solved.Ik.theta
+  in
+  (* the task stays solved... *)
+  Alcotest.(check bool) "task held" true
+    (Ik.error_of chain p.Ik.target improved < 1.5e-2);
+  (* ...and the posture objective improves *)
+  Alcotest.(check bool) "comfort improved" true
+    (Nullspace.comfort chain improved < Nullspace.comfort chain solved.Ik.theta)
+
+let test_nullspace_optimize_zero_iterations () =
+  let chain = Robots.snake ~dof:8 in
+  let theta = Array.make 8 0.4 in
+  let out =
+    Nullspace.optimize ~iterations:0 ~objective:Nullspace.Joint_centering chain
+      ~target:Dadu_linalg.Vec3.zero ~theta
+  in
+  Alcotest.(check bool) "unchanged" true (out = theta);
+  Alcotest.(check bool) "fresh vector" true (out != theta)
+
+(* ---- Restarts ---- *)
+
+let test_restarts_first_try () =
+  let rng = Rng.create 91 in
+  let p = (problems ~seed:91 1).(0) in
+  let o = Restarts.solve rng ~solver:(fun p -> Quick_ik.solve ~speculations:32 p) p in
+  Alcotest.(check int) "one attempt" 1 o.Restarts.attempts;
+  Alcotest.(check bool) "converged" true (o.Restarts.result.Ik.status = Ik.Converged)
+
+let test_restarts_recovers () =
+  (* a solver that fails unless started at a magic configuration; restarts
+     keep drawing new starts until one is close enough *)
+  let chain = Robots.eval_chain ~dof:4 in
+  let rng = Rng.create 92 in
+  let p = (problems ~chain ~seed:92 1).(0) in
+  let calls = ref 0 in
+  let flaky (problem : Ik.problem) =
+    incr calls;
+    if !calls < 3 then
+      { (Quick_ik.solve ~speculations:8 problem) with
+        Ik.status = Ik.Max_iterations; error = 1.0 }
+    else Quick_ik.solve ~speculations:8 problem
+  in
+  let o = Restarts.solve rng ~max_attempts:5 ~solver:flaky p in
+  Alcotest.(check int) "three attempts" 3 o.Restarts.attempts;
+  Alcotest.(check bool) "eventually converged" true
+    (o.Restarts.result.Ik.status = Ik.Converged)
+
+let test_restarts_exhausted_returns_best () =
+  let chain = Robots.arm_6dof () in
+  let rng = Rng.create 93 in
+  let target = Target.unreachable rng chain in
+  let p = Ik.problem ~chain ~target ~theta0:(Target.random_config rng chain) in
+  let solver p =
+    Quick_ik.solve ~speculations:8 ~config:{ (cfg ()) with Ik.max_iterations = 50 } p
+  in
+  let o = Restarts.solve rng ~max_attempts:3 ~solver p in
+  Alcotest.(check int) "all attempts used" 3 o.Restarts.attempts;
+  Alcotest.(check bool) "did not converge" true
+    (o.Restarts.result.Ik.status <> Ik.Converged);
+  Alcotest.(check bool) "iterations accumulated" true (o.Restarts.total_iterations = 150)
+
+let test_restarts_invalid () =
+  let rng = Rng.create 94 in
+  let p = (problems 1).(0) in
+  Alcotest.(check bool) "max_attempts 0 rejected" true
+    (try
+       ignore (Restarts.solve rng ~max_attempts:0 ~solver:(fun p -> Dls.solve p) p);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Rmrc ---- *)
+
+let test_rmrc_static_target_settles () =
+  let chain = Robots.arm_7dof () in
+  let rng = Rng.create 105 in
+  let goal = Target.reachable rng chain in
+  let theta0 = Target.random_config rng chain in
+  let trace =
+    Rmrc.follow ~chain ~theta0 ~duration:2.0 (fun _ -> goal)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "settles (final %.4f)" trace.Rmrc.final_error)
+    true
+    (trace.Rmrc.final_error < 1e-2)
+
+let test_rmrc_tracks_moving_target () =
+  let chain = Robots.arm_7dof () in
+  (* slow circular target well inside the workspace *)
+  let center = Vec3.make 0.45 0. 0.35 in
+  let target t =
+    Vec3.add center
+      (Vec3.make (0.1 *. cos (0.5 *. t)) (0.1 *. sin (0.5 *. t)) 0.)
+  in
+  let trace =
+    Rmrc.follow ~chain ~theta0:(Array.make 7 0.3) ~duration:10.0 target
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "tracking error settles (%.4f m)" trace.Rmrc.max_error_after_settle)
+    true
+    (trace.Rmrc.max_error_after_settle < 2e-2)
+
+let test_rmrc_sample_structure () =
+  let chain = Robots.arm_7dof () in
+  let goal = Fk.position chain (Array.make 7 0.2) in
+  let trace =
+    Rmrc.follow ~dt:0.1 ~chain ~theta0:(Array.make 7 0.25) ~duration:1.0
+      (fun _ -> goal)
+  in
+  Alcotest.(check int) "tick count" 11 (Array.length trace.Rmrc.samples);
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check (float 1e-9)) "time grid" (0.1 *. float_of_int i) s.Rmrc.time)
+    trace.Rmrc.samples
+
+let test_rmrc_rate_limit_respected () =
+  let chain = Robots.arm_7dof () in
+  let goal = Target.reachable (Rng.create 106) chain in
+  let limit = 0.5 in
+  let dt = 0.05 in
+  let trace =
+    Rmrc.follow ~dt ~joint_rate_limit:limit ~chain ~theta0:(Array.make 7 0.9)
+      ~duration:1.0 (fun _ -> goal)
+  in
+  let ok = ref true in
+  for i = 1 to Array.length trace.Rmrc.samples - 1 do
+    let prev = trace.Rmrc.samples.(i - 1).Rmrc.theta in
+    let cur = trace.Rmrc.samples.(i).Rmrc.theta in
+    Array.iteri
+      (fun j q ->
+        if Float.abs (q -. prev.(j)) > (limit *. dt) +. 1e-9 then ok := false)
+      cur
+  done;
+  Alcotest.(check bool) "per-tick joint motion bounded" true !ok
+
+let test_rmrc_invalid () =
+  let chain = Robots.arm_7dof () in
+  Alcotest.(check bool) "bad dt" true
+    (try
+       ignore (Rmrc.follow ~dt:0. ~chain ~theta0:(Array.make 7 0.) ~duration:1. (fun _ -> Vec3.zero));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- on_iteration instrumentation ---- *)
+
+let test_on_iteration_observes_descent () =
+  let p = (problems ~seed:107 1).(0) in
+  let errs = ref [] in
+  let r =
+    Quick_ik.solve ~speculations:32
+      ~on_iteration:(fun ~iter:_ ~err -> errs := err :: !errs)
+      ~config:(cfg ()) p
+  in
+  let errs = List.rev !errs in
+  Alcotest.(check int) "one observation per iteration + final" (r.Ik.iterations + 1)
+    (List.length errs);
+  Alcotest.(check (float 1e-12)) "last observation = final error" r.Ik.error
+    (List.nth errs (List.length errs - 1));
+  Alcotest.(check bool) "first observation is the initial error" true
+    (List.hd errs >= r.Ik.error)
+
+(* ---- Multitask ---- *)
+
+let test_multitask_end_effector_only_matches_dls () =
+  (* a single task at the end effector is ordinary position IK *)
+  let chain = Robots.eval_chain ~dof:12 in
+  let rng = Rng.create 98 in
+  let target = Target.reachable rng chain in
+  let theta0 = Target.random_config rng chain in
+  let mp =
+    Multitask.problem ~chain
+      ~tasks:[ { Multitask.link = 12; target; weight = 1.0 } ]
+      ~theta0
+  in
+  let r = Multitask.solve mp in
+  Alcotest.(check bool) "converged" true r.Multitask.converged;
+  let err = Vec3.dist target (Fk.position chain r.Multitask.theta) in
+  Alcotest.(check bool) "FK confirms" true (err < 1e-2)
+
+let test_multitask_two_points () =
+  (* tip and midpoint simultaneously: sample both from one feasible
+     configuration so a common solution exists *)
+  let chain = Robots.snake ~dof:20 in
+  let rng = Rng.create 99 in
+  let q_goal = Target.random_config rng chain in
+  let frames = Fk.frames chain q_goal in
+  let tasks =
+    [
+      { Multitask.link = 20; target = Mat4.position frames.(20); weight = 1.0 };
+      { Multitask.link = 10; target = Mat4.position frames.(10); weight = 1.0 };
+    ]
+  in
+  let mp = Multitask.problem ~chain ~tasks ~theta0:(Target.random_config rng chain) in
+  let r = Multitask.solve mp in
+  Alcotest.(check bool)
+    (Printf.sprintf "both tasks converge (errors %s)"
+       (String.concat ", " (List.map string_of_float r.Multitask.errors)))
+    true r.Multitask.converged;
+  List.iter2
+    (fun { Multitask.link; target; _ } _ ->
+      let p = Multitask.point_position chain r.Multitask.theta ~link in
+      Alcotest.(check bool) "FK confirms task" true (Vec3.dist target p < 1e-2))
+    tasks r.Multitask.errors
+
+let test_multitask_distal_columns_zero () =
+  let chain = Robots.snake ~dof:10 in
+  let rng = Rng.create 100 in
+  let theta = Target.random_config rng chain in
+  let tasks = [ { Multitask.link = 4; target = Vec3.zero; weight = 1.0 } ] in
+  let j = Multitask.stacked_jacobian chain theta ~tasks in
+  for col = 4 to 9 do
+    for row = 0 to 2 do
+      Alcotest.(check (float 0.)) "distal joint has no effect" 0. (Mat.get j row col)
+    done
+  done
+
+let test_multitask_weights_scale_rows () =
+  let chain = Robots.snake ~dof:8 in
+  let rng = Rng.create 101 in
+  let theta = Target.random_config rng chain in
+  let t1 = [ { Multitask.link = 8; target = Vec3.zero; weight = 1.0 } ] in
+  let t2 = [ { Multitask.link = 8; target = Vec3.zero; weight = 2.5 } ] in
+  let j1 = Multitask.stacked_jacobian chain theta ~tasks:t1 in
+  let j2 = Multitask.stacked_jacobian chain theta ~tasks:t2 in
+  Alcotest.(check bool) "rows scaled by weight" true
+    (Mat.approx_equal ~tol:1e-12 (Mat.scale 2.5 j1) j2)
+
+let test_multitask_validation () =
+  let chain = Robots.snake ~dof:8 in
+  let theta0 = Array.make 8 0. in
+  let bad tasks =
+    try
+      ignore (Multitask.problem ~chain ~tasks ~theta0);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty tasks" true (bad []);
+  Alcotest.(check bool) "link 0" true
+    (bad [ { Multitask.link = 0; target = Vec3.zero; weight = 1. } ]);
+  Alcotest.(check bool) "link > dof" true
+    (bad [ { Multitask.link = 9; target = Vec3.zero; weight = 1. } ]);
+  Alcotest.(check bool) "bad weight" true
+    (bad [ { Multitask.link = 4; target = Vec3.zero; weight = 0. } ])
+
+let test_multitask_conflicting_tasks_balance () =
+  (* infeasible pair: the midpoint and tip cannot both sit at far-apart
+     points beyond the remaining reach; the weighted solve must cap
+     without diverging *)
+  let chain = Robots.snake ~dof:10 in
+  let theta0 = Array.make 10 0.1 in
+  let tasks =
+    [
+      { Multitask.link = 10; target = Vec3.make 0.9 0. 0.; weight = 1.0 };
+      { Multitask.link = 5; target = Vec3.make (-0.9) 0. 0.; weight = 1.0 };
+    ]
+  in
+  let mp = Multitask.problem ~chain ~tasks ~theta0 in
+  let r = Multitask.solve ~max_iterations:300 mp in
+  Alcotest.(check bool) "does not converge" false r.Multitask.converged;
+  List.iter
+    (fun e -> Alcotest.(check bool) "errors finite" true (Float.is_finite e))
+    r.Multitask.errors
+
+(* ---- Batch / Servo ---- *)
+
+let test_batch_sequential () =
+  let ps = problems ~seed:95 6 in
+  let s = Batch.solve ~solver:(fun p -> Quick_ik.solve ~speculations:16 p) ps in
+  Alcotest.(check int) "all results" 6 (Array.length s.Batch.results);
+  Alcotest.(check int) "all converge" 6 s.Batch.converged;
+  Alcotest.(check bool) "mean iterations positive" true (s.Batch.mean_iterations > 0.)
+
+let test_batch_parallel_matches_sequential () =
+  let pool = Dadu_util.Domain_pool.create 4 in
+  Fun.protect ~finally:(fun () -> Dadu_util.Domain_pool.shutdown pool) @@ fun () ->
+  let ps = problems ~seed:96 8 in
+  let solver p = Dls.solve p in
+  let seq = Batch.solve ~solver ps in
+  let par = Batch.solve ~pool ~solver ps in
+  Array.iteri
+    (fun i (r : Ik.result) ->
+      Alcotest.(check bool) (Printf.sprintf "problem %d identical" i) true
+        (r.Ik.theta = par.Batch.results.(i).Ik.theta))
+    seq.Batch.results
+
+let test_batch_empty () =
+  let s = Batch.solve ~solver:(fun p -> Dls.solve p) [||] in
+  Alcotest.(check int) "no results" 0 (Array.length s.Batch.results);
+  Alcotest.(check (float 0.)) "zero mean" 0. s.Batch.mean_iterations
+
+let test_servo_tracks_circle () =
+  let chain = Robots.arm_7dof () in
+  let path =
+    Traj.circle
+      ~center:(Vec3.make 0.45 0. 0.35)
+      ~radius:0.1 ~normal:(Vec3.make 0. 1. 0.) ~samples:16
+  in
+  let report =
+    Servo.track
+      ~solver:(fun p -> Dls.solve ~config:(cfg ()) p)
+      ~chain ~theta0:(Array.make 7 0.3) path
+  in
+  Alcotest.(check int) "all waypoints converge" 16 report.Servo.converged;
+  Alcotest.(check bool) "warm starts cheap" true (report.Servo.warm_mean_iterations < 50.);
+  Alcotest.(check bool) "max error below accuracy" true
+    (report.Servo.max_error < Ik.default_config.Ik.accuracy)
+
+let test_servo_warm_cheaper_than_cold () =
+  let chain = Robots.eval_chain ~dof:25 in
+  let rng = Rng.create 97 in
+  let anchor = Fk.position chain (Target.random_config rng chain) in
+  let path =
+    Traj.line ~from:anchor ~to_:(Vec3.add anchor (Vec3.make 0.1 0.05 (-0.05))) ~samples:12
+  in
+  let report =
+    Servo.track
+      ~solver:(fun p -> Quick_ik.solve ~speculations:32 ~config:(cfg ()) p)
+      ~chain ~theta0:(Target.random_config rng chain) path
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm (%.1f) cheaper than cold (%d)"
+       report.Servo.warm_mean_iterations report.Servo.cold_start_iterations)
+    true
+    (report.Servo.warm_mean_iterations < float_of_int report.Servo.cold_start_iterations)
+
+let test_servo_empty_path () =
+  let chain = Robots.arm_7dof () in
+  Alcotest.(check bool) "empty path rejected" true
+    (try
+       ignore (Servo.track ~solver:(fun p -> Dls.solve p) ~chain
+                 ~theta0:(Array.make 7 0.) [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_servo_waypoint_order () =
+  let chain = Robots.arm_7dof () in
+  let path =
+    Traj.line ~from:(Vec3.make 0.4 0. 0.3) ~to_:(Vec3.make 0.4 0.2 0.3) ~samples:5
+  in
+  let report =
+    Servo.track ~solver:(fun p -> Dls.solve p) ~chain ~theta0:(Array.make 7 0.2) path
+  in
+  Array.iteri
+    (fun i (w : Servo.waypoint) ->
+      Alcotest.(check int) "index order" i w.Servo.index;
+      Alcotest.(check bool) "target preserved" true
+        (Vec3.approx_equal w.Servo.target path.(i)))
+    report.Servo.waypoints
+
+(* ---- Cross-solver behaviour ---- *)
+
+let all_solvers =
+  [
+    ("jt-buss", fun config p -> Jt_buss.solve ~config p);
+    ("quick-ik", fun config p -> Quick_ik.solve ~speculations:32 ~config p);
+    ("pinv", fun config p -> Pinv_svd.solve ~config p);
+    ("dls", fun config p -> Dls.solve ~config p);
+    ("sdls", fun config p -> Sdls.solve ~config p);
+  ]
+
+let test_all_solvers_same_problem () =
+  let p = (problems ~seed:61 1).(0) in
+  List.iter
+    (fun (name, solve) ->
+      let r = solve (cfg ()) p in
+      assert_converged name r;
+      assert_solves name p r)
+    all_solvers
+
+let test_all_solvers_named_robots () =
+  List.iter
+    (fun chain ->
+      let p = (problems ~chain ~seed:62 1).(0) in
+      List.iter
+        (fun (name, solve) ->
+          let r = solve (cfg ()) p in
+          assert_converged (Chain.name chain ^ "/" ^ name) r)
+        all_solvers)
+    [ Robots.arm_6dof (); Robots.arm_7dof (); Robots.snake ~dof:20 ]
+
+let test_unreachable_target_caps () =
+  let chain = Robots.arm_6dof () in
+  let rng = Rng.create 63 in
+  let target = Target.unreachable rng chain in
+  let theta0 = Target.random_config rng chain in
+  let p = Ik.problem ~chain ~target ~theta0 in
+  let config = { Ik.default_config with max_iterations = 200 } in
+  let r = Quick_ik.solve ~speculations:16 ~config p in
+  Alcotest.(check bool) "does not converge" true (r.Ik.status = Ik.Max_iterations);
+  Alcotest.(check bool) "error stays above accuracy" true (r.Ik.error > 1e-2)
+
+let test_solver_results_deterministic =
+  QCheck.Test.make ~name:"every solver is deterministic" ~count:20
+    QCheck.(int_range 0 10_000) (fun seed ->
+      let p = (problems ~seed 1).(0) in
+      List.for_all
+        (fun (_, solve) ->
+          let a = solve (cfg ~max_iterations:100 ()) p in
+          let b = solve (cfg ~max_iterations:100 ()) p in
+          a.Ik.theta = b.Ik.theta && a.Ik.iterations = b.Ik.iterations)
+        all_solvers)
+
+let () =
+  Alcotest.run "dadu_core"
+    [
+      ( "ik",
+        [
+          Alcotest.test_case "problem validates dof" `Quick test_ik_problem_validates;
+          Alcotest.test_case "problem copies theta0" `Quick test_ik_problem_copies_theta0;
+          Alcotest.test_case "paper defaults" `Quick test_ik_defaults;
+          Alcotest.test_case "work metric" `Quick test_ik_work;
+          Alcotest.test_case "error_of" `Quick test_ik_error_of_zero;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "immediate convergence" `Quick test_loop_immediate_convergence;
+          Alcotest.test_case "iteration cap" `Quick test_loop_cap;
+          Alcotest.test_case "stall detection" `Quick test_loop_stall_detection;
+          Alcotest.test_case "sweep accumulation" `Quick test_loop_accumulates_sweeps;
+        ] );
+      ( "alpha",
+        [
+          Alcotest.test_case "known value" `Quick test_alpha_known;
+          Alcotest.test_case "degenerate" `Quick test_alpha_degenerate;
+          qcheck test_alpha_scale_invariance;
+        ] );
+      ( "jt-serial",
+        [
+          Alcotest.test_case "stability bound" `Quick test_jt_stability_bound_planar;
+          Alcotest.test_case "converges on small chain" `Slow test_jt_serial_converges_small;
+          Alcotest.test_case "error decreases" `Quick test_jt_serial_error_decreases;
+          Alcotest.test_case "alpha override deterministic" `Quick
+            test_jt_serial_alpha_override;
+          Alcotest.test_case "gain speeds up" `Slow test_jt_serial_gain_speeds_up;
+        ] );
+      ( "quick-ik",
+        [
+          Alcotest.test_case "jt-buss converges" `Quick test_jt_buss_converges;
+          Alcotest.test_case "buss beats fixed alpha" `Slow test_jt_buss_beats_jt_serial;
+          Alcotest.test_case "converges" `Quick test_quick_ik_converges;
+          Alcotest.test_case "invalid speculations" `Quick test_quick_ik_invalid_speculations;
+          Alcotest.test_case "1 speculation = buss" `Quick test_quick_ik_one_speculation_is_buss;
+          Alcotest.test_case "parallel bit-identical" `Quick
+            test_quick_ik_parallel_bit_identical;
+          Alcotest.test_case "extended 1.0 = uniform" `Quick
+            test_quick_ik_extended_one_is_uniform;
+          Alcotest.test_case "all strategies converge" `Quick test_quick_ik_strategies_converge;
+          Alcotest.test_case "beats serial 5x" `Slow test_quick_ik_beats_serial_on_batch;
+          Alcotest.test_case "deterministic" `Quick test_quick_ik_deterministic;
+          Alcotest.test_case "scale invariance" `Quick test_quick_ik_scale_invariance;
+          Alcotest.test_case "line search converges" `Quick test_linesearch_converges;
+          Alcotest.test_case "line search competitive" `Quick
+            test_linesearch_competitive_with_quick_ik;
+          Alcotest.test_case "line search never regresses" `Quick
+            test_linesearch_never_regresses;
+          Alcotest.test_case "line search invalid" `Quick test_linesearch_invalid;
+          Alcotest.test_case "random chains converge" `Slow test_quick_ik_random_chains;
+        ] );
+      ( "pinv-dls-sdls",
+        [
+          Alcotest.test_case "pinv converges fast" `Quick test_pinv_converges_fast;
+          Alcotest.test_case "pinv small step" `Quick test_pinv_small_step_still_converges;
+          Alcotest.test_case "pinv 100dof" `Slow test_pinv_100dof;
+          Alcotest.test_case "dls converges" `Quick test_dls_converges;
+          Alcotest.test_case "dls lambda tradeoff" `Quick test_dls_lambda_tradeoff;
+          Alcotest.test_case "sdls converges" `Quick test_sdls_converges;
+          Alcotest.test_case "sdls gamma_max" `Quick test_sdls_respects_gamma_max;
+        ] );
+      ( "ccd",
+        [
+          Alcotest.test_case "converges planar" `Quick test_ccd_converges_planar;
+          Alcotest.test_case "respects limits" `Quick test_ccd_respects_limits;
+          Alcotest.test_case "prismatic chain" `Quick test_ccd_prismatic;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "fk consistency" `Quick test_cost_fk_consistency;
+          Alcotest.test_case "totals" `Quick test_cost_totals;
+          Alcotest.test_case "quick-ik structure" `Quick test_cost_quick_ik_structure;
+          Alcotest.test_case "parallel scales" `Quick test_cost_parallel_scales_with_specs;
+          Alcotest.test_case "monotone in dof" `Quick test_cost_monotone_in_dof;
+          Alcotest.test_case "ccd superlinear" `Quick test_cost_ccd_superlinear;
+          Alcotest.test_case "fixed alpha cheaper" `Quick test_cost_jt_serial_cheaper_than_buss;
+        ] );
+      ( "pose",
+        [
+          Alcotest.test_case "zero twist at solution" `Quick test_pose_twist_zero_at_solution;
+          Alcotest.test_case "pure translation twist" `Quick test_pose_twist_pure_translation;
+          Alcotest.test_case "dls converges" `Quick test_pose_dls_converges;
+          Alcotest.test_case "quick converges" `Slow test_pose_quick_converges;
+          Alcotest.test_case "jt progresses" `Slow test_pose_jt_progresses;
+          Alcotest.test_case "quick beats jt" `Slow test_pose_quick_beats_jt;
+          Alcotest.test_case "high-dof pose" `Slow test_pose_on_high_dof;
+          Alcotest.test_case "invalid speculations" `Quick test_pose_invalid_speculations;
+          Alcotest.test_case "target_of_mat4" `Quick test_pose_target_of_mat4_roundtrip;
+        ] );
+      ( "nullspace",
+        [
+          Alcotest.test_case "converges" `Quick test_nullspace_converges;
+          Alcotest.test_case "improves comfort" `Quick test_nullspace_improves_comfort;
+          Alcotest.test_case "reference objective" `Quick test_nullspace_reference_objective;
+          Alcotest.test_case "custom objective" `Quick test_nullspace_custom_objective;
+          Alcotest.test_case "gradient shape" `Quick test_nullspace_gradient_shapes;
+          Alcotest.test_case "comfort bounds" `Quick test_comfort_bounds;
+          Alcotest.test_case "optimize holds task" `Quick test_nullspace_optimize_holds_task;
+          Alcotest.test_case "optimize zero iterations" `Quick
+            test_nullspace_optimize_zero_iterations;
+        ] );
+      ( "restarts",
+        [
+          Alcotest.test_case "first try" `Quick test_restarts_first_try;
+          Alcotest.test_case "recovers" `Quick test_restarts_recovers;
+          Alcotest.test_case "exhausted returns best" `Quick
+            test_restarts_exhausted_returns_best;
+          Alcotest.test_case "invalid" `Quick test_restarts_invalid;
+        ] );
+      ( "rmrc",
+        [
+          Alcotest.test_case "static target settles" `Quick test_rmrc_static_target_settles;
+          Alcotest.test_case "tracks moving target" `Quick test_rmrc_tracks_moving_target;
+          Alcotest.test_case "sample structure" `Quick test_rmrc_sample_structure;
+          Alcotest.test_case "rate limit" `Quick test_rmrc_rate_limit_respected;
+          Alcotest.test_case "invalid dt" `Quick test_rmrc_invalid;
+          Alcotest.test_case "on_iteration hook" `Quick test_on_iteration_observes_descent;
+        ] );
+      ( "multitask",
+        [
+          Alcotest.test_case "single task = position IK" `Quick
+            test_multitask_end_effector_only_matches_dls;
+          Alcotest.test_case "two points" `Quick test_multitask_two_points;
+          Alcotest.test_case "distal columns zero" `Quick test_multitask_distal_columns_zero;
+          Alcotest.test_case "weights scale rows" `Quick test_multitask_weights_scale_rows;
+          Alcotest.test_case "validation" `Quick test_multitask_validation;
+          Alcotest.test_case "conflicting tasks" `Quick
+            test_multitask_conflicting_tasks_balance;
+        ] );
+      ( "batch-servo",
+        [
+          Alcotest.test_case "batch sequential" `Quick test_batch_sequential;
+          Alcotest.test_case "batch parallel identical" `Quick
+            test_batch_parallel_matches_sequential;
+          Alcotest.test_case "batch empty" `Quick test_batch_empty;
+          Alcotest.test_case "servo circle" `Quick test_servo_tracks_circle;
+          Alcotest.test_case "servo warm vs cold" `Quick test_servo_warm_cheaper_than_cold;
+          Alcotest.test_case "servo empty path" `Quick test_servo_empty_path;
+          Alcotest.test_case "servo waypoint order" `Quick test_servo_waypoint_order;
+        ] );
+      ( "cross-solver",
+        [
+          Alcotest.test_case "all solve one problem" `Quick test_all_solvers_same_problem;
+          Alcotest.test_case "named robots" `Slow test_all_solvers_named_robots;
+          Alcotest.test_case "unreachable target" `Quick test_unreachable_target_caps;
+          qcheck test_solver_results_deterministic;
+        ] );
+    ]

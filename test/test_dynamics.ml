@@ -1,0 +1,341 @@
+(* Tests for the recursive Newton-Euler dynamics: analytic pendulum cases,
+   energy balance, and structural properties. *)
+
+open Dadu_linalg
+open Dadu_kinematics
+module Rng = Dadu_util.Rng
+
+let g = 9.81
+
+(* a single 1 m link rotating about the world z-axis, gravity along −y so
+   the rotation plane is vertical: the classic pendulum with a horizontal
+   hinge *)
+let pendulum_chain =
+  Chain.make ~name:"pendulum"
+    [| { Chain.name = "hinge"; joint = Joint.revolute (); dh = Dh.make ~a:1. () } |]
+
+let pendulum_model ~mass =
+  Dynamics.model ~gravity:(Vec3.make 0. (-.g) 0.) pendulum_chain
+    [| Dynamics.rod ~mass ~length:1. |]
+
+let test_pendulum_gravity_torque () =
+  (* holding torque of a uniform rod pendulum: τ = m·g·(l/2)·cos θ *)
+  let mass = 2.0 in
+  let m = pendulum_model ~mass in
+  List.iter
+    (fun theta ->
+      let tau = Dynamics.gravity_torques m [| theta |] in
+      let expected = mass *. g *. 0.5 *. cos theta in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "tau at %.2f rad" theta)
+        expected tau.(0))
+    [ 0.; 0.4; Float.pi /. 2.; -0.9; 2.5 ]
+
+let test_pendulum_inertia_torque () =
+  (* at the hanging-straight-down-in-plane... at θ=−π/2 the rod is along
+     −y (aligned with gravity): zero gravity torque, so τ = I₀·q̈ with
+     I₀ = m·l²/3 about the hinge *)
+  let mass = 3.0 in
+  let m = pendulum_model ~mass in
+  let qdd = 2.5 in
+  let tau =
+    Dynamics.inverse_dynamics m ~q:[| -.Float.pi /. 2. |] ~qd:[| 0. |] ~qdd:[| qdd |]
+  in
+  Alcotest.(check (float 1e-9)) "tau = (m l^2 / 3) qdd" (mass /. 3. *. qdd) tau.(0)
+
+let test_pendulum_centrifugal_free () =
+  (* pure spin about the hinge produces no torque about the hinge axis *)
+  let m = pendulum_model ~mass:1.5 in
+  let tau_static = Dynamics.gravity_torques m [| 0.7 |] in
+  let tau_spinning =
+    Dynamics.inverse_dynamics m ~q:[| 0.7 |] ~qd:[| 3.0 |] ~qdd:[| 0. |]
+  in
+  Alcotest.(check (float 1e-9)) "qd does not change hinge torque" tau_static.(0)
+    tau_spinning.(0)
+
+let test_two_link_gravity_analytic () =
+  (* planar 2R with 1 m uniform rods, gravity −y:
+     τ2 = m2 g (l2/2) c12
+     τ1 = (m1 (l1/2) + m2 l1) g c1 + m2 g (l2/2) c12 *)
+  let chain = Robots.planar ~dof:2 ~reach:2. () in
+  let m1 = 1.2 and m2 = 0.8 in
+  let m =
+    Dynamics.model ~gravity:(Vec3.make 0. (-.g) 0.) chain
+      [| Dynamics.rod ~mass:m1 ~length:1.; Dynamics.rod ~mass:m2 ~length:1. |]
+  in
+  let q = [| 0.3; 0.9 |] in
+  let c1 = cos q.(0) and c12 = cos (q.(0) +. q.(1)) in
+  let tau = Dynamics.gravity_torques m q in
+  let tau2_expected = m2 *. g *. 0.5 *. c12 in
+  let tau1_expected = (((m1 *. 0.5) +. m2) *. g *. c1) +. tau2_expected in
+  Alcotest.(check (float 1e-9)) "tau2" tau2_expected tau.(1);
+  Alcotest.(check (float 1e-9)) "tau1" tau1_expected tau.(0)
+
+let test_zero_gravity_statics () =
+  let chain = Robots.eval_chain ~dof:8 in
+  let m = Dynamics.uniform_rods ~gravity:Vec3.zero chain in
+  let rng = Rng.create 11 in
+  let q = Target.random_config rng chain in
+  let tau = Dynamics.gravity_torques m q in
+  Alcotest.(check bool) "no gravity, no static torque" true (Vec.max_abs tau < 1e-12)
+
+let test_prismatic_gravity () =
+  (* a vertical prismatic joint lifting a mass against gravity needs
+     force m·g *)
+  let chain =
+    Chain.make
+      [|
+        {
+          Chain.name = "lift";
+          joint = Joint.prismatic ~lower:0. ~upper:1. ();
+          dh = Dh.make ();
+        };
+      |]
+  in
+  let mass = 4.0 in
+  let m = Dynamics.model chain [| Dynamics.point_mass mass Vec3.zero |] in
+  let tau = Dynamics.gravity_torques m [| 0.3 |] in
+  Alcotest.(check (float 1e-9)) "holding force = m g" (mass *. g) tau.(0)
+
+let test_uniform_rods_mass () =
+  let chain = Robots.eval_chain ~dof:10 in
+  let m = Dynamics.uniform_rods ~total_mass:25. chain in
+  let total = Array.fold_left (fun acc b -> acc +. b.Dynamics.mass) 0. m.Dynamics.bodies in
+  Alcotest.(check (float 1e-9)) "masses sum" 25. total
+
+let test_model_validation () =
+  Alcotest.(check bool) "body count mismatch" true
+    (try
+       ignore (Dynamics.model pendulum_chain [||]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative mass" true
+    (try
+       ignore (Dynamics.rod ~mass:(-1.) ~length:1.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_potential_energy_pendulum () =
+  let mass = 2.0 in
+  let m = pendulum_model ~mass in
+  (* COM height above the hinge is (l/2)·sin θ in the gravity (−y)
+     direction *)
+  let v0 = Dynamics.potential_energy m [| 0. |] in
+  let v90 = Dynamics.potential_energy m [| Float.pi /. 2. |] in
+  Alcotest.(check (float 1e-9)) "level at horizontal" 0. v0;
+  Alcotest.(check (float 1e-9)) "raised by l/2" (mass *. g *. 0.5) v90
+
+let test_kinetic_energy_pendulum () =
+  let mass = 3.0 in
+  let m = pendulum_model ~mass in
+  let qd = 2.0 in
+  (* T = 1/2 I₀ q̇², I₀ = m l²/3 about the hinge *)
+  Alcotest.(check (float 1e-9)) "rod kinetic energy"
+    (0.5 *. (mass /. 3.) *. qd *. qd)
+    (Dynamics.kinetic_energy m ~q:[| 0.4 |] ~qd:[| qd |])
+
+(* The definitive whole-algorithm check: along any trajectory,
+   mechanical power balances: τ·q̇ = d/dt (T + V). *)
+let test_energy_balance =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"power balance: tau . qd = dE/dt" ~count:60
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let rng = Rng.create seed in
+         let dof = 2 + Rng.int rng 6 in
+         let chain = Robots.random rng ~dof ~reach:2.0 () in
+         let m = Dynamics.uniform_rods chain in
+         let q = Target.random_config rng chain in
+         let qd = Array.init dof (fun _ -> Rng.uniform rng (-1.) 1.) in
+         let qdd = Array.init dof (fun _ -> Rng.uniform rng (-1.) 1.) in
+         let tau = Dynamics.inverse_dynamics m ~q ~qd ~qdd in
+         let power = Vec.dot tau qd in
+         (* central finite difference of the total energy along the
+            trajectory q(t) with q(0)=q, q̇(0)=qd, q̈(0)=qdd *)
+         let eps = 1e-6 in
+         let state s =
+           let qs = Array.init dof (fun i -> q.(i) +. (s *. qd.(i)) +. (0.5 *. s *. s *. qdd.(i))) in
+           let qds = Array.init dof (fun i -> qd.(i) +. (s *. qdd.(i))) in
+           Dynamics.kinetic_energy m ~q:qs ~qd:qds +. Dynamics.potential_energy m qs
+         in
+         let de_dt = (state eps -. state (-.eps)) /. (2. *. eps) in
+         let scale = Float.max 1. (Float.abs power) in
+         Float.abs (power -. de_dt) < 1e-4 *. scale))
+
+let test_gravity_effort_positive () =
+  let chain = Robots.eval_chain ~dof:6 in
+  let m = Dynamics.uniform_rods chain in
+  let rng = Rng.create 12 in
+  let q = Target.random_config rng chain in
+  Alcotest.(check bool) "effort non-negative" true (Dynamics.gravity_effort m q >= 0.);
+  Alcotest.(check (float 1e-12)) "effort = |tau|^2"
+    (Vec.norm_sq (Dynamics.gravity_torques m q))
+    (Dynamics.gravity_effort m q)
+
+(* ---- Forward dynamics / simulation ---- *)
+
+let test_mass_matrix_spd =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"mass matrix symmetric positive definite" ~count:40
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let rng = Rng.create seed in
+         let dof = 2 + Rng.int rng 5 in
+         let chain = Robots.random rng ~dof ~reach:1.5 () in
+         let m = Dynamics.uniform_rods chain in
+         let q = Target.random_config rng chain in
+         let mm = Dynamics.mass_matrix m q in
+         Mat.approx_equal ~tol:1e-8 mm (Mat.transpose mm)
+         &&
+         try
+           ignore (Cholesky.factorize mm);
+           true
+         with Cholesky.Not_positive_definite -> false))
+
+let test_forward_inverse_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"FD(ID(qdd)) = qdd" ~count:40
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let rng = Rng.create seed in
+         let dof = 2 + Rng.int rng 5 in
+         let chain = Robots.random rng ~dof ~reach:1.5 () in
+         let m = Dynamics.uniform_rods chain in
+         let q = Target.random_config rng chain in
+         let qd = Array.init dof (fun _ -> Rng.uniform rng (-1.) 1.) in
+         let qdd = Array.init dof (fun _ -> Rng.uniform rng (-2.) 2.) in
+         let tau = Dynamics.inverse_dynamics m ~q ~qd ~qdd in
+         let back = Dynamics.forward_dynamics m ~q ~qd ~tau in
+         Vec.approx_equal ~tol:1e-6 back qdd))
+
+let test_free_pendulum_conserves_energy () =
+  let m = pendulum_model ~mass:1.0 in
+  let initial = { Simulation.time = 0.; q = [| 0.2 |]; qd = [| 0. |] } in
+  let states = Simulation.simulate m Simulation.zero_torque ~dt:1e-3 ~duration:2.0 initial in
+  let e0 = Simulation.total_energy m initial in
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "energy at t=%.2f" s.Simulation.time)
+        true
+        (Float.abs (Simulation.total_energy m s -. e0) < 1e-5 *. Float.max 1. (Float.abs e0)))
+    states
+
+let test_pendulum_small_oscillation_frequency () =
+  (* linearized about the stable equilibrium θ = −π/2 (rod hanging along
+     −y): ω² = m g (l/2) / I₀ = 3g/(2l) *)
+  let m = pendulum_model ~mass:1.0 in
+  let eq = -.Float.pi /. 2. in
+  let amplitude = 0.02 in
+  let initial = { Simulation.time = 0.; q = [| eq +. amplitude |]; qd = [| 0. |] } in
+  let dt = 1e-3 in
+  let states = Simulation.simulate m Simulation.zero_torque ~dt ~duration:3.0 initial in
+  (* find the first time the pendulum swings back through a positive-going
+     crossing of the equilibrium offset: a quarter period after start it
+     crosses zero offset *)
+  let crossing = ref None in
+  Array.iter
+    (fun s ->
+      if !crossing = None && s.Simulation.q.(0) -. eq < 0. then
+        crossing := Some s.Simulation.time)
+    states;
+  (match !crossing with
+  | None -> Alcotest.fail "pendulum never crossed equilibrium"
+  | Some t_quarter ->
+    let omega = Float.pi /. 2. /. t_quarter in
+    let expected = sqrt (3. *. 9.81 /. 2.) in
+    Alcotest.(check bool)
+      (Printf.sprintf "omega %.3f vs %.3f" omega expected)
+      true
+      (Float.abs (omega -. expected) < 0.05 *. expected))
+
+let test_computed_torque_tracks () =
+  (* PD with exact gravity compensation holds a setpoint with tiny error;
+     plain PD sags under gravity *)
+  let chain = Robots.planar ~dof:3 ~reach:1.5 () in
+  let m =
+    Dynamics.model ~gravity:(Vec3.make 0. (-9.81) 0.) chain
+      (Array.init 3 (fun _ -> Dynamics.rod ~mass:1. ~length:0.5))
+  in
+  let setpoint = [| 0.4; -0.3; 0.6 |] in
+  let initial = { Simulation.time = 0.; q = Array.copy setpoint; qd = [| 0.; 0.; 0. |] } in
+  let run controller =
+    let states = Simulation.simulate m controller ~dt:1e-3 ~duration:1.5 initial in
+    let final = states.(Array.length states - 1) in
+    Vec.dist final.Simulation.q setpoint
+  in
+  let plain =
+    run (Simulation.pd ~kp:60. ~kd:12. ~target:(fun _ -> setpoint) ())
+  in
+  let compensated =
+    run
+      (Simulation.pd ~gravity_compensation:m ~kp:60. ~kd:12.
+         ~target:(fun _ -> setpoint) ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "compensated (%.2e) << plain (%.2e)" compensated plain)
+    true
+    (compensated < 1e-6 && plain > 10. *. compensated)
+
+let test_simulate_shapes () =
+  let m = pendulum_model ~mass:1.0 in
+  let initial = { Simulation.time = 0.; q = [| 0. |]; qd = [| 0. |] } in
+  let states = Simulation.simulate m Simulation.zero_torque ~dt:0.1 ~duration:1.0 initial in
+  Alcotest.(check int) "tick count" 11 (Array.length states);
+  Alcotest.(check (float 1e-9)) "last time" 1.0 states.(10).Simulation.time
+
+let test_passive_energy_drift_random_chains =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"passive RK4 conserves energy on random chains" ~count:10
+       QCheck.(int_range 0 100_000)
+       (fun seed ->
+         let rng = Rng.create seed in
+         let dof = 2 + Rng.int rng 2 in
+         let chain = Robots.random rng ~dof ~reach:1.0 () in
+         let m = Dynamics.uniform_rods ~total_mass:2. chain in
+         let q = Target.random_config rng chain in
+         let initial = { Simulation.time = 0.; q; qd = Vec.create dof } in
+         let states =
+           Simulation.simulate m Simulation.zero_torque ~dt:1e-3 ~duration:0.5 initial
+         in
+         let e0 = Simulation.total_energy m initial in
+         Array.for_all
+           (fun s ->
+             Float.abs (Simulation.total_energy m s -. e0)
+             < 1e-4 *. Float.max 1. (Float.abs e0))
+           states))
+
+let () =
+  Alcotest.run "dadu_dynamics"
+    [
+      ( "pendulum",
+        [
+          Alcotest.test_case "gravity torque" `Quick test_pendulum_gravity_torque;
+          Alcotest.test_case "inertia torque" `Quick test_pendulum_inertia_torque;
+          Alcotest.test_case "centrifugal-free hinge" `Quick test_pendulum_centrifugal_free;
+          Alcotest.test_case "potential energy" `Quick test_potential_energy_pendulum;
+          Alcotest.test_case "kinetic energy" `Quick test_kinetic_energy_pendulum;
+        ] );
+      ( "chains",
+        [
+          Alcotest.test_case "two-link analytic" `Quick test_two_link_gravity_analytic;
+          Alcotest.test_case "zero gravity" `Quick test_zero_gravity_statics;
+          Alcotest.test_case "prismatic lift" `Quick test_prismatic_gravity;
+          Alcotest.test_case "uniform rods mass" `Quick test_uniform_rods_mass;
+          Alcotest.test_case "validation" `Quick test_model_validation;
+          Alcotest.test_case "gravity effort" `Quick test_gravity_effort_positive;
+          test_energy_balance;
+        ] );
+      ( "forward-dynamics",
+        [
+          test_mass_matrix_spd;
+          test_forward_inverse_roundtrip;
+          Alcotest.test_case "free pendulum conserves energy" `Slow
+            test_free_pendulum_conserves_energy;
+          Alcotest.test_case "small-oscillation frequency" `Slow
+            test_pendulum_small_oscillation_frequency;
+          Alcotest.test_case "computed-torque control" `Slow test_computed_torque_tracks;
+          Alcotest.test_case "simulate shapes" `Quick test_simulate_shapes;
+          test_passive_energy_drift_random_chains;
+        ] );
+    ]

@@ -1,0 +1,327 @@
+(* Tests for the experiment harness.  These run at a tiny scale (a few
+   targets, reduced caps) — they verify plumbing and invariants, not the
+   statistics, which the bench suite and EXPERIMENTS.md cover. *)
+
+open Dadu_experiments
+module Ik = Dadu_core.Ik
+module Robots = Dadu_kinematics.Robots
+
+let tiny = { Runner.targets = 4; max_iterations = 400; speculations = 16; seed = 5 }
+
+(* a small grid shared by the table tests; DOFs kept low for speed *)
+let tiny_grid = lazy (Measurements.collect ~dofs:[ 6; 10 ] tiny)
+
+(* ---- Runner ---- *)
+
+let test_runner_paper_scale () =
+  Alcotest.(check int) "1000 targets" 1000 Runner.paper_scale.Runner.targets;
+  Alcotest.(check int) "10k cap" 10_000 Runner.paper_scale.Runner.max_iterations;
+  Alcotest.(check int) "64 speculations" 64 Runner.paper_scale.Runner.speculations
+
+let test_runner_ik_config () =
+  let config = Runner.ik_config tiny in
+  Alcotest.(check int) "cap propagated" 400 config.Ik.max_iterations;
+  Alcotest.(check (float 1e-12)) "paper accuracy" 1e-2 config.Ik.accuracy
+
+let test_runner_env () =
+  Unix.putenv "DADU_TARGETS" "7";
+  let scale = Runner.default_scale () in
+  Unix.putenv "DADU_TARGETS" "25";
+  Alcotest.(check int) "env honoured" 7 scale.Runner.targets
+
+let test_runner_env_invalid () =
+  Unix.putenv "DADU_TARGETS" "zero";
+  let raised =
+    try
+      ignore (Runner.default_scale ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Unix.putenv "DADU_TARGETS" "25";
+  Alcotest.(check bool) "bad env rejected" true raised
+
+(* ---- Workload ---- *)
+
+let chain10 = Robots.eval_chain ~dof:10
+
+let quick_solver config p = Dadu_core.Quick_ik.solve ~speculations:16 ~config p
+
+let test_workload_aggregate_fields () =
+  let a = Workload.run tiny ~name:"q" ~chain:chain10 ~solver:quick_solver in
+  Alcotest.(check string) "name" "q" a.Workload.name;
+  Alcotest.(check int) "dof" 10 a.Workload.dof;
+  Alcotest.(check int) "targets" 4 a.Workload.targets;
+  Alcotest.(check bool) "converged <= targets" true (a.Workload.converged <= 4);
+  Alcotest.(check bool) "mean within cap" true
+    (a.Workload.mean_iterations >= 0. && a.Workload.mean_iterations <= 400.);
+  Alcotest.(check int) "speculations" 16 a.Workload.speculations;
+  Alcotest.(check (float 1e-6)) "work = specs x iters"
+    (16. *. a.Workload.mean_iterations)
+    a.Workload.mean_work
+
+let test_workload_deterministic () =
+  let a = Workload.run tiny ~name:"q" ~chain:chain10 ~solver:quick_solver in
+  let b = Workload.run tiny ~name:"q" ~chain:chain10 ~solver:quick_solver in
+  Alcotest.(check (float 0.)) "same mean iterations" a.Workload.mean_iterations
+    b.Workload.mean_iterations;
+  Alcotest.(check int) "same converged" a.Workload.converged b.Workload.converged
+
+let test_workload_convergence_rate () =
+  let a = Workload.run tiny ~name:"q" ~chain:chain10 ~solver:quick_solver in
+  Alcotest.(check (float 1e-9)) "rate"
+    (float_of_int a.Workload.converged /. 4.)
+    (Workload.convergence_rate a)
+
+(* ---- Measurements ---- *)
+
+let test_measurements_structure () =
+  let m = Lazy.force tiny_grid in
+  Alcotest.(check (list int)) "dofs in order" [ 6; 10 ]
+    (List.map (fun (p : Measurements.per_dof) -> p.Measurements.dof) m.Measurements.per_dof);
+  List.iter
+    (fun (p : Measurements.per_dof) ->
+      Alcotest.(check string) "jt name" "JT-Serial" p.Measurements.jt_serial.Workload.name;
+      Alcotest.(check string) "pinv name" "J-1-SVD" p.Measurements.pinv_svd.Workload.name;
+      Alcotest.(check string) "quick name" "JT-Speculation"
+        p.Measurements.quick_ik.Workload.name)
+    m.Measurements.per_dof
+
+let test_measurements_reduction () =
+  let m = Lazy.force tiny_grid in
+  List.iter
+    (fun (p : Measurements.per_dof) ->
+      let r = Measurements.reduction_vs_jt p in
+      Alcotest.(check bool) "reduction in [0, 1)" true (r >= 0. && r < 1.))
+    m.Measurements.per_dof
+
+(* ---- Fig4 ---- *)
+
+let test_fig4_structure () =
+  let rows = Fig4.run ~dofs:[ 6 ] ~counts:[ 4; 8 ] tiny in
+  Alcotest.(check int) "one dof row" 1 (List.length rows);
+  let row = List.hd rows in
+  Alcotest.(check (list int)) "speculation counts" [ 4; 8 ]
+    (List.map (fun (c : Fig4.cell) -> c.Fig4.speculations) row.Fig4.cells);
+  ignore (Fig4.to_table rows)
+
+let test_fig4_csv () =
+  let rows = Fig4.run ~dofs:[ 6; 10 ] ~counts:[ 4; 8 ] tiny in
+  let csv = Fig4.to_csv_rows rows in
+  Alcotest.(check int) "dofs x counts rows" 4 (List.length csv);
+  List.iter
+    (fun row -> Alcotest.(check int) "arity" (List.length Fig4.csv_header) (List.length row))
+    csv
+
+(* ---- Fig5 / Table2 / Table3 ---- *)
+
+let test_fig5_tables_render () =
+  let m = Lazy.force tiny_grid in
+  let a = Dadu_util.Table.render (Fig5.table_iterations m) in
+  let b = Dadu_util.Table.render (Fig5.table_work m) in
+  Alcotest.(check bool) "5a has methods" true
+    (Astring.String.is_infix ~affix:"JT-Speculation" a);
+  Alcotest.(check bool) "5b rendered" true (String.length b > 0);
+  Alcotest.(check int) "csv rows = dofs x 3" 6 (List.length (Fig5.to_csv_rows m))
+
+let test_table2_rows () =
+  let m = Lazy.force tiny_grid in
+  let rows = Table2.compute m in
+  Alcotest.(check int) "row per dof" 2 (List.length rows);
+  List.iter
+    (fun (r : Table2.row) ->
+      Alcotest.(check bool) "all times positive" true
+        (r.Table2.jt_serial_atom_ms > 0. && r.Table2.pinv_svd_atom_ms > 0.
+        && r.Table2.quick_atom_ms > 0. && r.Table2.quick_tx1_ms > 0.
+        && r.Table2.quick_ikacc_ms > 0.);
+      Alcotest.(check bool) "IKAcc fastest" true
+        (r.Table2.quick_ikacc_ms < r.Table2.quick_tx1_ms
+        && r.Table2.quick_ikacc_ms < r.Table2.quick_atom_ms))
+    rows;
+  ignore (Table2.to_table rows);
+  ignore (Table2.speedup_table rows)
+
+let test_table2_speedups_positive () =
+  let rows = Table2.compute (Lazy.force tiny_grid) in
+  let s = Table2.speedups rows in
+  Alcotest.(check bool) "all positive" true
+    (s.Table2.ikacc_vs_jt_serial_atom > 0. && s.Table2.ikacc_vs_tx1 > 0.
+    && s.Table2.ikacc_vs_pinv_atom > 0. && s.Table2.tx1_vs_quick_atom > 0.)
+
+let test_table3_rows () =
+  let m = Lazy.force tiny_grid in
+  let t2 = Table2.compute m in
+  let rows = Table3.compute m t2 in
+  Alcotest.(check int) "row per dof" 2 (List.length rows);
+  List.iter
+    (fun (r : Table3.row) ->
+      Alcotest.(check bool) "IKAcc energy lowest" true
+        (r.Table3.quick_ikacc_j < r.Table3.quick_tx1_j
+        && r.Table3.quick_ikacc_j < r.Table3.quick_atom_j);
+      Alcotest.(check bool) "power below 1 W" true (r.Table3.ikacc_avg_power_w < 1.))
+    rows;
+  Alcotest.(check bool) "efficiency > 1" true (Table3.efficiency_vs_tx1 rows > 1.);
+  ignore (Table3.platform_table ());
+  ignore (Table3.to_table rows)
+
+(* ---- Convergence profiles ---- *)
+
+let test_convergence_profiles () =
+  let profiles = Convergence.run ~dof:6 tiny in
+  Alcotest.(check int) "three methods" 3 (List.length profiles);
+  List.iter
+    (fun (p : Convergence.profile) ->
+      let errs = List.map snd p.Convergence.checkpoints in
+      Alcotest.(check bool) "checkpoints within cap" true
+        (List.for_all (fun (c, _) -> c <= tiny.Runner.max_iterations)
+           p.Convergence.checkpoints);
+      (* profiles never increase beyond the starting error for these
+         monotone-ish solvers on a mean basis *)
+      Alcotest.(check bool) "final <= initial" true
+        (List.nth errs (List.length errs - 1) <= List.hd errs +. 1e-9))
+    profiles;
+  ignore (Convergence.to_table profiles);
+  Alcotest.(check bool) "chart renders" true
+    (String.length (Convergence.to_chart profiles) > 0)
+
+let test_convergence_same_start_error () =
+  (* all methods see the same problems, so iteration-0 error agrees *)
+  let profiles = Convergence.run ~dof:6 tiny in
+  let starts =
+    List.map (fun (p : Convergence.profile) -> List.assoc 0 p.Convergence.checkpoints) profiles
+  in
+  match starts with
+  | a :: rest ->
+    List.iter (fun b -> Alcotest.(check (float 1e-12)) "same start" a b) rest
+  | [] -> Alcotest.fail "no profiles"
+
+(* ---- Scorecard ---- *)
+
+let test_scorecard_structure () =
+  let claims = Scorecard.evaluate (Lazy.force tiny_grid) in
+  (* no 100-DOF row in the tiny grid, so the real-time claim is absent *)
+  Alcotest.(check int) "nine claims" 9 (List.length claims);
+  ignore (Scorecard.to_table claims);
+  List.iter
+    (fun (c : Scorecard.claim) ->
+      Alcotest.(check bool) "fields populated" true
+        (c.Scorecard.id <> "" && c.Scorecard.paper <> "" && c.Scorecard.measured <> ""))
+    claims
+
+let test_scorecard_passes_on_eval_chains () =
+  (* the real check: at the paper's DOF extremes the core claims hold *)
+  let scale = { Runner.targets = 6; max_iterations = 10_000; speculations = 64; seed = 3 } in
+  let m = Measurements.collect ~dofs:[ 12; 100 ] scale in
+  let claims = Scorecard.evaluate m in
+  Alcotest.(check int) "ten claims" 10 (List.length claims);
+  List.iter
+    (fun (c : Scorecard.claim) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s (measured %s)" c.Scorecard.id
+           c.Scorecard.description c.Scorecard.measured)
+        true
+        (c.Scorecard.verdict <> Scorecard.Fail))
+    claims;
+  Alcotest.(check bool) "overall" true (Scorecard.all_pass claims)
+
+(* ---- Robustness ---- *)
+
+let test_robustness_structure () =
+  let rows = Robustness.run ~seeds:[ 1; 2 ] ~dofs:[ 6 ] tiny in
+  Alcotest.(check int) "two seeds" 2 (List.length rows);
+  List.iter
+    (fun (r : Robustness.row) ->
+      Alcotest.(check int) "one dof" 1 (List.length r.Robustness.cells);
+      List.iter
+        (fun (c : Robustness.cell) ->
+          Alcotest.(check bool) "reduction in [0,1)" true
+            (c.Robustness.reduction >= 0. && c.Robustness.reduction < 1.))
+        r.Robustness.cells)
+    rows;
+  ignore (Robustness.to_table rows);
+  let lo, hi = Robustness.reduction_range rows ~dof:6 in
+  Alcotest.(check bool) "range ordered" true (lo <= hi)
+
+let test_robustness_missing_dof () =
+  let rows = Robustness.run ~seeds:[ 1 ] ~dofs:[ 6 ] tiny in
+  Alcotest.check_raises "missing dof" Not_found (fun () ->
+      ignore (Robustness.reduction_range rows ~dof:99))
+
+(* ---- Ablation ---- *)
+
+let test_ablation_strategies () =
+  let rows = Ablation.run_strategies ~dofs:[ 6 ] tiny in
+  Alcotest.(check int) "one dof" 1 (List.length rows);
+  let row = List.hd rows in
+  Alcotest.(check int) "five strategies" 5 (List.length row.Ablation.cells);
+  ignore (Ablation.strategy_table rows)
+
+let test_ablation_ssus () =
+  let m = Lazy.force tiny_grid in
+  let rows = Ablation.run_ssus ~ssus:[ 4; 8; 16 ] ~dof:10 m in
+  Alcotest.(check int) "three rows" 3 (List.length rows);
+  let times = List.map (fun (r : Ablation.ssu_row) -> r.Ablation.time_ms) rows in
+  let sorted_desc = List.sort (fun a b -> compare b a) times in
+  Alcotest.(check (list (float 1e-12))) "more SSUs, never slower" sorted_desc times;
+  ignore (Ablation.ssu_table ~dof:10 rows)
+
+let test_ablation_missing_dof () =
+  let m = Lazy.force tiny_grid in
+  Alcotest.check_raises "missing dof" Not_found (fun () ->
+      ignore (Ablation.run_ssus ~dof:99 m))
+
+let () =
+  Alcotest.run "dadu_experiments"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "paper scale" `Quick test_runner_paper_scale;
+          Alcotest.test_case "ik config" `Quick test_runner_ik_config;
+          Alcotest.test_case "env override" `Quick test_runner_env;
+          Alcotest.test_case "env invalid" `Quick test_runner_env_invalid;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "aggregate fields" `Quick test_workload_aggregate_fields;
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "convergence rate" `Quick test_workload_convergence_rate;
+        ] );
+      ( "measurements",
+        [
+          Alcotest.test_case "structure" `Quick test_measurements_structure;
+          Alcotest.test_case "reduction" `Quick test_measurements_reduction;
+        ] );
+      ( "fig4",
+        [
+          Alcotest.test_case "structure" `Quick test_fig4_structure;
+          Alcotest.test_case "csv" `Quick test_fig4_csv;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "fig5 renders" `Quick test_fig5_tables_render;
+          Alcotest.test_case "table2 rows" `Quick test_table2_rows;
+          Alcotest.test_case "table2 speedups" `Quick test_table2_speedups_positive;
+          Alcotest.test_case "table3 rows" `Quick test_table3_rows;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "profiles" `Quick test_convergence_profiles;
+          Alcotest.test_case "same start error" `Quick test_convergence_same_start_error;
+        ] );
+      ( "scorecard",
+        [
+          Alcotest.test_case "structure" `Quick test_scorecard_structure;
+          Alcotest.test_case "passes on eval chains" `Slow
+            test_scorecard_passes_on_eval_chains;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "structure" `Quick test_robustness_structure;
+          Alcotest.test_case "missing dof" `Quick test_robustness_missing_dof;
+        ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "strategies" `Quick test_ablation_strategies;
+          Alcotest.test_case "ssu sweep" `Quick test_ablation_ssus;
+          Alcotest.test_case "missing dof" `Quick test_ablation_missing_dof;
+        ] );
+    ]

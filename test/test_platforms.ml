@@ -1,0 +1,129 @@
+(* Tests for the Atom / TX1 platform cost models. *)
+
+open Dadu_platforms
+module Cost = Dadu_core.Cost
+
+let test_platform_constants () =
+  (* paper Table 3, used as given *)
+  Alcotest.(check (float 1e-9)) "Atom power" 10.0 Platform.atom.Platform.avg_power_w;
+  Alcotest.(check (float 1e-9)) "TX1 power" 4.8 Platform.tx1.Platform.avg_power_w;
+  Alcotest.(check (float 1e-9)) "IKAcc power" 0.1586 Platform.ikacc.Platform.avg_power_w;
+  Alcotest.(check (float 1.)) "Atom frequency" 1.86e9 Platform.atom.Platform.frequency_hz
+
+let test_platform_energy () =
+  Alcotest.(check (float 1e-12)) "E = P t" 5. (Platform.energy Platform.atom ~time_s:0.5)
+
+let quick_cost = Cost.quick_ik ~dof:50 ~speculations:64
+
+let test_atom_linear_in_iterations () =
+  let t1 = Atom.time_s ~cost:quick_cost ~iterations:10. () in
+  let t2 = Atom.time_s ~cost:quick_cost ~iterations:20. () in
+  Alcotest.(check (float 1e-12)) "linear" (2. *. t1) t2
+
+let test_atom_zero () =
+  Alcotest.(check (float 0.)) "zero iterations" 0.
+    (Atom.time_s ~cost:quick_cost ~iterations:0. ())
+
+let test_atom_negative () =
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       ignore (Atom.time_s ~cost:quick_cost ~iterations:(-1.) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_atom_serializes_parallel_work () =
+  (* a CPU pays for speculation work in full *)
+  let c1 = Cost.quick_ik ~dof:50 ~speculations:16 in
+  let c2 = Cost.quick_ik ~dof:50 ~speculations:64 in
+  let t1 = Atom.time_s ~cost:c1 ~iterations:100. () in
+  let t2 = Atom.time_s ~cost:c2 ~iterations:100. () in
+  Alcotest.(check bool) "4x speculations ~ 4x time" true (t2 > 3. *. t1)
+
+let test_atom_energy () =
+  Alcotest.(check (float 1e-12)) "10 W" 10. (Atom.energy_j ~time_s:1.)
+
+let test_tx1_overhead_floor () =
+  let t = Tx1.time_s ~cost:quick_cost ~iterations:100. () in
+  Alcotest.(check bool) "at least per-iteration overhead" true
+    (t >= 100. *. Tx1.default_params.Tx1.per_iteration_overhead_s)
+
+let test_tx1_monotone_in_cost () =
+  let c_small = Cost.quick_ik ~dof:12 ~speculations:64 in
+  let c_large = Cost.quick_ik ~dof:100 ~speculations:64 in
+  let t_small = Tx1.time_s ~cost:c_small ~iterations:50. () in
+  let t_large = Tx1.time_s ~cost:c_large ~iterations:50. () in
+  Alcotest.(check bool) "more work, more time" true (t_large > t_small)
+
+let test_tx1_beats_atom_on_speculation () =
+  (* the whole point of the GPU port: parallel speculation work is much
+     cheaper there *)
+  let iterations = 100. in
+  let atom = Atom.time_s ~cost:quick_cost ~iterations () in
+  let tx1 = Tx1.time_s ~cost:quick_cost ~iterations () in
+  Alcotest.(check bool) "TX1 faster" true (tx1 < atom)
+
+let test_tx1_custom_params () =
+  let params =
+    { Tx1.per_iteration_overhead_s = 1e-3; host_flops = 1e8; gpu_flops = 1e9 }
+  in
+  let t = Tx1.time_s ~params ~cost:quick_cost ~iterations:10. () in
+  Alcotest.(check bool) "overhead dominates" true (t >= 10e-3)
+
+let test_platform_ordering_at_100dof () =
+  (* Table 2's ordering: IKAcc < TX1 < Atom for the same Quick-IK run *)
+  let cost = Cost.quick_ik ~dof:100 ~speculations:64 in
+  let iterations = 50. in
+  let atom = Atom.time_s ~cost ~iterations () in
+  let tx1 = Tx1.time_s ~cost ~iterations () in
+  let ikacc =
+    Dadu_accel.Ikacc.time_for_iterations ~dof:100 ~speculations:64 ~iterations:50 ()
+  in
+  Alcotest.(check bool) "IKAcc < TX1" true (ikacc < tx1);
+  Alcotest.(check bool) "TX1 < Atom" true (tx1 < atom)
+
+let test_tx1_per_iteration_ratio_matches_paper () =
+  (* The paper's Table 2 @ 100 DOF: TX1/IKAcc = 311.74/12.11 ≈ 26x at equal
+     iteration counts.  Our calibrated models must keep that per-iteration
+     ratio in the 20-40x band. *)
+  let cost = Cost.quick_ik ~dof:100 ~speculations:64 in
+  let tx1 = Tx1.time_s ~cost ~iterations:1. () in
+  let ikacc =
+    Dadu_accel.Ikacc.time_for_iterations ~dof:100 ~speculations:64 ~iterations:1 ()
+  in
+  let ratio = tx1 /. ikacc in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.1f in [20, 40]" ratio)
+    true
+    (ratio > 20. && ratio < 40.)
+
+let () =
+  Alcotest.run "dadu_platforms"
+    [
+      ( "platform",
+        [
+          Alcotest.test_case "paper constants" `Quick test_platform_constants;
+          Alcotest.test_case "energy" `Quick test_platform_energy;
+        ] );
+      ( "atom",
+        [
+          Alcotest.test_case "linear in iterations" `Quick test_atom_linear_in_iterations;
+          Alcotest.test_case "zero" `Quick test_atom_zero;
+          Alcotest.test_case "negative rejected" `Quick test_atom_negative;
+          Alcotest.test_case "serializes speculation" `Quick
+            test_atom_serializes_parallel_work;
+          Alcotest.test_case "energy" `Quick test_atom_energy;
+        ] );
+      ( "tx1",
+        [
+          Alcotest.test_case "overhead floor" `Quick test_tx1_overhead_floor;
+          Alcotest.test_case "monotone in cost" `Quick test_tx1_monotone_in_cost;
+          Alcotest.test_case "beats Atom" `Quick test_tx1_beats_atom_on_speculation;
+          Alcotest.test_case "custom params" `Quick test_tx1_custom_params;
+        ] );
+      ( "cross-platform",
+        [
+          Alcotest.test_case "Table 2 ordering" `Quick test_platform_ordering_at_100dof;
+          Alcotest.test_case "TX1/IKAcc ratio band" `Quick
+            test_tx1_per_iteration_ratio_matches_paper;
+        ] );
+    ]

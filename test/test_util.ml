@@ -1,0 +1,405 @@
+(* Unit and property tests for Dadu_util: Rng, Stats, Table, Csv, Counter,
+   Domain_pool. *)
+
+module Rng = Dadu_util.Rng
+module Stats = Dadu_util.Stats
+module Table = Dadu_util.Table
+module Csv = Dadu_util.Csv
+module Counter = Dadu_util.Counter
+module Pool = Dadu_util.Domain_pool
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_loose = Alcotest.(check (float 1e-2))
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0, 17)" true (x >= 0 && x < 17)
+  done
+
+let test_rng_int_covers () =
+  let rng = Rng.create 4 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  Array.iteri (fun i s -> Alcotest.(check bool) (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (x >= 0. && x < 2.5)
+  done
+
+let test_rng_uniform_bounds () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 10_000 do
+    let x = Rng.uniform rng (-3.) 9. in
+    Alcotest.(check bool) "in [-3, 9)" true (x >= -3. && x < 9.)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 8 in
+  let n = 50_000 in
+  let samples = Array.init n (fun _ -> Rng.gaussian rng) in
+  check_loose "mean ~ 0" 0. (Stats.mean samples);
+  Alcotest.(check bool) "stddev ~ 1" true (Float.abs (Stats.stddev samples -. 1.) < 0.02)
+
+let test_rng_shuffle_multiset () =
+  let rng = Rng.create 9 in
+  let a = Array.init 100 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  let b' = Array.copy b in
+  Array.sort compare b';
+  Alcotest.(check (array int)) "same elements" a b';
+  Alcotest.(check bool) "actually permuted" true (b <> a)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 10 in
+  let child = Rng.split parent in
+  let xs = Array.init 32 (fun _ -> Rng.bits64 parent) in
+  let ys = Array.init 32 (fun _ -> Rng.bits64 child) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_rng_copy () =
+  let a = Rng.create 11 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy resumes identically" (Rng.bits64 a) (Rng.bits64 b)
+
+(* ---- Stats ---- *)
+
+let test_stats_mean () = check_float "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
+
+let test_stats_stddev () =
+  check_float "sample stddev" (sqrt (14. /. 3.)) (Stats.stddev [| 1.; 2.; 3.; 6. |])
+
+let test_stats_stddev_singleton () = check_float "singleton" 0. (Stats.stddev [| 5. |])
+
+let test_stats_minmax () =
+  check_float "min" (-2.) (Stats.min [| 3.; -2.; 7. |]);
+  check_float "max" 7. (Stats.max [| 3.; -2.; 7. |])
+
+let test_stats_median_odd () = check_float "odd median" 3. (Stats.median [| 5.; 3.; 1. |])
+
+let test_stats_median_even () =
+  check_float "even median" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |])
+
+let test_stats_percentile_interp () =
+  check_float "p25 interpolates" 1.75 (Stats.percentile 25. [| 1.; 2.; 3.; 4. |])
+
+let test_stats_percentile_ends () =
+  let xs = [| 9.; 1.; 5. |] in
+  check_float "p0 = min" 1. (Stats.percentile 0. xs);
+  check_float "p100 = max" 9. (Stats.percentile 100. xs)
+
+let test_stats_percentile_range () =
+  Alcotest.check_raises "p > 100 rejected"
+    (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
+      ignore (Stats.percentile 101. [| 1. |]))
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty sample")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_stats_geomean () = check_float "geomean" 2. (Stats.geomean [| 1.; 2.; 4. |])
+
+let test_stats_geomean_nonpositive () =
+  Alcotest.check_raises "non-positive rejected"
+    (Invalid_argument "Stats.geomean: non-positive sample") (fun () ->
+      ignore (Stats.geomean [| 1.; 0. |]))
+
+let test_stats_summary_order =
+  QCheck.Test.make ~name:"summary statistics are ordered" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-1e3) 1e3))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.Stats.min <= s.Stats.p50 && s.Stats.p50 <= s.Stats.p95
+      && s.Stats.p95 <= s.Stats.max
+      && s.Stats.min <= s.Stats.mean +. 1e-9
+      && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+(* ---- Table ---- *)
+
+let test_table_render () =
+  let t = Table.create [ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (Astring.String.is_infix ~affix:"name" rendered);
+  Alcotest.(check bool) "right-aligned value" true
+    (Astring.String.is_infix ~affix:"|     1 |" rendered)
+
+let test_table_arity () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Alcotest.check_raises "arity mismatch" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let test_table_fmt () =
+  Alcotest.(check string) "fixed" "3.14" (Table.fmt_float ~decimals:2 3.14159);
+  Alcotest.(check string) "sig" "3.142" (Table.fmt_sig ~digits:4 3.14159)
+
+(* ---- Csv ---- *)
+
+let test_csv_escape_plain () = Alcotest.(check string) "plain" "abc" (Csv.escape "abc")
+
+let test_csv_escape_comma () =
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b")
+
+let test_csv_escape_quote () =
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b")
+
+let test_csv_row () =
+  Alcotest.(check string) "row" "a,\"b,c\",d" (Csv.row_to_string [ "a"; "b,c"; "d" ])
+
+let test_csv_write () =
+  let path = Filename.temp_file "dadu" ".csv" in
+  Csv.write path ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4" ] ];
+  let ic = open_in path in
+  let lines = List.init 3 (fun _ -> input_line ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (list string)) "contents" [ "x,y"; "1,2"; "3,4" ] lines
+
+let test_table_separator () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Table.add_row t [ "x" ];
+  Table.add_sep t;
+  Table.add_row t [ "y" ];
+  let rendered = Table.render t in
+  (* header line + top/bottom + separator = 4 horizontal rules *)
+  let rules =
+    List.length
+      (List.filter
+         (fun l -> String.length l > 0 && l.[0] = '+')
+         (String.split_on_char '\n' rendered))
+  in
+  Alcotest.(check int) "four rules" 4 rules
+
+(* ---- Chart ---- *)
+
+let test_chart_empty () =
+  Alcotest.(check string) "empty" "" (Dadu_util.Chart.render [])
+
+let test_chart_scaling () =
+  let groups =
+    [ { Dadu_util.Chart.label = "g"; bars = [ ("a", 100.); ("b", 50.); ("c", 0.) ] } ]
+  in
+  let rendered = Dadu_util.Chart.render ~width:10 groups in
+  Alcotest.(check bool) "max bar full width" true
+    (Astring.String.is_infix ~affix:"##########" rendered);
+  Alcotest.(check bool) "half bar" true (Astring.String.is_infix ~affix:"##### 50" rendered);
+  Alcotest.(check bool) "zero bar keeps value" true
+    (Astring.String.is_infix ~affix:"| 0" rendered)
+
+let test_chart_log_note () =
+  let groups = [ { Dadu_util.Chart.label = "g"; bars = [ ("a", 10.) ] } ] in
+  Alcotest.(check bool) "log footnote" true
+    (Astring.String.is_infix ~affix:"log10"
+       (Dadu_util.Chart.render ~log:true groups));
+  Alcotest.(check bool) "no footnote when linear" false
+    (Astring.String.is_infix ~affix:"log10" (Dadu_util.Chart.render groups))
+
+let test_chart_log_compresses () =
+  (* on a log scale, a 100x value difference gives much less than a 100x
+     bar difference *)
+  let groups =
+    [ { Dadu_util.Chart.label = "g"; bars = [ ("big", 9999.); ("small", 99.) ] } ]
+  in
+  let rendered = Dadu_util.Chart.render ~width:40 ~log:true groups in
+  let count_hashes line =
+    String.fold_left (fun acc c -> if c = '#' then acc + 1 else acc) 0 line
+  in
+  let lines = String.split_on_char '\n' rendered in
+  let big = List.find (fun l -> Astring.String.is_infix ~affix:"big" l) lines in
+  let small = List.find (fun l -> Astring.String.is_infix ~affix:"small" l) lines in
+  Alcotest.(check int) "big is full" 40 (count_hashes big);
+  Alcotest.(check int) "small is half (log ratio)" 20 (count_hashes small)
+
+let test_chart_negative_clamped () =
+  let groups = [ { Dadu_util.Chart.label = "g"; bars = [ ("neg", -5.); ("pos", 5.) ] } ] in
+  let rendered = Dadu_util.Chart.render ~width:10 groups in
+  Alcotest.(check bool) "negative shows empty bar" true
+    (Astring.String.is_infix ~affix:"| -5" rendered)
+
+(* ---- Counter ---- *)
+
+let test_counter_basic () =
+  let c = Counter.create () in
+  Counter.add c "macs" 5;
+  Counter.incr c "macs";
+  Counter.incr c "loads";
+  Alcotest.(check int) "macs" 6 (Counter.get c "macs");
+  Alcotest.(check int) "loads" 1 (Counter.get c "loads");
+  Alcotest.(check int) "unknown" 0 (Counter.get c "nothing")
+
+let test_counter_reset () =
+  let c = Counter.create () in
+  Counter.add c "x" 3;
+  Counter.reset c;
+  Alcotest.(check int) "reset to zero" 0 (Counter.get c "x")
+
+let test_counter_to_list () =
+  let c = Counter.create () in
+  Counter.add c "b" 2;
+  Counter.add c "a" 1;
+  Alcotest.(check (list (pair string int))) "sorted" [ ("a", 1); ("b", 2) ]
+    (Counter.to_list c)
+
+(* ---- Domain_pool ---- *)
+
+let test_pool_covers_all_indices () =
+  let pool = Pool.create 4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let n = 1000 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Pool.parallel_for pool n (fun i -> Atomic.incr hits.(i));
+  Array.iteri
+    (fun i h -> Alcotest.(check int) (Printf.sprintf "index %d hit once" i) 1 (Atomic.get h))
+    hits
+
+let test_pool_map () =
+  let pool = Pool.create 3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let result = Pool.map pool (fun i -> i * i) 50 in
+  Alcotest.(check (array int)) "squares" (Array.init 50 (fun i -> i * i)) result
+
+let test_pool_empty () =
+  let pool = Pool.create 2 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Pool.parallel_for pool 0 (fun _ -> Alcotest.fail "must not run");
+  Alcotest.(check (array int)) "empty map" [||] (Pool.map pool Fun.id 0)
+
+let test_pool_exception () =
+  let pool = Pool.create 2 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let raised =
+    try
+      Pool.parallel_for pool 10 (fun i -> if i = 3 then failwith "boom");
+      false
+    with Failure msg -> msg = "boom"
+  in
+  Alcotest.(check bool) "exception propagated" true raised;
+  (* pool still usable afterwards *)
+  Pool.parallel_for pool 4 ignore
+
+let test_pool_reuse () =
+  let pool = Pool.create 4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  for round = 1 to 20 do
+    let acc = Atomic.make 0 in
+    Pool.parallel_for pool 100 (fun _ -> Atomic.incr acc);
+    Alcotest.(check int) (Printf.sprintf "round %d" round) 100 (Atomic.get acc)
+  done
+
+let test_pool_single_worker () =
+  let pool = Pool.create 1 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let result = Pool.map pool (fun i -> i + 1) 10 in
+  Alcotest.(check (array int)) "caller-only pool" (Array.init 10 (fun i -> i + 1)) result
+
+let test_pool_size () =
+  let pool = Pool.create 5 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check int) "size" 5 (Pool.size pool)
+
+let test_pool_invalid () =
+  Alcotest.check_raises "non-positive size"
+    (Invalid_argument "Domain_pool.create: size must be positive") (fun () ->
+      ignore (Pool.create 0))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "dadu_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int covers range" `Quick test_rng_int_covers;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "uniform bounds" `Quick test_rng_uniform_bounds;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle multiset" `Quick test_rng_shuffle_multiset;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "stddev singleton" `Quick test_stats_stddev_singleton;
+          Alcotest.test_case "min/max" `Quick test_stats_minmax;
+          Alcotest.test_case "median odd" `Quick test_stats_median_odd;
+          Alcotest.test_case "median even" `Quick test_stats_median_even;
+          Alcotest.test_case "percentile interpolation" `Quick test_stats_percentile_interp;
+          Alcotest.test_case "percentile endpoints" `Quick test_stats_percentile_ends;
+          Alcotest.test_case "percentile range check" `Quick test_stats_percentile_range;
+          Alcotest.test_case "empty rejected" `Quick test_stats_empty;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "geomean non-positive" `Quick test_stats_geomean_nonpositive;
+          qcheck test_stats_summary_order;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "float formatting" `Quick test_table_fmt;
+          Alcotest.test_case "separator" `Quick test_table_separator;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escape plain" `Quick test_csv_escape_plain;
+          Alcotest.test_case "escape comma" `Quick test_csv_escape_comma;
+          Alcotest.test_case "escape quote" `Quick test_csv_escape_quote;
+          Alcotest.test_case "row" `Quick test_csv_row;
+          Alcotest.test_case "write file" `Quick test_csv_write;
+        ] );
+      ( "chart",
+        [
+          Alcotest.test_case "empty" `Quick test_chart_empty;
+          Alcotest.test_case "scaling" `Quick test_chart_scaling;
+          Alcotest.test_case "log footnote" `Quick test_chart_log_note;
+          Alcotest.test_case "log compresses" `Quick test_chart_log_compresses;
+          Alcotest.test_case "negative clamped" `Quick test_chart_negative_clamped;
+        ] );
+      ( "counter",
+        [
+          Alcotest.test_case "basic" `Quick test_counter_basic;
+          Alcotest.test_case "reset" `Quick test_counter_reset;
+          Alcotest.test_case "to_list sorted" `Quick test_counter_to_list;
+        ] );
+      ( "domain-pool",
+        [
+          Alcotest.test_case "covers all indices" `Quick test_pool_covers_all_indices;
+          Alcotest.test_case "map" `Quick test_pool_map;
+          Alcotest.test_case "empty" `Quick test_pool_empty;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "reuse across rounds" `Quick test_pool_reuse;
+          Alcotest.test_case "single worker" `Quick test_pool_single_worker;
+          Alcotest.test_case "size" `Quick test_pool_size;
+          Alcotest.test_case "invalid size" `Quick test_pool_invalid;
+        ] );
+    ]
