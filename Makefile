@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full examples clean
+.PHONY: all build test test-service bench bench-full examples clean
 
 all: build
 
@@ -9,6 +9,11 @@ build:
 
 test:
 	dune runtest
+
+# the batched serving layer's suite only (scheduler/cache/fallback/metrics)
+test-service:
+	dune build @all
+	dune exec test/test_service.exe
 
 # default (reduced) scale: ~1 minute
 bench:

@@ -4,6 +4,7 @@
      solve   solve one IK problem with a chosen method
      sweep   run a method across the paper's DOF sweep
      accel   run the IKAcc accelerator model on one problem
+     serve-batch  run the batched serving layer on a problem file
      robots  list the built-in robot factories *)
 
 open Cmdliner
@@ -292,6 +293,122 @@ let batch_cmd =
       const run_batch $ robot $ method_arg $ speculations $ seed $ batch_count
       $ max_iters $ accuracy)
 
+(* ---- serve-batch ---- *)
+
+module Svc = Dadu_service.Service
+module Fallback = Dadu_service.Fallback
+
+let solvers_conv =
+  Arg.conv
+    ( (fun s ->
+        match Fallback.chain_of_string s with
+        | Ok chain -> Ok chain
+        | Error msg -> Error (`Msg msg)),
+      fun ppf chain -> Format.pp_print_string ppf (Fallback.chain_to_string chain) )
+
+let solvers_arg =
+  let doc =
+    "Fallback chain: comma-separated solver names tried in order until one \
+     converges (e.g. quick-ik,dls,sdls)."
+  in
+  Arg.(
+    value
+    & opt solvers_conv Svc.default_config.Svc.solvers
+    & info [ "solvers" ] ~doc)
+
+let problems_file =
+  let doc =
+    "Problem file: robot/target/random declarations (see \
+     Dadu_service.Problem_file for the format)."
+  in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let jobs =
+  let doc = "Domain-pool size (1 = no pool)." in
+  Arg.(
+    value & opt int (Dadu_util.Domain_pool.recommended_size ()) & info [ "j"; "jobs" ] ~doc)
+
+let chunk =
+  let doc = "Scheduler wave size (cache warm-starts cross wave boundaries)." in
+  Arg.(value & opt int Svc.default_config.Svc.chunk & info [ "chunk" ] ~doc)
+
+let cache_cell =
+  let doc = "Warm-start cache grid cell side in meters." in
+  Arg.(value & opt float Svc.default_config.Svc.cache_cell_m & info [ "cache-cell" ] ~doc)
+
+let cache_capacity =
+  let doc = "Warm-start cache capacity in cells (LRU beyond this)." in
+  Arg.(
+    value & opt int Svc.default_config.Svc.cache_capacity & info [ "cache-capacity" ] ~doc)
+
+let no_warm_start =
+  Arg.(value & flag & info [ "no-warm-start" ] ~doc:"Disable the warm-start seed cache.")
+
+let time_budget =
+  let doc =
+    "Per-problem wall-clock budget in seconds, checked between fallback \
+     attempts (makes results timing-dependent)."
+  in
+  Arg.(value & opt (some float) None & info [ "time-budget" ] ~doc)
+
+let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
+    cache_cell cache_capacity no_warm_start time_budget =
+  match Dadu_service.Problem_file.parse_file file with
+  | Error msg ->
+    Format.eprintf "dadu: %s: %s@." file msg;
+    3
+  | Ok problems ->
+    let config =
+      {
+        Svc.solvers;
+        speculations;
+        accuracy;
+        max_iterations = max_iters;
+        time_budget_s = time_budget;
+        warm_start = not no_warm_start;
+        cache_cell_m = cache_cell;
+        cache_capacity;
+        chunk;
+      }
+    in
+    let pool =
+      if jobs > 1 then Some (Dadu_util.Domain_pool.create jobs) else None
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Dadu_util.Domain_pool.shutdown pool)
+      (fun () ->
+        let service = Svc.create ?pool ~config () in
+        let t0 = Unix.gettimeofday () in
+        let _replies = Svc.solve_batch service problems in
+        let wall = Unix.gettimeofday () -. t0 in
+        let n = Array.length problems in
+        Format.printf "Problems : %d (%s)@." n file;
+        Format.printf "Solvers  : %s@." (Fallback.chain_to_string solvers);
+        Format.printf "Pool     : %d domain%s, chunk %d@." jobs
+          (if jobs = 1 then "" else "s")
+          chunk;
+        Format.printf "Wall time: %.3f s (%.0f problems/s)@." wall
+          (if wall > 0. then float_of_int n /. wall else 0.);
+        print_string (Svc.render_metrics service);
+        print_newline ();
+        let m = Svc.metrics service in
+        if m.Dadu_service.Metrics.failed = 0 && m.Dadu_service.Metrics.rejected = 0
+           && m.Dadu_service.Metrics.faulted = 0
+        then 0
+        else 1)
+
+let serve_batch_cmd =
+  let doc =
+    "Serve a batch of IK problems from a file: scheduler, warm-start cache, \
+     solver fallback chain, metrics table."
+  in
+  Cmd.v
+    (Cmd.info "serve-batch" ~doc)
+    Term.(
+      const run_serve_batch $ problems_file $ solvers_arg $ speculations
+      $ max_iters $ accuracy $ jobs $ chunk $ cache_cell $ cache_capacity
+      $ no_warm_start $ time_budget)
+
 (* ---- describe ---- *)
 
 let run_describe chain =
@@ -416,4 +533,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ solve_cmd; sweep_cmd; accel_cmd; batch_cmd; plan_cmd; describe_cmd; robots_cmd ]))
+          [
+            solve_cmd;
+            sweep_cmd;
+            accel_cmd;
+            batch_cmd;
+            serve_batch_cmd;
+            plan_cmd;
+            describe_cmd;
+            robots_cmd;
+          ]))

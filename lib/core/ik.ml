@@ -12,6 +12,31 @@ let random_problem rng chain =
   let theta0 = Target.random_config rng chain in
   { chain; target; theta0 }
 
+type invalid =
+  | Dof_mismatch of { expected : int; got : int }
+  | Nonfinite_target
+  | Nonfinite_theta0
+
+let validate p =
+  let expected = Chain.dof p.chain and got = Vec.dim p.theta0 in
+  if got <> expected then Error (Dof_mismatch { expected; got })
+  else if
+    not
+      (Float.is_finite p.target.Vec3.x
+      && Float.is_finite p.target.Vec3.y
+      && Float.is_finite p.target.Vec3.z)
+  then Error Nonfinite_target
+  else if not (Array.for_all Float.is_finite p.theta0) then
+    Error Nonfinite_theta0
+  else Ok ()
+
+let pp_invalid ppf = function
+  | Dof_mismatch { expected; got } ->
+    Format.fprintf ppf "theta0 has %d entries but the chain has %d DOF" got
+      expected
+  | Nonfinite_target -> Format.pp_print_string ppf "target has a non-finite coordinate"
+  | Nonfinite_theta0 -> Format.pp_print_string ppf "theta0 has a non-finite entry"
+
 type config = {
   accuracy : float;
   max_iterations : int;

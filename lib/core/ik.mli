@@ -23,6 +23,21 @@ val random_problem : Dadu_util.Rng.t -> Chain.t -> problem
 (** Reachable target and random initial configuration, both drawn from the
     generator — the paper's per-target setup (Algorithm 1 line 1). *)
 
+type invalid =
+  | Dof_mismatch of { expected : int; got : int }
+      (** [theta0] length differs from the chain's DOF *)
+  | Nonfinite_target  (** NaN or infinite target coordinate *)
+  | Nonfinite_theta0  (** NaN or infinite initial joint value *)
+
+val validate : problem -> (unit, invalid) result
+(** Typed pre-flight check for serving layers: a malformed problem is a
+    client error to report, not an exception to let escape a worker
+    domain.  The record type is concrete, so problems built by hand can
+    bypass the {!problem} constructor's DOF check — [validate] re-checks
+    everything. *)
+
+val pp_invalid : Format.formatter -> invalid -> unit
+
 type config = {
   accuracy : float;  (** position tolerance in meters; paper: 1e-2 *)
   max_iterations : int;  (** iteration cap; paper: 10_000 *)

@@ -8,6 +8,7 @@ module Util = Dadu_util
 module Linalg = Dadu_linalg
 module Kinematics = Dadu_kinematics
 module Core = Dadu_core
+module Service = Dadu_service
 module Accel = Dadu_accel
 module Platforms = Dadu_platforms
 module Experiments = Dadu_experiments

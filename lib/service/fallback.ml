@@ -1,0 +1,107 @@
+open Dadu_core
+
+type kind =
+  | Quick_ik
+  | Jt_serial
+  | Jt_buss
+  | Jt_linesearch
+  | Pinv
+  | Dls
+  | Sdls
+  | Ccd
+
+let all =
+  [
+    ("quick-ik", Quick_ik);
+    ("jt-serial", Jt_serial);
+    ("jt-buss", Jt_buss);
+    ("jt-linesearch", Jt_linesearch);
+    ("pinv", Pinv);
+    ("dls", Dls);
+    ("sdls", Sdls);
+    ("ccd", Ccd);
+  ]
+
+let name kind = fst (List.find (fun (_, k) -> k = kind) all)
+
+let of_string s =
+  match List.assoc_opt (String.lowercase_ascii (String.trim s)) all with
+  | Some k -> Ok k
+  | None ->
+    Error
+      (Printf.sprintf "unknown solver %S (expected %s)" s
+         (String.concat " | " (List.map fst all)))
+
+let chain_of_string s =
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest ->
+      (match of_string part with
+      | Ok k -> parse (k :: acc) rest
+      | Error _ as e -> e)
+  in
+  match List.filter (fun p -> String.trim p <> "") (String.split_on_char ',' s) with
+  | [] -> Error "empty solver chain"
+  | parts -> parse [] parts
+
+let chain_to_string chain = String.concat "," (List.map name chain)
+
+let solver ?(speculations = 64) kind ~config p =
+  match kind with
+  | Quick_ik -> Dadu_core.Quick_ik.solve ~speculations ~config p
+  | Jt_serial -> Dadu_core.Jt_serial.solve ~config p
+  | Jt_buss -> Dadu_core.Jt_buss.solve ~config p
+  | Jt_linesearch -> Dadu_core.Jt_linesearch.solve ~config p
+  | Pinv -> Dadu_core.Pinv_svd.solve ~config p
+  | Dls -> Dadu_core.Dls.solve ~config p
+  | Sdls -> Dadu_core.Sdls.solve ~config p
+  | Ccd -> Dadu_core.Ccd.solve ~config p
+
+type outcome = {
+  result : Ik.result;
+  solver : kind;
+  attempts : int;
+  fallbacks : int;
+  elapsed_s : float;
+}
+
+(* Demote a claimed convergence that FK does not confirm; keeps the
+   never-Converged-above-accuracy invariant independent of any individual
+   solver's bookkeeping. *)
+let verify ~config p (r : Ik.result) =
+  match r.Ik.status with
+  | Ik.Converged ->
+    let actual = Ik.error_of p.Ik.chain p.Ik.target r.Ik.theta in
+    if actual <= config.Ik.accuracy then r
+    else { r with Ik.status = Ik.Stalled; error = actual }
+  | Ik.Max_iterations | Ik.Stalled -> r
+
+let run ?speculations ?time_budget_s ~chain ~config p =
+  if chain = [] then invalid_arg "Fallback.run: empty solver chain";
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  let out_of_time () =
+    match time_budget_s with None -> false | Some b -> elapsed () > b
+  in
+  let rec go best attempts = function
+    | kind :: rest ->
+      let r = verify ~config p (solver ?speculations kind ~config p) in
+      let attempts = attempts + 1 in
+      if r.Ik.status = Ik.Converged then (r, kind, attempts)
+      else begin
+        (* keep the lowest-error attempt; ties go to the earlier solver *)
+        let best =
+          match best with
+          | None -> (r, kind)
+          | Some (b, _) when r.Ik.error < b.Ik.error -> (r, kind)
+          | Some _ as kept -> Option.get kept
+        in
+        if rest = [] || out_of_time () then
+          let b, k = best in
+          (b, k, attempts)
+        else go (Some best) attempts rest
+      end
+    | [] -> assert false (* chain checked non-empty; recursion stops above *)
+  in
+  let result, solver, attempts = go None 0 chain in
+  { result; solver; attempts; fallbacks = attempts - 1; elapsed_s = elapsed () }

@@ -1,0 +1,150 @@
+open Dadu_util
+open Dadu_core
+
+type t = {
+  requests : int Atomic.t;
+  converged : int Atomic.t;
+  failed : int Atomic.t;
+  rejected : int Atomic.t;
+  faulted : int Atomic.t;
+  fallback_used : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
+  lock : Mutex.t; (* guards both histograms *)
+  latency : Histogram.t;
+  iterations : Histogram.t;
+}
+
+let create () =
+  {
+    requests = Atomic.make 0;
+    converged = Atomic.make 0;
+    failed = Atomic.make 0;
+    rejected = Atomic.make 0;
+    faulted = Atomic.make 0;
+    fallback_used = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    lock = Mutex.create ();
+    latency = Histogram.create ();
+    iterations = Histogram.create ();
+  }
+
+type event =
+  | Rejected of Ik.invalid
+  | Faulted of string
+  | Solved of {
+      converged : bool;
+      fallbacks : int;
+      cache_hit : bool;
+      latency_s : float;
+      iterations : int;
+    }
+
+let bump c = Atomic.incr c
+
+let record t event =
+  bump t.requests;
+  match event with
+  | Rejected _ -> bump t.rejected
+  | Faulted _ -> bump t.faulted
+  | Solved { converged; fallbacks; cache_hit; latency_s; iterations } ->
+    bump (if converged then t.converged else t.failed);
+    if fallbacks > 0 then bump t.fallback_used;
+    bump (if cache_hit then t.cache_hits else t.cache_misses);
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        Histogram.add t.latency latency_s;
+        Histogram.add t.iterations (float_of_int iterations))
+
+let reset t =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [
+      t.requests;
+      t.converged;
+      t.failed;
+      t.rejected;
+      t.faulted;
+      t.fallback_used;
+      t.cache_hits;
+      t.cache_misses;
+    ];
+  Mutex.lock t.lock;
+  Histogram.clear t.latency;
+  Histogram.clear t.iterations;
+  Mutex.unlock t.lock
+
+type snapshot = {
+  requests : int;
+  converged : int;
+  failed : int;
+  rejected : int;
+  faulted : int;
+  fallback_used : int;
+  cache_hits : int;
+  cache_misses : int;
+  latency : Histogram.summary option;
+  iterations : Histogram.summary option;
+}
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let latency = Histogram.summarize t.latency in
+  let iterations = Histogram.summarize t.iterations in
+  Mutex.unlock t.lock;
+  {
+    requests = Atomic.get t.requests;
+    converged = Atomic.get t.converged;
+    failed = Atomic.get t.failed;
+    rejected = Atomic.get t.rejected;
+    faulted = Atomic.get t.faulted;
+    fallback_used = Atomic.get t.fallback_used;
+    cache_hits = Atomic.get t.cache_hits;
+    cache_misses = Atomic.get t.cache_misses;
+    latency;
+    iterations;
+  }
+
+let render s =
+  let table =
+    Table.create ~title:"service metrics" [ ("metric", Table.Left); ("value", Table.Right) ]
+  in
+  let int_row name v = Table.add_row table [ name; string_of_int v ] in
+  int_row "requests" s.requests;
+  int_row "converged" s.converged;
+  int_row "failed" s.failed;
+  int_row "rejected" s.rejected;
+  int_row "faulted" s.faulted;
+  int_row "fallback used" s.fallback_used;
+  let lookups = s.cache_hits + s.cache_misses in
+  Table.add_row table
+    [
+      "cache hits";
+      (if lookups = 0 then "0"
+       else
+         Printf.sprintf "%d (%.1f%%)" s.cache_hits
+           (100. *. float_of_int s.cache_hits /. float_of_int lookups));
+    ];
+  int_row "cache misses" s.cache_misses;
+  Table.add_sep table;
+  (match s.latency with
+  | None -> Table.add_row table [ "latency"; "no samples" ]
+  | Some l ->
+    let ms name v = Table.add_row table [ name; Printf.sprintf "%.3f ms" (1e3 *. v) ] in
+    ms "latency mean" l.Histogram.mean;
+    ms "latency p50" l.Histogram.p50;
+    ms "latency p95" l.Histogram.p95;
+    ms "latency p99" l.Histogram.p99;
+    ms "latency max" l.Histogram.max);
+  (match s.iterations with
+  | None -> Table.add_row table [ "iterations"; "no samples" ]
+  | Some i ->
+    let it name v = Table.add_row table [ name; Printf.sprintf "%.1f" v ] in
+    it "iterations mean" i.Histogram.mean;
+    it "iterations p50" i.Histogram.p50;
+    it "iterations p95" i.Histogram.p95;
+    it "iterations p99" i.Histogram.p99);
+  Table.render table

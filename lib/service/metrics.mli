@@ -1,0 +1,53 @@
+open Dadu_util
+open Dadu_core
+
+(** Service observability: counters and latency/iteration histograms.
+
+    Counters are [Atomic.t]-backed, so concurrent [record] calls cannot
+    lose increments; histograms are mutex-guarded.  The service records
+    from the scheduler's serial commit phase, which additionally makes
+    the recorded stream deterministic.
+
+    Invariants (tested):
+    [converged + failed + rejected + faulted = requests] and
+    [cache_hits + cache_misses = requests - rejected - faulted]
+    (seed lookups happen only for problems that pass validation and
+    whose solve completes). *)
+
+type t
+
+val create : unit -> t
+
+type event =
+  | Rejected of Ik.invalid  (** failed validation; never dispatched *)
+  | Faulted of string  (** a solver raised; captured, problem dropped *)
+  | Solved of {
+      converged : bool;
+      fallbacks : int;  (** extra solvers tried after the first *)
+      cache_hit : bool;  (** warm-started from the seed cache *)
+      latency_s : float;  (** end-to-end solve wall clock *)
+      iterations : int;  (** iterations of the reported attempt *)
+    }
+
+val record : t -> event -> unit
+
+val reset : t -> unit
+
+type snapshot = {
+  requests : int;
+  converged : int;
+  failed : int;  (** dispatched but no solver in the chain converged *)
+  rejected : int;
+  faulted : int;
+  fallback_used : int;  (** problems needing at least one fallback *)
+  cache_hits : int;
+  cache_misses : int;
+  latency : Histogram.summary option;  (** seconds; [None] before traffic *)
+  iterations : Histogram.summary option;
+}
+
+val snapshot : t -> snapshot
+
+val render : snapshot -> string
+(** The metrics table `dadu serve-batch` prints: counters, cache hit
+    rate, latency p50/p95/p99 in milliseconds, iteration percentiles. *)

@@ -1,0 +1,149 @@
+open Dadu_core
+open Dadu_kinematics
+module Vec = Dadu_linalg.Vec
+module Vec3 = Dadu_linalg.Vec3
+module Rng = Dadu_util.Rng
+
+let robot_of_spec spec =
+  let spec = String.trim spec in
+  match String.index_opt spec ':' with
+  | Some i when String.lowercase_ascii (String.sub spec 0 i) = "file" ->
+    let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+    (match Chain_format.parse_file path with
+    | Ok chain -> Ok chain
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | _ ->
+    let fail () =
+      Error
+        (Printf.sprintf
+           "unknown robot %S (expected arm6 | arm7 | scara | snake:<dof> | \
+            eval:<dof> | planar:<dof> | file:<path>)"
+           spec)
+    in
+    (match String.split_on_char ':' (String.lowercase_ascii spec) with
+    | [ "arm6" ] -> Ok (Robots.arm_6dof ())
+    | [ "arm7" ] -> Ok (Robots.arm_7dof ())
+    | [ "scara" ] -> Ok (Robots.scara ())
+    | [ kind; dof ] ->
+      (match (kind, int_of_string_opt dof) with
+      | _, None -> fail ()
+      | _, Some d when d <= 0 -> fail ()
+      | "snake", Some d -> Ok (Robots.snake ~dof:d)
+      | "eval", Some d -> Ok (Robots.eval_chain ~dof:d)
+      | "planar", Some d -> Ok (Robots.planar ~dof:d ~reach:(float_of_int d) ())
+      | _, Some _ -> fail ())
+    | _ -> fail ())
+
+let floats_of_csv s =
+  let parts = String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | p :: rest ->
+      (match float_of_string_opt (String.trim p) with
+      | Some f -> go (f :: acc) rest
+      | None -> None)
+  in
+  go [] parts
+
+let vec3_of_string s =
+  match floats_of_csv s with
+  | Some [ x; y; z ] -> Some (Vec3.make x y z)
+  | Some _ | None -> None
+
+(* "key=value" → value, when the token carries that key *)
+let keyed key token =
+  match String.index_opt token '=' with
+  | Some i when String.sub token 0 i = key ->
+    Some (String.sub token (i + 1) (String.length token - i - 1))
+  | Some _ | None -> None
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let problems = ref [] in
+  let robot = ref None in
+  let error = ref None in
+  let fail lineno fmt =
+    Printf.ksprintf
+      (fun msg -> if !error = None then error := Some (Printf.sprintf "line %d: %s" lineno msg))
+      fmt
+  in
+  let require_robot lineno =
+    match !robot with
+    | Some chain -> Some chain
+    | None ->
+      fail lineno "target before any robot declaration";
+      None
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if !error = None then
+        match tokens (strip_comment line) with
+        | [] -> ()
+        | "robot" :: rest ->
+          (match robot_of_spec (String.concat " " rest) with
+          | Ok chain -> robot := Some chain
+          | Error msg -> fail lineno "%s" msg)
+        | [ "target"; coords ] ->
+          (match require_robot lineno with
+          | None -> ()
+          | Some chain ->
+            (match vec3_of_string coords with
+            | None -> fail lineno "expected target x,y,z (got %S)" coords
+            | Some target ->
+              let theta0 = Chain.clamp_config chain (Vec.create (Chain.dof chain)) in
+              problems := Ik.problem ~chain ~target ~theta0 :: !problems))
+        | [ "target"; coords; extra ] ->
+          (match require_robot lineno with
+          | None -> ()
+          | Some chain ->
+            (match (vec3_of_string coords, keyed "theta0" extra) with
+            | None, _ -> fail lineno "expected target x,y,z (got %S)" coords
+            | _, None -> fail lineno "expected theta0=a,b,... (got %S)" extra
+            | Some target, Some thetas ->
+              (match floats_of_csv thetas with
+              | None -> fail lineno "expected theta0=a,b,... (got %S)" extra
+              | Some vals when List.length vals <> Chain.dof chain ->
+                fail lineno "theta0 has %d entries but %s has %d DOF"
+                  (List.length vals) (Chain.name chain) (Chain.dof chain)
+              | Some vals ->
+                problems :=
+                  Ik.problem ~chain ~target ~theta0:(Vec.of_list vals) :: !problems)))
+        | "random" :: count :: rest ->
+          (match require_robot lineno with
+          | None -> ()
+          | Some chain ->
+            let seed =
+              match rest with
+              | [] -> Some 42
+              | [ token ] -> Option.bind (keyed "seed" token) int_of_string_opt
+              | _ -> None
+            in
+            (match (int_of_string_opt count, seed) with
+            | Some n, Some seed when n > 0 ->
+              let rng = Rng.create seed in
+              for _ = 1 to n do
+                problems := Ik.random_problem rng chain :: !problems
+              done
+            | Some n, Some _ -> fail lineno "random count must be positive (got %d)" n
+            | None, _ -> fail lineno "expected random <count> [seed=<n>] (got %S)" count
+            | _, None -> fail lineno "expected random <count> [seed=<n>]"))
+        | keyword :: _ ->
+          fail lineno "unknown declaration %S (robot | target | random)" keyword)
+    lines;
+  match !error with
+  | Some msg -> Error msg
+  | None -> Ok (Array.of_list (List.rev !problems))
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,34 @@
+open Dadu_core
+open Dadu_kinematics
+
+(** Plain-text batch problem files for `dadu serve-batch`.
+
+    One declaration per line; [#] starts a comment, blank lines are
+    ignored.  Example:
+
+    {v
+    # a mixed batch against two robots
+    robot eval:12
+    random 100 seed=7        # 100 reachable targets, random starts
+    target 6.0,2.0,1.0       # explicit target, zero start (clamped)
+    target 6.0,2.0,1.0 theta0=0.1,0.2,0,0,0,0,0,0,0,0,0,0
+    robot arm7
+    target 0.4,0.3,0.5
+    v}
+
+    [robot] selects the chain for the following lines: a builtin spec
+    (arm6 | arm7 | scara | snake:<dof> | eval:<dof> | planar:<dof>) or
+    [file:<path>] for a {!Chain_format} description file.  [target]
+    coordinates are comma-separated meters; without [theta0=] the start
+    is the zero configuration clamped to the joint limits.  [random n]
+    draws [n] reachable problems from seed [seed] (default 42) — the
+    {!Ik.random_problem} setup.  Problems appear in file order. *)
+
+val robot_of_spec : string -> (Chain.t, string) result
+(** The [robot] line's spec parser, usable on its own. *)
+
+val parse : string -> (Ik.problem array, string) result
+(** Errors carry the 1-based line number and what was expected. *)
+
+val parse_file : string -> (Ik.problem array, string) result
+(** Reads and parses a file; I/O failures are reported in the error. *)

@@ -1,0 +1,44 @@
+module Pool = Dadu_util.Domain_pool
+
+type t = { pool : Pool.t option; chunk : int }
+
+let create ?pool ?(chunk = 64) () =
+  if chunk <= 0 then invalid_arg "Scheduler.create: chunk must be positive";
+  { pool; chunk }
+
+let chunk_size t = t.chunk
+
+let parallelism t = match t.pool with None -> 1 | Some p -> Pool.size p
+
+let guarded f x = try Ok (f x) with exn -> Error exn
+
+let run_wave t f n =
+  match t.pool with
+  | None -> Array.init n f
+  | Some pool -> Pool.map pool f n
+
+let map t f xs =
+  let n = Array.length xs in
+  run_wave t (fun i -> guarded f xs.(i)) n
+
+let map_chunked t ~prepare ~work ~commit xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    (* placeholder is overwritten for every index before the array is
+       returned *)
+    let out = Array.make n (Error Exit) in
+    let off = ref 0 in
+    while !off < n do
+      let base = !off in
+      let len = Stdlib.min t.chunk (n - base) in
+      let prepared = Array.init len (fun j -> prepare (base + j) xs.(base + j)) in
+      let results = run_wave t (fun j -> guarded work prepared.(j)) len in
+      for j = 0 to len - 1 do
+        out.(base + j) <- results.(j);
+        commit (base + j) results.(j)
+      done;
+      off := base + len
+    done;
+    out
+  end

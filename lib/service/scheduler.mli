@@ -1,0 +1,45 @@
+(** Request scheduler: positionally deterministic batch dispatch.
+
+    Shards heterogeneous work arrays across a {!Dadu_util.Domain_pool},
+    in fixed-size chunks, with three guarantees the serving layer builds
+    on:
+
+    - {b positional}: result [i] always corresponds to input [i];
+    - {b deterministic}: serial [prepare]/[commit] phases run in input
+      order between parallel waves, so stateful per-batch logic (the seed
+      cache, metrics) observes the same interleaving whatever the pool
+      size — including no pool at all;
+    - {b contained}: an exception thrown by a work item is captured as
+      that item's [Error], never escaping a worker domain or poisoning
+      the rest of the batch. *)
+
+type t
+
+val create : ?pool:Dadu_util.Domain_pool.t -> ?chunk:int -> unit -> t
+(** [chunk] (default 64, positive) is the wave size: each wave is
+    prepared serially, solved in parallel, committed serially.  Without
+    [pool] everything runs on the caller. *)
+
+val chunk_size : t -> int
+
+val parallelism : t -> int
+(** Pool size, or 1 without a pool. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** Plain positional parallel map with per-item exception capture (a
+    single wave; chunking irrelevant). *)
+
+val map_chunked :
+  t ->
+  prepare:(int -> 'a -> 'p) ->
+  work:('p -> 'b) ->
+  commit:(int -> ('b, exn) result -> unit) ->
+  'a array ->
+  ('b, exn) result array
+(** For each chunk, in input order: [prepare i x] serially for each item,
+    then [work] over the prepared chunk (in parallel when a pool is
+    present), then [commit i result] serially for each item.  [prepare]
+    for chunk [k+1] therefore observes every [commit] of chunk [k] — the
+    warm-start window of the serving layer.  Exceptions from [prepare] or
+    [commit] propagate to the caller (they run on the caller's domain);
+    exceptions from [work] are captured per item. *)

@@ -1,0 +1,148 @@
+open Dadu_core
+open Dadu_kinematics
+
+type config = {
+  solvers : Fallback.kind list;
+  speculations : int;
+  accuracy : float;
+  max_iterations : int;
+  time_budget_s : float option;
+  warm_start : bool;
+  cache_cell_m : float;
+  cache_capacity : int;
+  chunk : int;
+}
+
+let default_config =
+  {
+    solvers = [ Fallback.Quick_ik; Fallback.Dls; Fallback.Sdls ];
+    speculations = 64;
+    accuracy = 1e-2;
+    max_iterations = 2_000;
+    time_budget_s = None;
+    warm_start = true;
+    cache_cell_m = 0.05;
+    cache_capacity = 4096;
+    chunk = 64;
+  }
+
+type t = {
+  config : config;
+  ik_config : Ik.config;
+  scheduler : Scheduler.t;
+  cache : Seed_cache.t;
+  metrics : Metrics.t;
+}
+
+let create ?pool ?(config = default_config) () =
+  if config.solvers = [] then invalid_arg "Service.create: empty solver chain";
+  if config.speculations <= 0 then
+    invalid_arg "Service.create: speculations must be positive";
+  if config.max_iterations <= 0 then
+    invalid_arg "Service.create: max_iterations must be positive";
+  if not (config.accuracy > 0.) then
+    invalid_arg "Service.create: accuracy must be positive";
+  {
+    config;
+    ik_config =
+      {
+        Ik.accuracy = config.accuracy;
+        max_iterations = config.max_iterations;
+        stall_iterations = None;
+      };
+    scheduler = Scheduler.create ?pool ~chunk:config.chunk ();
+    (* Seed_cache.create and Scheduler.create validate their own fields *)
+    cache = Seed_cache.create ~capacity:config.cache_capacity ~cell_size:config.cache_cell_m ();
+    metrics = Metrics.create ();
+  }
+
+let config t = t.config
+
+type reply =
+  | Solved of {
+      result : Ik.result;
+      solver : Fallback.kind;
+      fallbacks : int;
+      cache_hit : bool;
+      latency_s : float;
+    }
+  | Rejected of Ik.invalid
+  | Faulted of string
+
+(* what the serial prepare phase hands to the parallel wave *)
+type prepared =
+  | Dispatch of { problem : Ik.problem; cache_hit : bool }
+  | Skip of Ik.invalid
+
+let prepare t _i p =
+  match Ik.validate p with
+  | Error invalid -> Skip invalid
+  | Ok () ->
+    if not t.config.warm_start then Dispatch { problem = p; cache_hit = false }
+    else begin
+      let dof = Chain.dof p.Ik.chain in
+      match Seed_cache.find t.cache ~dof p.Ik.target with
+      | None -> Dispatch { problem = p; cache_hit = false }
+      | Some seed ->
+        (* a neighbour solved on a *different* chain with the same DOF is
+           still a legal warm start once clamped to this chain's limits *)
+        let theta0 = Chain.clamp_config p.Ik.chain seed in
+        Dispatch { problem = { p with Ik.theta0 }; cache_hit = true }
+    end
+
+let work t prep =
+  match prep with
+  | Skip invalid -> Rejected invalid
+  | Dispatch { problem; cache_hit } ->
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      Fallback.run ~speculations:t.config.speculations
+        ?time_budget_s:t.config.time_budget_s ~chain:t.config.solvers
+        ~config:t.ik_config problem
+    in
+    Solved
+      {
+        result = outcome.Fallback.result;
+        solver = outcome.Fallback.solver;
+        fallbacks = outcome.Fallback.fallbacks;
+        cache_hit;
+        latency_s = Unix.gettimeofday () -. t0;
+      }
+
+let commit t problems i = function
+  | Error exn ->
+    Metrics.record t.metrics (Metrics.Faulted (Printexc.to_string exn))
+  | Ok (Rejected invalid) -> Metrics.record t.metrics (Metrics.Rejected invalid)
+  | Ok (Faulted msg) -> Metrics.record t.metrics (Metrics.Faulted msg)
+  | Ok (Solved { result; fallbacks; cache_hit; latency_s; _ }) ->
+    let converged = result.Ik.status = Ik.Converged in
+    if converged then begin
+      let p = problems.(i) in
+      Seed_cache.store t.cache
+        ~dof:(Chain.dof p.Ik.chain)
+        ~target:p.Ik.target result.Ik.theta
+    end;
+    Metrics.record t.metrics
+      (Metrics.Solved
+         {
+           converged;
+           fallbacks;
+           cache_hit;
+           latency_s;
+           iterations = result.Ik.iterations;
+         })
+
+let solve_batch t problems =
+  Scheduler.map_chunked t.scheduler ~prepare:(prepare t) ~work:(work t)
+    ~commit:(commit t problems) problems
+  |> Array.map (function
+       | Ok reply -> reply
+       | Error exn -> Faulted (Printexc.to_string exn))
+
+let metrics t = Metrics.snapshot t.metrics
+
+let render_metrics t = Metrics.render (metrics t)
+
+let reset_metrics t = Metrics.reset t.metrics
+
+let cache_length t = Seed_cache.length t.cache

@@ -1,0 +1,79 @@
+open Dadu_core
+
+(** The batched IK serving layer: scheduler → seed cache → solver chain →
+    metrics.
+
+    One {!t} is a long-lived server object: it owns a warm-start
+    {!Seed_cache}, a {!Metrics} registry accumulating across batches, and
+    a {!Scheduler} over an optional caller-owned domain pool.  Each
+    {!solve_batch} call:
+
+    + validates every problem ({!Ik.validate}) — malformed requests
+      become typed {!reply} values, they are never dispatched and no
+      exception crosses a domain boundary;
+    + looks up warm-start seeds for valid problems (serially, in input
+      order) from targets solved in earlier batches or earlier chunks of
+      this one;
+    + solves each chunk in parallel through the {!Fallback} chain with
+      per-attempt iteration budgets (and an optional per-problem wall
+      clock budget);
+    + stores converged configurations back into the cache and records
+      metrics (serially, in input order).
+
+    Results are positionally deterministic: with [time_budget_s = None],
+    replies (statuses, joint vectors, solver choices, cache hits) are
+    byte-identical whatever the pool size, because every cache and
+    metrics mutation happens in the scheduler's serial phases. *)
+
+type config = {
+  solvers : Fallback.kind list;  (** fallback chain, first = primary *)
+  speculations : int;  (** Quick-IK speculation count *)
+  accuracy : float;  (** position tolerance, meters *)
+  max_iterations : int;  (** per solver attempt *)
+  time_budget_s : float option;
+      (** per-problem wall-clock budget checked between attempts; breaks
+          determinism — leave [None] unless serving live traffic *)
+  warm_start : bool;  (** consult the seed cache *)
+  cache_cell_m : float;  (** seed-cache grid cell side, meters *)
+  cache_capacity : int;  (** seed-cache cells before LRU eviction *)
+  chunk : int;  (** scheduler wave size *)
+}
+
+val default_config : config
+(** [Quick_ik → Dls → Sdls], 64 speculations, 1e-2 m accuracy, 2 000
+    iterations per attempt, no time budget, warm starts on a 5 cm grid,
+    4096 cells, chunk 64. *)
+
+type t
+
+val create : ?pool:Dadu_util.Domain_pool.t -> ?config:config -> unit -> t
+(** The pool, when given, is borrowed — the caller shuts it down.
+    Raises [Invalid_argument] on a nonsensical config (empty chain,
+    non-positive speculations/iterations/chunk/cell/capacity). *)
+
+val config : t -> config
+
+type reply =
+  | Solved of {
+      result : Ik.result;
+      solver : Fallback.kind;  (** chain member that produced [result] *)
+      fallbacks : int;  (** solvers tried after the first *)
+      cache_hit : bool;  (** warm-started from a cached neighbour *)
+      latency_s : float;
+    }
+      (** dispatched; [result.status] says whether it converged *)
+  | Rejected of Ik.invalid  (** failed validation, never dispatched *)
+  | Faulted of string  (** a solver raised; the exception, printed *)
+
+val solve_batch : t -> Ik.problem array -> reply array
+(** [reply.(i)] answers [problems.(i)]. *)
+
+val metrics : t -> Metrics.snapshot
+(** Cumulative across every batch served so far. *)
+
+val render_metrics : t -> string
+
+val reset_metrics : t -> unit
+
+val cache_length : t -> int
+(** Live seed-cache cells (for tests and capacity tuning). *)

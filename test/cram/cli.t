@@ -65,3 +65,45 @@ The bench harness renders Table 1 deterministically:
 
   $ ../../bench/main.exe table1 | grep -c "JT-Speculation"
   1
+
+Batched serving: repeated targets in a later wave warm-start from the seed
+cache, and the metrics table reports the full counter breakdown.  Latency
+rows are host-dependent, so only the deterministic counters are matched:
+
+  $ cat > demo.problems <<'EOF'
+  > robot eval:12
+  > target 6.0,2.0,1.0
+  > random 6 seed=9
+  > target 6.0,2.0,1.0   # revisit: warm-started from the cache
+  > EOF
+  $ dadu serve-batch demo.problems -j 2 --chunk 4 > serve.out; echo "exit $?"
+  exit 0
+  $ grep -E "requests|converged|cache hits" serve.out
+  | requests        |         8 |
+  | converged       |         8 |
+  | cache hits      | 1 (12.5%) |
+  $ grep -c "latency p95" serve.out
+  1
+
+An unreachable target exhausts the whole solver chain and the batch exits
+non-zero, while the reachable problems still solve:
+
+  $ cat > hard.problems <<'EOF'
+  > robot eval:12
+  > target 6.0,2.0,1.0
+  > target 40,40,40
+  > EOF
+  $ dadu serve-batch hard.problems --max-iters 300 > hard.out; echo "exit $?"
+  exit 1
+  $ grep -E "converged|failed|fallback used" hard.out
+  | converged       |         1 |
+  | failed          |         1 |
+  | fallback used   |         2 |
+
+A malformed problem file is a diagnostic on stderr and exit 3 — never a
+backtrace:
+
+  $ printf 'target 1,2,3\n' > bad.problems
+  $ dadu serve-batch bad.problems
+  dadu: bad.problems: line 1: target before any robot declaration
+  [3]

@@ -293,6 +293,36 @@ let test_quick_ik_beats_serial_on_batch () =
   in
   Alcotest.(check bool) "large reduction (>= 5x)" true (quick * 5 < serial)
 
+(* Regression pin: mean Quick-IK iteration counts on the paper's eval chains,
+   measured on the current implementation (seed 2017, 40 random problems per
+   chain, 64 speculations, cap 3000). The ±20% band leaves room for benign
+   numeric drift while catching convergence regressions — and accidental
+   speedup claims — in the solver core. *)
+let test_quick_ik_iteration_pin () =
+  let expected = [ (12, 86.65); (30, 82.95); (100, 52.17) ] in
+  List.iter
+    (fun (dof, pinned) ->
+      let chain = Robots.eval_chain ~dof in
+      let rng = Rng.create 2017 in
+      let n = 40 in
+      let total = ref 0 in
+      for _ = 1 to n do
+        let p = Ik.random_problem rng chain in
+        let r = Quick_ik.solve ~speculations:64 ~config:(cfg ()) p in
+        Alcotest.(check bool)
+          (Printf.sprintf "%d-DOF problem converges" dof)
+          true
+          (r.Ik.status = Ik.Converged);
+        total := !total + r.Ik.iterations
+      done;
+      let mean = float_of_int !total /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-DOF mean iterations %.2f within ±20%% of %.2f" dof
+           mean pinned)
+        true
+        (mean >= 0.8 *. pinned && mean <= 1.2 *. pinned))
+    expected
+
 let test_quick_ik_deterministic () =
   let p = (problems ~seed:39 1).(0) in
   let a = Quick_ik.solve ~speculations:64 ~config:(cfg ()) p in
@@ -1185,6 +1215,8 @@ let () =
             test_linesearch_never_regresses;
           Alcotest.test_case "line search invalid" `Quick test_linesearch_invalid;
           Alcotest.test_case "random chains converge" `Slow test_quick_ik_random_chains;
+          Alcotest.test_case "iteration-count pin (12/30/100 DOF)" `Slow
+            test_quick_ik_iteration_pin;
         ] );
       ( "pinv-dls-sdls",
         [

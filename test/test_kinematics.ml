@@ -227,6 +227,52 @@ let test_jacobian_matches_numerical =
       let numerical = Jacobian.numerical_position_jacobian chain q in
       Mat.approx_equal ~tol:1e-5 analytic numerical)
 
+(* Independent oracle: central finite differences of [Fk.position] itself,
+   computed here rather than via [Jacobian.numerical_position_jacobian], so a
+   shared bug in the library's differencing code cannot mask an error. *)
+let central_difference_jacobian chain q =
+  let dof = Chain.dof chain in
+  let h = 1e-6 in
+  Mat.init 3 dof (fun row col ->
+      let shifted delta =
+        let q' = Array.copy q in
+        q'.(col) <- q'.(col) +. delta;
+        Fk.position chain q'
+      in
+      let plus = shifted h and minus = shifted (-.h) in
+      let d =
+        match row with
+        | 0 -> plus.Vec3.x -. minus.Vec3.x
+        | 1 -> plus.Vec3.y -. minus.Vec3.y
+        | _ -> plus.Vec3.z -. minus.Vec3.z
+      in
+      d /. (2. *. h))
+
+let test_jacobian_matches_central_fd =
+  QCheck.Test.make
+    ~name:"analytic Jacobian columns = central differences of FK (3-40 DOF)"
+    ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let dof = 3 + Rng.int rng 38 in
+      let chain = Robots.random rng ~dof ~reach:(0.2 *. float_of_int dof) () in
+      let q = seeded_config rng chain in
+      let analytic = Jacobian.position_jacobian chain q in
+      let oracle = central_difference_jacobian chain q in
+      (* column-by-column so a failure names the offending joint *)
+      let ok = ref true in
+      for col = 0 to dof - 1 do
+        let err = ref 0. in
+        for row = 0 to 2 do
+          err :=
+            Float.max !err
+              (Float.abs (Mat.get analytic row col -. Mat.get oracle row col))
+        done;
+        if !err > 1e-4 *. Float.max 1. (Chain.reach chain) then ok := false
+      done;
+      !ok)
+
 let test_jacobian_matches_numerical_prismatic () =
   let chain = Robots.scara () in
   let rng = Rng.create 3 in
@@ -980,6 +1026,7 @@ let () =
       ( "jacobian",
         [
           qcheck test_jacobian_matches_numerical;
+          qcheck test_jacobian_matches_central_fd;
           Alcotest.test_case "scara vs numerical" `Quick
             test_jacobian_matches_numerical_prismatic;
           Alcotest.test_case "planar z-row" `Quick test_jacobian_planar_z_row_zero;

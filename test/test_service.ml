@@ -1,0 +1,632 @@
+(* Unit and property tests for Dadu_service: the batched IK serving layer
+   (scheduler, warm-start seed cache, fallback chain, metrics). *)
+
+open Dadu_linalg
+open Dadu_kinematics
+open Dadu_core
+open Dadu_service
+module Rng = Dadu_util.Rng
+module Pool = Dadu_util.Domain_pool
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let eval12 = Robots.eval_chain ~dof:12
+
+let random_problems ?(chain = eval12) ~seed n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Ik.random_problem rng chain)
+
+(* ---- Ik.validate ---- *)
+
+let test_validate_ok () =
+  let p = (random_problems ~seed:1 1).(0) in
+  Alcotest.(check bool) "valid problem accepted" true (Ik.validate p = Ok ())
+
+let test_validate_dof_mismatch () =
+  let p = (random_problems ~seed:2 1).(0) in
+  let bad = { p with Ik.theta0 = Vec.create 5 } in
+  match Ik.validate bad with
+  | Error (Ik.Dof_mismatch { expected = 12; got = 5 }) -> ()
+  | _ -> Alcotest.fail "expected Dof_mismatch {expected=12; got=5}"
+
+let test_validate_nan_target () =
+  let p = (random_problems ~seed:3 1).(0) in
+  let bad = { p with Ik.target = Vec3.make 1.0 Float.nan 0.5 } in
+  Alcotest.(check bool) "nan target rejected" true
+    (Ik.validate bad = Error Ik.Nonfinite_target);
+  let inf = { p with Ik.target = Vec3.make Float.infinity 0. 0. } in
+  Alcotest.(check bool) "infinite target rejected" true
+    (Ik.validate inf = Error Ik.Nonfinite_target)
+
+let test_validate_nan_theta0 () =
+  let p = (random_problems ~seed:4 1).(0) in
+  let theta0 = Vec.copy p.Ik.theta0 in
+  theta0.(3) <- Float.nan;
+  Alcotest.(check bool) "nan theta0 rejected" true
+    (Ik.validate { p with Ik.theta0 } = Error Ik.Nonfinite_theta0)
+
+(* ---- Seed_cache ---- *)
+
+let test_cache_hit_miss () =
+  let c = Seed_cache.create ~cell_size:0.1 () in
+  let target = Vec3.make 0.51 0.22 0.13 in
+  Alcotest.(check (option reject)) "cold lookup misses" None
+    (Seed_cache.find c ~dof:3 target);
+  Seed_cache.store c ~dof:3 ~target [| 0.1; 0.2; 0.3 |];
+  (match Seed_cache.find c ~dof:3 (Vec3.make 0.53 0.24 0.11) with
+  | Some theta ->
+    Alcotest.(check (array (float 0.))) "same-cell neighbour returns the seed"
+      [| 0.1; 0.2; 0.3 |] theta
+  | None -> Alcotest.fail "expected a same-cell hit");
+  Alcotest.(check (option reject)) "different cell misses" None
+    (Seed_cache.find c ~dof:3 (Vec3.make 0.91 0.22 0.13));
+  Alcotest.(check int) "hits" 1 (Seed_cache.hits c);
+  Alcotest.(check int) "misses" 2 (Seed_cache.misses c)
+
+let test_cache_dof_keyed () =
+  let c = Seed_cache.create ~cell_size:0.1 () in
+  let target = Vec3.make 0.5 0.5 0.5 in
+  Seed_cache.store c ~dof:3 ~target [| 1.; 2.; 3. |];
+  Alcotest.(check (option reject)) "same cell, other dof misses" None
+    (Seed_cache.find c ~dof:7 target)
+
+let test_cache_lru_eviction () =
+  let c = Seed_cache.create ~capacity:2 ~cell_size:1.0 () in
+  let t1 = Vec3.make 0.5 0.5 0.5 in
+  let t2 = Vec3.make 1.5 0.5 0.5 in
+  let t3 = Vec3.make 2.5 0.5 0.5 in
+  Seed_cache.store c ~dof:2 ~target:t1 [| 1.; 1. |];
+  Seed_cache.store c ~dof:2 ~target:t2 [| 2.; 2. |];
+  (* touch t1 so t2 becomes least-recently-used *)
+  ignore (Seed_cache.find c ~dof:2 t1);
+  Seed_cache.store c ~dof:2 ~target:t3 [| 3.; 3. |];
+  Alcotest.(check int) "capacity respected" 2 (Seed_cache.length c);
+  Alcotest.(check bool) "recently-used survivor" true
+    (Seed_cache.find c ~dof:2 t1 <> None);
+  Alcotest.(check (option reject)) "LRU entry evicted" None
+    (Seed_cache.find c ~dof:2 t2);
+  Alcotest.(check bool) "newcomer present" true (Seed_cache.find c ~dof:2 t3 <> None)
+
+let test_cache_replaces_cell () =
+  let c = Seed_cache.create ~cell_size:1.0 () in
+  let target = Vec3.make 0.5 0.5 0.5 in
+  Seed_cache.store c ~dof:1 ~target [| 1. |];
+  Seed_cache.store c ~dof:1 ~target:(Vec3.make 0.6 0.6 0.6) [| 2. |];
+  Alcotest.(check int) "one cell" 1 (Seed_cache.length c);
+  (match Seed_cache.find c ~dof:1 target with
+  | Some theta -> Alcotest.(check (array (float 0.))) "latest wins" [| 2. |] theta
+  | None -> Alcotest.fail "expected hit")
+
+let test_cache_rejects_bad_inputs () =
+  Alcotest.check_raises "non-positive cell"
+    (Invalid_argument "Seed_cache.create: cell_size must be positive and finite")
+    (fun () -> ignore (Seed_cache.create ~cell_size:0. ()));
+  let c = Seed_cache.create ~cell_size:0.1 () in
+  Alcotest.check_raises "wrong dof store"
+    (Invalid_argument "Seed_cache.store: theta length <> dof") (fun () ->
+      Seed_cache.store c ~dof:3 ~target:Vec3.zero [| 1. |]);
+  (* non-finite targets neither store nor crash *)
+  Seed_cache.store c ~dof:1 ~target:(Vec3.make Float.nan 0. 0.) [| 1. |];
+  Alcotest.(check int) "nan target not stored" 0 (Seed_cache.length c);
+  Alcotest.(check (option reject)) "nan lookup misses" None
+    (Seed_cache.find c ~dof:1 (Vec3.make Float.nan 0. 0.))
+
+(* Satellite property: whatever the operation history, a cache lookup only
+   ever returns a usable seed — right dimension, every entry finite. *)
+let test_cache_seeds_always_valid =
+  QCheck.Test.make ~name:"cache returns only valid seeds (right DOF, finite)"
+    ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c = Seed_cache.create ~capacity:8 ~cell_size:0.25 () in
+      let ok = ref true in
+      let finds = ref 0 in
+      for _ = 1 to 100 do
+        let dof = if Rng.int rng 2 = 0 then 3 else 5 in
+        let target =
+          Vec3.make (Rng.uniform rng (-1.) 1.) (Rng.uniform rng (-1.) 1.)
+            (Rng.uniform rng (-1.) 1.)
+        in
+        if Rng.int rng 2 = 0 then
+          Seed_cache.store c ~dof ~target
+            (Vec.init dof (fun _ -> Rng.uniform rng (-3.) 3.))
+        else begin
+          incr finds;
+          match Seed_cache.find c ~dof target with
+          | None -> ()
+          | Some theta ->
+            if Vec.dim theta <> dof || not (Array.for_all Float.is_finite theta)
+            then ok := false
+        end
+      done;
+      !ok
+      && Seed_cache.hits c + Seed_cache.misses c = !finds
+      && Seed_cache.length c <= 8)
+
+(* ---- Scheduler ---- *)
+
+let test_scheduler_map_positional () =
+  let pool = Pool.create 3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let xs = Array.init 37 Fun.id in
+  let serial = Scheduler.create () in
+  let parallel = Scheduler.create ~pool () in
+  let f x = x * x in
+  let expect = Array.map (fun x -> Ok (f x)) xs in
+  Alcotest.(check bool) "serial positional" true (Scheduler.map serial f xs = expect);
+  Alcotest.(check bool) "parallel positional" true
+    (Scheduler.map parallel f xs = expect)
+
+let test_scheduler_captures_exceptions () =
+  let pool = Pool.create 3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let sched = Scheduler.create ~pool () in
+  let xs = Array.init 10 Fun.id in
+  let results = Scheduler.map sched (fun x -> if x = 5 then failwith "boom" else x) xs in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok x -> Alcotest.(check int) (Printf.sprintf "item %d" i) i x
+      | Error (Failure msg) ->
+        Alcotest.(check int) "only item 5 fails" 5 i;
+        Alcotest.(check string) "message kept" "boom" msg
+      | Error _ -> Alcotest.fail "unexpected exception")
+    results;
+  (* the pool survives for the next wave *)
+  Alcotest.(check bool) "pool reusable" true
+    (Scheduler.map sched Fun.id xs = Array.map (fun x -> Ok x) xs)
+
+(* prepare/commit interleaving is serial, in input order, and identical with
+   and without a pool — the property the cache and metrics determinism rides
+   on *)
+let test_scheduler_chunk_phases () =
+  let run pool =
+    let sched = Scheduler.create ?pool ~chunk:3 () in
+    let events = ref [] in
+    let xs = Array.init 8 Fun.id in
+    let out =
+      Scheduler.map_chunked sched
+        ~prepare:(fun i x ->
+          events := `P i :: !events;
+          x)
+        ~work:(fun x -> 10 * x)
+        ~commit:(fun i _ -> events := `C i :: !events)
+        xs
+    in
+    (List.rev !events, out)
+  in
+  let serial_events, serial_out = run None in
+  let pool = Pool.create 4 in
+  let pooled_events, pooled_out =
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () -> run (Some pool)
+  in
+  let expected_events =
+    [
+      `P 0; `P 1; `P 2; `C 0; `C 1; `C 2;
+      `P 3; `P 4; `P 5; `C 3; `C 4; `C 5;
+      `P 6; `P 7; `C 6; `C 7;
+    ]
+  in
+  Alcotest.(check bool) "serial phases in order" true (serial_events = expected_events);
+  Alcotest.(check bool) "pooled phases identical" true (pooled_events = expected_events);
+  Alcotest.(check bool) "results positional" true
+    (serial_out = Array.init 8 (fun i -> Ok (10 * i)) && pooled_out = serial_out)
+
+(* ---- Fallback ---- *)
+
+let budget max_iterations = { Ik.default_config with Ik.max_iterations }
+
+let test_fallback_first_solver_wins () =
+  let p = (random_problems ~seed:7 1).(0) in
+  let o =
+    Fallback.run ~chain:[ Fallback.Quick_ik; Fallback.Dls ] ~config:(budget 3_000) p
+  in
+  Alcotest.(check bool) "converged" true (o.Fallback.result.Ik.status = Ik.Converged);
+  Alcotest.(check bool) "primary solver" true (o.Fallback.solver = Fallback.Quick_ik);
+  Alcotest.(check int) "no fallbacks" 0 o.Fallback.fallbacks;
+  Alcotest.(check int) "one attempt" 1 o.Fallback.attempts
+
+let test_fallback_chains_to_next () =
+  (* JT-Serial on the ill-conditioned eval chain cannot converge in 5
+     iterations; DLS picks it up *)
+  let p = (random_problems ~seed:8 1).(0) in
+  let o =
+    Fallback.run
+      ~chain:[ Fallback.Jt_serial; Fallback.Dls ]
+      ~config:(budget 1_000) p
+  in
+  Alcotest.(check bool) "converged via fallback" true
+    (o.Fallback.result.Ik.status = Ik.Converged);
+  Alcotest.(check bool) "dls produced it" true (o.Fallback.solver = Fallback.Dls);
+  Alcotest.(check int) "one fallback" 1 o.Fallback.fallbacks;
+  Alcotest.(check int) "two attempts" 2 o.Fallback.attempts
+
+let test_fallback_keeps_best_when_none_converge () =
+  let rng = Rng.create 9 in
+  let p =
+    Ik.problem ~chain:eval12 ~target:(Target.unreachable rng eval12)
+      ~theta0:(Target.random_config rng eval12)
+  in
+  let o =
+    Fallback.run
+      ~chain:[ Fallback.Jt_serial; Fallback.Quick_ik ]
+      ~config:(budget 40) p
+  in
+  Alcotest.(check bool) "not converged" true
+    (o.Fallback.result.Ik.status <> Ik.Converged);
+  Alcotest.(check int) "whole chain tried" 2 o.Fallback.attempts;
+  (* the reported result really is the best attempt: re-run both solvers *)
+  let a = Jt_serial.solve ~config:(budget 40) p in
+  let b = Quick_ik.solve ~speculations:64 ~config:(budget 40) p in
+  let best = Float.min a.Ik.error b.Ik.error in
+  Alcotest.(check (float 1e-12)) "best error kept" best o.Fallback.result.Ik.error
+
+let test_fallback_empty_chain () =
+  let p = (random_problems ~seed:10 1).(0) in
+  Alcotest.check_raises "empty chain rejected"
+    (Invalid_argument "Fallback.run: empty solver chain") (fun () ->
+      ignore (Fallback.run ~chain:[] ~config:(budget 10) p))
+
+let test_fallback_chain_parsing () =
+  (match Fallback.chain_of_string "quick-ik, dls,sdls" with
+  | Ok chain ->
+    Alcotest.(check string) "round trip" "quick-ik,dls,sdls"
+      (Fallback.chain_to_string chain)
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check bool) "unknown solver rejected" true
+    (Result.is_error (Fallback.chain_of_string "quick-ik,warp-drive"));
+  Alcotest.(check bool) "empty rejected" true
+    (Result.is_error (Fallback.chain_of_string ""))
+
+(* Satellite property: whatever the problem (reachable or not) and however
+   small the budget, a [Converged] outcome always carries an FK-verified
+   error within accuracy. *)
+let test_fallback_never_lies =
+  QCheck.Test.make
+    ~name:"fallback never reports Converged with FK error above accuracy"
+    ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let chain = Robots.eval_chain ~dof:(6 + Rng.int rng 10) in
+      let target =
+        if Rng.int rng 3 = 0 then Target.unreachable rng chain
+        else Target.reachable rng chain
+      in
+      let p = Ik.problem ~chain ~target ~theta0:(Target.random_config rng chain) in
+      let config = budget (10 + Rng.int rng 200) in
+      let o =
+        Fallback.run
+          ~chain:[ Fallback.Quick_ik; Fallback.Dls; Fallback.Sdls ]
+          ~config p
+      in
+      match o.Fallback.result.Ik.status with
+      | Ik.Converged ->
+        Ik.error_of chain target o.Fallback.result.Ik.theta
+        <= config.Ik.accuracy +. 1e-12
+      | Ik.Max_iterations | Ik.Stalled -> true)
+
+(* ---- Metrics ---- *)
+
+let test_metrics_sums () =
+  let m = Metrics.create () in
+  Metrics.record m (Metrics.Rejected Ik.Nonfinite_target);
+  Metrics.record m (Metrics.Faulted "Stack_overflow");
+  Metrics.record m
+    (Metrics.Solved
+       { converged = true; fallbacks = 0; cache_hit = true; latency_s = 1e-3; iterations = 5 });
+  Metrics.record m
+    (Metrics.Solved
+       { converged = true; fallbacks = 2; cache_hit = false; latency_s = 2e-3; iterations = 50 });
+  Metrics.record m
+    (Metrics.Solved
+       {
+         converged = false;
+         fallbacks = 1;
+         cache_hit = false;
+         latency_s = 3e-3;
+         iterations = 100;
+       });
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "requests" 5 s.Metrics.requests;
+  Alcotest.(check int) "converged" 2 s.Metrics.converged;
+  Alcotest.(check int) "failed" 1 s.Metrics.failed;
+  Alcotest.(check int) "rejected" 1 s.Metrics.rejected;
+  Alcotest.(check int) "faulted" 1 s.Metrics.faulted;
+  Alcotest.(check int) "fallback used" 2 s.Metrics.fallback_used;
+  Alcotest.(check int) "cache split" 3 (s.Metrics.cache_hits + s.Metrics.cache_misses);
+  Alcotest.(check int) "sum invariant" s.Metrics.requests
+    (s.Metrics.converged + s.Metrics.failed + s.Metrics.rejected + s.Metrics.faulted);
+  (match s.Metrics.latency with
+  | Some l ->
+    Alcotest.(check int) "latency samples" 3 l.Dadu_util.Histogram.n;
+    Alcotest.(check (float 1e-12)) "latency max" 3e-3 l.Dadu_util.Histogram.max
+  | None -> Alcotest.fail "expected latency samples");
+  Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Metrics.snapshot m).Metrics.requests
+
+let test_metrics_render () =
+  let m = Metrics.create () in
+  Metrics.record m
+    (Metrics.Solved
+       { converged = true; fallbacks = 0; cache_hit = false; latency_s = 5e-4; iterations = 7 });
+  let rendered = Metrics.render (Metrics.snapshot m) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "mentions %s" needle) true
+        (Astring.String.is_infix ~affix:needle rendered))
+    [ "requests"; "converged"; "cache hits"; "latency p50"; "latency p99"; "iterations p95" ]
+
+(* ---- Service ---- *)
+
+let service_config ?(solvers = [ Fallback.Quick_ik; Fallback.Dls ]) ?(chunk = 8) () =
+  { Service.default_config with Service.solvers; chunk; max_iterations = 1_500 }
+
+(* A heterogeneous batch: two chains, with every 12-DOF target revisited
+   later in the batch (different random start), far enough apart to land in
+   a different chunk. *)
+let mixed_batch ~seed n =
+  let rng = Rng.create seed in
+  let arm = Robots.arm_7dof () in
+  let base =
+    Array.init n (fun i ->
+        if i mod 3 = 0 then Ik.random_problem rng arm
+        else Ik.random_problem rng eval12)
+  in
+  let revisits =
+    Array.map
+      (fun (p : Ik.problem) ->
+        { p with Ik.theta0 = Target.random_config rng p.Ik.chain })
+      base
+  in
+  Array.append base revisits
+
+let strip_latency = function
+  | Service.Solved { result; solver; fallbacks; cache_hit; latency_s = _ } ->
+    `Solved (result, solver, fallbacks, cache_hit)
+  | Service.Rejected invalid -> `Rejected invalid
+  | Service.Faulted msg -> `Faulted msg
+
+(* Acceptance: byte-identical results across pool sizes 1 and N. *)
+let test_service_determinism_across_pool_sizes () =
+  let problems = mixed_batch ~seed:2017 18 in
+  let solo =
+    let s = Service.create ~config:(service_config ()) () in
+    Array.map strip_latency (Service.solve_batch s problems)
+  in
+  let pooled =
+    let pool = Pool.create (Stdlib.max 2 (Pool.recommended_size ())) in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    let s = Service.create ~pool ~config:(service_config ()) () in
+    Array.map strip_latency (Service.solve_batch s problems)
+  in
+  (* structural equality on float arrays is byte equality (no NaNs here) *)
+  Alcotest.(check bool) "replies byte-identical across pool sizes" true (solo = pooled)
+
+let test_service_warm_start_hits () =
+  let problems = mixed_batch ~seed:5 12 in
+  let s = Service.create ~config:(service_config ()) () in
+  let replies = Service.solve_batch s problems in
+  let m = Service.metrics s in
+  Alcotest.(check int) "all answered" (Array.length problems) (Array.length replies);
+  Alcotest.(check bool) "revisits hit the cache" true (m.Metrics.cache_hits > 0);
+  Alcotest.(check bool) "cache populated" true (Service.cache_length s > 0);
+  (* a warm-started revisit of a solved target converges *)
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Service.Solved { cache_hit = true; result; _ } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "warm-started %d converged" i)
+          true
+          (result.Ik.status = Ik.Converged)
+      | _ -> ())
+    replies
+
+let test_service_counter_consistency () =
+  let rng = Rng.create 11 in
+  let good = mixed_batch ~seed:23 6 in
+  let nan_target =
+    { (Ik.random_problem rng eval12) with Ik.target = Vec3.make Float.nan 0. 0. }
+  in
+  let wrong_dof = { (Ik.random_problem rng eval12) with Ik.theta0 = Vec.create 3 } in
+  let unreachable =
+    Ik.problem ~chain:eval12 ~target:(Target.unreachable rng eval12)
+      ~theta0:(Target.random_config rng eval12)
+  in
+  let problems = Array.concat [ good; [| nan_target; wrong_dof; unreachable |] ] in
+  let s =
+    Service.create
+      ~config:{ (service_config ()) with Service.max_iterations = 60 }
+      ()
+  in
+  let replies = Service.solve_batch s problems in
+  let m = Service.metrics s in
+  Alcotest.(check int) "requests = batch size" (Array.length problems) m.Metrics.requests;
+  Alcotest.(check int) "converged + failed + rejected + faulted = requests"
+    m.Metrics.requests
+    (m.Metrics.converged + m.Metrics.failed + m.Metrics.rejected + m.Metrics.faulted);
+  Alcotest.(check int) "rejected both malformed" 2 m.Metrics.rejected;
+  Alcotest.(check int) "lookups = dispatched"
+    (m.Metrics.requests - m.Metrics.rejected - m.Metrics.faulted)
+    (m.Metrics.cache_hits + m.Metrics.cache_misses);
+  Alcotest.(check bool) "unreachable failed, not crashed" true (m.Metrics.failed >= 1);
+  (* typed rejections land at the right positions *)
+  (match replies.(Array.length good) with
+  | Service.Rejected Ik.Nonfinite_target -> ()
+  | _ -> Alcotest.fail "expected Rejected Nonfinite_target");
+  match replies.(Array.length good + 1) with
+  | Service.Rejected (Ik.Dof_mismatch _) -> ()
+  | _ -> Alcotest.fail "expected Rejected Dof_mismatch"
+
+let test_service_fallback_counted () =
+  let rng = Rng.create 13 in
+  let p = Ik.random_problem rng eval12 in
+  let s =
+    Service.create
+      ~config:
+        {
+          (service_config ~solvers:[ Fallback.Jt_serial; Fallback.Dls ] ()) with
+          Service.max_iterations = 1_000;
+        }
+      ()
+  in
+  (match (Service.solve_batch s [| p |]).(0) with
+  | Service.Solved { solver; fallbacks; result; _ } ->
+    Alcotest.(check bool) "converged" true (result.Ik.status = Ik.Converged);
+    Alcotest.(check bool) "dls after jt-serial" true (solver = Fallback.Dls);
+    Alcotest.(check int) "one fallback" 1 fallbacks
+  | _ -> Alcotest.fail "expected a solved reply");
+  let m = Service.metrics s in
+  Alcotest.(check int) "fallback_used" 1 m.Metrics.fallback_used
+
+let test_service_empty_batch () =
+  let s = Service.create () in
+  Alcotest.(check int) "empty batch" 0 (Array.length (Service.solve_batch s [||]));
+  Alcotest.(check int) "no requests" 0 (Service.metrics s).Metrics.requests
+
+let test_service_invalid_config () =
+  Alcotest.check_raises "empty chain"
+    (Invalid_argument "Service.create: empty solver chain") (fun () ->
+      ignore
+        (Service.create ~config:{ Service.default_config with Service.solvers = [] } ()));
+  Alcotest.check_raises "bad speculations"
+    (Invalid_argument "Service.create: speculations must be positive") (fun () ->
+      ignore
+        (Service.create
+           ~config:{ Service.default_config with Service.speculations = 0 }
+           ()))
+
+(* Property: counters stay consistent and replies stay positional for
+   arbitrary batch sizes and chunk sizes. *)
+let test_service_counters_property =
+  QCheck.Test.make ~name:"metrics counters sum consistently" ~count:25
+    QCheck.(pair (int_range 0 24) (int_range 1 9))
+    (fun (n, chunk) ->
+      let problems = random_problems ~seed:(n + (100 * chunk)) n in
+      let s =
+        Service.create
+          ~config:{ (service_config ~chunk ()) with Service.max_iterations = 300 }
+          ()
+      in
+      let replies = Service.solve_batch s problems in
+      let m = Service.metrics s in
+      Array.length replies = n
+      && m.Metrics.requests = n
+      && m.Metrics.converged + m.Metrics.failed + m.Metrics.rejected + m.Metrics.faulted
+         = n
+      && m.Metrics.cache_hits + m.Metrics.cache_misses
+         = n - m.Metrics.rejected - m.Metrics.faulted)
+
+(* ---- Problem_file ---- *)
+
+let test_problem_file_parses () =
+  let text =
+    "# demo\n\
+     robot eval:12\n\
+     random 3 seed=9\n\
+     target 6.0,2.0,1.0\n\
+     target 6.0,2.0,1.0 theta0=0,0,0,0,0,0,0,0,0,0,0,0  # warm\n\
+     robot arm7\n\
+     target 0.4,0.3,0.5\n"
+  in
+  match Problem_file.parse text with
+  | Error msg -> Alcotest.fail msg
+  | Ok problems ->
+    Alcotest.(check int) "six problems" 6 (Array.length problems);
+    Alcotest.(check int) "eval dof" 12 (Chain.dof problems.(3).Ik.chain);
+    Alcotest.(check int) "arm dof" 7 (Chain.dof problems.(5).Ik.chain);
+    Alcotest.(check (float 1e-12)) "target x" 6.0 problems.(3).Ik.target.Vec3.x;
+    Array.iter
+      (fun p -> Alcotest.(check bool) "all valid" true (Ik.validate p = Ok ()))
+      problems
+
+let expect_error text needle =
+  match Problem_file.parse text with
+  | Ok _ -> Alcotest.fail (Printf.sprintf "expected error mentioning %S" needle)
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error %S mentions %S" msg needle)
+      true
+      (Astring.String.is_infix ~affix:needle msg)
+
+let test_problem_file_errors () =
+  expect_error "target 1,2,3\n" "line 1: target before any robot";
+  expect_error "robot hexapod\n" "unknown robot";
+  expect_error "robot eval:12\ntarget 1,2\n" "expected target x,y,z";
+  expect_error "robot eval:12\ntarget 1,2,3 theta0=0,0\n" "theta0 has 2 entries";
+  expect_error "robot eval:12\nrandom nope\n" "expected random <count>";
+  expect_error "robot eval:12\nwarp 9\n" "unknown declaration";
+  expect_error "robot eval:12\n# fine\nrandom -3\n" "line 3"
+
+let test_problem_file_random_deterministic () =
+  let text = "robot eval:12\nrandom 4 seed=3\n" in
+  match (Problem_file.parse text, Problem_file.parse text) with
+  | Ok a, Ok b ->
+    Alcotest.(check bool) "same problems" true
+      (Array.for_all2
+         (fun (p : Ik.problem) (q : Ik.problem) ->
+           p.Ik.target = q.Ik.target && p.Ik.theta0 = q.Ik.theta0)
+         a b)
+  | _ -> Alcotest.fail "parse failed"
+
+let () =
+  Alcotest.run "dadu_service"
+    [
+      ( "validate",
+        [
+          Alcotest.test_case "ok" `Quick test_validate_ok;
+          Alcotest.test_case "dof mismatch" `Quick test_validate_dof_mismatch;
+          Alcotest.test_case "nan target" `Quick test_validate_nan_target;
+          Alcotest.test_case "nan theta0" `Quick test_validate_nan_theta0;
+        ] );
+      ( "seed-cache",
+        [
+          Alcotest.test_case "hit/miss accounting" `Quick test_cache_hit_miss;
+          Alcotest.test_case "dof keyed" `Quick test_cache_dof_keyed;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "cell replacement" `Quick test_cache_replaces_cell;
+          Alcotest.test_case "bad inputs" `Quick test_cache_rejects_bad_inputs;
+          qcheck test_cache_seeds_always_valid;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "positional map" `Quick test_scheduler_map_positional;
+          Alcotest.test_case "exception capture" `Quick test_scheduler_captures_exceptions;
+          Alcotest.test_case "chunk phase order" `Quick test_scheduler_chunk_phases;
+        ] );
+      ( "fallback",
+        [
+          Alcotest.test_case "first solver wins" `Slow test_fallback_first_solver_wins;
+          Alcotest.test_case "chains to next" `Slow test_fallback_chains_to_next;
+          Alcotest.test_case "best of non-converged" `Slow
+            test_fallback_keeps_best_when_none_converge;
+          Alcotest.test_case "empty chain" `Quick test_fallback_empty_chain;
+          Alcotest.test_case "chain parsing" `Quick test_fallback_chain_parsing;
+          qcheck test_fallback_never_lies;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter sums" `Quick test_metrics_sums;
+          Alcotest.test_case "render" `Quick test_metrics_render;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "determinism across pool sizes" `Slow
+            test_service_determinism_across_pool_sizes;
+          Alcotest.test_case "warm-start cache hits" `Slow test_service_warm_start_hits;
+          Alcotest.test_case "counter consistency" `Slow test_service_counter_consistency;
+          Alcotest.test_case "fallback counted" `Slow test_service_fallback_counted;
+          Alcotest.test_case "empty batch" `Quick test_service_empty_batch;
+          Alcotest.test_case "invalid config" `Quick test_service_invalid_config;
+          qcheck test_service_counters_property;
+        ] );
+      ( "problem-file",
+        [
+          Alcotest.test_case "parses" `Quick test_problem_file_parses;
+          Alcotest.test_case "errors carry line numbers" `Quick test_problem_file_errors;
+          Alcotest.test_case "random deterministic" `Quick
+            test_problem_file_random_deterministic;
+        ] );
+    ]

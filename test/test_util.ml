@@ -328,6 +328,126 @@ let test_pool_invalid () =
     (Invalid_argument "Domain_pool.create: size must be positive") (fun () ->
       ignore (Pool.create 0))
 
+(* The serving layer leans on long-lived pools: one pool, hundreds of
+   parallel_for waves. Exercise that pattern far past the existing 20-round
+   reuse test. *)
+let test_pool_stress_reuse () =
+  let pool = Pool.create (Pool.recommended_size ()) in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let rounds = 120 in
+  for round = 1 to rounds do
+    (* vary the trip count so waves of every shape (empty, smaller than the
+       pool, much larger) hit the same pool *)
+    let n = (round * 7) mod 97 in
+    let acc = Atomic.make 0 in
+    Pool.parallel_for pool n (fun i -> Atomic.fetch_and_add acc i |> ignore);
+    Alcotest.(check int)
+      (Printf.sprintf "round %d sum" round)
+      (n * (n - 1) / 2)
+      (Atomic.get acc)
+  done
+
+(* Force the failure into a worker domain (not the caller): the body raises
+   only when it is NOT running on the domain that called parallel_for. *)
+let test_pool_worker_exception_propagates () =
+  let pool = Pool.create 4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let caller = Domain.self () in
+  let raised_elsewhere = ref false in
+  (* retry: work stealing means a tiny wave might be absorbed by the caller *)
+  let attempts = ref 0 in
+  while (not !raised_elsewhere) && !attempts < 50 do
+    incr attempts;
+    try
+      Pool.parallel_for pool 64 (fun _ ->
+          if Domain.self () <> caller then failwith "worker boom"
+          else Unix.sleepf 1e-4)
+    with Failure msg ->
+      Alcotest.(check string) "worker exception re-raised in caller" "worker boom" msg;
+      raised_elsewhere := true
+  done;
+  Alcotest.(check bool) "a worker raised within 50 waves" true !raised_elsewhere;
+  (* and the pool still works afterwards *)
+  let acc = Atomic.make 0 in
+  Pool.parallel_for pool 32 (fun _ -> Atomic.incr acc);
+  Alcotest.(check int) "pool survives worker failure" 32 (Atomic.get acc)
+
+let test_pool_map_deterministic_at_recommended_size () =
+  let pool = Pool.create (Pool.recommended_size ()) in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let f i = float_of_int (i * i) /. 7. in
+  let expect = Array.init 257 f in
+  for round = 1 to 100 do
+    Alcotest.(check (array (float 0.)))
+      (Printf.sprintf "round %d identical to serial" round)
+      expect
+      (Pool.map pool f 257)
+  done
+
+(* ---- Histogram ---- *)
+
+module Histogram = Dadu_util.Histogram
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  Alcotest.(check bool) "no summary" true (Histogram.summarize h = None);
+  Alcotest.check_raises "percentile on empty"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Histogram.percentile h 50.))
+
+let test_histogram_percentiles () =
+  let h = Histogram.create ~initial_capacity:2 () in
+  (* insertion order deliberately scrambled; growth forced past capacity 2 *)
+  List.iter (Histogram.add h) [ 5.; 1.; 3.; 2.; 4. ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check (float 1e-12)) "p0" 1. (Histogram.percentile h 0.);
+  Alcotest.(check (float 1e-12)) "p50" 3. (Histogram.percentile h 50.);
+  Alcotest.(check (float 1e-12)) "p100" 5. (Histogram.percentile h 100.);
+  match Histogram.summarize h with
+  | None -> Alcotest.fail "expected summary"
+  | Some s ->
+    Alcotest.(check int) "n" 5 s.Histogram.n;
+    Alcotest.(check (float 1e-12)) "mean" 3. s.Histogram.mean;
+    Alcotest.(check (float 1e-12)) "min" 1. s.Histogram.min;
+    Alcotest.(check (float 1e-12)) "max" 5. s.Histogram.max;
+    Alcotest.(check bool) "ordered" true
+      (s.Histogram.p50 <= s.Histogram.p95 && s.Histogram.p95 <= s.Histogram.p99)
+
+let test_histogram_rejects_nonfinite () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Histogram.add: non-finite sample") (fun () ->
+      Histogram.add h Float.nan);
+  Alcotest.check_raises "inf rejected"
+    (Invalid_argument "Histogram.add: non-finite sample") (fun () ->
+      Histogram.add h Float.infinity);
+  Alcotest.(check int) "nothing recorded" 0 (Histogram.count h)
+
+let test_histogram_clear () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1.; 2.; 3. ];
+  Histogram.clear h;
+  Alcotest.(check int) "cleared" 0 (Histogram.count h);
+  Histogram.add h 9.;
+  Alcotest.(check (array (float 0.))) "usable after clear" [| 9. |]
+    (Histogram.to_array h)
+
+let test_histogram_matches_stats =
+  QCheck.Test.make ~name:"histogram percentiles match Stats on the same samples"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) (float_range (-1e3) 1e3))
+    (fun samples ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) samples;
+      let arr = Array.of_list samples in
+      List.for_all
+        (fun p ->
+          Float.abs
+            (Histogram.percentile h p -. Dadu_util.Stats.percentile p arr)
+          < 1e-9)
+        [ 0.; 25.; 50.; 95.; 99.; 100. ])
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let () =
@@ -401,5 +521,19 @@ let () =
           Alcotest.test_case "single worker" `Quick test_pool_single_worker;
           Alcotest.test_case "size" `Quick test_pool_size;
           Alcotest.test_case "invalid size" `Quick test_pool_invalid;
+          Alcotest.test_case "stress: 120 waves on one pool" `Slow
+            test_pool_stress_reuse;
+          Alcotest.test_case "worker exception propagates" `Slow
+            test_pool_worker_exception_propagates;
+          Alcotest.test_case "map deterministic at recommended size" `Slow
+            test_pool_map_deterministic_at_recommended_size;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "rejects non-finite" `Quick test_histogram_rejects_nonfinite;
+          Alcotest.test_case "clear" `Quick test_histogram_clear;
+          qcheck test_histogram_matches_stats;
         ] );
     ]
