@@ -189,6 +189,83 @@ let run_micro () =
   Table.print table;
   cleanup ()
 
+(* ---- steady-state Quick-IK kernel benchmark (JSON, regression-gated) ----
+
+   Unlike the Bechamel micro section (whole solves, allocating entry path),
+   this measures the steady-state inner loop the zero-allocation workspace
+   work targets: one shared workspace, an unreachable target so the solver
+   runs exactly [max_iterations], and per-iteration cost derived from the
+   difference of two run lengths so per-solve constants cancel. *)
+
+module Json = Dadu_util.Json
+
+let bench_json_path = "BENCH_quickik.json"
+
+let quickik_steady_state ~dof =
+  let open Dadu_kinematics in
+  let chain = Robots.eval_chain ~dof in
+  let theta0 = Array.make dof 0.1 in
+  let target = Dadu_linalg.Vec3.make 1e6 1e6 1e6 in
+  let problem = Dadu_core.Ik.problem ~chain ~target ~theta0 in
+  let ws = Dadu_core.Workspace.create ~dof in
+  let solve iters =
+    let config =
+      { Dadu_core.Ik.default_config with max_iterations = iters; accuracy = 1e-9 }
+    in
+    ignore (Dadu_core.Quick_ik.solve ~speculations:64 ~workspace:ws ~config problem)
+  in
+  (* warm: candidate pools, FK scratches and the compiled chain *)
+  solve 10;
+  let w0 = Gc.minor_words () in
+  solve 50;
+  let w1 = Gc.minor_words () in
+  solve 150;
+  let w2 = Gc.minor_words () in
+  let words_per_iter = ((w2 -. w1) -. (w1 -. w0)) /. 100. in
+  let samples = 31 and iters = 40 in
+  let ns = Array.make samples 0. in
+  for s = 0 to samples - 1 do
+    let t0 = Unix.gettimeofday () in
+    solve iters;
+    ns.(s) <- (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  done;
+  Array.sort compare ns;
+  let pct p =
+    ns.(int_of_float (Float.round (p *. float_of_int (samples - 1))))
+  in
+  let mean = Array.fold_left ( +. ) 0. ns /. float_of_int samples in
+  (mean, pct 0.5, pct 0.95, words_per_iter)
+
+let run_micro_json () =
+  heading "Quick-IK steady-state kernel benchmark (JSON)";
+  let table =
+    Table.create ~title:"steady-state Quick-IK (64 speculations, Sequential)"
+      [ ("benchmark", Table.Left); ("ns/iter", Table.Right);
+        ("p50 ns", Table.Right); ("p95 ns", Table.Right);
+        ("words/iter", Table.Right) ]
+  in
+  let benchmarks =
+    List.map
+      (fun dof ->
+        let mean, p50, p95, words = quickik_steady_state ~dof in
+        let name = Printf.sprintf "quickik-seq-dof%d" dof in
+        Table.add_row table
+          [ name; Printf.sprintf "%.0f" mean; Printf.sprintf "%.0f" p50;
+            Printf.sprintf "%.0f" p95; Printf.sprintf "%.2f" words ];
+        Json.Obj
+          [ ("name", Json.Str name);
+            ("dof", Json.Num (float_of_int dof));
+            ("ns_per_iter", Json.Num mean);
+            ("p50_ns", Json.Num p50);
+            ("p95_ns", Json.Num p95);
+            ("words_per_iter", Json.Num words) ])
+      [ 12; 30; 100 ]
+  in
+  Table.print table;
+  Json.write_file bench_json_path
+    (Json.Obj [ ("schema", Json.Num 1.); ("benchmarks", Json.List benchmarks) ]);
+  Printf.printf "  [json] %s\n%!" bench_json_path
+
 let run_scorecard () =
   heading "Reproduction scorecard";
   let claims = E.Scorecard.evaluate (Lazy.force grid) in
@@ -254,10 +331,22 @@ let sections =
   ]
 
 let () =
+  (* `micro --json` switches the micro section to the steady-state kernel
+     benchmark and writes BENCH_quickik.json for tools/bench_diff *)
+  let argv = List.tl (Array.to_list Sys.argv) in
+  let json_mode = List.mem "--json" argv in
+  let args = List.filter (fun a -> a <> "--json") argv in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) when not (List.mem "all" args) -> args
+    match args with
+    | _ :: _ when not (List.mem "all" args) -> args
     | _ -> List.map fst sections
+  in
+  let sections =
+    if json_mode then
+      List.map
+        (fun (name, f) -> if name = "micro" then (name, run_micro_json) else (name, f))
+        sections
+    else sections
   in
   let scale = E.Runner.default_scale () in
   Format.printf "Dadu benchmark suite — %a@." E.Runner.pp_scale scale;

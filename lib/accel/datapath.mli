@@ -28,11 +28,43 @@ type serial_out = {
   alpha_base : float;  (** Eq. 8, from the accumulated [JJᵀe] *)
 }
 
+type out_scalars = { mutable err : float; mutable alpha_base : float }
+(** All-float (flat) output channel, so no scalar boxes on the way out. *)
+
+type scratch = {
+  mutable acc : Mat4.t;  (** running product ¹Tᵢ (ping-pong) *)
+  mutable tmp : Mat4.t;  (** ping-pong partner *)
+  local : Mat4.t;  (** per-joint DH transform *)
+  dtheta_base : Vec.t;  (** [Jᵀe], accumulated column by column *)
+  e : Vec.t;  (** length-3 position error *)
+  jjte : Vec.t;  (** length-3 [JJᵀe] accumulator *)
+  col : Vec.t;  (** length-3 current Jacobian column *)
+  out : out_scalars;
+}
+
+val make_scratch : dof:int -> scratch
+
+val serial_pass_into :
+  scratch ->
+  Chain.t ->
+  theta:Vec.t ->
+  end_transform:Mat4.t ->
+  target:Vec3.t ->
+  unit
+(** Allocation-free serial pass: results land in the scratch's
+    [dtheta_base], [e], and [out] fields.  [end_transform] must be the FK
+    pose of [theta] (the previous winner's [¹T_N]); the pass reads only
+    its position column, and does so before touching any buffer, so it may
+    alias an FK scratch that is rewritten later in the iteration. *)
+
 val serial_pass :
   Chain.t -> theta:Vec.t -> end_transform:Mat4.t -> target:Vec3.t -> serial_out
-(** [end_transform] must be the FK pose of [theta] (the previous winner's
-    [¹T_N]); the pass trusts it rather than recomputing FK. *)
+(** Convenience wrapper over {!serial_pass_into} with a fresh scratch. *)
 
 val candidate_pass : Chain.t -> Vec.t -> Mat4.t
 (** Full FK transform of a speculative candidate (base, links, tool) —
     what one SSU's FKU produces and hands back for the next serial pass. *)
+
+val candidate_pass_into : Fk.scratch -> Chain.t -> Vec.t -> Mat4.t
+(** Same, reusing an FK scratch; the returned matrix is the scratch's
+    accumulator (valid until its next run). *)

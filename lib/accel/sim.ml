@@ -31,6 +31,11 @@ let run ?(config = Config.default) ?(ik_config = Ik.default_config)
   let spu_per_iteration = Spu.iteration_cycles config ~dof in
   let ssu_per_iteration = Scheduler.ssu_busy_cycles config ~dof ~speculations in
   let rounds = Scheduler.assignments config ~speculations in
+  (* Scratch memory reused across iterations: the SPU's fused-pass scratch
+     and one FK scratch per speculation slot (per-SSU state, like the
+     hardware's register files). *)
+  let serial_scratch = Datapath.make_scratch ~dof in
+  let cand_fk = Array.init speculations (fun _ -> Fk.make_scratch ()) in
   (* register state carried between iterations: θ and the winning ¹T_N *)
   let rec go theta end_transform iteration steps =
     let finish ~err ~converged =
@@ -45,15 +50,19 @@ let run ?(config = Config.default) ?(ik_config = Ik.default_config)
         steps = List.rev steps;
       }
     in
-    let serial = Datapath.serial_pass chain ~theta ~end_transform ~target in
-    if serial.Datapath.err < ik_config.Ik.accuracy then
-      finish ~err:serial.Datapath.err ~converged:true
+    Datapath.serial_pass_into serial_scratch chain ~theta ~end_transform
+      ~target;
+    let serial_err = serial_scratch.Datapath.out.Datapath.err in
+    let alpha_base = serial_scratch.Datapath.out.Datapath.alpha_base in
+    let dtheta_base = serial_scratch.Datapath.dtheta_base in
+    if serial_err < ik_config.Ik.accuracy then
+      finish ~err:serial_err ~converged:true
     else if iteration >= ik_config.Ik.max_iterations then
-      finish ~err:serial.Datapath.err ~converged:false
-    else if serial.Datapath.alpha_base = 0. then
+      finish ~err:serial_err ~converged:false
+    else if alpha_base = 0. then
       (* degenerate pose: the hardware would spin without progress; stop
          as the software's cap eventually would *)
-      finish ~err:serial.Datapath.err ~converged:false
+      finish ~err:serial_err ~converged:false
     else begin
       (* speculative rounds: each SSU computes θ_k, its FK transform, and
          the candidate error; the selector folds winners across rounds *)
@@ -67,10 +76,10 @@ let run ?(config = Config.default) ?(ik_config = Ik.default_config)
                   let alpha =
                     float_of_int (k + 1)
                     /. float_of_int speculations
-                    *. serial.Datapath.alpha_base
+                    *. alpha_base
                   in
-                  let theta_k = Vec.axpy alpha serial.Datapath.dtheta_base theta in
-                  let t_k = Datapath.candidate_pass chain theta_k in
+                  let theta_k = Vec.axpy alpha dtheta_base theta in
+                  let t_k = Datapath.candidate_pass_into cand_fk.(k) chain theta_k in
                   transforms.(k) <- t_k;
                   Vec3.dist target (Mat4.position t_k))
                 round
@@ -83,13 +92,13 @@ let run ?(config = Config.default) ?(ik_config = Ik.default_config)
       let alpha =
         float_of_int (winner + 1)
         /. float_of_int speculations
-        *. serial.Datapath.alpha_base
+        *. alpha_base
       in
-      let theta' = Vec.axpy alpha serial.Datapath.dtheta_base theta in
+      let theta' = Vec.axpy alpha dtheta_base theta in
       let step =
         {
           iteration;
-          err_before = serial.Datapath.err;
+          err_before = serial_err;
           winner;
           winner_err;
           cycles = cycles_per_iteration;

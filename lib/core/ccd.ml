@@ -1,3 +1,4 @@
+module Ws = Workspace
 open Dadu_linalg
 open Dadu_kinematics
 
@@ -17,15 +18,18 @@ let revolute_delta ~axis ~origin ~effector ~target =
     Float.atan2 sinv cosv
   end
 
-let solve ?config (problem : Ik.problem) =
+let solve ?workspace ?config (problem : Ik.problem) =
   let { Ik.chain; target; _ } = problem in
   let dof = Chain.dof chain in
-  let step { Loop.theta; _ } =
-    let theta = Vec.copy theta in
+  let ws = match workspace with Some w -> w | None -> Ws.create ~dof in
+  let step ws =
+    Vec.blit ws.Ws.theta ws.Ws.theta_next;
+    let theta = ws.Ws.theta_next in
     (* Sweep from the distal joint toward the base, refreshing frames after
-       every joint update (each update moves everything distal to it). *)
+       every joint update (each update moves everything distal to it); the
+       per-sweep frames reuse the workspace's FK scratch buffer. *)
     for i = dof - 1 downto 0 do
-      let frames = Fk.frames chain theta in
+      let frames = Fk.frames ~scratch:ws.Ws.fk chain theta in
       let effector = Mat4.position frames.(dof) in
       let axis = Mat4.z_axis frames.(i) in
       let origin = Mat4.position frames.(i) in
@@ -38,6 +42,6 @@ let solve ?config (problem : Ik.problem) =
       in
       theta.(i) <- Joint.clamp joint updated
     done;
-    { Loop.theta' = theta; sweeps = 0 }
+    0
   in
-  Loop.run ?config ~speculations:1 ~step problem
+  Loop.run ?config ~workspace:ws ~speculations:1 ~step problem

@@ -6,4 +6,4 @@
     unit is a full sweep, so iteration counts are comparable with the
     Jacobian family.  Joint limits are respected. *)
 
-val solve : Ik.solver
+val solve : ?workspace:Workspace.t -> Ik.solver

@@ -1,16 +1,23 @@
+module Ws = Workspace
 open Dadu_linalg
 open Dadu_kinematics
 
-let solve ?(lambda = 0.1) ?config (problem : Ik.problem) =
-  let step { Loop.theta; frames; e; _ } =
-    let j = Jacobian.position_jacobian_of_frames problem.Ik.chain frames in
-    let a = Mat.gram j in
+let solve ?(lambda = 0.1) ?on_iteration ?workspace ?config (problem : Ik.problem) =
+  let { Ik.chain; _ } = problem in
+  let dof = Chain.dof chain in
+  let ws = match workspace with Some w -> w | None -> Ws.create ~dof in
+  let step ws =
+    Jacobian.position_jacobian_into ~dst:ws.Ws.jac chain ws.Ws.frames;
+    Mat.gram_into ~dst:ws.Ws.a33 ws.Ws.jac;
     let l2 = lambda *. lambda in
-    for i = 0 to 2 do
-      Mat.set a i i (Mat.get a i i +. l2)
-    done;
-    let y = Cholesky.solve a (Vec3.to_vec e) in
-    let dtheta = Mat.mul_transpose_vec j y in
-    { Loop.theta' = Vec.add theta dtheta; sweeps = 0 }
+    let ad = ws.Ws.a33.Mat.data in
+    ad.(0) <- ad.(0) +. l2;
+    ad.(4) <- ad.(4) +. l2;
+    ad.(8) <- ad.(8) +. l2;
+    Cholesky.solve_into ~l:ws.Ws.l33 ~y:ws.Ws.y3 ~dst:ws.Ws.tmp3 ws.Ws.a33
+      ws.Ws.e;
+    Mat.gemv_t_into ~dst:ws.Ws.dtheta ws.Ws.jac ws.Ws.tmp3;
+    Vec.add_into ~dst:ws.Ws.theta_next ws.Ws.theta ws.Ws.dtheta;
+    0
   in
-  Loop.run ?config ~speculations:1 ~step problem
+  Loop.run ?config ?on_iteration ~workspace:ws ~speculations:1 ~step problem

@@ -4,5 +4,9 @@
     no SVD is needed.  A standard robust baseline between the transpose and
     pseudoinverse methods (the paper's reference [11] discusses it). *)
 
-val solve : ?lambda:float -> Ik.solver
+val solve :
+  ?lambda:float ->
+  ?on_iteration:(iter:int -> err:float -> unit) ->
+  ?workspace:Workspace.t ->
+  Ik.solver
 (** [lambda] is the damping factor, default 0.1 (in task-space units). *)

@@ -1,11 +1,31 @@
+module Ws = Workspace
 open Dadu_linalg
 open Dadu_kinematics
 
-let solve ?on_iteration ?config (problem : Ik.problem) =
-  let step { Loop.theta; frames; e; _ } =
-    let j = Jacobian.position_jacobian_of_frames problem.Ik.chain frames in
-    let dtheta_base = Mat.mul_transpose_vec j (Vec3.to_vec e) in
-    let alpha = Alpha.buss ~j ~e ~dtheta_base in
-    { Loop.theta' = Vec.axpy alpha dtheta_base theta; sweeps = 0 }
+let solve ?on_iteration ?workspace ?config (problem : Ik.problem) =
+  let { Ik.chain; _ } = problem in
+  let dof = Chain.dof chain in
+  let ws = match workspace with Some w -> w | None -> Ws.create ~dof in
+  (* α_base = ⟨e, J·Jᵀe⟩ / ‖J·Jᵀe‖² (Eq. 8), computed inline in the step
+     body so every float stays in an unboxed local — same association
+     order as [Alpha.buss], so results are bit-identical. *)
+  let step ws =
+    Jacobian.position_jacobian_into ~dst:ws.Ws.jac chain ws.Ws.frames;
+    Mat.gemv_t_into ~dst:ws.Ws.dtheta ws.Ws.jac ws.Ws.e;
+    Mat.gemv_into ~dst:ws.Ws.tmp3 ws.Ws.jac ws.Ws.dtheta;
+    let jx = ws.Ws.tmp3.(0) and jy = ws.Ws.tmp3.(1) and jz = ws.Ws.tmp3.(2) in
+    let denom = (jx *. jx) +. (jy *. jy) +. (jz *. jz) in
+    let alpha =
+      if denom < 1e-30 then 0.
+      else
+        ((ws.Ws.e.(0) *. jx) +. (ws.Ws.e.(1) *. jy) +. (ws.Ws.e.(2) *. jz))
+        /. denom
+    in
+    let th = ws.Ws.theta and nx = ws.Ws.theta_next and dt = ws.Ws.dtheta in
+    for i = 0 to dof - 1 do
+      Array.unsafe_set nx i
+        ((alpha *. Array.unsafe_get dt i) +. Array.unsafe_get th i)
+    done;
+    0
   in
-  Loop.run ?config ?on_iteration ~speculations:1 ~step problem
+  Loop.run ?config ?on_iteration ~workspace:ws ~speculations:1 ~step problem

@@ -6,4 +6,7 @@
     speculative search around it (see the ablation bench and
     EXPERIMENTS.md). *)
 
-val solve : ?on_iteration:(iter:int -> err:float -> unit) -> Ik.solver
+val solve :
+  ?on_iteration:(iter:int -> err:float -> unit) ->
+  ?workspace:Workspace.t ->
+  Ik.solver

@@ -1,57 +1,111 @@
+module Ws = Workspace
 open Dadu_linalg
 open Dadu_kinematics
 
 let golden = (sqrt 5. -. 1.) /. 2.
 
-(* Golden-section minimization of f over [0, hi] with a fixed evaluation
-   budget; returns the best argument probed. *)
-let golden_section ~budget f hi =
-  let a = ref 0. and b = ref hi in
-  let x1 = ref (!b -. (golden *. (!b -. !a))) in
-  let x2 = ref (!a +. (golden *. (!b -. !a))) in
-  let f1 = ref (f !x1) and f2 = ref (f !x2) in
-  let remaining = ref (budget - 2) in
-  while !remaining > 0 do
-    if !f1 < !f2 then begin
-      b := !x2;
-      x2 := !x1;
-      f2 := !f1;
-      x1 := !b -. (golden *. (!b -. !a));
-      f1 := f !x1
-    end
-    else begin
-      a := !x1;
-      x1 := !x2;
-      f1 := !f2;
-      x2 := !a +. (golden *. (!b -. !a));
-      f2 := f !x2
-    end;
-    decr remaining
-  done;
-  if !f1 < !f2 then (!x1, !f1) else (!x2, !f2)
+(* All-float (flat) golden-section search state: the loop below exchanges
+   the probe argument [q] and its error [r] through record fields instead
+   of a float-returning closure, which would box on every evaluation. *)
+type search = {
+  mutable a : float;
+  mutable b : float;
+  mutable x1 : float;
+  mutable x2 : float;
+  mutable f1 : float;
+  mutable f2 : float;
+  mutable q : float;
+  mutable r : float;
+}
 
-let solve ?(evaluations = 20) ?(range = 1.0) ?on_iteration ?config (problem : Ik.problem) =
+let solve ?(evaluations = 20) ?(range = 1.0) ?on_iteration ?workspace ?config
+    (problem : Ik.problem) =
   if evaluations < 2 then
     invalid_arg "Jt_linesearch.solve: need at least 2 evaluations";
   if range <= 0. then invalid_arg "Jt_linesearch.solve: range must be positive";
   let { Ik.chain; target; _ } = problem in
-  let scratch = Fk.make_scratch () in
-  let step { Loop.theta; frames; e; err; _ } =
-    let j = Jacobian.position_jacobian_of_frames chain frames in
-    let dtheta_base = Mat.mul_transpose_vec j (Vec3.to_vec e) in
-    let alpha_base = Alpha.buss ~j ~e ~dtheta_base in
-    if alpha_base = 0. then { Loop.theta' = theta; sweeps = 0 }
+  let dof = Chain.dof chain in
+  let ws = match workspace with Some w -> w | None -> Ws.create ~dof in
+  let tx = target.Vec3.x and ty = target.Vec3.y and tz = target.Vec3.z in
+  let s = { a = 0.; b = 0.; x1 = 0.; x2 = 0.; f1 = 0.; f2 = 0.; q = 0.; r = 0. } in
+  (* Allocated once per solve (a per-iteration closure would allocate);
+     [theta]/[theta_next] are re-read from the workspace at call time
+     because the driver pointer-swaps them.  theta_next doubles as the
+     probe configuration buffer: it is rewritten with the accepted step
+     (or the unchanged theta) before the step returns. *)
+  let eval () =
+    let th = ws.Ws.theta and nx = ws.Ws.theta_next and dt = ws.Ws.dtheta in
+    let alpha = s.q in
+    for i = 0 to dof - 1 do
+      Array.unsafe_set nx i
+        ((alpha *. Array.unsafe_get dt i) +. Array.unsafe_get th i)
+    done;
+    Fk.run ~scratch:ws.Ws.fk chain nx;
+    let m = Fk.end_transform ws.Ws.fk in
+    let dx = tx -. m.(3) and dy = ty -. m.(7) and dz = tz -. m.(11) in
+    s.r <- sqrt (((dx *. dx) +. (dy *. dy)) +. (dz *. dz))
+  in
+  let step ws =
+    Jacobian.position_jacobian_into ~dst:ws.Ws.jac chain ws.Ws.frames;
+    Mat.gemv_t_into ~dst:ws.Ws.dtheta ws.Ws.jac ws.Ws.e;
+    Mat.gemv_into ~dst:ws.Ws.tmp3 ws.Ws.jac ws.Ws.dtheta;
+    let jx = ws.Ws.tmp3.(0) and jy = ws.Ws.tmp3.(1) and jz = ws.Ws.tmp3.(2) in
+    let denom = (jx *. jx) +. (jy *. jy) +. (jz *. jz) in
+    let alpha_base =
+      if denom < 1e-30 then 0.
+      else
+        ((ws.Ws.e.(0) *. jx) +. (ws.Ws.e.(1) *. jy) +. (ws.Ws.e.(2) *. jz))
+        /. denom
+    in
+    if alpha_base = 0. then begin
+      Vec.blit ws.Ws.theta ws.Ws.theta_next;
+      0
+    end
     else begin
-      let error_at alpha =
-        let cand = Vec.axpy alpha dtheta_base theta in
-        Vec3.dist target (Fk.position ~scratch chain cand)
-      in
-      let best_alpha, best_err =
-        golden_section ~budget:evaluations error_at (range *. alpha_base)
-      in
+      s.a <- 0.;
+      s.b <- range *. alpha_base;
+      s.x1 <- s.b -. (golden *. (s.b -. s.a));
+      s.x2 <- s.a +. (golden *. (s.b -. s.a));
+      s.q <- s.x1;
+      eval ();
+      s.f1 <- s.r;
+      s.q <- s.x2;
+      eval ();
+      s.f2 <- s.r;
+      let remaining = ref (evaluations - 2) in
+      while !remaining > 0 do
+        if s.f1 < s.f2 then begin
+          s.b <- s.x2;
+          s.x2 <- s.x1;
+          s.f2 <- s.f1;
+          s.x1 <- s.b -. (golden *. (s.b -. s.a));
+          s.q <- s.x1;
+          eval ();
+          s.f1 <- s.r
+        end
+        else begin
+          s.a <- s.x1;
+          s.x1 <- s.x2;
+          s.f1 <- s.f2;
+          s.x2 <- s.a +. (golden *. (s.b -. s.a));
+          s.q <- s.x2;
+          eval ();
+          s.f2 <- s.r
+        end;
+        decr remaining
+      done;
+      let best_alpha = if s.f1 < s.f2 then s.x1 else s.x2 in
+      let best_err = if s.f1 < s.f2 then s.f1 else s.f2 in
+      let th = ws.Ws.theta and nx = ws.Ws.theta_next and dt = ws.Ws.dtheta in
       (* never regress: α = 0 keeps the current error *)
-      if best_err < err then { Loop.theta' = Vec.axpy best_alpha dtheta_base theta; sweeps = 0 }
-      else { Loop.theta' = theta; sweeps = 0 }
+      if best_err < ws.Ws.scalars.Ws.err then
+        for i = 0 to dof - 1 do
+          Array.unsafe_set nx i
+            ((best_alpha *. Array.unsafe_get dt i) +. Array.unsafe_get th i)
+        done
+      else Vec.blit th nx;
+      0
     end
   in
-  Loop.run ?config ?on_iteration ~speculations:evaluations ~step problem
+  Loop.run ?config ?on_iteration ~workspace:ws ~speculations:evaluations ~step
+    problem

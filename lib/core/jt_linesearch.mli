@@ -16,6 +16,7 @@ val solve :
   ?evaluations:int ->
   ?range:float ->
   ?on_iteration:(iter:int -> err:float -> unit) ->
+  ?workspace:Workspace.t ->
   Ik.solver
 (** [evaluations] is the FK-evaluation budget per line search (default 20
     ≈ 1e-4 relative precision); [range] the search interval upper bound as

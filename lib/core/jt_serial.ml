@@ -1,3 +1,4 @@
+module Ws = Workspace
 open Dadu_linalg
 open Dadu_kinematics
 
@@ -27,8 +28,11 @@ let stability_bound chain =
   done;
   !bound
 
-let solve ?alpha ?(gain = 1.0) ?on_iteration ?config (problem : Ik.problem) =
+let solve ?alpha ?(gain = 1.0) ?on_iteration ?workspace ?config
+    (problem : Ik.problem) =
   let { Ik.chain; _ } = problem in
+  let dof = Chain.dof chain in
+  let ws = match workspace with Some w -> w | None -> Ws.create ~dof in
   let alpha =
     match alpha with
     | Some a -> a
@@ -36,9 +40,17 @@ let solve ?alpha ?(gain = 1.0) ?on_iteration ?config (problem : Ik.problem) =
       let bound = stability_bound chain in
       if bound < 1e-12 then gain else gain /. bound
   in
-  let step { Loop.theta; frames; e; _ } =
-    let j = Jacobian.position_jacobian_of_frames chain frames in
-    let dtheta_base = Mat.mul_transpose_vec j (Vec3.to_vec e) in
-    { Loop.theta' = Vec.axpy alpha dtheta_base theta; sweeps = 0 }
+  (* Δθ = α·Jᵀe.  The axpy is inlined so [alpha] (boxed once in the
+     closure) never re-crosses a call boundary: zero allocation per
+     iteration. *)
+  let step ws =
+    Jacobian.position_jacobian_into ~dst:ws.Ws.jac chain ws.Ws.frames;
+    Mat.gemv_t_into ~dst:ws.Ws.dtheta ws.Ws.jac ws.Ws.e;
+    let th = ws.Ws.theta and nx = ws.Ws.theta_next and dt = ws.Ws.dtheta in
+    for i = 0 to dof - 1 do
+      Array.unsafe_set nx i
+        ((alpha *. Array.unsafe_get dt i) +. Array.unsafe_get th i)
+    done;
+    0
   in
-  Loop.run ?config ?on_iteration ~speculations:1 ~step problem
+  Loop.run ?config ?on_iteration ~workspace:ws ~speculations:1 ~step problem

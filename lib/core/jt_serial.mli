@@ -16,7 +16,12 @@ val stability_bound : Dadu_kinematics.Chain.t -> float
     the end effector (sum of distal link extents).  [λ_max ≤ tr(JJᵀ) =
     Σᵢ‖Jᵢ‖² ≤ Σᵢ rᵢ²] at every configuration. *)
 
-val solve : ?alpha:float -> ?gain:float -> ?on_iteration:(iter:int -> err:float -> unit) -> Ik.solver
+val solve :
+  ?alpha:float ->
+  ?gain:float ->
+  ?on_iteration:(iter:int -> err:float -> unit) ->
+  ?workspace:Workspace.t ->
+  Ik.solver
 (** If [alpha] is given it is used verbatim.  Otherwise
     [α = gain / stability_bound chain]; any [gain < 2] is provably stable
     everywhere, and the default [gain = 1.0] keeps a ×2 margin. *)

@@ -1,41 +1,57 @@
+module Ws = Workspace
 open Dadu_linalg
 open Dadu_kinematics
 
-type step_input = {
-  iter : int;
-  theta : Vec.t;
-  frames : Mat4.t array;
-  e : Vec3.t;
-  err : float;
-}
-
-type step_output = { theta' : Vec.t; sweeps : int }
-
-let run ?(config = Ik.default_config) ?(on_iteration = fun ~iter:_ ~err:_ -> ())
-    ~speculations ~step (problem : Ik.problem) =
+let run ?(config = Ik.default_config) ?on_iteration ~workspace:ws ~speculations
+    ~step (problem : Ik.problem) =
   let { Ik.chain; target; theta0 } = problem in
   let dof = Chain.dof chain in
-  let finish status ~theta ~err ~iter ~sweeps =
-    { Ik.theta; error = err; iterations = iter; speculations; status; svd_sweeps = sweeps }
+  if Ws.dof ws <> dof then
+    invalid_arg "Loop.run: workspace dof does not match the chain";
+  let tx = target.Vec3.x and ty = target.Vec3.y and tz = target.Vec3.z in
+  Vec.blit theta0 ws.Ws.theta;
+  ws.Ws.scalars.Ws.best_err <- infinity;
+  let finish status iter sweeps =
+    {
+      Ik.theta = Vec.copy ws.Ws.theta;
+      error = ws.Ws.scalars.Ws.err;
+      iterations = iter;
+      speculations;
+      status;
+      svd_sweeps = sweeps;
+    }
   in
-  let rec go theta iter sweeps best_err stalled_for =
-    let frames = Fk.frames chain theta in
-    let x = Mat4.position frames.(dof) in
-    let e = Vec3.sub target x in
-    let err = Vec3.norm e in
-    on_iteration ~iter ~err;
-    if err < config.Ik.accuracy then finish Ik.Converged ~theta ~err ~iter ~sweeps
+  (* The error norm is computed inline (components straight out of the end
+     frame) in the exact association order of [Vec3.norm (Vec3.sub ...)],
+     so traces are bit-identical to the historical Vec3-based driver while
+     keeping every float in an unboxed local. *)
+  let rec go iter sweeps stalled_for =
+    Fk.frames_into ~scratch:ws.Ws.fk ~dst:ws.Ws.frames chain ws.Ws.theta;
+    let m = ws.Ws.frames.(dof) in
+    let ex = tx -. m.(3) and ey = ty -. m.(7) and ez = tz -. m.(11) in
+    ws.Ws.e.(0) <- ex;
+    ws.Ws.e.(1) <- ey;
+    ws.Ws.e.(2) <- ez;
+    let err = sqrt (((ex *. ex) +. (ey *. ey)) +. (ez *. ez)) in
+    ws.Ws.scalars.Ws.err <- err;
+    ws.Ws.iter <- iter;
+    (match on_iteration with None -> () | Some f -> f ~iter ~err);
+    if err < config.Ik.accuracy then finish Ik.Converged iter sweeps
     else if iter >= config.Ik.max_iterations then
-      finish Ik.Max_iterations ~theta ~err ~iter ~sweeps
+      finish Ik.Max_iterations iter sweeps
     else begin
+      let best_err = ws.Ws.scalars.Ws.best_err in
       let improving = err < best_err -. 1e-15 in
       let stalled_for = if improving then 0 else stalled_for + 1 in
       match config.Ik.stall_iterations with
-      | Some limit when stalled_for >= limit ->
-        finish Ik.Stalled ~theta ~err ~iter ~sweeps
+      | Some limit when stalled_for >= limit -> finish Ik.Stalled iter sweeps
       | Some _ | None ->
-        let { theta'; sweeps = used } = step { iter; theta; frames; e; err } in
-        go theta' (iter + 1) (sweeps + used) (Float.min best_err err) stalled_for
+        if not (best_err <= err) then ws.Ws.scalars.Ws.best_err <- err;
+        let used = step ws in
+        let t = ws.Ws.theta in
+        ws.Ws.theta <- ws.Ws.theta_next;
+        ws.Ws.theta_next <- t;
+        go (iter + 1) (sweeps + used) stalled_for
     end
   in
-  go (Vec.copy theta0) 0 0 infinity 0
+  go 0 0 0

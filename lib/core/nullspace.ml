@@ -1,3 +1,4 @@
+module Ws = Workspace
 open Dadu_linalg
 open Dadu_kinematics
 
@@ -49,13 +50,19 @@ let damped_gram_solve j lambda rhs =
   done;
   Cholesky.solve a rhs
 
-let solve ?(lambda = 0.1) ?(nullspace_gain = 0.1) ~objective ?config
+let solve ?(lambda = 0.1) ?(nullspace_gain = 0.1) ~objective ?workspace ?config
     (problem : Ik.problem) =
   let { Ik.chain; _ } = problem in
-  let step { Loop.theta; frames; e; _ } =
-    let j = Jacobian.position_jacobian_of_frames chain frames in
+  let dof = Chain.dof chain in
+  let ws = match workspace with Some w -> w | None -> Ws.create ~dof in
+  (* The projection solves allocate; the workspace only carries the shared
+     driver state. *)
+  let step ws =
+    Jacobian.position_jacobian_into ~dst:ws.Ws.jac chain ws.Ws.frames;
+    let j = ws.Ws.jac in
+    let theta = ws.Ws.theta in
     (* task step: Δθ_task = Jᵀ(JJᵀ + λ²)⁻¹ e *)
-    let y = damped_gram_solve j lambda (Vec3.to_vec e) in
+    let y = damped_gram_solve j lambda ws.Ws.e in
     let dtheta_task = Mat.mul_transpose_vec j y in
     (* secondary step projected into the nullspace:
        z_proj = z − Jᵀ(JJᵀ + λ²)⁻¹ J z *)
@@ -63,11 +70,11 @@ let solve ?(lambda = 0.1) ?(nullspace_gain = 0.1) ~objective ?config
     let jz = Mat.mul_vec j z in
     let y2 = damped_gram_solve j lambda jz in
     let z_proj = Vec.sub z (Mat.mul_transpose_vec j y2) in
-    let theta' = Vec.add theta dtheta_task in
-    Vec.add_inplace theta' (Vec.scale nullspace_gain z_proj);
-    { Loop.theta' ; sweeps = 0 }
+    Vec.add_into ~dst:ws.Ws.theta_next theta dtheta_task;
+    Vec.add_inplace ws.Ws.theta_next (Vec.scale nullspace_gain z_proj);
+    0
   in
-  Loop.run ?config ~speculations:1 ~step problem
+  Loop.run ?config ~workspace:ws ~speculations:1 ~step problem
 
 let optimize ?(iterations = 100) ?(gain = 0.05) ?(lambda = 0.05) ~objective chain
     ~target ~theta =

@@ -1,3 +1,4 @@
+module Ws = Workspace
 open Dadu_linalg
 open Dadu_kinematics
 
@@ -29,7 +30,11 @@ val comfort : Chain.t -> Vec.t -> float
     against a π half-span. *)
 
 val solve :
-  ?lambda:float -> ?nullspace_gain:float -> objective:objective -> Ik.solver
+  ?lambda:float ->
+  ?nullspace_gain:float ->
+  objective:objective ->
+  ?workspace:Ws.t ->
+  Ik.solver
 (** Damped-least-squares task step plus projected secondary step.
     [lambda] defaults to 0.1, [nullspace_gain] to 0.1 (per-iteration step
     along the projected gradient). *)

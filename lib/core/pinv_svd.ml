@@ -1,3 +1,4 @@
+module Ws = Workspace
 open Dadu_linalg
 open Dadu_kinematics
 
@@ -5,12 +6,18 @@ let clamp_max_abs limit v =
   let worst = Vec.max_abs v in
   if worst > limit then Vec.scale (limit /. worst) v else v
 
-let solve ?(rcond = 1e-6) ?(max_step = 0.5) ?on_iteration ?config (problem : Ik.problem) =
-  let step { Loop.theta; frames; e; _ } =
-    let j = Jacobian.position_jacobian_of_frames problem.Ik.chain frames in
-    let svd = Svd.decompose j in
-    let dtheta = Svd.apply_pinv ~rcond svd (Vec3.to_vec e) in
+let solve ?(rcond = 1e-6) ?(max_step = 0.5) ?on_iteration ?workspace ?config
+    (problem : Ik.problem) =
+  let { Ik.chain; _ } = problem in
+  let dof = Chain.dof chain in
+  let ws = match workspace with Some w -> w | None -> Ws.create ~dof in
+  (* SVD internals allocate; the workspace only carries the driver state. *)
+  let step ws =
+    Jacobian.position_jacobian_into ~dst:ws.Ws.jac chain ws.Ws.frames;
+    let svd = Svd.decompose ws.Ws.jac in
+    let dtheta = Svd.apply_pinv ~rcond svd ws.Ws.e in
     let dtheta = if Float.is_finite max_step then clamp_max_abs max_step dtheta else dtheta in
-    { Loop.theta' = Vec.add theta dtheta; sweeps = svd.Svd.sweeps }
+    Vec.add_into ~dst:ws.Ws.theta_next ws.Ws.theta dtheta;
+    svd.Svd.sweeps
   in
-  Loop.run ?config ?on_iteration ~speculations:1 ~step problem
+  Loop.run ?config ?on_iteration ~workspace:ws ~speculations:1 ~step problem

@@ -7,7 +7,12 @@
     [Ik.result.svd_sweeps] accumulates the Jacobi sweeps so the cost models
     can charge them. *)
 
-val solve : ?rcond:float -> ?max_step:float -> ?on_iteration:(iter:int -> err:float -> unit) -> Ik.solver
+val solve :
+  ?rcond:float ->
+  ?max_step:float ->
+  ?on_iteration:(iter:int -> err:float -> unit) ->
+  ?workspace:Workspace.t ->
+  Ik.solver
 (** [rcond] (default 1e-6) is the relative singular-value cutoff —
     effectively a numerical-damping knob near singular poses.  [max_step]
     (default [0.5]) caps [‖Δθ‖∞] per iteration; the linearization [Eq. 4]

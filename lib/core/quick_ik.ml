@@ -1,3 +1,4 @@
+module Ws = Workspace
 open Dadu_util
 open Dadu_linalg
 open Dadu_kinematics
@@ -6,43 +7,78 @@ type strategy = Uniform | Log_spaced | Extended of float
 
 type mode = Sequential | Parallel of Domain_pool.t
 
-let candidate_alpha strategy ~speculations ~alpha_base k =
-  let max = float_of_int speculations in
-  let kf = float_of_int (k + 1) in
-  match strategy with
-  | Uniform -> kf /. max *. alpha_base
-  | Extended factor -> kf /. max *. factor *. alpha_base
-  | Log_spaced ->
-    if speculations = 1 then alpha_base
-    else begin
-      (* Geometric ladder with the same endpoints as Uniform:
-         α_min = α_base/Max, α_max = α_base. *)
-      let ratio = (1. /. max) ** (1. /. (max -. 1.)) in
-      alpha_base *. (ratio ** (max -. kf))
-    end
-
-let solve ?(speculations = 64) ?(strategy = Uniform) ?(mode = Sequential) ?on_iteration ?config
-    (problem : Ik.problem) =
+let solve ?(speculations = 64) ?(strategy = Uniform) ?(mode = Sequential)
+    ?on_iteration ?workspace ?config (problem : Ik.problem) =
   if speculations <= 0 then invalid_arg "Quick_ik.solve: speculations must be positive";
   let { Ik.chain; target; _ } = problem in
   let dof = Chain.dof chain in
-  (* Per-candidate buffers, reused across iterations; each candidate owns
-     its FK scratch so parallel evaluation never shares mutable state. *)
-  let cand_theta = Array.init speculations (fun _ -> Vec.create dof) in
-  let cand_err = Array.make speculations infinity in
-  let scratches = Array.init speculations (fun _ -> Fk.make_scratch ()) in
-  let step { Loop.theta; frames; e; _ } =
-    let j = Jacobian.position_jacobian_of_frames chain frames in
-    let dtheta_base = Mat.mul_transpose_vec j (Vec3.to_vec e) in
-    let alpha_base = Alpha.buss ~j ~e ~dtheta_base in
-    if alpha_base = 0. then { Loop.theta' = theta; sweeps = 0 }
+  let ws = match workspace with Some w -> w | None -> Ws.create ~dof in
+  (* Per-candidate buffers live in the workspace and are reused across
+     iterations (and solves); each candidate owns its FK scratch so
+     parallel evaluation never shares mutable state. *)
+  Ws.ensure_candidates ws speculations;
+  let cand_theta = ws.Ws.cand_theta in
+  let cand_err = ws.Ws.cand_err in
+  let cand_fk = ws.Ws.cand_fk in
+  let coeffs = ws.Ws.coeffs in
+  let tx = target.Vec3.x and ty = target.Vec3.y and tz = target.Vec3.z in
+  (* Allocated once per solve (defining it inside [step] would allocate a
+     closure every iteration); [theta] and [dtheta] are re-read from the
+     workspace at call time because the driver pointer-swaps them. *)
+  let evaluate k =
+    let th = ws.Ws.theta and dt = ws.Ws.dtheta in
+    let alpha = coeffs.(k) in
+    let dst = cand_theta.(k) in
+    for i = 0 to dof - 1 do
+      Array.unsafe_set dst i
+        ((alpha *. Array.unsafe_get dt i) +. Array.unsafe_get th i)
+    done;
+    let scratch = cand_fk.(k) in
+    Fk.run ~scratch chain dst;
+    let m = Fk.end_transform scratch in
+    let dx = tx -. m.(3) and dy = ty -. m.(7) and dz = tz -. m.(11) in
+    cand_err.(k) <- sqrt (((dx *. dx) +. (dy *. dy)) +. (dz *. dz))
+  in
+  let step ws =
+    Jacobian.position_jacobian_into ~dst:ws.Ws.jac chain ws.Ws.frames;
+    Mat.gemv_t_into ~dst:ws.Ws.dtheta ws.Ws.jac ws.Ws.e;
+    (* α_base (Eq. 8) inline, same association order as [Alpha.buss]. *)
+    Mat.gemv_into ~dst:ws.Ws.tmp3 ws.Ws.jac ws.Ws.dtheta;
+    let jx = ws.Ws.tmp3.(0) and jy = ws.Ws.tmp3.(1) and jz = ws.Ws.tmp3.(2) in
+    let denom = (jx *. jx) +. (jy *. jy) +. (jz *. jz) in
+    let alpha_base =
+      if denom < 1e-30 then 0.
+      else
+        ((ws.Ws.e.(0) *. jx) +. (ws.Ws.e.(1) *. jy) +. (ws.Ws.e.(2) *. jz))
+        /. denom
+    in
+    if alpha_base = 0. then begin
+      Vec.blit ws.Ws.theta ws.Ws.theta_next;
+      0
+    end
     else begin
-      let evaluate k =
-        let alpha = candidate_alpha strategy ~speculations ~alpha_base k in
-        Vec.axpy_into ~dst:cand_theta.(k) alpha dtheta_base theta;
-        let x = Fk.position ~scratch:scratches.(k) chain cand_theta.(k) in
-        cand_err.(k) <- Vec3.dist target x
-      in
+      (* The step-size ladder (Eq. 9), written into the coeffs buffer so
+         no float crosses a call boundary.  Uniform: α_k = (k/Max)·α_base;
+         Extended scales the interval; Log_spaced is a geometric ladder
+         with the same endpoints (α_min = α_base/Max, α_max = α_base). *)
+      let max = float_of_int speculations in
+      (match strategy with
+      | Uniform ->
+        for k = 0 to speculations - 1 do
+          coeffs.(k) <- float_of_int (k + 1) /. max *. alpha_base
+        done
+      | Extended factor ->
+        for k = 0 to speculations - 1 do
+          coeffs.(k) <- float_of_int (k + 1) /. max *. factor *. alpha_base
+        done
+      | Log_spaced ->
+        if speculations = 1 then coeffs.(0) <- alpha_base
+        else begin
+          let ratio = (1. /. max) ** (1. /. (max -. 1.)) in
+          for k = 0 to speculations - 1 do
+            coeffs.(k) <- alpha_base *. (ratio ** (max -. float_of_int (k + 1)))
+          done
+        end);
       (match mode with
       | Sequential ->
         for k = 0 to speculations - 1 do
@@ -54,7 +90,8 @@ let solve ?(speculations = 64) ?(strategy = Uniform) ?(mode = Sequential) ?on_it
       for k = 1 to speculations - 1 do
         if cand_err.(k) < cand_err.(!best) then best := k
       done;
-      { Loop.theta' = Vec.copy cand_theta.(!best); sweeps = 0 }
+      Vec.blit cand_theta.(!best) ws.Ws.theta_next;
+      0
     end
   in
-  Loop.run ?config ?on_iteration ~speculations ~step problem
+  Loop.run ?config ?on_iteration ~workspace:ws ~speculations ~step problem

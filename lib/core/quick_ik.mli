@@ -30,6 +30,7 @@ val solve :
   ?strategy:strategy ->
   ?mode:mode ->
   ?on_iteration:(iter:int -> err:float -> unit) ->
+  ?workspace:Workspace.t ->
   Ik.solver
 (** [speculations] is the paper's [Max], default 64 (the paper's chosen
     operating point, Figure 4); must be positive.  [strategy] defaults to

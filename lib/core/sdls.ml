@@ -1,3 +1,4 @@
+module Ws = Workspace
 open Dadu_linalg
 open Dadu_kinematics
 
@@ -8,16 +9,22 @@ let clamp_max_abs limit v =
   let worst = Vec.max_abs v in
   if worst > limit then Vec.scale (limit /. worst) v else v
 
-let solve ?(gamma_max = Float.pi /. 4.) ?config (problem : Ik.problem) =
+let solve ?(gamma_max = Float.pi /. 4.) ?on_iteration ?workspace ?config
+    (problem : Ik.problem) =
   let { Ik.chain; _ } = problem in
   let dof = Chain.dof chain in
-  let step { Loop.theta; frames; e; _ } =
-    let j = Jacobian.position_jacobian_of_frames chain frames in
+  let ws = match workspace with Some w -> w | None -> Ws.create ~dof in
+  (* The per-iteration SVD dominates and allocates internally, so this
+     solver only adopts the workspace for the shared driver state — it is
+     not on the zero-allocation roster. *)
+  let step ws =
+    Jacobian.position_jacobian_into ~dst:ws.Ws.jac chain ws.Ws.frames;
+    let j = ws.Ws.jac in
     let svd = Svd.decompose j in
     let r = Svd.rank ~rcond:1e-9 svd in
     (* Column norms ρ_j = ‖∂p/∂θ_j‖ (Buss & Kim §4). *)
     let rho = Array.init dof (fun jcol -> Vec.norm (Mat.col j jcol)) in
-    let e_vec = Vec3.to_vec e in
+    let e_vec = ws.Ws.e in
     let dtheta = Vec.create dof in
     for i = 0 to r - 1 do
       let sigma = svd.Svd.sigma.(i) in
@@ -40,6 +47,7 @@ let solve ?(gamma_max = Float.pi /. 4.) ?config (problem : Ik.problem) =
       end
     done;
     let dtheta = clamp_max_abs gamma_max dtheta in
-    { Loop.theta' = Vec.add theta dtheta; sweeps = svd.Svd.sweeps }
+    Vec.add_into ~dst:ws.Ws.theta_next ws.Ws.theta dtheta;
+    svd.Svd.sweeps
   in
-  Loop.run ?config ~speculations:1 ~step problem
+  Loop.run ?config ?on_iteration ~workspace:ws ~speculations:1 ~step problem

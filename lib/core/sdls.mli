@@ -6,6 +6,10 @@
     clamped harder.  Implemented for the single-end-effector position task
     used throughout the evaluation. *)
 
-val solve : ?gamma_max:float -> Ik.solver
+val solve :
+  ?gamma_max:float ->
+  ?on_iteration:(iter:int -> err:float -> unit) ->
+  ?workspace:Workspace.t ->
+  Ik.solver
 (** [gamma_max] bounds the per-direction (and total) joint change per
     iteration, in radians; default π/4 as in the original publication. *)

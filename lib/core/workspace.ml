@@ -1,0 +1,78 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+(* All-float record: stays flat, so field writes never allocate.  Hot
+   scalars the iteration driver and solver steps exchange live here
+   instead of crossing call boundaries as (boxed) float arguments. *)
+type scalars = { mutable err : float; mutable best_err : float }
+
+type t = {
+  dof : int;
+  fk : Fk.scratch;
+  frames : Mat4.t array;
+  jac : Mat.t;
+  e : Vec.t;
+  tmp3 : Vec.t;
+  dtheta : Vec.t;
+  mutable theta : Vec.t;
+  mutable theta_next : Vec.t;
+  a33 : Mat.t;
+  l33 : Mat.t;
+  y3 : Vec.t;
+  scalars : scalars;
+  mutable iter : int;
+  mutable cand_theta : Vec.t array;
+  mutable cand_err : float array;
+  mutable cand_fk : Fk.scratch array;
+  mutable coeffs : float array;
+}
+
+let create ~dof =
+  if dof <= 0 then invalid_arg "Workspace.create: dof must be positive";
+  {
+    dof;
+    fk = Fk.make_scratch ~dof ();
+    frames = Array.init (dof + 1) (fun _ -> Array.make 16 0.);
+    jac = Mat.create 3 dof;
+    e = Vec.create 3;
+    tmp3 = Vec.create 3;
+    dtheta = Vec.create dof;
+    theta = Vec.create dof;
+    theta_next = Vec.create dof;
+    a33 = Mat.create 3 3;
+    l33 = Mat.create 3 3;
+    y3 = Vec.create 3;
+    scalars = { err = infinity; best_err = infinity };
+    iter = 0;
+    cand_theta = [||];
+    cand_err = [||];
+    cand_fk = [||];
+    coeffs = [||];
+  }
+
+let dof t = t.dof
+
+(* Speculative solvers grow the candidate pools on first use and keep them
+   across iterations (and across solves when the workspace is reused). *)
+let ensure_candidates t n =
+  if Array.length t.cand_theta < n then begin
+    t.cand_theta <- Array.init n (fun _ -> Vec.create t.dof);
+    t.cand_err <- Array.make n infinity;
+    t.cand_fk <- Array.init n (fun _ -> Fk.make_scratch ());
+    t.coeffs <- Array.make n 0.
+  end
+
+(* One workspace per (domain, dof): solver fan-out via Domain_pool runs one
+   solve at a time per domain, so reusing the cached workspace is safe as
+   long as solves do not nest within a domain. *)
+let pool_key : (int, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let local ~dof =
+  let tbl = Domain.DLS.get pool_key in
+  match Hashtbl.find_opt tbl dof with
+  | Some ws -> ws
+  | None ->
+    let ws = create ~dof in
+    Hashtbl.add tbl dof ws;
+    ws

@@ -1,0 +1,57 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+(** Per-solve scratch memory for the iterative solvers.
+
+    One workspace owns every buffer the {!Loop} driver and a solver step
+    need — FK scratch, cumulative frames, the 3×dof Jacobian, error and
+    update vectors, the 3×3 damped-gram system, and (for speculative
+    solvers) per-candidate pools.  Steady-state iterations then run
+    without minor-heap allocation.
+
+    Ownership: a workspace must only be used by one solve at a time.
+    Reuse across consecutive solves on the same thread is the intended
+    pattern (and what {!local} provides); sharing one workspace between
+    concurrent solves races.  The candidate pools passed to Quick-IK's
+    [Parallel] mode are indexed disjointly per candidate, which is the
+    only cross-domain sharing allowed. *)
+
+type scalars = { mutable err : float; mutable best_err : float }
+(** All-float record (flat in memory): scalar channel between driver and
+    step, so no float crosses a call boundary. *)
+
+type t = {
+  dof : int;
+  fk : Fk.scratch;  (** FK ping-pong scratch *)
+  frames : Mat4.t array;  (** [dof+1] cumulative transforms *)
+  jac : Mat.t;  (** 3×dof position Jacobian *)
+  e : Vec.t;  (** length-3 task-space error [X_t − f(θ)] *)
+  tmp3 : Vec.t;  (** length-3 scratch (J·Jᵀe, damped-gram solution) *)
+  dtheta : Vec.t;  (** length-dof update direction *)
+  mutable theta : Vec.t;  (** current configuration (driver-owned) *)
+  mutable theta_next : Vec.t;  (** next configuration (step writes here) *)
+  a33 : Mat.t;  (** 3×3 damped gram [J·Jᵀ + λ²I] *)
+  l33 : Mat.t;  (** 3×3 Cholesky factor scratch *)
+  y3 : Vec.t;  (** length-3 forward-substitution scratch *)
+  scalars : scalars;
+  mutable iter : int;  (** 0-based index of the current iteration *)
+  mutable cand_theta : Vec.t array;  (** speculative candidate configs *)
+  mutable cand_err : float array;  (** speculative candidate errors *)
+  mutable cand_fk : Fk.scratch array;  (** per-candidate FK scratches *)
+  mutable coeffs : float array;  (** per-candidate step sizes *)
+}
+
+val create : dof:int -> t
+(** Fresh workspace for a [dof]-joint chain (candidate pools start empty
+    and grow on first speculative use). *)
+
+val dof : t -> int
+
+val ensure_candidates : t -> int -> unit
+(** [ensure_candidates t n] grows the candidate pools to hold at least
+    [n] candidates; no-op when already large enough. *)
+
+val local : dof:int -> t
+(** The calling domain's cached workspace for [dof] (created on first
+    request).  Safe for the solve-at-a-time pattern; do not use for
+    nested solves within one domain. *)

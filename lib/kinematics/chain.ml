@@ -9,10 +9,21 @@ type t = {
   tool : Mat4.t;
 }
 
+(* The FK kernels compose with the affine fast path (Mat4.mul_affine_into),
+   which is only valid when every factor has bottom row [0 0 0 1].  DH link
+   transforms have it by construction; base and tool are user input, so
+   enforce it here once instead of per multiply. *)
+let check_affine what m =
+  if Array.length m <> 16 then
+    invalid_arg (Printf.sprintf "Chain.make: %s is not a 4x4 matrix" what);
+  if not (Mat4.is_affine m) then
+    invalid_arg
+      (Printf.sprintf "Chain.make: %s must be affine (bottom row [0 0 0 1])" what)
+
 let make ?(name = "chain") ?base ?tool links =
   if Array.length links = 0 then invalid_arg "Chain.make: no links";
-  let base = match base with Some b -> Mat4.copy b | None -> Mat4.identity () in
-  let tool = match tool with Some t -> Mat4.copy t | None -> Mat4.identity () in
+  let base = match base with Some b -> check_affine "base" b; Mat4.copy b | None -> Mat4.identity () in
+  let tool = match tool with Some t -> check_affine "tool" t; Mat4.copy t | None -> Mat4.identity () in
   { chain_name = name; links = Array.copy links; base; tool }
 
 let name t = t.chain_name

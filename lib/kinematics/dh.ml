@@ -32,6 +32,36 @@ let transform_into ~dst dh kind q =
   dst.(14) <- 0.;
   dst.(15) <- 1.
 
+(* Same as [transform_into] with the joint variable read from [q.(i)]
+   inside the callee: passing a dynamic float across a call boundary boxes
+   it (2 minor words), so the FK hot loop hands over the whole config
+   array and an index instead. *)
+let transform_at ~dst dh kind (q : float array) i =
+  let qi = q.(i) in
+  let theta, d =
+    match (kind : Joint.kind) with
+    | Revolute -> (dh.theta +. qi, dh.d)
+    | Prismatic -> (dh.theta, dh.d +. qi)
+  in
+  let ct = cos theta and st = sin theta in
+  let ca = cos dh.alpha and sa = sin dh.alpha in
+  dst.(0) <- ct;
+  dst.(1) <- -.st *. ca;
+  dst.(2) <- st *. sa;
+  dst.(3) <- dh.a *. ct;
+  dst.(4) <- st;
+  dst.(5) <- ct *. ca;
+  dst.(6) <- -.ct *. sa;
+  dst.(7) <- dh.a *. st;
+  dst.(8) <- 0.;
+  dst.(9) <- sa;
+  dst.(10) <- ca;
+  dst.(11) <- d;
+  dst.(12) <- 0.;
+  dst.(13) <- 0.;
+  dst.(14) <- 0.;
+  dst.(15) <- 1.
+
 let transform dh kind q =
   let dst = Array.make 16 0. in
   transform_into ~dst dh kind q;

@@ -21,6 +21,12 @@ val transform : t -> Joint.kind -> float -> Mat4.t
     applied to the convention-appropriate parameter. *)
 
 val transform_into : dst:Mat4.t -> t -> Joint.kind -> float -> unit
-(** Allocation-free version for the FK hot loop. *)
+(** In-place version; note the float argument still boxes (2 minor words
+    per call) when the joint value is not a compile-time constant. *)
+
+val transform_at : dst:Mat4.t -> t -> Joint.kind -> Vec.t -> int -> unit
+(** [transform_at ~dst dh kind q i] is [transform_into] with joint value
+    [q.(i)], reading the float inside the callee so nothing boxes: the
+    truly allocation-free FK hot-loop entry point. *)
 
 val pp : Format.formatter -> t -> unit

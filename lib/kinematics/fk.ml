@@ -1,60 +1,184 @@
 open Dadu_linalg
 
-type scratch = { mutable acc : Mat4.t; mutable tmp : Mat4.t; local : Mat4.t }
+type scratch = {
+  mutable acc : Mat4.t;
+  mutable tmp : Mat4.t;
+  local : Mat4.t;
+  mutable frames_buf : Mat4.t array;
+  (* compiled link constants for the chain last seen by [run]: 5 floats
+     per link [cos α; sin α; a; d; θ₀] plus a revolute flag *)
+  mutable pre : float array;
+  mutable revolute : bool array;
+  mutable compiled_for : Chain.t option;
+}
 
-let make_scratch () =
-  { acc = Mat4.identity (); tmp = Mat4.identity (); local = Mat4.identity () }
+let make_scratch ?(dof = 0) () =
+  {
+    acc = Mat4.identity ();
+    tmp = Mat4.identity ();
+    local = Mat4.identity ();
+    frames_buf =
+      (if dof > 0 then Array.init (dof + 1) (fun _ -> Array.make 16 0.)
+       else [||]);
+    pre = [||];
+    revolute = [||];
+    compiled_for = None;
+  }
+
+(* The link twist never changes, so cos α / sin α (half the trig of a
+   naive per-link transform build) are computed once per (scratch, chain)
+   pairing instead of once per link per FK evaluation. *)
+let compile scratch chain =
+  let links = Chain.links chain in
+  let n = Array.length links in
+  if Array.length scratch.pre < 5 * n then begin
+    scratch.pre <- Array.make (5 * n) 0.;
+    scratch.revolute <- Array.make n false
+  end;
+  let pre = scratch.pre and rev = scratch.revolute in
+  for i = 0 to n - 1 do
+    let { Chain.joint; dh; _ } = links.(i) in
+    let b = 5 * i in
+    pre.(b) <- cos dh.Dh.alpha;
+    pre.(b + 1) <- sin dh.Dh.alpha;
+    pre.(b + 2) <- dh.Dh.a;
+    pre.(b + 3) <- dh.Dh.d;
+    pre.(b + 4) <- dh.Dh.theta;
+    rev.(i) <- (match joint.Joint.kind with
+      | Joint.Revolute -> true
+      | Joint.Prismatic -> false)
+  done;
+  scratch.compiled_for <- Some chain
+
+let ensure_compiled scratch chain =
+  match scratch.compiled_for with
+  | Some c when c == chain -> ()
+  | Some _ | None -> compile scratch chain
 
 (* Folds the chain product left-to-right, ping-ponging between the two
-   accumulator buffers so nothing is allocated. *)
-let run_chain scratch chain q =
+   accumulator buffers so nothing is allocated.  Each joint's DH transform
+   is folded into the running product directly — its matrix is never
+   materialized — and terms against the transform's structural zeros are
+   skipped (the multiply does 33 flops instead of the general 64 or the
+   affine 36).  Product and association order otherwise match
+   [Mat4.mul_affine_into] of [Dh.transform_at], so results agree to the
+   sign of zero. *)
+let run ~scratch chain q =
   Chain.check_config chain q;
-  let links = Chain.links chain in
-  Array.blit (Chain.base chain) 0 scratch.acc 0 16;
-  for i = 0 to Array.length links - 1 do
-    let { Chain.joint; dh; _ } = links.(i) in
-    Dh.transform_into ~dst:scratch.local dh joint.Joint.kind q.(i);
-    Mat4.mul_into ~dst:scratch.tmp scratch.acc scratch.local;
+  ensure_compiled scratch chain;
+  let n = Chain.dof chain in
+  let pre = scratch.pre and rev = scratch.revolute in
+  Mat4.blit (Chain.base chain) scratch.acc;
+  for i = 0 to n - 1 do
+    let b = 5 * i in
+    let ca = Array.unsafe_get pre b
+    and sa = Array.unsafe_get pre (b + 1)
+    and a = Array.unsafe_get pre (b + 2)
+    and d0 = Array.unsafe_get pre (b + 3)
+    and t0 = Array.unsafe_get pre (b + 4) in
+    let qi = Array.unsafe_get q i in
+    let is_rev = Array.unsafe_get rev i in
+    let theta = if is_rev then t0 +. qi else t0 in
+    let d = if is_rev then d0 else d0 +. qi in
+    let ct = cos theta and st = sin theta in
+    (* DH matrix entries that feed more than one row (same products, same
+       order as [Dh.transform_into] builds them) *)
+    let m01 = -.st *. ca
+    and m02 = st *. sa
+    and m03 = a *. ct
+    and m11 = ct *. ca
+    and m12 = -.ct *. sa
+    and m13 = a *. st in
+    let acc = scratch.acc and dst = scratch.tmp in
+    for row = 0 to 2 do
+      let base = row * 4 in
+      let a0 = Array.unsafe_get acc base
+      and a1 = Array.unsafe_get acc (base + 1)
+      and a2 = Array.unsafe_get acc (base + 2)
+      and a3 = Array.unsafe_get acc (base + 3) in
+      Array.unsafe_set dst base ((a0 *. ct) +. (a1 *. st));
+      Array.unsafe_set dst (base + 1) ((a0 *. m01) +. (a1 *. m11) +. (a2 *. sa));
+      Array.unsafe_set dst (base + 2) ((a0 *. m02) +. (a1 *. m12) +. (a2 *. ca));
+      Array.unsafe_set dst (base + 3)
+        ((a0 *. m03) +. (a1 *. m13) +. (a2 *. d) +. a3)
+    done;
+    dst.(12) <- 0.;
+    dst.(13) <- 0.;
+    dst.(14) <- 0.;
+    dst.(15) <- 1.;
     let swap = scratch.acc in
     scratch.acc <- scratch.tmp;
     scratch.tmp <- swap
   done;
-  Mat4.mul_into ~dst:scratch.tmp scratch.acc (Chain.tool chain);
+  Mat4.mul_affine_into ~dst:scratch.tmp scratch.acc (Chain.tool chain);
   let swap = scratch.acc in
   scratch.acc <- scratch.tmp;
   scratch.tmp <- swap
+
+let end_transform scratch = scratch.acc
+
+let position_into ~scratch ~dst chain q =
+  if Array.length dst <> 3 then invalid_arg "Fk.position_into: dst not length 3";
+  run ~scratch chain q;
+  let m = scratch.acc in
+  dst.(0) <- m.(3);
+  dst.(1) <- m.(7);
+  dst.(2) <- m.(11)
 
 (* Without an explicit scratch a fresh one is allocated: a shared global
    default would race under domain-parallel solving (Batch, Quick_ik's
    Parallel mode). *)
 let position ?scratch chain q =
   let scratch = match scratch with Some s -> s | None -> make_scratch () in
-  run_chain scratch chain q;
+  run ~scratch chain q;
   Mat4.position scratch.acc
 
 let pose chain q =
   let scratch = make_scratch () in
-  run_chain scratch chain q;
+  run ~scratch chain q;
   Mat4.copy scratch.acc
 
-let frames chain q =
+let frames_into ~scratch ~dst chain q =
   Chain.check_config chain q;
   let links = Chain.links chain in
   let n = Array.length links in
-  let result = Array.make (n + 1) (Mat4.identity ()) in
-  result.(0) <- Mat4.copy (Chain.base chain);
-  let local = Mat4.identity () in
-  for i = 0 to n - 1 do
+  if Array.length dst < n + 1 then invalid_arg "Fk.frames_into: dst too short";
+  Mat4.blit (Chain.base chain) dst.(0);
+  for i = 0 to n - 2 do
     let { Chain.joint; dh; _ } = links.(i) in
-    Dh.transform_into ~dst:local dh joint.Joint.kind q.(i);
-    let next = Array.make 16 0. in
-    Mat4.mul_into ~dst:next result.(i) local;
-    result.(i + 1) <- next
+    Dh.transform_at ~dst:scratch.local dh joint.Joint.kind q i;
+    Mat4.mul_affine_into ~dst:dst.(i + 1) dst.(i) scratch.local
   done;
-  result.(n) <- Mat4.mul result.(n) (Chain.tool chain);
-  result
+  (* Last slot folds the tool in, so the final product detours through the
+     ping-pong buffer rather than aliasing dst.(n) as source and target. *)
+  let { Chain.joint; dh; _ } = links.(n - 1) in
+  Dh.transform_at ~dst:scratch.local dh joint.Joint.kind q (n - 1);
+  Mat4.mul_affine_into ~dst:scratch.tmp dst.(n - 1) scratch.local;
+  Mat4.mul_affine_into ~dst:dst.(n) scratch.tmp (Chain.tool chain)
+
+(* Exact-size check (not >=): Jacobian builders take the frame count from
+   the array length, so a buffer left over from a larger chain would lie. *)
+let ensure_frames scratch n =
+  if Array.length scratch.frames_buf <> n + 1 then
+    scratch.frames_buf <- Array.init (n + 1) (fun _ -> Array.make 16 0.);
+  scratch.frames_buf
+
+let frames ?scratch chain q =
+  let n = Chain.dof chain in
+  match scratch with
+  | Some s ->
+    let dst = ensure_frames s n in
+    frames_into ~scratch:s ~dst chain q;
+    dst
+  | None ->
+    let s = make_scratch () in
+    let dst = Array.init (n + 1) (fun _ -> Array.make 16 0.) in
+    frames_into ~scratch:s ~dst chain q;
+    dst
 
 (* One 4×4 matrix product is 64 multiplies + 48 adds = 112 flops; building
    a DH local transform costs 4 trigs + 2 multiplies, counted as 10.  The
-   chain does [dof] products plus one for the tool. *)
+   chain does [dof] products plus one for the tool.  Kept at full 4×4
+   counting deliberately: it models the accelerator's FKU datapath, not the
+   host's affine shortcut. *)
 let flops_per_position dof = (dof + 1) * 112 + (dof * 10)

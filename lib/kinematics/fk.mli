@@ -3,27 +3,55 @@ open Dadu_linalg
 (** Forward kinematics: Eq. 10 of the paper, [f(θ) = ∏ ⁱ⁻¹Tᵢ].
 
     The speculative search evaluates FK once per candidate per iteration,
-    so this is the hottest code in the library.  {!scratch} lets callers
-    amortize the two ping-pong accumulators and the per-link local
-    transform across calls. *)
+    so this is the hottest code in the library.  {!scratch} owns every
+    buffer the kernels need — the two ping-pong accumulators, the
+    per-link local transform, and (lazily) a frame array — so the
+    steady-state paths ({!run}, {!position_into}, {!frames_into}) perform
+    zero minor-heap allocation. *)
 
 type scratch
 
-val make_scratch : unit -> scratch
+val make_scratch : ?dof:int -> unit -> scratch
+(** [make_scratch ~dof ()] preallocates the frame buffer for a [dof]-link
+    chain; without [dof] the frame buffer is grown on first use. *)
+
+val run : scratch:scratch -> Chain.t -> Vec.t -> unit
+(** Runs the full chain product (base, links, tool) into the scratch
+    accumulator.  Allocation-free.  Read the result with
+    {!end_transform} or {!position_into}. *)
+
+val end_transform : scratch -> Mat4.t
+(** The accumulator holding the end-effector transform of the most recent
+    {!run}.  Returned by pointer: the contents are overwritten by the next
+    {!run} or {!frames_into} on the same scratch. *)
+
+val position_into : scratch:scratch -> dst:Vec.t -> Chain.t -> Vec.t -> unit
+(** [position_into ~scratch ~dst chain q] writes the end-effector position
+    [f(θ)] into [dst] (length 3).  Allocation-free. *)
 
 val position : ?scratch:scratch -> Chain.t -> Vec.t -> Vec3.t
 (** End-effector position [f(θ)] in the base frame.  Without [scratch] a
     fresh workspace is allocated, so concurrent calls from different
-    domains are safe; hot loops should pass their own scratch. *)
+    domains are safe; hot loops should pass their own scratch (the
+    returned {!Vec3.t} record still allocates — use {!position_into} in
+    allocation-free code). *)
 
 val pose : Chain.t -> Vec.t -> Mat4.t
 (** Full end-effector transform (base and tool included). *)
 
-val frames : Chain.t -> Vec.t -> Mat4.t array
+val frames_into : scratch:scratch -> dst:Mat4.t array -> Chain.t -> Vec.t -> unit
+(** [frames_into ~scratch ~dst chain q] fills [dst.(0..dof)] with the
+    cumulative transforms: [dst.(i)] is [⁰Tᵢ] (base through link [i-1]),
+    and [dst.(dof)] includes the tool.  [dst] must have at least [dof+1]
+    entries of distinct 4×4 buffers.  Allocation-free. *)
+
+val frames : ?scratch:scratch -> Chain.t -> Vec.t -> Mat4.t array
 (** Cumulative transforms: [frames.(i)] is [⁰Tᵢ] (base through link [i-1]),
     so the array has [dof+1] entries; the last includes the tool.
     [frames.(0)] is the base transform.  This is the [¹Tᵢ] set the paper's
-    Jacobian stage consumes. *)
+    Jacobian stage consumes.  With [scratch] the scratch-owned frame buffer
+    is returned (valid until the next [frames] call on the same scratch);
+    without it a fresh array is allocated per call. *)
 
 val flops_per_position : int -> int
 (** Floating-point operation count of one {!position} call for a [dof]-link

@@ -1,23 +1,39 @@
 open Dadu_linalg
 
-let position_jacobian_of_frames chain frames =
+(* Allocation-free build: every float stays in a local accumulator and the
+   column goes straight into [dst.data].  The arithmetic (subtraction then
+   cross, component order) matches the Vec3-based formulation exactly, so
+   the result is bit-identical to the historical allocating path. *)
+let position_jacobian_into ~dst chain frames =
   let n = Chain.dof chain in
   if Array.length frames <> n + 1 then
-    invalid_arg "Jacobian.position_jacobian_of_frames: wrong frame count";
-  let p_end = Mat4.position frames.(n) in
-  let j = Mat.create 3 n in
+    invalid_arg "Jacobian.position_jacobian_into: wrong frame count";
+  (* field reads, not Mat.dims: the tuple it returns would be this
+     function's only allocation *)
+  if dst.Mat.rows <> 3 || dst.Mat.cols <> n then
+    invalid_arg "Jacobian.position_jacobian_into: dst is not 3xdof";
+  let data = dst.Mat.data in
+  let m_end = frames.(n) in
+  let ex = m_end.(3) and ey = m_end.(7) and ez = m_end.(11) in
   for i = 0 to n - 1 do
     let { Chain.joint; _ } = Chain.link chain i in
-    let z = Mat4.z_axis frames.(i) in
-    let column =
-      match joint.Joint.kind with
-      | Joint.Revolute -> Vec3.cross z (Vec3.sub p_end (Mat4.position frames.(i)))
-      | Joint.Prismatic -> z
-    in
-    Mat.set j 0 i column.Vec3.x;
-    Mat.set j 1 i column.Vec3.y;
-    Mat.set j 2 i column.Vec3.z
-  done;
+    let m = frames.(i) in
+    let zx = m.(2) and zy = m.(6) and zz = m.(10) in
+    match joint.Joint.kind with
+    | Joint.Revolute ->
+      let dx = ex -. m.(3) and dy = ey -. m.(7) and dz = ez -. m.(11) in
+      data.(i) <- (zy *. dz) -. (zz *. dy);
+      data.(n + i) <- (zz *. dx) -. (zx *. dz);
+      data.((2 * n) + i) <- (zx *. dy) -. (zy *. dx)
+    | Joint.Prismatic ->
+      data.(i) <- zx;
+      data.(n + i) <- zy;
+      data.((2 * n) + i) <- zz
+  done
+
+let position_jacobian_of_frames chain frames =
+  let j = Mat.create 3 (Chain.dof chain) in
+  position_jacobian_into ~dst:j chain frames;
   j
 
 let position_jacobian chain q = position_jacobian_of_frames chain (Fk.frames chain q)

@@ -15,6 +15,11 @@ val position_jacobian_of_frames : Chain.t -> Mat4.t array -> Mat.t
 (** Same, reusing cumulative frames from {!Fk.frames} (avoids recomputing
     FK when the caller already has the frames). *)
 
+val position_jacobian_into : dst:Mat.t -> Chain.t -> Mat4.t array -> unit
+(** [position_jacobian_into ~dst chain frames] fills the 3×dof matrix
+    [dst] from cumulative [frames] without allocating; bit-identical to
+    {!position_jacobian_of_frames}. *)
+
 val full_jacobian : Chain.t -> Vec.t -> Mat.t
 (** 6×dof Jacobian: rows 0–2 linear velocity, rows 3–5 angular velocity. *)
 

@@ -48,6 +48,55 @@ let solve_factored l b =
 
 let solve a b = solve_factored (factorize a) b
 
+(* Zero-allocation variant for the solver workspaces: factorization and
+   both substitutions run over caller-provided buffers with the exact
+   arithmetic of [factorize]/[solve_factored], so results are
+   bit-identical.  All float state stays in local (unboxed) accumulators
+   and float arrays. *)
+let solve_into ~l ~y ~dst a b =
+  (* field reads, not Mat.dims, which would allocate its result tuple *)
+  let n = a.Mat.rows in
+  if a.Mat.cols <> n then invalid_arg "Cholesky.solve_into: not square";
+  if l.Mat.rows <> n || l.Mat.cols <> n then
+    invalid_arg "Cholesky.solve_into: bad l";
+  if Array.length b <> n || Array.length y <> n || Array.length dst <> n then
+    invalid_arg "Cholesky.solve_into: dimension mismatch";
+  let ad = a.Mat.data and ld = l.Mat.data in
+  Array.fill ld 0 (n * n) 0.;
+  for j = 0 to n - 1 do
+    let sum = ref ad.((j * n) + j) in
+    for k = 0 to j - 1 do
+      let ljk = ld.((j * n) + k) in
+      sum := !sum -. (ljk *. ljk)
+    done;
+    if !sum <= 0. then raise Not_positive_definite;
+    let ljj = sqrt !sum in
+    ld.((j * n) + j) <- ljj;
+    for i = j + 1 to n - 1 do
+      let sum = ref ad.((i * n) + j) in
+      for k = 0 to j - 1 do
+        sum := !sum -. (ld.((i * n) + k) *. ld.((j * n) + k))
+      done;
+      ld.((i * n) + j) <- !sum /. ljj
+    done
+  done;
+  (* forward: L·y = b *)
+  for i = 0 to n - 1 do
+    let sum = ref b.(i) in
+    for k = 0 to i - 1 do
+      sum := !sum -. (ld.((i * n) + k) *. y.(k))
+    done;
+    y.(i) <- !sum /. ld.((i * n) + i)
+  done;
+  (* backward: Lᵀ·x = y *)
+  for i = n - 1 downto 0 do
+    let sum = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      sum := !sum -. (ld.((k * n) + i) *. dst.(k))
+    done;
+    dst.(i) <- !sum /. ld.((i * n) + i)
+  done
+
 let inverse a =
   let n, _ = Mat.dims a in
   let l = factorize a in

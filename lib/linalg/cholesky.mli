@@ -13,6 +13,12 @@ val factorize : Mat.t -> Mat.t
 val solve : Mat.t -> Vec.t -> Vec.t
 (** [solve a b] solves [A·x = b] for SPD [A] (factorizes internally). *)
 
+val solve_into : l:Mat.t -> y:Vec.t -> dst:Vec.t -> Mat.t -> Vec.t -> unit
+(** [solve_into ~l ~y ~dst a b] solves [A·x = b] into [dst] without
+    allocating: [l] (n×n) receives the factor and [y] (length n) is the
+    forward-substitution scratch.  Bit-identical to {!solve}.  [dst] must
+    not alias [b]. *)
+
 val solve_factored : Mat.t -> Vec.t -> Vec.t
 (** [solve_factored l b] with [l] from {!factorize}: forward then back
     substitution. *)

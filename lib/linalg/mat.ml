@@ -110,6 +110,57 @@ let mul_transpose_vec a x =
   done;
   y
 
+(* In-place matrix-vector kernels for the solver workspaces.  They take and
+   return nothing float-typed (buffers only), so a steady-state caller pays
+   zero minor-heap words; the accumulation order is identical to the
+   allocating variants above, making results bit-identical. *)
+
+let gemv_into ~dst a x =
+  if a.cols <> Array.length x then invalid_arg "Mat.gemv_into: dimension mismatch";
+  if a.rows <> Array.length dst then invalid_arg "Mat.gemv_into: bad dst";
+  let data = a.data in
+  for i = 0 to a.rows - 1 do
+    let acc = ref 0. in
+    let base = i * a.cols in
+    for j = 0 to a.cols - 1 do
+      acc := !acc +. (Array.unsafe_get data (base + j) *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set dst i !acc
+  done
+
+let gemv_t_into ~dst a x =
+  if a.rows <> Array.length x then
+    invalid_arg "Mat.gemv_t_into: dimension mismatch";
+  if a.cols <> Array.length dst then invalid_arg "Mat.gemv_t_into: bad dst";
+  Array.fill dst 0 a.cols 0.;
+  let data = a.data in
+  for i = 0 to a.rows - 1 do
+    let xi = Array.unsafe_get x i in
+    let base = i * a.cols in
+    for j = 0 to a.cols - 1 do
+      Array.unsafe_set dst j
+        (Array.unsafe_get dst j +. (Array.unsafe_get data (base + j) *. xi))
+    done
+  done
+
+let gram_into ~dst a =
+  if dst.rows <> a.rows || dst.cols <> a.rows then
+    invalid_arg "Mat.gram_into: bad dst";
+  let data = a.data and g = dst.data in
+  for i = 0 to a.rows - 1 do
+    for j = i to a.rows - 1 do
+      let acc = ref 0. in
+      for k = 0 to a.cols - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get data ((i * a.cols) + k)
+             *. Array.unsafe_get data ((j * a.cols) + k))
+      done;
+      Array.unsafe_set g ((i * dst.cols) + j) !acc;
+      Array.unsafe_set g ((j * dst.cols) + i) !acc
+    done
+  done
+
 let gram a =
   let g = create a.rows a.rows in
   for i = 0 to a.rows - 1 do

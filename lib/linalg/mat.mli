@@ -52,6 +52,18 @@ val mul_transpose_vec : t -> Vec.t -> Vec.t
 val gram : t -> t
 (** [gram a] is [a·aᵀ] (size rows×rows); the [JJᵀ] of Eq. 8. *)
 
+val gemv_into : dst:Vec.t -> t -> Vec.t -> unit
+(** [gemv_into ~dst a x] writes [a·x] into [dst] (length [rows]); the
+    zero-allocation twin of {!mul_vec}, bit-identical results. *)
+
+val gemv_t_into : dst:Vec.t -> t -> Vec.t -> unit
+(** [gemv_t_into ~dst a x] writes [aᵀ·x] into [dst] (length [cols]);
+    bit-identical to {!mul_transpose_vec}. *)
+
+val gram_into : dst:t -> t -> unit
+(** [gram_into ~dst a] writes [a·aᵀ] into [dst] (rows×rows); bit-identical
+    to {!gram}. *)
+
 val frobenius : t -> float
 
 val max_abs : t -> float

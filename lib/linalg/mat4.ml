@@ -5,20 +5,36 @@ let identity () =
 
 let copy = Array.copy
 
+let blit src dst = Array.blit src 0 dst 0 16
+
+let identity_into dst =
+  Array.fill dst 0 16 0.;
+  dst.(0) <- 1.;
+  dst.(5) <- 1.;
+  dst.(10) <- 1.;
+  dst.(15) <- 1.
+
 let get t i j = t.((i * 4) + j)
 
 let set t i j x = t.((i * 4) + j) <- x
 
+(* The multiply kernels run with unchecked indexing: they are the FKU inner
+   loop and the bounds are pinned by the explicit length guard. *)
+let check16 name m = if Array.length m <> 16 then invalid_arg (name ^ ": not a 4x4")
+
 let mul_into ~dst a b =
   assert (dst != a && dst != b);
+  check16 "Mat4.mul_into" dst;
+  check16 "Mat4.mul_into" a;
+  check16 "Mat4.mul_into" b;
   for i = 0 to 3 do
     let base = i * 4 in
     for j = 0 to 3 do
-      dst.(base + j) <-
-        (a.(base) *. b.(j))
-        +. (a.(base + 1) *. b.(4 + j))
-        +. (a.(base + 2) *. b.(8 + j))
-        +. (a.(base + 3) *. b.(12 + j))
+      Array.unsafe_set dst (base + j)
+        ((Array.unsafe_get a base *. Array.unsafe_get b j)
+        +. (Array.unsafe_get a (base + 1) *. Array.unsafe_get b (4 + j))
+        +. (Array.unsafe_get a (base + 2) *. Array.unsafe_get b (8 + j))
+        +. (Array.unsafe_get a (base + 3) *. Array.unsafe_get b (12 + j)))
     done
   done
 
@@ -26,6 +42,47 @@ let mul a b =
   let dst = Array.make 16 0. in
   mul_into ~dst a b;
   dst
+
+(* Affine fast path: both operands must have bottom row [0 0 0 1], which
+   holds for every rigid/DH transform in a chain.  Skipping the known-zero
+   products is what takes one 4x4 composition from 64 to 36 multiplies; the
+   surviving terms are summed in the same order as {!mul_into}, so results
+   differ from the general kernel by at most the sign of a zero. *)
+let mul_affine_into ~dst a b =
+  assert (dst != a && dst != b);
+  check16 "Mat4.mul_affine_into" dst;
+  check16 "Mat4.mul_affine_into" a;
+  check16 "Mat4.mul_affine_into" b;
+  for i = 0 to 2 do
+    let base = i * 4 in
+    let a0 = Array.unsafe_get a base
+    and a1 = Array.unsafe_get a (base + 1)
+    and a2 = Array.unsafe_get a (base + 2) in
+    Array.unsafe_set dst base
+      ((a0 *. Array.unsafe_get b 0)
+      +. (a1 *. Array.unsafe_get b 4)
+      +. (a2 *. Array.unsafe_get b 8));
+    Array.unsafe_set dst (base + 1)
+      ((a0 *. Array.unsafe_get b 1)
+      +. (a1 *. Array.unsafe_get b 5)
+      +. (a2 *. Array.unsafe_get b 9));
+    Array.unsafe_set dst (base + 2)
+      ((a0 *. Array.unsafe_get b 2)
+      +. (a1 *. Array.unsafe_get b 6)
+      +. (a2 *. Array.unsafe_get b 10));
+    Array.unsafe_set dst (base + 3)
+      ((a0 *. Array.unsafe_get b 3)
+      +. (a1 *. Array.unsafe_get b 7)
+      +. (a2 *. Array.unsafe_get b 11)
+      +. Array.unsafe_get a (base + 3))
+  done;
+  dst.(12) <- 0.;
+  dst.(13) <- 0.;
+  dst.(14) <- 0.;
+  dst.(15) <- 1.
+
+let is_affine t =
+  t.(12) = 0. && t.(13) = 0. && t.(14) = 0. && t.(15) = 1.
 
 let transform_point t (v : Vec3.t) =
   Vec3.make

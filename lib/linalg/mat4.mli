@@ -13,6 +13,11 @@ val identity : unit -> t
 
 val copy : t -> t
 
+val blit : t -> t -> unit
+(** [blit src dst] copies all 16 entries; no allocation. *)
+
+val identity_into : t -> unit
+
 val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
 
@@ -22,6 +27,16 @@ val mul : t -> t -> t
 val mul_into : dst:t -> t -> t -> unit
 (** [mul_into ~dst a b] writes [a·b] into [dst].  [dst] must not alias [a]
     or [b]. *)
+
+val mul_affine_into : dst:t -> t -> t -> unit
+(** Like {!mul_into} but assumes both operands are affine (bottom row
+    [0 0 0 1]) and forces [dst]'s bottom row to exactly that.  This is the
+    FK hot-loop kernel: 36 multiplies instead of 64.  Results are identical
+    to {!mul_into} up to the sign of zero terms (≤ 1 ulp). *)
+
+val is_affine : t -> bool
+(** Bottom row is exactly [0 0 0 1]; the precondition of
+    {!mul_affine_into}. *)
 
 val transform_point : t -> Vec3.t -> Vec3.t
 (** Applies rotation and translation. *)

@@ -29,6 +29,38 @@ let scale a x = Array.map (fun xi -> a *. xi) x
 
 let neg x = Array.map (fun xi -> -.xi) x
 
+let blit src dst =
+  check_same_dim "Vec.blit" src dst;
+  Array.blit src 0 dst 0 (Array.length src)
+
+let sub_into ~dst x y =
+  check_same_dim "Vec.sub_into" x y;
+  check_same_dim "Vec.sub_into" x dst;
+  for i = 0 to Array.length x - 1 do
+    Array.unsafe_set dst i (Array.unsafe_get x i -. Array.unsafe_get y i)
+  done
+
+let add_into ~dst x y =
+  check_same_dim "Vec.add_into" x y;
+  check_same_dim "Vec.add_into" x dst;
+  for i = 0 to Array.length x - 1 do
+    Array.unsafe_set dst i (Array.unsafe_get x i +. Array.unsafe_get y i)
+  done
+
+let neg_into ~dst x =
+  check_same_dim "Vec.neg_into" x dst;
+  for i = 0 to Array.length x - 1 do
+    Array.unsafe_set dst i (-.Array.unsafe_get x i)
+  done
+
+(* [a] crosses a call boundary, so this boxes its scalar (2 minor words per
+   call); strict zero-allocation loops inline the multiply instead. *)
+let scale_into ~dst a x =
+  check_same_dim "Vec.scale_into" x dst;
+  for i = 0 to Array.length x - 1 do
+    Array.unsafe_set dst i (a *. Array.unsafe_get x i)
+  done
+
 let add_inplace x y =
   check_same_dim "Vec.add_inplace" x y;
   for i = 0 to Array.length x - 1 do

@@ -32,6 +32,23 @@ val neg : t -> t
 val add_inplace : t -> t -> unit
 (** [add_inplace x y] sets [x.(i) <- x.(i) +. y.(i)]. *)
 
+val blit : t -> t -> unit
+(** [blit src dst] copies [src] into [dst]; dimensions must match. *)
+
+val sub_into : dst:t -> t -> t -> unit
+(** [sub_into ~dst x y] writes [x - y] into [dst] ([dst] may alias either
+    operand). *)
+
+val add_into : dst:t -> t -> t -> unit
+(** [add_into ~dst x y] writes [x + y] into [dst]. *)
+
+val neg_into : dst:t -> t -> unit
+
+val scale_into : dst:t -> float -> t -> unit
+(** [scale_into ~dst a x] writes [a*x] into [dst].  The scalar crosses a
+    call boundary and therefore boxes (2 minor words); strict
+    zero-allocation loops inline the multiply instead. *)
+
 val axpy : float -> t -> t -> t
 (** [axpy a x y] is [a*x + y]. *)
 

@@ -46,16 +46,22 @@ let chain_of_string s =
 
 let chain_to_string chain = String.concat "," (List.map name chain)
 
+(* Every dispatch reuses the calling domain's cached workspace for the
+   problem's DOF, so service traffic (which fans problems out across
+   scheduler domains) runs the solvers' zero-allocation paths instead of
+   rebuilding scratch buffers per request.  Safe because each domain runs
+   one solve at a time. *)
 let solver ?(speculations = 64) kind ~config p =
+  let workspace = Workspace.local ~dof:(Dadu_kinematics.Chain.dof p.Ik.chain) in
   match kind with
-  | Quick_ik -> Dadu_core.Quick_ik.solve ~speculations ~config p
-  | Jt_serial -> Dadu_core.Jt_serial.solve ~config p
-  | Jt_buss -> Dadu_core.Jt_buss.solve ~config p
-  | Jt_linesearch -> Dadu_core.Jt_linesearch.solve ~config p
-  | Pinv -> Dadu_core.Pinv_svd.solve ~config p
-  | Dls -> Dadu_core.Dls.solve ~config p
-  | Sdls -> Dadu_core.Sdls.solve ~config p
-  | Ccd -> Dadu_core.Ccd.solve ~config p
+  | Quick_ik -> Dadu_core.Quick_ik.solve ~speculations ~workspace ~config p
+  | Jt_serial -> Dadu_core.Jt_serial.solve ~workspace ~config p
+  | Jt_buss -> Dadu_core.Jt_buss.solve ~workspace ~config p
+  | Jt_linesearch -> Dadu_core.Jt_linesearch.solve ~workspace ~config p
+  | Pinv -> Dadu_core.Pinv_svd.solve ~workspace ~config p
+  | Dls -> Dadu_core.Dls.solve ~workspace ~config p
+  | Sdls -> Dadu_core.Sdls.solve ~workspace ~config p
+  | Ccd -> Dadu_core.Ccd.solve ~workspace ~config p
 
 type outcome = {
   result : Ik.result;

@@ -1,0 +1,37 @@
+(** Minimal JSON reader/writer for the benchmark-regression harness.
+
+    The repo has no third-party JSON dependency; this module covers the
+    subset the harness needs — objects, arrays, strings, finite numbers,
+    booleans and null.  Emission is compact (no whitespace); numbers that
+    are mathematically integers print without a fractional part, all other
+    finite doubles use a round-trippable [%.17g] form. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact serialization.  @raise Invalid_argument on NaN or infinity. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries a message with the
+    byte offset of the failure. *)
+
+val member : string -> t -> t option
+(** [member key json] is the value bound to [key] if [json] is an object
+    that has it. *)
+
+val to_float : t -> float option
+
+val to_list : t -> t list option
+
+val to_str : t -> string option
+
+val write_file : string -> t -> unit
+(** Serialize to a file, followed by a trailing newline. *)
+
+val read_file : string -> (t, string) result

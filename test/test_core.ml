@@ -78,7 +78,7 @@ let test_loop_immediate_convergence () =
   let q = Array.make 12 0.2 in
   let p = Ik.problem ~chain:eval12 ~target:(Fk.position eval12 q) ~theta0:q in
   let r =
-    Loop.run ~speculations:1
+    Loop.run ~workspace:(Workspace.create ~dof:12) ~speculations:1
       ~step:(fun _ -> Alcotest.fail "step must not run")
       p
   in
@@ -91,10 +91,11 @@ let test_loop_cap () =
   let r =
     Loop.run
       ~config:{ Ik.default_config with max_iterations = 17 }
-      ~speculations:1
-      ~step:(fun { Loop.theta; _ } ->
+      ~workspace:(Workspace.create ~dof:12) ~speculations:1
+      ~step:(fun ws ->
         incr count;
-        { Loop.theta' = theta; sweeps = 0 })
+        Vec.blit ws.Workspace.theta ws.Workspace.theta_next;
+        0)
       p
   in
   Alcotest.(check int) "step calls = cap" 17 !count;
@@ -106,8 +107,10 @@ let test_loop_stall_detection () =
   let r =
     Loop.run
       ~config:{ Ik.default_config with max_iterations = 1000; stall_iterations = Some 5 }
-      ~speculations:1
-      ~step:(fun { Loop.theta; _ } -> { Loop.theta' = theta; sweeps = 0 })
+      ~workspace:(Workspace.create ~dof:12) ~speculations:1
+      ~step:(fun ws ->
+        Vec.blit ws.Workspace.theta ws.Workspace.theta_next;
+        0)
       p
   in
   Alcotest.(check bool) "stalled" true (r.Ik.status = Ik.Stalled);
@@ -118,8 +121,10 @@ let test_loop_accumulates_sweeps () =
   let r =
     Loop.run
       ~config:{ Ik.default_config with max_iterations = 4 }
-      ~speculations:1
-      ~step:(fun { Loop.theta; _ } -> { Loop.theta' = theta; sweeps = 3 })
+      ~workspace:(Workspace.create ~dof:12) ~speculations:1
+      ~step:(fun ws ->
+        Vec.blit ws.Workspace.theta ws.Workspace.theta_next;
+        3)
       p
   in
   Alcotest.(check int) "sweeps summed" 12 r.Ik.svd_sweeps
@@ -1160,9 +1165,84 @@ let test_solver_results_deterministic =
           a.Ik.theta = b.Ik.theta && a.Ik.iterations = b.Ik.iterations)
         all_solvers)
 
+(* ---- workspace-identity trace pins ----
+
+   Reusing a solve workspace must be invisible: a solver driven on a
+   workspace already dirtied by a different problem must produce the exact
+   iteration trace — every (iter, err) pair, compared as raw float bits —
+   and the exact solution bits of a run on a fresh workspace.  This is the
+   property that makes per-domain workspace pooling in the service layer
+   safe.  Pinned on the fixed-seed 12/30/100-DOF grid. *)
+
+let trace_of ~workspace solver problem =
+  let trace = ref [] in
+  let on_iteration ~iter ~err =
+    trace := (iter, Int64.bits_of_float err) :: !trace
+  in
+  let result = solver ~on_iteration ~workspace problem in
+  (List.rev !trace, Array.map Int64.bits_of_float result.Ik.theta)
+
+let check_workspace_identity name solver ~dof =
+  let chain = Robots.eval_chain ~dof in
+  let rng = Rng.create (900 + dof) in
+  let decoy = Ik.random_problem rng chain in
+  let problem = Ik.random_problem rng chain in
+  let fresh_trace, fresh_theta =
+    trace_of ~workspace:(Workspace.create ~dof) solver problem
+  in
+  let reused = Workspace.create ~dof in
+  ignore (solver ~on_iteration:(fun ~iter:_ ~err:_ -> ()) ~workspace:reused decoy);
+  let reused_trace, reused_theta = trace_of ~workspace:reused solver problem in
+  if List.length fresh_trace = 0 then
+    Alcotest.failf "%s (%d DOF): empty iteration trace" name dof;
+  if not (List.equal (fun (i, b) (i', b') -> i = i' && Int64.equal b b')
+            fresh_trace reused_trace)
+  then Alcotest.failf "%s (%d DOF): iteration traces diverge" name dof;
+  Array.iteri
+    (fun i b ->
+      if not (Int64.equal b reused_theta.(i)) then
+        Alcotest.failf "%s (%d DOF): theta component %d differs" name dof i)
+    fresh_theta
+
+let pin_config = { Ik.default_config with max_iterations = 120 }
+
+let workspace_identity_case name solver =
+  List.map
+    (fun dof ->
+      Alcotest.test_case
+        (Printf.sprintf "%s, %d DOF" name dof)
+        (if dof = 100 then `Slow else `Quick)
+        (fun () -> check_workspace_identity name solver ~dof))
+    [ 12; 30; 100 ]
+
+let workspace_identity_tests =
+  List.concat
+    [
+      workspace_identity_case "quick_ik"
+        (fun ~on_iteration ~workspace p ->
+          Quick_ik.solve ~speculations:16 ~on_iteration ~workspace
+            ~config:pin_config p);
+      workspace_identity_case "jt_serial"
+        (fun ~on_iteration ~workspace p ->
+          Jt_serial.solve ~on_iteration ~workspace ~config:pin_config p);
+      workspace_identity_case "jt_buss"
+        (fun ~on_iteration ~workspace p ->
+          Jt_buss.solve ~on_iteration ~workspace ~config:pin_config p);
+      workspace_identity_case "jt_linesearch"
+        (fun ~on_iteration ~workspace p ->
+          Jt_linesearch.solve ~on_iteration ~workspace ~config:pin_config p);
+      workspace_identity_case "dls"
+        (fun ~on_iteration ~workspace p ->
+          Dls.solve ~on_iteration ~workspace ~config:pin_config p);
+      workspace_identity_case "sdls"
+        (fun ~on_iteration ~workspace p ->
+          Sdls.solve ~on_iteration ~workspace ~config:pin_config p);
+    ]
+
 let () =
   Alcotest.run "dadu_core"
     [
+      ("workspace-identity", workspace_identity_tests);
       ( "ik",
         [
           Alcotest.test_case "problem validates dof" `Quick test_ik_problem_validates;

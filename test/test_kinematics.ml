@@ -980,9 +980,246 @@ let test_traj_invalid () =
        false
      with Invalid_argument _ -> true)
 
+(* ---- differential tests: scratch FK/Jacobian vs the allocating oracle ----
+
+   The workspace FK kernel ([Fk.run]) folds each DH transform into the
+   running product without materializing the link matrix and skips products
+   against the transform's structural zeros.  Every partial product it does
+   compute is the same expression, in the same association order, as the
+   oracle below (explicit [Dh.transform] matrices folded with the general
+   [Mat4.mul]), so components may differ only in the sign of a zero —
+   checked here as plain float equality or a ≤1-ulp gap, across random
+   3–100-DOF chains mixing revolute and prismatic joints. *)
+
+let ulp_close a b =
+  a = b
+  || (Float.is_nan a && Float.is_nan b)
+  || ((a < 0.) = (b < 0.)
+     && Int64.abs (Int64.sub (Int64.bits_of_float a) (Int64.bits_of_float b))
+        <= 1L)
+
+let check_ulp name expected actual =
+  Array.iteri
+    (fun i e ->
+      if not (ulp_close e actual.(i)) then
+        Alcotest.failf "%s: component %d differs beyond 1 ulp: %h vs %h" name i
+          e actual.(i))
+    expected
+
+(* Random chain with mixed joint kinds and twists outside Robots.random's
+   quantized set, built deterministically from a seed. *)
+let mixed_chain seed dof =
+  let rng = Rng.create seed in
+  let links =
+    Array.init dof (fun i ->
+        let dh =
+          Dh.make
+            ~a:(Rng.uniform rng (-0.5) 0.5)
+            ~alpha:(Rng.uniform rng (-.pi) pi)
+            ~d:(Rng.uniform rng (-0.3) 0.3)
+            ~theta:(Rng.uniform rng (-.pi) pi)
+            ()
+        in
+        let joint =
+          if Rng.float rng 1. < 0.25 then
+            Joint.prismatic ~lower:(-0.5) ~upper:0.5 ()
+          else Joint.revolute ~lower:(-.pi) ~upper:pi ()
+        in
+        { Chain.name = Printf.sprintf "j%d" (i + 1); joint; dh })
+  in
+  Chain.make ~name:(Printf.sprintf "mixed-%d-%d" seed dof) links
+
+let mixed_config seed chain =
+  let rng = Rng.create (seed + 1) in
+  Array.init (Chain.dof chain) (fun i ->
+      let { Chain.joint; _ } = Chain.link chain i in
+      Rng.uniform rng joint.Joint.lower joint.Joint.upper)
+
+let oracle_pose chain q =
+  let links = Chain.links chain in
+  let acc = ref (Mat4.copy (Chain.base chain)) in
+  Array.iteri
+    (fun i { Chain.joint; dh; _ } ->
+      acc := Mat4.mul !acc (Dh.transform dh joint.Joint.kind q.(i)))
+    links;
+  Mat4.mul !acc (Chain.tool chain)
+
+let oracle_frames chain q =
+  let links = Chain.links chain in
+  let n = Array.length links in
+  let frames = Array.make (n + 1) (Mat4.identity ()) in
+  frames.(0) <- Mat4.copy (Chain.base chain);
+  for i = 0 to n - 2 do
+    let { Chain.joint; dh; _ } = links.(i) in
+    frames.(i + 1) <- Mat4.mul frames.(i) (Dh.transform dh joint.Joint.kind q.(i))
+  done;
+  let { Chain.joint; dh; _ } = links.(n - 1) in
+  frames.(n) <-
+    Mat4.mul
+      (Mat4.mul frames.(n - 1) (Dh.transform dh joint.Joint.kind q.(n - 1)))
+      (Chain.tool chain);
+  frames
+
+let chain_case_gen = QCheck.(pair (int_range 3 100) (int_bound 9999))
+
+let test_fk_scratch_differential =
+  QCheck.Test.make ~name:"scratch FK = oracle on random chains" ~count:60
+    chain_case_gen
+    (fun (dof, seed) ->
+      let chain = mixed_chain seed dof in
+      let q = mixed_config seed chain in
+      let expected = oracle_pose chain q in
+      let scratch = Fk.make_scratch () in
+      Fk.run ~scratch chain q;
+      check_ulp "pose" expected (Fk.end_transform scratch);
+      let dst = Array.make 3 nan in
+      Fk.position_into ~scratch ~dst chain q;
+      check_ulp "position_into"
+        [| expected.(3); expected.(7); expected.(11) |]
+        dst;
+      let p = Fk.position ~scratch chain q in
+      check_ulp "position" dst [| p.Vec3.x; p.Vec3.y; p.Vec3.z |];
+      true)
+
+let test_frames_scratch_differential =
+  QCheck.Test.make ~name:"scratch frames = oracle on random chains" ~count:40
+    chain_case_gen
+    (fun (dof, seed) ->
+      let chain = mixed_chain seed dof in
+      let q = mixed_config seed chain in
+      let expected = oracle_frames chain q in
+      let scratch = Fk.make_scratch () in
+      let actual = Fk.frames ~scratch chain q in
+      Array.iteri
+        (fun i e -> check_ulp (Printf.sprintf "frame %d" i) e actual.(i))
+        expected;
+      (* scratch-owned buffer: a second call must reproduce the same bits *)
+      let again = Fk.frames ~scratch chain q in
+      Array.iteri
+        (fun i e ->
+          Array.iteri
+            (fun k x ->
+              if Int64.bits_of_float x <> Int64.bits_of_float again.(i).(k) then
+                Alcotest.failf "frames reuse: frame %d component %d" i k)
+            e)
+        actual;
+      true)
+
+let test_jacobian_into_differential =
+  QCheck.Test.make ~name:"position_jacobian_into = Vec3 oracle" ~count:40
+    chain_case_gen
+    (fun (dof, seed) ->
+      let chain = mixed_chain seed dof in
+      let q = mixed_config seed chain in
+      let frames = oracle_frames chain q in
+      let p_end = Mat4.position frames.(dof) in
+      let j = Mat.create 3 dof in
+      (* frames from the scratch path feed the kernel, as in the solvers *)
+      let scratch = Fk.make_scratch () in
+      let scratch_frames = Fk.frames ~scratch chain q in
+      Jacobian.position_jacobian_into ~dst:j chain scratch_frames;
+      for i = 0 to dof - 1 do
+        let { Chain.joint; _ } = Chain.link chain i in
+        let col =
+          match joint.Joint.kind with
+          | Joint.Revolute ->
+            Vec3.cross (Mat4.z_axis frames.(i))
+              (Vec3.sub p_end (Mat4.position frames.(i)))
+          | Joint.Prismatic -> Mat4.z_axis frames.(i)
+        in
+        if
+          not
+            (ulp_close col.Vec3.x (Mat.get j 0 i)
+            && ulp_close col.Vec3.y (Mat.get j 1 i)
+            && ulp_close col.Vec3.z (Mat.get j 2 i))
+        then Alcotest.failf "jacobian column %d differs beyond 1 ulp" i
+      done;
+      true)
+
+(* Corner case: zero-length links collapse the whole chain onto the base
+   frame; the fused kernel must still produce an exact identity. *)
+let test_fk_zero_length_links () =
+  let links =
+    Array.init 8 (fun i ->
+        { Chain.name = Printf.sprintf "z%d" i;
+          joint = Joint.revolute ();
+          dh = Dh.make () })
+  in
+  let chain = Chain.make ~name:"degenerate" links in
+  let q = Array.make 8 0. in
+  let scratch = Fk.make_scratch () in
+  Fk.run ~scratch chain q;
+  check_ulp "zero-length pose" (Mat4.identity ()) (Fk.end_transform scratch);
+  check_ulp "zero-length oracle" (oracle_pose chain q) (Fk.end_transform scratch)
+
+(* Corner case: configurations pinned exactly at the joint limits (the
+   angles solvers clamp to), for a seed-pinned chain. *)
+let test_fk_limit_boundaries () =
+  let chain = mixed_chain 424242 17 in
+  let scratch = Fk.make_scratch () in
+  List.iter
+    (fun pick ->
+      let q =
+        Array.init 17 (fun i ->
+            let { Chain.joint; _ } = Chain.link chain i in
+            pick joint)
+      in
+      let expected = oracle_pose chain q in
+      Fk.run ~scratch chain q;
+      check_ulp "limit pose" expected (Fk.end_transform scratch))
+    [ (fun j -> j.Joint.lower); (fun j -> j.Joint.upper); (fun _ -> 0.) ]
+
+(* The FK scratch caches per-chain link constants; switching chains (and
+   DOFs) on one scratch must recompile, never reuse stale constants. *)
+let test_fk_scratch_across_chains () =
+  let a = mixed_chain 7 30 and b = mixed_chain 8 12 in
+  let qa = mixed_config 7 a and qb = mixed_config 8 b in
+  let shared = Fk.make_scratch () in
+  let fresh () = Fk.make_scratch () in
+  Fk.run ~scratch:shared a qa;
+  let ea = Mat4.copy (Fk.end_transform shared) in
+  Fk.run ~scratch:shared b qb;
+  let eb = Mat4.copy (Fk.end_transform shared) in
+  Fk.run ~scratch:shared a qa;
+  let ea' = Mat4.copy (Fk.end_transform shared) in
+  let want_a = fresh () and want_b = fresh () in
+  Fk.run ~scratch:want_a a qa;
+  Fk.run ~scratch:want_b b qb;
+  check_ulp "chain a on shared scratch" (Fk.end_transform want_a) ea;
+  check_ulp "chain b on shared scratch" (Fk.end_transform want_b) eb;
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float ea'.(i) then
+        Alcotest.failf "revisiting chain a is not bit-stable (component %d)" i)
+    ea
+
+let test_chain_rejects_non_affine () =
+  let bad = Mat4.identity () in
+  bad.(12) <- 0.5;
+  let links = [| { Chain.name = "j1"; joint = Joint.revolute (); dh = Dh.make ~a:1. () } |] in
+  Alcotest.check_raises "non-affine base"
+    (Invalid_argument "Chain.make: base must be affine (bottom row [0 0 0 1])")
+    (fun () -> ignore (Chain.make ~base:bad links));
+  Alcotest.check_raises "non-affine tool"
+    (Invalid_argument "Chain.make: tool must be affine (bottom row [0 0 0 1])")
+    (fun () -> ignore (Chain.make ~tool:bad links))
+
 let () =
   Alcotest.run "dadu_kinematics"
     [
+      ( "fk-differential",
+        [
+          qcheck test_fk_scratch_differential;
+          qcheck test_frames_scratch_differential;
+          qcheck test_jacobian_into_differential;
+          Alcotest.test_case "zero-length links" `Quick test_fk_zero_length_links;
+          Alcotest.test_case "joint-limit boundary angles" `Quick
+            test_fk_limit_boundaries;
+          Alcotest.test_case "scratch reuse across chains" `Quick
+            test_fk_scratch_across_chains;
+          Alcotest.test_case "Chain.make rejects non-affine" `Quick
+            test_chain_rejects_non_affine;
+        ] );
       ( "joint",
         [
           Alcotest.test_case "clamp" `Quick test_joint_clamp;

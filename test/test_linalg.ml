@@ -581,9 +581,147 @@ let test_cholesky_not_square () =
     (Invalid_argument "Cholesky.factorize: not square") (fun () ->
       ignore (Cholesky.factorize (Mat.create 2 3)))
 
+(* ---- differential tests: in-place primitives vs allocating twins ----
+
+   The zero-allocation kernels promise results bit-identical to the
+   historical allocating paths (same products, same association order).
+   These properties pin that promise: each [_into] primitive is compared
+   against its allocating twin with [Int64.bits_of_float] equality —
+   tolerances would hide an association-order drift that the solver
+   equivalence pins downstream depend on. *)
+
+let bits_equal name expected actual =
+  let n = Array.length expected in
+  if Array.length actual <> n then Alcotest.failf "%s: length mismatch" name;
+  Array.iteri
+    (fun i e ->
+      if Int64.bits_of_float e <> Int64.bits_of_float actual.(i) then
+        Alcotest.failf "%s: component %d differs: %h vs %h" name i e actual.(i))
+    expected
+
+let mat_gen rows cols =
+  QCheck.map
+    (fun data -> { Mat.rows; cols; data })
+    (vec_gen (rows * cols))
+
+let test_vec_into_differential =
+  QCheck.Test.make ~name:"Vec *_into = allocating twins (bits)" ~count:200
+    QCheck.(triple small_float (vec_gen 7) (vec_gen 7))
+    (fun (a, x, y) ->
+      let dst = Vec.create 7 in
+      Vec.sub_into ~dst x y;
+      bits_equal "sub_into" (Vec.sub x y) dst;
+      Vec.add_into ~dst x y;
+      bits_equal "add_into" (Vec.add x y) dst;
+      Vec.neg_into ~dst x;
+      bits_equal "neg_into" (Vec.neg x) dst;
+      Vec.scale_into ~dst a x;
+      bits_equal "scale_into" (Vec.scale a x) dst;
+      Vec.axpy_into ~dst a x y;
+      bits_equal "axpy_into" (Vec.axpy a x y) dst;
+      Vec.blit x dst;
+      bits_equal "blit" x dst;
+      true)
+
+let test_mat_into_differential =
+  QCheck.Test.make ~name:"Mat gemv/gram _into = allocating twins (bits)"
+    ~count:200
+    QCheck.(triple (mat_gen 3 9) (vec_gen 9) (vec_gen 3))
+    (fun (m, x, z) ->
+      let dst_r = Vec.create 3 in
+      Mat.gemv_into ~dst:dst_r m x;
+      bits_equal "gemv_into" (Mat.mul_vec m x) dst_r;
+      let dst_c = Vec.create 9 in
+      Mat.gemv_t_into ~dst:dst_c m z;
+      bits_equal "gemv_t_into" (Mat.mul_transpose_vec m z) dst_c;
+      let dst_g = Mat.create 3 3 in
+      Mat.gram_into ~dst:dst_g m;
+      bits_equal "gram_into" (Mat.gram m).Mat.data dst_g.Mat.data;
+      true)
+
+let affine_gen =
+  (* random affine 4x4: arbitrary upper 3x4, fixed [0 0 0 1] bottom row *)
+  QCheck.map
+    (fun top ->
+      let m = Array.make 16 0. in
+      Array.blit top 0 m 0 12;
+      m.(15) <- 1.;
+      m)
+    (vec_gen 12)
+
+let test_mat4_mul_into_differential =
+  QCheck.Test.make ~name:"Mat4 mul_into = mul (bits)" ~count:200
+    QCheck.(pair (vec_gen 16) (vec_gen 16))
+    (fun (a, b) ->
+      let dst = Mat4.identity () in
+      Mat4.mul_into ~dst a b;
+      bits_equal "mul_into" (Mat4.mul a b) dst;
+      true)
+
+(* The affine fast path skips products against the structural zeros of the
+   bottom row, so components can differ from the general product only in
+   the sign of a zero: plain float equality ([=]) treats +0. and -0. as
+   equal, which is exactly the intended tolerance. *)
+let test_mat4_mul_affine_differential =
+  QCheck.Test.make ~name:"Mat4 mul_affine_into = mul on affine inputs"
+    ~count:200
+    QCheck.(pair affine_gen affine_gen)
+    (fun (a, b) ->
+      let dst = Mat4.identity () in
+      Mat4.mul_affine_into ~dst a b;
+      let expected = Mat4.mul a b in
+      Array.iteri
+        (fun i e ->
+          if not (e = dst.(i)) then
+            Alcotest.failf "mul_affine_into: component %d differs: %h vs %h" i e
+              dst.(i))
+        expected;
+      true)
+
+let test_mat4_identity_into () =
+  let m = Array.init 16 (fun i -> float_of_int i) in
+  Mat4.identity_into m;
+  bits_equal "identity_into" (Mat4.identity ()) m;
+  let dst = Array.make 16 nan in
+  Mat4.blit m dst;
+  bits_equal "Mat4.blit" m dst
+
+let spd_gen =
+  (* J·Jᵀ + I is symmetric positive definite for any 3×9 J *)
+  QCheck.map
+    (fun j ->
+      let g = Mat.gram j in
+      for i = 0 to 2 do
+        Mat.set g i i (Mat.get g i i +. 1.)
+      done;
+      g)
+    (mat_gen 3 9)
+
+let test_cholesky_solve_into_differential =
+  QCheck.Test.make ~name:"Cholesky solve_into = solve (bits)" ~count:200
+    QCheck.(pair spd_gen (vec_gen 3))
+    (fun (a, b) ->
+      let l = Mat.create 3 3 and y = Vec.create 3 and dst = Vec.create 3 in
+      Cholesky.solve_into ~l ~y ~dst a b;
+      bits_equal "solve_into" (Cholesky.solve a b) dst;
+      (* reusing the same factorization buffers must not change results *)
+      let dst2 = Vec.create 3 in
+      Cholesky.solve_into ~l ~y ~dst:dst2 a b;
+      bits_equal "solve_into reuse" dst dst2;
+      true)
+
 let () =
   Alcotest.run "dadu_linalg"
     [
+      ( "into-differential",
+        [
+          qcheck test_vec_into_differential;
+          qcheck test_mat_into_differential;
+          qcheck test_mat4_mul_into_differential;
+          qcheck test_mat4_mul_affine_differential;
+          Alcotest.test_case "identity_into/blit" `Quick test_mat4_identity_into;
+          qcheck test_cholesky_solve_into_differential;
+        ] );
       ( "vec",
         [
           Alcotest.test_case "create" `Quick test_vec_create;

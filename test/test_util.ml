@@ -450,9 +450,135 @@ let test_histogram_matches_stats =
 
 let qcheck = QCheck_alcotest.to_alcotest
 
+(* ---- Json (benchmark harness serialization) ---- *)
+
+module Json = Dadu_util.Json
+
+let test_json_roundtrip_sample () =
+  let v =
+    Json.Obj
+      [ ("schema", Json.Num 1.);
+        ("benchmarks",
+          Json.List
+            [ Json.Obj
+                [ ("name", Json.Str "quickik-seq-dof12");
+                  ("dof", Json.Num 12.);
+                  ("ns_per_iter", Json.Num 48321.75);
+                  ("words_per_iter", Json.Num 0.) ] ]);
+        ("ok", Json.Bool true);
+        ("note", Json.Null) ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+  | Ok v' -> Alcotest.(check bool) "round trip" true (v = v')
+
+let test_json_number_forms () =
+  Alcotest.(check string) "integer form" "12" (Json.to_string (Json.Num 12.));
+  Alcotest.(check string) "negative zero stays a number" "-0"
+    (Json.to_string (Json.Num (-0.)));
+  (* %.17g round-trips every finite double *)
+  let x = 0.1 +. 0.2 in
+  (match Json.of_string (Json.to_string (Json.Num x)) with
+  | Ok (Json.Num y) ->
+    Alcotest.(check bool) "bit exact" true
+      (Int64.bits_of_float x = Int64.bits_of_float y)
+  | _ -> Alcotest.fail "number did not reparse");
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Json.to_string: nan/infinity are not representable")
+    (fun () -> ignore (Json.to_string (Json.Num Float.nan)))
+
+let test_json_string_escapes () =
+  let s = "line\n\ttab \"quote\" back\\slash" in
+  match Json.of_string (Json.to_string (Json.Str s)) with
+  | Ok (Json.Str s') -> Alcotest.(check string) "escape round trip" s s'
+  | Ok _ | Error _ -> Alcotest.fail "string did not reparse"
+
+let test_json_parse_whitespace_and_unicode () =
+  (match Json.of_string " { \"a\" : [ 1 , 2.5 , true , null ] } " with
+  | Ok (Json.Obj [ ("a", Json.List [ Json.Num 1.; Json.Num 2.5; Json.Bool true; Json.Null ]) ]) -> ()
+  | Ok v -> Alcotest.failf "unexpected parse: %s" (Json.to_string v)
+  | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  match Json.of_string {|"Aé"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "unicode escapes" "A\xc3\xa9" s
+  | Ok _ | Error _ -> Alcotest.fail "unicode string did not reparse"
+
+let test_json_errors () =
+  let is_error s =
+    match Json.of_string s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "trailing garbage" true (is_error "{} x");
+  Alcotest.(check bool) "unterminated string" true (is_error "\"abc");
+  Alcotest.(check bool) "bare word" true (is_error "quux");
+  Alcotest.(check bool) "missing colon" true (is_error "{\"a\" 1}");
+  Alcotest.(check bool) "empty input" true (is_error "")
+
+let test_json_accessors () =
+  let v = Json.Obj [ ("x", Json.Num 3.5); ("s", Json.Str "hi") ] in
+  Alcotest.(check (option (float 0.))) "member+to_float" (Some 3.5)
+    (Option.bind (Json.member "x" v) Json.to_float);
+  Alcotest.(check (option string)) "member+to_str" (Some "hi")
+    (Option.bind (Json.member "s" v) Json.to_str);
+  Alcotest.(check bool) "missing member" true (Json.member "nope" v = None);
+  Alcotest.(check bool) "to_list on non-list" true (Json.to_list v = None)
+
+let test_json_file_roundtrip () =
+  let path = Filename.temp_file "dadu_json" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let v = Json.Obj [ ("k", Json.List [ Json.Num 1.; Json.Str "two" ]) ] in
+      Json.write_file path v;
+      match Json.read_file path with
+      | Ok v' -> Alcotest.(check bool) "file round trip" true (v = v')
+      | Error msg -> Alcotest.failf "read_file: %s" msg)
+
+let json_value_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [ return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun x -> Json.Num x) (float_range (-1e6) 1e6);
+        map (fun s -> Json.Str s) (string_size ~gen:printable (int_range 0 12)) ]
+  in
+  let value =
+    sized (fun n ->
+        fix
+          (fun self n ->
+            if n <= 0 then scalar
+            else
+              frequency
+                [ (2, scalar);
+                  (1, map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2))));
+                  (1,
+                    map
+                      (fun kvs -> Json.Obj kvs)
+                      (list_size (int_range 0 4)
+                         (pair (string_size ~gen:printable (int_range 1 6)) (self (n / 2))))) ])
+          n)
+  in
+  QCheck.make value
+
+let test_json_roundtrip_property =
+  QCheck.Test.make ~name:"Json to_string |> of_string round-trips" ~count:200
+    json_value_gen
+    (fun v -> Json.of_string (Json.to_string v) = Ok v)
+
 let () =
   Alcotest.run "dadu_util"
     [
+      ( "json",
+        [
+          Alcotest.test_case "round trip sample" `Quick test_json_roundtrip_sample;
+          Alcotest.test_case "number forms" `Quick test_json_number_forms;
+          Alcotest.test_case "string escapes" `Quick test_json_string_escapes;
+          Alcotest.test_case "whitespace + unicode" `Quick
+            test_json_parse_whitespace_and_unicode;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "file round trip" `Quick test_json_file_roundtrip;
+          qcheck test_json_roundtrip_property;
+        ] );
       ( "rng",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;

@@ -1,0 +1,112 @@
+(* Benchmark regression gate.
+
+   Usage: bench_diff [--words-only] [--threshold PCT] OLD.json NEW.json
+
+   Compares two BENCH_quickik.json files (schema 1) benchmark-by-benchmark
+   and exits 1 if any gated metric regressed.  A metric regresses when
+
+     new > old * (1 + threshold) + floor
+
+   with threshold 15% by default.  Floors absorb quantization noise near
+   zero: ns_per_iter has floor 0 (values are tens of microseconds), while
+   words_per_iter has floor 8 so a legitimately zero-allocation kernel is
+   allowed measurement jitter of a couple of boxed words but not a real
+   per-iteration allocation.  --words-only gates only words_per_iter —
+   allocation counts are deterministic across machines, wall-clock is not,
+   so this is the mode CI uses against the committed baseline. *)
+
+module Json = Dadu_util.Json
+
+type metric = { field : string; floor : float }
+
+let all_metrics =
+  [ { field = "ns_per_iter"; floor = 0. }; { field = "words_per_iter"; floor = 8. } ]
+
+let words_metrics = [ { field = "words_per_iter"; floor = 8. } ]
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
+
+let load path =
+  match Json.read_file path with
+  | Error msg -> die "%s: %s" path msg
+  | Ok json ->
+    (match Json.member "schema" json with
+    | Some (Json.Num 1.) -> ()
+    | _ -> die "%s: unsupported or missing schema (want 1)" path);
+    (match Json.member "benchmarks" json with
+    | Some (Json.List benchmarks) ->
+      List.map
+        (fun b ->
+          match Json.member "name" b with
+          | Some (Json.Str name) -> (name, b)
+          | _ -> die "%s: benchmark entry without a name" path)
+        benchmarks
+    | _ -> die "%s: no benchmarks array" path)
+
+let metric_value path name b field =
+  match Option.bind (Json.member field b) Json.to_float with
+  | Some x -> x
+  | None -> die "%s: benchmark %s has no numeric %s" path name field
+
+let () =
+  let words_only = ref false in
+  let threshold = ref 15. in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--words-only" :: rest ->
+      words_only := true;
+      parse rest
+    | "--threshold" :: pct :: rest ->
+      (match float_of_string_opt pct with
+      | Some x when x >= 0. -> threshold := x
+      | _ -> die "--threshold wants a non-negative percentage, got %S" pct);
+      parse rest
+    | "--threshold" :: [] -> die "--threshold wants a value"
+    | arg :: rest ->
+      positional := arg :: !positional;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match List.rev !positional with
+    | [ o; n ] -> (o, n)
+    | _ ->
+      die "usage: bench_diff [--words-only] [--threshold PCT] OLD.json NEW.json"
+  in
+  let old_benchmarks = load old_path in
+  let new_benchmarks = load new_path in
+  let metrics = if !words_only then words_metrics else all_metrics in
+  let ratio = 1. +. (!threshold /. 100.) in
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, old_b) ->
+      match List.assoc_opt name new_benchmarks with
+      | None ->
+        incr regressions;
+        Printf.printf "FAIL %-24s missing from %s\n" name new_path
+      | Some new_b ->
+        List.iter
+          (fun { field; floor } ->
+            let ov = metric_value old_path name old_b field in
+            let nv = metric_value new_path name new_b field in
+            let limit = (ov *. ratio) +. floor in
+            let delta = if ov = 0. then 0. else (nv -. ov) /. ov *. 100. in
+            if nv > limit then begin
+              incr regressions;
+              Printf.printf
+                "FAIL %-24s %-14s %12.2f -> %12.2f  (%+.1f%%, limit %.2f)\n"
+                name field ov nv delta limit
+            end
+            else
+              Printf.printf
+                "ok   %-24s %-14s %12.2f -> %12.2f  (%+.1f%%)\n"
+                name field ov nv delta)
+          metrics)
+    old_benchmarks;
+  if !regressions > 0 then begin
+    Printf.printf "%d regression(s) beyond %.0f%% threshold\n" !regressions
+      !threshold;
+    exit 1
+  end
+  else Printf.printf "no regressions (threshold %.0f%%)\n" !threshold
