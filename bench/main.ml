@@ -236,30 +236,84 @@ let quickik_steady_state ~dof =
   let mean = Array.fold_left ( +. ) 0. ns /. float_of_int samples in
   (mean, pct 0.5, pct 0.95, words_per_iter)
 
+(* The raw link-major speculation kernel, measured without the solver
+   driver around it: one sweep = 64 candidates through the whole chain
+   plus the fused squared errors.  This isolates the kernel the tentpole
+   optimization introduced from Jacobian/driver costs. *)
+let speckernel_steady_state ~dof =
+  let open Dadu_kinematics in
+  let chain = Robots.eval_chain ~dof in
+  let scratch = Fk.make_scratch () in
+  Fk.precompile scratch chain;
+  let count = 64 in
+  let theta = Array.make dof 0.1 in
+  let dtheta = Array.make dof 0.02 in
+  let coeffs = Array.init count (fun k -> float_of_int (k + 1) /. 64.) in
+  let pos = Array.make (3 * count) 0. in
+  let err2 = Array.make count 0. in
+  let sweep () =
+    Fk.speculate_range_into ~scratch ~pos ~err2 ~tx:1e6 ~ty:1e6 ~tz:1e6 chain
+      ~theta ~dtheta ~coeffs ~stride:count ~lo:0 ~hi:count
+  in
+  sweep ();
+  (* warm *)
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 100 do
+    sweep ()
+  done;
+  let w1 = Gc.minor_words () in
+  let words_per_sweep = (w1 -. w0) /. 100. in
+  let samples = 31 and reps = 500 in
+  let ns = Array.make samples 0. in
+  for s = 0 to samples - 1 do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      sweep ()
+    done;
+    ns.(s) <- (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps
+  done;
+  Array.sort compare ns;
+  let pct p =
+    ns.(int_of_float (Float.round (p *. float_of_int (samples - 1))))
+  in
+  let mean = Array.fold_left ( +. ) 0. ns /. float_of_int samples in
+  (mean, pct 0.5, pct 0.95, words_per_sweep)
+
 let run_micro_json () =
   heading "Quick-IK steady-state kernel benchmark (JSON)";
   let table =
-    Table.create ~title:"steady-state Quick-IK (64 speculations, Sequential)"
+    Table.create
+      ~title:
+        "steady state: quickik = solver iteration (64 spec, Sequential), \
+         speckernel = one raw 64-candidate sweep"
       [ ("benchmark", Table.Left); ("ns/iter", Table.Right);
         ("p50 ns", Table.Right); ("p95 ns", Table.Right);
         ("words/iter", Table.Right) ]
   in
+  let entry name dof (mean, p50, p95, words) =
+    Table.add_row table
+      [ name; Printf.sprintf "%.0f" mean; Printf.sprintf "%.0f" p50;
+        Printf.sprintf "%.0f" p95; Printf.sprintf "%.2f" words ];
+    Json.Obj
+      [ ("name", Json.Str name);
+        ("dof", Json.Num (float_of_int dof));
+        ("ns_per_iter", Json.Num mean);
+        ("p50_ns", Json.Num p50);
+        ("p95_ns", Json.Num p95);
+        ("words_per_iter", Json.Num words) ]
+  in
+  let dofs = [ 12; 30; 100 ] in
   let benchmarks =
     List.map
       (fun dof ->
-        let mean, p50, p95, words = quickik_steady_state ~dof in
-        let name = Printf.sprintf "quickik-seq-dof%d" dof in
-        Table.add_row table
-          [ name; Printf.sprintf "%.0f" mean; Printf.sprintf "%.0f" p50;
-            Printf.sprintf "%.0f" p95; Printf.sprintf "%.2f" words ];
-        Json.Obj
-          [ ("name", Json.Str name);
-            ("dof", Json.Num (float_of_int dof));
-            ("ns_per_iter", Json.Num mean);
-            ("p50_ns", Json.Num p50);
-            ("p95_ns", Json.Num p95);
-            ("words_per_iter", Json.Num words) ])
-      [ 12; 30; 100 ]
+        entry (Printf.sprintf "quickik-seq-dof%d" dof) dof
+          (quickik_steady_state ~dof))
+      dofs
+    @ List.map
+        (fun dof ->
+          entry (Printf.sprintf "speckernel64-dof%d" dof) dof
+            (speckernel_steady_state ~dof))
+        dofs
   in
   Table.print table;
   Json.write_file bench_json_path

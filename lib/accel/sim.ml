@@ -31,11 +31,19 @@ let run ?(config = Config.default) ?(ik_config = Ik.default_config)
   let spu_per_iteration = Spu.iteration_cycles config ~dof in
   let ssu_per_iteration = Scheduler.ssu_busy_cycles config ~dof ~speculations in
   let rounds = Scheduler.assignments config ~speculations in
-  (* Scratch memory reused across iterations: the SPU's fused-pass scratch
-     and one FK scratch per speculation slot (per-SSU state, like the
-     hardware's register files). *)
+  (* Scratch memory reused across iterations: the SPU's fused-pass
+     scratch, one compiled-constants FK scratch shared (read-only) by
+     every SSU's position sweep, SoA candidate planes + squared errors
+     (the SSU register files), and a pose scratch for the winner's ¹T_N
+     register. *)
   let serial_scratch = Datapath.make_scratch ~dof in
-  let cand_fk = Array.init speculations (fun _ -> Fk.make_scratch ()) in
+  let spec_fk = Fk.make_scratch () in
+  Fk.precompile spec_fk chain;
+  let pose_fk = Fk.make_scratch () in
+  let pos = Array.make (3 * speculations) 0. in
+  let err2 = Array.make speculations 0. in
+  let coeffs = Array.make speculations 0. in
+  let tx = target.Vec3.x and ty = target.Vec3.y and tz = target.Vec3.z in
   (* register state carried between iterations: θ and the winning ¹T_N *)
   let rec go theta end_transform iteration steps =
     let finish ~err ~converged =
@@ -64,31 +72,32 @@ let run ?(config = Config.default) ?(ik_config = Ik.default_config)
          as the software's cap eventually would *)
       finish ~err:serial_err ~converged:false
     else begin
-      (* speculative rounds: each SSU computes θ_k, its FK transform, and
-         the candidate error; the selector folds winners across rounds *)
-      let transforms = Array.make speculations (Mat4.identity ()) in
+      (* speculative rounds: each SSU slot evaluates its candidate's
+         position-only FK and squared target error with the same
+         link-major kernel — and therefore the same bits — as the
+         software solver's sweep; the selector folds winners across
+         rounds on the squared errors (sqrt-free, order-preserving) *)
       let round_errors =
         List.map
           (fun round ->
             let errors =
               List.map
                 (fun k ->
-                  let alpha =
+                  coeffs.(k) <-
                     float_of_int (k + 1)
                     /. float_of_int speculations
-                    *. alpha_base
-                  in
-                  let theta_k = Vec.axpy alpha dtheta_base theta in
-                  let t_k = Datapath.candidate_pass_into cand_fk.(k) chain theta_k in
-                  transforms.(k) <- t_k;
-                  Vec3.dist target (Mat4.position t_k))
+                    *. alpha_base;
+                  Fk.speculate_range_into ~scratch:spec_fk ~pos ~err2 ~tx
+                    ~ty ~tz chain ~theta ~dtheta:dtheta_base ~coeffs
+                    ~stride:speculations ~lo:k ~hi:(k + 1);
+                  err2.(k))
                 round
             in
             Array.of_list errors)
           rounds
       in
       let winner = Selector.fold_rounds round_errors in
-      let winner_err = (List.nth round_errors (winner / config.Config.num_ssus)).(winner mod config.Config.num_ssus) in
+      let winner_err2 = (List.nth round_errors (winner / config.Config.num_ssus)).(winner mod config.Config.num_ssus) in
       let alpha =
         float_of_int (winner + 1)
         /. float_of_int speculations
@@ -100,11 +109,14 @@ let run ?(config = Config.default) ?(ik_config = Ik.default_config)
           iteration;
           err_before = serial_err;
           winner;
-          winner_err;
+          winner_err = sqrt winner_err2;
           cycles = cycles_per_iteration;
         }
       in
-      go theta' transforms.(winner) (iteration + 1) (step :: steps)
+      (* the winner's full ¹T_N register is refilled by the pose FK — the
+         serial pass consumes its position column, which must match the
+         software driver's forward-order frames bit for bit *)
+      go theta' (Datapath.candidate_pass_into pose_fk chain theta') (iteration + 1) (step :: steps)
     end
   in
   go (Vec.copy theta0) (Fk.pose chain theta0) 0 []

@@ -7,37 +7,58 @@ type strategy = Uniform | Log_spaced | Extended of float
 
 type mode = Sequential | Parallel of Domain_pool.t
 
+(* Below this many candidate·link folds the link-major kernel finishes
+   before a sleeping worker even wakes from the pool's broadcast: the
+   sweep runs ~12 ns per candidate·link (tools/cutover_probe on the
+   reference container), so 4096 folds ≈ 50 µs of work — roughly 10× a
+   multi-core pool's wake-up latency, leaving headroom for faster hosts.
+   See the chunking cost model in DESIGN.md §9; rerun the probe when
+   retuning this for new hardware. *)
+let parallel_cutover = 4096
+
 let solve ?(speculations = 64) ?(strategy = Uniform) ?(mode = Sequential)
     ?on_iteration ?workspace ?config (problem : Ik.problem) =
   if speculations <= 0 then invalid_arg "Quick_ik.solve: speculations must be positive";
   let { Ik.chain; target; _ } = problem in
   let dof = Chain.dof chain in
   let ws = match workspace with Some w -> w | None -> Ws.create ~dof in
-  (* Per-candidate buffers live in the workspace and are reused across
-     iterations (and solves); each candidate owns its FK scratch so
-     parallel evaluation never shares mutable state. *)
+  (* Candidate state lives in the workspace as flat SoA planes and is
+     reused across iterations (and solves); no per-candidate θ vectors or
+     FK scratches exist — the kernel forms θ + α_k·Δθ on the fly. *)
   Ws.ensure_candidates ws speculations;
-  let cand_theta = ws.Ws.cand_theta in
-  let cand_err = ws.Ws.cand_err in
-  let cand_fk = ws.Ws.cand_fk in
+  let cand_pos = ws.Ws.cand_pos in
+  let cand_err2 = ws.Ws.cand_err2 in
   let coeffs = ws.Ws.coeffs in
-  let tx = target.Vec3.x and ty = target.Vec3.y and tz = target.Vec3.z in
-  (* Allocated once per solve (defining it inside [step] would allocate a
-     closure every iteration); [theta] and [dtheta] are re-read from the
-     workspace at call time because the driver pointer-swaps them. *)
-  let evaluate k =
-    let th = ws.Ws.theta and dt = ws.Ws.dtheta in
-    let alpha = coeffs.(k) in
-    let dst = cand_theta.(k) in
-    for i = 0 to dof - 1 do
-      Array.unsafe_set dst i
-        ((alpha *. Array.unsafe_get dt i) +. Array.unsafe_get th i)
+  let stride = Array.length cand_err2 in
+  (* Log_spaced hoist: the geometric ladder ratio^(Max-1-k) depends only on
+     Max, so the per-candidate [**] of the historical closed form is paid
+     once per (workspace, Max) pairing instead of once per candidate per
+     iteration; the per-iteration work is one multiply per candidate.  The
+     powers are kept in closed form (not a running product), so the
+     coefficients match the historical ones bit for bit. *)
+  (match strategy with
+  | Log_spaced when speculations > 1 && ws.Ws.ladder_for <> speculations ->
+    if Array.length ws.Ws.ladder < speculations then
+      ws.Ws.ladder <- Array.make speculations 0.;
+    let ladder = ws.Ws.ladder in
+    let max = float_of_int speculations in
+    let ratio = (1. /. max) ** (1. /. (max -. 1.)) in
+    for k = 0 to speculations - 1 do
+      ladder.(k) <- ratio ** (max -. float_of_int (k + 1))
     done;
-    let scratch = cand_fk.(k) in
-    Fk.run ~scratch chain dst;
-    let m = Fk.end_transform scratch in
-    let dx = tx -. m.(3) and dy = ty -. m.(7) and dz = tz -. m.(11) in
-    cand_err.(k) <- sqrt (((dx *. dx) +. (dy *. dy)) +. (dz *. dz))
+    ws.Ws.ladder_for <- speculations
+  | Uniform | Extended _ | Log_spaced -> ());
+  let ladder = ws.Ws.ladder in
+  let tx = target.Vec3.x and ty = target.Vec3.y and tz = target.Vec3.z in
+  (* Compile the chain constants into the workspace FK scratch up front:
+     Parallel chunks then share the scratch strictly read-only. *)
+  Fk.precompile ws.Ws.fk chain;
+  (* Allocated once per solve; [theta] and [dtheta] are re-read from the
+     workspace at call time because the driver pointer-swaps them. *)
+  let eval_range lo hi =
+    Fk.speculate_range_into ~scratch:ws.Ws.fk ~pos:cand_pos ~err2:cand_err2
+      ~tx ~ty ~tz chain ~theta:ws.Ws.theta ~dtheta:ws.Ws.dtheta ~coeffs
+      ~stride ~lo ~hi
   in
   let step ws =
     Jacobian.position_jacobian_into ~dst:ws.Ws.jac chain ws.Ws.frames;
@@ -60,7 +81,8 @@ let solve ?(speculations = 64) ?(strategy = Uniform) ?(mode = Sequential)
       (* The step-size ladder (Eq. 9), written into the coeffs buffer so
          no float crosses a call boundary.  Uniform: α_k = (k/Max)·α_base;
          Extended scales the interval; Log_spaced is a geometric ladder
-         with the same endpoints (α_min = α_base/Max, α_max = α_base). *)
+         with the same endpoints (α_min = α_base/Max, α_max = α_base),
+         read from the hoisted power table. *)
       let max = float_of_int speculations in
       (match strategy with
       | Uniform ->
@@ -73,24 +95,39 @@ let solve ?(speculations = 64) ?(strategy = Uniform) ?(mode = Sequential)
         done
       | Log_spaced ->
         if speculations = 1 then coeffs.(0) <- alpha_base
-        else begin
-          let ratio = (1. /. max) ** (1. /. (max -. 1.)) in
+        else
           for k = 0 to speculations - 1 do
-            coeffs.(k) <- alpha_base *. (ratio ** (max -. float_of_int (k + 1)))
-          done
-        end);
+            coeffs.(k) <- alpha_base *. Array.unsafe_get ladder k
+          done);
+      (* Speculation: one link-major sweep over all candidates.  Parallel
+         mode splits [0, Max) into ~pool-size contiguous chunks (one
+         kernel call each — candidates are independent, so any partition
+         is bit-identical to the full sweep), unless the whole sweep is
+         cheaper than waking the pool. *)
       (match mode with
-      | Sequential ->
-        for k = 0 to speculations - 1 do
-          evaluate k
-        done
-      | Parallel pool -> Domain_pool.parallel_for pool speculations evaluate);
-      (* Algorithm 1 line 16: minimum error, ties toward smaller k. *)
+      | Sequential -> eval_range 0 speculations
+      | Parallel pool ->
+        if dof * speculations < parallel_cutover then eval_range 0 speculations
+        else begin
+          let size = Domain_pool.size pool in
+          let grain = (speculations + size - 1) / size in
+          Domain_pool.parallel_for_chunks pool ~grain speculations eval_range
+        end);
+      (* Algorithm 1 line 16: minimum error, ties toward smaller k — on
+         squared errors, which order exactly as the distances do. *)
       let best = ref 0 in
       for k = 1 to speculations - 1 do
-        if cand_err.(k) < cand_err.(!best) then best := k
+        if cand_err2.(k) < cand_err2.(!best) then best := k
       done;
-      Vec.blit cand_theta.(!best) ws.Ws.theta_next;
+      (* Rebuild the winner's configuration with the same expression the
+         kernel used, bit-identical to the θ-candidate the pose path
+         materialized. *)
+      let alpha = coeffs.(!best) in
+      let th = ws.Ws.theta and dt = ws.Ws.dtheta and nx = ws.Ws.theta_next in
+      for i = 0 to dof - 1 do
+        Array.unsafe_set nx i
+          ((alpha *. Array.unsafe_get dt i) +. Array.unsafe_get th i)
+      done;
       0
     end
   in

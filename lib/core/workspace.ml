@@ -21,10 +21,11 @@ type t = {
   y3 : Vec.t;
   scalars : scalars;
   mutable iter : int;
-  mutable cand_theta : Vec.t array;
-  mutable cand_err : float array;
-  mutable cand_fk : Fk.scratch array;
+  mutable cand_pos : Vec.t;
+  mutable cand_err2 : float array;
   mutable coeffs : float array;
+  mutable ladder : float array;
+  mutable ladder_for : int;
 }
 
 let create ~dof =
@@ -44,21 +45,24 @@ let create ~dof =
     y3 = Vec.create 3;
     scalars = { err = infinity; best_err = infinity };
     iter = 0;
-    cand_theta = [||];
-    cand_err = [||];
-    cand_fk = [||];
+    cand_pos = [||];
+    cand_err2 = [||];
     coeffs = [||];
+    ladder = [||];
+    ladder_for = 0;
   }
 
 let dof t = t.dof
 
 (* Speculative solvers grow the candidate pools on first use and keep them
-   across iterations (and across solves when the workspace is reused). *)
+   across iterations (and across solves when the workspace is reused).
+   The pools grow together, so [Array.length cand_err2] is the SoA plane
+   stride of [cand_pos] even when a reused workspace is wider than the
+   current speculation count. *)
 let ensure_candidates t n =
-  if Array.length t.cand_theta < n then begin
-    t.cand_theta <- Array.init n (fun _ -> Vec.create t.dof);
-    t.cand_err <- Array.make n infinity;
-    t.cand_fk <- Array.init n (fun _ -> Fk.make_scratch ());
+  if Array.length t.cand_err2 < n then begin
+    t.cand_pos <- Array.make (3 * n) 0.;
+    t.cand_err2 <- Array.make n infinity;
     t.coeffs <- Array.make n 0.
   end
 

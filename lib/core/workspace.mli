@@ -12,9 +12,10 @@ open Dadu_kinematics
     Ownership: a workspace must only be used by one solve at a time.
     Reuse across consecutive solves on the same thread is the intended
     pattern (and what {!local} provides); sharing one workspace between
-    concurrent solves races.  The candidate pools passed to Quick-IK's
-    [Parallel] mode are indexed disjointly per candidate, which is the
-    only cross-domain sharing allowed. *)
+    concurrent solves races.  Quick-IK's [Parallel] mode shares the
+    candidate buffers across domains only over disjoint index ranges, and
+    the FK scratch only after {!Dadu_kinematics.Fk.precompile} — the only
+    cross-domain sharing allowed. *)
 
 type scalars = { mutable err : float; mutable best_err : float }
 (** All-float record (flat in memory): scalar channel between driver and
@@ -35,10 +36,15 @@ type t = {
   y3 : Vec.t;  (** length-3 forward-substitution scratch *)
   scalars : scalars;
   mutable iter : int;  (** 0-based index of the current iteration *)
-  mutable cand_theta : Vec.t array;  (** speculative candidate configs *)
-  mutable cand_err : float array;  (** speculative candidate errors *)
-  mutable cand_fk : Fk.scratch array;  (** per-candidate FK scratches *)
+  mutable cand_pos : Vec.t;
+      (** speculative candidate positions, flat SoA: x at [[0, s)], y at
+          [[s, 2s)], z at [[2s, 3s)] where [s = Array.length cand_err2] *)
+  mutable cand_err2 : float array;  (** candidate *squared* target errors *)
   mutable coeffs : float array;  (** per-candidate step sizes *)
+  mutable ladder : float array;
+      (** Log-spaced geometric ladder [ratio^(Max-1-k)], hoisted out of the
+          iteration (valid when [ladder_for] matches the solve's [Max]) *)
+  mutable ladder_for : int;  (** speculation count [ladder] was built for *)
 }
 
 val create : dof:int -> t

@@ -176,6 +176,142 @@ let frames ?scratch chain q =
     frames_into ~scratch:s ~dst chain q;
     dst
 
+(* ---- link-major multi-candidate position kernel -----------------------
+
+   The speculative search only consumes each candidate's end-effector
+   *position* (Algorithm 1 line 16), so evaluating candidates with the full
+   pose product wastes over half the arithmetic and re-streams the compiled
+   link constants once per candidate.  These kernels invert the loop nest:
+   positions are folded tool→base as [p ← R·p + t] (the translation column
+   of the DH product, built by right-association), so the outer loop walks
+   the links exactly once, holds each link's five compiled constants in
+   registers, and the inner loop streams the candidate positions through
+   three contiguous planes of a flat SoA buffer ([x] at [0, stride),
+   [y] at [stride, 2·stride), [z] at [2·stride, 3·stride)).  Per candidate
+   per link this costs 2 trig + 15 flops against the pose fold's
+   2 trig + 39, and the candidate configuration θ + α_k·Δθ is formed on
+   the fly, so no per-candidate θ buffer exists at all.
+
+   Association order: the pose kernels fold left-to-right from the base;
+   these fold right-to-left from the tool.  Results therefore differ from
+   [run] by ordinary reassociation rounding — bounded (and documented) in
+   the differential suite — not bitwise.  Candidate evaluations are
+   mutually independent, so any partition of [0, count) into ranges
+   produces bit-identical positions and errors per candidate, which is
+   what makes chunked parallel evaluation equal to sequential. *)
+
+let precompile scratch chain = ensure_compiled scratch chain
+
+(* Shared backward sweep: seeds every candidate with the tool translation,
+   then folds links n-1..0.  [theta]/[dtheta]/[coeffs] are read-only;
+   candidate state in [pos] is touched only inside [lo, hi), so concurrent
+   sweeps over disjoint ranges of one buffer (sharing one *precompiled*
+   scratch) do not race. *)
+let sweep_links scratch chain ~theta ~dtheta ~coeffs ~pos ~stride ~lo ~hi =
+  let n = Chain.dof chain in
+  let pre = scratch.pre and rev = scratch.revolute in
+  let tool = Chain.tool chain in
+  let tx = Array.unsafe_get tool 3
+  and ty = Array.unsafe_get tool 7
+  and tz = Array.unsafe_get tool 11 in
+  for k = lo to hi - 1 do
+    Array.unsafe_set pos k tx;
+    Array.unsafe_set pos (stride + k) ty;
+    Array.unsafe_set pos ((2 * stride) + k) tz
+  done;
+  for i = n - 1 downto 0 do
+    let b = 5 * i in
+    let ca = Array.unsafe_get pre b
+    and sa = Array.unsafe_get pre (b + 1)
+    and a = Array.unsafe_get pre (b + 2)
+    and d0 = Array.unsafe_get pre (b + 3)
+    and t0 = Array.unsafe_get pre (b + 4) in
+    let is_rev = Array.unsafe_get rev i in
+    let th_i = Array.unsafe_get theta i
+    and dt_i = Array.unsafe_get dtheta i in
+    for k = lo to hi - 1 do
+      (* same expression order as the candidate-θ materialization the pose
+         path used: α_k·Δθᵢ + θᵢ *)
+      let qk = (Array.unsafe_get coeffs k *. dt_i) +. th_i in
+      let tv = if is_rev then t0 +. qk else t0 in
+      let d = if is_rev then d0 else d0 +. qk in
+      let ct = cos tv and st = sin tv in
+      let x = Array.unsafe_get pos k
+      and y = Array.unsafe_get pos (stride + k)
+      and z = Array.unsafe_get pos ((2 * stride) + k) in
+      (* p ← R·p + t for the DH matrix, factored through w = x + a and
+         u = cα·y − sα·z (15 flops) *)
+      let w = x +. a in
+      let u = (ca *. y) -. (sa *. z) in
+      Array.unsafe_set pos k ((ct *. w) -. (st *. u));
+      Array.unsafe_set pos (stride + k) ((st *. w) +. (ct *. u));
+      Array.unsafe_set pos ((2 * stride) + k) ((sa *. y) +. (ca *. z) +. d)
+    done
+  done
+
+let check_many_args name chain ~theta ~dtheta ~coeffs ~stride ~lo ~hi =
+  let n = Chain.dof chain in
+  if Array.length theta <> n then
+    invalid_arg (name ^ ": theta does not match the chain dof");
+  if Array.length dtheta <> n then
+    invalid_arg (name ^ ": dtheta does not match the chain dof");
+  if lo < 0 || hi > stride || Array.length coeffs < hi then
+    invalid_arg (name ^ ": candidate range out of bounds")
+
+let positions_many_into ~scratch ~dst chain ~theta ~dtheta ~coeffs ~count =
+  if count <= 0 then
+    invalid_arg "Fk.positions_many_into: count must be positive";
+  check_many_args "Fk.positions_many_into" chain ~theta ~dtheta ~coeffs
+    ~stride:count ~lo:0 ~hi:count;
+  if Array.length dst < 3 * count then
+    invalid_arg "Fk.positions_many_into: dst shorter than 3*count";
+  ensure_compiled scratch chain;
+  sweep_links scratch chain ~theta ~dtheta ~coeffs ~pos:dst ~stride:count
+    ~lo:0 ~hi:count;
+  let base = Chain.base chain in
+  let b0 = base.(0) and b1 = base.(1) and b2 = base.(2) and b3 = base.(3)
+  and b4 = base.(4) and b5 = base.(5) and b6 = base.(6) and b7 = base.(7)
+  and b8 = base.(8) and b9 = base.(9) and b10 = base.(10) and b11 = base.(11) in
+  for k = 0 to count - 1 do
+    let x = Array.unsafe_get dst k
+    and y = Array.unsafe_get dst (count + k)
+    and z = Array.unsafe_get dst ((2 * count) + k) in
+    Array.unsafe_set dst k ((b0 *. x) +. (b1 *. y) +. (b2 *. z) +. b3);
+    Array.unsafe_set dst (count + k) ((b4 *. x) +. (b5 *. y) +. (b6 *. z) +. b7);
+    Array.unsafe_set dst ((2 * count) + k)
+      ((b8 *. x) +. (b9 *. y) +. (b10 *. z) +. b11)
+  done
+
+let speculate_range_into ~scratch ~pos ~err2 ~tx ~ty ~tz chain ~theta ~dtheta
+    ~coeffs ~stride ~lo ~hi =
+  check_many_args "Fk.speculate_range_into" chain ~theta ~dtheta ~coeffs
+    ~stride ~lo ~hi;
+  if Array.length pos < 3 * stride then
+    invalid_arg "Fk.speculate_range_into: pos shorter than 3*stride";
+  if Array.length err2 < stride then
+    invalid_arg "Fk.speculate_range_into: err2 shorter than stride";
+  ensure_compiled scratch chain;
+  sweep_links scratch chain ~theta ~dtheta ~coeffs ~pos ~stride ~lo ~hi;
+  let base = Chain.base chain in
+  let b0 = base.(0) and b1 = base.(1) and b2 = base.(2) and b3 = base.(3)
+  and b4 = base.(4) and b5 = base.(5) and b6 = base.(6) and b7 = base.(7)
+  and b8 = base.(8) and b9 = base.(9) and b10 = base.(10) and b11 = base.(11) in
+  for k = lo to hi - 1 do
+    let x = Array.unsafe_get pos k
+    and y = Array.unsafe_get pos (stride + k)
+    and z = Array.unsafe_get pos ((2 * stride) + k) in
+    let fx = (b0 *. x) +. (b1 *. y) +. (b2 *. z) +. b3 in
+    let fy = (b4 *. x) +. (b5 *. y) +. (b6 *. z) +. b7 in
+    let fz = (b8 *. x) +. (b9 *. y) +. (b10 *. z) +. b11 in
+    Array.unsafe_set pos k fx;
+    Array.unsafe_set pos (stride + k) fy;
+    Array.unsafe_set pos ((2 * stride) + k) fz;
+    let dx = tx -. fx and dy = ty -. fy and dz = tz -. fz in
+    (* squared error straight out of the base fold: the argmin scan needs
+       no per-candidate sqrt (sqrt is monotone) *)
+    Array.unsafe_set err2 k (((dx *. dx) +. (dy *. dy)) +. (dz *. dz))
+  done
+
 (* One 4×4 matrix product is 64 multiplies + 48 adds = 112 flops; building
    a DH local transform costs 4 trigs + 2 multiplies, counted as 10.  The
    chain does [dof] products plus one for the tool.  Kept at full 4×4

@@ -53,6 +53,60 @@ val frames : ?scratch:scratch -> Chain.t -> Vec.t -> Mat4.t array
     is returned (valid until the next [frames] call on the same scratch);
     without it a fresh array is allocated per call. *)
 
+val precompile : scratch -> Chain.t -> unit
+(** Compiles the chain's per-link constants into the scratch (no-op when
+    already compiled for this chain).  Call once before sharing a scratch
+    between concurrent {!speculate_range_into} sweeps over disjoint
+    candidate ranges: compilation mutates the scratch, the sweeps only
+    read it. *)
+
+val positions_many_into :
+  scratch:scratch ->
+  dst:Vec.t ->
+  Chain.t ->
+  theta:Vec.t ->
+  dtheta:Vec.t ->
+  coeffs:Vec.t ->
+  count:int ->
+  unit
+(** [positions_many_into ~scratch ~dst chain ~theta ~dtheta ~coeffs ~count]
+    computes the end-effector positions of the [count] candidate
+    configurations [θ + coeffs.(k)·Δθ], [k ∈ \[0, count)], in one
+    link-major backward (tool→base) sweep: per link the compiled DH
+    constants are loaded once and only the position column is folded
+    ([p ← R·p + t], ~15 flops/link/candidate vs ~39 for the pose product).
+    [dst] is a flat SoA buffer of at least [3·count] floats: x-coordinates
+    at [\[0, count)], y at [\[count, 2·count)], z at [\[2·count, 3·count)].
+    Association order differs from {!run} (right-to-left vs left-to-right),
+    so positions agree with the pose kernels up to reassociation rounding,
+    not bitwise.  Allocation-free in steady state. *)
+
+val speculate_range_into :
+  scratch:scratch ->
+  pos:Vec.t ->
+  err2:Vec.t ->
+  tx:float ->
+  ty:float ->
+  tz:float ->
+  Chain.t ->
+  theta:Vec.t ->
+  dtheta:Vec.t ->
+  coeffs:Vec.t ->
+  stride:int ->
+  lo:int ->
+  hi:int ->
+  unit
+(** The Quick-IK speculation engine: like {!positions_many_into} restricted
+    to candidates [k ∈ \[lo, hi)] of a buffer laid out with plane stride
+    [stride] ([pos] has [3·stride] floats), and additionally writes each
+    candidate's *squared* distance to the target [(tx, ty, tz)] into
+    [err2.(k)] in the same pass — the argmin scan needs no per-candidate
+    [sqrt].  Candidates are evaluated independently, so partitioning
+    [\[0, count)] into ranges (one call per range, same buffers) yields
+    bit-identical [pos]/[err2] contents to a single full-range call; with
+    a {!precompile}d scratch the ranges may run on concurrent domains.
+    Allocation-free. *)
+
 val flops_per_position : int -> int
 (** Floating-point operation count of one {!position} call for a [dof]-link
     chain; used by the platform cost models.  Counts the 4×4 matrix product

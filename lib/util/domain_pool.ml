@@ -4,29 +4,34 @@ type t = {
   ready : Condition.t;
   finished : Condition.t;
   mutable generation : int;
-  mutable body : int -> unit;
-  mutable total : int;
-  next : int Atomic.t;
-  completed : int Atomic.t;
+  mutable body : int -> int -> unit; (* contiguous range [lo, hi) *)
+  mutable items : int;
+  mutable grain : int;
+  mutable tasks : int; (* ceil (items / grain) *)
+  next : int Atomic.t; (* task (chunk) counter *)
+  completed : int Atomic.t; (* finished tasks *)
   mutable failure : exn option;
   mutable shutting_down : bool;
   mutable domains : unit Domain.t list;
 }
 
 (* Work-stealing inner loop shared by workers and the caller: grab the next
-   index until the range is exhausted.  The last finisher signals
-   [finished]. *)
+   chunk until the range is exhausted.  Dispatch is per chunk, not per
+   item, so a grained loop over n items costs ceil(n/grain) atomic
+   fetches instead of n.  The last finisher signals [finished]. *)
 let drain t =
   let rec loop () =
-    let i = Atomic.fetch_and_add t.next 1 in
-    if i < t.total then begin
-      (try t.body i
+    let c = Atomic.fetch_and_add t.next 1 in
+    if c < t.tasks then begin
+      let lo = c * t.grain in
+      let hi = Stdlib.min t.items (lo + t.grain) in
+      (try t.body lo hi
        with exn ->
          Mutex.lock t.mutex;
          if t.failure = None then t.failure <- Some exn;
          Mutex.unlock t.mutex);
       let done_count = 1 + Atomic.fetch_and_add t.completed 1 in
-      if done_count = t.total then begin
+      if done_count = t.tasks then begin
         Mutex.lock t.mutex;
         Condition.broadcast t.finished;
         Mutex.unlock t.mutex
@@ -62,8 +67,10 @@ let create n =
       ready = Condition.create ();
       finished = Condition.create ();
       generation = 0;
-      body = ignore;
-      total = 0;
+      body = (fun _ _ -> ());
+      items = 0;
+      grain = 1;
+      tasks = 0;
       next = Atomic.make 0;
       completed = Atomic.make 0;
       failure = None;
@@ -76,12 +83,15 @@ let create n =
 
 let size t = t.total_workers
 
-let parallel_for t n body =
-  if n < 0 then invalid_arg "Domain_pool.parallel_for: negative count";
+let run_chunks name t ~grain n body =
+  if n < 0 then invalid_arg (name ^ ": negative count");
+  if grain <= 0 then invalid_arg (name ^ ": grain must be positive");
   if n > 0 then begin
     Mutex.lock t.mutex;
     t.body <- body;
-    t.total <- n;
+    t.items <- n;
+    t.grain <- grain;
+    t.tasks <- (n + grain - 1) / grain;
     t.failure <- None;
     Atomic.set t.next 0;
     Atomic.set t.completed 0;
@@ -90,22 +100,37 @@ let parallel_for t n body =
     Mutex.unlock t.mutex;
     drain t;
     Mutex.lock t.mutex;
-    while Atomic.get t.completed < t.total do
+    while Atomic.get t.completed < t.tasks do
       Condition.wait t.finished t.mutex
     done;
     let failure = t.failure in
-    t.body <- ignore;
+    t.body <- (fun _ _ -> ());
     Mutex.unlock t.mutex;
     match failure with None -> () | Some exn -> raise exn
   end
 
+let parallel_for_chunks t ~grain n body =
+  run_chunks "Domain_pool.parallel_for_chunks" t ~grain n body
+
+let parallel_for ?(grain = 1) t n body =
+  run_chunks "Domain_pool.parallel_for" t ~grain n (fun lo hi ->
+      for i = lo to hi - 1 do
+        body i
+      done)
+
+(* All [n] items go through [parallel_for]; item 0 is not special-cased on
+   the caller thread (doing so serialized the first item ahead of the
+   workers and skewed parallel timings).  The option buffer exists because
+   ['a] has no default element; [map] is not a steady-state kernel, so the
+   per-item [Some] box is fine. *)
 let map t f n =
   if n = 0 then [||]
   else begin
-    let first = f 0 in
-    let results = Array.make n first in
-    parallel_for t (n - 1) (fun i -> results.(i + 1) <- f (i + 1));
-    results
+    let results = Array.make n None in
+    parallel_for t n (fun i -> results.(i) <- Some (f i));
+    Array.map
+      (fun r -> match r with Some v -> v | None -> assert false)
+      results
   end
 
 let shutdown t =

@@ -78,10 +78,10 @@ rows are host-dependent, so only the deterministic counters are matched:
   > EOF
   $ dadu serve-batch demo.problems -j 2 --chunk 4 > serve.out; echo "exit $?"
   exit 0
-  $ grep -E "requests|converged|cache hits" serve.out
-  | requests        |         8 |
-  | converged       |         8 |
-  | cache hits      | 1 (12.5%) |
+  $ grep -E "requests|converged|cache hits" serve.out | tr -s ' '
+  | requests | 8 |
+  | converged | 8 |
+  | cache hits | 1 (12.5%) |
   $ grep -c "latency p95" serve.out
   1
 
@@ -95,10 +95,10 @@ non-zero, while the reachable problems still solve:
   > EOF
   $ dadu serve-batch hard.problems --max-iters 300 > hard.out; echo "exit $?"
   exit 1
-  $ grep -E "converged|failed|fallback used" hard.out
-  | converged       |         1 |
-  | failed          |         1 |
-  | fallback used   |         2 |
+  $ grep -E "converged|failed|fallback used" hard.out | tr -s ' '
+  | converged | 1 |
+  | failed | 1 |
+  | fallback used | 2 |
 
 A malformed problem file is a diagnostic on stderr and exit 3 — never a
 backtrace:

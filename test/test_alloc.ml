@@ -36,6 +36,39 @@ let check_zero name solve =
   let per_iter = words_per_iter ~short:200 ~long:1200 solve in
   Alcotest.(check (float 0.)) (name ^ ": minor words per iteration") 0. per_iter
 
+(* The link-major speculation kernel itself, without the solver driver
+   around it: repeated sweeps on warm buffers must allocate exactly
+   nothing — no closures, no boxed floats, no temporaries. *)
+let test_speculation_kernel_zero () =
+  let dof = 30 and count = 64 in
+  let chain = Robots.eval_chain ~dof in
+  let scratch = Fk.make_scratch () in
+  Fk.precompile scratch chain;
+  let theta = Array.make dof 0.1 in
+  let dtheta = Array.make dof 0.02 in
+  let coeffs = Array.init count (fun k -> float_of_int (k + 1) /. 64.) in
+  let pos = Array.make (3 * count) 0. in
+  let err2 = Array.make count 0. in
+  let sweep () =
+    Fk.speculate_range_into ~scratch ~pos ~err2 ~tx:1e6 ~ty:1e6 ~tz:1e6 chain
+      ~theta ~dtheta ~coeffs ~stride:count ~lo:0 ~hi:count
+  in
+  sweep ();
+  (* warm *)
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    sweep ()
+  done;
+  let w1 = Gc.minor_words () in
+  Alcotest.(check (float 0.)) "kernel minor words per sweep" 0.
+    ((w1 -. w0) /. 1000.)
+
+let test_quick_ik_12dof () =
+  let p = unreachable_problem ~dof:12 in
+  let ws = Workspace.create ~dof:12 in
+  check_zero "quick_ik seq 12dof" (fun config ->
+      ignore (Quick_ik.solve ~speculations:64 ~workspace:ws ~config p))
+
 let test_quick_ik_30dof () =
   let p = unreachable_problem ~dof:30 in
   let ws = Workspace.create ~dof:30 in
@@ -75,10 +108,12 @@ let test_dls () =
 (* Parallel candidate evaluation allocates by design — the domain pool
    builds per-wave task bookkeeping — so it gets a documented slack bound
    rather than zero: the point is that the per-candidate FK work itself
-   stays out of the allocator, leaving only O(pool) scheduling words. *)
+   stays out of the allocator, leaving only O(pool) scheduling words.
+   100 DOF keeps dof×Max above the dispatch cutover so the pool path (not
+   the sequential fallback) is what gets measured. *)
 let test_quick_ik_parallel_bounded () =
-  let p = unreachable_problem ~dof:30 in
-  let ws = Workspace.create ~dof:30 in
+  let p = unreachable_problem ~dof:100 in
+  let ws = Workspace.create ~dof:100 in
   let pool = Dadu_util.Domain_pool.create 2 in
   let per_iter =
     words_per_iter ~short:100 ~long:400 (fun config ->
@@ -117,6 +152,9 @@ let () =
     [
       ( "steady-state zero allocation",
         [
+          Alcotest.test_case "speculation kernel sweep" `Quick
+            test_speculation_kernel_zero;
+          Alcotest.test_case "quick_ik 64 spec, 12 DOF" `Quick test_quick_ik_12dof;
           Alcotest.test_case "quick_ik 64 spec, 30 DOF" `Quick test_quick_ik_30dof;
           Alcotest.test_case "quick_ik 16 spec, 100 DOF" `Slow test_quick_ik_100dof;
           Alcotest.test_case "jt_serial 30 DOF" `Quick test_jt_serial;

@@ -261,6 +261,73 @@ let test_quick_ik_parallel_bit_identical () =
       Alcotest.(check (float 0.)) "bit-identical error" seq.Ik.error par.Ik.error)
     (problems ~seed:35 4)
 
+(* Above the dof×Max dispatch cutover the Parallel mode really runs on the
+   pool (chunked sweeps); candidates are independent, so the chunked result
+   must still match Sequential bit for bit — across pool sizes, which
+   exercise different chunk shapes. *)
+let test_quick_ik_parallel_bit_identical_above_cutover () =
+  let chain = Robots.eval_chain ~dof:100 in
+  Array.iter
+    (fun p ->
+      let seq = Quick_ik.solve ~speculations:64 ~config:(cfg ()) p in
+      List.iter
+        (fun pool_size ->
+          let pool = Dadu_util.Domain_pool.create pool_size in
+          Fun.protect ~finally:(fun () -> Dadu_util.Domain_pool.shutdown pool)
+          @@ fun () ->
+          let par =
+            Quick_ik.solve ~speculations:64 ~mode:(Quick_ik.Parallel pool)
+              ~config:(cfg ()) p
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "same iterations (pool %d)" pool_size)
+            seq.Ik.iterations par.Ik.iterations;
+          Alcotest.(check bool)
+            (Printf.sprintf "bit-identical theta (pool %d)" pool_size)
+            true (seq.Ik.theta = par.Ik.theta);
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "bit-identical error (pool %d)" pool_size)
+            seq.Ik.error par.Ik.error)
+        [ 2; 3; 5 ])
+    (problems ~chain ~seed:44 2)
+
+(* Satellite: the hoisted Log_spaced power table must reproduce the
+   historical per-iteration closed form α_base·ratio^(Max−1−k) within
+   1 ulp (it is in fact bit-exact: the same [**] calls, paid once). *)
+let test_quick_ik_log_spaced_ladder_pin () =
+  let ulp_close a b =
+    a = b
+    || Int64.abs (Int64.sub (Int64.bits_of_float a) (Int64.bits_of_float b))
+       <= 1L
+  in
+  List.iter
+    (fun speculations ->
+      let ws = Workspace.create ~dof:12 in
+      let p = (problems ~seed:45 1).(0) in
+      ignore
+        (Quick_ik.solve ~speculations ~strategy:Quick_ik.Log_spaced
+           ~workspace:ws ~config:(cfg ()) p);
+      Alcotest.(check int) "ladder compiled for this Max" speculations
+        ws.Workspace.ladder_for;
+      let max = float_of_int speculations in
+      let ratio = (1. /. max) ** (1. /. (max -. 1.)) in
+      for k = 0 to speculations - 1 do
+        let expected = ratio ** (max -. float_of_int (k + 1)) in
+        if not (ulp_close expected ws.Workspace.ladder.(k)) then
+          Alcotest.failf "Max %d: ladder.(%d) = %h, closed form %h"
+            speculations k
+            ws.Workspace.ladder.(k)
+            expected
+      done;
+      (* endpoints of the geometric ladder: α_min = α_base/Max at k = 0,
+         α_max = α_base at k = Max−1 *)
+      Alcotest.(check bool) "top of ladder is 1" true
+        (ulp_close 1. ws.Workspace.ladder.(speculations - 1));
+      (* ratio^(Max−1) = 1/Max only up to the two [**] roundings *)
+      Alcotest.(check bool) "bottom of ladder is ~1/Max" true
+        (Float.abs ((ws.Workspace.ladder.(0) *. max) -. 1.) < 1e-12))
+    [ 16; 64 ]
+
 let test_quick_ik_extended_one_is_uniform () =
   Array.iter
     (fun p ->
@@ -1282,6 +1349,10 @@ let () =
           Alcotest.test_case "1 speculation = buss" `Quick test_quick_ik_one_speculation_is_buss;
           Alcotest.test_case "parallel bit-identical" `Quick
             test_quick_ik_parallel_bit_identical;
+          Alcotest.test_case "parallel bit-identical above cutover" `Slow
+            test_quick_ik_parallel_bit_identical_above_cutover;
+          Alcotest.test_case "log-spaced ladder pin" `Quick
+            test_quick_ik_log_spaced_ladder_pin;
           Alcotest.test_case "extended 1.0 = uniform" `Quick
             test_quick_ik_extended_one_is_uniform;
           Alcotest.test_case "all strategies converge" `Quick test_quick_ik_strategies_converge;

@@ -1193,6 +1193,184 @@ let test_fk_scratch_across_chains () =
         Alcotest.failf "revisiting chain a is not bit-stable (component %d)" i)
     ea
 
+(* ---- speculation kernel: positions_many_into / speculate_range_into ----
+
+   The link-major kernel folds the chain tool→base (right-to-left) while
+   [Fk.run] folds base→tool, so the two reassociate the same product and
+   positions agree only up to accumulated rounding — checked with a
+   reach-scaled tolerance, not ulps.  Everything the kernel promises
+   exactly is checked bitwise: a range-partitioned sweep writes the same
+   bits as one full-range call, [err2] is exactly the fused squared
+   distance of the written position, and candidates are independent. *)
+
+let spec_close ~scale a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1. scale
+
+let candidate_oracle chain theta dtheta c =
+  let dof = Chain.dof chain in
+  (* the same expression order the kernel uses: α·Δθᵢ + θᵢ *)
+  let q = Array.init dof (fun i -> (c *. dtheta.(i)) +. theta.(i)) in
+  Fk.position chain q
+
+let spec_case seed dof =
+  let chain = mixed_chain seed dof in
+  let theta = mixed_config seed chain in
+  let rng = Rng.create (seed + 2) in
+  let dtheta = Array.init dof (fun _ -> Rng.uniform rng (-1.) 1.) in
+  let count = 1 + Rng.int rng 64 in
+  let coeffs = Array.init count (fun _ -> Rng.uniform rng (-1.5) 1.5) in
+  (chain, theta, dtheta, count, coeffs)
+
+let bits = Int64.bits_of_float
+
+let test_positions_many_differential =
+  QCheck.Test.make ~name:"positions_many_into = per-candidate FK oracle"
+    ~count:60 chain_case_gen (fun (dof, seed) ->
+      let chain, theta, dtheta, count, coeffs = spec_case seed dof in
+      let scratch = Fk.make_scratch () in
+      let dst = Array.make (3 * count) nan in
+      Fk.positions_many_into ~scratch ~dst chain ~theta ~dtheta ~coeffs ~count;
+      let scale = Chain.reach chain in
+      for k = 0 to count - 1 do
+        let p = candidate_oracle chain theta dtheta coeffs.(k) in
+        if
+          not
+            (spec_close ~scale p.Vec3.x dst.(k)
+            && spec_close ~scale p.Vec3.y dst.(count + k)
+            && spec_close ~scale p.Vec3.z dst.((2 * count) + k))
+        then
+          Alcotest.failf
+            "candidate %d drifted beyond reassociation tolerance" k
+      done;
+      true)
+
+let test_speculate_matches_positions_many =
+  QCheck.Test.make
+    ~name:"speculate_range_into = positions_many_into + fused err²" ~count:60
+    chain_case_gen (fun (dof, seed) ->
+      let chain, theta, dtheta, count, coeffs = spec_case seed dof in
+      let scratch = Fk.make_scratch () in
+      let dst = Array.make (3 * count) nan in
+      Fk.positions_many_into ~scratch ~dst chain ~theta ~dtheta ~coeffs ~count;
+      let rng = Rng.create (seed + 3) in
+      let tx = Rng.uniform rng (-2.) 2.
+      and ty = Rng.uniform rng (-2.) 2.
+      and tz = Rng.uniform rng (-2.) 2. in
+      let pos = Array.make (3 * count) nan in
+      let err2 = Array.make count nan in
+      Fk.speculate_range_into ~scratch ~pos ~err2 ~tx ~ty ~tz chain ~theta
+        ~dtheta ~coeffs ~stride:count ~lo:0 ~hi:count;
+      for i = 0 to (3 * count) - 1 do
+        if bits pos.(i) <> bits dst.(i) then
+          Alcotest.failf "pos component %d not bit-identical across kernels" i
+      done;
+      for k = 0 to count - 1 do
+        let dx = tx -. pos.(k)
+        and dy = ty -. pos.(count + k)
+        and dz = tz -. pos.((2 * count) + k) in
+        let e = ((dx *. dx) +. (dy *. dy)) +. (dz *. dz) in
+        if bits e <> bits err2.(k) then
+          Alcotest.failf "err2 %d is not the fused squared distance" k
+      done;
+      true)
+
+let test_speculate_partition_bit_identical =
+  QCheck.Test.make ~name:"range-partitioned sweeps = full sweep, bitwise"
+    ~count:40 chain_case_gen (fun (dof, seed) ->
+      let chain, theta, dtheta, count, coeffs = spec_case seed dof in
+      let scratch = Fk.make_scratch () in
+      Fk.precompile scratch chain;
+      let sweep pos err2 lo hi =
+        Fk.speculate_range_into ~scratch ~pos ~err2 ~tx:0.3 ~ty:(-0.7)
+          ~tz:1.1 chain ~theta ~dtheta ~coeffs ~stride:count ~lo ~hi
+      in
+      let full_pos = Array.make (3 * count) nan in
+      let full_err2 = Array.make count nan in
+      sweep full_pos full_err2 0 count;
+      let part_pos = Array.make (3 * count) nan in
+      let part_err2 = Array.make count nan in
+      let rng = Rng.create (seed + 4) in
+      let grain = 1 + Rng.int rng count in
+      let lo = ref 0 in
+      while !lo < count do
+        let hi = Stdlib.min count (!lo + grain) in
+        sweep part_pos part_err2 !lo hi;
+        lo := hi
+      done;
+      for i = 0 to (3 * count) - 1 do
+        if bits part_pos.(i) <> bits full_pos.(i) then
+          Alcotest.failf "partitioned pos %d differs (grain %d)" i grain
+      done;
+      for k = 0 to count - 1 do
+        if bits part_err2.(k) <> bits full_err2.(k) then
+          Alcotest.failf "partitioned err2 %d differs (grain %d)" k grain
+      done;
+      true)
+
+(* zero coefficients collapse every candidate onto θ itself: planes must be
+   constant bit for bit (candidate independence), and match the forward
+   kernels up to reassociation *)
+let test_positions_many_zero_coeff () =
+  let chain = mixed_chain 99 40 in
+  let theta = mixed_config 99 chain in
+  let dtheta = Array.make 40 0.37 in
+  let count = 8 in
+  let coeffs = Array.make count 0. in
+  let scratch = Fk.make_scratch () in
+  let dst = Array.make (3 * count) nan in
+  Fk.positions_many_into ~scratch ~dst chain ~theta ~dtheta ~coeffs ~count;
+  for k = 1 to count - 1 do
+    for plane = 0 to 2 do
+      if bits dst.((plane * count) + k) <> bits dst.(plane * count) then
+        Alcotest.failf "zero-coeff candidate %d plane %d differs" k plane
+    done
+  done;
+  let p = Fk.position chain theta in
+  let scale = Chain.reach chain in
+  Alcotest.(check bool) "matches forward FK" true
+    (spec_close ~scale p.Vec3.x dst.(0)
+    && spec_close ~scale p.Vec3.y dst.(count)
+    && spec_close ~scale p.Vec3.z dst.(2 * count))
+
+let test_speculate_validation () =
+  let chain = mixed_chain 5 6 in
+  let theta = Array.make 6 0. and dtheta = Array.make 6 0. in
+  let scratch = Fk.make_scratch () in
+  let expect name f =
+    Alcotest.(check bool) name true
+      (try
+         f ();
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect "count 0" (fun () ->
+      Fk.positions_many_into ~scratch ~dst:[||] chain ~theta ~dtheta
+        ~coeffs:[||] ~count:0);
+  expect "short dst" (fun () ->
+      Fk.positions_many_into ~scratch ~dst:(Array.make 5 0.) chain ~theta
+        ~dtheta ~coeffs:(Array.make 2 0.) ~count:2);
+  expect "theta length" (fun () ->
+      Fk.positions_many_into ~scratch ~dst:(Array.make 6 0.) chain
+        ~theta:(Array.make 5 0.) ~dtheta ~coeffs:(Array.make 2 0.) ~count:2);
+  expect "dtheta length" (fun () ->
+      Fk.positions_many_into ~scratch ~dst:(Array.make 6 0.) chain ~theta
+        ~dtheta:(Array.make 7 0.) ~coeffs:(Array.make 2 0.) ~count:2);
+  expect "short coeffs" (fun () ->
+      Fk.speculate_range_into ~scratch ~pos:(Array.make 6 0.)
+        ~err2:(Array.make 2 0.) ~tx:0. ~ty:0. ~tz:0. chain ~theta ~dtheta
+        ~coeffs:[| 0. |] ~stride:2 ~lo:0 ~hi:2);
+  expect "hi beyond stride" (fun () ->
+      Fk.speculate_range_into ~scratch ~pos:(Array.make 6 0.)
+        ~err2:(Array.make 2 0.) ~tx:0. ~ty:0. ~tz:0. chain ~theta ~dtheta
+        ~coeffs:(Array.make 4 0.) ~stride:2 ~lo:0 ~hi:3);
+  expect "negative lo" (fun () ->
+      Fk.speculate_range_into ~scratch ~pos:(Array.make 6 0.)
+        ~err2:(Array.make 2 0.) ~tx:0. ~ty:0. ~tz:0. chain ~theta ~dtheta
+        ~coeffs:(Array.make 2 0.) ~stride:2 ~lo:(-1) ~hi:2);
+  expect "short err2" (fun () ->
+      Fk.speculate_range_into ~scratch ~pos:(Array.make 6 0.)
+        ~err2:[| 0. |] ~tx:0. ~ty:0. ~tz:0. chain ~theta ~dtheta
+        ~coeffs:(Array.make 2 0.) ~stride:2 ~lo:0 ~hi:2)
+
 let test_chain_rejects_non_affine () =
   let bad = Mat4.identity () in
   bad.(12) <- 0.5;
@@ -1219,6 +1397,16 @@ let () =
             test_fk_scratch_across_chains;
           Alcotest.test_case "Chain.make rejects non-affine" `Quick
             test_chain_rejects_non_affine;
+        ] );
+      ( "speculation-kernel",
+        [
+          qcheck test_positions_many_differential;
+          qcheck test_speculate_matches_positions_many;
+          qcheck test_speculate_partition_bit_identical;
+          Alcotest.test_case "zero coefficients" `Quick
+            test_positions_many_zero_coeff;
+          Alcotest.test_case "argument validation" `Quick
+            test_speculate_validation;
         ] );
       ( "joint",
         [

@@ -384,6 +384,77 @@ let test_pool_map_deterministic_at_recommended_size () =
       (Pool.map pool f 257)
   done
 
+(* Grained dispatch must still cover every index exactly once, whatever
+   the relation of grain to n: exact divisor, ragged tail, grain > n. *)
+let test_pool_grain_covers_all_indices () =
+  let pool = Pool.create 4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  List.iter
+    (fun (n, grain) ->
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Pool.parallel_for ~grain pool n (fun i -> Atomic.incr hits.(i));
+      Array.iteri
+        (fun i h ->
+          Alcotest.(check int)
+            (Printf.sprintf "n=%d grain=%d index %d hit once" n grain i)
+            1 (Atomic.get h))
+        hits)
+    [ (64, 8); (100, 7); (5, 64); (1, 1); (97, 97) ]
+
+let test_pool_grain_invalid () =
+  let pool = Pool.create 2 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.check_raises "grain 0"
+    (Invalid_argument "Domain_pool.parallel_for: grain must be positive")
+    (fun () -> Pool.parallel_for ~grain:0 pool 4 ignore);
+  Alcotest.check_raises "negative chunk count"
+    (Invalid_argument "Domain_pool.parallel_for_chunks: negative count")
+    (fun () -> Pool.parallel_for_chunks pool ~grain:2 (-1) (fun _ _ -> ()))
+
+(* The chunk-level API hands out contiguous [lo, hi) ranges that partition
+   [0, n) with hi - lo <= grain; collect them and check the partition. *)
+let test_pool_chunk_shapes () =
+  let pool = Pool.create 3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  List.iter
+    (fun (n, grain) ->
+      let mutex = Mutex.create () in
+      let chunks = ref [] in
+      Pool.parallel_for_chunks pool ~grain n (fun lo hi ->
+          Mutex.lock mutex;
+          chunks := (lo, hi) :: !chunks;
+          Mutex.unlock mutex);
+      let sorted = List.sort compare !chunks in
+      let expected_count = (n + grain - 1) / grain in
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d grain=%d chunk count" n grain)
+        expected_count (List.length sorted);
+      let covered = ref 0 in
+      List.iter
+        (fun (lo, hi) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "chunk [%d,%d) well-formed" lo hi)
+            true
+            (lo = !covered && hi > lo && hi - lo <= grain && hi <= n);
+          covered := hi)
+        sorted;
+      Alcotest.(check int) "partition reaches n" n !covered)
+    [ (64, 16); (65, 16); (7, 3); (3, 8) ]
+
+let test_pool_grain_exception_propagates () =
+  let pool = Pool.create 4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check bool) "exception reaches caller" true
+    (try
+       Pool.parallel_for ~grain:8 pool 64 (fun i ->
+           if i = 37 then failwith "boom");
+       false
+     with Failure _ -> true);
+  (* pool still usable afterwards, grained or not *)
+  let acc = Atomic.make 0 in
+  Pool.parallel_for ~grain:4 pool 32 (fun _ -> Atomic.incr acc);
+  Alcotest.(check int) "pool survives" 32 (Atomic.get acc)
+
 (* ---- Histogram ---- *)
 
 module Histogram = Dadu_util.Histogram
@@ -653,6 +724,13 @@ let () =
             test_pool_worker_exception_propagates;
           Alcotest.test_case "map deterministic at recommended size" `Slow
             test_pool_map_deterministic_at_recommended_size;
+          Alcotest.test_case "grain covers all indices" `Quick
+            test_pool_grain_covers_all_indices;
+          Alcotest.test_case "grain validation" `Quick test_pool_grain_invalid;
+          Alcotest.test_case "chunk shapes partition the range" `Quick
+            test_pool_chunk_shapes;
+          Alcotest.test_case "grained exception propagates" `Quick
+            test_pool_grain_exception_propagates;
         ] );
       ( "histogram",
         [

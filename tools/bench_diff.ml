@@ -79,6 +79,7 @@ let () =
   let metrics = if !words_only then words_metrics else all_metrics in
   let ratio = 1. +. (!threshold /. 100.) in
   let regressions = ref 0 in
+  let improvements = ref 0 in
   List.iter
     (fun (name, old_b) ->
       match List.assoc_opt name new_benchmarks with
@@ -98,12 +99,31 @@ let () =
                 "FAIL %-24s %-14s %12.2f -> %12.2f  (%+.1f%%, limit %.2f)\n"
                 name field ov nv delta limit
             end
+            else if nv < (ov /. ratio) -. floor then begin
+              (* mirrored bound: an improvement as far outside the noise
+                 band as a gated regression would be — the baseline is
+                 stale and undersells the current code *)
+              incr improvements;
+              Printf.printf
+                "GOOD %-24s %-14s %12.2f -> %12.2f  (%+.1f%%)\n"
+                name field ov nv delta
+            end
             else
               Printf.printf
                 "ok   %-24s %-14s %12.2f -> %12.2f  (%+.1f%%)\n"
                 name field ov nv delta)
           metrics)
     old_benchmarks;
+  List.iter
+    (fun (name, _) ->
+      if List.assoc_opt name old_benchmarks = None then
+        Printf.printf "new  %-24s not in %s (ungated)\n" name old_path)
+    new_benchmarks;
+  if !improvements > 0 then
+    Printf.printf
+      "%d improvement(s) beyond %.0f%% — refresh the baseline (make \
+       bench-json) to lock them in\n"
+      !improvements !threshold;
   if !regressions > 0 then begin
     Printf.printf "%d regression(s) beyond %.0f%% threshold\n" !regressions
       !threshold;

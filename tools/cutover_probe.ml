@@ -1,0 +1,67 @@
+(* Measures the sequential-vs-parallel crossover of the speculation sweep.
+
+   Usage: cutover_probe [POOL_SIZE]
+
+   For each (dof, Max) grid point this times the link-major candidate
+   sweep run sequentially and run as ~pool-size contiguous chunks on a
+   domain pool, and prints ns/sweep for both.  The dof×Max product where
+   the pool first wins is what [Quick_ik.parallel_cutover] encodes; rerun
+   this probe when retuning that constant for new hardware. *)
+
+open Dadu_kinematics
+
+let time_ns reps f =
+  f ();
+  (* warm *)
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps in
+    if ns < !best then best := ns
+  done;
+  !best
+
+let () =
+  let pool_size =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1)
+    else Dadu_util.Domain_pool.recommended_size ()
+  in
+  let pool = Dadu_util.Domain_pool.create pool_size in
+  Printf.printf "pool size %d\n%!" pool_size;
+  Printf.printf "%5s %5s %9s %12s %12s %8s\n" "dof" "max" "dof*max"
+    "seq ns" "par ns" "winner";
+  List.iter
+    (fun dof ->
+      let chain = Robots.eval_chain ~dof in
+      let scratch = Fk.make_scratch () in
+      Fk.precompile scratch chain;
+      let theta = Array.make dof 0.1 in
+      let dtheta = Array.make dof 0.02 in
+      List.iter
+        (fun count ->
+          let coeffs =
+            Array.init count (fun k ->
+                float_of_int (k + 1) /. float_of_int count)
+          in
+          let pos = Array.make (3 * count) 0. in
+          let err2 = Array.make count 0. in
+          let sweep lo hi =
+            Fk.speculate_range_into ~scratch ~pos ~err2 ~tx:1e6 ~ty:1e6
+              ~tz:1e6 chain ~theta ~dtheta ~coeffs ~stride:count ~lo ~hi
+          in
+          let seq = time_ns 2000 (fun () -> sweep 0 count) in
+          let grain = (count + pool_size - 1) / pool_size in
+          let par =
+            time_ns 2000 (fun () ->
+                Dadu_util.Domain_pool.parallel_for_chunks pool ~grain count
+                  sweep)
+          in
+          Printf.printf "%5d %5d %9d %12.0f %12.0f %8s\n%!" dof count
+            (dof * count) seq par
+            (if par < seq then "par" else "seq"))
+        [ 8; 16; 32; 64; 128 ])
+    [ 12; 30; 50; 100; 200 ];
+  Dadu_util.Domain_pool.shutdown pool
