@@ -4,7 +4,7 @@
 
    Usage:  dune exec bench/main.exe [-- section ...]
    Sections: table1 fig4 fig5 table2 table3 ablation convergence dse
-   robustness scorecard micro all (default all).
+   robustness scorecard serve serve-parallel micro all (default all).
    Scale knobs: DADU_TARGETS, DADU_MAX_ITERS, DADU_SPECS, DADU_SEED. *)
 
 module Table = Dadu_util.Table
@@ -111,6 +111,96 @@ let run_serve () =
   Printf.printf "\n%d problems (each target visited twice) in %.2f s — %.0f problems/s\n"
     (Array.length problems) wall
     (float_of_int (Array.length problems) /. wall)
+
+(* A serving workload for the parallel-scheduler benchmarks: every fresh
+   problem is revisited with a new random start, so the second visit can
+   warm-start from the cache.  Rebuilt from the same seed per run so each
+   pool size sees byte-identical input. *)
+let serve_workload ~dof ~fresh_count =
+  let open Dadu_kinematics in
+  let chain = Robots.eval_chain ~dof in
+  let rng = Dadu_util.Rng.create 2017 in
+  let fresh =
+    Array.init fresh_count (fun _ -> Dadu_core.Ik.random_problem rng chain)
+  in
+  let revisit =
+    Array.map
+      (fun (p : Dadu_core.Ik.problem) ->
+        { p with Dadu_core.Ik.theta0 = Target.random_config rng chain })
+      fresh
+  in
+  Array.append fresh revisit
+
+let run_serve_parallel () =
+  heading
+    "Service: parallel batch execution (serial prepare/commit, parallel solve)";
+  let module Svc = Dadu_service.Service in
+  let module Ws = Dadu_core.Workspace in
+  let statuses replies =
+    Array.map
+      (function
+        | Svc.Solved { result; solver; cache_hit; _ } ->
+          (result.Dadu_core.Ik.status, solver, cache_hit)
+        | Svc.Rejected _ | Svc.Faulted _ -> assert false)
+      replies
+  in
+  let run_one pool_size =
+    let problems = serve_workload ~dof:25 ~fresh_count:120 in
+    let pool =
+      if pool_size > 1 then Some (Dadu_util.Domain_pool.create pool_size)
+      else None
+    in
+    let service =
+      match pool with
+      | Some p -> Svc.create ~pool:p ()
+      | None -> Svc.create ()
+    in
+    let s0 = Ws.local_stats () in
+    let t0 = Unix.gettimeofday () in
+    let replies = Svc.solve_batch service problems in
+    let wall = Unix.gettimeofday () -. t0 in
+    let s1 = Ws.local_stats () in
+    let m = Svc.metrics service in
+    Option.iter Dadu_util.Domain_pool.shutdown pool;
+    let created = s1.Ws.created - s0.Ws.created in
+    let reused = s1.Ws.reused - s0.Ws.reused in
+    (wall, m, statuses replies, created, reused, Array.length problems)
+  in
+  let pool_sizes = [ 1; 2; 4 ] in
+  let runs = List.map (fun p -> (p, run_one p)) pool_sizes in
+  let serial_wall, _, serial_statuses, _, _, _ = List.assoc 1 runs in
+  let table =
+    Table.create ~title:"240 requests at 25 DOF, each target visited twice"
+      [ ("pool", Table.Right); ("wall s", Table.Right); ("req/s", Table.Right);
+        ("p50 ms", Table.Right); ("p95 ms", Table.Right);
+        ("p99 ms", Table.Right); ("speedup", Table.Right);
+        ("ws new/reused", Table.Right) ]
+  in
+  List.iter
+    (fun (pool_size, (wall, m, statuses, created, reused, n)) ->
+      let lat proj =
+        match m.Dadu_service.Metrics.latency with
+        | Some s -> Printf.sprintf "%.2f" (1e3 *. proj s)
+        | None -> "n/a"
+      in
+      Table.add_row table
+        [ string_of_int pool_size; Printf.sprintf "%.3f" wall;
+          Printf.sprintf "%.0f" (float_of_int n /. wall);
+          lat (fun s -> s.Dadu_util.Histogram.p50);
+          lat (fun s -> s.Dadu_util.Histogram.p95);
+          lat (fun s -> s.Dadu_util.Histogram.p99);
+          Printf.sprintf "%.2fx" (serial_wall /. wall);
+          Printf.sprintf "%d/%d" created reused ];
+      if statuses <> serial_statuses then
+        Printf.printf
+          "  WARNING: pool size %d produced different replies than serial!\n"
+          pool_size)
+    runs;
+  Table.print table;
+  Printf.printf
+    "\n(replies checked byte-identical across pool sizes; ws new/reused are\n\
+    \ Workspace.local pool deltas — parallel runs build one workspace per\n\
+    \ domain, then reuse)\n"
 
 (* ---- Bechamel micro-benchmarks of the real OCaml kernels ---- *)
 
@@ -279,13 +369,47 @@ let speckernel_steady_state ~dof =
   let mean = Array.fold_left ( +. ) 0. ns /. float_of_int samples in
   (mean, pct 0.5, pct 0.95, words_per_sweep)
 
+(* Steady-state cost of one request through the serving path (scheduler +
+   cache + fallback chain + metrics), serial, warm cache: the number
+   bench_diff gates so scheduler/tracing overhead cannot creep into the
+   per-request allocation budget unnoticed. *)
+let serve_steady_state ~dof =
+  let module Svc = Dadu_service.Service in
+  let problems = serve_workload ~dof ~fresh_count:32 in
+  let n = Array.length problems in
+  let service = Svc.create () in
+  (* warm: seed cache populated, per-domain workspaces built *)
+  ignore (Svc.solve_batch service problems);
+  ignore (Svc.solve_batch service problems);
+  let batch () = ignore (Svc.solve_batch service problems) in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 5 do
+    batch ()
+  done;
+  let w1 = Gc.minor_words () in
+  let words_per_request = (w1 -. w0) /. float_of_int (5 * n) in
+  let samples = 31 in
+  let ns = Array.make samples 0. in
+  for s = 0 to samples - 1 do
+    let t0 = Unix.gettimeofday () in
+    batch ();
+    ns.(s) <- (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
+  done;
+  Array.sort compare ns;
+  let pct p =
+    ns.(int_of_float (Float.round (p *. float_of_int (samples - 1))))
+  in
+  let mean = Array.fold_left ( +. ) 0. ns /. float_of_int samples in
+  (mean, pct 0.5, pct 0.95, words_per_request)
+
 let run_micro_json () =
   heading "Quick-IK steady-state kernel benchmark (JSON)";
   let table =
     Table.create
       ~title:
         "steady state: quickik = solver iteration (64 spec, Sequential), \
-         speckernel = one raw 64-candidate sweep"
+         speckernel = one raw 64-candidate sweep, serve-request = one \
+         warm-cache request through the serial serving path"
       [ ("benchmark", Table.Left); ("ns/iter", Table.Right);
         ("p50 ns", Table.Right); ("p95 ns", Table.Right);
         ("words/iter", Table.Right) ]
@@ -314,6 +438,7 @@ let run_micro_json () =
           entry (Printf.sprintf "speckernel64-dof%d" dof) dof
             (speckernel_steady_state ~dof))
         dofs
+    @ [ entry "serve-request-dof12" 12 (serve_steady_state ~dof:12) ]
   in
   Table.print table;
   Json.write_file bench_json_path
@@ -381,6 +506,7 @@ let sections =
     ("robustness", run_robustness);
     ("scorecard", run_scorecard);
     ("serve", run_serve);
+    ("serve-parallel", run_serve_parallel);
     ("micro", run_micro);
   ]
 

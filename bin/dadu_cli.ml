@@ -351,13 +351,48 @@ let time_budget =
   in
   Arg.(value & opt (some float) None & info [ "time-budget" ] ~doc)
 
+let batch_budget =
+  let doc =
+    "Batch-level time budget in seconds: once the batch has run this long, \
+     remaining requests short-circuit to the cheapest solver tier and are \
+     tagged deadline-exceeded."
+  in
+  Arg.(value & opt (some float) None & info [ "budget" ] ~doc)
+
+let default_deadline =
+  let doc =
+    "Default per-request deadline in seconds from the batch's start, for \
+     requests without an explicit deadline= in the problem file."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~doc)
+
+let trace_out =
+  let doc =
+    "Write per-request spans (prepare, fallback-tier, solve, commit) as JSON \
+     lines to this file."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
-    cache_cell cache_capacity no_warm_start time_budget =
-  match Dadu_service.Problem_file.parse_file file with
+    cache_cell cache_capacity no_warm_start time_budget batch_budget
+    default_deadline trace_out =
+  match Dadu_service.Problem_file.parse_requests_file file with
   | Error msg ->
     Format.eprintf "dadu: %s: %s@." file msg;
     3
-  | Ok problems ->
+  | Ok entries ->
+    let requests =
+      Array.map
+        (fun (e : Dadu_service.Problem_file.entry) ->
+          {
+            Svc.problem = e.Dadu_service.Problem_file.problem;
+            deadline_s =
+              (match e.Dadu_service.Problem_file.deadline_s with
+              | Some _ as d -> d
+              | None -> default_deadline);
+          })
+        entries
+    in
     let config =
       {
         Svc.solvers;
@@ -371,6 +406,7 @@ let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
         chunk;
       }
     in
+    let trace = Option.map (fun _ -> Dadu_util.Trace.create ()) trace_out in
     let pool =
       if jobs > 1 then Some (Dadu_util.Domain_pool.create jobs) else None
     in
@@ -379,9 +415,11 @@ let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
       (fun () ->
         let service = Svc.create ?pool ~config () in
         let t0 = Unix.gettimeofday () in
-        let _replies = Svc.solve_batch service problems in
+        let _replies =
+          Svc.solve_requests ?budget_s:batch_budget ?trace service requests
+        in
         let wall = Unix.gettimeofday () -. t0 in
-        let n = Array.length problems in
+        let n = Array.length requests in
         Format.printf "Problems : %d (%s)@." n file;
         Format.printf "Solvers  : %s@." (Fallback.chain_to_string solvers);
         Format.printf "Pool     : %d domain%s, chunk %d@." jobs
@@ -391,23 +429,41 @@ let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
           (if wall > 0. then float_of_int n /. wall else 0.);
         print_string (Svc.render_metrics service);
         print_newline ();
-        let m = Svc.metrics service in
-        if m.Dadu_service.Metrics.failed = 0 && m.Dadu_service.Metrics.rejected = 0
-           && m.Dadu_service.Metrics.faulted = 0
-        then 0
-        else 1)
+        match (trace_out, trace) with
+        | Some path, Some tr ->
+          (match Dadu_util.Trace.write_jsonl tr path with
+          | () ->
+            Format.printf "Trace    : %s (%d spans)@." path
+              (Dadu_util.Trace.length tr);
+            let m = Svc.metrics service in
+            if m.Dadu_service.Metrics.failed = 0
+               && m.Dadu_service.Metrics.rejected = 0
+               && m.Dadu_service.Metrics.faulted = 0
+            then 0
+            else 1
+          | exception Sys_error msg ->
+            Format.eprintf "dadu: cannot write trace: %s@." msg;
+            3)
+        | _ ->
+          let m = Svc.metrics service in
+          if m.Dadu_service.Metrics.failed = 0
+             && m.Dadu_service.Metrics.rejected = 0
+             && m.Dadu_service.Metrics.faulted = 0
+          then 0
+          else 1)
 
 let serve_batch_cmd =
   let doc =
     "Serve a batch of IK problems from a file: scheduler, warm-start cache, \
-     solver fallback chain, metrics table."
+     solver fallback chain, per-request deadlines, tracing, metrics table."
   in
   Cmd.v
     (Cmd.info "serve-batch" ~doc)
     Term.(
       const run_serve_batch $ problems_file $ solvers_arg $ speculations
       $ max_iters $ accuracy $ jobs $ chunk $ cache_cell $ cache_capacity
-      $ no_warm_start $ time_budget)
+      $ no_warm_start $ time_budget $ batch_budget $ default_deadline
+      $ trace_out)
 
 (* ---- describe ---- *)
 

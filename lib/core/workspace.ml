@@ -72,11 +72,27 @@ let ensure_candidates t n =
 let pool_key : (int, t) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
+(* Process-global accounting across every domain's cache.  Observability
+   only (the serve bench reports them); int Atomics, so bumping them in
+   [local] stays allocation-free. *)
+let created_count = Atomic.make 0
+let reused_count = Atomic.make 0
+
+type pool_stats = { created : int; reused : int }
+
+let local_stats () =
+  { created = Atomic.get created_count; reused = Atomic.get reused_count }
+
+let local_count () = Hashtbl.length (Domain.DLS.get pool_key)
+
 let local ~dof =
   let tbl = Domain.DLS.get pool_key in
   match Hashtbl.find_opt tbl dof with
-  | Some ws -> ws
+  | Some ws ->
+    Atomic.incr reused_count;
+    ws
   | None ->
     let ws = create ~dof in
     Hashtbl.add tbl dof ws;
+    Atomic.incr created_count;
     ws

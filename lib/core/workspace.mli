@@ -61,3 +61,16 @@ val local : dof:int -> t
 (** The calling domain's cached workspace for [dof] (created on first
     request).  Safe for the solve-at-a-time pattern; do not use for
     nested solves within one domain. *)
+
+type pool_stats = {
+  created : int;  (** workspaces built by {!local} across all domains *)
+  reused : int;  (** {!local} calls served from a domain's cache *)
+}
+
+val local_stats : unit -> pool_stats
+(** Process-global, cumulative accounting for the per-domain pools; use
+    deltas around a workload.  A healthy steady-state serving loop shows
+    [reused] growing and [created] flat at [domains × distinct DOFs]. *)
+
+val local_count : unit -> int
+(** Workspaces cached on the {e calling} domain. *)

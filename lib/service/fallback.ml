@@ -82,16 +82,21 @@ let verify ~config p (r : Ik.result) =
     else { r with Ik.status = Ik.Stalled; error = actual }
   | Ik.Max_iterations | Ik.Stalled -> r
 
-let run ?speculations ?time_budget_s ~chain ~config p =
+let run ?speculations ?time_budget_s ?attempt_hook ~chain ~config p =
   if chain = [] then invalid_arg "Fallback.run: empty solver chain";
-  let t0 = Unix.gettimeofday () in
-  let elapsed () = Unix.gettimeofday () -. t0 in
+  let now = Dadu_util.Trace.now_s in
+  let t0 = now () in
+  let elapsed () = now () -. t0 in
   let out_of_time () =
     match time_budget_s with None -> false | Some b -> elapsed () > b
   in
   let rec go best attempts = function
     | kind :: rest ->
+      let start_s = now () in
       let r = verify ~config p (solver ?speculations kind ~config p) in
+      (match attempt_hook with
+      | None -> ()
+      | Some hook -> hook kind ~start_s ~dur_s:(now () -. start_s) r);
       let attempts = attempts + 1 in
       if r.Ik.status = Ik.Converged then (r, kind, attempts)
       else begin

@@ -52,6 +52,7 @@ type outcome = {
 val run :
   ?speculations:int ->
   ?time_budget_s:float ->
+  ?attempt_hook:(kind -> start_s:float -> dur_s:float -> Ik.result -> unit) ->
   chain:kind list ->
   config:Ik.config ->
   Ik.problem ->
@@ -61,4 +62,7 @@ val run :
     attempts: once the elapsed wall clock exceeds it no further solver is
     tried (an attempt in flight is never preempted, and results become
     timing-dependent — leave it unset where determinism matters).
-    Raises [Invalid_argument] on an empty chain. *)
+    [attempt_hook] is called after each attempt with the FK-verified
+    result and {!Dadu_util.Trace.now_s} timings — the service's
+    fallback-tier trace spans; it must not raise.  Raises
+    [Invalid_argument] on an empty chain. *)

@@ -8,6 +8,7 @@ type t = {
   rejected : int Atomic.t;
   faulted : int Atomic.t;
   fallback_used : int Atomic.t;
+  deadline_exceeded : int Atomic.t;
   cache_hits : int Atomic.t;
   cache_misses : int Atomic.t;
   lock : Mutex.t; (* guards both histograms *)
@@ -23,6 +24,7 @@ let create () =
     rejected = Atomic.make 0;
     faulted = Atomic.make 0;
     fallback_used = Atomic.make 0;
+    deadline_exceeded = Atomic.make 0;
     cache_hits = Atomic.make 0;
     cache_misses = Atomic.make 0;
     lock = Mutex.create ();
@@ -37,6 +39,7 @@ type event =
       converged : bool;
       fallbacks : int;
       cache_hit : bool;
+      deadline_exceeded : bool;
       latency_s : float;
       iterations : int;
     }
@@ -48,9 +51,10 @@ let record t event =
   match event with
   | Rejected _ -> bump t.rejected
   | Faulted _ -> bump t.faulted
-  | Solved { converged; fallbacks; cache_hit; latency_s; iterations } ->
+  | Solved { converged; fallbacks; cache_hit; deadline_exceeded; latency_s; iterations } ->
     bump (if converged then t.converged else t.failed);
     if fallbacks > 0 then bump t.fallback_used;
+    if deadline_exceeded then bump t.deadline_exceeded;
     bump (if cache_hit then t.cache_hits else t.cache_misses);
     Mutex.lock t.lock;
     Fun.protect
@@ -69,6 +73,7 @@ let reset t =
       t.rejected;
       t.faulted;
       t.fallback_used;
+      t.deadline_exceeded;
       t.cache_hits;
       t.cache_misses;
     ];
@@ -84,6 +89,7 @@ type snapshot = {
   rejected : int;
   faulted : int;
   fallback_used : int;
+  deadline_exceeded : int;
   cache_hits : int;
   cache_misses : int;
   latency : Histogram.summary option;
@@ -102,6 +108,7 @@ let snapshot t =
     rejected = Atomic.get t.rejected;
     faulted = Atomic.get t.faulted;
     fallback_used = Atomic.get t.fallback_used;
+    deadline_exceeded = Atomic.get t.deadline_exceeded;
     cache_hits = Atomic.get t.cache_hits;
     cache_misses = Atomic.get t.cache_misses;
     latency;
@@ -119,6 +126,7 @@ let render s =
   int_row "rejected" s.rejected;
   int_row "faulted" s.faulted;
   int_row "fallback used" s.fallback_used;
+  int_row "deadline exceeded" s.deadline_exceeded;
   let lookups = s.cache_hits + s.cache_misses in
   Table.add_row table
     [

@@ -25,6 +25,9 @@ type event =
       converged : bool;
       fallbacks : int;  (** extra solvers tried after the first *)
       cache_hit : bool;  (** warm-started from the seed cache *)
+      deadline_exceeded : bool;
+          (** dispatched past its deadline or the batch budget:
+              short-circuited to the cheapest solver tier *)
       latency_s : float;  (** end-to-end solve wall clock *)
       iterations : int;  (** iterations of the reported attempt *)
     }
@@ -40,6 +43,7 @@ type snapshot = {
   rejected : int;
   faulted : int;
   fallback_used : int;  (** problems needing at least one fallback *)
+  deadline_exceeded : int;  (** requests short-circuited past deadline *)
   cache_hits : int;
   cache_misses : int;
   latency : Histogram.summary option;  (** seconds; [None] before traffic *)

@@ -65,7 +65,29 @@ let strip_comment line =
 let tokens line =
   String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
 
-let parse text =
+type entry = { problem : Ik.problem; deadline_s : float option }
+
+(* "deadline=<s>" on a target/random line -> per-request deadline.  [Ok
+   None] when the token list has no deadline; [Error] mentions the bad
+   value. *)
+let deadline_of_tokens tokens =
+  let rec go = function
+    | [] -> Ok None
+    | token :: rest ->
+      (match keyed "deadline" token with
+      | None -> go rest
+      | Some v ->
+        (match float_of_string_opt v with
+        | Some d when d >= 0. && Float.is_finite d -> Ok (Some d)
+        | Some _ | None ->
+          Error (Printf.sprintf "deadline must be a non-negative number (got %S)" v)))
+  in
+  go tokens
+
+let without_deadline tokens =
+  List.filter (fun t -> keyed "deadline" t = None) tokens
+
+let parse_requests text =
   let lines = String.split_on_char '\n' text in
   let problems = ref [] in
   let robot = ref None in
@@ -86,7 +108,16 @@ let parse text =
     (fun i line ->
       let lineno = i + 1 in
       if !error = None then
-        match tokens (strip_comment line) with
+        let line_tokens = tokens (strip_comment line) in
+        let deadline_s =
+          match deadline_of_tokens line_tokens with
+          | Ok d -> d
+          | Error msg ->
+            fail lineno "%s" msg;
+            None
+        in
+        let add problem = problems := { problem; deadline_s } :: !problems in
+        match without_deadline line_tokens with
         | [] -> ()
         | "robot" :: rest ->
           (match robot_of_spec (String.concat " " rest) with
@@ -100,7 +131,7 @@ let parse text =
             | None -> fail lineno "expected target x,y,z (got %S)" coords
             | Some target ->
               let theta0 = Chain.clamp_config chain (Vec.create (Chain.dof chain)) in
-              problems := Ik.problem ~chain ~target ~theta0 :: !problems))
+              add (Ik.problem ~chain ~target ~theta0)))
         | [ "target"; coords; extra ] ->
           (match require_robot lineno with
           | None -> ()
@@ -115,8 +146,7 @@ let parse text =
                 fail lineno "theta0 has %d entries but %s has %d DOF"
                   (List.length vals) (Chain.name chain) (Chain.dof chain)
               | Some vals ->
-                problems :=
-                  Ik.problem ~chain ~target ~theta0:(Vec.of_list vals) :: !problems)))
+                add (Ik.problem ~chain ~target ~theta0:(Vec.of_list vals)))))
         | "random" :: count :: rest ->
           (match require_robot lineno with
           | None -> ()
@@ -131,7 +161,7 @@ let parse text =
             | Some n, Some seed when n > 0 ->
               let rng = Rng.create seed in
               for _ = 1 to n do
-                problems := Ik.random_problem rng chain :: !problems
+                add (Ik.random_problem rng chain)
               done
             | Some n, Some _ -> fail lineno "random count must be positive (got %d)" n
             | None, _ -> fail lineno "expected random <count> [seed=<n>] (got %S)" count
@@ -143,7 +173,17 @@ let parse text =
   | Some msg -> Error msg
   | None -> Ok (Array.of_list (List.rev !problems))
 
+let parse text =
+  Result.map
+    (Array.map (fun e -> e.problem))
+    (parse_requests text)
+
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let parse_requests_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_requests text
   | exception Sys_error msg -> Error msg

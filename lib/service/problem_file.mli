@@ -22,13 +22,26 @@ open Dadu_kinematics
     coordinates are comma-separated meters; without [theta0=] the start
     is the zero configuration clamped to the joint limits.  [random n]
     draws [n] reachable problems from seed [seed] (default 42) — the
-    {!Ik.random_problem} setup.  Problems appear in file order. *)
+    {!Ik.random_problem} setup.  Problems appear in file order.
+
+    [target] and [random] lines additionally accept [deadline=<s>] — a
+    non-negative per-request deadline in seconds from the batch's start
+    (see {!Service.request}); on a [random] line it applies to every
+    problem the line draws. *)
 
 val robot_of_spec : string -> (Chain.t, string) result
 (** The [robot] line's spec parser, usable on its own. *)
 
-val parse : string -> (Ik.problem array, string) result
+type entry = { problem : Ik.problem; deadline_s : float option }
+
+val parse_requests : string -> (entry array, string) result
 (** Errors carry the 1-based line number and what was expected. *)
+
+val parse_requests_file : string -> (entry array, string) result
+(** Reads and parses a file; I/O failures are reported in the error. *)
+
+val parse : string -> (Ik.problem array, string) result
+(** {!parse_requests} with the deadlines dropped. *)
 
 val parse_file : string -> (Ik.problem array, string) result
 (** Reads and parses a file; I/O failures are reported in the error. *)

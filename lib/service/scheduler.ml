@@ -1,4 +1,5 @@
 module Pool = Dadu_util.Domain_pool
+module Trace = Dadu_util.Trace
 
 type t = { pool : Pool.t option; chunk : int }
 
@@ -21,10 +22,22 @@ let map t f xs =
   let n = Array.length xs in
   run_wave t (fun i -> guarded f xs.(i)) n
 
-let map_chunked t ~prepare ~work ~commit xs =
+type dispatch = { index : int; elapsed_s : float; expired : bool }
+
+let map_deadlined t ?(now = Trace.now_s) ?budget_s ?deadline_s ~prepare ~work
+    ~commit xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
+    let t0 = now () in
+    (* inclusive, so a 0-second deadline (or budget) expires immediately
+       even when the clock has not visibly advanced since [t0] *)
+    let past limit elapsed =
+      match limit with None -> false | Some l -> elapsed >= l
+    in
+    let deadline_of i =
+      match deadline_s with None -> None | Some f -> f i
+    in
     (* placeholder is overwritten for every index before the array is
        returned *)
     let out = Array.make n (Error Exit) in
@@ -32,7 +45,19 @@ let map_chunked t ~prepare ~work ~commit xs =
     while !off < n do
       let base = !off in
       let len = Stdlib.min t.chunk (n - base) in
-      let prepared = Array.init len (fun j -> prepare (base + j) xs.(base + j)) in
+      let prepared =
+        Array.init len (fun j ->
+            let index = base + j in
+            (* expiry is decided here, in the serial phase, so every pool
+               size observes the same prepared values for the same clock
+               readings — and, with no deadlines or budget at all, no
+               clock reading can change the outcome *)
+            let elapsed_s = now () -. t0 in
+            let expired =
+              past budget_s elapsed_s || past (deadline_of index) elapsed_s
+            in
+            prepare { index; elapsed_s; expired } xs.(index))
+      in
       let results = run_wave t (fun j -> guarded work prepared.(j)) len in
       for j = 0 to len - 1 do
         out.(base + j) <- results.(j);
@@ -42,3 +67,6 @@ let map_chunked t ~prepare ~work ~commit xs =
     done;
     out
   end
+
+let map_chunked t ~prepare ~work ~commit xs =
+  map_deadlined t ~prepare:(fun d x -> prepare d.index x) ~work ~commit xs

@@ -1,4 +1,5 @@
-(** Request scheduler: positionally deterministic batch dispatch.
+(** Request scheduler: positionally deterministic, deadline-aware batch
+    dispatch.
 
     Shards heterogeneous work arrays across a {!Dadu_util.Domain_pool},
     in fixed-size chunks, with three guarantees the serving layer builds
@@ -11,7 +12,12 @@
       size — including no pool at all;
     - {b contained}: an exception thrown by a work item is captured as
       that item's [Error], never escaping a worker domain or poisoning
-      the rest of the batch. *)
+      the rest of the batch.
+
+    Deadlines ride on the same structure: expiry against per-request
+    deadlines and the batch time budget is decided in the {e serial}
+    prepare phase, so which requests are short-circuited never depends on
+    worker scheduling — only on the clock. *)
 
 type t
 
@@ -29,6 +35,41 @@ val map : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
 (** Plain positional parallel map with per-item exception capture (a
     single wave; chunking irrelevant). *)
 
+type dispatch = {
+  index : int;  (** position of the request in the batch *)
+  elapsed_s : float;  (** since the batch started, at prepare time *)
+  expired : bool;
+      (** the batch budget is exhausted or this request's deadline has
+          passed; the caller's [prepare] should route it to its cheapest
+          handling *)
+}
+
+val map_deadlined :
+  t ->
+  ?now:(unit -> float) ->
+  ?budget_s:float ->
+  ?deadline_s:(int -> float option) ->
+  prepare:(dispatch -> 'a -> 'p) ->
+  work:('p -> 'b) ->
+  commit:(int -> ('b, exn) result -> unit) ->
+  'a array ->
+  ('b, exn) result array
+(** For each chunk, in input order: [prepare] serially for each item,
+    then [work] over the prepared chunk (in parallel when a pool is
+    present), then [commit i result] serially for each item.  [prepare]
+    for chunk [k+1] therefore observes every [commit] of chunk [k] — the
+    warm-start window of the serving layer.  Exceptions from [prepare] or
+    [commit] propagate to the caller (they run on the caller's domain);
+    exceptions from [work] are captured per item.
+
+    [dispatch.expired] is true once [elapsed_s] reaches [budget_s] or the
+    item's own [deadline_s index] (both measured from the first prepare,
+    inclusive: a 0-second deadline expires immediately, whatever the
+    clock's resolution).  With neither given, [expired] is always false
+    and results cannot depend on the clock.  [now] (default
+    {!Dadu_util.Trace.now_s}) exists so tests can drive expiry
+    deterministically. *)
+
 val map_chunked :
   t ->
   prepare:(int -> 'a -> 'p) ->
@@ -36,10 +77,5 @@ val map_chunked :
   commit:(int -> ('b, exn) result -> unit) ->
   'a array ->
   ('b, exn) result array
-(** For each chunk, in input order: [prepare i x] serially for each item,
-    then [work] over the prepared chunk (in parallel when a pool is
-    present), then [commit i result] serially for each item.  [prepare]
-    for chunk [k+1] therefore observes every [commit] of chunk [k] — the
-    warm-start window of the serving layer.  Exceptions from [prepare] or
-    [commit] propagate to the caller (they run on the caller's domain);
-    exceptions from [work] are captured per item. *)
+(** {!map_deadlined} without deadlines: [prepare] receives only the
+    index. *)

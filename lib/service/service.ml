@@ -1,5 +1,6 @@
 open Dadu_core
 open Dadu_kinematics
+module Trace = Dadu_util.Trace
 
 type config = {
   solvers : Fallback.kind list;
@@ -58,12 +59,22 @@ let create ?pool ?(config = default_config) () =
 
 let config t = t.config
 
+type request = { problem : Ik.problem; deadline_s : float option }
+
+let request ?deadline_s problem =
+  (match deadline_s with
+  | Some d when not (d >= 0.) ->
+    invalid_arg "Service.request: deadline_s must be non-negative"
+  | Some _ | None -> ());
+  { problem; deadline_s }
+
 type reply =
   | Solved of {
       result : Ik.result;
       solver : Fallback.kind;
       fallbacks : int;
       cache_hit : bool;
+      deadline_exceeded : bool;
       latency_s : float;
     }
   | Rejected of Ik.invalid
@@ -71,53 +82,127 @@ type reply =
 
 (* what the serial prepare phase hands to the parallel wave *)
 type prepared =
-  | Dispatch of { problem : Ik.problem; cache_hit : bool }
+  | Dispatch of {
+      index : int;
+      problem : Ik.problem;
+      cache_hit : bool;
+      expired : bool;
+      solve_budget_s : float option;
+    }
   | Skip of Ik.invalid
 
-let prepare t _i p =
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Float.min a b)
+
+let prepare t ?budget_s ?trace (d : Scheduler.dispatch) (rq : request) =
+  Trace.span trace ~request:d.Scheduler.index ~phase:"prepare" @@ fun () ->
+  let p = rq.problem in
   match Ik.validate p with
   | Error invalid -> Skip invalid
   | Ok () ->
-    if not t.config.warm_start then Dispatch { problem = p; cache_hit = false }
+    let lookup problem cache_hit =
+      (* time left before this request's deadline or the batch budget, at
+         prepare time; the solve phase hands it to the fallback chain so a
+         straggler stops falling back once its deadline passes.  All
+         [None] (the default) keeps the batch deterministic. *)
+      let remaining limit =
+        match limit with
+        | None -> None
+        | Some l -> Some (Float.max 0. (l -. d.Scheduler.elapsed_s))
+      in
+      let solve_budget_s =
+        min_opt t.config.time_budget_s
+          (min_opt (remaining rq.deadline_s) (remaining budget_s))
+      in
+      Dispatch
+        {
+          index = d.Scheduler.index;
+          problem;
+          cache_hit;
+          expired = d.Scheduler.expired;
+          solve_budget_s;
+        }
+    in
+    if not t.config.warm_start then lookup p false
     else begin
       let dof = Chain.dof p.Ik.chain in
       match Seed_cache.find t.cache ~dof p.Ik.target with
-      | None -> Dispatch { problem = p; cache_hit = false }
+      | None -> lookup p false
       | Some seed ->
         (* a neighbour solved on a *different* chain with the same DOF is
            still a legal warm start once clamped to this chain's limits *)
         let theta0 = Chain.clamp_config p.Ik.chain seed in
-        Dispatch { problem = { p with Ik.theta0 }; cache_hit = true }
+        lookup { p with Ik.theta0 } true
     end
 
-let work t prep =
+let work t ?trace prep =
   match prep with
   | Skip invalid -> Rejected invalid
-  | Dispatch { problem; cache_hit } ->
-    let t0 = Unix.gettimeofday () in
+  | Dispatch { index; problem; cache_hit; expired; solve_budget_s } ->
+    let t0 = Trace.now_s () in
+    let attempt_hook =
+      match trace with
+      | None -> None
+      | Some tr ->
+        Some
+          (fun kind ~start_s ~dur_s (r : Ik.result) ->
+            Trace.record tr ~request:index ~phase:"fallback-tier"
+              ~attrs:
+                [
+                  ("solver", Fallback.name kind);
+                  ( "status",
+                    Format.asprintf "%a" Ik.pp_status r.Ik.status );
+                ]
+              ~start_s ~dur_s ())
+    in
+    (* past-deadline requests short-circuit to the cheapest tier: the
+       chain's first solver (chains are ordered cheap-first), alone, so
+       the reply still carries a best-effort answer at minimum cost *)
+    let chain =
+      if expired then [ List.hd t.config.solvers ] else t.config.solvers
+    in
     let outcome =
       Fallback.run ~speculations:t.config.speculations
-        ?time_budget_s:t.config.time_budget_s ~chain:t.config.solvers
+        ?time_budget_s:solve_budget_s ?attempt_hook ~chain
         ~config:t.ik_config problem
     in
+    let latency_s = Trace.now_s () -. t0 in
+    (match trace with
+    | None -> ()
+    | Some tr ->
+      Trace.record tr ~request:index ~phase:"solve"
+        ~attrs:
+          [
+            ("solver", Fallback.name outcome.Fallback.solver);
+            ("fallbacks", string_of_int outcome.Fallback.fallbacks);
+            ("cache_hit", string_of_bool cache_hit);
+            ("deadline_exceeded", string_of_bool expired);
+          ]
+        ~start_s:t0 ~dur_s:latency_s ());
     Solved
       {
         result = outcome.Fallback.result;
         solver = outcome.Fallback.solver;
         fallbacks = outcome.Fallback.fallbacks;
         cache_hit;
-        latency_s = Unix.gettimeofday () -. t0;
+        deadline_exceeded = expired;
+        latency_s;
       }
 
-let commit t problems i = function
+let commit t ?trace requests i result =
+  Trace.span trace ~request:i ~phase:"commit" @@ fun () ->
+  match result with
   | Error exn ->
     Metrics.record t.metrics (Metrics.Faulted (Printexc.to_string exn))
   | Ok (Rejected invalid) -> Metrics.record t.metrics (Metrics.Rejected invalid)
   | Ok (Faulted msg) -> Metrics.record t.metrics (Metrics.Faulted msg)
-  | Ok (Solved { result; fallbacks; cache_hit; latency_s; _ }) ->
+  | Ok (Solved { result; fallbacks; cache_hit; deadline_exceeded; latency_s; _ })
+    ->
     let converged = result.Ik.status = Ik.Converged in
     if converged then begin
-      let p = problems.(i) in
+      let p = requests.(i).problem in
       Seed_cache.store t.cache
         ~dof:(Chain.dof p.Ik.chain)
         ~target:p.Ik.target result.Ik.theta
@@ -128,16 +213,24 @@ let commit t problems i = function
            converged;
            fallbacks;
            cache_hit;
+           deadline_exceeded;
            latency_s;
            iterations = result.Ik.iterations;
          })
 
-let solve_batch t problems =
-  Scheduler.map_chunked t.scheduler ~prepare:(prepare t) ~work:(work t)
-    ~commit:(commit t problems) problems
+let solve_requests ?budget_s ?trace t requests =
+  Scheduler.map_deadlined t.scheduler ?budget_s
+    ~deadline_s:(fun i -> requests.(i).deadline_s)
+    ~prepare:(prepare t ?budget_s ?trace)
+    ~work:(work t ?trace)
+    ~commit:(commit t ?trace requests)
+    requests
   |> Array.map (function
        | Ok reply -> reply
        | Error exn -> Faulted (Printexc.to_string exn))
+
+let solve_batch t problems =
+  solve_requests t (Array.map (fun problem -> { problem; deadline_s = None }) problems)
 
 let metrics t = Metrics.snapshot t.metrics
 

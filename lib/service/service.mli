@@ -1,32 +1,42 @@
 open Dadu_core
 
 (** The batched IK serving layer: scheduler → seed cache → solver chain →
-    metrics.
+    metrics, with per-request deadlines and tracing.
 
     One {!t} is a long-lived server object: it owns a warm-start
     {!Seed_cache}, a {!Metrics} registry accumulating across batches, and
     a {!Scheduler} over an optional caller-owned domain pool.  Each
-    {!solve_batch} call:
+    {!solve_requests} call:
 
     + validates every problem ({!Ik.validate}) — malformed requests
       become typed {!reply} values, they are never dispatched and no
       exception crosses a domain boundary;
-    + looks up warm-start seeds for valid problems (serially, in input
-      order) from targets solved in earlier batches or earlier chunks of
-      this one;
+    + looks up warm-start seeds for valid problems and decides deadline
+      expiry (serially, in input order) from targets solved in earlier
+      batches or earlier chunks of this one;
     + solves each chunk in parallel through the {!Fallback} chain with
-      per-attempt iteration budgets (and an optional per-problem wall
-      clock budget);
+      per-attempt iteration budgets — each worker domain reusing its own
+      {!Dadu_core.Workspace.local} pool — while requests past their
+      deadline or the batch budget short-circuit to the chain's first
+      (cheapest) solver alone;
     + stores converged configurations back into the cache and records
       metrics (serially, in input order).
 
-    Results are positionally deterministic: with [time_budget_s = None],
-    replies (statuses, joint vectors, solver choices, cache hits) are
-    byte-identical whatever the pool size, because every cache and
-    metrics mutation happens in the scheduler's serial phases. *)
+    Results are positionally deterministic: with no deadlines, no batch
+    budget and [time_budget_s = None], replies (statuses, joint vectors,
+    solver choices, cache hits) are byte-identical whatever the pool
+    size, because every cache and metrics mutation happens in the
+    scheduler's serial phases and expiry cannot trigger (DESIGN.md §10).
+
+    When a {!Dadu_util.Trace.t} is supplied, every request contributes
+    monotonic-clock spans — [prepare], one [fallback-tier] per solver
+    attempt, [solve], [commit] — exportable as JSON lines
+    ([dadu serve-batch --trace out.jsonl]). *)
 
 type config = {
-  solvers : Fallback.kind list;  (** fallback chain, first = primary *)
+  solvers : Fallback.kind list;
+      (** fallback chain, first = primary; keep it ordered cheapest
+          first — past-deadline requests run only the head *)
   speculations : int;  (** Quick-IK speculation count *)
   accuracy : float;  (** position tolerance, meters *)
   max_iterations : int;  (** per solver attempt *)
@@ -53,20 +63,43 @@ val create : ?pool:Dadu_util.Domain_pool.t -> ?config:config -> unit -> t
 
 val config : t -> config
 
+type request = {
+  problem : Ik.problem;
+  deadline_s : float option;
+      (** seconds from the batch's start by which this request should be
+          dispatched; once passed it is served by the cheapest tier and
+          tagged [deadline_exceeded] *)
+}
+
+val request : ?deadline_s:float -> Ik.problem -> request
+(** Raises [Invalid_argument] on a negative deadline. *)
+
 type reply =
   | Solved of {
       result : Ik.result;
       solver : Fallback.kind;  (** chain member that produced [result] *)
       fallbacks : int;  (** solvers tried after the first *)
       cache_hit : bool;  (** warm-started from a cached neighbour *)
+      deadline_exceeded : bool;
+          (** short-circuited: only the cheapest solver ran *)
       latency_s : float;
     }
       (** dispatched; [result.status] says whether it converged *)
   | Rejected of Ik.invalid  (** failed validation, never dispatched *)
   | Faulted of string  (** a solver raised; the exception, printed *)
 
+val solve_requests :
+  ?budget_s:float -> ?trace:Dadu_util.Trace.t -> t -> request array -> reply array
+(** [reply.(i)] answers [requests.(i)].  [budget_s] is a batch-level time
+    budget: once the batch has run that long, every not-yet-prepared
+    request expires (cheapest tier, tagged), so tail requests degrade
+    instead of queueing unboundedly.  Expiry is decided in the serial
+    prepare phase — which requests expire depends on the clock, never on
+    the pool size. *)
+
 val solve_batch : t -> Ik.problem array -> reply array
-(** [reply.(i)] answers [problems.(i)]. *)
+(** {!solve_requests} with no deadlines, no budget, no trace — the fully
+    deterministic path. *)
 
 val metrics : t -> Metrics.snapshot
 (** Cumulative across every batch served so far. *)

@@ -1,0 +1,97 @@
+(* Monotone clock: gettimeofday clamped so no caller — on any domain —
+   ever observes time running backwards.  The CAS loop publishes the
+   newest reading; a stale racer simply returns the published maximum,
+   which is still ahead of every value it could have observed before. *)
+let last = Atomic.make 0.
+
+let rec clamp now =
+  let prev = Atomic.get last in
+  if now <= prev then prev
+  else if Atomic.compare_and_set last prev now then now
+  else clamp now
+
+let now_s () = clamp (Unix.gettimeofday ())
+
+type span = {
+  request : int;
+  phase : string;
+  start_s : float;
+  dur_s : float;
+  attrs : (string * string) list;
+}
+
+type t = {
+  epoch : float;
+  lock : Mutex.t;
+  mutable recorded : span list; (* newest first *)
+  mutable count : int;
+}
+
+let create () =
+  { epoch = now_s (); lock = Mutex.create (); recorded = []; count = 0 }
+
+let record t ~request ~phase ?(attrs = []) ~start_s ~dur_s () =
+  let s =
+    {
+      request;
+      phase;
+      start_s = Float.max 0. (start_s -. t.epoch);
+      dur_s = Float.max 0. dur_s;
+      attrs;
+    }
+  in
+  Mutex.lock t.lock;
+  t.recorded <- s :: t.recorded;
+  t.count <- t.count + 1;
+  Mutex.unlock t.lock
+
+let span trace ~request ~phase f =
+  match trace with
+  | None -> f ()
+  | Some t ->
+    let start_s = now_s () in
+    Fun.protect
+      ~finally:(fun () ->
+        record t ~request ~phase ~start_s ~dur_s:(now_s () -. start_s) ())
+      f
+
+let length t =
+  Mutex.lock t.lock;
+  let n = t.count in
+  Mutex.unlock t.lock;
+  n
+
+let spans t =
+  Mutex.lock t.lock;
+  let recorded = t.recorded in
+  Mutex.unlock t.lock;
+  List.stable_sort
+    (fun a b ->
+      compare (a.request, a.start_s, a.phase) (b.request, b.start_s, b.phase))
+    (List.rev recorded)
+
+(* nanosecond rounding keeps the JSON short and byte-stable; nothing in
+   the serving layer is faster than a nanosecond anyway *)
+let round_ns x = Float.round (x *. 1e9) /. 1e9
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      let fields =
+        [
+          ("request", Json.Num (float_of_int s.request));
+          ("phase", Json.Str s.phase);
+          ("start_s", Json.Num (round_ns s.start_s));
+          ("dur_s", Json.Num (round_ns s.dur_s));
+        ]
+        @ List.map (fun (k, v) -> (k, Json.Str v)) s.attrs
+      in
+      Buffer.add_string buf (Json.to_string (Json.Obj fields));
+      Buffer.add_char buf '\n')
+    (spans t);
+  Buffer.contents buf
+
+let write_jsonl t path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_jsonl t))

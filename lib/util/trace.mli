@@ -1,0 +1,62 @@
+(** Per-request span tracing for the serving layer.
+
+    A trace collects timed spans — one per (request, phase) — from any
+    domain, behind a mutex, and exports them as JSON lines so throughput
+    and tail latency become observable end to end without attaching a
+    profiler.  The clock is monotone by construction: {!now_s} is the
+    wall clock clamped so it never runs backwards within the process, so
+    span durations are never negative even across an NTP step.
+
+    Recording allocates (spans are heap values); tracing is for the
+    serving layer's request granularity, not for solver inner loops. *)
+
+type t
+
+val create : unit -> t
+(** A fresh trace whose epoch is the creation instant; span start times
+    are exported relative to it. *)
+
+val now_s : unit -> float
+(** Seconds on the process-wide monotone clock.  Successive calls never
+    decrease, across all domains. *)
+
+type span = {
+  request : int;  (** batch index of the request the span belongs to *)
+  phase : string;  (** e.g. ["prepare"], ["solve"], ["fallback-tier"], ["commit"] *)
+  start_s : float;  (** offset from the trace epoch *)
+  dur_s : float;  (** non-negative duration *)
+  attrs : (string * string) list;  (** free-form labels, e.g. solver name *)
+}
+
+val record :
+  t ->
+  request:int ->
+  phase:string ->
+  ?attrs:(string * string) list ->
+  start_s:float ->
+  dur_s:float ->
+  unit ->
+  unit
+(** [start_s] is a {!now_s} reading (absolute); it is stored relative to
+    the trace epoch.  Thread-safe: workers may record concurrently. *)
+
+val span : t option -> request:int -> phase:string -> (unit -> 'a) -> 'a
+(** [span trace ~request ~phase f] runs [f] and, when [trace] is
+    [Some _], records its duration under [phase].  [None] is a disabled
+    trace: [f] runs untimed with no overhead. *)
+
+val length : t -> int
+(** Spans recorded so far. *)
+
+val spans : t -> span list
+(** Stable view sorted by [(request, start_s, phase)], so exports do not
+    depend on which domain recorded first. *)
+
+val to_jsonl : t -> string
+(** One compact JSON object per line, in {!spans} order, with fields
+    [request], [phase], [start_s], [dur_s] and one string field per
+    attribute.  Times are rounded to the nanosecond so the output stays
+    locale- and precision-stable. *)
+
+val write_jsonl : t -> string -> unit
+(** Writes {!to_jsonl} to a file.  Raises [Sys_error] like [open_out]. *)

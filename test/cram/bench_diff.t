@@ -1,0 +1,99 @@
+The bench_diff regression gate's exit-code contract (documented in
+tools/bench_diff.ml): 0 for ok/GOOD/new, 1 for regressions or missing
+baseline entries, 2 for usage and input errors.
+
+  $ cat > base.json <<'EOF'
+  > {"schema":1,"benchmarks":[
+  >   {"name":"kernel-a","dof":12,"ns_per_iter":100.0,"words_per_iter":10.0}]}
+  > EOF
+
+Within the noise band, exit 0:
+
+  $ cat > same.json <<'EOF'
+  > {"schema":1,"benchmarks":[
+  >   {"name":"kernel-a","dof":12,"ns_per_iter":105.0,"words_per_iter":10.0}]}
+  > EOF
+  $ ../../tools/bench_diff.exe base.json same.json
+  ok   kernel-a                 ns_per_iter          100.00 ->       105.00  (+5.0%)
+  ok   kernel-a                 words_per_iter        10.00 ->        10.00  (+0.0%)
+  no regressions (threshold 15%)
+
+An improvement beyond the threshold is reported GOOD and still exits 0 —
+the gate nags to refresh the stale baseline, it does not fail the build:
+
+  $ cat > faster.json <<'EOF'
+  > {"schema":1,"benchmarks":[
+  >   {"name":"kernel-a","dof":12,"ns_per_iter":50.0,"words_per_iter":10.0}]}
+  > EOF
+  $ ../../tools/bench_diff.exe base.json faster.json
+  GOOD kernel-a                 ns_per_iter          100.00 ->        50.00  (-50.0%)
+  ok   kernel-a                 words_per_iter        10.00 ->        10.00  (+0.0%)
+  1 improvement(s) beyond 15% — refresh the baseline (make bench-json) to lock them in
+  no regressions (threshold 15%)
+
+A benchmark only in NEW is ungated (it gains a gate once the baseline is
+refreshed) and exits 0:
+
+  $ cat > extra.json <<'EOF'
+  > {"schema":1,"benchmarks":[
+  >   {"name":"kernel-a","dof":12,"ns_per_iter":100.0,"words_per_iter":10.0},
+  >   {"name":"kernel-b","dof":30,"ns_per_iter":7.0,"words_per_iter":0.0}]}
+  > EOF
+  $ ../../tools/bench_diff.exe base.json extra.json
+  ok   kernel-a                 ns_per_iter          100.00 ->       100.00  (+0.0%)
+  ok   kernel-a                 words_per_iter        10.00 ->        10.00  (+0.0%)
+  new  kernel-b                 not in base.json (ungated)
+  no regressions (threshold 15%)
+
+A regression past the threshold exits 1:
+
+  $ cat > slower.json <<'EOF'
+  > {"schema":1,"benchmarks":[
+  >   {"name":"kernel-a","dof":12,"ns_per_iter":300.0,"words_per_iter":10.0}]}
+  > EOF
+  $ ../../tools/bench_diff.exe base.json slower.json
+  FAIL kernel-a                 ns_per_iter          100.00 ->       300.00  (+200.0%, limit 115.00)
+  ok   kernel-a                 words_per_iter        10.00 ->        10.00  (+0.0%)
+  1 regression(s) beyond 15% threshold
+  [1]
+
+--words-only ignores the wall-clock regression but still gates the
+allocation count (the cross-machine CI mode):
+
+  $ ../../tools/bench_diff.exe --words-only base.json slower.json
+  ok   kernel-a                 words_per_iter        10.00 ->        10.00  (+0.0%)
+  no regressions (threshold 15%)
+  $ cat > leaky.json <<'EOF'
+  > {"schema":1,"benchmarks":[
+  >   {"name":"kernel-a","dof":12,"ns_per_iter":100.0,"words_per_iter":40.0}]}
+  > EOF
+  $ ../../tools/bench_diff.exe --words-only base.json leaky.json
+  FAIL kernel-a                 words_per_iter        10.00 ->        40.00  (+300.0%, limit 19.50)
+  1 regression(s) beyond 15% threshold
+  [1]
+
+A baseline benchmark missing from NEW is a failure, not a silent skip:
+
+  $ cat > renamed.json <<'EOF'
+  > {"schema":1,"benchmarks":[
+  >   {"name":"kernel-a-v2","dof":12,"ns_per_iter":100.0,"words_per_iter":10.0}]}
+  > EOF
+  $ ../../tools/bench_diff.exe base.json renamed.json
+  FAIL kernel-a                 missing from renamed.json
+  new  kernel-a-v2              not in base.json (ungated)
+  1 regression(s) beyond 15% threshold
+  [1]
+
+Usage and input errors exit 2:
+
+  $ ../../tools/bench_diff.exe base.json
+  usage: bench_diff [--words-only] [--threshold PCT] OLD.json NEW.json
+  [2]
+  $ printf 'not json\n' > broken.json
+  $ ../../tools/bench_diff.exe base.json broken.json
+  broken.json: expected null at offset 0
+  [2]
+  $ printf '{"schema":2,"benchmarks":[]}\n' > schema2.json
+  $ ../../tools/bench_diff.exe base.json schema2.json
+  schema2.json: unsupported or missing schema (want 1)
+  [2]

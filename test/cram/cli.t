@@ -107,3 +107,63 @@ backtrace:
   $ dadu serve-batch bad.problems
   dadu: bad.problems: line 1: target before any robot declaration
   [3]
+
+A zero batch budget expires every request at prepare time: each one is
+served by the cheapest tier alone (no fallbacks) and tagged, but still
+produces a result — here all of them converge, so the batch exits 0:
+
+  $ dadu serve-batch demo.problems --budget 0 > expired.out; echo "exit $?"
+  exit 0
+  $ grep -E "requests|converged|fallback used|deadline exceeded" expired.out | tr -s ' '
+  | requests | 8 |
+  | converged | 8 |
+  | fallback used | 0 |
+  | deadline exceeded | 8 |
+
+Mixed deadlines: a deadline=0 on one line expires only that request;
+--deadline fills the rest, and a generous default changes nothing:
+
+  $ cat > mixed.problems <<'EOF'
+  > robot eval:12
+  > target 6.0,2.0,1.0
+  > target 6.0,2.0,1.0 deadline=0
+  > random 3 seed=5
+  > EOF
+  $ dadu serve-batch mixed.problems --deadline 3600 > mixed.out; echo "exit $?"
+  exit 0
+  $ grep -E "requests|converged|deadline exceeded" mixed.out | tr -s ' '
+  | requests | 5 |
+  | converged | 5 |
+  | deadline exceeded | 1 |
+
+A malformed deadline is a parse error, not a silent drop:
+
+  $ printf 'robot eval:12\ntarget 6,2,1 deadline=-1\n' > baddl.problems
+  $ dadu serve-batch baddl.problems
+  dadu: baddl.problems: line 2: deadline must be a non-negative number (got "-1")
+  [3]
+
+--trace writes one JSON line per span: every request contributes prepare,
+solve and commit spans plus one fallback-tier span per solver attempt —
+8 requests converging on the first attempt means exactly 32 spans:
+
+  $ dadu serve-batch demo.problems --trace trace.jsonl | grep Trace
+  Trace    : trace.jsonl (32 spans)
+  $ wc -l < trace.jsonl
+  32
+  $ grep -c '"phase":"prepare"' trace.jsonl
+  8
+  $ grep -c '"phase":"solve"' trace.jsonl
+  8
+  $ grep -c '"phase":"fallback-tier"' trace.jsonl
+  8
+  $ grep -c '"phase":"commit"' trace.jsonl
+  8
+  $ grep -c '"solver":"quick-ik"' trace.jsonl
+  16
+
+An unwritable trace path is a diagnostic and exit 3, after the batch ran:
+
+  $ dadu serve-batch demo.problems --trace /nonexistent/dir/t.jsonl > /dev/null
+  dadu: cannot write trace: /nonexistent/dir/t.jsonl: No such file or directory
+  [3]

@@ -1306,10 +1306,31 @@ let workspace_identity_tests =
           Sdls.solve ~on_iteration ~workspace ~config:pin_config p);
     ]
 
+(* The per-domain workspace pool's accounting: the first request for a
+   DOF builds, every later one on the same domain reuses the same
+   workspace (physically), and the process-global counters see both. *)
+let test_workspace_local_stats () =
+  let s0 = Workspace.local_stats () in
+  let c0 = Workspace.local_count () in
+  let w1 = Workspace.local ~dof:97 in
+  let s1 = Workspace.local_stats () in
+  let w2 = Workspace.local ~dof:97 in
+  let s2 = Workspace.local_stats () in
+  Alcotest.(check bool) "second lookup returns the same workspace" true (w1 == w2);
+  Alcotest.(check int) "first lookup creates" (s0.Workspace.created + 1)
+    s1.Workspace.created;
+  Alcotest.(check int) "second lookup creates nothing" s1.Workspace.created
+    s2.Workspace.created;
+  Alcotest.(check int) "second lookup reuses" (s1.Workspace.reused + 1)
+    s2.Workspace.reused;
+  Alcotest.(check int) "domain cache grew by one" (c0 + 1) (Workspace.local_count ())
+
 let () =
   Alcotest.run "dadu_core"
     [
       ("workspace-identity", workspace_identity_tests);
+      ( "workspace-pool",
+        [ Alcotest.test_case "local stats" `Quick test_workspace_local_stats ] );
       ( "ik",
         [
           Alcotest.test_case "problem validates dof" `Quick test_ik_problem_validates;

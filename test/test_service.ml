@@ -7,6 +7,7 @@ open Dadu_core
 open Dadu_service
 module Rng = Dadu_util.Rng
 module Pool = Dadu_util.Domain_pool
+module Trace = Dadu_util.Trace
 
 let qcheck = QCheck_alcotest.to_alcotest
 
@@ -315,16 +316,31 @@ let test_metrics_sums () =
   Metrics.record m (Metrics.Faulted "Stack_overflow");
   Metrics.record m
     (Metrics.Solved
-       { converged = true; fallbacks = 0; cache_hit = true; latency_s = 1e-3; iterations = 5 });
+       {
+         converged = true;
+         fallbacks = 0;
+         cache_hit = true;
+         deadline_exceeded = false;
+         latency_s = 1e-3;
+         iterations = 5;
+       });
   Metrics.record m
     (Metrics.Solved
-       { converged = true; fallbacks = 2; cache_hit = false; latency_s = 2e-3; iterations = 50 });
+       {
+         converged = true;
+         fallbacks = 2;
+         cache_hit = false;
+         deadline_exceeded = true;
+         latency_s = 2e-3;
+         iterations = 50;
+       });
   Metrics.record m
     (Metrics.Solved
        {
          converged = false;
          fallbacks = 1;
          cache_hit = false;
+         deadline_exceeded = false;
          latency_s = 3e-3;
          iterations = 100;
        });
@@ -335,6 +351,7 @@ let test_metrics_sums () =
   Alcotest.(check int) "rejected" 1 s.Metrics.rejected;
   Alcotest.(check int) "faulted" 1 s.Metrics.faulted;
   Alcotest.(check int) "fallback used" 2 s.Metrics.fallback_used;
+  Alcotest.(check int) "deadline exceeded" 1 s.Metrics.deadline_exceeded;
   Alcotest.(check int) "cache split" 3 (s.Metrics.cache_hits + s.Metrics.cache_misses);
   Alcotest.(check int) "sum invariant" s.Metrics.requests
     (s.Metrics.converged + s.Metrics.failed + s.Metrics.rejected + s.Metrics.faulted);
@@ -350,13 +367,23 @@ let test_metrics_render () =
   let m = Metrics.create () in
   Metrics.record m
     (Metrics.Solved
-       { converged = true; fallbacks = 0; cache_hit = false; latency_s = 5e-4; iterations = 7 });
+       {
+         converged = true;
+         fallbacks = 0;
+         cache_hit = false;
+         deadline_exceeded = false;
+         latency_s = 5e-4;
+         iterations = 7;
+       });
   let rendered = Metrics.render (Metrics.snapshot m) in
   List.iter
     (fun needle ->
       Alcotest.(check bool) (Printf.sprintf "mentions %s" needle) true
         (Astring.String.is_infix ~affix:needle rendered))
-    [ "requests"; "converged"; "cache hits"; "latency p50"; "latency p99"; "iterations p95" ]
+    [
+      "requests"; "converged"; "cache hits"; "deadline exceeded"; "latency p50";
+      "latency p99"; "iterations p95";
+    ]
 
 (* ---- Service ---- *)
 
@@ -383,8 +410,9 @@ let mixed_batch ~seed n =
   Array.append base revisits
 
 let strip_latency = function
-  | Service.Solved { result; solver; fallbacks; cache_hit; latency_s = _ } ->
-    `Solved (result, solver, fallbacks, cache_hit)
+  | Service.Solved
+      { result; solver; fallbacks; cache_hit; deadline_exceeded; latency_s = _ } ->
+    `Solved (result, solver, fallbacks, cache_hit, deadline_exceeded)
   | Service.Rejected invalid -> `Rejected invalid
   | Service.Faulted msg -> `Faulted msg
 
@@ -519,6 +547,203 @@ let test_service_counters_property =
       && m.Metrics.cache_hits + m.Metrics.cache_misses
          = n - m.Metrics.rejected - m.Metrics.faulted)
 
+(* ---- deadlines: scheduler expiry under a fake clock ---- *)
+
+(* The clock is called once for the batch epoch and once per serial
+   prepare, so with a tick-per-call fake the elapsed time at item [i]'s
+   prepare is exactly [i + 1] — expiry becomes a pure function of the
+   index, testable without sleeping. *)
+let test_scheduler_deadline_expiry () =
+  let sched = Scheduler.create ~chunk:3 () in
+  let ticks = ref (-1) in
+  let now () =
+    incr ticks;
+    float_of_int !ticks
+  in
+  let xs = Array.init 8 Fun.id in
+  let elapsed_seen = ref [] in
+  let out =
+    Scheduler.map_deadlined sched ~now ~budget_s:6.5
+      ~deadline_s:(fun i -> if i mod 2 = 1 then Some 0. else None)
+      ~prepare:(fun d x ->
+        elapsed_seen := d.Scheduler.elapsed_s :: !elapsed_seen;
+        Alcotest.(check int) "prepare sees its index" x d.Scheduler.index;
+        (x, d.Scheduler.expired))
+      ~work:Fun.id
+      ~commit:(fun _ _ -> ())
+      xs
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok (x, expired) ->
+        Alcotest.(check int) "positional" i x;
+        (* elapsed at item i is i+1: odd items die on their 0 s deadline,
+           items 6 and 7 on the 6.5 s budget (elapsed 7 and 8) *)
+        let expect = i mod 2 = 1 || i + 1 >= 7 in
+        Alcotest.(check bool) (Printf.sprintf "expiry of %d" i) expect expired
+      | Error _ -> Alcotest.fail "no work item should fail")
+    out;
+  Alcotest.(check (list (float 1e-9)))
+    "elapsed is the prepare call number"
+    [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8. ]
+    (List.rev !elapsed_seen)
+
+(* Without deadlines or a budget the clock is read but cannot change
+   anything: even a clock running wildly backwards yields expired=false
+   everywhere. *)
+let test_scheduler_no_deadline_ignores_clock () =
+  let sched = Scheduler.create ~chunk:2 () in
+  let rng = Rng.create 99 in
+  let now () = Rng.uniform rng (-1e9) 1e9 in
+  let out =
+    Scheduler.map_deadlined sched ~now
+      ~prepare:(fun d () -> d.Scheduler.expired)
+      ~work:Fun.id
+      ~commit:(fun _ _ -> ())
+      (Array.make 7 ())
+  in
+  Array.iter
+    (function
+      | Ok expired ->
+        Alcotest.(check bool) "never expired without limits" false expired
+      | Error _ -> Alcotest.fail "no work item should fail")
+    out
+
+(* ---- deadlines: the serving layer ---- *)
+
+let test_service_all_expired () =
+  let problems = random_problems ~seed:77 6 in
+  let requests = Array.map (fun p -> Service.request p) problems in
+  let s = Service.create ~config:(service_config ()) () in
+  let replies = Service.solve_requests ~budget_s:0. s requests in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Service.Solved { deadline_exceeded; fallbacks; solver; _ } ->
+        Alcotest.(check bool) (Printf.sprintf "%d tagged" i) true deadline_exceeded;
+        Alcotest.(check int) (Printf.sprintf "%d no fallbacks" i) 0 fallbacks;
+        Alcotest.(check bool)
+          (Printf.sprintf "%d served by the cheapest tier" i)
+          true (solver = Fallback.Quick_ik)
+      | _ -> Alcotest.fail "expected a solved reply")
+    replies;
+  let m = Service.metrics s in
+  Alcotest.(check int) "all counted deadline-exceeded" 6 m.Metrics.deadline_exceeded;
+  Alcotest.(check int) "no fallback counted" 0 m.Metrics.fallback_used;
+  Alcotest.(check int) "lookups still happen for expired requests"
+    m.Metrics.requests
+    (m.Metrics.cache_hits + m.Metrics.cache_misses)
+
+let test_service_mixed_deadlines () =
+  let problems = random_problems ~seed:78 6 in
+  let requests =
+    Array.mapi
+      (fun i p ->
+        if i mod 2 = 0 then Service.request ~deadline_s:0. p else Service.request p)
+      problems
+  in
+  let s = Service.create ~config:(service_config ()) () in
+  let replies = Service.solve_requests s requests in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Service.Solved { deadline_exceeded; fallbacks; _ } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%d expiry matches its deadline" i)
+          (i mod 2 = 0) deadline_exceeded;
+        if i mod 2 = 0 then
+          Alcotest.(check int) (Printf.sprintf "%d short-circuited" i) 0 fallbacks
+      | _ -> Alcotest.fail "expected a solved reply")
+    replies;
+  Alcotest.(check int) "three expired" 3 (Service.metrics s).Metrics.deadline_exceeded;
+  Alcotest.check_raises "negative deadline rejected"
+    (Invalid_argument "Service.request: deadline_s must be non-negative") (fun () ->
+      ignore (Service.request ~deadline_s:(-0.1) problems.(0)))
+
+(* Acceptance: the deterministic path is byte-identical across pool sizes
+   1/2/4 for batch sizes drawn from 1..64. *)
+let test_service_parallel_determinism =
+  QCheck.Test.make ~name:"replies identical across pool sizes 1/2/4" ~count:8
+    QCheck.(int_range 1 64)
+    (fun n ->
+      let problems = random_problems ~seed:(3000 + n) n in
+      let run pool =
+        let s =
+          Service.create ?pool
+            ~config:{ (service_config ~chunk:7 ()) with Service.max_iterations = 250 }
+            ()
+        in
+        Array.map strip_latency (Service.solve_batch s problems)
+      in
+      let solo = run None in
+      List.for_all
+        (fun size ->
+          let pool = Pool.create size in
+          Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+          run (Some pool) = solo)
+        [ 2; 4 ])
+
+(* ---- tracing ---- *)
+
+let test_service_trace_spans () =
+  let problems = random_problems ~seed:79 4 in
+  problems.(1) <- { problems.(1) with Ik.theta0 = Vec.create 3 };
+  let requests = Array.map (fun p -> Service.request p) problems in
+  let trace = Trace.create () in
+  let s = Service.create ~config:(service_config ()) () in
+  let replies = Service.solve_requests ~trace s requests in
+  Alcotest.(check int) "all answered" 4 (Array.length replies);
+  let spans = Trace.spans trace in
+  Alcotest.(check int) "length counts every span" (List.length spans)
+    (Trace.length trace);
+  (* compared as multisets: spans sort by start time, and two spans of one
+     request can share a clock reading *)
+  let phases i =
+    List.filter_map
+      (fun (sp : Trace.span) -> if sp.Trace.request = i then Some sp.Trace.phase else None)
+      spans
+    |> List.sort compare
+  in
+  (* the rejected request never reaches the solve phase *)
+  Alcotest.(check (list string)) "rejected: prepare and commit only"
+    [ "commit"; "prepare" ] (phases 1);
+  List.iter
+    (fun i ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "request %d spans" i)
+        [ "commit"; "fallback-tier"; "prepare"; "solve" ]
+        (phases i))
+    [ 0; 2; 3 ];
+  List.iter
+    (fun (sp : Trace.span) ->
+      Alcotest.(check bool) "start offsets are non-negative" true (sp.Trace.start_s >= 0.);
+      Alcotest.(check bool) "durations are non-negative" true (sp.Trace.dur_s >= 0.);
+      if sp.Trace.phase = "fallback-tier" then begin
+        Alcotest.(check bool) "tier spans name their solver" true
+          (List.mem_assoc "solver" sp.Trace.attrs);
+        Alcotest.(check bool) "tier spans carry a status" true
+          (List.mem_assoc "status" sp.Trace.attrs)
+      end)
+    spans;
+  (* every line of the export is standalone JSON with the span fields *)
+  let lines =
+    String.split_on_char '\n' (Trace.to_jsonl trace)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one JSON line per span" (Trace.length trace)
+    (List.length lines);
+  List.iter
+    (fun line ->
+      match Dadu_util.Json.of_string line with
+      | Error msg -> Alcotest.fail (Printf.sprintf "bad JSONL line %S: %s" line msg)
+      | Ok json ->
+        Alcotest.(check bool) "has request" true
+          (Dadu_util.Json.member "request" json <> None);
+        Alcotest.(check bool) "has phase" true
+          (Dadu_util.Json.member "phase" json <> None))
+    lines
+
 (* ---- Problem_file ---- *)
 
 let test_problem_file_parses () =
@@ -560,6 +785,41 @@ let test_problem_file_errors () =
   expect_error "robot eval:12\nwarp 9\n" "unknown declaration";
   expect_error "robot eval:12\n# fine\nrandom -3\n" "line 3"
 
+let test_problem_file_deadlines () =
+  let text =
+    "robot eval:12\n\
+     target 6.0,2.0,1.0 deadline=0.5\n\
+     random 2 seed=3 deadline=1\n\
+     target 6.0,2.0,1.0\n\
+     target 6.0,2.0,1.0 theta0=0,0,0,0,0,0,0,0,0,0,0,0 deadline=0\n"
+  in
+  match Problem_file.parse_requests text with
+  | Error msg -> Alcotest.fail msg
+  | Ok entries ->
+    Alcotest.(check int) "five requests" 5 (Array.length entries);
+    Alcotest.(check (list (option (float 1e-12))))
+      "deadlines attach per line (random lines to every drawn problem)"
+      [ Some 0.5; Some 1.; Some 1.; None; Some 0. ]
+      (Array.to_list
+         (Array.map (fun (e : Problem_file.entry) -> e.Problem_file.deadline_s) entries));
+    (* parse drops the deadlines but yields the same problems *)
+    (match Problem_file.parse text with
+    | Error msg -> Alcotest.fail msg
+    | Ok problems ->
+      Alcotest.(check bool) "parse and parse_requests agree on problems" true
+        (Array.for_all2
+           (fun (p : Ik.problem) (e : Problem_file.entry) ->
+             p.Ik.target = e.Problem_file.problem.Ik.target)
+           problems entries))
+
+let test_problem_file_deadline_errors () =
+  expect_error "robot eval:12\ntarget 1,2,3 deadline=-1\n"
+    "line 2: deadline must be a non-negative number";
+  expect_error "robot eval:12\ntarget 1,2,3 deadline=soon\n"
+    "deadline must be a non-negative number (got \"soon\")";
+  expect_error "robot eval:12\nrandom 2 deadline=nan\n"
+    "deadline must be a non-negative number"
+
 let test_problem_file_random_deterministic () =
   let text = "robot eval:12\nrandom 4 seed=3\n" in
   match (Problem_file.parse text, Problem_file.parse text) with
@@ -595,6 +855,10 @@ let () =
           Alcotest.test_case "positional map" `Quick test_scheduler_map_positional;
           Alcotest.test_case "exception capture" `Quick test_scheduler_captures_exceptions;
           Alcotest.test_case "chunk phase order" `Quick test_scheduler_chunk_phases;
+          Alcotest.test_case "deadline expiry (fake clock)" `Quick
+            test_scheduler_deadline_expiry;
+          Alcotest.test_case "no deadlines ignore the clock" `Quick
+            test_scheduler_no_deadline_ignores_clock;
         ] );
       ( "fallback",
         [
@@ -621,6 +885,10 @@ let () =
           Alcotest.test_case "empty batch" `Quick test_service_empty_batch;
           Alcotest.test_case "invalid config" `Quick test_service_invalid_config;
           qcheck test_service_counters_property;
+          Alcotest.test_case "all requests expired" `Slow test_service_all_expired;
+          Alcotest.test_case "mixed deadlines" `Slow test_service_mixed_deadlines;
+          qcheck test_service_parallel_determinism;
+          Alcotest.test_case "trace spans" `Slow test_service_trace_spans;
         ] );
       ( "problem-file",
         [
@@ -628,5 +896,7 @@ let () =
           Alcotest.test_case "errors carry line numbers" `Quick test_problem_file_errors;
           Alcotest.test_case "random deterministic" `Quick
             test_problem_file_random_deterministic;
+          Alcotest.test_case "deadlines" `Quick test_problem_file_deadlines;
+          Alcotest.test_case "deadline errors" `Quick test_problem_file_deadline_errors;
         ] );
     ]

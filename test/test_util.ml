@@ -7,6 +7,7 @@ module Table = Dadu_util.Table
 module Csv = Dadu_util.Csv
 module Counter = Dadu_util.Counter
 module Pool = Dadu_util.Domain_pool
+module Trace = Dadu_util.Trace
 
 let check_float = Alcotest.(check (float 1e-9))
 let check_loose = Alcotest.(check (float 1e-2))
@@ -635,6 +636,109 @@ let test_json_roundtrip_property =
     json_value_gen
     (fun v -> Json.of_string (Json.to_string v) = Ok v)
 
+(* ---- Trace (monotone clock + span recorder) ---- *)
+
+let test_trace_now_monotone () =
+  let prev = ref (Trace.now_s ()) in
+  for _ = 1 to 10_000 do
+    let t = Trace.now_s () in
+    if t < !prev then Alcotest.failf "clock ran backwards: %.9f < %.9f" t !prev;
+    prev := t
+  done
+
+let test_trace_record_and_sort () =
+  let t = Trace.create () in
+  let base = Trace.now_s () in
+  (* recorded out of order on purpose: spans sorts by (request, start, phase) *)
+  Trace.record t ~request:1 ~phase:"commit" ~start_s:(base +. 2.) ~dur_s:0.1 ();
+  Trace.record t ~request:0 ~phase:"solve"
+    ~attrs:[ ("solver", "quick-ik") ]
+    ~start_s:(base +. 1.) ~dur_s:0.5 ();
+  Trace.record t ~request:1 ~phase:"prepare" ~start_s:base ~dur_s:0.0 ();
+  Trace.record t ~request:0 ~phase:"prepare" ~start_s:base ~dur_s:0.0 ();
+  Alcotest.(check int) "length" 4 (Trace.length t);
+  let spans = Trace.spans t in
+  Alcotest.(check (list (pair int string)))
+    "sorted by request then start"
+    [ (0, "prepare"); (0, "solve"); (1, "prepare"); (1, "commit") ]
+    (List.map (fun (s : Trace.span) -> (s.Trace.request, s.Trace.phase)) spans);
+  let solve = List.nth spans 1 in
+  Alcotest.(check (option string)) "attrs survive" (Some "quick-ik")
+    (List.assoc_opt "solver" solve.Trace.attrs);
+  List.iter
+    (fun (s : Trace.span) ->
+      Alcotest.(check bool) "start offsets non-negative" true (s.Trace.start_s >= 0.))
+    spans
+
+let test_trace_negative_clamped () =
+  let t = Trace.create () in
+  (* a start before the trace's epoch clamps to 0, a negative duration to 0 *)
+  Trace.record t ~request:0 ~phase:"weird" ~start_s:(-5.) ~dur_s:(-1.) ();
+  match Trace.spans t with
+  | [ s ] ->
+    Alcotest.(check (float 0.)) "start clamped" 0. s.Trace.start_s;
+    Alcotest.(check (float 0.)) "duration clamped" 0. s.Trace.dur_s
+  | spans -> Alcotest.failf "expected one span, got %d" (List.length spans)
+
+let test_trace_jsonl () =
+  let t = Trace.create () in
+  let base = Trace.now_s () in
+  Trace.record t ~request:0 ~phase:"solve"
+    ~attrs:[ ("solver", "dls"); ("cache_hit", "true") ]
+    ~start_s:base ~dur_s:1.25e-3 ();
+  Trace.record t ~request:1 ~phase:"prepare" ~start_s:(base +. 1e-6) ~dur_s:0. ();
+  let lines =
+    String.split_on_char '\n' (Trace.to_jsonl t) |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per span" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error msg -> Alcotest.failf "line %S is not JSON: %s" line msg
+      | Ok json ->
+        Alcotest.(check bool) "request present" true (Json.member "request" json <> None);
+        Alcotest.(check bool) "dur_s present" true (Json.member "dur_s" json <> None))
+    lines;
+  (match Json.of_string (List.hd lines) with
+  | Ok json ->
+    Alcotest.(check (option string)) "attr exported" (Some "dls")
+      (Option.bind (Json.member "solver" json) Json.to_str);
+    Alcotest.(check (option (float 1e-12))) "duration rounded to ns" (Some 1.25e-3)
+      (Option.bind (Json.member "dur_s" json) Json.to_float)
+  | Error msg -> Alcotest.fail msg);
+  (* write_jsonl round-trips through a file *)
+  let path = Filename.temp_file "dadu_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Trace.write_jsonl t path;
+  let content = In_channel.with_open_text path In_channel.input_all in
+  Alcotest.(check string) "file matches to_jsonl" (Trace.to_jsonl t) content
+
+let test_trace_concurrent_records () =
+  let t = Trace.create () in
+  let per_domain = 500 in
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              let s = Trace.now_s () in
+              Trace.record t ~request:d ~phase:(Printf.sprintf "p%d" i) ~start_s:s
+                ~dur_s:0. ()
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "no record lost" (4 * per_domain) (Trace.length t);
+  let spans = Trace.spans t in
+  Alcotest.(check int) "spans returns them all" (4 * per_domain) (List.length spans);
+  (* per-request start times are non-decreasing: now_s is monotone across
+     domains and spans sorts by start within a request *)
+  let last = Array.make 4 0. in
+  List.iter
+    (fun (s : Trace.span) ->
+      if s.Trace.start_s < last.(s.Trace.request) then
+        Alcotest.fail "span starts not sorted within a request";
+      last.(s.Trace.request) <- s.Trace.start_s)
+    spans
+
 let () =
   Alcotest.run "dadu_util"
     [
@@ -739,5 +843,13 @@ let () =
           Alcotest.test_case "rejects non-finite" `Quick test_histogram_rejects_nonfinite;
           Alcotest.test_case "clear" `Quick test_histogram_clear;
           qcheck test_histogram_matches_stats;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "clock monotone" `Quick test_trace_now_monotone;
+          Alcotest.test_case "record + sorted spans" `Quick test_trace_record_and_sort;
+          Alcotest.test_case "negative times clamped" `Quick test_trace_negative_clamped;
+          Alcotest.test_case "jsonl export" `Quick test_trace_jsonl;
+          Alcotest.test_case "concurrent records" `Slow test_trace_concurrent_records;
         ] );
     ]

@@ -13,7 +13,19 @@
    allowed measurement jitter of a couple of boxed words but not a real
    per-iteration allocation.  --words-only gates only words_per_iter —
    allocation counts are deterministic across machines, wall-clock is not,
-   so this is the mode CI uses against the committed baseline. *)
+   so this is the mode CI uses against the committed baseline.
+
+   Exit-code contract (relied on by CI and test/cram/bench_diff.t):
+
+     0  every gated metric within the noise band ("ok"), improved beyond
+        it ("GOOD" — the run nags to refresh the stale baseline but does
+        not fail), or present only in NEW ("new", ungated: a benchmark
+        gains a gate the first time it lands in the committed baseline);
+     1  at least one gated metric regressed past the threshold, or a
+        baseline benchmark is missing from NEW — a rename or deletion
+        must be accompanied by a deliberate baseline refresh;
+     2  usage or input error: bad flags, unreadable/unparseable JSON,
+        wrong schema, or an entry without the gated numeric field. *)
 
 module Json = Dadu_util.Json
 
