@@ -174,7 +174,9 @@ let run_solve chain m speculations seed target max_iters accuracy verbose svg =
         Viz.posture ~label:"solution" ~color:"#1f77b4" r.Ik.theta;
       ];
     Format.printf "SVG   : %s@." path);
-  match r.Ik.status with Ik.Converged -> 0 | Ik.Max_iterations | Ik.Stalled -> 1
+  match r.Ik.status with
+  | Ik.Converged -> 0
+  | Ik.Max_iterations | Ik.Stalled | Ik.Diverged -> 1
 
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the joint-angle solution.")
@@ -251,7 +253,7 @@ let run_accel chain speculations ssus seed target max_iters accuracy =
   Format.printf "%a@." Dadu_accel.Ikacc.pp_report report;
   match report.Dadu_accel.Ikacc.result.Ik.status with
   | Ik.Converged -> 0
-  | Ik.Max_iterations | Ik.Stalled -> 1
+  | Ik.Max_iterations | Ik.Stalled | Ik.Diverged -> 1
 
 let ssus =
   Arg.(value & opt int 32 & info [ "ssus" ] ~doc:"Speculative Search Units (paper: 32).")
@@ -368,14 +370,63 @@ let default_deadline =
 
 let trace_out =
   let doc =
-    "Write per-request spans (prepare, fallback-tier, solve, commit) as JSON \
-     lines to this file."
+    "Write per-request spans (prepare, fallback-tier, solve, commit, retry) \
+     as JSON lines to this file."
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let retries =
+  let doc =
+    "Perturbed-seed retries: after the chain is exhausted without \
+     convergence, re-enter it up to N times from a jittered initial \
+     configuration (deterministically seeded per request)."
+  in
+  Arg.(value & opt int Svc.default_config.Svc.retries & info [ "retries" ] ~doc)
+
+let retry_scale =
+  let doc = "Std-dev in radians of the retry jitter applied to theta0." in
+  Arg.(
+    value & opt float Svc.default_config.Svc.retry_scale
+    & info [ "retry-scale" ] ~doc)
+
+let breaker_threshold =
+  let doc =
+    "Enable per-solver circuit breakers: a tier is skipped after N \
+     consecutive malfunctions (divergence or crash) until its cooldown \
+     elapses."
+  in
+  Arg.(value & opt (some int) None & info [ "breaker" ] ~docv:"N" ~doc)
+
+let breaker_cooldown =
+  let doc = "Circuit-breaker cooldown, in committed requests." in
+  Arg.(
+    value
+    & opt int Dadu_service.Breaker.default_settings.Dadu_service.Breaker.cooldown
+    & info [ "breaker-cooldown" ] ~doc)
+
+let fault_plan =
+  let doc =
+    "Chaos fault plan, e.g. 'solver-nan,prob=0.1;solver-raise,every=50'. \
+     Sites: solver-raise, solver-nan, solver-lie; triggers: iter=, from=, \
+     every=, first=, prob= (default always)."
+  in
+  Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
+
+let fault_seed =
+  let doc = "Seed for the fault plan's probabilistic triggers." in
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~doc)
+
+let guard_flag =
+  let doc =
+    "Enable the divergence guard: solver attempts abort with status \
+     'diverged' on non-finite state or a sustained error explosion."
+  in
+  Arg.(value & flag & info [ "guard" ] ~doc)
+
 let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
     cache_cell cache_capacity no_warm_start time_budget batch_budget
-    default_deadline trace_out =
+    default_deadline trace_out retries retry_scale breaker_threshold
+    breaker_cooldown fault_plan fault_seed guard_flag =
   match Dadu_service.Problem_file.parse_requests_file file with
   | Error msg ->
     Format.eprintf "dadu: %s: %s@." file msg;
@@ -393,6 +444,19 @@ let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
           })
         entries
     in
+    let fault =
+      match fault_plan with
+      | None -> Ok Dadu_util.Fault.disabled
+      | Some s ->
+        Result.map
+          (Dadu_util.Fault.arm ~seed:fault_seed)
+          (Dadu_util.Fault.parse_plan s)
+    in
+    (match fault with
+    | Error msg ->
+      Format.eprintf "dadu: bad --fault-plan: %s@." msg;
+      3
+    | Ok fault ->
     let config =
       {
         Svc.solvers;
@@ -404,6 +468,18 @@ let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
         cache_cell_m = cache_cell;
         cache_capacity;
         chunk;
+        guard = (if guard_flag then Some Ik.default_guard else None);
+        fault;
+        breaker =
+          Option.map
+            (fun threshold ->
+              {
+                Dadu_service.Breaker.threshold;
+                cooldown = breaker_cooldown;
+              })
+            breaker_threshold;
+        retries;
+        retry_scale;
       }
     in
     let trace = Option.map (fun _ -> Dadu_util.Trace.create ()) trace_out in
@@ -450,12 +526,13 @@ let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
              && m.Dadu_service.Metrics.rejected = 0
              && m.Dadu_service.Metrics.faulted = 0
           then 0
-          else 1)
+          else 1))
 
 let serve_batch_cmd =
   let doc =
     "Serve a batch of IK problems from a file: scheduler, warm-start cache, \
-     solver fallback chain, per-request deadlines, tracing, metrics table."
+     solver fallback chain, circuit breakers, perturbed-seed retries, \
+     per-request deadlines, fault injection, tracing, metrics table."
   in
   Cmd.v
     (Cmd.info "serve-batch" ~doc)
@@ -463,7 +540,50 @@ let serve_batch_cmd =
       const run_serve_batch $ problems_file $ solvers_arg $ speculations
       $ max_iters $ accuracy $ jobs $ chunk $ cache_cell $ cache_capacity
       $ no_warm_start $ time_budget $ batch_budget $ default_deadline
-      $ trace_out)
+      $ trace_out $ retries $ retry_scale $ breaker_threshold
+      $ breaker_cooldown $ fault_plan $ fault_seed $ guard_flag)
+
+(* ---- fault-tolerance ---- *)
+
+let run_fault_tolerance seed targets max_iters speculations prob bit json =
+  let scale =
+    { Dadu_experiments.Runner.targets; max_iterations = max_iters; speculations; seed }
+  in
+  let cells = Dadu_experiments.Fault_tolerance.run ~prob ~bit scale in
+  Dadu_util.Table.print (Dadu_experiments.Fault_tolerance.to_table cells);
+  (match json with
+  | None -> ()
+  | Some path ->
+    Dadu_util.Json.write_file path
+      (Dadu_experiments.Fault_tolerance.to_json cells);
+    Format.printf "JSON  : %s@." path);
+  0
+
+let ft_targets =
+  Arg.(value & opt int 25 & info [ "n"; "targets" ] ~doc:"Targets per DOF.")
+
+let ft_prob =
+  let doc = "Per-candidate probability of an SSU bit-flip." in
+  Arg.(value & opt float 0.02 & info [ "prob" ] ~doc)
+
+let ft_bit =
+  let doc = "Which bit of the squared-error register to flip (0-63)." in
+  Arg.(value & opt int 40 & info [ "bit" ] ~doc)
+
+let ft_json =
+  let doc = "Also write the cells as a JSON report to this file." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let fault_tolerance_cmd =
+  let doc =
+    "Inject SSU bit-flips into the accelerator simulator and measure flips \
+     absorbed vs. runs corrupted, with and without selector re-verification."
+  in
+  Cmd.v
+    (Cmd.info "fault-tolerance" ~doc)
+    Term.(
+      const run_fault_tolerance $ seed $ ft_targets $ max_iters $ speculations
+      $ ft_prob $ ft_bit $ ft_json)
 
 (* ---- describe ---- *)
 
@@ -595,6 +715,7 @@ let () =
             accel_cmd;
             batch_cmd;
             serve_batch_cmd;
+            fault_tolerance_cmd;
             plan_cmd;
             describe_cmd;
             robots_cmd;

@@ -6,6 +6,15 @@ let best errors =
   done;
   !best
 
+type verdict = Confirmed | Mismatch
+
+let verify ~claimed ~recheck =
+  (* bitwise, not [=]: the recheck runs the same kernel on the same
+     inputs, so an honest claim reproduces exactly — and NaN must compare
+     equal to itself, infinities to themselves *)
+  if Int64.bits_of_float claimed = Int64.bits_of_float recheck then Confirmed
+  else Mismatch
+
 let fold_rounds rounds =
   let winner = ref None in
   let offset = ref 0 in

@@ -11,3 +11,12 @@ val fold_rounds : float array list -> int
 (** Selection across scheduling rounds: equivalent to {!best} of the
     concatenation — the selector stores only the running winner between
     rounds (constant state, §5.1 "the overhead is negligible"). *)
+
+type verdict = Confirmed | Mismatch
+
+val verify : claimed:float -> recheck:float -> verdict
+(** Re-verification compare: [Confirmed] iff the claimed winner error and
+    the trusted recheck are bit-identical ([Int64.bits_of_float], so NaN
+    confirms against NaN and a corrupted exponent never slips through as
+    an approximate match).  Honest SSUs rerun the same FK kernel on the
+    same inputs, so any discrepancy is a fault, not roundoff. *)

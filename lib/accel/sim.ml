@@ -1,6 +1,7 @@
 open Dadu_linalg
 open Dadu_kinematics
 module Ik = Dadu_core.Ik
+module Fault = Dadu_util.Fault
 
 type step = {
   iteration : int;
@@ -18,18 +19,37 @@ type report = {
   total_cycles : int;
   spu_busy_cycles : int;
   ssu_busy_cycles : int;
+  faults_injected : int;
+  recoveries : int;
+  recovery_cycles : int;
   steps : step list;
 }
 
+(* flip one mantissa/exponent/sign bit of an IEEE-754 double, the way a
+   particle strike corrupts an SSU error register *)
+let flip_bit bit e =
+  let b = int_of_float bit land 63 in
+  Int64.float_of_bits (Int64.logxor (Int64.bits_of_float e) (Int64.shift_left 1L b))
+
 let run ?(config = Config.default) ?(ik_config = Ik.default_config)
-    ?(speculations = 64) (problem : Ik.problem) =
+    ?(speculations = 64) ?(fault = Fault.disabled) ?(reverify = false)
+    ?(max_recovery = 2) (problem : Ik.problem) =
   Config.validate config;
   if speculations <= 0 then invalid_arg "Sim.run: speculations must be positive";
+  if max_recovery < 0 then invalid_arg "Sim.run: max_recovery must be non-negative";
   let { Ik.chain; target; theta0 } = problem in
   let dof = Chain.dof chain in
   let cycles_per_iteration = Scheduler.iteration_cycles config ~dof ~speculations in
   let spu_per_iteration = Spu.iteration_cycles config ~dof in
   let ssu_per_iteration = Scheduler.ssu_busy_cycles config ~dof ~speculations in
+  (* recovery cost model: a recheck is one SPU-driven candidate FK; a
+     re-execution repeats the speculative part of the iteration (all
+     broadcasts, searches and selects, but not the serial pass, whose
+     registers still hold); the terminal honest sweep walks every
+     candidate serially *)
+  let recheck_cycles = Ssu.candidate_cycles config ~dof in
+  let reexec_cycles = cycles_per_iteration - spu_per_iteration in
+  let sweep_cycles = speculations * recheck_cycles in
   let rounds = Scheduler.assignments config ~speculations in
   (* Scratch memory reused across iterations: the SPU's fused-pass
      scratch, one compiled-constants FK scratch shared (read-only) by
@@ -44,17 +64,22 @@ let run ?(config = Config.default) ?(ik_config = Ik.default_config)
   let err2 = Array.make speculations 0. in
   let coeffs = Array.make speculations 0. in
   let tx = target.Vec3.x and ty = target.Vec3.y and tz = target.Vec3.z in
+  let faults = ref 0 in
+  let recoveries = ref 0 in
   (* register state carried between iterations: θ and the winning ¹T_N *)
-  let rec go theta end_transform iteration steps =
+  let rec go theta end_transform iteration recovery_total steps =
     let finish ~err ~converged =
       {
         theta;
         err;
         iterations = iteration;
         converged;
-        total_cycles = iteration * cycles_per_iteration;
+        total_cycles = (iteration * cycles_per_iteration) + recovery_total;
         spu_busy_cycles = iteration * spu_per_iteration;
         ssu_busy_cycles = iteration * ssu_per_iteration;
+        faults_injected = !faults;
+        recoveries = !recoveries;
+        recovery_cycles = recovery_total;
         steps = List.rev steps;
       }
     in
@@ -76,32 +101,92 @@ let run ?(config = Config.default) ?(ik_config = Ik.default_config)
          position-only FK and squared target error with the same
          link-major kernel — and therefore the same bits — as the
          software solver's sweep; the selector folds winners across
-         rounds on the squared errors (sqrt-free, order-preserving) *)
-      let round_errors =
+         rounds on the squared errors (sqrt-free, order-preserving).
+         [honest] models the fault-free SPU serial sweep used as the last
+         recovery resort: no injection sites are consulted. *)
+      let eval_candidate k =
+        coeffs.(k) <-
+          float_of_int (k + 1) /. float_of_int speculations *. alpha_base;
+        Fk.speculate_range_into ~scratch:spec_fk ~pos ~err2 ~tx ~ty ~tz chain
+          ~theta ~dtheta:dtheta_base ~coeffs ~stride:speculations ~lo:k
+          ~hi:(k + 1);
+        err2.(k)
+      in
+      let eval_rounds ~honest () =
         List.map
           (fun round ->
-            let errors =
-              List.map
-                (fun k ->
-                  coeffs.(k) <-
-                    float_of_int (k + 1)
-                    /. float_of_int speculations
-                    *. alpha_base;
-                  Fk.speculate_range_into ~scratch:spec_fk ~pos ~err2 ~tx
-                    ~ty ~tz chain ~theta ~dtheta:dtheta_base ~coeffs
-                    ~stride:speculations ~lo:k ~hi:(k + 1);
-                  err2.(k))
-                round
+            let dropped =
+              (not honest)
+              && Fault.fires fault ~site:"sched-drop" ~iteration () <> None
             in
-            Array.of_list errors)
+            if dropped then begin
+              (* the broadcast never reached these SSUs: their error
+                 registers hold the reset pattern, which loses every
+                 compare *)
+              incr faults;
+              Array.make (List.length round) infinity
+            end
+            else
+              let errors =
+                List.map
+                  (fun k ->
+                    let e = eval_candidate k in
+                    if honest then e
+                    else begin
+                      (* both sites are consulted on every candidate so
+                         their streams advance independently of which
+                         (if either) fires *)
+                      let stuck = Fault.fires fault ~site:"ssu-stuck" ~iteration () in
+                      let flipped = Fault.fires fault ~site:"ssu-flip" ~iteration () in
+                      match (stuck, flipped) with
+                      | Some v, _ ->
+                        incr faults;
+                        v
+                      | None, Some bit ->
+                        incr faults;
+                        flip_bit bit e
+                      | None, None -> e
+                    end)
+                  round
+              in
+              Array.of_list errors)
           rounds
       in
-      let winner = Selector.fold_rounds round_errors in
-      let winner_err2 = (List.nth round_errors (winner / config.Config.num_ssus)).(winner mod config.Config.num_ssus) in
+      let claimed_of round_errors winner =
+        (List.nth round_errors (winner / config.Config.num_ssus)).(winner
+                                                                   mod config
+                                                                         .Config
+                                                                         .num_ssus)
+      in
+      (* re-verification (paper-style): the SPU recomputes the claimed
+         winner's error; a bitwise mismatch re-executes the speculative
+         schedules up to [max_recovery] times, after which an honest
+         serial sweep of all candidates guarantees a trusted winner *)
+      let rec select tries round_errors rcycles =
+        let winner = Selector.fold_rounds round_errors in
+        let claimed = claimed_of round_errors winner in
+        if not reverify then (winner, claimed, rcycles)
+        else
+          let truth = eval_candidate winner in
+          match Selector.verify ~claimed ~recheck:truth with
+          | Selector.Confirmed -> (winner, truth, rcycles + recheck_cycles)
+          | Selector.Mismatch ->
+            incr recoveries;
+            if tries < max_recovery then
+              select (tries + 1)
+                (eval_rounds ~honest:false ())
+                (rcycles + recheck_cycles + reexec_cycles)
+            else begin
+              let honest_rounds = eval_rounds ~honest:true () in
+              let w = Selector.fold_rounds honest_rounds in
+              (w, claimed_of honest_rounds w, rcycles + recheck_cycles + sweep_cycles)
+            end
+      in
+      let winner, winner_err2, rcycles =
+        select 0 (eval_rounds ~honest:false ()) 0
+      in
       let alpha =
-        float_of_int (winner + 1)
-        /. float_of_int speculations
-        *. alpha_base
+        float_of_int (winner + 1) /. float_of_int speculations *. alpha_base
       in
       let theta' = Vec.axpy alpha dtheta_base theta in
       let step =
@@ -110,13 +195,16 @@ let run ?(config = Config.default) ?(ik_config = Ik.default_config)
           err_before = serial_err;
           winner;
           winner_err = sqrt winner_err2;
-          cycles = cycles_per_iteration;
+          cycles = cycles_per_iteration + rcycles;
         }
       in
       (* the winner's full ¹T_N register is refilled by the pose FK — the
          serial pass consumes its position column, which must match the
          software driver's forward-order frames bit for bit *)
-      go theta' (Datapath.candidate_pass_into pose_fk chain theta') (iteration + 1) (step :: steps)
+      go theta'
+        (Datapath.candidate_pass_into pose_fk chain theta')
+        (iteration + 1)
+        (recovery_total + rcycles) (step :: steps)
     end
   in
-  go (Vec.copy theta0) (Fk.pose chain theta0) 0 []
+  go (Vec.copy theta0) (Fk.pose chain theta0) 0 0 []

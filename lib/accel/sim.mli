@@ -11,7 +11,30 @@ open Dadu_linalg
     winning candidate's [¹T_N] into the next serial pass exactly as the
     hardware registers do.  Cycle accounting accrues from the same unit
     models, so the tests can assert both functional bit-equality with
-    {!Dadu_core.Quick_ik} and cycle-count equality with {!Ikacc}. *)
+    {!Dadu_core.Quick_ik} and cycle-count equality with {!Ikacc}.
+
+    {2 Fault ports}
+
+    An optional {!Dadu_util.Fault} registry injects hardware faults at
+    three sites, all scoped to the speculative datapath (the SPU serial
+    pass is the trusted unit — its honest error drives the convergence
+    check, so injected faults corrupt {e step selection}, never the
+    termination decision):
+
+    - ["ssu-flip"] — XOR one bit (the rule payload, 0–63) into an SSU's
+      squared-error register after the candidate FK completes;
+    - ["ssu-stuck"] — an SSU's error register is stuck at the payload
+      value;
+    - ["sched-drop"] — a whole schedule's broadcast is lost: every SSU in
+      the round reports the reset pattern (+∞), losing all compares.
+
+    With [reverify] on, the selector's claimed winner is rechecked by the
+    SPU (one extra candidate FK); on a bitwise mismatch the speculative
+    schedules re-execute up to [max_recovery] times, after which an
+    honest serial sweep of every candidate produces a trusted winner.
+    All recovery work is accounted in [recovery_cycles] (included in
+    [total_cycles]).  With the default [fault]/[reverify] the report is
+    byte-identical to the unfaulted simulator. *)
 
 type step = {
   iteration : int;
@@ -26,9 +49,12 @@ type report = {
   err : float;
   iterations : int;
   converged : bool;
-  total_cycles : int;
+  total_cycles : int;  (** iteration cycles plus [recovery_cycles] *)
   spu_busy_cycles : int;
   ssu_busy_cycles : int;
+  faults_injected : int;  (** corruptions actually applied *)
+  recoveries : int;  (** re-verification mismatches detected *)
+  recovery_cycles : int;  (** rechecks + re-executions + honest sweeps *)
   steps : step list;  (** per-iteration log, in execution order *)
 }
 
@@ -36,7 +62,11 @@ val run :
   ?config:Config.t ->
   ?ik_config:Dadu_core.Ik.config ->
   ?speculations:int ->
+  ?fault:Dadu_util.Fault.t ->
+  ?reverify:bool ->
+  ?max_recovery:int ->
   Dadu_core.Ik.problem ->
   report
 (** Defaults: paper configuration, paper termination contract, 64
-    speculations. *)
+    speculations, no faults, no re-verification, 2 re-executions before
+    the honest sweep. *)

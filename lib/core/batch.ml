@@ -10,19 +10,21 @@ type summary = {
 
 let solve ?pool ~solver problems =
   let n = Array.length problems in
-  let t0 = Unix.gettimeofday () in
+  (* monotonic, not gettimeofday: a wall-clock step mid-batch must not
+     corrupt the reported wall_clock_s *)
+  let t0 = Dadu_util.Trace.now_s () in
   let results =
     match pool with
     | None -> Array.map solver problems
     | Some pool -> Pool.map pool (fun i -> solver problems.(i)) n
   in
-  let wall_clock_s = Unix.gettimeofday () -. t0 in
+  let wall_clock_s = Dadu_util.Trace.now_s () -. t0 in
   let converged =
     Array.fold_left
       (fun acc r ->
         match r.Ik.status with
         | Ik.Converged -> acc + 1
-        | Ik.Max_iterations | Ik.Stalled -> acc)
+        | Ik.Max_iterations | Ik.Stalled | Ik.Diverged -> acc)
       0 results
   in
   let total f = Array.fold_left (fun acc r -> acc +. f r) 0. results in

@@ -37,15 +37,21 @@ let pp_invalid ppf = function
   | Nonfinite_target -> Format.pp_print_string ppf "target has a non-finite coordinate"
   | Nonfinite_theta0 -> Format.pp_print_string ppf "theta0 has a non-finite entry"
 
+type guard = { explode_factor : float; explode_patience : int }
+
+let default_guard = { explode_factor = 1e3; explode_patience = 10 }
+
 type config = {
   accuracy : float;
   max_iterations : int;
   stall_iterations : int option;
+  guard : guard option;
 }
 
-let default_config = { accuracy = 1e-2; max_iterations = 10_000; stall_iterations = None }
+let default_config =
+  { accuracy = 1e-2; max_iterations = 10_000; stall_iterations = None; guard = None }
 
-type status = Converged | Max_iterations | Stalled
+type status = Converged | Max_iterations | Stalled | Diverged
 
 type result = {
   theta : Vec.t;
@@ -64,6 +70,7 @@ let pp_status ppf = function
   | Converged -> Format.pp_print_string ppf "converged"
   | Max_iterations -> Format.pp_print_string ppf "max-iterations"
   | Stalled -> Format.pp_print_string ppf "stalled"
+  | Diverged -> Format.pp_print_string ppf "diverged"
 
 let pp_result ppf r =
   Format.fprintf ppf "%a in %d iters (err %.3g, %d specs)" pp_status r.status

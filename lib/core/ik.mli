@@ -38,22 +38,46 @@ val validate : problem -> (unit, invalid) result
 
 val pp_invalid : Format.formatter -> invalid -> unit
 
+type guard = {
+  explode_factor : float;
+      (** abort once the error exceeds this multiple of the initial
+          error (floored at [accuracy], so a lucky near-zero start does
+          not make the threshold impossible) … *)
+  explode_patience : int;
+      (** … for this many {e consecutive} iterations — one bad
+          linesearch overshoot is forgiven, a trend is not *)
+}
+
+val default_guard : guard
+(** [{explode_factor = 1e3; explode_patience = 10}] — generous enough
+    that no healthy solver run in the test suite ever trips it. *)
+
 type config = {
   accuracy : float;  (** position tolerance in meters; paper: 1e-2 *)
   max_iterations : int;  (** iteration cap; paper: 10_000 *)
   stall_iterations : int option;
       (** early stop after this many non-improving iterations; [None]
           reproduces the paper exactly *)
+  guard : guard option;
+      (** divergence guard: abort with {!Diverged} on a non-finite θ or
+          error, or on the error-explosion rule above, instead of
+          burning the remaining iteration budget.  [None] (the default)
+          leaves every trace bit-identical to the unguarded driver —
+          paper experiments never set it. *)
 }
 
 val default_config : config
-(** [{accuracy = 1e-2; max_iterations = 10_000; stall_iterations = None}] —
-    the paper's §6.1 accuracy constraint. *)
+(** [{accuracy = 1e-2; max_iterations = 10_000; stall_iterations = None;
+    guard = None}] — the paper's §6.1 accuracy constraint. *)
 
 type status =
   | Converged
   | Max_iterations
   | Stalled
+  | Diverged
+      (** the divergence guard fired: a non-finite configuration/error,
+          or the error stayed exploded past the guard's threshold for
+          its full patience.  Only produced when [config.guard] is set. *)
 
 type result = {
   theta : Vec.t;  (** final joint configuration *)

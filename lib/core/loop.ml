@@ -21,11 +21,26 @@ let run ?(config = Ik.default_config) ?on_iteration ~workspace:ws ~speculations
       svd_sweeps = sweeps;
     }
   in
+  (* Guard state.  [explode_threshold] is set from the first iteration's
+     error once, floored at the accuracy so a near-zero initial error
+     cannot make the threshold untrippable by any finite value.  Both
+     are dead when [config.guard = None]: the unguarded path executes
+     the exact historical instruction sequence, so traces stay
+     bit-identical — the paper experiments run unguarded. *)
+  let explode_threshold = ref infinity in
+  let theta_finite () =
+    let t = ws.Ws.theta in
+    let ok = ref true in
+    for i = 0 to dof - 1 do
+      if not (Float.is_finite (Array.unsafe_get t i)) then ok := false
+    done;
+    !ok
+  in
   (* The error norm is computed inline (components straight out of the end
      frame) in the exact association order of [Vec3.norm (Vec3.sub ...)],
      so traces are bit-identical to the historical Vec3-based driver while
      keeping every float in an unboxed local. *)
-  let rec go iter sweeps stalled_for =
+  let rec go iter sweeps stalled_for exploded_for =
     Fk.frames_into ~scratch:ws.Ws.fk ~dst:ws.Ws.frames chain ws.Ws.theta;
     let m = ws.Ws.frames.(dof) in
     let ex = tx -. m.(3) and ey = ty -. m.(7) and ez = tz -. m.(11) in
@@ -36,22 +51,42 @@ let run ?(config = Ik.default_config) ?on_iteration ~workspace:ws ~speculations
     ws.Ws.scalars.Ws.err <- err;
     ws.Ws.iter <- iter;
     (match on_iteration with None -> () | Some f -> f ~iter ~err);
-    if err < config.Ik.accuracy then finish Ik.Converged iter sweeps
-    else if iter >= config.Ik.max_iterations then
-      finish Ik.Max_iterations iter sweeps
-    else begin
-      let best_err = ws.Ws.scalars.Ws.best_err in
-      let improving = err < best_err -. 1e-15 in
-      let stalled_for = if improving then 0 else stalled_for + 1 in
-      match config.Ik.stall_iterations with
-      | Some limit when stalled_for >= limit -> finish Ik.Stalled iter sweeps
-      | Some _ | None ->
-        if not (best_err <= err) then ws.Ws.scalars.Ws.best_err <- err;
-        let used = step ws in
-        let t = ws.Ws.theta in
-        ws.Ws.theta <- ws.Ws.theta_next;
-        ws.Ws.theta_next <- t;
-        go (iter + 1) (sweeps + used) stalled_for
-    end
+    match config.Ik.guard with
+    | Some _ when not (Float.is_finite err && theta_finite ()) ->
+      (* a NaN error compares false against every threshold below, so
+         without this check the loop would spin the full iteration cap *)
+      finish Ik.Diverged iter sweeps
+    | Some _ | None ->
+      if err < config.Ik.accuracy then finish Ik.Converged iter sweeps
+      else if iter >= config.Ik.max_iterations then
+        finish Ik.Max_iterations iter sweeps
+      else begin
+        let exploded_for =
+          match config.Ik.guard with
+          | None -> 0
+          | Some g ->
+            if iter = 0 then
+              explode_threshold :=
+                g.Ik.explode_factor *. Float.max err config.Ik.accuracy;
+            if err > !explode_threshold then exploded_for + 1 else 0
+        in
+        match config.Ik.guard with
+        | Some g when exploded_for > 0 && exploded_for >= g.Ik.explode_patience
+          ->
+          finish Ik.Diverged iter sweeps
+        | Some _ | None ->
+          let best_err = ws.Ws.scalars.Ws.best_err in
+          let improving = err < best_err -. 1e-15 in
+          let stalled_for = if improving then 0 else stalled_for + 1 in
+          (match config.Ik.stall_iterations with
+          | Some limit when stalled_for >= limit -> finish Ik.Stalled iter sweeps
+          | Some _ | None ->
+            if not (best_err <= err) then ws.Ws.scalars.Ws.best_err <- err;
+            let used = step ws in
+            let t = ws.Ws.theta in
+            ws.Ws.theta <- ws.Ws.theta_next;
+            ws.Ws.theta_next <- t;
+            go (iter + 1) (sweeps + used) stalled_for exploded_for)
+      end
   in
-  go 0 0 0
+  go 0 0 0 0

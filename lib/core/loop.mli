@@ -27,6 +27,16 @@ val run :
     — the error has not improved for that many consecutive iterations.
     [Ik.result.iterations] is the number of [step] calls executed.
 
+    When [config.guard] is set the driver additionally aborts with
+    {!Ik.Diverged}: immediately on a non-finite error or configuration
+    (checked at the top of every iteration, before the accuracy test —
+    a NaN error compares false against every threshold, so the unguarded
+    loop would otherwise spin the full cap), or once the error has
+    exceeded [explode_factor × max initial-error accuracy] for
+    [explode_patience] consecutive iterations.  With [guard = None]
+    (the default) the guard code is never executed and every trace is
+    bit-identical to the historical driver.
+
     The workspace [dof] must match the problem's chain.  [theta0] is
     copied in, and the result's [theta] is a fresh copy, so callers never
     alias workspace internals.

@@ -18,7 +18,7 @@ let solve rng ?(max_attempts = 5) ~solver (problem : Ik.problem) =
     in
     match result.Ik.status with
     | Ik.Converged -> { result; attempts = attempt; total_iterations }
-    | Ik.Max_iterations | Ik.Stalled ->
+    | Ik.Max_iterations | Ik.Stalled | Ik.Diverged ->
       if attempt >= max_attempts then begin
         match best with
         | Some result -> { result; attempts = attempt; total_iterations }

@@ -29,7 +29,7 @@ let track ~solver ~chain ~theta0 path =
       (fun acc w ->
         match w.result.Ik.status with
         | Ik.Converged -> acc + 1
-        | Ik.Max_iterations | Ik.Stalled -> acc)
+        | Ik.Max_iterations | Ik.Stalled | Ik.Diverged -> acc)
       0 waypoints
   in
   let warm = Array.length waypoints - 1 in

@@ -1,0 +1,147 @@
+open Dadu_core
+open Dadu_kinematics
+module Table = Dadu_util.Table
+module Fault = Dadu_util.Fault
+module Json = Dadu_util.Json
+module Rng = Dadu_util.Rng
+module Sim = Dadu_accel.Sim
+
+type cell = {
+  dof : int;
+  reverify : bool;
+  targets : int;
+  faulted_runs : int;
+  faults_injected : int;
+  converged : int;
+  absorbed : int;
+  corrupted : int;
+  recoveries : int;
+  mean_recovery_overhead : float;
+  mean_iterations : float;
+}
+
+let default_plan ~prob ~bit =
+  [
+    {
+      Fault.site = "ssu-flip";
+      trigger = Fault.Prob prob;
+      arg = float_of_int bit;
+    };
+  ]
+
+let run ?(dofs = [ 12; 30; 100 ]) ?(prob = 0.02) ?(bit = 40) ?plan
+    (scale : Runner.scale) =
+  let plan = match plan with Some p -> p | None -> default_plan ~prob ~bit in
+  let ik_config = Runner.ik_config scale in
+  List.concat_map
+    (fun dof ->
+      let chain = Robots.eval_chain ~dof in
+      (* same problems and the same injection streams for both arms: the
+         workload seed convention matches Workload.run, and each problem
+         takes a fork keyed by its index so the flip sequence hitting
+         problem [i] is identical with and without re-verification *)
+      let rng = Rng.create (scale.Runner.seed + (1_000_003 * dof)) in
+      let problems =
+        Array.init scale.Runner.targets (fun _ -> Ik.random_problem rng chain)
+      in
+      List.map
+        (fun reverify ->
+          let registry = Fault.arm ~seed:scale.Runner.seed plan in
+          let reports =
+            Array.mapi
+              (fun i p ->
+                Sim.run ~ik_config ~speculations:scale.Runner.speculations
+                  ~fault:(Fault.fork registry i) ~reverify p)
+              problems
+          in
+          let sum f = Array.fold_left (fun acc r -> acc + f r) 0 reports in
+          let fold_faulted f =
+            Array.fold_left
+              (fun acc r ->
+                if r.Sim.faults_injected > 0 then acc + f r else acc)
+              0 reports
+          in
+          let base_cycles =
+            sum (fun r -> r.Sim.total_cycles - r.Sim.recovery_cycles)
+          in
+          {
+            dof;
+            reverify;
+            targets = scale.Runner.targets;
+            faulted_runs = fold_faulted (fun _ -> 1);
+            faults_injected = sum (fun r -> r.Sim.faults_injected);
+            converged = sum (fun r -> if r.Sim.converged then 1 else 0);
+            absorbed = fold_faulted (fun r -> if r.Sim.converged then 1 else 0);
+            corrupted =
+              fold_faulted (fun r -> if r.Sim.converged then 0 else 1);
+            recoveries = sum (fun r -> r.Sim.recoveries);
+            mean_recovery_overhead =
+              (if base_cycles = 0 then 0.
+               else
+                 float_of_int (sum (fun r -> r.Sim.recovery_cycles))
+                 /. float_of_int base_cycles);
+            mean_iterations =
+              (if Array.length reports = 0 then 0.
+               else
+                 float_of_int (sum (fun r -> r.Sim.iterations))
+                 /. float_of_int (Array.length reports));
+          })
+        [ false; true ])
+    dofs
+
+let to_table cells =
+  let table =
+    Table.create
+      ~title:"Fault tolerance: SSU bit-flips absorbed vs. corrupted"
+      [
+        ("DOF", Table.Right);
+        ("reverify", Table.Left);
+        ("targets", Table.Right);
+        ("faulted", Table.Right);
+        ("flips", Table.Right);
+        ("converged", Table.Right);
+        ("absorbed", Table.Right);
+        ("corrupted", Table.Right);
+        ("recoveries", Table.Right);
+        ("recovery ovh", Table.Right);
+        ("mean iters", Table.Right);
+      ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row table
+        [
+          string_of_int c.dof;
+          (if c.reverify then "on" else "off");
+          string_of_int c.targets;
+          string_of_int c.faulted_runs;
+          string_of_int c.faults_injected;
+          string_of_int c.converged;
+          string_of_int c.absorbed;
+          string_of_int c.corrupted;
+          string_of_int c.recoveries;
+          Printf.sprintf "%.2f%%" (100. *. c.mean_recovery_overhead);
+          Table.fmt_float ~decimals:1 c.mean_iterations;
+        ])
+    cells;
+  table
+
+let to_json cells =
+  Json.List
+    (List.map
+       (fun c ->
+         Json.Obj
+           [
+             ("dof", Json.Num (float_of_int c.dof));
+             ("reverify", Json.Bool c.reverify);
+             ("targets", Json.Num (float_of_int c.targets));
+             ("faulted_runs", Json.Num (float_of_int c.faulted_runs));
+             ("faults_injected", Json.Num (float_of_int c.faults_injected));
+             ("converged", Json.Num (float_of_int c.converged));
+             ("absorbed", Json.Num (float_of_int c.absorbed));
+             ("corrupted", Json.Num (float_of_int c.corrupted));
+             ("recoveries", Json.Num (float_of_int c.recoveries));
+             ("recovery_overhead", Json.num c.mean_recovery_overhead);
+             ("mean_iterations", Json.num c.mean_iterations);
+           ])
+       cells)

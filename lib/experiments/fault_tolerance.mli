@@ -1,0 +1,47 @@
+(** Fault-tolerance experiment: how many injected SSU bit-flips the
+    accelerator absorbs, and at what recovery cost.
+
+    For each DOF, the same random workload runs twice through the
+    execution-based {!Dadu_accel.Sim} under an identical seeded fault
+    plan (default: an ["ssu-flip"] rule flipping one exponent-region bit
+    of a candidate's squared error with per-candidate probability
+    [prob]): once with the plain selector and once with the re-verifying
+    selector.  Because each problem forks the registry by its index, the
+    flip sequence hitting problem [i] is the same in both arms — the only
+    variable is the recovery mechanism.
+
+    A faulted run is {e absorbed} when it still converges (to the honest
+    SPU error, which injection never touches) and {e corrupted} when it
+    does not.  [mean_recovery_overhead] is recovery cycles as a fraction
+    of base iteration cycles — the price of re-verification. *)
+
+type cell = {
+  dof : int;
+  reverify : bool;
+  targets : int;
+  faulted_runs : int;  (** runs where at least one fault applied *)
+  faults_injected : int;  (** total corruptions across the workload *)
+  converged : int;
+  absorbed : int;  (** faulted runs that still converged *)
+  corrupted : int;  (** faulted runs that missed the accuracy *)
+  recoveries : int;  (** re-verification mismatches detected *)
+  mean_recovery_overhead : float;  (** recovery / base cycles *)
+  mean_iterations : float;
+}
+
+val default_plan : prob:float -> bit:int -> Dadu_util.Fault.plan
+
+val run :
+  ?dofs:int list ->
+  ?prob:float ->
+  ?bit:int ->
+  ?plan:Dadu_util.Fault.plan ->
+  Runner.scale ->
+  cell list
+(** Defaults: DOF 12/30/100, flip probability 0.02 per candidate, bit 40
+    (low exponent — large enough to reroute selection, the interesting
+    regime).  [plan] overrides the built-in single-rule plan. *)
+
+val to_table : cell list -> Dadu_util.Table.t
+
+val to_json : cell list -> Dadu_util.Json.t

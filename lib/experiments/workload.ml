@@ -36,7 +36,7 @@ let run (scale : Runner.scale) ~name ~chain ~solver =
     targets = scale.Runner.targets;
     converged =
       Array.fold_left
-        (fun acc r -> match r.Ik.status with Ik.Converged -> acc + 1 | Ik.Max_iterations | Ik.Stalled -> acc)
+        (fun acc r -> match r.Ik.status with Ik.Converged -> acc + 1 | Ik.Max_iterations | Ik.Stalled | Ik.Diverged -> acc)
         0 results;
     mean_iterations = Stats.mean iterations;
     median_iterations = Stats.median iterations;

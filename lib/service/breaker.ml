@@ -1,0 +1,61 @@
+type settings = { threshold : int; cooldown : int }
+
+let default_settings = { threshold = 3; cooldown = 16 }
+
+type state = Closed | Open | Half_open
+
+type t = {
+  settings : settings;
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable open_until : int;
+  mutable trips : int;
+}
+
+let create settings =
+  if settings.threshold <= 0 then
+    invalid_arg "Breaker.create: threshold must be positive";
+  if settings.cooldown <= 0 then
+    invalid_arg "Breaker.create: cooldown must be positive";
+  {
+    settings;
+    state = Closed;
+    consecutive_failures = 0;
+    open_until = 0;
+    trips = 0;
+  }
+
+let state t = t.state
+
+let trips t = t.trips
+
+let allow t ~now =
+  match t.state with
+  | Closed | Half_open -> true
+  | Open ->
+    if now >= t.open_until then begin
+      (* cooldown elapsed: let one wave probe the solver again *)
+      t.state <- Half_open;
+      true
+    end
+    else false
+
+let trip t ~now =
+  t.state <- Open;
+  t.open_until <- now + t.settings.cooldown;
+  t.consecutive_failures <- 0;
+  t.trips <- t.trips + 1
+
+let success t =
+  (* any confirmed convergence — including a late commit from a request
+     dispatched before a trip — is evidence the solver works again *)
+  t.state <- Closed;
+  t.consecutive_failures <- 0
+
+let failure t ~now =
+  match t.state with
+  | Half_open -> trip t ~now (* failed probe: reopen immediately *)
+  | Open -> () (* late commit from a pre-trip dispatch; stays open *)
+  | Closed ->
+    t.consecutive_failures <- t.consecutive_failures + 1;
+    if t.consecutive_failures >= t.settings.threshold then trip t ~now

@@ -1,0 +1,50 @@
+(** Per-solver circuit breaker.
+
+    A solver tier that keeps misbehaving (guard-tripped divergence,
+    injected or real crashes) is taken out of the fallback chain instead
+    of burning its full iteration budget on every request:
+
+    - [Closed]: requests flow; [threshold] {e consecutive} failures trip
+      the breaker.
+    - [Open]: the tier is skipped until [cooldown] more requests have
+      been committed.
+    - [Half_open]: after the cooldown, probes flow again — one success
+      re-closes the breaker, one failure reopens it for another
+      cooldown.
+
+    Time is the {e request ordinal}, not the wall clock: the service
+    reads breakers in the scheduler's serial prepare phase and records
+    outcomes in the serial commit phase, so every state transition is a
+    pure function of the committed request sequence and batches replay
+    identically across pool sizes.  The structure itself is
+    single-writer and does no locking. *)
+
+type settings = { threshold : int; cooldown : int }
+
+val default_settings : settings
+(** 3 consecutive failures to trip; 16 requests of cooldown. *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+val create : settings -> t
+(** Raises [Invalid_argument] on non-positive settings. *)
+
+val state : t -> state
+
+val trips : t -> int
+(** How many times this breaker has opened (monitoring). *)
+
+val allow : t -> now:int -> bool
+(** [allow t ~now] decides whether the tier may serve the request with
+    ordinal [now]; flips [Open → Half_open] when the cooldown has
+    elapsed.  Call from a serial phase. *)
+
+val success : t -> unit
+(** Record a confirmed convergence: closes the breaker. *)
+
+val failure : t -> now:int -> unit
+(** Record a malfunction (divergence or crash, {e not} an honest
+    miss-accuracy): counts toward the trip threshold, reopens a
+    half-open breaker. *)

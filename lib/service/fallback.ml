@@ -68,39 +68,85 @@ type outcome = {
   solver : kind;
   attempts : int;
   fallbacks : int;
+  trail : (kind * Ik.status) list;
   elapsed_s : float;
 }
 
 (* Demote a claimed convergence that FK does not confirm; keeps the
    never-Converged-above-accuracy invariant independent of any individual
-   solver's bookkeeping. *)
+   solver's bookkeeping.  A non-finite true error (poisoned θ) is a
+   malfunction, not a miss: demote to [Diverged] so the breaker sees it. *)
 let verify ~config p (r : Ik.result) =
   match r.Ik.status with
   | Ik.Converged ->
     let actual = Ik.error_of p.Ik.chain p.Ik.target r.Ik.theta in
     if actual <= config.Ik.accuracy then r
-    else { r with Ik.status = Ik.Stalled; error = actual }
-  | Ik.Max_iterations | Ik.Stalled -> r
+    else if Float.is_finite actual then
+      { r with Ik.status = Ik.Stalled; error = actual }
+    else { r with Ik.status = Ik.Diverged; error = actual }
+  | Ik.Max_iterations | Ik.Stalled | Ik.Diverged -> r
 
-let run ?speculations ?time_budget_s ?attempt_hook ~chain ~config p =
+(* A crashed tier must not take the whole request down: stand in a
+   best-effort result (the clamped initial pose, honestly scored) marked
+   [Diverged] so the chain moves on and the breaker counts the crash. *)
+let crashed ?(speculations = 64) (p : Ik.problem) =
+  let theta = Dadu_kinematics.Chain.clamp_config p.Ik.chain p.Ik.theta0 in
+  {
+    Ik.theta;
+    error = Ik.error_of p.Ik.chain p.Ik.target theta;
+    iterations = 0;
+    speculations;
+    status = Ik.Diverged;
+    svd_sweeps = 0;
+  }
+
+let run ?speculations ?time_budget_s ?attempt_hook
+    ?(fault = Dadu_util.Fault.disabled) ~chain ~config p =
   if chain = [] then invalid_arg "Fallback.run: empty solver chain";
+  let module Fault = Dadu_util.Fault in
   let now = Dadu_util.Trace.now_s in
   let t0 = now () in
   let elapsed () = now () -. t0 in
   let out_of_time () =
     match time_budget_s with None -> false | Some b -> elapsed () > b
   in
-  let rec go best attempts = function
+  let attempt kind =
+    match Fault.fires fault ~site:"solver-raise" () with
+    | Some _ -> failwith ("injected fault: " ^ name kind ^ " crashed")
+    | None ->
+      let r = solver ?speculations kind ~config p in
+      let r =
+        (* corrupt θ after the solve, like a scribbled result buffer *)
+        match Fault.fires fault ~site:"solver-nan" () with
+        | Some _ ->
+          let theta = Dadu_linalg.Vec.copy r.Ik.theta in
+          theta.(0) <- Float.nan;
+          { r with Ik.theta }
+        | None -> r
+      in
+      (* a lying tier claims success regardless of where θ landed; only
+         the FK re-verification below catches it *)
+      (match Fault.fires fault ~site:"solver-lie" () with
+      | Some _ -> { r with Ik.status = Ik.Converged; error = 0. }
+      | None -> r)
+  in
+  let rec go best attempts trail = function
     | kind :: rest ->
       let start_s = now () in
-      let r = verify ~config p (solver ?speculations kind ~config p) in
+      let r =
+        match attempt kind with
+        | raw -> verify ~config p raw
+        | exception _ -> crashed ?speculations p
+      in
       (match attempt_hook with
       | None -> ()
       | Some hook -> hook kind ~start_s ~dur_s:(now () -. start_s) r);
       let attempts = attempts + 1 in
-      if r.Ik.status = Ik.Converged then (r, kind, attempts)
+      let trail = (kind, r.Ik.status) :: trail in
+      if r.Ik.status = Ik.Converged then (r, kind, attempts, trail)
       else begin
-        (* keep the lowest-error attempt; ties go to the earlier solver *)
+        (* keep the lowest-error attempt; ties go to the earlier solver,
+           and a NaN-error attempt never displaces a finite one *)
         let best =
           match best with
           | None -> (r, kind)
@@ -109,10 +155,17 @@ let run ?speculations ?time_budget_s ?attempt_hook ~chain ~config p =
         in
         if rest = [] || out_of_time () then
           let b, k = best in
-          (b, k, attempts)
-        else go (Some best) attempts rest
+          (b, k, attempts, trail)
+        else go (Some best) attempts trail rest
       end
     | [] -> assert false (* chain checked non-empty; recursion stops above *)
   in
-  let result, solver, attempts = go None 0 chain in
-  { result; solver; attempts; fallbacks = attempts - 1; elapsed_s = elapsed () }
+  let result, solver, attempts, trail = go None 0 [] chain in
+  {
+    result;
+    solver;
+    attempts;
+    fallbacks = attempts - 1;
+    trail = List.rev trail;
+    elapsed_s = elapsed ();
+  }

@@ -46,6 +46,9 @@ type outcome = {
   solver : kind;  (** solver that produced [result] *)
   attempts : int;  (** solvers actually run (≥ 1) *)
   fallbacks : int;  (** [attempts - 1] *)
+  trail : (kind * Ik.status) list;
+      (** every attempt with its FK-verified status, in chain order — the
+          circuit breakers' evidence stream *)
   elapsed_s : float;  (** wall clock across all attempts *)
 }
 
@@ -53,6 +56,7 @@ val run :
   ?speculations:int ->
   ?time_budget_s:float ->
   ?attempt_hook:(kind -> start_s:float -> dur_s:float -> Ik.result -> unit) ->
+  ?fault:Dadu_util.Fault.t ->
   chain:kind list ->
   config:Ik.config ->
   Ik.problem ->
@@ -65,4 +69,16 @@ val run :
     [attempt_hook] is called after each attempt with the FK-verified
     result and {!Dadu_util.Trace.now_s} timings — the service's
     fallback-tier trace spans; it must not raise.  Raises
-    [Invalid_argument] on an empty chain. *)
+    [Invalid_argument] on an empty chain.
+
+    A raising tier — real bug or injected fault — is contained: the
+    attempt becomes a [Diverged] best-effort result (clamped [θ₀],
+    honestly scored) and the chain continues, so one crashed solver
+    degrades the reply instead of faulting the request.
+
+    [fault] (default disabled) consults three sites once per attempt:
+    ["solver-raise"] makes the tier crash, ["solver-nan"] poisons the
+    returned [θ], ["solver-lie"] forges a [Converged]/zero-error claim.
+    All three are caught by the crash containment, the FK
+    re-verification, or the divergence demotion above — they exist to
+    exercise exactly those defenses. *)

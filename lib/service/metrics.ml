@@ -11,6 +11,10 @@ type t = {
   deadline_exceeded : int Atomic.t;
   cache_hits : int Atomic.t;
   cache_misses : int Atomic.t;
+  diverged : int Atomic.t;
+  breaker_skips : int Atomic.t;
+  retries : int Atomic.t;
+  retry_converged : int Atomic.t;
   lock : Mutex.t; (* guards both histograms *)
   latency : Histogram.t;
   iterations : Histogram.t;
@@ -27,6 +31,10 @@ let create () =
     deadline_exceeded = Atomic.make 0;
     cache_hits = Atomic.make 0;
     cache_misses = Atomic.make 0;
+    diverged = Atomic.make 0;
+    breaker_skips = Atomic.make 0;
+    retries = Atomic.make 0;
+    retry_converged = Atomic.make 0;
     lock = Mutex.create ();
     latency = Histogram.create ();
     iterations = Histogram.create ();
@@ -37,24 +45,46 @@ type event =
   | Faulted of string
   | Solved of {
       converged : bool;
+      diverged : bool;
       fallbacks : int;
       cache_hit : bool;
       deadline_exceeded : bool;
+      breaker_skips : int;
+      retries : int;
+      retry_converged : bool;
       latency_s : float;
       iterations : int;
     }
 
 let bump c = Atomic.incr c
 
+let add c n = if n > 0 then ignore (Atomic.fetch_and_add c n)
+
 let record t event =
   bump t.requests;
   match event with
   | Rejected _ -> bump t.rejected
   | Faulted _ -> bump t.faulted
-  | Solved { converged; fallbacks; cache_hit; deadline_exceeded; latency_s; iterations } ->
+  | Solved
+      {
+        converged;
+        diverged;
+        fallbacks;
+        cache_hit;
+        deadline_exceeded;
+        breaker_skips;
+        retries;
+        retry_converged;
+        latency_s;
+        iterations;
+      } ->
     bump (if converged then t.converged else t.failed);
+    if diverged then bump t.diverged;
     if fallbacks > 0 then bump t.fallback_used;
     if deadline_exceeded then bump t.deadline_exceeded;
+    add t.breaker_skips breaker_skips;
+    add t.retries retries;
+    if retry_converged then bump t.retry_converged;
     bump (if cache_hit then t.cache_hits else t.cache_misses);
     Mutex.lock t.lock;
     Fun.protect
@@ -76,6 +106,10 @@ let reset t =
       t.deadline_exceeded;
       t.cache_hits;
       t.cache_misses;
+      t.diverged;
+      t.breaker_skips;
+      t.retries;
+      t.retry_converged;
     ];
   Mutex.lock t.lock;
   Histogram.clear t.latency;
@@ -92,6 +126,10 @@ type snapshot = {
   deadline_exceeded : int;
   cache_hits : int;
   cache_misses : int;
+  diverged : int;
+  breaker_skips : int;
+  retries : int;
+  retry_converged : int;
   latency : Histogram.summary option;
   iterations : Histogram.summary option;
 }
@@ -111,6 +149,10 @@ let snapshot t =
     deadline_exceeded = Atomic.get t.deadline_exceeded;
     cache_hits = Atomic.get t.cache_hits;
     cache_misses = Atomic.get t.cache_misses;
+    diverged = Atomic.get t.diverged;
+    breaker_skips = Atomic.get t.breaker_skips;
+    retries = Atomic.get t.retries;
+    retry_converged = Atomic.get t.retry_converged;
     latency;
     iterations;
   }
@@ -137,6 +179,10 @@ let render s =
            (100. *. float_of_int s.cache_hits /. float_of_int lookups));
     ];
   int_row "cache misses" s.cache_misses;
+  int_row "diverged" s.diverged;
+  int_row "breaker skips" s.breaker_skips;
+  int_row "retries" s.retries;
+  int_row "retry converged" s.retry_converged;
   Table.add_sep table;
   (match s.latency with
   | None -> Table.add_row table [ "latency"; "no samples" ]

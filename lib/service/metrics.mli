@@ -23,11 +23,15 @@ type event =
   | Faulted of string  (** a solver raised; captured, problem dropped *)
   | Solved of {
       converged : bool;
+      diverged : bool;  (** reported attempt ended [Diverged] *)
       fallbacks : int;  (** extra solvers tried after the first *)
       cache_hit : bool;  (** warm-started from the seed cache *)
       deadline_exceeded : bool;
           (** dispatched past its deadline or the batch budget:
               short-circuited to the cheapest solver tier *)
+      breaker_skips : int;  (** solver tiers skipped by open breakers *)
+      retries : int;  (** perturbed-seed re-entries of the chain *)
+      retry_converged : bool;  (** a retry (not the first pass) converged *)
       latency_s : float;  (** end-to-end solve wall clock *)
       iterations : int;  (** iterations of the reported attempt *)
     }
@@ -46,6 +50,10 @@ type snapshot = {
   deadline_exceeded : int;  (** requests short-circuited past deadline *)
   cache_hits : int;
   cache_misses : int;
+  diverged : int;  (** replies whose reported attempt diverged *)
+  breaker_skips : int;  (** total tiers skipped by open breakers *)
+  retries : int;  (** total perturbed-seed retries *)
+  retry_converged : int;  (** requests rescued by a retry *)
   latency : Histogram.summary option;  (** seconds; [None] before traffic *)
   iterations : Histogram.summary option;
 }

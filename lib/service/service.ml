@@ -1,6 +1,8 @@
 open Dadu_core
 open Dadu_kinematics
 module Trace = Dadu_util.Trace
+module Fault = Dadu_util.Fault
+module Rng = Dadu_util.Rng
 
 type config = {
   solvers : Fallback.kind list;
@@ -12,6 +14,11 @@ type config = {
   cache_cell_m : float;
   cache_capacity : int;
   chunk : int;
+  guard : Ik.guard option;
+  fault : Fault.t;
+  breaker : Breaker.settings option;
+  retries : int;
+  retry_scale : float;
 }
 
 let default_config =
@@ -25,6 +32,11 @@ let default_config =
     cache_cell_m = 0.05;
     cache_capacity = 4096;
     chunk = 64;
+    guard = None;
+    fault = Fault.disabled;
+    breaker = None;
+    retries = 0;
+    retry_scale = 0.1;
   }
 
 type t = {
@@ -33,6 +45,9 @@ type t = {
   scheduler : Scheduler.t;
   cache : Seed_cache.t;
   metrics : Metrics.t;
+  breakers : Breaker.t array option;
+      (* one per chain tier, same order as [config.solvers]; mutated only
+         in the scheduler's serial phases *)
 }
 
 let create ?pool ?(config = default_config) () =
@@ -43,6 +58,10 @@ let create ?pool ?(config = default_config) () =
     invalid_arg "Service.create: max_iterations must be positive";
   if not (config.accuracy > 0.) then
     invalid_arg "Service.create: accuracy must be positive";
+  if config.retries < 0 then
+    invalid_arg "Service.create: retries must be non-negative";
+  if not (config.retry_scale >= 0. && Float.is_finite config.retry_scale) then
+    invalid_arg "Service.create: retry_scale must be finite and non-negative";
   {
     config;
     ik_config =
@@ -50,14 +69,26 @@ let create ?pool ?(config = default_config) () =
         Ik.accuracy = config.accuracy;
         max_iterations = config.max_iterations;
         stall_iterations = None;
+        guard = config.guard;
       };
     scheduler = Scheduler.create ?pool ~chunk:config.chunk ();
     (* Seed_cache.create and Scheduler.create validate their own fields *)
     cache = Seed_cache.create ~capacity:config.cache_capacity ~cell_size:config.cache_cell_m ();
     metrics = Metrics.create ();
+    breakers =
+      Option.map
+        (fun settings ->
+          Array.of_list (List.map (fun _ -> Breaker.create settings) config.solvers))
+        config.breaker;
   }
 
 let config t = t.config
+
+let breaker_states t =
+  match t.breakers with
+  | None -> []
+  | Some bs ->
+    List.mapi (fun j kind -> (kind, Breaker.state bs.(j))) t.config.solvers
 
 type request = { problem : Ik.problem; deadline_s : float option }
 
@@ -75,6 +106,10 @@ type reply =
       fallbacks : int;
       cache_hit : bool;
       deadline_exceeded : bool;
+      breaker_skips : int;
+      retries : int;
+      retry_converged : bool;
+      trail : (Fallback.kind * Ik.status) list;
       latency_s : float;
     }
   | Rejected of Ik.invalid
@@ -88,6 +123,8 @@ type prepared =
       cache_hit : bool;
       expired : bool;
       solve_budget_s : float option;
+      chain : Fallback.kind list;
+      breaker_skips : int;
     }
   | Skip of Ik.invalid
 
@@ -102,6 +139,24 @@ let prepare t ?budget_s ?trace (d : Scheduler.dispatch) (rq : request) =
   match Ik.validate p with
   | Error invalid -> Skip invalid
   | Ok () ->
+    (* breaker reads happen here, in the serial phase, keyed on the
+       request ordinal — the open/half-open decisions are a pure function
+       of the committed request sequence, never of the pool size.  If
+       every tier is open the full chain runs anyway: serving must answer
+       and an all-open chain means the problem is the traffic, not one
+       solver. *)
+    let chain, breaker_skips =
+      match t.breakers with
+      | None -> (t.config.solvers, 0)
+      | Some bs ->
+        let allowed =
+          List.filteri
+            (fun j _ -> Breaker.allow bs.(j) ~now:d.Scheduler.index)
+            t.config.solvers
+        in
+        if allowed = [] then (t.config.solvers, 0)
+        else (allowed, List.length t.config.solvers - List.length allowed)
+    in
     let lookup problem cache_hit =
       (* time left before this request's deadline or the batch budget, at
          prepare time; the solve phase hands it to the fallback chain so a
@@ -123,6 +178,8 @@ let prepare t ?budget_s ?trace (d : Scheduler.dispatch) (rq : request) =
           cache_hit;
           expired = d.Scheduler.expired;
           solve_budget_s;
+          chain;
+          breaker_skips;
         }
     in
     if not t.config.warm_start then lookup p false
@@ -137,10 +194,24 @@ let prepare t ?budget_s ?trace (d : Scheduler.dispatch) (rq : request) =
         lookup { p with Ik.theta0 } true
     end
 
+(* Perturbed-seed retry (the IKSel observation: a failed chain often
+   succeeds from a jittered start).  The noise is seeded from the request
+   index and retry ordinal only, so retry [r] of request [i] perturbs
+   identically whatever the pool size or which domain runs it. *)
+let perturbed (p : Ik.problem) ~index ~retry ~scale =
+  let rng = Rng.create (Hashtbl.hash (0x7e72, index, retry)) in
+  let theta0 =
+    Chain.clamp_config p.Ik.chain
+      (Array.map (fun th -> th +. (scale *. Rng.gaussian rng)) p.Ik.theta0)
+  in
+  { p with Ik.theta0 }
+
 let work t ?trace prep =
   match prep with
   | Skip invalid -> Rejected invalid
-  | Dispatch { index; problem; cache_hit; expired; solve_budget_s } ->
+  | Dispatch
+      { index; problem; cache_hit; expired; solve_budget_s; chain; breaker_skips }
+    ->
     let t0 = Trace.now_s () in
     let attempt_hook =
       match trace with
@@ -160,13 +231,67 @@ let work t ?trace prep =
     (* past-deadline requests short-circuit to the cheapest tier: the
        chain's first solver (chains are ordered cheap-first), alone, so
        the reply still carries a best-effort answer at minimum cost *)
-    let chain =
-      if expired then [ List.hd t.config.solvers ] else t.config.solvers
-    in
-    let outcome =
+    let chain = if expired then [ List.hd chain ] else chain in
+    let fault = Fault.fork t.config.fault index in
+    let solve p =
       Fallback.run ~speculations:t.config.speculations
-        ?time_budget_s:solve_budget_s ?attempt_hook ~chain
-        ~config:t.ik_config problem
+        ?time_budget_s:solve_budget_s ?attempt_hook ~fault ~chain
+        ~config:t.ik_config p
+    in
+    let first = solve problem in
+    (* retry tier: re-enter the exhausted chain from perturbed seeds,
+       keeping the best outcome; expired requests never retry (the whole
+       point was minimum cost) *)
+    let rec retry_loop best retry =
+      if
+        best.Fallback.result.Ik.status = Ik.Converged
+        || retry > t.config.retries || expired
+      then (best, retry - 1)
+      else begin
+        let rp = perturbed problem ~index ~retry ~scale:t.config.retry_scale in
+        let start_s = Trace.now_s () in
+        let o = solve rp in
+        (match trace with
+        | None -> ()
+        | Some tr ->
+          Trace.record tr ~request:index ~phase:"retry"
+            ~attrs:
+              [
+                ("attempt", string_of_int retry);
+                ( "status",
+                  Format.asprintf "%a" Ik.pp_status o.Fallback.result.Ik.status
+                );
+              ]
+            ~start_s ~dur_s:(Trace.now_s () -. start_s) ());
+        (* keep the converged (else lowest-error) outcome; the merged
+           trail and attempt count cover every pass so breakers and
+           metrics see all the evidence *)
+        let keep =
+          if
+            o.Fallback.result.Ik.status = Ik.Converged
+            || o.Fallback.result.Ik.error < best.Fallback.result.Ik.error
+          then o
+          else best
+        in
+        let attempts = best.Fallback.attempts + o.Fallback.attempts in
+        let best =
+          {
+            keep with
+            Fallback.trail = best.Fallback.trail @ o.Fallback.trail;
+            attempts;
+            fallbacks = attempts - 1;
+          }
+        in
+        retry_loop best (retry + 1)
+      end
+    in
+    let outcome, retries_used =
+      if t.config.retries = 0 then (first, 0) else retry_loop first 1
+    in
+    let retries_used = Stdlib.max 0 retries_used in
+    let retry_converged =
+      retries_used > 0 && outcome.Fallback.result.Ik.status = Ik.Converged
+      && first.Fallback.result.Ik.status <> Ik.Converged
     in
     let latency_s = Trace.now_s () -. t0 in
     (match trace with
@@ -188,18 +313,53 @@ let work t ?trace prep =
         fallbacks = outcome.Fallback.fallbacks;
         cache_hit;
         deadline_exceeded = expired;
+        breaker_skips;
+        retries = retries_used;
+        retry_converged;
+        trail = outcome.Fallback.trail;
         latency_s;
       }
 
 let commit t ?trace requests i result =
   Trace.span trace ~request:i ~phase:"commit" @@ fun () ->
+  (* breaker writes happen here, serially and in input order: the
+     evidence stream feeding the state machines is the committed trail
+     sequence, identical across pool sizes.  Convergence closes; a
+     Diverged attempt (guard trip, crash containment, poisoned θ) counts
+     toward the trip threshold; an honest Max_iterations/Stalled miss is
+     neutral — a hard workload must not amputate the chain. *)
+  (match (t.breakers, result) with
+  | Some bs, Ok (Solved { trail; _ }) ->
+    List.iter
+      (fun (kind, status) ->
+        List.iteri
+          (fun j k ->
+            if k = kind then
+              match status with
+              | Ik.Converged -> Breaker.success bs.(j)
+              | Ik.Diverged -> Breaker.failure bs.(j) ~now:i
+              | Ik.Max_iterations | Ik.Stalled -> ())
+          t.config.solvers)
+      trail
+  | _ -> ());
   match result with
   | Error exn ->
     Metrics.record t.metrics (Metrics.Faulted (Printexc.to_string exn))
   | Ok (Rejected invalid) -> Metrics.record t.metrics (Metrics.Rejected invalid)
   | Ok (Faulted msg) -> Metrics.record t.metrics (Metrics.Faulted msg)
-  | Ok (Solved { result; fallbacks; cache_hit; deadline_exceeded; latency_s; _ })
-    ->
+  | Ok
+      (Solved
+        {
+          result;
+          fallbacks;
+          cache_hit;
+          deadline_exceeded;
+          breaker_skips;
+          retries;
+          retry_converged;
+          latency_s;
+          _;
+        }) ->
     let converged = result.Ik.status = Ik.Converged in
     if converged then begin
       let p = requests.(i).problem in
@@ -211,9 +371,13 @@ let commit t ?trace requests i result =
       (Metrics.Solved
          {
            converged;
+           diverged = result.Ik.status = Ik.Diverged;
            fallbacks;
            cache_hit;
            deadline_exceeded;
+           breaker_skips;
+           retries;
+           retry_converged;
            latency_s;
            iterations = result.Ik.iterations;
          })

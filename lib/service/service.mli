@@ -47,12 +47,29 @@ type config = {
   cache_cell_m : float;  (** seed-cache grid cell side, meters *)
   cache_capacity : int;  (** seed-cache cells before LRU eviction *)
   chunk : int;  (** scheduler wave size *)
+  guard : Ik.guard option;
+      (** divergence guard threaded into every solver attempt; [None]
+          (the default) keeps solver traces bit-identical to the
+          unguarded library *)
+  fault : Dadu_util.Fault.t;
+      (** chaos-testing registry; each request consults its own
+          {!Dadu_util.Fault.fork} keyed by the request index, so
+          injection is independent of pool size.  Default disabled. *)
+  breaker : Breaker.settings option;  (** per-solver circuit breakers *)
+  retries : int;
+      (** perturbed-seed re-entries of the chain after it is exhausted
+          without convergence (0 = off) *)
+  retry_scale : float;
+      (** std-dev (radians) of the Gaussian jitter applied to [θ₀] per
+          retry; jitter is seeded by (request index, retry ordinal) so
+          retries replay identically across pool sizes *)
 }
 
 val default_config : config
 (** [Quick_ik → Dls → Sdls], 64 speculations, 1e-2 m accuracy, 2 000
     iterations per attempt, no time budget, warm starts on a 5 cm grid,
-    4096 cells, chunk 64. *)
+    4096 cells, chunk 64; resilience extras all off (no guard, no
+    faults, no breakers, no retries, jitter 0.1 rad). *)
 
 type t
 
@@ -62,6 +79,10 @@ val create : ?pool:Dadu_util.Domain_pool.t -> ?config:config -> unit -> t
     non-positive speculations/iterations/chunk/cell/capacity). *)
 
 val config : t -> config
+
+val breaker_states : t -> (Fallback.kind * Breaker.state) list
+(** Current breaker per chain tier, in chain order; [[]] when breakers
+    are off.  Read between batches (the states mutate during serving). *)
 
 type request = {
   problem : Ik.problem;
@@ -82,6 +103,13 @@ type reply =
       cache_hit : bool;  (** warm-started from a cached neighbour *)
       deadline_exceeded : bool;
           (** short-circuited: only the cheapest solver ran *)
+      breaker_skips : int;  (** tiers skipped by open breakers *)
+      retries : int;  (** perturbed-seed re-entries that ran *)
+      retry_converged : bool;
+          (** the first pass failed and a retry converged *)
+      trail : (Fallback.kind * Ik.status) list;
+          (** every attempt across all passes with its FK-verified
+              status, in execution order *)
       latency_s : float;
     }
       (** dispatched; [result.status] says whether it converged *)

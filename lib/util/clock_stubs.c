@@ -1,0 +1,31 @@
+/* CLOCK_MONOTONIC for Dadu_util.Trace: OCaml's bundled Unix library
+   exposes only gettimeofday, which steps with NTP/manual wall-clock
+   adjustments — a stepped clock silently expires every deadline in a
+   batch or records negative span durations.  One stub, no dependency. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#ifdef _WIN32
+#include <windows.h>
+
+CAMLprim value dadu_clock_monotonic_s(value unit)
+{
+  static LARGE_INTEGER freq;
+  LARGE_INTEGER now;
+  if (freq.QuadPart == 0) QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&now);
+  return caml_copy_double((double)now.QuadPart / (double)freq.QuadPart);
+}
+
+#else
+#include <time.h>
+
+CAMLprim value dadu_clock_monotonic_s(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}
+#endif

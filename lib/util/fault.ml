@@ -1,0 +1,173 @@
+type trigger =
+  | Always
+  | At_iteration of int
+  | From_iteration of int
+  | Every of int
+  | First of int
+  | Prob of float
+
+type rule = { site : string; trigger : trigger; arg : float }
+
+type plan = rule list
+
+(* ---- plan syntax ---- *)
+
+let trigger_to_string = function
+  | Always -> None
+  | At_iteration n -> Some (Printf.sprintf "iter=%d" n)
+  | From_iteration n -> Some (Printf.sprintf "from=%d" n)
+  | Every n -> Some (Printf.sprintf "every=%d" n)
+  | First n -> Some (Printf.sprintf "first=%d" n)
+  | Prob p -> Some (Printf.sprintf "prob=%g" p)
+
+let rule_to_string r =
+  String.concat ","
+    ((r.site :: Option.to_list (trigger_to_string r.trigger))
+    @ if r.arg = 0. then [] else [ Printf.sprintf "arg=%g" r.arg ])
+
+let plan_to_string plan = String.concat ";" (List.map rule_to_string plan)
+
+let parse_rule text =
+  match
+    String.split_on_char ',' text
+    |> List.map String.trim
+    |> List.filter (fun f -> f <> "")
+  with
+  | [] -> Error "empty fault rule"
+  | site :: fields ->
+    let parse acc field =
+      match acc with
+      | Error _ as e -> e
+      | Ok (trigger, arg) ->
+        (match String.index_opt field '=' with
+        | None ->
+          if field = "always" then Ok (Some Always, arg)
+          else Error (Printf.sprintf "bad fault field %S (expected key=value)" field)
+        | Some i ->
+          let key = String.sub field 0 i in
+          let v = String.sub field (i + 1) (String.length field - i - 1) in
+          let int_trigger make =
+            match int_of_string_opt v with
+            | Some n when n >= 0 -> Ok (Some (make n), arg)
+            | Some _ | None ->
+              Error (Printf.sprintf "bad fault field %S (expected %s=<nat>)" field key)
+          in
+          (match key with
+          | "iter" -> int_trigger (fun n -> At_iteration n)
+          | "from" -> int_trigger (fun n -> From_iteration n)
+          | "every" ->
+            (match int_of_string_opt v with
+            | Some n when n > 0 -> Ok (Some (Every n), arg)
+            | Some _ | None -> Error (Printf.sprintf "bad fault field %S (every needs a positive count)" field))
+          | "first" -> int_trigger (fun n -> First n)
+          | "prob" ->
+            (match float_of_string_opt v with
+            | Some p when p >= 0. && p <= 1. -> Ok (Some (Prob p), arg)
+            | Some _ | None ->
+              Error (Printf.sprintf "bad fault field %S (prob needs 0..1)" field))
+          | "arg" | "bit" ->
+            (match float_of_string_opt v with
+            | Some x when Float.is_finite x -> Ok (trigger, x)
+            | Some _ | None ->
+              Error (Printf.sprintf "bad fault field %S (finite number expected)" field))
+          | _ -> Error (Printf.sprintf "unknown fault field %S" key)))
+    in
+    (match List.fold_left parse (Ok (None, 0.)) fields with
+    | Error _ as e -> e
+    | Ok (trigger, arg) ->
+      Ok { site; trigger = Option.value trigger ~default:Always; arg })
+
+let parse_plan text =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest ->
+      (match parse_rule part with
+      | Ok r -> go (r :: acc) rest
+      | Error _ as e -> e)
+  in
+  match
+    String.split_on_char ';' text
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  with
+  | [] -> Error "empty fault plan"
+  | parts -> go [] parts
+
+(* ---- runtime registry ---- *)
+
+type armed_rule = {
+  rule : rule;
+  mutable hits : int;  (* consultations of this rule's site, so far *)
+  rng : Rng.t;  (* private stream for Prob triggers *)
+}
+
+type registry = { seed : int; plan : rule array; rules : armed_rule array }
+
+type t = Disabled | Armed of registry
+
+let disabled = Disabled
+
+let enabled = function Disabled -> false | Armed _ -> true
+
+(* Hashtbl.hash is deterministic for int/string tuples across runs, which
+   is all the seeding needs: distinct, reproducible streams per
+   (seed, fork, rule, site). *)
+let rule_seed ~seed ~fork_index ~rule_index site =
+  Hashtbl.hash (seed, fork_index, rule_index, site)
+
+let arm_registry ~seed ~fork_index plan =
+  let plan = Array.of_list plan in
+  let rules =
+    Array.mapi
+      (fun i rule ->
+        {
+          rule;
+          hits = 0;
+          rng = Rng.create (rule_seed ~seed ~fork_index ~rule_index:i rule.site);
+        })
+      plan
+  in
+  Armed { seed; plan = Array.copy plan; rules }
+
+let arm ?(seed = 0) plan =
+  if plan = [] then Disabled else arm_registry ~seed ~fork_index:0 plan
+
+let fork t index =
+  match t with
+  | Disabled -> Disabled
+  | Armed { seed; plan; _ } ->
+    arm_registry ~seed ~fork_index:index (Array.to_list plan)
+
+let triggers ar ~iteration =
+  match ar.rule.trigger with
+  | Always -> true
+  | At_iteration n -> iteration = n
+  | From_iteration n -> iteration >= n
+  | Every n -> ar.hits mod n = 0
+  | First n -> ar.hits < n
+  | Prob p -> Rng.float ar.rng 1.0 < p
+
+let fires t ~site ?(iteration = 0) () =
+  match t with
+  | Disabled -> None
+  | Armed { rules; _ } ->
+    (* consult every matching rule so counters and random streams advance
+       independently of which rule (if any) fires first *)
+    let fired = ref None in
+    Array.iter
+      (fun ar ->
+        if String.equal ar.rule.site site then begin
+          let hit = triggers ar ~iteration in
+          ar.hits <- ar.hits + 1;
+          if hit && !fired = None then fired := Some ar.rule.arg
+        end)
+      rules;
+    !fired
+
+let consultations t ~site =
+  match t with
+  | Disabled -> 0
+  | Armed { rules; _ } ->
+    Array.fold_left
+      (fun acc ar -> if String.equal ar.rule.site site then Stdlib.max acc ar.hits else acc)
+      0 rules

@@ -1,0 +1,72 @@
+(** Deterministic, site-scoped fault injection.
+
+    A fault {e plan} is a list of rules, each naming an injection {e site}
+    (a string agreed between the injector and the component, e.g.
+    ["ssu-flip"] in the accelerator simulator or ["solver-lie"] in the
+    service fallback chain), a {e trigger} deciding when the rule fires,
+    and a float {e payload} the site interprets (a bit index, a stuck-at
+    value, …).
+
+    Determinism is the design constraint: every probabilistic trigger
+    draws from its own {!Rng} stream derived from [(seed, fork index,
+    rule index, site)], and every counter-based trigger counts only its
+    own site's consultations — so a registry's firing sequence is a pure
+    function of the seed and the sequence of [fires] calls made against
+    it, independent of wall clock, scheduling, or any other rule's
+    outcome.  Components that run concurrently (e.g. service requests
+    fanned across a domain pool) each take a {!fork} keyed by a stable
+    index, which makes the injected faults independent of pool size.
+
+    A disabled registry costs one branch per consultation and never
+    allocates, so injection points can stay in hot paths unconditionally. *)
+
+type trigger =
+  | Always  (** fire on every consultation *)
+  | At_iteration of int  (** fire when the consulted [iteration] equals this *)
+  | From_iteration of int  (** fire when [iteration] is at least this *)
+  | Every of int  (** fire on consultations 0, n, 2n, … of this rule's site *)
+  | First of int  (** fire on the first n consultations *)
+  | Prob of float  (** seeded Bernoulli per consultation *)
+
+type rule = { site : string; trigger : trigger; arg : float }
+
+type plan = rule list
+
+val parse_plan : string -> (plan, string) result
+(** Parses the CLI syntax: rules separated by [';'], each
+    [site,field,...] with fields [iter=N | from=N | every=N | first=N |
+    prob=P] (trigger, default [always]) and [arg=X] (payload, default 0;
+    [bit=X] is an alias).  E.g.
+    ["ssu-flip,prob=0.05,bit=40;sched-drop,every=100"]. *)
+
+val plan_to_string : plan -> string
+(** Round-trips through {!parse_plan}. *)
+
+type t
+
+val disabled : t
+(** The no-op registry: {!fires} always answers [None]. *)
+
+val enabled : t -> bool
+
+val arm : ?seed:int -> plan -> t
+(** [arm ~seed plan] builds a live registry ([disabled] when the plan is
+    empty).  Equal seeds and plans yield equal firing sequences. *)
+
+val fork : t -> int -> t
+(** [fork t i] is a fresh registry with the same plan whose streams and
+    counters are derived from [(seed, i)] — give each concurrent consumer
+    (request, worker) its own fork keyed by a stable index and the
+    injected faults become independent of execution interleaving.
+    [fork disabled _ = disabled]. *)
+
+val fires : t -> site:string -> ?iteration:int -> unit -> float option
+(** Consults every rule for [site] in plan order (advancing each one's
+    counter and random stream regardless of other rules' outcomes) and
+    returns the payload of the first rule that triggers.  [iteration]
+    (default 0) feeds [At_iteration]/[From_iteration].  [None] means no
+    fault here. *)
+
+val consultations : t -> site:string -> int
+(** Total consultations recorded against [site] (0 when disabled) —
+    lets reports distinguish "no faults planned" from "none triggered". *)

@@ -11,6 +11,8 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
+let num x = if Float.is_finite x then Num x else Null
+
 (* ---- emission ---- *)
 
 let escape_string buf s =

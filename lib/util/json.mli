@@ -14,6 +14,13 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
+val num : float -> t
+(** [Num x] for finite [x], [Null] otherwise.  Emitters that may carry a
+    poisoned statistic (a NaN latency, an infinite error) should build
+    numbers through this so one bad float costs a [null] field, not the
+    whole export at the end of the run ({!to_string} raises on a raw
+    non-finite [Num]). *)
+
 val to_string : t -> string
 (** Compact serialization.  @raise Invalid_argument on NaN or infinity. *)
 

@@ -1,7 +1,14 @@
-(* Monotone clock: gettimeofday clamped so no caller — on any domain —
-   ever observes time running backwards.  The CAS loop publishes the
-   newest reading; a stale racer simply returns the published maximum,
-   which is still ahead of every value it could have observed before. *)
+(* Monotone clock, two layers deep.  The source is CLOCK_MONOTONIC (via
+   the C stub below — OCaml's bundled Unix library stops at
+   gettimeofday), so a wall-clock step (NTP slew, manual reset) can no
+   longer expire a batch's deadlines or produce negative span durations.
+   The CAS clamp stays as belt and braces: it publishes the newest
+   reading so no caller — on any domain, even against a buggy or
+   coarse-grained kernel clock — ever observes time running backwards; a
+   stale racer simply returns the published maximum, which is still
+   ahead of every value it could have observed before. *)
+external monotonic_s : unit -> float = "dadu_clock_monotonic_s"
+
 let last = Atomic.make 0.
 
 let rec clamp now =
@@ -10,7 +17,7 @@ let rec clamp now =
   else if Atomic.compare_and_set last prev now then now
   else clamp now
 
-let now_s () = clamp (Unix.gettimeofday ())
+let now_s () = clamp (monotonic_s ())
 
 type span = {
   request : int;
@@ -80,10 +87,10 @@ let to_jsonl t =
     (fun s ->
       let fields =
         [
-          ("request", Json.Num (float_of_int s.request));
+          ("request", Json.num (float_of_int s.request));
           ("phase", Json.Str s.phase);
-          ("start_s", Json.Num (round_ns s.start_s));
-          ("dur_s", Json.Num (round_ns s.dur_s));
+          ("start_s", Json.num (round_ns s.start_s));
+          ("dur_s", Json.num (round_ns s.dur_s));
         ]
         @ List.map (fun (k, v) -> (k, Json.Str v)) s.attrs
       in

@@ -3,9 +3,11 @@
     A trace collects timed spans — one per (request, phase) — from any
     domain, behind a mutex, and exports them as JSON lines so throughput
     and tail latency become observable end to end without attaching a
-    profiler.  The clock is monotone by construction: {!now_s} is the
-    wall clock clamped so it never runs backwards within the process, so
-    span durations are never negative even across an NTP step.
+    profiler.  The clock is monotone by construction: {!now_s} reads
+    [CLOCK_MONOTONIC] (immune to wall-clock steps, so deadline expiry
+    and span durations survive an NTP slew or manual reset), then clamps
+    through a process-wide CAS maximum as a second layer, so no caller
+    on any domain ever observes time running backwards.
 
     Recording allocates (spans are heap values); tracing is for the
     serving layer's request granularity, not for solver inner loops. *)
@@ -17,8 +19,10 @@ val create : unit -> t
     are exported relative to it. *)
 
 val now_s : unit -> float
-(** Seconds on the process-wide monotone clock.  Successive calls never
-    decrease, across all domains. *)
+(** Seconds on the process-wide monotone clock ([CLOCK_MONOTONIC], CAS
+    clamped).  Successive calls never decrease, across all domains.  The
+    origin is arbitrary (typically boot time) — use differences, never
+    compare against wall-clock readings. *)
 
 type span = {
   request : int;  (** batch index of the request the span belongs to *)
@@ -56,7 +60,9 @@ val to_jsonl : t -> string
 (** One compact JSON object per line, in {!spans} order, with fields
     [request], [phase], [start_s], [dur_s] and one string field per
     attribute.  Times are rounded to the nanosecond so the output stays
-    locale- and precision-stable. *)
+    locale- and precision-stable; a non-finite time (a poisoned span)
+    is exported as [null] rather than losing the whole file to
+    {!Json.to_string}'s NaN check. *)
 
 val write_jsonl : t -> string -> unit
 (** Writes {!to_jsonl} to a file.  Raises [Sys_error] like [open_out]. *)

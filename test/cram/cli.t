@@ -82,6 +82,7 @@ rows are host-dependent, so only the deterministic counters are matched:
   | requests | 8 |
   | converged | 8 |
   | cache hits | 1 (12.5%) |
+  | retry converged | 0 |
   $ grep -c "latency p95" serve.out
   1
 
@@ -99,6 +100,7 @@ non-zero, while the reachable problems still solve:
   | converged | 1 |
   | failed | 1 |
   | fallback used | 2 |
+  | retry converged | 0 |
 
 A malformed problem file is a diagnostic on stderr and exit 3 — never a
 backtrace:
@@ -119,6 +121,7 @@ produces a result — here all of them converge, so the batch exits 0:
   | converged | 8 |
   | fallback used | 0 |
   | deadline exceeded | 8 |
+  | retry converged | 0 |
 
 Mixed deadlines: a deadline=0 on one line expires only that request;
 --deadline fills the rest, and a generous default changes nothing:
@@ -135,6 +138,7 @@ Mixed deadlines: a deadline=0 on one line expires only that request;
   | requests | 5 |
   | converged | 5 |
   | deadline exceeded | 1 |
+  | retry converged | 0 |
 
 A malformed deadline is a parse error, not a silent drop:
 

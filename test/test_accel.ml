@@ -359,6 +359,96 @@ let test_sim_odd_speculations () =
   let sim = Sim.run ~speculations:50 p in
   Alcotest.(check bool) "converged" true sim.Sim.converged
 
+(* ---- Sim fault injection & re-verification ---- *)
+
+module Fault = Dadu_util.Fault
+
+let always site arg = { Fault.site; trigger = Fault.Always; arg }
+
+let test_sim_default_path_unfaulted () =
+  (* explicit defaults must be the byte-identical no-op *)
+  let p = sim_problem 87 12 in
+  let a = Sim.run ~speculations:32 p in
+  let b = Sim.run ~speculations:32 ~fault:Fault.disabled ~reverify:false p in
+  Alcotest.(check bool) "reports byte-identical" true (a = b);
+  Alcotest.(check int) "no faults" 0 a.Sim.faults_injected;
+  Alcotest.(check int) "no recoveries" 0 a.Sim.recoveries;
+  Alcotest.(check int) "no recovery cycles" 0 a.Sim.recovery_cycles
+
+let test_sim_reverify_clean_is_functionally_invisible () =
+  (* no faults: every recheck confirms, so only the recheck cycles differ *)
+  let p = sim_problem 87 12 in
+  let base = Sim.run ~speculations:32 p in
+  let rv = Sim.run ~speculations:32 ~reverify:true p in
+  Alcotest.(check bool) "same theta" true (base.Sim.theta = rv.Sim.theta);
+  Alcotest.(check int) "same iterations" base.Sim.iterations rv.Sim.iterations;
+  Alcotest.(check int) "no recoveries" 0 rv.Sim.recoveries;
+  Alcotest.(check int) "total = base + recovery"
+    (base.Sim.total_cycles + rv.Sim.recovery_cycles)
+    rv.Sim.total_cycles
+
+let test_sim_flips_absorbed_with_reverify () =
+  (* ISSUE acceptance: at 30 DOF with at least one bit-flip per
+     iteration, the re-verifying selector still converges to paper
+     accuracy — because the flip corrupts step selection only; the
+     honest SPU error drives termination and recovery restores an
+     honest winner *)
+  let p = sim_problem 88 30 in
+  let fault = Fault.arm ~seed:9 [ always "ssu-flip" 52. ] in
+  let r = Sim.run ~speculations:64 ~fault ~reverify:true p in
+  Alcotest.(check bool) "at least one flip per iteration" true
+    (r.Sim.faults_injected >= r.Sim.iterations && r.Sim.iterations > 0);
+  Alcotest.(check bool) "mismatches detected" true (r.Sim.recoveries > 0);
+  Alcotest.(check bool) "converges to paper accuracy" true
+    (r.Sim.converged && r.Sim.err < Ik.default_config.Ik.accuracy)
+
+let test_sim_stuck_ssu_recovers_software_behavior () =
+  (* an SSU stuck at zero claims every selection; the honest sweep at
+     the end of recovery restores exactly the software solver's choices,
+     so the trajectory is bit-identical to Quick-IK *)
+  let p = sim_problem 90 12 in
+  let fault = Fault.arm ~seed:3 [ always "ssu-stuck" 0. ] in
+  let rv = Sim.run ~speculations:32 ~fault ~reverify:true p in
+  let sw = Dadu_core.Quick_ik.solve ~speculations:32 p in
+  Alcotest.(check bool) "converged" true rv.Sim.converged;
+  Alcotest.(check int) "software iteration count restored" sw.Ik.iterations
+    rv.Sim.iterations;
+  Alcotest.(check bool) "bit-identical theta" true (sw.Ik.theta = rv.Sim.theta)
+
+let test_sim_dropped_schedules_recovered () =
+  let p = sim_problem 89 12 in
+  let fresh () = Fault.arm ~seed:1 [ always "sched-drop" 0. ] in
+  let blind = Sim.run ~speculations:32 ~fault:(fresh ()) p in
+  let rv = Sim.run ~speculations:32 ~fault:(fresh ()) ~reverify:true p in
+  Alcotest.(check bool) "reverify converges" true rv.Sim.converged;
+  Alcotest.(check bool) "one recovery per iteration" true
+    (rv.Sim.recoveries >= rv.Sim.iterations);
+  (* without recovery every round is lost: the selector sees only the
+     reset pattern, defaulting every winner to candidate 0 *)
+  List.iter
+    (fun (s : Sim.step) ->
+      Alcotest.(check int) "blind winner defaults to 0" 0 s.Sim.winner;
+      Alcotest.(check bool) "blind winner error is the reset pattern" true
+        (s.Sim.winner_err = infinity))
+    blind.Sim.steps;
+  (* the honest sweep restores exactly the software solver's choices *)
+  let sw = Dadu_core.Quick_ik.solve ~speculations:32 p in
+  Alcotest.(check int) "software iterations restored" sw.Ik.iterations
+    rv.Sim.iterations;
+  Alcotest.(check bool) "bit-identical theta" true (sw.Ik.theta = rv.Sim.theta)
+
+let test_sim_recovery_cycles_accounted () =
+  let p = sim_problem 91 12 in
+  let fault = Fault.arm ~seed:5 [ always "ssu-stuck" 0. ] in
+  let r = Sim.run ~speculations:32 ~fault ~reverify:true p in
+  let stepsum =
+    List.fold_left (fun acc (s : Sim.step) -> acc + s.Sim.cycles) 0 r.Sim.steps
+  in
+  Alcotest.(check int) "per-step cycles sum to the total" r.Sim.total_cycles
+    stepsum;
+  Alcotest.(check bool) "recovery strictly accounted" true
+    (r.Sim.recovery_cycles > 0 && r.Sim.recovery_cycles < r.Sim.total_cycles)
+
 (* ---- Design space ---- *)
 
 let test_dse_area_calibration () =
@@ -569,6 +659,21 @@ let () =
           Alcotest.test_case "sim cycles = priced cycles" `Quick test_sim_cycles_match_ikacc;
           Alcotest.test_case "step log" `Quick test_sim_steps_log;
           Alcotest.test_case "odd speculation count" `Quick test_sim_odd_speculations;
+        ] );
+      ( "sim-faults",
+        [
+          Alcotest.test_case "default path unfaulted" `Quick
+            test_sim_default_path_unfaulted;
+          Alcotest.test_case "clean reverify invisible" `Quick
+            test_sim_reverify_clean_is_functionally_invisible;
+          Alcotest.test_case "flips absorbed at 30 DOF" `Quick
+            test_sim_flips_absorbed_with_reverify;
+          Alcotest.test_case "stuck SSU recovers software behavior" `Quick
+            test_sim_stuck_ssu_recovers_software_behavior;
+          Alcotest.test_case "dropped schedules recovered" `Quick
+            test_sim_dropped_schedules_recovered;
+          Alcotest.test_case "recovery cycles accounted" `Quick
+            test_sim_recovery_cycles_accounted;
         ] );
       ( "design-space",
         [

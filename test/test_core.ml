@@ -1325,10 +1325,210 @@ let test_workspace_local_stats () =
     s2.Workspace.reused;
   Alcotest.(check int) "domain cache grew by one" (c0 + 1) (Workspace.local_count ())
 
+(* ---- divergence guard ---- *)
+
+let guarded g = { Ik.default_config with guard = Some g }
+
+(* A step that poisons the configuration: the guarded driver must abort
+   with [Diverged] at the next iteration top, the unguarded driver must
+   keep spinning to the cap (NaN error compares false against every
+   threshold). *)
+let nan_step ws =
+  Vec.blit ws.Workspace.theta ws.Workspace.theta_next;
+  ws.Workspace.theta_next.(0) <- Float.nan;
+  0
+
+let nan_problem () =
+  let chain = Robots.planar ~dof:3 ~reach:3. () in
+  Ik.problem ~chain ~target:(Dadu_linalg.Vec3.make 2.5 0.5 0.)
+    ~theta0:(Vec.create 3)
+
+let test_guard_catches_nan () =
+  let p = nan_problem () in
+  let r =
+    Loop.run
+      ~config:{ (guarded Ik.default_guard) with max_iterations = 50 }
+      ~workspace:(Workspace.create ~dof:3) ~speculations:1 ~step:nan_step p
+  in
+  Alcotest.(check bool) "diverged" true (r.Ik.status = Ik.Diverged);
+  Alcotest.(check bool) "few iterations" true (r.Ik.iterations <= 2)
+
+let test_unguarded_nan_spins_to_cap () =
+  let p = nan_problem () in
+  let r =
+    Loop.run
+      ~config:{ Ik.default_config with max_iterations = 50 }
+      ~workspace:(Workspace.create ~dof:3) ~speculations:1 ~step:nan_step p
+  in
+  Alcotest.(check bool) "hits the cap" true (r.Ik.status = Ik.Max_iterations);
+  Alcotest.(check int) "all 50 iterations" 50 r.Ik.iterations
+
+let test_guard_catches_explosion () =
+  (* start almost on target (tiny initial error), then run away: the
+     error explodes past [factor × max initial accuracy] and stays
+     there, so after [patience] consecutive iterations the guard trips *)
+  let chain = Robots.planar ~dof:2 ~reach:2. () in
+  let theta0 = Vec.create 2 in
+  let target = Fk.position chain (Vec.of_list [ 0.02; 0. ]) in
+  let p = Ik.problem ~chain ~target ~theta0 in
+  let config =
+    {
+      (guarded { Ik.explode_factor = 3.; explode_patience = 4 }) with
+      accuracy = 1e-6;
+      max_iterations = 200;
+    }
+  in
+  let runaway ws =
+    Vec.blit ws.Workspace.theta ws.Workspace.theta_next;
+    ws.Workspace.theta_next.(0) <- ws.Workspace.theta.(0) +. 1.5;
+    1
+  in
+  let r =
+    Loop.run ~config ~workspace:(Workspace.create ~dof:2) ~speculations:1
+      ~step:runaway p
+  in
+  Alcotest.(check bool) "diverged" true (r.Ik.status = Ik.Diverged);
+  Alcotest.(check bool) "well before the cap" true (r.Ik.iterations < 50)
+
+let test_guard_patience_tolerates_transients () =
+  (* one bad iteration then straight back: patience 3 must not trip *)
+  let chain = Robots.planar ~dof:2 ~reach:2. () in
+  let theta0 = Vec.create 2 in
+  let target = Fk.position chain (Vec.of_list [ 0.02; 0. ]) in
+  let p = Ik.problem ~chain ~target ~theta0 in
+  let config =
+    {
+      (guarded { Ik.explode_factor = 3.; explode_patience = 3 }) with
+      accuracy = 1e-6;
+      max_iterations = 8;
+    }
+  in
+  let spike ws =
+    Vec.blit ws.Workspace.theta ws.Workspace.theta_next;
+    (* iteration 0 jumps far away, every later one returns home *)
+    ws.Workspace.theta_next.(0) <- (if ws.Workspace.iter = 0 then 2. else 0.);
+    0
+  in
+  let r =
+    Loop.run ~config ~workspace:(Workspace.create ~dof:2) ~speculations:1
+      ~step:spike p
+  in
+  Alcotest.(check bool) "transient not punished" true
+    (r.Ik.status <> Ik.Diverged)
+
+(* The guard must be invisible on healthy runs: same problem, same
+   solver, guard on vs. off — bit-identical results. *)
+let test_guard_invisible_when_healthy () =
+  let p = (problems ~seed:71 1).(0) in
+  List.iter
+    (fun (name, solve) ->
+      let off = solve (cfg ()) p in
+      let on = solve { (cfg ()) with Ik.guard = Some Ik.default_guard } p in
+      Alcotest.(check bool)
+        (name ^ ": guarded run bit-identical") true
+        (off = on))
+    all_solvers
+
+(* ---- degenerate poses ---- *)
+
+let nine_solvers =
+  [
+    ("quick-ik", fun config p -> Quick_ik.solve ~speculations:16 ~config p);
+    ("jt-serial", fun config p -> Jt_serial.solve ~config p);
+    ("jt-buss", fun config p -> Jt_buss.solve ~config p);
+    ("jt-linesearch", fun config p -> Jt_linesearch.solve ~config p);
+    ("pinv", fun config p -> Pinv_svd.solve ~config p);
+    ("dls", fun config p -> Dls.solve ~config p);
+    ("sdls", fun config p -> Sdls.solve ~config p);
+    ("ccd", fun config p -> Ccd.solve ~config p);
+    ( "nullspace",
+      fun config p ->
+        Nullspace.solve ~objective:Nullspace.Joint_centering ~config p );
+  ]
+
+(* Every solver must survive pathological geometry without raising, and
+   must come back with a finite configuration and an honest status —
+   guarded and unguarded alike. *)
+let degenerate_cases () =
+  let origin = Dadu_linalg.Vec3.make 0. 0. 0. in
+  [
+    (* target coincident with the base: Jacobian rows vanish as the
+       chain folds onto itself *)
+    ( "target-at-base",
+      Ik.problem
+        ~chain:(Robots.planar ~dof:4 ~reach:2. ())
+        ~target:origin
+        ~theta0:(Vec.of_list [ 0.3; -0.2; 0.5; 0.1 ]) );
+    (* zero-length links: FK collapses to the base, every error is the
+       target distance, every direction is null *)
+    ( "zero-length-chain",
+      Ik.problem
+        ~chain:(Robots.planar ~dof:3 ~reach:0. ())
+        ~target:(Dadu_linalg.Vec3.make 0.5 0.5 0.)
+        ~theta0:(Vec.of_list [ 0.1; 0.2; 0.3 ]) );
+    ( "zero-length-chain-own-base",
+      Ik.problem
+        ~chain:(Robots.planar ~dof:3 ~reach:0. ())
+        ~target:origin
+        ~theta0:(Vec.create 3) );
+    (* fully stretched at the workspace boundary: the classic boundary
+       singularity (J·Jᵀ loses rank along the chain axis) *)
+    ( "boundary-singular",
+      Ik.problem
+        ~chain:(Robots.planar ~dof:5 ~reach:2.5 ())
+        ~target:(Dadu_linalg.Vec3.make 2.5 0. 0.)
+        ~theta0:(Vec.create 5) );
+  ]
+
+let theta_finite theta = Array.for_all Float.is_finite theta
+
+let test_degenerate_poses () =
+  let config = { (cfg ~max_iterations:300 ()) with Ik.accuracy = 1e-3 } in
+  let configs =
+    [ ("unguarded", config); ("guarded", { config with Ik.guard = Some Ik.default_guard }) ]
+  in
+  List.iter
+    (fun (case, p) ->
+      List.iter
+        (fun (mode, config) ->
+          List.iter
+            (fun (name, solve) ->
+              let label = case ^ "/" ^ mode ^ "/" ^ name in
+              match solve config p with
+              | r ->
+                Alcotest.(check bool) (label ^ ": finite theta") true
+                  (theta_finite r.Ik.theta);
+                (match r.Ik.status with
+                | Ik.Converged ->
+                  Alcotest.(check bool)
+                    (label ^ ": converged honestly") true
+                    (Ik.error_of p.Ik.chain p.Ik.target r.Ik.theta
+                    <= config.Ik.accuracy +. 1e-9)
+                | Ik.Max_iterations | Ik.Stalled | Ik.Diverged -> ())
+              | exception e ->
+                Alcotest.failf "%s raised %s" label (Printexc.to_string e))
+            nine_solvers)
+        configs)
+    (degenerate_cases ())
+
 let () =
   Alcotest.run "dadu_core"
     [
       ("workspace-identity", workspace_identity_tests);
+      ( "guard",
+        [
+          Alcotest.test_case "catches NaN" `Quick test_guard_catches_nan;
+          Alcotest.test_case "unguarded NaN spins" `Quick
+            test_unguarded_nan_spins_to_cap;
+          Alcotest.test_case "catches explosion" `Quick
+            test_guard_catches_explosion;
+          Alcotest.test_case "patience tolerates transients" `Quick
+            test_guard_patience_tolerates_transients;
+          Alcotest.test_case "invisible when healthy" `Quick
+            test_guard_invisible_when_healthy;
+        ] );
+      ( "degenerate-poses",
+        [ Alcotest.test_case "all nine solvers" `Quick test_degenerate_poses ] );
       ( "workspace-pool",
         [ Alcotest.test_case "local stats" `Quick test_workspace_local_stats ] );
       ( "ik",

@@ -306,7 +306,7 @@ let test_fallback_never_lies =
       | Ik.Converged ->
         Ik.error_of chain target o.Fallback.result.Ik.theta
         <= config.Ik.accuracy +. 1e-12
-      | Ik.Max_iterations | Ik.Stalled -> true)
+      | Ik.Max_iterations | Ik.Stalled | Ik.Diverged -> true)
 
 (* ---- Metrics ---- *)
 
@@ -318,9 +318,13 @@ let test_metrics_sums () =
     (Metrics.Solved
        {
          converged = true;
+         diverged = false;
          fallbacks = 0;
          cache_hit = true;
          deadline_exceeded = false;
+         breaker_skips = 0;
+         retries = 0;
+         retry_converged = false;
          latency_s = 1e-3;
          iterations = 5;
        });
@@ -328,9 +332,13 @@ let test_metrics_sums () =
     (Metrics.Solved
        {
          converged = true;
+         diverged = false;
          fallbacks = 2;
          cache_hit = false;
          deadline_exceeded = true;
+         breaker_skips = 0;
+         retries = 0;
+         retry_converged = false;
          latency_s = 2e-3;
          iterations = 50;
        });
@@ -338,9 +346,13 @@ let test_metrics_sums () =
     (Metrics.Solved
        {
          converged = false;
+         diverged = true;
          fallbacks = 1;
          cache_hit = false;
          deadline_exceeded = false;
+         breaker_skips = 1;
+         retries = 2;
+         retry_converged = false;
          latency_s = 3e-3;
          iterations = 100;
        });
@@ -369,9 +381,13 @@ let test_metrics_render () =
     (Metrics.Solved
        {
          converged = true;
+         diverged = false;
          fallbacks = 0;
          cache_hit = false;
          deadline_exceeded = false;
+         breaker_skips = 0;
+         retries = 0;
+         retry_converged = false;
          latency_s = 5e-4;
          iterations = 7;
        });
@@ -411,8 +427,28 @@ let mixed_batch ~seed n =
 
 let strip_latency = function
   | Service.Solved
-      { result; solver; fallbacks; cache_hit; deadline_exceeded; latency_s = _ } ->
-    `Solved (result, solver, fallbacks, cache_hit, deadline_exceeded)
+      {
+        result;
+        solver;
+        fallbacks;
+        cache_hit;
+        deadline_exceeded;
+        breaker_skips;
+        retries;
+        retry_converged;
+        trail;
+        latency_s = _;
+      } ->
+    `Solved
+      ( result,
+        solver,
+        fallbacks,
+        cache_hit,
+        deadline_exceeded,
+        breaker_skips,
+        retries,
+        retry_converged,
+        trail )
   | Service.Rejected invalid -> `Rejected invalid
   | Service.Faulted msg -> `Faulted msg
 
@@ -831,6 +867,211 @@ let test_problem_file_random_deterministic () =
          a b)
   | _ -> Alcotest.fail "parse failed"
 
+(* ---- Breaker (per-solver circuit state machine) ---- *)
+
+module Fault = Dadu_util.Fault
+
+let breaker_state =
+  let pp fmt s =
+    Format.pp_print_string fmt
+      (match s with
+      | Breaker.Closed -> "closed"
+      | Breaker.Open -> "open"
+      | Breaker.Half_open -> "half-open")
+  in
+  Alcotest.testable pp ( = )
+
+let test_breaker_trips_on_threshold () =
+  let b = Breaker.create { Breaker.threshold = 3; cooldown = 4 } in
+  Alcotest.check breaker_state "starts closed" Breaker.Closed (Breaker.state b);
+  Breaker.failure b ~now:0;
+  Breaker.failure b ~now:1;
+  Alcotest.check breaker_state "below threshold stays closed" Breaker.Closed
+    (Breaker.state b);
+  Alcotest.(check bool) "closed allows" true (Breaker.allow b ~now:2);
+  Breaker.failure b ~now:2;
+  Alcotest.check breaker_state "third consecutive failure trips" Breaker.Open
+    (Breaker.state b);
+  Alcotest.(check int) "one trip" 1 (Breaker.trips b);
+  Alcotest.(check bool) "open blocks" false (Breaker.allow b ~now:3)
+
+let test_breaker_success_resets_streak () =
+  let b = Breaker.create { Breaker.threshold = 2; cooldown = 4 } in
+  Breaker.failure b ~now:0;
+  Breaker.success b;
+  Breaker.failure b ~now:1;
+  Alcotest.check breaker_state "non-consecutive failures don't trip" Breaker.Closed
+    (Breaker.state b);
+  Breaker.failure b ~now:2;
+  Alcotest.check breaker_state "a consecutive pair trips" Breaker.Open
+    (Breaker.state b)
+
+let test_breaker_cooldown_and_probe () =
+  let b = Breaker.create { Breaker.threshold = 1; cooldown = 5 } in
+  Breaker.failure b ~now:10;
+  Alcotest.(check bool) "blocked during cooldown" false (Breaker.allow b ~now:14);
+  Alcotest.(check bool) "cooldown elapsed: probe allowed" true
+    (Breaker.allow b ~now:15);
+  Alcotest.check breaker_state "half-open while probing" Breaker.Half_open
+    (Breaker.state b);
+  Breaker.failure b ~now:15;
+  Alcotest.check breaker_state "failed probe reopens" Breaker.Open (Breaker.state b);
+  Alcotest.(check int) "second trip" 2 (Breaker.trips b);
+  Alcotest.(check bool) "blocked again" false (Breaker.allow b ~now:16);
+  Alcotest.(check bool) "second probe after cooldown" true (Breaker.allow b ~now:20);
+  Breaker.success b;
+  Alcotest.check breaker_state "probe success closes" Breaker.Closed
+    (Breaker.state b);
+  (* a late commit against an already-open breaker changes nothing *)
+  let c = Breaker.create { Breaker.threshold = 1; cooldown = 100 } in
+  Breaker.failure c ~now:0;
+  Breaker.failure c ~now:1;
+  Alcotest.(check int) "late failure while open is ignored" 1 (Breaker.trips c);
+  Alcotest.check breaker_state "still open" Breaker.Open (Breaker.state c)
+
+let test_breaker_rejects_bad_settings () =
+  (match Breaker.create { Breaker.threshold = 0; cooldown = 4 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero threshold accepted");
+  match Breaker.create { Breaker.threshold = 1; cooldown = 0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero cooldown accepted"
+
+(* ---- Fallback fault containment (FK re-verification, crash isolation) ---- *)
+
+let test_fallback_demotes_poisoned_theta () =
+  (* the solver converges honestly, then the result buffer is scribbled
+     with NaN: FK re-verification must demote the claim to Diverged *)
+  let p = (random_problems ~seed:31 1).(0) in
+  let fault =
+    Fault.arm [ { Fault.site = "solver-nan"; trigger = Fault.Always; arg = 0. } ]
+  in
+  let o = Fallback.run ~fault ~chain:[ Fallback.Quick_ik ] ~config:(budget 2_000) p in
+  Alcotest.(check bool) "demoted to Diverged" true
+    (o.Fallback.result.Ik.status = Ik.Diverged);
+  Alcotest.(check bool) "trail records the malfunction" true
+    (o.Fallback.trail = [ (Fallback.Quick_ik, Ik.Diverged) ])
+
+let test_fallback_demotes_lying_solver () =
+  (* a tier that forges Converged/error=0 is caught by the honest FK
+     check and demoted to Stalled carrying the true error *)
+  let p = (random_problems ~seed:32 1).(0) in
+  let fault =
+    Fault.arm [ { Fault.site = "solver-lie"; trigger = Fault.Always; arg = 0. } ]
+  in
+  let o = Fallback.run ~fault ~chain:[ Fallback.Jt_serial ] ~config:(budget 1) p in
+  let r = o.Fallback.result in
+  Alcotest.(check bool) "forged convergence demoted" true (r.Ik.status = Ik.Stalled);
+  Alcotest.(check (float 1e-12))
+    "error field is the true FK error"
+    (Ik.error_of p.Ik.chain p.Ik.target r.Ik.theta)
+    r.Ik.error;
+  Alcotest.(check bool) "true error above accuracy" true
+    (r.Ik.error > Ik.default_config.Ik.accuracy)
+
+let test_fallback_contains_crash () =
+  (* every tier raises; the chain must still answer with a finite,
+     honestly-scored stand-in instead of propagating the exception *)
+  let p = (random_problems ~seed:33 1).(0) in
+  let fault =
+    Fault.arm [ { Fault.site = "solver-raise"; trigger = Fault.Always; arg = 0. } ]
+  in
+  let o =
+    Fallback.run ~fault
+      ~chain:[ Fallback.Quick_ik; Fallback.Dls ]
+      ~config:(budget 200) p
+  in
+  Alcotest.(check int) "both tiers attempted" 2 o.Fallback.attempts;
+  Alcotest.(check bool) "both recorded as Diverged" true
+    (o.Fallback.trail
+    = [ (Fallback.Quick_ik, Ik.Diverged); (Fallback.Dls, Ik.Diverged) ]);
+  let r = o.Fallback.result in
+  Alcotest.(check bool) "theta finite" true
+    (Array.for_all Float.is_finite r.Ik.theta);
+  Alcotest.(check bool) "error honestly scored" true
+    (Float.is_finite r.Ik.error && r.Ik.error >= 0.)
+
+(* ---- Service resilience (breaker skips, perturbed-seed retries) ---- *)
+
+let test_service_breaker_skips_failing_tier () =
+  (* First 1 per request fork poisons whichever tier runs first: the
+     primary accumulates Diverged commits until its breaker opens, after
+     which requests skip straight to the secondary *)
+  let fault =
+    Fault.arm ~seed:5
+      [ { Fault.site = "solver-nan"; trigger = Fault.First 1; arg = 0. } ]
+  in
+  let config =
+    {
+      (service_config ~chunk:1 ()) with
+      Service.fault;
+      breaker = Some { Breaker.threshold = 2; cooldown = 50 };
+    }
+  in
+  let s = Service.create ~config () in
+  let replies = Service.solve_batch s (random_problems ~seed:41 8) in
+  Array.iter
+    (function
+      | Service.Solved _ -> ()
+      | _ -> Alcotest.fail "breaker path must still answer every request")
+    replies;
+  let skipped =
+    Array.exists
+      (function Service.Solved { breaker_skips; _ } -> breaker_skips > 0 | _ -> false)
+      replies
+  in
+  Alcotest.(check bool) "some request skipped the open tier" true skipped;
+  let m = Service.metrics s in
+  Alcotest.(check bool) "skips counted" true (m.Metrics.breaker_skips > 0);
+  Alcotest.(check bool) "divergences counted" true (m.Metrics.diverged > 0);
+  (match List.assoc_opt Fallback.Quick_ik (Service.breaker_states s) with
+  | Some Breaker.Open -> ()
+  | Some _ -> Alcotest.fail "primary breaker should be open"
+  | None -> Alcotest.fail "breaker_states missing the primary");
+  (* converged replies were produced by the healthy secondary *)
+  Array.iter
+    (function
+      | Service.Solved { result; solver; _ }
+        when result.Ik.status = Ik.Converged ->
+        Alcotest.(check bool) "secondary produced it" true (solver = Fallback.Dls)
+      | _ -> ())
+    replies
+
+let test_service_retry_rescues_failed_chain () =
+  (* a single-tier chain whose first attempt is always poisoned: only
+     the perturbed-seed retry pass can (and does) rescue the request *)
+  let fault =
+    Fault.arm ~seed:9
+      [ { Fault.site = "solver-nan"; trigger = Fault.First 1; arg = 0. } ]
+  in
+  let config =
+    {
+      (service_config ~solvers:[ Fallback.Quick_ik ] ()) with
+      Service.fault;
+      retries = 2;
+    }
+  in
+  let s = Service.create ~config () in
+  let n = 6 in
+  let replies = Service.solve_batch s (random_problems ~seed:43 n) in
+  Array.iter
+    (function
+      | Service.Solved { result; retries; retry_converged; trail; _ } ->
+        Alcotest.(check bool) "rescued" true (result.Ik.status = Ik.Converged);
+        Alcotest.(check bool) "a retry ran" true (retries >= 1);
+        Alcotest.(check bool) "flagged as retry-rescued" true retry_converged;
+        (match trail with
+        | (Fallback.Quick_ik, Ik.Diverged) :: rest ->
+          Alcotest.(check bool) "a later pass converged" true
+            (List.exists (fun (_, st) -> st = Ik.Converged) rest)
+        | _ -> Alcotest.fail "expected the poisoned first attempt in the trail")
+      | _ -> Alcotest.fail "expected Solved")
+    replies;
+  let m = Service.metrics s in
+  Alcotest.(check int) "all converged" n m.Metrics.converged;
+  Alcotest.(check bool) "retries counted" true (m.Metrics.retries >= n);
+  Alcotest.(check int) "rescues counted" n m.Metrics.retry_converged
+
 let () =
   Alcotest.run "dadu_service"
     [
@@ -874,6 +1115,28 @@ let () =
         [
           Alcotest.test_case "counter sums" `Quick test_metrics_sums;
           Alcotest.test_case "render" `Quick test_metrics_render;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trips on threshold" `Quick test_breaker_trips_on_threshold;
+          Alcotest.test_case "success resets streak" `Quick
+            test_breaker_success_resets_streak;
+          Alcotest.test_case "cooldown and half-open probe" `Quick
+            test_breaker_cooldown_and_probe;
+          Alcotest.test_case "bad settings rejected" `Quick
+            test_breaker_rejects_bad_settings;
+        ] );
+      ( "fault-containment",
+        [
+          Alcotest.test_case "poisoned theta demoted" `Slow
+            test_fallback_demotes_poisoned_theta;
+          Alcotest.test_case "lying solver demoted" `Quick
+            test_fallback_demotes_lying_solver;
+          Alcotest.test_case "crash contained" `Quick test_fallback_contains_crash;
+          Alcotest.test_case "breaker skips failing tier" `Slow
+            test_service_breaker_skips_failing_tier;
+          Alcotest.test_case "retry rescues failed chain" `Slow
+            test_service_retry_rescues_failed_chain;
         ] );
       ( "service",
         [

@@ -739,6 +739,115 @@ let test_trace_concurrent_records () =
       last.(s.Trace.request) <- s.Trace.start_s)
     spans
 
+(* ---- Fault (seeded, site-scoped injection) ---- *)
+
+module Fault = Dadu_util.Fault
+
+let consult ?(n = 64) t site =
+  List.init n (fun i -> Fault.fires t ~site ~iteration:i ())
+
+let firing = Alcotest.(list (option (float 0.)))
+
+let test_fault_disabled_noop () =
+  Alcotest.(check bool) "disabled" false (Fault.enabled Fault.disabled);
+  Alcotest.(check (option (float 0.))) "never fires" None
+    (Fault.fires Fault.disabled ~site:"ssu-flip" ());
+  Alcotest.(check int) "no consultations recorded" 0
+    (Fault.consultations Fault.disabled ~site:"ssu-flip");
+  Alcotest.(check bool) "fork of disabled is disabled" false
+    (Fault.enabled (Fault.fork Fault.disabled 3));
+  Alcotest.(check bool) "empty plan disarms" false (Fault.enabled (Fault.arm []))
+
+let test_fault_arm_deterministic () =
+  let plan = [ { Fault.site = "ssu-flip"; trigger = Fault.Prob 0.3; arg = 40. } ] in
+  let a = Fault.arm ~seed:11 plan and b = Fault.arm ~seed:11 plan in
+  Alcotest.check firing "equal seed, equal firing" (consult a "ssu-flip")
+    (consult b "ssu-flip");
+  let again = consult (Fault.arm ~seed:11 plan) "ssu-flip" in
+  let other = consult (Fault.arm ~seed:12 plan) "ssu-flip" in
+  Alcotest.(check bool) "different seed, different firing" true (again <> other);
+  (* a Prob rule actually mixes hits and misses over 64 draws *)
+  Alcotest.(check bool) "some fire" true (List.exists Option.is_some again);
+  Alcotest.(check bool) "some don't" true (List.exists Option.is_none again)
+
+let test_fault_fork_independence () =
+  let plan = [ { Fault.site = "s"; trigger = Fault.Prob 0.5; arg = 1. } ] in
+  let t = Fault.arm ~seed:7 plan in
+  let f0 = consult (Fault.fork t 0) "s" and f1 = consult (Fault.fork t 1) "s" in
+  Alcotest.(check bool) "forks draw from distinct streams" true (f0 <> f1);
+  (* forking is a pure derivation: consuming one fork never perturbs
+     another fork of the same registry *)
+  Alcotest.check firing "re-fork replays" f0 (consult (Fault.fork t 0) "s")
+
+let test_fault_trigger_semantics () =
+  let plan =
+    [
+      { Fault.site = "a"; trigger = Fault.Always; arg = 1. };
+      { Fault.site = "i"; trigger = Fault.At_iteration 3; arg = 2. };
+      { Fault.site = "f"; trigger = Fault.From_iteration 5; arg = 3. };
+      { Fault.site = "e"; trigger = Fault.Every 4; arg = 4. };
+      { Fault.site = "n"; trigger = Fault.First 2; arg = 5. };
+    ]
+  in
+  let t = Fault.arm ~seed:0 plan in
+  let hits site =
+    List.filter_map Fun.id (consult ~n:8 t site) |> List.length
+  in
+  Alcotest.(check int) "always: every consultation" 8 (hits "a");
+  Alcotest.(check int) "at_iteration: exactly once" 1 (hits "i");
+  Alcotest.(check int) "from_iteration: the tail" 3 (hits "f");
+  Alcotest.(check int) "every: consultations 0,4" 2 (hits "e");
+  Alcotest.(check int) "first: leading pair" 2 (hits "n");
+  Alcotest.(check (option (float 0.))) "payload is the rule arg" (Some 1.)
+    (Fault.fires t ~site:"a" ());
+  Alcotest.(check int) "consultations tallied per site" 9
+    (Fault.consultations t ~site:"a");
+  Alcotest.(check int) "unconsulted site" 0 (Fault.consultations t ~site:"zz")
+
+let test_fault_plan_roundtrip () =
+  let text = "ssu-flip,prob=0.05,bit=40;sched-drop,every=100" in
+  (match Fault.parse_plan text with
+  | Error e -> Alcotest.fail e
+  | Ok plan -> (
+    (match plan with
+    | [ r1; r2 ] ->
+      Alcotest.(check string) "site 1" "ssu-flip" r1.Fault.site;
+      Alcotest.(check bool) "prob trigger" true (r1.Fault.trigger = Fault.Prob 0.05);
+      check_float "bit= aliases arg=" 40. r1.Fault.arg;
+      Alcotest.(check string) "site 2" "sched-drop" r2.Fault.site;
+      Alcotest.(check bool) "every trigger" true (r2.Fault.trigger = Fault.Every 100)
+    | _ -> Alcotest.failf "expected two rules, got %d" (List.length plan));
+    match Fault.parse_plan (Fault.plan_to_string plan) with
+    | Ok plan' -> Alcotest.(check bool) "plan_to_string round-trips" true (plan = plan')
+    | Error e -> Alcotest.failf "re-parse failed: %s" e));
+  let rejected s =
+    match Fault.parse_plan s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "bad plan %S accepted" s
+  in
+  rejected "";
+  rejected "site,wat=1";
+  rejected "site,prob=1.5";
+  rejected "site,every=0"
+
+(* ---- Json.num (non-finite floats degrade to null) ---- *)
+
+let test_json_num_nonfinite () =
+  Alcotest.(check bool) "nan -> Null" true (Json.num Float.nan = Json.Null);
+  Alcotest.(check bool) "inf -> Null" true (Json.num Float.infinity = Json.Null);
+  Alcotest.(check bool) "-inf -> Null" true
+    (Json.num Float.neg_infinity = Json.Null);
+  Alcotest.(check bool) "finite -> Num" true (Json.num 1.5 = Json.Num 1.5);
+  (* the emitted null survives a serialize/parse round trip *)
+  let doc = Json.Obj [ ("latency", Json.num Float.nan); ("n", Json.num 3.) ] in
+  (match Json.of_string (Json.to_string doc) with
+  | Ok doc' -> Alcotest.(check bool) "round trip" true (doc = doc')
+  | Error e -> Alcotest.fail e);
+  (* a raw non-finite Num still fails loudly: num is the sanctioned door *)
+  match Json.to_string (Json.Num Float.nan) with
+  | exception Invalid_argument _ -> ()
+  | s -> Alcotest.failf "raw NaN serialized as %S" s
+
 let () =
   Alcotest.run "dadu_util"
     [
@@ -752,7 +861,20 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_json_errors;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
           Alcotest.test_case "file round trip" `Quick test_json_file_roundtrip;
+          Alcotest.test_case "num degrades non-finite to null" `Quick
+            test_json_num_nonfinite;
           qcheck test_json_roundtrip_property;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_fault_disabled_noop;
+          Alcotest.test_case "arm is seed-deterministic" `Quick
+            test_fault_arm_deterministic;
+          Alcotest.test_case "forks are independent" `Quick
+            test_fault_fork_independence;
+          Alcotest.test_case "trigger semantics" `Quick test_fault_trigger_semantics;
+          Alcotest.test_case "plan parse/print round-trip" `Quick
+            test_fault_plan_roundtrip;
         ] );
       ( "rng",
         [
