@@ -423,10 +423,62 @@ let guard_flag =
   in
   Arg.(value & flag & info [ "guard" ] ~doc)
 
+let lockstep_flag =
+  let doc =
+    "Lockstep execution: solve each scheduler wave's Quick-IK head tier as \
+     one mega-batch sweep (bit-identical replies to per-request mode, \
+     higher throughput)."
+  in
+  Arg.(value & flag & info [ "lockstep" ] ~doc)
+
+let replies_out =
+  let doc =
+    "Write one deterministic JSON line per reply (index, status, solver, \
+     iterations, error, theta, flags; no timing) to this file — byte-\
+     comparable across runs and execution modes."
+  in
+  Arg.(value & opt (some string) None & info [ "replies" ] ~docv:"FILE" ~doc)
+
+(* One reply, one JSON line, nothing clock-dependent: %.17g round-trips
+   doubles exactly, so two runs producing bit-identical results produce
+   byte-identical files. *)
+let write_replies path replies =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  Array.iteri
+    (fun i reply ->
+      match reply with
+      | Svc.Rejected invalid ->
+        Printf.fprintf oc "{\"index\":%d,\"reply\":\"rejected\",\"reason\":%S}\n" i
+          (Format.asprintf "%a" Ik.pp_invalid invalid)
+      | Svc.Faulted msg ->
+        Printf.fprintf oc "{\"index\":%d,\"reply\":\"faulted\",\"reason\":%S}\n" i msg
+      | Svc.Solved
+          {
+            result;
+            solver;
+            fallbacks;
+            cache_hit;
+            deadline_exceeded;
+            retries;
+            _;
+          } ->
+        let theta =
+          String.concat ","
+            (List.map (Printf.sprintf "%.17g") (Array.to_list result.Ik.theta))
+        in
+        Printf.fprintf oc
+          "{\"index\":%d,\"reply\":\"solved\",\"status\":%S,\"solver\":%S,\"iterations\":%d,\"error\":%.17g,\"fallbacks\":%d,\"retries\":%d,\"cache_hit\":%b,\"deadline_exceeded\":%b,\"theta\":[%s]}\n"
+          i
+          (Format.asprintf "%a" Ik.pp_status result.Ik.status)
+          (Fallback.name solver) result.Ik.iterations result.Ik.error fallbacks
+          retries cache_hit deadline_exceeded theta)
+    replies
+
 let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
     cache_cell cache_capacity no_warm_start time_budget batch_budget
     default_deadline trace_out retries retry_scale breaker_threshold
-    breaker_cooldown fault_plan fault_seed guard_flag =
+    breaker_cooldown fault_plan fault_seed guard_flag lockstep replies_out =
   match Dadu_service.Problem_file.parse_requests_file file with
   | Error msg ->
     Format.eprintf "dadu: %s: %s@." file msg;
@@ -468,6 +520,7 @@ let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
         cache_cell_m = cache_cell;
         cache_capacity;
         chunk;
+        lockstep;
         guard = (if guard_flag then Some Ik.default_guard else None);
         fault;
         breaker =
@@ -491,16 +544,20 @@ let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
       (fun () ->
         let service = Svc.create ?pool ~config () in
         let t0 = Unix.gettimeofday () in
-        let _replies =
+        let replies =
           Svc.solve_requests ?budget_s:batch_budget ?trace service requests
         in
         let wall = Unix.gettimeofday () -. t0 in
+        (match replies_out with
+        | None -> ()
+        | Some path -> write_replies path replies);
         let n = Array.length requests in
         Format.printf "Problems : %d (%s)@." n file;
         Format.printf "Solvers  : %s@." (Fallback.chain_to_string solvers);
-        Format.printf "Pool     : %d domain%s, chunk %d@." jobs
+        Format.printf "Pool     : %d domain%s, chunk %d%s@." jobs
           (if jobs = 1 then "" else "s")
-          chunk;
+          chunk
+          (if lockstep then ", lockstep" else "");
         Format.printf "Wall time: %.3f s (%.0f problems/s)@." wall
           (if wall > 0. then float_of_int n /. wall else 0.);
         print_string (Svc.render_metrics service);
@@ -541,7 +598,8 @@ let serve_batch_cmd =
       $ max_iters $ accuracy $ jobs $ chunk $ cache_cell $ cache_capacity
       $ no_warm_start $ time_budget $ batch_budget $ default_deadline
       $ trace_out $ retries $ retry_scale $ breaker_threshold
-      $ breaker_cooldown $ fault_plan $ fault_seed $ guard_flag)
+      $ breaker_cooldown $ fault_plan $ fault_seed $ guard_flag
+      $ lockstep_flag $ replies_out)
 
 (* ---- fault-tolerance ---- *)
 

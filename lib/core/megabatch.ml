@@ -1,0 +1,182 @@
+module Ws = Workspace
+module Pool = Dadu_util.Domain_pool
+open Dadu_kinematics
+
+type mode = Sequential | Parallel of Pool.t
+
+(* One lane: a resumable Loop state plus the per-lane workspace cache.
+   Workspaces are keyed by DOF and kept across refills and solve_all
+   calls, so a lane that sees the same DOF again runs its steady state
+   without allocation. *)
+type lane = {
+  mutable state : Loop.state option; (* None = free *)
+  mutable problem : int; (* input index, -1 when free *)
+  workspaces : (int, Ws.t) Hashtbl.t;
+}
+
+type t = {
+  capacity : int;
+  speculations : int;
+  strategy : Quick_ik.strategy;
+  config : Ik.config;
+  lanes : lane array;
+  (* flat SoA batch planes, refreshed after every lockstep sweep *)
+  mutable stride : int;
+  mutable theta : float array; (* capacity × stride, lane-major *)
+  err2 : float array; (* capacity: squared error at the sweep top *)
+  iters : int array; (* capacity: iterations executed *)
+  problem_of : int array; (* capacity: input index, -1 when free *)
+  active : bool array; (* capacity *)
+}
+
+let create ?(capacity = 64) ?(speculations = 64) ?(strategy = Quick_ik.Uniform)
+    ?(config = Ik.default_config) () =
+  if capacity <= 0 then invalid_arg "Megabatch.create: capacity must be positive";
+  if speculations <= 0 then
+    invalid_arg "Megabatch.create: speculations must be positive";
+  {
+    capacity;
+    speculations;
+    strategy;
+    config;
+    lanes =
+      Array.init capacity (fun _ ->
+          { state = None; problem = -1; workspaces = Hashtbl.create 4 });
+    stride = 0;
+    theta = [||];
+    err2 = Array.make capacity infinity;
+    iters = Array.make capacity 0;
+    problem_of = Array.make capacity (-1);
+    active = Array.make capacity false;
+  }
+
+let capacity t = t.capacity
+
+let stride t = t.stride
+
+let theta_plane t = t.theta
+
+let err2_plane t = t.err2
+
+let iterations_plane t = t.iters
+
+let problem_plane t = t.problem_of
+
+let active_mask t = t.active
+
+let ensure_stride t dof =
+  if dof > t.stride then begin
+    t.stride <- dof;
+    t.theta <- Array.make (t.capacity * dof) 0.
+  end
+
+let lane_workspace lane ~dof =
+  match Hashtbl.find_opt lane.workspaces dof with
+  | Some ws -> ws
+  | None ->
+    let ws = Ws.create ~dof in
+    Hashtbl.add lane.workspaces dof ws;
+    ws
+
+(* Pack the next pending problem (if any) into lane [l].  Runs only in
+   the serial retire/refill phase, in lane order, so the lane→problem
+   assignment is a pure function of the input sequence — independent of
+   the sweep mode and of any pool size. *)
+let pack t ~problems ~next l =
+  if !next < Array.length problems then begin
+    let pi = !next in
+    incr next;
+    let p = problems.(pi) in
+    let lane = t.lanes.(l) in
+    let dof = Chain.dof p.Ik.chain in
+    let workspace = lane_workspace lane ~dof in
+    let workspace, step =
+      Quick_ik.prepare_step ~speculations:t.speculations ~strategy:t.strategy
+        ~workspace p
+    in
+    lane.state <-
+      Some
+        (Loop.start ~config:t.config ~workspace ~speculations:t.speculations
+           ~step p);
+    lane.problem <- pi;
+    t.problem_of.(l) <- pi;
+    t.iters.(l) <- 0;
+    t.err2.(l) <- infinity;
+    t.active.(l) <- true;
+    true
+  end
+  else false
+
+let advance_lane t l =
+  if t.active.(l) then
+    match t.lanes.(l).state with
+    | Some st -> Loop.advance st
+    | None -> ()
+
+(* Refresh the flat planes from lane [l]'s workspace: θ row, squared
+   error, iteration count.  Pure stores into preallocated planes. *)
+let sync_lane t l (st : Loop.state) =
+  let ws = Loop.workspace st in
+  let dof = Ws.dof ws in
+  Array.blit ws.Ws.theta 0 t.theta (l * t.stride) dof;
+  let err = ws.Ws.scalars.Ws.err in
+  t.err2.(l) <- err *. err;
+  t.iters.(l) <- Loop.iterations st
+
+let solve_all ?(mode = Sequential) ?on_retire t problems =
+  let n = Array.length problems in
+  if n = 0 then [||]
+  else begin
+    let max_dof =
+      Array.fold_left
+        (fun acc (p : Ik.problem) -> Stdlib.max acc (Chain.dof p.Ik.chain))
+        1 problems
+    in
+    ensure_stride t max_dof;
+    let out = Array.make n None in
+    let next = ref 0 in
+    let active_count = ref 0 in
+    for l = 0 to t.capacity - 1 do
+      t.active.(l) <- false;
+      t.problem_of.(l) <- -1;
+      if pack t ~problems ~next l then incr active_count
+    done;
+    while !active_count > 0 do
+      (* one lockstep sweep: every active lane advances one Quick-IK
+         iteration.  Lanes are independent (disjoint workspaces), so the
+         parallel sweep is bit-identical to the sequential one for any
+         pool size. *)
+      (match mode with
+      | Sequential ->
+        for l = 0 to t.capacity - 1 do
+          advance_lane t l
+        done
+      | Parallel pool ->
+        Pool.parallel_for pool t.capacity (fun l -> advance_lane t l));
+      (* serial retire-and-refill phase, in lane order: publish planes,
+         collect terminal lanes, repack them from the queue *)
+      for l = 0 to t.capacity - 1 do
+        if t.active.(l) then begin
+          let st = Option.get t.lanes.(l).state in
+          sync_lane t l st;
+          if Loop.finished st then begin
+            let r = Loop.result st in
+            let pi = t.lanes.(l).problem in
+            out.(pi) <- Some r;
+            (match on_retire with
+            | None -> ()
+            | Some f -> f ~lane:l ~problem:pi r);
+            t.lanes.(l).state <- None;
+            t.lanes.(l).problem <- -1;
+            t.active.(l) <- false;
+            t.problem_of.(l) <- -1;
+            decr active_count;
+            if pack t ~problems ~next l then incr active_count
+          end
+        end
+      done
+    done;
+    Array.map
+      (function Some r -> r | None -> assert false (* every lane retires *))
+      out
+  end

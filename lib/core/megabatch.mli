@@ -1,0 +1,89 @@
+(** Lockstep mega-batch Quick-IK: a batch-major execution mode that packs
+    B in-flight problems into lanes over flat SoA batch planes and
+    advances every lane one Quick-IK iteration per sweep, retiring
+    terminal lanes and refilling them from the input queue (the
+    HJCD-IK-style batched execution model, PAPERS.md).
+
+    Why batch-major: the per-request path pays the iteration-driver
+    dispatch, FK-scratch warm-up and candidate-pool bookkeeping once per
+    request; lockstep amortizes them across the batch and keeps every
+    domain of a pool saturated with lane-grained work even when
+    individual solves converge at wildly different iteration counts.
+
+    {b Lane identity.}  A lane is a {!Loop.state} over the exact step
+    closure {!Quick_ik.prepare_step} builds for the serial solver, so a
+    lane's θ trace, iteration count, and terminal status are
+    bit-identical to [Quick_ik.solve] on the same problem — there is one
+    per-iteration code path, not a reimplementation.  Lanes own disjoint
+    workspaces, so the [Parallel] sweep is bit-identical to [Sequential]
+    for every pool size; retire-and-refill runs serially in lane order,
+    making the lane→problem assignment a pure function of the input
+    sequence.  The differential suite (test_megabatch.ml) pins lane ≡
+    serial oracle bitwise across DOFs, pool sizes, and refill
+    schedules. *)
+
+type t
+
+type mode =
+  | Sequential
+  | Parallel of Dadu_util.Domain_pool.t
+      (** advance the active lanes of each sweep on the pool, one lane
+          per task; bit-identical to [Sequential] (disjoint lanes) *)
+
+val create :
+  ?capacity:int ->
+  ?speculations:int ->
+  ?strategy:Quick_ik.strategy ->
+  ?config:Ik.config ->
+  unit ->
+  t
+(** [capacity] (default 64, positive) is B, the number of lanes;
+    [speculations] (default 64, positive), [strategy] (default
+    [Uniform]) and [config] apply to every lane — they must match the
+    serial oracle's parameters for lane identity to be meaningful.
+    Lanes keep one workspace per DOF they have seen, so repeated
+    [solve_all] calls run warm. *)
+
+val capacity : t -> int
+
+val solve_all :
+  ?mode:mode ->
+  ?on_retire:(lane:int -> problem:int -> Ik.result -> unit) ->
+  t ->
+  Ik.problem array ->
+  Ik.result array
+(** [solve_all t problems] packs the first B problems into lanes, sweeps
+    all active lanes one iteration at a time, retires each lane as it
+    reaches a terminal status (converged / max-iterations / stalled /
+    diverged-under-guard) and refills it with the next queued problem,
+    until every problem has retired.  [result.(i)] answers
+    [problems.(i)] and is bit-identical to
+    [Quick_ik.solve ~speculations ~strategy ~config] on that problem.
+    [on_retire] observes retirements in lane order within each sweep
+    (the serial phase — safe for stateful callers).  Problems must be
+    valid ({!Ik.validate}); mixed DOFs are fine, the planes are sized to
+    the widest chain of the batch. *)
+
+(** {2 Batch planes}
+
+    Observability views refreshed after every sweep — live arrays, do
+    not mutate.  Lane-major layout: lane [l]'s θ occupies
+    [[l×stride, l×stride+dof)], valid while [active_mask.(l)]. *)
+
+val stride : t -> int
+(** Row width of {!theta_plane}: the widest DOF packed so far. *)
+
+val theta_plane : t -> float array
+(** [capacity × stride] flat θ plane. *)
+
+val err2_plane : t -> float array
+(** Per-lane squared target error at the top of the last sweep. *)
+
+val iterations_plane : t -> int array
+(** Per-lane iterations executed. *)
+
+val problem_plane : t -> int array
+(** Per-lane input index, [-1] when the lane is free. *)
+
+val active_mask : t -> bool array
+(** Per-lane liveness: false once retired (and not yet refilled). *)

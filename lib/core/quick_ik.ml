@@ -16,8 +16,13 @@ type mode = Sequential | Parallel of Domain_pool.t
    retuning this for new hardware. *)
 let parallel_cutover = 4096
 
-let solve ?(speculations = 64) ?(strategy = Uniform) ?(mode = Sequential)
-    ?on_iteration ?workspace ?config (problem : Ik.problem) =
+(* Builds the workspace and the per-iteration step closure of one solve.
+   [solve] runs it through [Loop.run]; the lockstep [Megabatch] driver
+   runs the same closure through [Loop.start]/[Loop.advance] — a lane is
+   bit-identical to the serial solve because both execute this exact
+   code. *)
+let prepare_step ?(speculations = 64) ?(strategy = Uniform) ?(mode = Sequential)
+    ?workspace (problem : Ik.problem) =
   if speculations <= 0 then invalid_arg "Quick_ik.solve: speculations must be positive";
   let { Ik.chain; target; _ } = problem in
   let dof = Chain.dof chain in
@@ -131,4 +136,12 @@ let solve ?(speculations = 64) ?(strategy = Uniform) ?(mode = Sequential)
       0
     end
   in
-  Loop.run ?config ?on_iteration ~workspace:ws ~speculations ~step problem
+  (ws, step)
+
+let solve ?speculations ?strategy ?mode ?on_iteration ?workspace ?config
+    (problem : Ik.problem) =
+  let speculations = match speculations with Some s -> s | None -> 64 in
+  let workspace, step =
+    prepare_step ~speculations ?strategy ?mode ?workspace problem
+  in
+  Loop.run ?config ?on_iteration ~workspace ~speculations ~step problem

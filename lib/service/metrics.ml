@@ -15,6 +15,7 @@ type t = {
   breaker_skips : int Atomic.t;
   retries : int Atomic.t;
   retry_converged : int Atomic.t;
+  lockstep_lanes : int Atomic.t;
   lock : Mutex.t; (* guards both histograms *)
   latency : Histogram.t;
   iterations : Histogram.t;
@@ -35,6 +36,7 @@ let create () =
     breaker_skips = Atomic.make 0;
     retries = Atomic.make 0;
     retry_converged = Atomic.make 0;
+    lockstep_lanes = Atomic.make 0;
     lock = Mutex.create ();
     latency = Histogram.create ();
     iterations = Histogram.create ();
@@ -59,6 +61,10 @@ type event =
 let bump c = Atomic.incr c
 
 let add c n = if n > 0 then ignore (Atomic.fetch_and_add c n)
+
+(* lanes solved through the lockstep mega-batch head tier; bumped from
+   the scheduler's serial work phase, once per wave *)
+let record_lockstep t n = add t.lockstep_lanes n
 
 let record t event =
   bump t.requests;
@@ -110,6 +116,7 @@ let reset t =
       t.breaker_skips;
       t.retries;
       t.retry_converged;
+      t.lockstep_lanes;
     ];
   Mutex.lock t.lock;
   Histogram.clear t.latency;
@@ -130,6 +137,7 @@ type snapshot = {
   breaker_skips : int;
   retries : int;
   retry_converged : int;
+  lockstep_lanes : int;
   latency : Histogram.summary option;
   iterations : Histogram.summary option;
 }
@@ -153,6 +161,7 @@ let snapshot t =
     breaker_skips = Atomic.get t.breaker_skips;
     retries = Atomic.get t.retries;
     retry_converged = Atomic.get t.retry_converged;
+    lockstep_lanes = Atomic.get t.lockstep_lanes;
     latency;
     iterations;
   }
@@ -183,6 +192,7 @@ let render s =
   int_row "breaker skips" s.breaker_skips;
   int_row "retries" s.retries;
   int_row "retry converged" s.retry_converged;
+  int_row "lockstep lanes" s.lockstep_lanes;
   Table.add_sep table;
   (match s.latency with
   | None -> Table.add_row table [ "latency"; "no samples" ]

@@ -38,6 +38,11 @@ type event =
 
 val record : t -> event -> unit
 
+val record_lockstep : t -> int -> unit
+(** [record_lockstep t n] counts [n] lanes whose head tier was solved by
+    the lockstep mega-batch sweep (Service [lockstep] mode); bumped once
+    per scheduler wave, from the serial phase. *)
+
 val reset : t -> unit
 
 type snapshot = {
@@ -54,6 +59,7 @@ type snapshot = {
   breaker_skips : int;  (** total tiers skipped by open breakers *)
   retries : int;  (** total perturbed-seed retries *)
   retry_converged : int;  (** requests rescued by a retry *)
+  lockstep_lanes : int;  (** lanes solved via the lockstep mega-batch *)
   latency : Histogram.summary option;  (** seconds; [None] before traffic *)
   iterations : Histogram.summary option;
 }

@@ -24,8 +24,11 @@ let map t f xs =
 
 type dispatch = { index : int; elapsed_s : float; expired : bool }
 
-let map_deadlined t ?(now = Trace.now_s) ?budget_s ?deadline_s ~prepare ~work
-    ~commit xs =
+(* The chunked serial-prepare / work / serial-commit skeleton shared by
+   [map_deadlined] (per-item work on the pool) and [map_lockstep] (whole
+   prepared chunks handed to the caller).  [run] must return exactly one
+   result per prepared item. *)
+let map_waves t ~now ?budget_s ?deadline_s ~prepare ~run ~commit xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
@@ -58,7 +61,7 @@ let map_deadlined t ?(now = Trace.now_s) ?budget_s ?deadline_s ~prepare ~work
             in
             prepare { index; elapsed_s; expired } xs.(index))
       in
-      let results = run_wave t (fun j -> guarded work prepared.(j)) len in
+      let results = run prepared in
       for j = 0 to len - 1 do
         out.(base + j) <- results.(j);
         commit (base + j) results.(j)
@@ -67,6 +70,28 @@ let map_deadlined t ?(now = Trace.now_s) ?budget_s ?deadline_s ~prepare ~work
     done;
     out
   end
+
+let map_deadlined t ?(now = Trace.now_s) ?budget_s ?deadline_s ~prepare ~work
+    ~commit xs =
+  map_waves t ~now ?budget_s ?deadline_s ~prepare
+    ~run:(fun prepared ->
+      run_wave t (fun j -> guarded work prepared.(j)) (Array.length prepared))
+    ~commit xs
+
+let map_lockstep t ?(now = Trace.now_s) ?budget_s ?deadline_s ~prepare
+    ~work_batch ~commit xs =
+  map_waves t ~now ?budget_s ?deadline_s ~prepare
+    ~run:(fun prepared ->
+      let len = Array.length prepared in
+      match guarded work_batch prepared with
+      | Ok results when Array.length results = len -> results
+      | Ok _ ->
+        Array.make len
+          (Error
+             (Invalid_argument
+                "Scheduler.map_lockstep: work_batch returned wrong arity"))
+      | Error exn -> Array.make len (Error exn))
+    ~commit xs
 
 let map_chunked t ~prepare ~work ~commit xs =
   map_deadlined t ~prepare:(fun d x -> prepare d.index x) ~work ~commit xs

@@ -70,6 +70,26 @@ val map_deadlined :
     {!Dadu_util.Trace.now_s}) exists so tests can drive expiry
     deterministically. *)
 
+val map_lockstep :
+  t ->
+  ?now:(unit -> float) ->
+  ?budget_s:float ->
+  ?deadline_s:(int -> float option) ->
+  prepare:(dispatch -> 'a -> 'p) ->
+  work_batch:('p array -> ('b, exn) result array) ->
+  commit:(int -> ('b, exn) result -> unit) ->
+  'a array ->
+  ('b, exn) result array
+(** {!map_deadlined} with batch-grained work: each prepared chunk is
+    handed {e whole} to [work_batch], which owns its parallelism (the
+    lockstep mega-batch sweeps the chunk as lanes; see
+    {!Dadu_core.Megabatch}).  Serial prepare/commit phases, chunk
+    boundaries, deadline expiry, and positional guarantees are identical
+    to {!map_deadlined} — only the work phase changes shape.
+    [work_batch] must return one result per prepared item, positionally;
+    a wrong arity or a raised exception marks {e every} item of the
+    chunk as [Error] (per-item containment is [work_batch]'s job). *)
+
 val map_chunked :
   t ->
   prepare:(int -> 'a -> 'p) ->

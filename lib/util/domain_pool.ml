@@ -91,7 +91,10 @@ let run_chunks name t ~grain n body =
     t.body <- body;
     t.items <- n;
     t.grain <- grain;
-    t.tasks <- (n + grain - 1) / grain;
+    (* ceil(n/grain) without the [n + grain - 1] sum, which wraps negative
+       for grain near [max_int] and silently turned the whole dispatch into
+       a no-op (tasks < 0 → drain grabs nothing, wait exits instantly). *)
+    t.tasks <- 1 + ((n - 1) / grain);
     t.failure <- None;
     Atomic.set t.next 0;
     Atomic.set t.completed 0;

@@ -171,3 +171,51 @@ An unwritable trace path is a diagnostic and exit 3, after the batch ran:
   $ dadu serve-batch demo.problems --trace /nonexistent/dir/t.jsonl > /dev/null
   dadu: cannot write trace: /nonexistent/dir/t.jsonl: No such file or directory
   [3]
+
+Lockstep mega-batch serving: --lockstep solves each wave's Quick-IK head
+tier as one lockstep sweep instead of per-request solves.  Replies — full
+θ vectors printed to 17 significant digits — are byte-identical to the
+per-request path whatever the pool size, and a deadline=0 lane expires at
+prepare time and is tagged the same way in both modes:
+
+  $ cat > lock.problems <<'EOF'
+  > robot eval:30
+  > target 10.0,4.0,2.0
+  > random 4 seed=11
+  > target 10.0,4.0,2.0 deadline=0
+  > robot eval:12
+  > target 6.0,2.0,1.0
+  > random 3 seed=7
+  > EOF
+  $ dadu serve-batch lock.problems -j 1 --chunk 4 --replies serial.replies > serial.out; echo "exit $?"
+  exit 0
+  $ grep Pool serial.out
+  Pool     : 1 domain, chunk 4
+  $ dadu serve-batch lock.problems -j 1 --chunk 4 --lockstep --replies lockstep.replies > lockstep.out; echo "exit $?"
+  exit 0
+  $ grep Pool lockstep.out
+  Pool     : 1 domain, chunk 4, lockstep
+  $ cmp serial.replies lockstep.replies && echo identical
+  identical
+
+Every request of the batch rode a lockstep lane (the expired one still
+has a Quick-IK head tier, so it stays eligible):
+
+  $ grep -E "requests|lockstep lanes" lockstep.out | tr -s ' '
+  | requests | 10 |
+  | lockstep lanes | 10 |
+
+A 4-domain pool sweeps lanes in parallel but commits the same bits:
+
+  $ dadu serve-batch lock.problems -j 4 --chunk 4 --lockstep --replies lockstep4.replies > /dev/null; echo "exit $?"
+  exit 0
+  $ cmp serial.replies lockstep4.replies && echo identical
+  identical
+
+The deadline=0 request is the only tagged lane, and every request left a
+reply line:
+
+  $ grep -c '"deadline_exceeded":true' lockstep.replies
+  1
+  $ wc -l < lockstep.replies
+  10

@@ -1,0 +1,277 @@
+(* Differential tests for the lockstep mega-batch solver.
+
+   The contract under test is lane identity: every lane of
+   [Megabatch.solve_all] must be *bit-identical* — θ vector, iteration
+   count, final error, status — to the serial per-request oracle
+   [Quick_ik.solve] on the same problem, whatever the batch composition
+   (mixed DOFs, 1-64 lanes), the lane capacity (retire-and-refill
+   schedules), or the sweep pool size.  Equality on floats is by bits
+   ([Int64.bits_of_float]), so even a 1-ulp drift fails. *)
+
+open Dadu_core
+open Dadu_kinematics
+module Ws = Dadu_core.Workspace
+module Rng = Dadu_util.Rng
+module Pool = Dadu_util.Domain_pool
+
+let bits = Int64.bits_of_float
+
+let theta_equal a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i x -> if bits x <> bits b.(i) then ok := false) a;
+       !ok
+     end
+
+let explain_mismatch name i (o : Ik.result) (m : Ik.result) =
+  Printf.sprintf
+    "%s: lane %d diverged from oracle (status %s vs %s, iters %d vs %d, err %h vs %h, theta %s)"
+    name i
+    (Format.asprintf "%a" Ik.pp_status o.Ik.status)
+    (Format.asprintf "%a" Ik.pp_status m.Ik.status)
+    o.Ik.iterations m.Ik.iterations o.Ik.error m.Ik.error
+    (if theta_equal o.Ik.theta m.Ik.theta then "equal" else "DIFFERS")
+
+let result_equal (a : Ik.result) (b : Ik.result) =
+  a.Ik.status = b.Ik.status
+  && a.Ik.iterations = b.Ik.iterations
+  && a.Ik.speculations = b.Ik.speculations
+  && bits a.Ik.error = bits b.Ik.error
+  && theta_equal a.Ik.theta b.Ik.theta
+
+(* iteration caps stay small: the pin is trace identity, not convergence *)
+let config = { Ik.default_config with Ik.max_iterations = 120 }
+
+let oracle ~speculations p =
+  let workspace = Ws.create ~dof:(Chain.dof p.Ik.chain) in
+  Quick_ik.solve ~speculations ~workspace ~config p
+
+(* A mixed-DOF batch: every problem draws its own chain width from
+   [3, 100] and its own reachable target / random start. *)
+let mixed_batch ~seed n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ ->
+      let dof = 3 + Rng.int rng 98 in
+      Ik.random_problem rng (Robots.eval_chain ~dof))
+
+let check_against_oracle name ~speculations ~capacity ?mode problems =
+  let mb = Megabatch.create ~capacity ~speculations ~config () in
+  let got = Megabatch.solve_all ?mode mb problems in
+  let want = Array.map (oracle ~speculations) problems in
+  Alcotest.(check int) (name ^ ": arity") (Array.length want) (Array.length got);
+  Array.iteri
+    (fun i w ->
+      if not (result_equal w got.(i)) then
+        Alcotest.fail (explain_mismatch name i w got.(i)))
+    want
+
+(* ---- pinned DOFs of the acceptance criterion ---- *)
+
+let test_lane_identity_pinned_dofs () =
+  List.iter
+    (fun dof ->
+      let rng = Rng.create (1000 + dof) in
+      let problems =
+        Array.init 6 (fun _ -> Ik.random_problem rng (Robots.eval_chain ~dof))
+      in
+      check_against_oracle
+        (Printf.sprintf "dof %d sequential" dof)
+        ~speculations:64 ~capacity:4 problems;
+      List.iter
+        (fun pool_size ->
+          let pool = Pool.create pool_size in
+          Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+          check_against_oracle
+            (Printf.sprintf "dof %d pool %d" dof pool_size)
+            ~speculations:64 ~capacity:4
+            ~mode:(Megabatch.Parallel pool) problems)
+        [ 1; 2; 4 ])
+    [ 12; 30; 100 ]
+
+(* ---- retire-and-refill ---- *)
+
+let test_refill_orderings () =
+  let problems = mixed_batch ~seed:7 20 in
+  (* capacity 1 degenerates to strictly serial; 64 packs everything at
+     once; the middle sizes churn through refills *)
+  List.iter
+    (fun capacity ->
+      check_against_oracle
+        (Printf.sprintf "capacity %d" capacity)
+        ~speculations:64 ~capacity problems)
+    [ 1; 2; 3; 5; 64 ]
+
+let test_capacity_independence () =
+  let problems = mixed_batch ~seed:13 17 in
+  let solve capacity =
+    Megabatch.solve_all
+      (Megabatch.create ~capacity ~speculations:32 ~config ())
+      problems
+  in
+  let base = solve 1 in
+  List.iter
+    (fun capacity ->
+      let other = solve capacity in
+      Array.iteri
+        (fun i r ->
+          if not (result_equal base.(i) r) then
+            Alcotest.fail
+              (explain_mismatch
+                 (Printf.sprintf "capacity 1 vs %d" capacity)
+                 i base.(i) r))
+        other)
+    [ 2; 4; 16 ]
+
+let test_retirement_accounting () =
+  let problems = mixed_batch ~seed:3 12 in
+  let capacity = 3 in
+  let mb = Megabatch.create ~capacity ~speculations:16 ~config () in
+  let retired = Array.make (Array.length problems) 0 in
+  let lanes_seen = Hashtbl.create 8 in
+  let results =
+    Megabatch.solve_all
+      ~on_retire:(fun ~lane ~problem r ->
+        retired.(problem) <- retired.(problem) + 1;
+        Hashtbl.replace lanes_seen lane ();
+        (* at retire time the planes still hold this lane's terminal
+           state: θ row bit-equal to the result, problem index mapped *)
+        Alcotest.(check int)
+          "problem plane maps lane" problem
+          (Megabatch.problem_plane mb).(lane);
+        Alcotest.(check bool) "lane active at retire" true
+          (Megabatch.active_mask mb).(lane);
+        let stride = Megabatch.stride mb in
+        let plane = Megabatch.theta_plane mb in
+        let dof = Array.length r.Ik.theta in
+        for j = 0 to dof - 1 do
+          if bits plane.((lane * stride) + j) <> bits r.Ik.theta.(j) then
+            Alcotest.fail "theta plane row differs from retired result"
+        done;
+        Alcotest.(check int)
+          "iterations plane" r.Ik.iterations
+          (Megabatch.iterations_plane mb).(lane))
+      mb problems
+  in
+  Alcotest.(check int) "all problems answered" (Array.length problems)
+    (Array.length results);
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check int) (Printf.sprintf "problem %d retired once" i) 1 n)
+    retired;
+  Alcotest.(check bool) "no lane beyond capacity used" true
+    (Hashtbl.fold (fun l () acc -> acc && l >= 0 && l < capacity) lanes_seen true)
+
+let test_planes_shape () =
+  let problems = mixed_batch ~seed:21 9 in
+  let mb = Megabatch.create ~capacity:4 ~speculations:8 ~config () in
+  let _ = Megabatch.solve_all mb problems in
+  let max_dof =
+    Array.fold_left
+      (fun acc (p : Ik.problem) -> Stdlib.max acc (Chain.dof p.Ik.chain))
+      1 problems
+  in
+  Alcotest.(check int) "stride is widest dof" max_dof (Megabatch.stride mb);
+  Alcotest.(check int) "theta plane size" (4 * max_dof)
+    (Array.length (Megabatch.theta_plane mb));
+  Alcotest.(check bool) "all lanes free after the batch" true
+    (Array.for_all not (Megabatch.active_mask mb));
+  Alcotest.(check bool) "problem plane cleared" true
+    (Array.for_all (fun p -> p = -1) (Megabatch.problem_plane mb))
+
+let test_create_validation () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Megabatch.create: capacity must be positive") (fun () ->
+      ignore (Megabatch.create ~capacity:0 ()));
+  Alcotest.check_raises "speculations 0"
+    (Invalid_argument "Megabatch.create: speculations must be positive")
+    (fun () -> ignore (Megabatch.create ~speculations:0 ()))
+
+let test_empty_batch () =
+  let mb = Megabatch.create () in
+  Alcotest.(check int) "empty in, empty out" 0
+    (Array.length (Megabatch.solve_all mb [||]))
+
+(* guard on: lanes must retire Diverged exactly when the oracle does *)
+let test_guarded_lane_identity () =
+  let config =
+    { config with Ik.guard = Some { Ik.explode_factor = 10.; explode_patience = 3 } }
+  in
+  let rng = Rng.create 99 in
+  let problems =
+    Array.init 10 (fun _ ->
+        let dof = 3 + Rng.int rng 40 in
+        Ik.random_problem rng (Robots.eval_chain ~dof))
+  in
+  let mb = Megabatch.create ~capacity:4 ~speculations:32 ~config () in
+  let got = Megabatch.solve_all mb problems in
+  Array.iteri
+    (fun i p ->
+      let workspace = Ws.create ~dof:(Chain.dof p.Ik.chain) in
+      let w = Quick_ik.solve ~speculations:32 ~workspace ~config p in
+      if not (result_equal w got.(i)) then
+        Alcotest.fail (explain_mismatch "guarded" i w got.(i)))
+    problems
+
+(* ---- the QCheck sweep of the satellite: random mixed-DOF batches,
+   random capacities, sequential and pooled ---- *)
+
+let qcheck_lane_identity =
+  QCheck.Test.make ~count:25
+    ~name:"megabatch lane == serial oracle (random batches, bitwise)"
+    QCheck.(triple (int_range 1 64) (int_range 1 8) small_int)
+    (fun (lanes, capacity, seed) ->
+      let problems = mixed_batch ~seed:(seed + (lanes * 131)) lanes in
+      let mb = Megabatch.create ~capacity ~speculations:16 ~config () in
+      let got = Megabatch.solve_all mb problems in
+      Array.for_all2
+        (fun p r -> result_equal (oracle ~speculations:16 p) r)
+        problems got)
+
+let qcheck_pool_identity =
+  QCheck.Test.make ~count:10
+    ~name:"megabatch pooled sweep == sequential sweep (bitwise)"
+    QCheck.(pair (int_range 1 24) small_int)
+    (fun (lanes, seed) ->
+      let problems = mixed_batch ~seed:(seed + 7919) lanes in
+      let solve mode =
+        Megabatch.solve_all ?mode
+          (Megabatch.create ~capacity:4 ~speculations:16 ~config ())
+          problems
+      in
+      let seq = solve None in
+      List.for_all
+        (fun pool_size ->
+          let pool = Pool.create pool_size in
+          Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+          let par = solve (Some (Megabatch.Parallel pool)) in
+          Array.for_all2 result_equal seq par)
+        [ 2; 4 ])
+
+let () =
+  Alcotest.run "dadu_megabatch"
+    [
+      ( "lane identity",
+        [
+          Alcotest.test_case "pinned DOFs 12/30/100, pools 1/2/4" `Slow
+            test_lane_identity_pinned_dofs;
+          Alcotest.test_case "guarded lanes" `Quick test_guarded_lane_identity;
+          QCheck_alcotest.to_alcotest qcheck_lane_identity;
+          QCheck_alcotest.to_alcotest qcheck_pool_identity;
+        ] );
+      ( "retire and refill",
+        [
+          Alcotest.test_case "capacities 1/2/3/5/64 vs oracle" `Slow
+            test_refill_orderings;
+          Alcotest.test_case "capacity independence" `Quick
+            test_capacity_independence;
+          Alcotest.test_case "retirement accounting + plane rows" `Quick
+            test_retirement_accounting;
+        ] );
+      ( "planes and edges",
+        [
+          Alcotest.test_case "plane shape and masks" `Quick test_planes_shape;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "empty batch" `Quick test_empty_batch;
+        ] );
+    ]

@@ -456,6 +456,78 @@ let test_pool_grain_exception_propagates () =
   Pool.parallel_for ~grain:4 pool 32 (fun _ -> Atomic.incr acc);
   Alcotest.(check int) "pool survives" 32 (Atomic.get acc)
 
+(* Adversarial partitions.  The contiguous checks above only ever used
+   tame grains; degenerate ones have their own failure modes: an empty
+   range must deliver no chunk at all, grain 1 nothing but
+   single-element chunks, and a grain near [max_int] one full-range
+   chunk.  The task-count ceiling division used to compute
+   [n + grain - 1], which wraps negative for huge grains and turned the
+   whole dispatch into a silent no-op — zero chunks, zero coverage, no
+   error. *)
+let pool_chunk_partition ~pool n grain =
+  let mutex = Mutex.create () in
+  let chunks = ref [] in
+  Pool.parallel_for_chunks pool ~grain n (fun lo hi ->
+      Mutex.lock mutex;
+      chunks := (lo, hi) :: !chunks;
+      Mutex.unlock mutex);
+  List.sort compare !chunks
+
+(* no empty chunks, each within bounds and at most [grain] wide, and
+   together they tile [0, n) in order without gaps or overlaps *)
+let chunks_partition_exactly n grain sorted =
+  let ok = ref true in
+  let covered = ref 0 in
+  List.iter
+    (fun (lo, hi) ->
+      if not (lo = !covered && hi > lo && hi - lo <= grain && hi <= n) then
+        ok := false;
+      covered := hi)
+    sorted;
+  !ok && !covered = n
+
+let test_pool_chunk_adversarial () =
+  let pool = Pool.create 4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  List.iter
+    (fun grain ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "grain %d delivers one full chunk" grain)
+        [ (0, 7) ]
+        (pool_chunk_partition ~pool 7 grain))
+    [ max_int; max_int - 1; (max_int / 2) + 1; 8 ];
+  Alcotest.(check (list (pair int int)))
+    "grain 1 delivers singletons"
+    (List.init 9 (fun i -> (i, i + 1)))
+    (pool_chunk_partition ~pool 9 1);
+  List.iter
+    (fun grain ->
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "n=0 grain=%d delivers nothing" grain)
+        []
+        (pool_chunk_partition ~pool 0 grain))
+    [ 1; max_int ]
+
+let test_pool_chunk_partition_property =
+  QCheck.Test.make ~name:"chunks partition [0,n) for adversarial grains"
+    ~count:50
+    (QCheck.make
+       ~print:(fun (n, grain) -> Printf.sprintf "n=%d grain=%d" n grain)
+       QCheck.Gen.(
+         pair (int_range 0 200)
+           (oneof
+              [
+                int_range 1 3;
+                int_range 1 250;
+                return ((max_int / 2) + 1);
+                return (max_int - 1);
+                return max_int;
+              ])))
+    (fun (n, grain) ->
+      let pool = Pool.create 2 in
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+      chunks_partition_exactly n grain (pool_chunk_partition ~pool n grain))
+
 (* ---- Histogram ---- *)
 
 module Histogram = Dadu_util.Histogram
@@ -957,6 +1029,9 @@ let () =
             test_pool_chunk_shapes;
           Alcotest.test_case "grained exception propagates" `Quick
             test_pool_grain_exception_propagates;
+          Alcotest.test_case "adversarial grains" `Quick
+            test_pool_chunk_adversarial;
+          qcheck test_pool_chunk_partition_property;
         ] );
       ( "histogram",
         [
