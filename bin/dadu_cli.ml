@@ -431,6 +431,24 @@ let lockstep_flag =
   in
   Arg.(value & flag & info [ "lockstep" ] ~doc)
 
+let seed_library_arg =
+  let doc =
+    "Posture library file (written by 'dadu posture-build') consulted for \
+     nearest-neighbour seed candidates; only chains matching the library's \
+     fingerprint are seeded from it."
+  in
+  Arg.(value & opt (some string) None & info [ "seed-library" ] ~docv:"FILE" ~doc)
+
+let seed_candidates_arg =
+  let doc =
+    "Speculative seed starts scored per request (argmin of first-iteration \
+     FK error wins).  1 (the default) keeps the classic warm-start path."
+  in
+  Arg.(
+    value
+    & opt int Svc.default_config.Svc.seed_candidates
+    & info [ "seed-candidates" ] ~docv:"S" ~doc)
+
 let replies_out =
   let doc =
     "Write one deterministic JSON line per reply (index, status, solver, \
@@ -478,7 +496,8 @@ let write_replies path replies =
 let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
     cache_cell cache_capacity no_warm_start time_budget batch_budget
     default_deadline trace_out retries retry_scale breaker_threshold
-    breaker_cooldown fault_plan fault_seed guard_flag lockstep replies_out =
+    breaker_cooldown fault_plan fault_seed guard_flag lockstep seed_library
+    seed_candidates replies_out =
   match Dadu_service.Problem_file.parse_requests_file file with
   | Error msg ->
     Format.eprintf "dadu: %s: %s@." file msg;
@@ -504,11 +523,29 @@ let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
           (Dadu_util.Fault.arm ~seed:fault_seed)
           (Dadu_util.Fault.parse_plan s)
     in
-    (match fault with
-    | Error msg ->
+    let library =
+      match seed_library with
+      | _ when seed_candidates < 1 ->
+        Error "--seed-candidates must be at least 1"
+      | None -> Ok None
+      | Some path ->
+        (match Dadu_service.Posture_library.load path with
+        | Ok lib -> Ok (Some lib)
+        (* the Sys_error text already names the path *)
+        | Error (Dadu_service.Posture_library.Io msg) -> Error msg
+        | Error e ->
+          Error
+            (Format.asprintf "%s: %a" path
+               Dadu_service.Posture_library.pp_load_error e))
+    in
+    (match (fault, library) with
+    | Error msg, _ ->
       Format.eprintf "dadu: bad --fault-plan: %s@." msg;
       3
-    | Ok fault ->
+    | _, Error msg ->
+      Format.eprintf "dadu: %s@." msg;
+      3
+    | Ok fault, Ok seed_library ->
     let config =
       {
         Svc.solvers;
@@ -533,6 +570,8 @@ let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
             breaker_threshold;
         retries;
         retry_scale;
+        seed_library;
+        seed_candidates;
       }
     in
     let trace = Option.map (fun _ -> Dadu_util.Trace.create ()) trace_out in
@@ -599,7 +638,52 @@ let serve_batch_cmd =
       $ no_warm_start $ time_budget $ batch_budget $ default_deadline
       $ trace_out $ retries $ retry_scale $ breaker_threshold
       $ breaker_cooldown $ fault_plan $ fault_seed $ guard_flag
-      $ lockstep_flag $ replies_out)
+      $ lockstep_flag $ seed_library_arg $ seed_candidates_arg $ replies_out)
+
+(* ---- posture-build ---- *)
+
+let run_posture_build chain count seed cell out =
+  match
+    Dadu_service.Posture_library.build ?cell_size:cell ~seed ~chain ~count ()
+  with
+  | exception Invalid_argument msg ->
+    Format.eprintf "dadu: %s@." msg;
+    3
+  | lib ->
+    (match Dadu_service.Posture_library.save lib out with
+    | Error e ->
+      Format.eprintf "dadu: %s: %a@." out
+        Dadu_service.Posture_library.pp_load_error e;
+      3
+    | Ok () ->
+      Format.printf "Posture library: %s, %d postures (%d DOF), cell %.3f m -> %s@."
+        (Dadu_service.Posture_library.chain_name lib)
+        (Dadu_service.Posture_library.size lib)
+        (Dadu_service.Posture_library.dof lib)
+        (Dadu_service.Posture_library.cell_size lib)
+        out;
+      0)
+
+let pb_count =
+  let doc = "Number of postures to sample." in
+  Arg.(value & opt int 256 & info [ "k"; "postures" ] ~doc)
+
+let pb_cell =
+  let doc = "Workspace grid cell side in meters (default: reach/8)." in
+  Arg.(value & opt (some float) None & info [ "cell" ] ~docv:"M" ~doc)
+
+let pb_out =
+  let doc = "Output library file." in
+  Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let posture_build_cmd =
+  let doc =
+    "Sample a per-chain posture library (FK-indexed joint configurations) \
+     for speculative seed starts; load it with serve-batch --seed-library."
+  in
+  Cmd.v
+    (Cmd.info "posture-build" ~doc)
+    Term.(const run_posture_build $ robot $ pb_count $ seed $ pb_cell $ pb_out)
 
 (* ---- fault-tolerance ---- *)
 
@@ -773,6 +857,7 @@ let () =
             accel_cmd;
             batch_cmd;
             serve_batch_cmd;
+            posture_build_cmd;
             fault_tolerance_cmd;
             plan_cmd;
             describe_cmd;

@@ -68,6 +68,38 @@ let config_inside t q =
   in
   loop 0
 
+(* FNV-1a over the raw IEEE-754 bits of everything that affects kinematics:
+   DH parameters, joint kind and limits, base and tool transforms.  The name
+   is deliberately excluded — two chains with identical geometry are the same
+   robot for seeding purposes, whatever they are called. *)
+let fingerprint t =
+  let h = ref 0xcbf29ce484222325L in
+  let prime = 0x100000001b3L in
+  let mix_int64 x =
+    for shift = 0 to 7 do
+      let byte = Int64.to_int (Int64.shift_right_logical x (shift * 8)) land 0xff in
+      h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) prime
+    done
+  in
+  let mix_float x = mix_int64 (Int64.bits_of_float x) in
+  let mix_int i = mix_int64 (Int64.of_int i) in
+  mix_int (dof t);
+  Array.iter
+    (fun { joint; dh; _ } ->
+      (match joint.Joint.kind with
+      | Joint.Revolute -> mix_int 1
+      | Joint.Prismatic -> mix_int 2);
+      mix_float joint.Joint.lower;
+      mix_float joint.Joint.upper;
+      mix_float dh.Dh.a;
+      mix_float dh.Dh.alpha;
+      mix_float dh.Dh.d;
+      mix_float dh.Dh.theta)
+    t.links;
+  Array.iter mix_float t.base;
+  Array.iter mix_float t.tool;
+  Int64.to_int !h land max_int
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>chain %s (%d DOF)" t.chain_name (dof t);
   Array.iter

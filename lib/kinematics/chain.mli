@@ -39,4 +39,12 @@ val config_inside : t -> Vec.t -> bool
 val check_config : t -> Vec.t -> unit
 (** Raises [Invalid_argument] if the vector length differs from [dof]. *)
 
+val fingerprint : t -> int
+(** Structural identity hash (FNV-1a over the IEEE-754 bits of every DH
+    parameter, joint limit, and the base/tool transforms).  Excludes the
+    chain name: geometrically identical chains fingerprint equal.  Two
+    different robots with the same DOF count get different fingerprints
+    with overwhelming probability — used to key seed caches and posture
+    libraries per chain. *)
+
 val pp : Format.formatter -> t -> unit

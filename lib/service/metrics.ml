@@ -16,6 +16,12 @@ type t = {
   retries : int Atomic.t;
   retry_converged : int Atomic.t;
   lockstep_lanes : int Atomic.t;
+  library_hits : int Atomic.t;
+  seed_theta0_wins : int Atomic.t;
+  seed_cache_wins : int Atomic.t;
+  seed_library_wins : int Atomic.t;
+  seed_zero_wins : int Atomic.t;
+  seed_perturbed_wins : int Atomic.t;
   lock : Mutex.t; (* guards both histograms *)
   latency : Histogram.t;
   iterations : Histogram.t;
@@ -37,6 +43,12 @@ let create () =
     retries = Atomic.make 0;
     retry_converged = Atomic.make 0;
     lockstep_lanes = Atomic.make 0;
+    library_hits = Atomic.make 0;
+    seed_theta0_wins = Atomic.make 0;
+    seed_cache_wins = Atomic.make 0;
+    seed_library_wins = Atomic.make 0;
+    seed_zero_wins = Atomic.make 0;
+    seed_perturbed_wins = Atomic.make 0;
     lock = Mutex.create ();
     latency = Histogram.create ();
     iterations = Histogram.create ();
@@ -65,6 +77,18 @@ let add c n = if n > 0 then ignore (Atomic.fetch_and_add c n)
 (* lanes solved through the lockstep mega-batch head tier; bumped from
    the scheduler's serial work phase, once per wave *)
 let record_lockstep t n = add t.lockstep_lanes n
+
+(* speculative seed selection outcome for one request; bumped from the
+   scheduler's serial prepare phase, so counts are pool-size independent *)
+let record_seed t ~library_hit (source : Seed_select.source) =
+  if library_hit then bump t.library_hits;
+  bump
+    (match source with
+    | Seed_select.Theta0 -> t.seed_theta0_wins
+    | Seed_select.Cache -> t.seed_cache_wins
+    | Seed_select.Library -> t.seed_library_wins
+    | Seed_select.Zero -> t.seed_zero_wins
+    | Seed_select.Perturbed -> t.seed_perturbed_wins)
 
 let record t event =
   bump t.requests;
@@ -117,6 +141,12 @@ let reset t =
       t.retries;
       t.retry_converged;
       t.lockstep_lanes;
+      t.library_hits;
+      t.seed_theta0_wins;
+      t.seed_cache_wins;
+      t.seed_library_wins;
+      t.seed_zero_wins;
+      t.seed_perturbed_wins;
     ];
   Mutex.lock t.lock;
   Histogram.clear t.latency;
@@ -138,6 +168,12 @@ type snapshot = {
   retries : int;
   retry_converged : int;
   lockstep_lanes : int;
+  library_hits : int;
+  seed_theta0_wins : int;
+  seed_cache_wins : int;
+  seed_library_wins : int;
+  seed_zero_wins : int;
+  seed_perturbed_wins : int;
   latency : Histogram.summary option;
   iterations : Histogram.summary option;
 }
@@ -162,6 +198,12 @@ let snapshot t =
     retries = Atomic.get t.retries;
     retry_converged = Atomic.get t.retry_converged;
     lockstep_lanes = Atomic.get t.lockstep_lanes;
+    library_hits = Atomic.get t.library_hits;
+    seed_theta0_wins = Atomic.get t.seed_theta0_wins;
+    seed_cache_wins = Atomic.get t.seed_cache_wins;
+    seed_library_wins = Atomic.get t.seed_library_wins;
+    seed_zero_wins = Atomic.get t.seed_zero_wins;
+    seed_perturbed_wins = Atomic.get t.seed_perturbed_wins;
     latency;
     iterations;
   }
@@ -193,6 +235,12 @@ let render s =
   int_row "retries" s.retries;
   int_row "retry converged" s.retry_converged;
   int_row "lockstep lanes" s.lockstep_lanes;
+  int_row "library hits" s.library_hits;
+  int_row "seed wins (theta0)" s.seed_theta0_wins;
+  int_row "seed wins (cache)" s.seed_cache_wins;
+  int_row "seed wins (library)" s.seed_library_wins;
+  int_row "seed wins (zero)" s.seed_zero_wins;
+  int_row "seed wins (perturbed)" s.seed_perturbed_wins;
   Table.add_sep table;
   (match s.latency with
   | None -> Table.add_row table [ "latency"; "no samples" ]

@@ -43,6 +43,12 @@ val record_lockstep : t -> int -> unit
     the lockstep mega-batch sweep (Service [lockstep] mode); bumped once
     per scheduler wave, from the serial phase. *)
 
+val record_seed : t -> library_hit:bool -> Seed_select.source -> unit
+(** One speculative seed selection: [library_hit] when the posture
+    library contributed a nearest-neighbour candidate, and the winning
+    candidate's provenance.  Recorded from the scheduler's serial
+    prepare phase, once per request with [seed_candidates >= 2]. *)
+
 val reset : t -> unit
 
 type snapshot = {
@@ -60,6 +66,12 @@ type snapshot = {
   retries : int;  (** total perturbed-seed retries *)
   retry_converged : int;  (** requests rescued by a retry *)
   lockstep_lanes : int;  (** lanes solved via the lockstep mega-batch *)
+  library_hits : int;  (** posture-library NN candidates offered *)
+  seed_theta0_wins : int;  (** speculative selections won by θ₀ *)
+  seed_cache_wins : int;  (** … by the seed-cache hit *)
+  seed_library_wins : int;  (** … by the posture-library neighbour *)
+  seed_zero_wins : int;  (** … by the clamped zero posture *)
+  seed_perturbed_wins : int;  (** … by a perturbed base *)
   latency : Histogram.summary option;  (** seconds; [None] before traffic *)
   iterations : Histogram.summary option;
 }

@@ -1,9 +1,9 @@
 open Dadu_linalg
 
-(* LRU over (dof, cell) keys: a hash table into an intrusive doubly-linked
-   recency list, most-recent at the head. *)
+(* LRU over (chain, dof, cell) keys: a hash table into an intrusive
+   doubly-linked recency list, most-recent at the head. *)
 
-type key = int * int * int * int (* dof, ix, iy, iz *)
+type key = int * int * int * int * int (* chain_id, dof, ix, iy, iz *)
 
 type node = {
   key : key;
@@ -45,9 +45,9 @@ let misses t = t.misses
 let finite3 (v : Vec3.t) =
   Float.is_finite v.Vec3.x && Float.is_finite v.Vec3.y && Float.is_finite v.Vec3.z
 
-let key_of t ~dof (v : Vec3.t) =
+let key_of t ~chain_id ~dof (v : Vec3.t) =
   let bucket x = int_of_float (Float.floor (x /. t.cell_size)) in
-  (dof, bucket v.Vec3.x, bucket v.Vec3.y, bucket v.Vec3.z)
+  (chain_id, dof, bucket v.Vec3.x, bucket v.Vec3.y, bucket v.Vec3.z)
 
 (* ---- recency list plumbing ---- *)
 
@@ -78,13 +78,13 @@ let evict_lru t =
 
 (* ---- public operations ---- *)
 
-let find t ~dof target =
+let find t ~chain_id ~dof target =
   if not (finite3 target) then begin
     t.misses <- t.misses + 1;
     None
   end
   else
-    match Hashtbl.find_opt t.table (key_of t ~dof target) with
+    match Hashtbl.find_opt t.table (key_of t ~chain_id ~dof target) with
     | Some node ->
       t.hits <- t.hits + 1;
       touch t node;
@@ -93,10 +93,10 @@ let find t ~dof target =
       t.misses <- t.misses + 1;
       None
 
-let store t ~dof ~target theta =
+let store t ~chain_id ~dof ~target theta =
   if Vec.dim theta <> dof then invalid_arg "Seed_cache.store: theta length <> dof";
   if finite3 target then begin
-    let key = key_of t ~dof target in
+    let key = key_of t ~chain_id ~dof target in
     match Hashtbl.find_opt t.table key with
     | Some node ->
       node.theta <- Vec.copy theta;

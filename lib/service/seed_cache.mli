@@ -10,9 +10,10 @@ open Dadu_linalg
     occupied cell return that configuration as the seed.
 
     Eviction is LRU over cells (both lookups and stores refresh recency),
-    bounded by [capacity].  Keys include the problem's DOF, so a returned
-    seed always has the dimension the caller asked for — heterogeneous
-    batches cannot cross-contaminate.
+    bounded by [capacity].  Keys include the problem's DOF {e and} the
+    chain's structural identity ([Chain.fingerprint]): two different robots
+    that happen to share a DOF count occupy disjoint key spaces, so
+    heterogeneous batches cannot cross-pollinate seeds.
 
     Not thread-safe: the service consults it only from the scheduler's
     serial prepare/commit phases, which is also what makes batch results
@@ -31,12 +32,13 @@ val capacity : t -> int
 val length : t -> int
 (** Live cells. *)
 
-val find : t -> dof:int -> Vec3.t -> Vec.t option
-(** Seed for a target, if its (DOF, cell) bucket is occupied.  Returns a
+val find : t -> chain_id:int -> dof:int -> Vec3.t -> Vec.t option
+(** Seed for a target, if its (chain, DOF, cell) bucket is occupied.
+    [chain_id] is the requesting chain's [Chain.fingerprint].  Returns a
     fresh copy (callers clamp it to their chain's joint limits).  Counts
     one hit or one miss.  A non-finite target is a miss. *)
 
-val store : t -> dof:int -> target:Vec3.t -> Vec.t -> unit
+val store : t -> chain_id:int -> dof:int -> target:Vec3.t -> Vec.t -> unit
 (** Record a solved configuration for [target], replacing the cell's
     previous occupant.  The vector is copied.  Non-finite targets are
     ignored.  Raises [Invalid_argument] if the vector length is not

@@ -1,0 +1,152 @@
+open Dadu_linalg
+open Dadu_kinematics
+module Rng = Dadu_util.Rng
+
+type source = Theta0 | Cache | Library | Zero | Perturbed
+
+let source_name = function
+  | Theta0 -> "theta0"
+  | Cache -> "cache"
+  | Library -> "library"
+  | Zero -> "zero"
+  | Perturbed -> "perturbed"
+
+(* Every buffer the selection needs, grown on demand and reused across
+   requests: candidate θ vectors (exact chain dof — the FK kernel insists),
+   the shared zero Δθ and zero coefficient vectors, and the SoA
+   position/error planes of the speculation kernel.  Steady state over one
+   chain and one candidate count allocates nothing. *)
+type t = {
+  fk : Fk.scratch;
+  mutable dzero : Vec.t; (* zeros, length = dof *)
+  mutable coeffs : Vec.t; (* zeros, length = capacity *)
+  mutable pos : Vec.t; (* 3 * capacity *)
+  mutable err2 : Vec.t; (* capacity *)
+  mutable bufs : Vec.t array; (* capacity buffers, each length = dof *)
+  mutable srcs : source array; (* capacity *)
+  mutable n : int; (* candidates assembled so far (scan state, not a ref:
+                      the whole selection is pinned allocation-free) *)
+  mutable best : int; (* argmin scratch *)
+}
+
+let create () =
+  {
+    fk = Fk.make_scratch ();
+    dzero = [||];
+    coeffs = [||];
+    pos = [||];
+    err2 = [||];
+    bufs = [||];
+    srcs = [||];
+    n = 0;
+    best = 0;
+  }
+
+let ensure t ~dof ~cap =
+  if Array.length t.dzero <> dof then t.dzero <- Array.make dof 0.;
+  if Array.length t.err2 < cap then begin
+    t.coeffs <- Array.make cap 0.;
+    t.pos <- Array.make (3 * cap) 0.;
+    t.err2 <- Array.make cap 0.;
+    t.srcs <- Array.make cap Theta0;
+    t.bufs <- Array.init cap (fun _ -> Array.make dof 0.)
+  end;
+  for k = 0 to Array.length t.bufs - 1 do
+    if Array.length t.bufs.(k) <> dof then t.bufs.(k) <- Array.make dof 0.
+  done
+
+(* open-coded Joint.clamp: the cross-module float return would box on
+   every element, and this loop sits on the allocation-free prepare path *)
+let clamp_inplace chain (b : Vec.t) =
+  let links = Chain.links chain in
+  for i = 0 to Array.length b - 1 do
+    let j = links.(i).Chain.joint in
+    let q = b.(i) in
+    let q = if q < j.Joint.lower then j.Joint.lower else q in
+    b.(i) <- (if q > j.Joint.upper then j.Joint.upper else q)
+  done
+
+(* First-iteration FK error of candidate [k]: the speculation kernel with a
+   zero direction and zero coefficient degenerates to one position fold plus
+   the fused squared-distance write into err2.(k). *)
+let score t chain ~tx ~ty ~tz k =
+  let stride = Array.length t.err2 in
+  Fk.speculate_range_into ~scratch:t.fk ~pos:t.pos ~err2:t.err2 ~tx ~ty ~tz
+    chain ~theta:t.bufs.(k) ~dtheta:t.dzero ~coeffs:t.coeffs ~stride ~lo:k
+    ~hi:(k + 1)
+
+(* Candidate [k]'s buffer has been filled: clamp it, tag its provenance
+   and score it.  Top-level rather than a local closure — [choose] runs
+   once per request on the serial prepare path and must not allocate. *)
+let commit t chain ~tx ~ty ~tz k src =
+  clamp_inplace chain t.bufs.(k);
+  t.srcs.(k) <- src;
+  score t chain ~tx ~ty ~tz k
+
+let argmin_err2 t =
+  t.best <- 0;
+  for k = 1 to t.n - 1 do
+    if t.err2.(k) < t.err2.(t.best) then t.best <- k
+  done;
+  t.best
+
+let choose t ~library ~cache_seed ~candidates ~ordinal ~scale ~chain ~tx ~ty
+    ~tz ~theta0 ~dst =
+  let dof = Chain.dof chain in
+  if candidates < 1 then
+    invalid_arg "Seed_select.choose: candidates must be at least 1";
+  if Array.length theta0 <> dof then
+    invalid_arg "Seed_select.choose: theta0 length <> dof";
+  if Array.length dst <> dof then
+    invalid_arg "Seed_select.choose: dst length <> dof";
+  if candidates = 1 then begin
+    Array.blit theta0 0 dst 0 dof;
+    clamp_inplace chain dst;
+    Theta0
+  end
+  else begin
+    ensure t ~dof ~cap:candidates;
+    (* fixed priority order; the argmin's tie-break (strict <) therefore
+       favours the earlier, higher-trust source *)
+    Array.blit theta0 0 t.bufs.(0) 0 dof;
+    commit t chain ~tx ~ty ~tz 0 Theta0;
+    t.n <- 1;
+    (match cache_seed with
+    | Some s when Array.length s = dof && t.n < candidates ->
+      Array.blit s 0 t.bufs.(t.n) 0 dof;
+      commit t chain ~tx ~ty ~tz t.n Cache;
+      t.n <- t.n + 1
+    | Some _ | None -> ());
+    (match library with
+    | Some lib when t.n < candidates && Posture_library.matches lib chain ->
+      let i = Posture_library.nearest_index lib ~x:tx ~y:ty ~z:tz in
+      if i >= 0 then begin
+        Posture_library.blit_posture lib i t.bufs.(t.n);
+        commit t chain ~tx ~ty ~tz t.n Library;
+        t.n <- t.n + 1
+      end
+    | Some _ | None -> ());
+    if t.n < candidates then begin
+      Array.fill t.bufs.(t.n) 0 dof 0.;
+      commit t chain ~tx ~ty ~tz t.n Zero;
+      t.n <- t.n + 1
+    end;
+    (* remaining slots: Gaussian jitter around the best-scoring base, each
+       perturbation's noise a pure function of (request ordinal, slot) *)
+    let first_perturbed = t.n in
+    let base_buf = t.bufs.(argmin_err2 t) in
+    while t.n < candidates do
+      let k = t.n in
+      let j = k - first_perturbed in
+      let rng = Rng.create (Hashtbl.hash (0x5eed, ordinal, j)) in
+      let b = t.bufs.(k) in
+      for i = 0 to dof - 1 do
+        b.(i) <- base_buf.(i) +. (scale *. Rng.gaussian rng)
+      done;
+      commit t chain ~tx ~ty ~tz k Perturbed;
+      t.n <- t.n + 1
+    done;
+    let best = argmin_err2 t in
+    Array.blit t.bufs.(best) 0 dst 0 dof;
+    t.srcs.(best)
+  end

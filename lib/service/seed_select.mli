@@ -1,0 +1,62 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+(** Multi-seed speculative starts: the paper's speculate-then-select,
+    lifted from step sizes to seed joint vectors.
+
+    Given a request, up to [candidates] starting configurations are
+    assembled in a fixed priority order — the request's own [θ₀], the
+    seed-cache hit, the posture-library nearest neighbour, the clamped
+    zero posture, then Gaussian perturbations of the best-scoring base —
+    each scored by its first-iteration FK error (squared end-effector
+    distance to the target, computed with the {!Dadu_kinematics.Fk}
+    speculation kernel), and only the argmin winner is committed as the
+    start the solver chain sees.
+
+    Determinism contract: the winner is a pure function of (request
+    ordinal, chain, target, θ₀, cache seed, library).  Perturbation noise
+    is seeded from the request ordinal and the perturbation index alone,
+    scoring is serial over candidates, and ties break to the earliest
+    (highest-priority) candidate — so replies are byte-identical across
+    pool sizes and lockstep modes (the selection runs in the scheduler's
+    serial prepare phase; pinned by test).
+
+    Steady state allocates nothing: the scratch owns every buffer and the
+    winner is written into a caller-supplied vector (pinned by the alloc
+    suite for the perturbation-free candidate set). *)
+
+type source = Theta0 | Cache | Library | Zero | Perturbed
+(** Where the winning seed came from, in assembly priority order. *)
+
+val source_name : source -> string
+(** ["theta0"], ["cache"], ["library"], ["zero"], ["perturbed"]. *)
+
+type t
+(** Reusable scratch (FK workspace, candidate and score buffers).  Not
+    thread-safe; the service owns one and calls it only from the serial
+    prepare phase. *)
+
+val create : unit -> t
+
+val choose :
+  t ->
+  library:Posture_library.t option ->
+  cache_seed:Vec.t option ->
+  candidates:int ->
+  ordinal:int ->
+  scale:float ->
+  chain:Chain.t ->
+  tx:float ->
+  ty:float ->
+  tz:float ->
+  theta0:Vec.t ->
+  dst:Vec.t ->
+  source
+(** Writes the winning start (clamped to the chain's joint limits) into
+    [dst] (length [Chain.dof chain]) and returns its provenance.
+    [candidates] must be at least 1; [ordinal] is the request's batch
+    index; [scale] is the perturbation std-dev (radians).  [cache_seed]
+    and the library posture are used only when present ([library] only
+    when it {!Posture_library.matches} the chain).  With [candidates = 1]
+    the request's own [θ₀] is returned unscored (clamped), preserving the
+    non-speculative path exactly. *)

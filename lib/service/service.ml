@@ -20,6 +20,8 @@ type config = {
   breaker : Breaker.settings option;
   retries : int;
   retry_scale : float;
+  seed_library : Posture_library.t option;
+  seed_candidates : int;
 }
 
 let default_config =
@@ -39,6 +41,8 @@ let default_config =
     breaker = None;
     retries = 0;
     retry_scale = 0.1;
+    seed_library = None;
+    seed_candidates = 1;
   }
 
 type t = {
@@ -56,6 +60,13 @@ type t = {
   megabatch : Megabatch.t option;
       (* the lockstep lane bank, capacity = chunk so one scheduler wave
          fills it exactly; [Some] iff [config.lockstep] *)
+  seed_select : Seed_select.t;
+      (* speculative seed-selection scratch; touched only in the serial
+         prepare phase *)
+  mutable fp_memo : (Chain.t * int) option;
+      (* last chain fingerprinted (physical identity): batches reuse one
+         chain value, so prepare/commit rarely rehash.  Serial phases
+         only. *)
 }
 
 let create ?pool ?(config = default_config) () =
@@ -70,6 +81,8 @@ let create ?pool ?(config = default_config) () =
     invalid_arg "Service.create: retries must be non-negative";
   if not (config.retry_scale >= 0. && Float.is_finite config.retry_scale) then
     invalid_arg "Service.create: retry_scale must be finite and non-negative";
+  if config.seed_candidates < 1 then
+    invalid_arg "Service.create: seed_candidates must be at least 1";
   let ik_config =
     {
       Ik.accuracy = config.accuracy;
@@ -108,7 +121,19 @@ let create ?pool ?(config = default_config) () =
               ~capacity:(Stdlib.min config.chunk (Stdlib.max 8 (4 * domains)))
               ~speculations:config.speculations ~config:ik_config ())
        else None);
+    seed_select = Seed_select.create ();
+    fp_memo = None;
   }
+
+(* fingerprints are O(dof) to compute; the memo collapses that to a
+   pointer compare for the common one-chain-per-batch case *)
+let chain_fingerprint t chain =
+  match t.fp_memo with
+  | Some (c, fp) when c == chain -> fp
+  | Some _ | None ->
+    let fp = Chain.fingerprint chain in
+    t.fp_memo <- Some (chain, fp);
+    fp
 
 let config t = t.config
 
@@ -210,16 +235,63 @@ let prepare t ?budget_s ?trace (d : Scheduler.dispatch) (rq : request) =
           breaker_skips;
         }
     in
-    if not t.config.warm_start then lookup p false
+    if (not t.config.warm_start) && t.config.seed_candidates = 1 then
+      lookup p false
     else begin
       let dof = Chain.dof p.Ik.chain in
-      match Seed_cache.find t.cache ~dof p.Ik.target with
-      | None -> lookup p false
-      | Some seed ->
-        (* a neighbour solved on a *different* chain with the same DOF is
-           still a legal warm start once clamped to this chain's limits *)
-        let theta0 = Chain.clamp_config p.Ik.chain seed in
-        lookup { p with Ik.theta0 } true
+      let chain_id = chain_fingerprint t p.Ik.chain in
+      let cache_seed =
+        if t.config.warm_start then
+          Seed_cache.find t.cache ~chain_id ~dof p.Ik.target
+        else None
+      in
+      if t.config.seed_candidates = 1 then
+        (* non-speculative path, exactly as before the seed selector *)
+        match cache_seed with
+        | None -> lookup p false
+        | Some seed ->
+          (* a cached neighbour is a legal warm start once clamped to
+             this chain's limits *)
+          let theta0 = Chain.clamp_config p.Ik.chain seed in
+          lookup { p with Ik.theta0 } true
+      else begin
+        (* multi-seed speculative start: assemble up to seed_candidates
+           starts (θ₀, cache hit, library neighbour, zero, perturbed
+           best), score each by first-iteration FK error, dispatch only
+           the winner.  Runs here in the serial phase, so the winner is a
+           pure function of the request ordinal and the committed history
+           — independent of pool size and lockstep mode. *)
+        let library =
+          match t.config.seed_library with
+          | Some lib when Posture_library.matches lib p.Ik.chain -> Some lib
+          | Some _ | None -> None
+        in
+        let start_s = Trace.now_s () in
+        let theta0 = Array.make dof 0. in
+        let target = p.Ik.target in
+        let source =
+          Seed_select.choose t.seed_select ~library ~cache_seed
+            ~candidates:t.config.seed_candidates ~ordinal:d.Scheduler.index
+            ~scale:t.config.retry_scale ~chain:p.Ik.chain
+            ~tx:target.Dadu_linalg.Vec3.x ~ty:target.Dadu_linalg.Vec3.y
+            ~tz:target.Dadu_linalg.Vec3.z ~theta0:p.Ik.theta0 ~dst:theta0
+        in
+        let library_hit =
+          match library with
+          | Some lib -> Posture_library.size lib > 0
+          | None -> false
+        in
+        Metrics.record_seed t.metrics ~library_hit source;
+        (match trace with
+        | None -> ()
+        | Some tr ->
+          Trace.record tr ~request:d.Scheduler.index ~phase:"seed-select"
+            ~attrs:[ ("winner", Seed_select.source_name source) ]
+            ~start_s
+            ~dur_s:(Trace.now_s () -. start_s)
+            ());
+        lookup { p with Ik.theta0 } (cache_seed <> None)
+      end
     end
 
 (* Perturbed-seed retry (the IKSel observation: a failed chain often
@@ -394,6 +466,7 @@ let commit t ?trace requests i result =
     if converged then begin
       let p = requests.(i).problem in
       Seed_cache.store t.cache
+        ~chain_id:(chain_fingerprint t p.Ik.chain)
         ~dof:(Chain.dof p.Ik.chain)
         ~target:p.Ik.target result.Ik.theta
     end;

@@ -70,6 +70,17 @@ type config = {
       (** std-dev (radians) of the Gaussian jitter applied to [θ₀] per
           retry; jitter is seeded by (request index, retry ordinal) so
           retries replay identically across pool sizes *)
+  seed_library : Posture_library.t option;
+      (** posture bank consulted for nearest-neighbour seed candidates;
+          only offered to chains it {!Posture_library.matches} *)
+  seed_candidates : int;
+      (** speculative seed starts per request ({!Seed_select}): with the
+          default 1 the seeding path is exactly the classic warm-start
+          lookup; with [S >= 2] up to [S] candidate starts (θ₀, cache
+          hit, library neighbour, zero, perturbed best) are scored by
+          first-iteration FK error in the serial prepare phase and only
+          the winner is dispatched — replies stay byte-identical across
+          pool sizes and lockstep modes *)
 }
 
 val default_config : config

@@ -105,6 +105,36 @@ let test_dls () =
   check_zero "dls 30dof" (fun config ->
       ignore (Dls.solve ~workspace:ws ~config p))
 
+(* The speculative seed selector on warm scratch: assembling and scoring
+   a perturbation-free candidate set (theta0, cache, library NN, zero)
+   plus the grid nearest-neighbour lookup must allocate exactly nothing —
+   Perturbed slots are excluded because each one seeds a fresh Rng. *)
+let test_seed_select_zero () =
+  let dof = 30 in
+  let chain = Robots.eval_chain ~dof in
+  let library =
+    Some (Dadu_service.Posture_library.build ~chain ~count:128 ~seed:7 ())
+  in
+  let sel = Dadu_service.Seed_select.create () in
+  let theta0 = Array.make dof 0.2 in
+  let cache_seed = Some (Array.make dof 0.1) in
+  let dst = Array.make dof 0. in
+  let choose ordinal =
+    ignore
+      (Dadu_service.Seed_select.choose sel ~library ~cache_seed
+         ~candidates:4 ~ordinal ~scale:0.1 ~chain ~tx:0.8 ~ty:(-0.3) ~tz:1.1
+         ~theta0 ~dst)
+  in
+  choose 0;
+  (* warm *)
+  let w0 = Gc.minor_words () in
+  for i = 1 to 1000 do
+    choose i
+  done;
+  let w1 = Gc.minor_words () in
+  Alcotest.(check (float 0.)) "seed selection minor words per request" 0.
+    ((w1 -. w0) /. 1000.)
+
 (* Parallel candidate evaluation allocates by design — the domain pool
    builds per-wave task bookkeeping — so it gets a documented slack bound
    rather than zero: the point is that the per-candidate FK work itself
@@ -196,6 +226,8 @@ let () =
             (check_megabatch_zero ~dof:30 ~speculations:64);
           Alcotest.test_case "megabatch lockstep, 100 DOF" `Slow
             (check_megabatch_zero ~dof:100 ~speculations:16);
+          Alcotest.test_case "speculative seed selection, 30 DOF" `Quick
+            test_seed_select_zero;
         ] );
       ( "bounded allocation",
         [

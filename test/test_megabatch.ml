@@ -248,6 +248,72 @@ let qcheck_pool_identity =
           Array.for_all2 result_equal seq par)
         [ 2; 4 ])
 
+(* ---- lockstep x speculative seeding (service level) ---- *)
+
+(* Seed selection runs in the scheduler's serial prepare phase, so the
+   lockstep mega-batch path must see exactly the rewritten starts the
+   per-request path sees: with a posture library and multi-seed
+   speculation enabled, lockstep replies stay bit-identical to the
+   per-request path. *)
+let test_lockstep_with_speculative_seeding () =
+  let module Svc = Dadu_service.Service in
+  let module Metrics = Dadu_service.Metrics in
+  let chain = Robots.eval_chain ~dof:12 in
+  let library =
+    Dadu_service.Posture_library.build ~chain ~count:64 ~seed:4 ()
+  in
+  let rng = Rng.create 271 in
+  let problems = Array.init 24 (fun _ -> Ik.random_problem rng chain) in
+  let strip = function
+    | Svc.Solved
+        {
+          result;
+          solver;
+          fallbacks;
+          cache_hit;
+          deadline_exceeded;
+          breaker_skips;
+          retries;
+          retry_converged;
+          trail;
+          latency_s = _;
+        } ->
+      `Solved
+        ( result,
+          solver,
+          fallbacks,
+          cache_hit,
+          deadline_exceeded,
+          breaker_skips,
+          retries,
+          retry_converged,
+          trail )
+    | Svc.Rejected invalid -> `Rejected invalid
+    | Svc.Faulted msg -> `Faulted msg
+  in
+  let run lockstep =
+    let config =
+      {
+        Svc.default_config with
+        Svc.max_iterations = 250;
+        chunk = 7;
+        lockstep;
+        seed_library = Some library;
+        seed_candidates = 4;
+      }
+    in
+    let s = Svc.create ~config () in
+    let replies = Array.map strip (Svc.solve_batch s problems) in
+    (replies, (Svc.metrics s).Metrics.lockstep_lanes)
+  in
+  let per_request, lanes_off = run false in
+  let lockstep, lanes_on = run true in
+  Alcotest.(check int) "per-request path uses no lockstep lanes" 0 lanes_off;
+  Alcotest.(check bool) "lockstep path actually engaged" true (lanes_on > 0);
+  Alcotest.(check bool)
+    "lockstep replies bit-identical to per-request with speculation on" true
+    (per_request = lockstep)
+
 let () =
   Alcotest.run "dadu_megabatch"
     [
@@ -256,6 +322,8 @@ let () =
           Alcotest.test_case "pinned DOFs 12/30/100, pools 1/2/4" `Slow
             test_lane_identity_pinned_dofs;
           Alcotest.test_case "guarded lanes" `Quick test_guarded_lane_identity;
+          Alcotest.test_case "lockstep x speculative seeding" `Slow
+            test_lockstep_with_speculative_seeding;
           QCheck_alcotest.to_alcotest qcheck_lane_identity;
           QCheck_alcotest.to_alcotest qcheck_pool_identity;
         ] );

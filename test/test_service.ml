@@ -52,49 +52,49 @@ let test_cache_hit_miss () =
   let c = Seed_cache.create ~cell_size:0.1 () in
   let target = Vec3.make 0.51 0.22 0.13 in
   Alcotest.(check (option reject)) "cold lookup misses" None
-    (Seed_cache.find c ~dof:3 target);
-  Seed_cache.store c ~dof:3 ~target [| 0.1; 0.2; 0.3 |];
-  (match Seed_cache.find c ~dof:3 (Vec3.make 0.53 0.24 0.11) with
+    (Seed_cache.find c ~chain_id:0 ~dof:3 target);
+  Seed_cache.store c ~chain_id:0 ~dof:3 ~target [| 0.1; 0.2; 0.3 |];
+  (match Seed_cache.find c ~chain_id:0 ~dof:3 (Vec3.make 0.53 0.24 0.11) with
   | Some theta ->
     Alcotest.(check (array (float 0.))) "same-cell neighbour returns the seed"
       [| 0.1; 0.2; 0.3 |] theta
   | None -> Alcotest.fail "expected a same-cell hit");
   Alcotest.(check (option reject)) "different cell misses" None
-    (Seed_cache.find c ~dof:3 (Vec3.make 0.91 0.22 0.13));
+    (Seed_cache.find c ~chain_id:0 ~dof:3 (Vec3.make 0.91 0.22 0.13));
   Alcotest.(check int) "hits" 1 (Seed_cache.hits c);
   Alcotest.(check int) "misses" 2 (Seed_cache.misses c)
 
 let test_cache_dof_keyed () =
   let c = Seed_cache.create ~cell_size:0.1 () in
   let target = Vec3.make 0.5 0.5 0.5 in
-  Seed_cache.store c ~dof:3 ~target [| 1.; 2.; 3. |];
+  Seed_cache.store c ~chain_id:0 ~dof:3 ~target [| 1.; 2.; 3. |];
   Alcotest.(check (option reject)) "same cell, other dof misses" None
-    (Seed_cache.find c ~dof:7 target)
+    (Seed_cache.find c ~chain_id:0 ~dof:7 target)
 
 let test_cache_lru_eviction () =
   let c = Seed_cache.create ~capacity:2 ~cell_size:1.0 () in
   let t1 = Vec3.make 0.5 0.5 0.5 in
   let t2 = Vec3.make 1.5 0.5 0.5 in
   let t3 = Vec3.make 2.5 0.5 0.5 in
-  Seed_cache.store c ~dof:2 ~target:t1 [| 1.; 1. |];
-  Seed_cache.store c ~dof:2 ~target:t2 [| 2.; 2. |];
+  Seed_cache.store c ~chain_id:0 ~dof:2 ~target:t1 [| 1.; 1. |];
+  Seed_cache.store c ~chain_id:0 ~dof:2 ~target:t2 [| 2.; 2. |];
   (* touch t1 so t2 becomes least-recently-used *)
-  ignore (Seed_cache.find c ~dof:2 t1);
-  Seed_cache.store c ~dof:2 ~target:t3 [| 3.; 3. |];
+  ignore (Seed_cache.find c ~chain_id:0 ~dof:2 t1);
+  Seed_cache.store c ~chain_id:0 ~dof:2 ~target:t3 [| 3.; 3. |];
   Alcotest.(check int) "capacity respected" 2 (Seed_cache.length c);
   Alcotest.(check bool) "recently-used survivor" true
-    (Seed_cache.find c ~dof:2 t1 <> None);
+    (Seed_cache.find c ~chain_id:0 ~dof:2 t1 <> None);
   Alcotest.(check (option reject)) "LRU entry evicted" None
-    (Seed_cache.find c ~dof:2 t2);
-  Alcotest.(check bool) "newcomer present" true (Seed_cache.find c ~dof:2 t3 <> None)
+    (Seed_cache.find c ~chain_id:0 ~dof:2 t2);
+  Alcotest.(check bool) "newcomer present" true (Seed_cache.find c ~chain_id:0 ~dof:2 t3 <> None)
 
 let test_cache_replaces_cell () =
   let c = Seed_cache.create ~cell_size:1.0 () in
   let target = Vec3.make 0.5 0.5 0.5 in
-  Seed_cache.store c ~dof:1 ~target [| 1. |];
-  Seed_cache.store c ~dof:1 ~target:(Vec3.make 0.6 0.6 0.6) [| 2. |];
+  Seed_cache.store c ~chain_id:0 ~dof:1 ~target [| 1. |];
+  Seed_cache.store c ~chain_id:0 ~dof:1 ~target:(Vec3.make 0.6 0.6 0.6) [| 2. |];
   Alcotest.(check int) "one cell" 1 (Seed_cache.length c);
-  (match Seed_cache.find c ~dof:1 target with
+  (match Seed_cache.find c ~chain_id:0 ~dof:1 target with
   | Some theta -> Alcotest.(check (array (float 0.))) "latest wins" [| 2. |] theta
   | None -> Alcotest.fail "expected hit")
 
@@ -105,12 +105,12 @@ let test_cache_rejects_bad_inputs () =
   let c = Seed_cache.create ~cell_size:0.1 () in
   Alcotest.check_raises "wrong dof store"
     (Invalid_argument "Seed_cache.store: theta length <> dof") (fun () ->
-      Seed_cache.store c ~dof:3 ~target:Vec3.zero [| 1. |]);
+      Seed_cache.store c ~chain_id:0 ~dof:3 ~target:Vec3.zero [| 1. |]);
   (* non-finite targets neither store nor crash *)
-  Seed_cache.store c ~dof:1 ~target:(Vec3.make Float.nan 0. 0.) [| 1. |];
+  Seed_cache.store c ~chain_id:0 ~dof:1 ~target:(Vec3.make Float.nan 0. 0.) [| 1. |];
   Alcotest.(check int) "nan target not stored" 0 (Seed_cache.length c);
   Alcotest.(check (option reject)) "nan lookup misses" None
-    (Seed_cache.find c ~dof:1 (Vec3.make Float.nan 0. 0.))
+    (Seed_cache.find c ~chain_id:0 ~dof:1 (Vec3.make Float.nan 0. 0.))
 
 (* Satellite property: whatever the operation history, a cache lookup only
    ever returns a usable seed — right dimension, every entry finite. *)
@@ -130,11 +130,11 @@ let test_cache_seeds_always_valid =
             (Rng.uniform rng (-1.) 1.)
         in
         if Rng.int rng 2 = 0 then
-          Seed_cache.store c ~dof ~target
+          Seed_cache.store c ~chain_id:0 ~dof ~target
             (Vec.init dof (fun _ -> Rng.uniform rng (-3.) 3.))
         else begin
           incr finds;
-          match Seed_cache.find c ~dof target with
+          match Seed_cache.find c ~chain_id:0 ~dof target with
           | None -> ()
           | Some theta ->
             if Vec.dim theta <> dof || not (Array.for_all Float.is_finite theta)
@@ -144,6 +144,21 @@ let test_cache_seeds_always_valid =
       !ok
       && Seed_cache.hits c + Seed_cache.misses c = !finds
       && Seed_cache.length c <= 8)
+
+(* Regression (chain-identity keying): two different robots with the same
+   DOF count must not cross-pollinate seeds. *)
+let test_cache_chain_keyed () =
+  let a = Chain.fingerprint (Robots.eval_chain ~dof:12) in
+  let b = Chain.fingerprint (Robots.snake ~dof:12) in
+  Alcotest.(check bool) "distinct fingerprints" true (a <> b);
+  let c = Seed_cache.create ~cell_size:0.1 () in
+  let target = Vec3.make 0.25 0.25 0.25 in
+  let theta = Array.make 12 0.5 in
+  Seed_cache.store c ~chain_id:a ~dof:12 ~target theta;
+  Alcotest.(check (option reject)) "equal-DOF stranger misses" None
+    (Seed_cache.find c ~chain_id:b ~dof:12 target);
+  Alcotest.(check bool) "owner still hits" true
+    (Seed_cache.find c ~chain_id:a ~dof:12 target <> None)
 
 (* ---- Scheduler ---- *)
 
@@ -720,6 +735,117 @@ let test_service_parallel_determinism =
           run (Some pool) = solo)
         [ 2; 4 ])
 
+(* ---- multi-seed speculative starts ---- *)
+
+(* The same regression end to end: a converged solve on one chain must not
+   warm-start an equal-DOF different chain aimed at the same target. *)
+let test_service_no_cross_chain_warm_start () =
+  let planar6 = Robots.planar ~dof:6 ~reach:6. () in
+  let eval6 = Robots.eval_chain ~dof:6 in
+  Alcotest.(check int) "same dof" (Chain.dof planar6) (Chain.dof eval6);
+  let target = Vec3.make 2.0 1.0 0.0 in
+  let rng = Rng.create 31 in
+  let prob chain =
+    Ik.problem ~chain ~target ~theta0:(Target.random_config rng chain)
+  in
+  let s = Service.create ~config:(service_config ()) () in
+  (match (Service.solve_batch s [| prob planar6 |]).(0) with
+  | Service.Solved { result; _ } ->
+    Alcotest.(check bool) "first chain converges" true
+      (result.Ik.status = Ik.Converged)
+  | _ -> Alcotest.fail "expected Solved");
+  let replies = Service.solve_batch s [| prob eval6; prob planar6 |] in
+  (match replies.(0) with
+  | Service.Solved { cache_hit; _ } ->
+    Alcotest.(check bool) "equal-DOF stranger gets no warm start" false
+      cache_hit
+  | _ -> Alcotest.fail "expected Solved");
+  match replies.(1) with
+  | Service.Solved { cache_hit; _ } ->
+    Alcotest.(check bool) "same chain still warm-starts" true cache_hit
+  | _ -> Alcotest.fail "expected Solved"
+
+let seeded_config ?(candidates = 4) ~library () =
+  {
+    (service_config ~chunk:7 ()) with
+    Service.max_iterations = 250;
+    seed_library = Some library;
+    seed_candidates = candidates;
+  }
+
+(* Satellite pin: --seed-candidates 1 is the classic path — replies and
+   cache hit/miss behaviour are bitwise unchanged even with a library
+   configured. *)
+let test_seed_candidates_one_is_classic_path () =
+  let problems = mixed_batch ~seed:411 12 in
+  let run config =
+    let s = Service.create ~config () in
+    let replies = Array.map strip_latency (Service.solve_batch s problems) in
+    let m = Service.metrics s in
+    (replies, m.Metrics.cache_hits, m.Metrics.cache_misses)
+  in
+  let library = Posture_library.build ~chain:eval12 ~count:64 ~seed:5 () in
+  let classic = run (service_config ~chunk:7 ()) in
+  let seeded1 = run (seeded_config ~candidates:1 ~library ()) in
+  Alcotest.(check bool)
+    "seed_candidates=1 leaves replies and cache counters untouched" true
+    (classic = seeded1)
+
+(* Acceptance: with speculative seeding enabled (library + multi-seed),
+   replies are byte-identical across pool sizes 1/2/4 and across lockstep
+   on/off. *)
+let test_seeded_determinism =
+  QCheck.Test.make
+    ~name:"seeded replies identical across pools 1/2/4 x lockstep on/off"
+    ~count:6
+    QCheck.(int_range 1 40)
+    (fun n ->
+      let problems = mixed_batch ~seed:(7000 + n) n in
+      let library = Posture_library.build ~chain:eval12 ~count:64 ~seed:9 () in
+      let run pool lockstep =
+        let s =
+          Service.create ?pool
+            ~config:{ (seeded_config ~library ()) with Service.lockstep }
+            ()
+        in
+        Array.map strip_latency (Service.solve_batch s problems)
+      in
+      let reference = run None false in
+      List.for_all
+        (fun (size, lockstep) ->
+          let same =
+            match size with
+            | None -> run None lockstep = reference
+            | Some size ->
+              let pool = Pool.create size in
+              Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+              run (Some pool) lockstep = reference
+          in
+          same)
+        [
+          (None, true);
+          (Some 2, false);
+          (Some 2, true);
+          (Some 4, false);
+          (Some 4, true);
+        ])
+
+(* The selector's winner beats or matches every request's own start by
+   construction, and the metrics provenance counters account for every
+   valid request exactly once. *)
+let test_seeded_metrics_accounting () =
+  let problems = random_problems ~seed:99 10 in
+  let library = Posture_library.build ~chain:eval12 ~count:64 ~seed:3 () in
+  let s = Service.create ~config:(seeded_config ~library ()) () in
+  ignore (Service.solve_batch s problems);
+  let m = Service.metrics s in
+  Alcotest.(check int) "every request offered a library candidate" 10
+    m.Metrics.library_hits;
+  Alcotest.(check int) "seed wins partition the batch" 10
+    (m.Metrics.seed_theta0_wins + m.Metrics.seed_cache_wins
+    + m.Metrics.seed_library_wins + m.Metrics.seed_zero_wins
+    + m.Metrics.seed_perturbed_wins)
+
 (* ---- tracing ---- *)
 
 let test_service_trace_spans () =
@@ -1090,6 +1216,8 @@ let () =
           Alcotest.test_case "cell replacement" `Quick test_cache_replaces_cell;
           Alcotest.test_case "bad inputs" `Quick test_cache_rejects_bad_inputs;
           qcheck test_cache_seeds_always_valid;
+          Alcotest.test_case "chain-identity keying" `Quick
+            test_cache_chain_keyed;
         ] );
       ( "scheduler",
         [
@@ -1152,6 +1280,13 @@ let () =
           Alcotest.test_case "mixed deadlines" `Slow test_service_mixed_deadlines;
           qcheck test_service_parallel_determinism;
           Alcotest.test_case "trace spans" `Slow test_service_trace_spans;
+          Alcotest.test_case "no cross-chain warm start" `Slow
+            test_service_no_cross_chain_warm_start;
+          Alcotest.test_case "seed-candidates 1 is classic path" `Slow
+            test_seed_candidates_one_is_classic_path;
+          qcheck test_seeded_determinism;
+          Alcotest.test_case "seeded metrics accounting" `Slow
+            test_seeded_metrics_accounting;
         ] );
       ( "problem-file",
         [
