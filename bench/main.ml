@@ -174,6 +174,7 @@ let run_serve_parallel () =
       [ ("pool", Table.Right); ("wall s", Table.Right); ("req/s", Table.Right);
         ("p50 ms", Table.Right); ("p95 ms", Table.Right);
         ("p99 ms", Table.Right); ("speedup", Table.Right);
+        ("prep/work/commit ms", Table.Right); ("serial %", Table.Right);
         ("ws new/reused", Table.Right) ]
   in
   List.iter
@@ -190,6 +191,13 @@ let run_serve_parallel () =
           lat (fun s -> s.Dadu_util.Histogram.p95);
           lat (fun s -> s.Dadu_util.Histogram.p99);
           Printf.sprintf "%.2fx" (serial_wall /. wall);
+          Printf.sprintf "%.1f/%.1f/%.1f"
+            (1e3 *. m.Dadu_service.Metrics.prepare_s)
+            (1e3 *. m.Dadu_service.Metrics.work_s)
+            (1e3 *. m.Dadu_service.Metrics.commit_s);
+          (match Dadu_service.Metrics.serial_fraction m with
+          | Some f -> Printf.sprintf "%.1f" (100. *. f)
+          | None -> "n/a");
           Printf.sprintf "%d/%d" created reused ];
       if statuses <> serial_statuses then
         Printf.printf
@@ -200,7 +208,86 @@ let run_serve_parallel () =
   Printf.printf
     "\n(replies checked byte-identical across pool sizes; ws new/reused are\n\
     \ Workspace.local pool deltas — parallel runs build one workspace per\n\
-    \ domain, then reuse)\n"
+    \ domain, then reuse; prep/work/commit are the scheduler wave-phase\n\
+    \ wall-time totals from the metrics registry)\n";
+  (* seed-heavy snapshot-prepare comparison: at 100 DOF with 5 speculative
+     candidates per request, candidate scoring dominates the serial
+     prepare phase — the wave-fused snapshot path moves it onto the pool *)
+  heading
+    "Service: snapshot-prepare (100 DOF, 5 seed candidates, pool 4) — \
+     prepare phase serial vs wave-fused";
+  let chain100 = Dadu_kinematics.Robots.eval_chain ~dof:100 in
+  let library100 =
+    Dadu_service.Posture_library.build ~chain:chain100 ~count:256 ~seed:42 ()
+  in
+  let snap_workload () =
+    let rng = Dadu_util.Rng.create 2017 in
+    Array.init 96 (fun _ -> Dadu_core.Ik.random_problem rng chain100)
+  in
+  let run_snap snapshot_prepare =
+    let problems = snap_workload () in
+    let pool = Dadu_util.Domain_pool.create 4 in
+    let config =
+      {
+        Svc.default_config with
+        Svc.seed_candidates = 5;
+        seed_library = Some library100;
+        snapshot_prepare;
+      }
+    in
+    let service = Svc.create ~pool ~config () in
+    let p0 = Ws.phase_stats Ws.Prepare in
+    (* min over warm batches: a single batch's phase split is at the
+       mercy of scheduler noise on a loaded host *)
+    let best_wall = ref infinity and best_prep = ref infinity in
+    let replies = ref [||] in
+    for rep = 0 to 5 do
+      Svc.reset_metrics service;
+      let t0 = Unix.gettimeofday () in
+      let r = Svc.solve_batch service problems in
+      let wall = Unix.gettimeofday () -. t0 in
+      let m = Svc.metrics service in
+      if rep > 0 then begin
+        (* rep 0 warms workspaces and the seed cache *)
+        if wall < !best_wall then best_wall := wall;
+        let p = m.Dadu_service.Metrics.prepare_s in
+        if p < !best_prep then best_prep := p
+      end;
+      replies := r
+    done;
+    let p1 = Ws.phase_stats Ws.Prepare in
+    Dadu_util.Domain_pool.shutdown pool;
+    ( !best_wall,
+      !best_prep,
+      statuses !replies,
+      p1.Ws.created - p0.Ws.created,
+      p1.Ws.reused - p0.Ws.reused )
+  in
+  let wall_off, prep_off, st_off, _, _ = run_snap false in
+  let wall_on, prep_on, st_on, pc, pr = run_snap true in
+  let snap_table =
+    Table.create ~title:"96 requests at 100 DOF, seed-candidates 5"
+      [ ("prepare path", Table.Left); ("wall s", Table.Right);
+        ("prepare ms", Table.Right); ("prepare speedup", Table.Right);
+        ("prepare-phase ws new/reused", Table.Right) ]
+  in
+  Table.add_row snap_table
+    [ "serial (per-request)"; Printf.sprintf "%.3f" wall_off;
+      Printf.sprintf "%.1f" (1e3 *. prep_off); "1.00x"; "0/0" ];
+  Table.add_row snap_table
+    [ "snapshot (wave-fused)"; Printf.sprintf "%.3f" wall_on;
+      Printf.sprintf "%.1f" (1e3 *. prep_on);
+      Printf.sprintf "%.2fx" (prep_off /. prep_on);
+      Printf.sprintf "%d/%d" pc pr ];
+  (if st_off <> st_on then
+     print_string "  WARNING: snapshot-prepare changed the replies!\n");
+  Table.print snap_table;
+  Printf.printf
+    "\n(replies checked byte-identical between prepare paths; wall and\n\
+    \ prepare ms are minima over 5 warm batches — the metrics registry's\n\
+    \ prepare-phase wall-time total per batch; ws new/reused are\n\
+    \ Workspace.phase_stats Prepare deltas — the fused sweeps borrow\n\
+    \ each pool domain's workspace FK scratch)\n"
 
 (* ---- open-loop load benchmark: per-request vs lockstep serving ----
 
@@ -657,6 +744,96 @@ let seeded_steady_state ~dof =
   let mean = Array.fold_left ( +. ) 0. ns /. float_of_int samples in
   (mean, pct 0.5, pct 0.95, words_per_iter, iters_cold, iters_seeded)
 
+(* Steady-state cost of one candidate scoring through the wave-fused
+   prepare path: one [Seed_select.choose_wave] over a 16-request wave at
+   5 candidates each, run sequentially (no pool) so the gated number
+   prices the SoA kernel and wave bookkeeping, not domain scheduling.
+   The informational fields compare against the same wave prepared by 16
+   per-request [choose] calls — the serial-vs-fused ratio the
+   snapshot-prepare path banks on before any parallelism. *)
+let prepare_steady_state ~dof =
+  let open Dadu_kinematics in
+  let module Sel = Dadu_service.Seed_select in
+  let chain = Robots.eval_chain ~dof in
+  let library =
+    Dadu_service.Posture_library.build ~chain ~count:256 ~seed:42 ()
+  in
+  let rng = Dadu_util.Rng.create 23 in
+  let waves = 16 and candidates = 5 in
+  let problems =
+    Array.init waves (fun _ -> Dadu_core.Ik.random_problem rng chain)
+  in
+  let cache_seed = Some (Array.make dof 0.1) in
+  let specs =
+    Array.mapi
+      (fun i (p : Dadu_core.Ik.problem) ->
+        let t = p.Dadu_core.Ik.target in
+        {
+          Sel.ordinal = i;
+          chain;
+          tx = t.Dadu_linalg.Vec3.x;
+          ty = t.Dadu_linalg.Vec3.y;
+          tz = t.Dadu_linalg.Vec3.z;
+          theta0 = p.Dadu_core.Ik.theta0;
+          cache_seed;
+          library = Some library;
+          library_index =
+            Dadu_service.Posture_library.nearest_index library
+              ~x:t.Dadu_linalg.Vec3.x ~y:t.Dadu_linalg.Vec3.y
+              ~z:t.Dadu_linalg.Vec3.z;
+          candidates;
+          scale = 0.1;
+          dst = Array.make dof 0.;
+        })
+      problems
+  in
+  let sel = Sel.create () in
+  let wave () = ignore (Sel.choose_wave sel specs) in
+  let serial_wave () =
+    Array.iter
+      (fun (s : Sel.spec) ->
+        ignore
+          (Sel.choose sel ~library:s.Sel.library ~cache_seed:s.Sel.cache_seed
+             ~candidates ~ordinal:s.Sel.ordinal ~scale:s.Sel.scale ~chain
+             ~tx:s.Sel.tx ~ty:s.Sel.ty ~tz:s.Sel.tz ~theta0:s.Sel.theta0
+             ~dst:s.Sel.dst))
+      specs
+  in
+  let cands = float_of_int (waves * candidates) in
+  wave ();
+  serial_wave ();
+  (* warm *)
+  let reps = 50 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to reps do
+    wave ()
+  done;
+  let w1 = Gc.minor_words () in
+  for _ = 1 to 2 * reps do
+    wave ()
+  done;
+  let w2 = Gc.minor_words () in
+  let words_per_cand = ((w2 -. w1) -. (w1 -. w0)) /. float_of_int reps /. cands in
+  let samples = 31 in
+  let time f =
+    let ns = Array.make samples 0. in
+    for s = 0 to samples - 1 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        f ()
+      done;
+      ns.(s) <- (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps /. cands
+    done;
+    Array.sort compare ns;
+    let pct p =
+      ns.(int_of_float (Float.round (p *. float_of_int (samples - 1))))
+    in
+    (Array.fold_left ( +. ) 0. ns /. float_of_int samples, pct 0.5, pct 0.95)
+  in
+  let mean, p50, p95 = time wave in
+  let serial_mean, _, _ = time serial_wave in
+  (mean, p50, p95, words_per_cand, serial_mean)
+
 let run_micro_json () =
   heading "Quick-IK steady-state kernel benchmark (JSON)";
   let table =
@@ -665,7 +842,9 @@ let run_micro_json () =
         "steady state: quickik = solver iteration (64 spec, Sequential), \
          speckernel = one raw 64-candidate sweep, megabatch = one lockstep \
          lane-iteration over a 16-lane bank, serve-request = one warm-cache \
-         request through the serial serving path"
+         request through the serial serving path, prepare = one candidate \
+         scoring through the wave-fused choose_wave (16 requests x 5 \
+         candidates, sequential)"
       [ ("benchmark", Table.Left); ("ns/iter", Table.Right);
         ("p50 ns", Table.Right); ("p95 ns", Table.Right);
         ("words/iter", Table.Right) ]
@@ -712,6 +891,21 @@ let run_micro_json () =
               (fields
               @ [ ("iters_cold", Json.num cold);
                   ("iters_seeded", Json.num seeded) ])
+          | other -> other)
+        dofs
+    @ List.map
+        (fun dof ->
+          let mean, p50, p95, words, serial_mean = prepare_steady_state ~dof in
+          let json =
+            entry (Printf.sprintf "prepare-dof%d" dof) dof (mean, p50, p95, words)
+          in
+          match json with
+          | Json.Obj fields ->
+            Json.Obj
+              (fields
+              @ [ ("serial_ns_per_iter", Json.num serial_mean);
+                  ( "fused_speedup",
+                    Json.num (if mean > 0. then serial_mean /. mean else 0.) ) ])
           | other -> other)
         dofs
   in

@@ -431,6 +431,15 @@ let lockstep_flag =
   in
   Arg.(value & flag & info [ "lockstep" ] ~doc)
 
+let snapshot_prepare_flag =
+  let doc =
+    "Snapshot-prepare execution: freeze each scheduler wave's serial state \
+     reads into an immutable snapshot, then run seed-candidate assembly and \
+     scoring as wave-fused SoA sweeps on the worker pool (byte-identical \
+     replies to the per-request prepare, faster seed-heavy prepare phases)."
+  in
+  Arg.(value & flag & info [ "snapshot-prepare" ] ~doc)
+
 let seed_library_arg =
   let doc =
     "Posture library file (written by 'dadu posture-build') consulted for \
@@ -496,8 +505,8 @@ let write_replies path replies =
 let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
     cache_cell cache_capacity no_warm_start time_budget batch_budget
     default_deadline trace_out retries retry_scale breaker_threshold
-    breaker_cooldown fault_plan fault_seed guard_flag lockstep seed_library
-    seed_candidates replies_out =
+    breaker_cooldown fault_plan fault_seed guard_flag lockstep
+    snapshot_prepare seed_library seed_candidates replies_out =
   match Dadu_service.Problem_file.parse_requests_file file with
   | Error msg ->
     Format.eprintf "dadu: %s: %s@." file msg;
@@ -572,6 +581,7 @@ let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
         retry_scale;
         seed_library;
         seed_candidates;
+        snapshot_prepare;
       }
     in
     let trace = Option.map (fun _ -> Dadu_util.Trace.create ()) trace_out in
@@ -596,7 +606,8 @@ let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
         Format.printf "Pool     : %d domain%s, chunk %d%s@." jobs
           (if jobs = 1 then "" else "s")
           chunk
-          (if lockstep then ", lockstep" else "");
+          ((if lockstep then ", lockstep" else "")
+          ^ if snapshot_prepare then ", snapshot-prepare" else "");
         Format.printf "Wall time: %.3f s (%.0f problems/s)@." wall
           (if wall > 0. then float_of_int n /. wall else 0.);
         print_string (Svc.render_metrics service);
@@ -638,7 +649,8 @@ let serve_batch_cmd =
       $ no_warm_start $ time_budget $ batch_budget $ default_deadline
       $ trace_out $ retries $ retry_scale $ breaker_threshold
       $ breaker_cooldown $ fault_plan $ fault_seed $ guard_flag
-      $ lockstep_flag $ seed_library_arg $ seed_candidates_arg $ replies_out)
+      $ lockstep_flag $ snapshot_prepare_flag $ seed_library_arg
+      $ seed_candidates_arg $ replies_out)
 
 (* ---- posture-build ---- *)
 

@@ -249,6 +249,88 @@ let sweep_links scratch chain ~theta ~dtheta ~coeffs ~pos ~stride ~lo ~hi =
     done
   done
 
+(* Row-plane variant of [sweep_links]: candidate [k]'s configuration is
+   read directly from row [k] of a flat lane-major θ plane
+   ([thetas.(k·tstride + i)], Megabatch layout) instead of being formed as
+   θ + α_k·Δθ.  The per-link fold body is the one [sweep_links] runs; only
+   the [qk] load differs.  Reading θ instead of computing [(0·0) + θ] can
+   flip the sign of a zero angle, which [sin] preserves — but every
+   downstream consumer squares the coordinates (the fused err2 write), so
+   scores and argmin winners are bit-identical to the degenerate
+   [sweep_links] call with zero Δθ and zero coefficients. *)
+let sweep_rows scratch chain ~thetas ~tstride ~pos ~stride ~lo ~hi =
+  let n = Chain.dof chain in
+  let pre = scratch.pre and rev = scratch.revolute in
+  let tool = Chain.tool chain in
+  let tx = Array.unsafe_get tool 3
+  and ty = Array.unsafe_get tool 7
+  and tz = Array.unsafe_get tool 11 in
+  for k = lo to hi - 1 do
+    Array.unsafe_set pos k tx;
+    Array.unsafe_set pos (stride + k) ty;
+    Array.unsafe_set pos ((2 * stride) + k) tz
+  done;
+  for i = n - 1 downto 0 do
+    let b = 5 * i in
+    let ca = Array.unsafe_get pre b
+    and sa = Array.unsafe_get pre (b + 1)
+    and a = Array.unsafe_get pre (b + 2)
+    and d0 = Array.unsafe_get pre (b + 3)
+    and t0 = Array.unsafe_get pre (b + 4) in
+    let is_rev = Array.unsafe_get rev i in
+    for k = lo to hi - 1 do
+      let qk = Array.unsafe_get thetas ((k * tstride) + i) in
+      let tv = if is_rev then t0 +. qk else t0 in
+      let d = if is_rev then d0 else d0 +. qk in
+      let ct = cos tv and st = sin tv in
+      let x = Array.unsafe_get pos k
+      and y = Array.unsafe_get pos (stride + k)
+      and z = Array.unsafe_get pos ((2 * stride) + k) in
+      let w = x +. a in
+      let u = (ca *. y) -. (sa *. z) in
+      Array.unsafe_set pos k ((ct *. w) -. (st *. u));
+      Array.unsafe_set pos (stride + k) ((st *. w) +. (ct *. u));
+      Array.unsafe_set pos ((2 * stride) + k) ((sa *. y) +. (ca *. z) +. d)
+    done
+  done
+
+let score_rows_into ~scratch ~pos ~err2 ~txs ~tys ~tzs chain ~thetas ~tstride
+    ~stride ~lo ~hi =
+  let n = Chain.dof chain in
+  if tstride < n then
+    invalid_arg "Fk.score_rows_into: tstride smaller than the chain dof";
+  if lo < 0 || hi > stride then
+    invalid_arg "Fk.score_rows_into: candidate range out of bounds";
+  if hi > lo && Array.length thetas < ((hi - 1) * tstride) + n then
+    invalid_arg "Fk.score_rows_into: theta plane shorter than the range";
+  if Array.length pos < 3 * stride then
+    invalid_arg "Fk.score_rows_into: pos shorter than 3*stride";
+  if Array.length err2 < stride then
+    invalid_arg "Fk.score_rows_into: err2 shorter than stride";
+  if Array.length txs < hi || Array.length tys < hi || Array.length tzs < hi
+  then invalid_arg "Fk.score_rows_into: target planes shorter than the range";
+  ensure_compiled scratch chain;
+  sweep_rows scratch chain ~thetas ~tstride ~pos ~stride ~lo ~hi;
+  let base = Chain.base chain in
+  let b0 = base.(0) and b1 = base.(1) and b2 = base.(2) and b3 = base.(3)
+  and b4 = base.(4) and b5 = base.(5) and b6 = base.(6) and b7 = base.(7)
+  and b8 = base.(8) and b9 = base.(9) and b10 = base.(10) and b11 = base.(11) in
+  for k = lo to hi - 1 do
+    let x = Array.unsafe_get pos k
+    and y = Array.unsafe_get pos (stride + k)
+    and z = Array.unsafe_get pos ((2 * stride) + k) in
+    let fx = (b0 *. x) +. (b1 *. y) +. (b2 *. z) +. b3 in
+    let fy = (b4 *. x) +. (b5 *. y) +. (b6 *. z) +. b7 in
+    let fz = (b8 *. x) +. (b9 *. y) +. (b10 *. z) +. b11 in
+    Array.unsafe_set pos k fx;
+    Array.unsafe_set pos (stride + k) fy;
+    Array.unsafe_set pos ((2 * stride) + k) fz;
+    let dx = Array.unsafe_get txs k -. fx
+    and dy = Array.unsafe_get tys k -. fy
+    and dz = Array.unsafe_get tzs k -. fz in
+    Array.unsafe_set err2 k (((dx *. dx) +. (dy *. dy)) +. (dz *. dz))
+  done
+
 let check_many_args name chain ~theta ~dtheta ~coeffs ~stride ~lo ~hi =
   let n = Chain.dof chain in
   if Array.length theta <> n then

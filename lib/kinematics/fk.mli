@@ -107,6 +107,38 @@ val speculate_range_into :
     a {!precompile}d scratch the ranges may run on concurrent domains.
     Allocation-free. *)
 
+val score_rows_into :
+  scratch:scratch ->
+  pos:Vec.t ->
+  err2:Vec.t ->
+  txs:Vec.t ->
+  tys:Vec.t ->
+  tzs:Vec.t ->
+  Chain.t ->
+  thetas:Vec.t ->
+  tstride:int ->
+  stride:int ->
+  lo:int ->
+  hi:int ->
+  unit
+(** Row-plane candidate scoring, the wave-fused form of
+    {!speculate_range_into}: candidate [k ∈ \[lo, hi)] is the full
+    configuration stored in row [k] of the flat lane-major plane [thetas]
+    ([thetas.(k·tstride + i)] is joint [i]; [tstride ≥ dof], rows may be
+    wider than the chain).  Each row's end-effector position lands in the
+    SoA planes of [pos] (stride [stride], as in {!speculate_range_into})
+    and its *squared* distance to the per-row target
+    [(txs.(k), tys.(k), tzs.(k))] is fused into [err2.(k)] — per-row
+    targets are what let one sweep score candidates belonging to many
+    requests.  Scores are bit-identical to a degenerate
+    {!speculate_range_into} call per row (zero Δθ, zero coefficient, the
+    row as θ): the only arithmetic difference is the sign of a zero
+    angle, which squaring erases.  Rows are evaluated independently, so
+    any partition of [\[lo, hi)] into sub-ranges — including ranges run
+    on concurrent domains, each with its own scratch (or one
+    {!precompile}d shared scratch) — produces bit-identical [err2].
+    Allocation-free. *)
+
 val flops_per_position : int -> int
 (** Floating-point operation count of one {!position} call for a [dof]-link
     chain; used by the platform cost models.  Counts the 4×4 matrix product

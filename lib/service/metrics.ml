@@ -22,9 +22,15 @@ type t = {
   seed_library_wins : int Atomic.t;
   seed_zero_wins : int Atomic.t;
   seed_perturbed_wins : int Atomic.t;
-  lock : Mutex.t; (* guards both histograms *)
+  lock : Mutex.t; (* guards the histograms and the phase accumulators *)
   latency : Histogram.t;
   iterations : Histogram.t;
+  (* wall time per scheduler phase, accumulated once per wave from the
+     orchestrating domain — the serial-fraction observability the
+     snapshot-prepare work is judged by *)
+  mutable prepare_s : float;
+  mutable work_s : float;
+  mutable commit_s : float;
 }
 
 let create () =
@@ -52,7 +58,25 @@ let create () =
     lock = Mutex.create ();
     latency = Histogram.create ();
     iterations = Histogram.create ();
+    prepare_s = 0.;
+    work_s = 0.;
+    commit_s = 0.;
   }
+
+type phase = Prepare | Work | Commit
+
+let phase_name = function
+  | Prepare -> "prepare"
+  | Work -> "work"
+  | Commit -> "commit"
+
+let record_phase t phase dur_s =
+  Mutex.lock t.lock;
+  (match phase with
+  | Prepare -> t.prepare_s <- t.prepare_s +. dur_s
+  | Work -> t.work_s <- t.work_s +. dur_s
+  | Commit -> t.commit_s <- t.commit_s +. dur_s);
+  Mutex.unlock t.lock
 
 type event =
   | Rejected of Ik.invalid
@@ -151,6 +175,9 @@ let reset t =
   Mutex.lock t.lock;
   Histogram.clear t.latency;
   Histogram.clear t.iterations;
+  t.prepare_s <- 0.;
+  t.work_s <- 0.;
+  t.commit_s <- 0.;
   Mutex.unlock t.lock
 
 type snapshot = {
@@ -174,6 +201,9 @@ type snapshot = {
   seed_library_wins : int;
   seed_zero_wins : int;
   seed_perturbed_wins : int;
+  prepare_s : float;
+  work_s : float;
+  commit_s : float;
   latency : Histogram.summary option;
   iterations : Histogram.summary option;
 }
@@ -182,6 +212,9 @@ let snapshot t =
   Mutex.lock t.lock;
   let latency = Histogram.summarize t.latency in
   let iterations = Histogram.summarize t.iterations in
+  let prepare_s = t.prepare_s in
+  let work_s = t.work_s in
+  let commit_s = t.commit_s in
   Mutex.unlock t.lock;
   {
     requests = Atomic.get t.requests;
@@ -204,9 +237,18 @@ let snapshot t =
     seed_library_wins = Atomic.get t.seed_library_wins;
     seed_zero_wins = Atomic.get t.seed_zero_wins;
     seed_perturbed_wins = Atomic.get t.seed_perturbed_wins;
+    prepare_s;
+    work_s;
+    commit_s;
     latency;
     iterations;
   }
+
+(* serial fraction of the wave pipeline: prepare and commit run on the
+   orchestrating domain, work is the pool phase *)
+let serial_fraction s =
+  let total = s.prepare_s +. s.work_s +. s.commit_s in
+  if total > 0. then Some ((s.prepare_s +. s.commit_s) /. total) else None
 
 let render s =
   let table =
@@ -241,6 +283,20 @@ let render s =
   int_row "seed wins (library)" s.seed_library_wins;
   int_row "seed wins (zero)" s.seed_zero_wins;
   int_row "seed wins (perturbed)" s.seed_perturbed_wins;
+  Table.add_sep table;
+  let phase_ms name v =
+    Table.add_row table [ name; Printf.sprintf "%.3f ms" (1e3 *. v) ]
+  in
+  phase_ms "phase prepare" s.prepare_s;
+  phase_ms "phase work" s.work_s;
+  phase_ms "phase commit" s.commit_s;
+  Table.add_row table
+    [
+      "serial fraction";
+      (match serial_fraction s with
+      | None -> "n/a"
+      | Some f -> Printf.sprintf "%.1f%%" (100. *. f));
+    ];
   Table.add_sep table;
   (match s.latency with
   | None -> Table.add_row table [ "latency"; "no samples" ]

@@ -49,6 +49,21 @@ val record_seed : t -> library_hit:bool -> Seed_select.source -> unit
     candidate's provenance.  Recorded from the scheduler's serial
     prepare phase, once per request with [seed_candidates >= 2]. *)
 
+type phase = Prepare | Work | Commit
+(** One scheduler wave phase (mirrors [Scheduler.wave_phase]; kept
+    separate so this module stays scheduler-independent). *)
+
+val phase_name : phase -> string
+(** ["prepare"], ["work"], ["commit"]. *)
+
+val record_phase : t -> phase -> float -> unit
+(** [record_phase t p dur_s] accumulates [dur_s] seconds of wall time
+    into phase [p]'s total.  Called once per wave per phase from the
+    scheduler's orchestrating domain (via its [phase_done] hook), so the
+    totals decompose batch wall time into the serial prepare/commit
+    phases versus the parallel work phase — the Amdahl breakdown the
+    snapshot-prepare path is judged by. *)
+
 val reset : t -> unit
 
 type snapshot = {
@@ -72,12 +87,21 @@ type snapshot = {
   seed_library_wins : int;  (** … by the posture-library neighbour *)
   seed_zero_wins : int;  (** … by the clamped zero posture *)
   seed_perturbed_wins : int;  (** … by a perturbed base *)
+  prepare_s : float;  (** wall seconds in serial/snapshot prepare phases *)
+  work_s : float;  (** wall seconds in parallel work phases *)
+  commit_s : float;  (** wall seconds in serial commit phases *)
   latency : Histogram.summary option;  (** seconds; [None] before traffic *)
   iterations : Histogram.summary option;
 }
 
 val snapshot : t -> snapshot
 
+val serial_fraction : snapshot -> float option
+(** [(prepare_s + commit_s) / total phase time]: the Amdahl serial
+    fraction of the wave pipeline.  [None] before any phase has been
+    recorded. *)
+
 val render : snapshot -> string
 (** The metrics table `dadu serve-batch` prints: counters, cache hit
-    rate, latency p50/p95/p99 in milliseconds, iteration percentiles. *)
+    rate, the per-phase wall-time breakdown with its serial fraction,
+    latency p50/p95/p99 in milliseconds, iteration percentiles. *)

@@ -187,6 +187,14 @@ let blit_posture t i dst =
     invalid_arg "Posture_library.blit_posture: dst length <> dof";
   Array.blit t.postures.(i) 0 dst 0 t.dof
 
+(* offset variant for callers assembling postures into rows of a flat
+   candidate plane (Seed_select's wave-fused scoring) *)
+let blit_posture_into t i dst ~pos =
+  check_index t i;
+  if pos < 0 || pos + t.dof > Array.length dst then
+    invalid_arg "Posture_library.blit_posture_into: row out of bounds";
+  Array.blit t.postures.(i) 0 dst pos t.dof
+
 let position t i =
   check_index t i;
   Vec3.make

@@ -24,11 +24,27 @@ let map t f xs =
 
 type dispatch = { index : int; elapsed_s : float; expired : bool }
 
+type wave_phase = Prepare | Work | Commit
+
 (* The chunked serial-prepare / work / serial-commit skeleton shared by
    [map_deadlined] (per-item work on the pool) and [map_lockstep] (whole
    prepared chunks handed to the caller).  [run] must return exactly one
-   result per prepared item. *)
-let map_waves t ~now ?budget_s ?deadline_s ~prepare ~run ~commit xs =
+   result per prepared item.
+
+   With [prepare_wave], dispatches for the whole wave are still built
+   serially in input order — one clock read each, before any prepare work
+   runs — and handed to the caller as an array: the wave-start snapshot
+   of the clock.  Without deadlines or a budget the dispatch values are
+   clock-independent either way, so the two prepare shapes see identical
+   inputs.
+
+   Phase hooks: [phase_enter] fires on the orchestrating domain
+   immediately before each phase of each wave, [phase_done] immediately
+   after with the phase's wall time.  Both default to no-ops and never
+   affect scheduling; timing reads use the real monotonic clock, not the
+   (injectable) [now], so fake-clock tests keep their reading budget. *)
+let map_waves t ~now ?budget_s ?deadline_s ?prepare_wave ?phase_enter
+    ?phase_done ~prepare ~run ~commit xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
@@ -48,39 +64,61 @@ let map_waves t ~now ?budget_s ?deadline_s ~prepare ~run ~commit xs =
     while !off < n do
       let base = !off in
       let len = Stdlib.min t.chunk (n - base) in
-      let prepared =
-        Array.init len (fun j ->
-            let index = base + j in
-            (* expiry is decided here, in the serial phase, so every pool
-               size observes the same prepared values for the same clock
-               readings — and, with no deadlines or budget at all, no
-               clock reading can change the outcome *)
-            let elapsed_s = now () -. t0 in
-            let expired =
-              past budget_s elapsed_s || past (deadline_of index) elapsed_s
-            in
-            prepare { index; elapsed_s; expired } xs.(index))
+      let timed phase f =
+        (match phase_enter with None -> () | Some e -> e phase);
+        match phase_done with
+        | None -> f ()
+        | Some d ->
+          let start_s = Trace.now_s () in
+          let r = f () in
+          d phase ~base ~len ~start_s ~dur_s:(Trace.now_s () -. start_s);
+          r
       in
-      let results = run prepared in
-      for j = 0 to len - 1 do
-        out.(base + j) <- results.(j);
-        commit (base + j) results.(j)
-      done;
+      let dispatch_at index =
+        (* expiry is decided here, in the serial phase, so every pool
+           size observes the same prepared values for the same clock
+           readings — and, with no deadlines or budget at all, no
+           clock reading can change the outcome *)
+        let elapsed_s = now () -. t0 in
+        let expired =
+          past budget_s elapsed_s || past (deadline_of index) elapsed_s
+        in
+        { index; elapsed_s; expired }
+      in
+      let prepared =
+        timed Prepare (fun () ->
+            match prepare_wave with
+            | Some pw -> pw (Array.init len (fun j -> dispatch_at (base + j)))
+            | None ->
+              Array.init len (fun j ->
+                  let d = dispatch_at (base + j) in
+                  prepare d xs.(d.index)))
+      in
+      if Array.length prepared <> len then
+        invalid_arg "Scheduler: prepare_wave returned wrong arity";
+      let results = timed Work (fun () -> run prepared) in
+      timed Commit (fun () ->
+          for j = 0 to len - 1 do
+            out.(base + j) <- results.(j);
+            commit (base + j) results.(j)
+          done);
       off := base + len
     done;
     out
   end
 
-let map_deadlined t ?(now = Trace.now_s) ?budget_s ?deadline_s ~prepare ~work
-    ~commit xs =
-  map_waves t ~now ?budget_s ?deadline_s ~prepare
+let map_deadlined t ?(now = Trace.now_s) ?budget_s ?deadline_s ?prepare_wave
+    ?phase_enter ?phase_done ~prepare ~work ~commit xs =
+  map_waves t ~now ?budget_s ?deadline_s ?prepare_wave ?phase_enter ?phase_done
+    ~prepare
     ~run:(fun prepared ->
       run_wave t (fun j -> guarded work prepared.(j)) (Array.length prepared))
     ~commit xs
 
-let map_lockstep t ?(now = Trace.now_s) ?budget_s ?deadline_s ~prepare
-    ~work_batch ~commit xs =
-  map_waves t ~now ?budget_s ?deadline_s ~prepare
+let map_lockstep t ?(now = Trace.now_s) ?budget_s ?deadline_s ?prepare_wave
+    ?phase_enter ?phase_done ~prepare ~work_batch ~commit xs =
+  map_waves t ~now ?budget_s ?deadline_s ?prepare_wave ?phase_enter ?phase_done
+    ~prepare
     ~run:(fun prepared ->
       let len = Array.length prepared in
       match guarded work_batch prepared with

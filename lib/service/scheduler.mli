@@ -44,11 +44,20 @@ type dispatch = {
           handling *)
 }
 
+type wave_phase = Prepare | Work | Commit
+(** The three phases of one scheduler wave, in order.  [Prepare] and
+    [Commit] run on the orchestrating domain (though a wave-grained
+    prepare may fan work out itself); [Work] is the pool phase. *)
+
 val map_deadlined :
   t ->
   ?now:(unit -> float) ->
   ?budget_s:float ->
   ?deadline_s:(int -> float option) ->
+  ?prepare_wave:(dispatch array -> 'p array) ->
+  ?phase_enter:(wave_phase -> unit) ->
+  ?phase_done:
+    (wave_phase -> base:int -> len:int -> start_s:float -> dur_s:float -> unit) ->
   prepare:(dispatch -> 'a -> 'p) ->
   work:('p -> 'b) ->
   commit:(int -> ('b, exn) result -> unit) ->
@@ -68,13 +77,36 @@ val map_deadlined :
     clock's resolution).  With neither given, [expired] is always false
     and results cannot depend on the clock.  [now] (default
     {!Dadu_util.Trace.now_s}) exists so tests can drive expiry
-    deterministically. *)
+    deterministically.
+
+    [prepare_wave], when given, replaces the per-item [prepare] calls:
+    the wave's dispatches are still built serially in input order — one
+    clock read each, {e before} any prepare work runs, so expiry
+    decisions are the wave-start snapshot of the clock — and handed to
+    the caller whole ([dispatch.index] addresses the caller's own input
+    array).  It must return one prepared value per dispatch,
+    positionally; a wrong arity raises.  With no deadlines or budget the
+    dispatch values are clock-independent, so the two prepare shapes are
+    interchangeable; the serving layer pins its replies byte-identical
+    across both.
+
+    [phase_enter]/[phase_done] observe each wave's phases from the
+    orchestrating domain: [phase_enter p] immediately before phase [p],
+    [phase_done p ~base ~len ~start_s ~dur_s] immediately after, with
+    wall times from the real monotonic clock (never [now], so a fake
+    clock's reading budget is unaffected).  Both must not raise; they
+    exist for phase accounting (metrics, workspace attribution, trace
+    spans). *)
 
 val map_lockstep :
   t ->
   ?now:(unit -> float) ->
   ?budget_s:float ->
   ?deadline_s:(int -> float option) ->
+  ?prepare_wave:(dispatch array -> 'p array) ->
+  ?phase_enter:(wave_phase -> unit) ->
+  ?phase_done:
+    (wave_phase -> base:int -> len:int -> start_s:float -> dur_s:float -> unit) ->
   prepare:(dispatch -> 'a -> 'p) ->
   work_batch:('p array -> ('b, exn) result array) ->
   commit:(int -> ('b, exn) result -> unit) ->

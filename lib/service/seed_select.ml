@@ -1,6 +1,8 @@
 open Dadu_linalg
 open Dadu_kinematics
 module Rng = Dadu_util.Rng
+module Pool = Dadu_util.Domain_pool
+module Ws = Dadu_core.Workspace
 
 type source = Theta0 | Cache | Library | Zero | Perturbed
 
@@ -12,76 +14,108 @@ let source_name = function
   | Perturbed -> "perturbed"
 
 (* Every buffer the selection needs, grown on demand and reused across
-   requests: candidate θ vectors (exact chain dof — the FK kernel insists),
-   the shared zero Δθ and zero coefficient vectors, and the SoA
-   position/error planes of the speculation kernel.  Steady state over one
-   chain and one candidate count allocates nothing. *)
+   requests and waves.  Candidates live as rows of one flat lane-major θ
+   plane ([plane.(k·tstride + i)], Megabatch layout) so a whole wave's
+   candidates can be scored by chunked {!Fk.score_rows_into} sweeps; the
+   per-row target planes ([txs]/[tys]/[tzs]) are what let one sweep span
+   candidates belonging to different requests.  Steady state over one
+   chain shape and one candidate count allocates nothing. *)
 type t = {
   fk : Fk.scratch;
-  mutable dzero : Vec.t; (* zeros, length = dof *)
-  mutable coeffs : Vec.t; (* zeros, length = capacity *)
-  mutable pos : Vec.t; (* 3 * capacity *)
+  mutable tstride : int; (* row width the plane is currently shaped for *)
+  mutable plane : Vec.t; (* capacity × tstride candidate rows, lane-major *)
+  mutable txs : Vec.t; (* capacity: per-row target x *)
+  mutable tys : Vec.t;
+  mutable tzs : Vec.t;
+  mutable pos : Vec.t; (* 3 × capacity SoA position planes *)
   mutable err2 : Vec.t; (* capacity *)
-  mutable bufs : Vec.t array; (* capacity buffers, each length = dof *)
   mutable srcs : source array; (* capacity *)
   mutable n : int; (* candidates assembled so far (scan state, not a ref:
                       the whole selection is pinned allocation-free) *)
   mutable best : int; (* argmin scratch *)
+  (* wave bookkeeping: per-row owner and per-request row ranges *)
+  mutable row_req : int array; (* capacity: spec index owning each row *)
+  mutable base_lo : int array; (* per spec: first base row *)
+  mutable base_n : int array; (* per spec: base row count *)
+  mutable pert_lo : int array; (* per spec: first perturbed row *)
+  mutable best_base : int array; (* per spec: winning base row *)
 }
 
 let create () =
   {
     fk = Fk.make_scratch ();
-    dzero = [||];
-    coeffs = [||];
+    tstride = 0;
+    plane = [||];
+    txs = [||];
+    tys = [||];
+    tzs = [||];
     pos = [||];
     err2 = [||];
-    bufs = [||];
     srcs = [||];
     n = 0;
     best = 0;
+    row_req = [||];
+    base_lo = [||];
+    base_n = [||];
+    pert_lo = [||];
+    best_base = [||];
   }
 
-let ensure t ~dof ~cap =
-  if Array.length t.dzero <> dof then t.dzero <- Array.make dof 0.;
+let ensure t ~tstride ~rows =
+  let cap = Stdlib.max rows (Array.length t.err2) in
   if Array.length t.err2 < cap then begin
-    t.coeffs <- Array.make cap 0.;
+    t.txs <- Array.make cap 0.;
+    t.tys <- Array.make cap 0.;
+    t.tzs <- Array.make cap 0.;
     t.pos <- Array.make (3 * cap) 0.;
     t.err2 <- Array.make cap 0.;
     t.srcs <- Array.make cap Theta0;
-    t.bufs <- Array.init cap (fun _ -> Array.make dof 0.)
+    t.row_req <- Array.make cap 0
   end;
-  for k = 0 to Array.length t.bufs - 1 do
-    if Array.length t.bufs.(k) <> dof then t.bufs.(k) <- Array.make dof 0.
-  done
+  if t.tstride <> tstride || Array.length t.plane < cap * tstride then begin
+    t.tstride <- tstride;
+    t.plane <- Array.make (cap * tstride) 0.
+  end
 
-(* open-coded Joint.clamp: the cross-module float return would box on
-   every element, and this loop sits on the allocation-free prepare path *)
-let clamp_inplace chain (b : Vec.t) =
+let ensure_specs t n =
+  if Array.length t.base_lo < n then begin
+    t.base_lo <- Array.make n 0;
+    t.base_n <- Array.make n 0;
+    t.pert_lo <- Array.make n 0;
+    t.best_base <- Array.make n 0
+  end
+
+(* open-coded Joint.clamp over one plane row: the cross-module float
+   return would box on every element, and this loop sits on the
+   allocation-free prepare path *)
+let clamp_row chain (plane : Vec.t) ~off =
   let links = Chain.links chain in
-  for i = 0 to Array.length b - 1 do
+  for i = 0 to Array.length links - 1 do
     let j = links.(i).Chain.joint in
-    let q = b.(i) in
+    let q = plane.(off + i) in
     let q = if q < j.Joint.lower then j.Joint.lower else q in
-    b.(i) <- (if q > j.Joint.upper then j.Joint.upper else q)
+    plane.(off + i) <- (if q > j.Joint.upper then j.Joint.upper else q)
   done
 
-(* First-iteration FK error of candidate [k]: the speculation kernel with a
-   zero direction and zero coefficient degenerates to one position fold plus
-   the fused squared-distance write into err2.(k). *)
-let score t chain ~tx ~ty ~tz k =
+(* First-iteration FK error of row [k]: one fused position fold plus the
+   squared-distance write into err2.(k). *)
+let score t chain k =
   let stride = Array.length t.err2 in
-  Fk.speculate_range_into ~scratch:t.fk ~pos:t.pos ~err2:t.err2 ~tx ~ty ~tz
-    chain ~theta:t.bufs.(k) ~dtheta:t.dzero ~coeffs:t.coeffs ~stride ~lo:k
-    ~hi:(k + 1)
+  Fk.score_rows_into ~scratch:t.fk ~pos:t.pos ~err2:t.err2 ~txs:t.txs
+    ~tys:t.tys ~tzs:t.tzs chain ~thetas:t.plane ~tstride:t.tstride ~stride
+    ~lo:k ~hi:(k + 1)
 
-(* Candidate [k]'s buffer has been filled: clamp it, tag its provenance
-   and score it.  Top-level rather than a local closure — [choose] runs
-   once per request on the serial prepare path and must not allocate. *)
+(* Candidate [k]'s row has been filled: clamp it, tag its provenance and
+   target, and score it.  Top-level rather than a local closure — [choose]
+   runs once per request on the serial prepare path and must not
+   allocate. *)
 let commit t chain ~tx ~ty ~tz k src =
-  clamp_inplace chain t.bufs.(k);
+  clamp_row chain t.plane ~off:(k * t.tstride);
   t.srcs.(k) <- src;
-  score t chain ~tx ~ty ~tz k
+  t.txs.(k) <- tx;
+  t.tys.(k) <- ty;
+  t.tzs.(k) <- tz;
+  score t chain k
 
 let argmin_err2 t =
   t.best <- 0;
@@ -101,19 +135,19 @@ let choose t ~library ~cache_seed ~candidates ~ordinal ~scale ~chain ~tx ~ty
     invalid_arg "Seed_select.choose: dst length <> dof";
   if candidates = 1 then begin
     Array.blit theta0 0 dst 0 dof;
-    clamp_inplace chain dst;
+    clamp_row chain dst ~off:0;
     Theta0
   end
   else begin
-    ensure t ~dof ~cap:candidates;
+    ensure t ~tstride:dof ~rows:candidates;
     (* fixed priority order; the argmin's tie-break (strict <) therefore
        favours the earlier, higher-trust source *)
-    Array.blit theta0 0 t.bufs.(0) 0 dof;
+    Array.blit theta0 0 t.plane 0 dof;
     commit t chain ~tx ~ty ~tz 0 Theta0;
     t.n <- 1;
     (match cache_seed with
     | Some s when Array.length s = dof && t.n < candidates ->
-      Array.blit s 0 t.bufs.(t.n) 0 dof;
+      Array.blit s 0 t.plane (t.n * t.tstride) dof;
       commit t chain ~tx ~ty ~tz t.n Cache;
       t.n <- t.n + 1
     | Some _ | None -> ());
@@ -121,32 +155,293 @@ let choose t ~library ~cache_seed ~candidates ~ordinal ~scale ~chain ~tx ~ty
     | Some lib when t.n < candidates && Posture_library.matches lib chain ->
       let i = Posture_library.nearest_index lib ~x:tx ~y:ty ~z:tz in
       if i >= 0 then begin
-        Posture_library.blit_posture lib i t.bufs.(t.n);
+        Posture_library.blit_posture_into lib i t.plane ~pos:(t.n * t.tstride);
         commit t chain ~tx ~ty ~tz t.n Library;
         t.n <- t.n + 1
       end
     | Some _ | None -> ());
     if t.n < candidates then begin
-      Array.fill t.bufs.(t.n) 0 dof 0.;
+      Array.fill t.plane (t.n * t.tstride) dof 0.;
       commit t chain ~tx ~ty ~tz t.n Zero;
       t.n <- t.n + 1
     end;
     (* remaining slots: Gaussian jitter around the best-scoring base, each
        perturbation's noise a pure function of (request ordinal, slot) *)
     let first_perturbed = t.n in
-    let base_buf = t.bufs.(argmin_err2 t) in
+    let base_off = argmin_err2 t * t.tstride in
     while t.n < candidates do
       let k = t.n in
       let j = k - first_perturbed in
       let rng = Rng.create (Hashtbl.hash (0x5eed, ordinal, j)) in
-      let b = t.bufs.(k) in
+      let off = k * t.tstride in
       for i = 0 to dof - 1 do
-        b.(i) <- base_buf.(i) +. (scale *. Rng.gaussian rng)
+        t.plane.(off + i) <- t.plane.(base_off + i) +. (scale *. Rng.gaussian rng)
       done;
       commit t chain ~tx ~ty ~tz k Perturbed;
       t.n <- t.n + 1
     done;
     let best = argmin_err2 t in
-    Array.blit t.bufs.(best) 0 dst 0 dof;
+    Array.blit t.plane (best * t.tstride) dst 0 dof;
     t.srcs.(best)
+  end
+
+(* ---- wave-fused selection --------------------------------------------
+
+   One scheduler wave's worth of requests selected together: all base
+   candidates of all requests are packed into contiguous rows of the
+   plane and scored in chunked sweeps (parallel across the pool when one
+   is given), then per-request base argmins run serially, perturbed rows
+   are assembled from each winner and scored the same way, and the final
+   winners are committed serially in ordinal order.
+
+   Bit-parity with per-request [choose] holds by construction: rows are
+   assembled by the same code in the same per-request order, rows are
+   scored independently (so any chunking equals the one-row-at-a-time
+   serial scoring), and the split argmin (best base, then perturbed rows
+   in order, strict <) selects the same winner as the serial full-range
+   scan because the serial tie-break already favours the earliest row. *)
+
+type spec = {
+  ordinal : int;
+  chain : Chain.t;
+  tx : float;
+  ty : float;
+  tz : float;
+  theta0 : Vec.t;
+  cache_seed : Vec.t option;
+  library : Posture_library.t option;
+  library_index : int;
+  candidates : int;
+  scale : float;
+  dst : Vec.t;
+}
+
+(* Which base sources request [s] assembles, mirroring the conditions of
+   [choose] exactly (assembly is deterministic given the frozen spec, so
+   counting and filling can run as separate passes). *)
+let base_plan (s : spec) =
+  let dof = Chain.dof s.chain in
+  let nb = ref 1 in
+  let use_cache =
+    match s.cache_seed with
+    | Some cs when Array.length cs = dof && !nb < s.candidates ->
+      incr nb;
+      true
+    | Some _ | None -> false
+  in
+  let use_library =
+    if s.library <> None && s.library_index >= 0 && !nb < s.candidates then begin
+      incr nb;
+      true
+    end
+    else false
+  in
+  let use_zero =
+    if !nb < s.candidates then begin
+      incr nb;
+      true
+    end
+    else false
+  in
+  (use_cache, use_library, use_zero, !nb)
+
+let fill_row t (s : spec) r row src fill =
+  let off = row * t.tstride in
+  fill off;
+  clamp_row s.chain t.plane ~off;
+  t.srcs.(row) <- src;
+  t.row_req.(row) <- r;
+  t.txs.(row) <- s.tx;
+  t.tys.(row) <- s.ty;
+  t.tzs.(row) <- s.tz
+
+let assemble_base t (specs : spec array) r =
+  let s = specs.(r) in
+  if s.candidates > 1 then begin
+    let dof = Chain.dof s.chain in
+    let use_cache, use_library, use_zero, _ = base_plan s in
+    let k = ref t.base_lo.(r) in
+    let put src fill =
+      fill_row t s r !k src fill;
+      incr k
+    in
+    put Theta0 (fun off -> Array.blit s.theta0 0 t.plane off dof);
+    if use_cache then (
+      match s.cache_seed with
+      | Some cs -> put Cache (fun off -> Array.blit cs 0 t.plane off dof)
+      | None -> assert false);
+    if use_library then (
+      match s.library with
+      | Some lib ->
+        put Library (fun off ->
+            Posture_library.blit_posture_into lib s.library_index t.plane
+              ~pos:off)
+      | None -> assert false);
+    if use_zero then put Zero (fun off -> Array.fill t.plane off dof 0.)
+  end
+
+let assemble_perturbed t (specs : spec array) r =
+  let s = specs.(r) in
+  if s.candidates > 1 then begin
+    let dof = Chain.dof s.chain in
+    let np = s.candidates - t.base_n.(r) in
+    let boff = t.best_base.(r) * t.tstride in
+    for j = 0 to np - 1 do
+      let row = t.pert_lo.(r) + j in
+      let off = row * t.tstride in
+      let rng = Rng.create (Hashtbl.hash (0x5eed, s.ordinal, j)) in
+      for i = 0 to dof - 1 do
+        t.plane.(off + i) <- t.plane.(boff + i) +. (s.scale *. Rng.gaussian rng)
+      done;
+      fill_row t s r row Perturbed (fun _ -> ())
+    done
+  end
+
+(* Score rows [a, b), splitting the range into runs of rows that share a
+   chain so each kernel call streams one compiled constant set.  Worker
+   domains score through their domain-local workspace's FK scratch
+   ([Fk.compile] mutates the scratch per chain, so a shared one would
+   race); the sequential path reuses the selector's own scratch.  Scratch
+   identity never affects the computed values. *)
+let score_rows t (specs : spec array) a b ~local =
+  let i = ref a in
+  while !i < b do
+    let chain = specs.(t.row_req.(!i)).chain in
+    let j = ref (!i + 1) in
+    while !j < b && specs.(t.row_req.(!j)).chain == chain do
+      incr j
+    done;
+    let scratch =
+      if local then (Ws.local ~dof:(Chain.dof chain)).Ws.fk else t.fk
+    in
+    Fk.score_rows_into ~scratch ~pos:t.pos ~err2:t.err2 ~txs:t.txs ~tys:t.tys
+      ~tzs:t.tzs chain ~thetas:t.plane ~tstride:t.tstride
+      ~stride:(Array.length t.err2) ~lo:!i ~hi:!j;
+    i := !j
+  done
+
+(* Candidate rows are trig-heavy (2 trig + 15 flops per link per row), so
+   a small grain load-balances mixed-DOF waves without drowning in task
+   dispatch. *)
+let sweep_grain = 4
+
+let sweep_region t ?pool specs lo hi =
+  if hi > lo then
+    match pool with
+    | None -> score_rows t specs lo hi ~local:false
+    | Some pool ->
+      Pool.parallel_for_chunks pool ~grain:sweep_grain (hi - lo)
+        (fun a b -> score_rows t specs (lo + a) (lo + b) ~local:true)
+
+let for_each_spec ?pool n f =
+  match pool with
+  | None ->
+    for r = 0 to n - 1 do
+      f r
+    done
+  | Some pool -> Pool.parallel_for pool n f
+
+let choose_wave t ?pool (specs : spec array) =
+  (* On a machine with no available parallelism (one online core), pool
+     dispatch can only add scheduling overhead — run the same sweeps
+     sequentially.  Purely a scheduling decision: the computed bits are
+     identical either way (pinned by the pool-vs-sequential tests). *)
+  let pool =
+    match pool with
+    | Some p when Pool.size p > 1 && Domain.recommended_domain_count () > 1 ->
+      Some p
+    | Some _ | None -> None
+  in
+  let n = Array.length specs in
+  if n = 0 then [||]
+  else begin
+    let tstride = ref 1 and total = ref 0 in
+    Array.iter
+      (fun s ->
+        let dof = Chain.dof s.chain in
+        if s.candidates < 1 then
+          invalid_arg "Seed_select.choose_wave: candidates must be at least 1";
+        if Array.length s.theta0 <> dof then
+          invalid_arg "Seed_select.choose_wave: theta0 length <> dof";
+        if Array.length s.dst <> dof then
+          invalid_arg "Seed_select.choose_wave: dst length <> dof";
+        if s.candidates > 1 then begin
+          tstride := Stdlib.max !tstride dof;
+          total := !total + s.candidates
+        end)
+      specs;
+    let out = Array.make n Theta0 in
+    (* non-speculative requests short-circuit exactly as [choose] does *)
+    let classic r =
+      let s = specs.(r) in
+      Array.blit s.theta0 0 s.dst 0 (Chain.dof s.chain);
+      clamp_row s.chain s.dst ~off:0
+    in
+    if !total = 0 then begin
+      for r = 0 to n - 1 do
+        classic r
+      done;
+      out
+    end
+    else begin
+      ensure t ~tstride:!tstride ~rows:!total;
+      ensure_specs t n;
+      (* serial row allocation in ordinal order: base rows pack the region
+         [0, nbase) so one chunked sweep covers every request's bases *)
+      let next = ref 0 in
+      for r = 0 to n - 1 do
+        let s = specs.(r) in
+        if s.candidates > 1 then begin
+          let _, _, _, nb = base_plan s in
+          t.base_lo.(r) <- !next;
+          t.base_n.(r) <- nb;
+          next := !next + nb
+        end
+        else begin
+          t.base_lo.(r) <- !next;
+          t.base_n.(r) <- 0
+        end
+      done;
+      let nbase = !next in
+      (* parallel assembly: disjoint row ranges, frozen inputs only *)
+      for_each_spec ?pool n (fun r ->
+          if specs.(r).candidates > 1 then assemble_base t specs r
+          else classic r);
+      sweep_region t ?pool specs 0 nbase;
+      (* serial base argmins + perturbed row allocation, ordinal order *)
+      for r = 0 to n - 1 do
+        let s = specs.(r) in
+        if s.candidates > 1 then begin
+          let lo = t.base_lo.(r) in
+          let best = ref lo in
+          for k = lo + 1 to lo + t.base_n.(r) - 1 do
+            if t.err2.(k) < t.err2.(!best) then best := k
+          done;
+          t.best_base.(r) <- !best;
+          t.pert_lo.(r) <- !next;
+          next := !next + (s.candidates - t.base_n.(r))
+        end
+      done;
+      let npert_hi = !next in
+      if npert_hi > nbase then begin
+        for_each_spec ?pool n (fun r -> assemble_perturbed t specs r);
+        sweep_region t ?pool specs nbase npert_hi
+      end;
+      (* serial seal: final argmin per request (best base, then that
+         request's perturbed rows in slot order, strict <) and winner
+         blit, in ordinal order *)
+      for r = 0 to n - 1 do
+        let s = specs.(r) in
+        if s.candidates > 1 then begin
+          let best = ref t.best_base.(r) in
+          let plo = t.pert_lo.(r) in
+          for k = plo to plo + (s.candidates - t.base_n.(r)) - 1 do
+            if t.err2.(k) < t.err2.(!best) then best := k
+          done;
+          Array.blit t.plane (!best * t.tstride) s.dst 0 (Chain.dof s.chain);
+          out.(r) <- t.srcs.(!best)
+        end
+      done;
+      out
+    end
   end

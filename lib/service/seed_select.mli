@@ -32,9 +32,14 @@ val source_name : source -> string
 (** ["theta0"], ["cache"], ["library"], ["zero"], ["perturbed"]. *)
 
 type t
-(** Reusable scratch (FK workspace, candidate and score buffers).  Not
-    thread-safe; the service owns one and calls it only from the serial
-    prepare phase. *)
+(** Reusable scratch: a flat lane-major candidate θ plane (rows of
+    [tstride] floats, Megabatch layout), per-row target planes, and the
+    SoA position/error planes of the row-scoring kernel
+    ({!Dadu_kinematics.Fk.score_rows_into}).  The orchestration is not
+    thread-safe — the service owns one and calls it only between the
+    scheduler's parallel phases — but {!choose_wave} internally fans its
+    scoring sweeps out over a pool (disjoint plane rows; per-domain FK
+    scratches via {!Dadu_core.Workspace.local}). *)
 
 val create : unit -> t
 
@@ -60,3 +65,46 @@ val choose :
     when it {!Posture_library.matches} the chain).  With [candidates = 1]
     the request's own [θ₀] is returned unscored (clamped), preserving the
     non-speculative path exactly. *)
+
+type spec = {
+  ordinal : int;  (** request's batch index (perturbation noise key) *)
+  chain : Chain.t;
+  tx : float;
+  ty : float;
+  tz : float;  (** target position *)
+  theta0 : Vec.t;  (** the request's own start (borrowed, not mutated) *)
+  cache_seed : Vec.t option;
+      (** frozen seed-cache hit, resolved in the serial snapshot pass *)
+  library : Posture_library.t option;
+      (** the library, only when it {!Posture_library.matches} the chain *)
+  library_index : int;
+      (** frozen nearest-neighbour posture row, [-1] for none; resolved
+          in the serial snapshot pass (the NN scratch is not
+          thread-safe) *)
+  candidates : int;
+  scale : float;  (** perturbation std-dev (radians) *)
+  dst : Vec.t;  (** the winning start is written here (length dof) *)
+}
+(** One request's frozen selection inputs: everything {!choose} would
+    have read from mutable serial state ({!Seed_cache},
+    {!Posture_library} NN), captured by the snapshot pass so the
+    assembly and scoring passes touch no shared state. *)
+
+val choose_wave :
+  t -> ?pool:Dadu_util.Domain_pool.t -> spec array -> source array
+(** Wave-fused {!choose} over one scheduler wave: every spec's base
+    candidates are packed into contiguous rows of the shared θ plane and
+    scored in chunked {!Dadu_kinematics.Fk.score_rows_into} sweeps
+    (parallel across [pool] when given, with a grain of a few rows);
+    per-request base argmins, perturbed-row assembly from each winner,
+    a second fused sweep, and the final winner commits run serially in
+    ordinal order.  Returns each spec's winning source and writes the
+    winning start into its [dst].
+
+    Bit-parity contract (pinned by test): for every pool size — including
+    none — results are byte-identical to calling {!choose} per spec in
+    ordinal order, because rows are assembled by the same code in the
+    same order, rows are scored independently (any chunking equals serial
+    scoring), and the split argmin preserves the serial earliest-row
+    tie-break.  Specs with [candidates = 1] take the clamped-[θ₀] path
+    exactly as {!choose} does. *)

@@ -22,6 +22,7 @@ type config = {
   retry_scale : float;
   seed_library : Posture_library.t option;
   seed_candidates : int;
+  snapshot_prepare : bool;
 }
 
 let default_config =
@@ -43,6 +44,7 @@ let default_config =
     retry_scale = 0.1;
     seed_library = None;
     seed_candidates = 1;
+    snapshot_prepare = false;
   }
 
 type t = {
@@ -178,6 +180,10 @@ type prepared =
       solve_budget_s : float option;
       chain : Fallback.kind list;
       breaker_skips : int;
+      fault : Fault.t;
+          (* the request's fault fork, derived at prepare time so the
+             whole dispatch — fault stream included — is part of the
+             frozen wave snapshot *)
     }
   | Skip of Ik.invalid
 
@@ -186,55 +192,58 @@ let min_opt a b =
   | None, x | x, None -> x
   | Some a, Some b -> Some (Float.min a b)
 
+(* Breaker reads happen in the serial phase, keyed on the request
+   ordinal — the open/half-open decisions are a pure function of the
+   committed request sequence, never of the pool size.  If every tier is
+   open the full chain runs anyway: serving must answer and an all-open
+   chain means the problem is the traffic, not one solver. *)
+let breaker_chain t (d : Scheduler.dispatch) =
+  match t.breakers with
+  | None -> (t.config.solvers, 0)
+  | Some bs ->
+    let allowed =
+      List.filteri
+        (fun j _ -> Breaker.allow bs.(j) ~now:d.Scheduler.index)
+        t.config.solvers
+    in
+    if allowed = [] then (t.config.solvers, 0)
+    else (allowed, List.length t.config.solvers - List.length allowed)
+
+(* Time left before this request's deadline or the batch budget, at
+   prepare time; the solve phase hands it to the fallback chain so a
+   straggler stops falling back once its deadline passes.  All [None]
+   (the default) keeps the batch deterministic. *)
+let solve_budget t ?budget_s (d : Scheduler.dispatch) (rq : request) =
+  let remaining limit =
+    match limit with
+    | None -> None
+    | Some l -> Some (Float.max 0. (l -. d.Scheduler.elapsed_s))
+  in
+  min_opt t.config.time_budget_s
+    (min_opt (remaining rq.deadline_s) (remaining budget_s))
+
+let mk_dispatch t ?budget_s (d : Scheduler.dispatch) (rq : request)
+    ~chain ~breaker_skips problem cache_hit =
+  Dispatch
+    {
+      index = d.Scheduler.index;
+      problem;
+      cache_hit;
+      expired = d.Scheduler.expired;
+      solve_budget_s = solve_budget t ?budget_s d rq;
+      chain;
+      breaker_skips;
+      fault = Fault.fork t.config.fault d.Scheduler.index;
+    }
+
 let prepare t ?budget_s ?trace (d : Scheduler.dispatch) (rq : request) =
   Trace.span trace ~request:d.Scheduler.index ~phase:"prepare" @@ fun () ->
   let p = rq.problem in
   match Ik.validate p with
   | Error invalid -> Skip invalid
   | Ok () ->
-    (* breaker reads happen here, in the serial phase, keyed on the
-       request ordinal — the open/half-open decisions are a pure function
-       of the committed request sequence, never of the pool size.  If
-       every tier is open the full chain runs anyway: serving must answer
-       and an all-open chain means the problem is the traffic, not one
-       solver. *)
-    let chain, breaker_skips =
-      match t.breakers with
-      | None -> (t.config.solvers, 0)
-      | Some bs ->
-        let allowed =
-          List.filteri
-            (fun j _ -> Breaker.allow bs.(j) ~now:d.Scheduler.index)
-            t.config.solvers
-        in
-        if allowed = [] then (t.config.solvers, 0)
-        else (allowed, List.length t.config.solvers - List.length allowed)
-    in
-    let lookup problem cache_hit =
-      (* time left before this request's deadline or the batch budget, at
-         prepare time; the solve phase hands it to the fallback chain so a
-         straggler stops falling back once its deadline passes.  All
-         [None] (the default) keeps the batch deterministic. *)
-      let remaining limit =
-        match limit with
-        | None -> None
-        | Some l -> Some (Float.max 0. (l -. d.Scheduler.elapsed_s))
-      in
-      let solve_budget_s =
-        min_opt t.config.time_budget_s
-          (min_opt (remaining rq.deadline_s) (remaining budget_s))
-      in
-      Dispatch
-        {
-          index = d.Scheduler.index;
-          problem;
-          cache_hit;
-          expired = d.Scheduler.expired;
-          solve_budget_s;
-          chain;
-          breaker_skips;
-        }
-    in
+    let chain, breaker_skips = breaker_chain t d in
+    let lookup = mk_dispatch t ?budget_s d rq ~chain ~breaker_skips in
     if (not t.config.warm_start) && t.config.seed_candidates = 1 then
       lookup p false
     else begin
@@ -294,6 +303,169 @@ let prepare t ?budget_s ?trace (d : Scheduler.dispatch) (rq : request) =
       end
     end
 
+(* ---- snapshot prepare -------------------------------------------------
+
+   The wave-grained prepare path: instead of interleaving stateful reads
+   with per-request FK scoring, the wave runs three passes.
+
+   Pass A (serial, ordinal order) snapshots every read of mutable serial
+   state — validation, breaker gating, the seed-cache probe (its LRU and
+   counters mutate), the posture-library NN query (its ring scratch
+   mutates), the fault fork, and the dispatch's frozen clock/expiry —
+   into an immutable per-request record.  Because serial prepare commits
+   nothing mid-wave, these frozen values are exactly what the per-request
+   serial path would have read.
+
+   Pass B hands the frozen specs to {!Seed_select.choose_wave}: candidate
+   assembly fans out per request and the R×S candidate scorings collapse
+   into chunked sweeps of the wave-fused SoA kernel on the pool (which is
+   idle during prepare).  Replies stay byte-identical across pool sizes —
+   and to the per-request path — by the selector's bit-parity contract.
+
+   Pass C (serial, ordinal order) seals the wave: seed metrics and trace
+   spans in the same order the serial path would emit them, then the
+   dispatch records. *)
+
+type snap =
+  | Snap_done of prepared (* resolved without speculative selection *)
+  | Snap_spec of {
+      d : Scheduler.dispatch;
+      rq : request;
+      spec : Seed_select.spec;
+      library_hit : bool;
+      cache_hit : bool;
+      chain : Fallback.kind list;
+      breaker_skips : int;
+    }
+
+let prepare_wave t ?budget_s ?trace requests (ds : Scheduler.dispatch array) =
+  let wave_start = Trace.now_s () in
+  (* pass A: serial snapshot *)
+  let snaps =
+    Array.map
+      (fun (d : Scheduler.dispatch) ->
+        let rq = requests.(d.Scheduler.index) in
+        let p = rq.problem in
+        match Ik.validate p with
+        | Error invalid -> Snap_done (Skip invalid)
+        | Ok () ->
+          let chain, breaker_skips = breaker_chain t d in
+          let lookup = mk_dispatch t ?budget_s d rq ~chain ~breaker_skips in
+          if (not t.config.warm_start) && t.config.seed_candidates = 1 then
+            Snap_done (lookup p false)
+          else begin
+            let dof = Chain.dof p.Ik.chain in
+            let chain_id = chain_fingerprint t p.Ik.chain in
+            let cache_seed =
+              if t.config.warm_start then
+                Seed_cache.find t.cache ~chain_id ~dof p.Ik.target
+              else None
+            in
+            if t.config.seed_candidates = 1 then
+              match cache_seed with
+              | None -> Snap_done (lookup p false)
+              | Some seed ->
+                let theta0 = Chain.clamp_config p.Ik.chain seed in
+                Snap_done (lookup { p with Ik.theta0 } true)
+            else begin
+              let library =
+                match t.config.seed_library with
+                | Some lib when Posture_library.matches lib p.Ik.chain ->
+                  Some lib
+                | Some _ | None -> None
+              in
+              (* the NN query runs here, serially: its scratch mutates.
+                 Querying even when the candidate budget is already full
+                 is harmless — the plan simply won't use the row. *)
+              let library_index =
+                match library with
+                | Some lib ->
+                  Posture_library.nearest_index lib
+                    ~x:p.Ik.target.Dadu_linalg.Vec3.x
+                    ~y:p.Ik.target.Dadu_linalg.Vec3.y
+                    ~z:p.Ik.target.Dadu_linalg.Vec3.z
+                | None -> -1
+              in
+              let library_hit =
+                match library with
+                | Some lib -> Posture_library.size lib > 0
+                | None -> false
+              in
+              Snap_spec
+                {
+                  d;
+                  rq;
+                  spec =
+                    {
+                      Seed_select.ordinal = d.Scheduler.index;
+                      chain = p.Ik.chain;
+                      tx = p.Ik.target.Dadu_linalg.Vec3.x;
+                      ty = p.Ik.target.Dadu_linalg.Vec3.y;
+                      tz = p.Ik.target.Dadu_linalg.Vec3.z;
+                      theta0 = p.Ik.theta0;
+                      cache_seed;
+                      library;
+                      library_index;
+                      candidates = t.config.seed_candidates;
+                      scale = t.config.retry_scale;
+                      dst = Array.make dof 0.;
+                    };
+                  library_hit;
+                  cache_hit = cache_seed <> None;
+                  chain;
+                  breaker_skips;
+                }
+            end
+          end)
+      ds
+  in
+  (* pass B: parallel assembly + wave-fused scoring over the frozen specs *)
+  let specs =
+    Array.of_seq
+      (Seq.filter_map
+         (function Snap_spec { spec; _ } -> Some spec | Snap_done _ -> None)
+         (Array.to_seq snaps))
+  in
+  let select_start = Trace.now_s () in
+  let sources = Seed_select.choose_wave t.seed_select ?pool:t.pool specs in
+  let select_dur = Trace.now_s () -. select_start in
+  (* pass C: serial seal in ordinal order *)
+  let spec_at = ref 0 in
+  let out =
+    Array.map
+      (function
+        | Snap_done prepared -> prepared
+        | Snap_spec { d; rq; spec; library_hit; cache_hit; chain; breaker_skips }
+          ->
+          let source = sources.(!spec_at) in
+          incr spec_at;
+          Metrics.record_seed t.metrics ~library_hit source;
+          (match trace with
+          | None -> ()
+          | Some tr ->
+            (* the per-request selection is not individually timed in
+               wave mode: the span carries the wave's fused-selection
+               bracket, the winner attr stays per request *)
+            Trace.record tr ~request:d.Scheduler.index ~phase:"seed-select"
+              ~attrs:[ ("winner", Seed_select.source_name source) ]
+              ~start_s:select_start ~dur_s:select_dur ());
+          let p = rq.problem in
+          mk_dispatch t ?budget_s d rq ~chain ~breaker_skips
+            { p with Ik.theta0 = spec.Seed_select.dst }
+            cache_hit)
+      snaps
+  in
+  (match trace with
+  | None -> ()
+  | Some tr ->
+    let dur_s = Trace.now_s () -. wave_start in
+    Array.iter
+      (fun (d : Scheduler.dispatch) ->
+        Trace.record tr ~request:d.Scheduler.index ~phase:"prepare"
+          ~start_s:wave_start ~dur_s ())
+      ds);
+  out
+
 (* Perturbed-seed retry (the IKSel observation: a failed chain often
    succeeds from a jittered start).  The noise is seeded from the request
    index and retry ordinal only, so retry [r] of request [i] perturbs
@@ -310,8 +482,16 @@ let work t ?trace ?head prep =
   match prep with
   | Skip invalid -> Rejected invalid
   | Dispatch
-      { index; problem; cache_hit; expired; solve_budget_s; chain; breaker_skips }
-    ->
+      {
+        index;
+        problem;
+        cache_hit;
+        expired;
+        solve_budget_s;
+        chain;
+        breaker_skips;
+        fault;
+      } ->
     let t0 = Trace.now_s () in
     let attempt_hook =
       match trace with
@@ -332,7 +512,6 @@ let work t ?trace ?head prep =
        chain's first solver (chains are ordered cheap-first), alone, so
        the reply still carries a best-effort answer at minimum cost *)
     let chain = if expired then [ List.hd chain ] else chain in
-    let fault = Fault.fork t.config.fault index in
     let solve ?head p =
       Fallback.run ~speculations:t.config.speculations
         ?time_budget_s:solve_budget_s ?attempt_hook ~fault ?head ~chain
@@ -535,6 +714,40 @@ let lockstep_work t ?trace mb prepared =
   | Some _ | None -> Array.init n (guarded one)
 
 let solve_requests ?budget_s ?trace t requests =
+  (* snapshot-prepare swaps the per-request serial prepare for the
+     three-pass wave prepare; replies are pinned byte-identical either
+     way, so the flag is purely a throughput knob *)
+  let prepare_wave =
+    if t.config.snapshot_prepare then
+      Some (prepare_wave t ?budget_s ?trace requests)
+    else None
+  in
+  (* phase hooks: workspace accounting attribution plus the wave-phase
+     wall-time breakdown (metrics always; trace spans under a sentinel
+     request -1 so per-request span pins stay closed over request ids) *)
+  let phase_enter phase =
+    Dadu_core.Workspace.set_phase
+      (match phase with
+      | Scheduler.Prepare -> Dadu_core.Workspace.Prepare
+      | Scheduler.Work | Scheduler.Commit -> Dadu_core.Workspace.Work)
+  in
+  let phase_done phase ~base ~len ~start_s ~dur_s =
+    let mphase =
+      match phase with
+      | Scheduler.Prepare -> Metrics.Prepare
+      | Scheduler.Work -> Metrics.Work
+      | Scheduler.Commit -> Metrics.Commit
+    in
+    Metrics.record_phase t.metrics mphase dur_s;
+    match trace with
+    | None -> ()
+    | Some tr ->
+      Trace.record tr ~request:(-1)
+        ~phase:("phase:" ^ Metrics.phase_name mphase)
+        ~attrs:
+          [ ("base", string_of_int base); ("len", string_of_int len) ]
+        ~start_s ~dur_s ()
+  in
   let dispatch =
     (* lockstep is bypassed under fault injection: an injected head
        result would skip the head tier's fault sites and desynchronize
@@ -544,12 +757,14 @@ let solve_requests ?budget_s ?trace t requests =
       Scheduler.map_lockstep t.scheduler ?budget_s
         ~deadline_s:(fun i -> requests.(i).deadline_s)
         ~prepare:(prepare t ?budget_s ?trace)
+        ?prepare_wave ~phase_enter ~phase_done
         ~work_batch:(lockstep_work t ?trace mb)
         ~commit:(commit t ?trace requests)
     | Some _ | None ->
       Scheduler.map_deadlined t.scheduler ?budget_s
         ~deadline_s:(fun i -> requests.(i).deadline_s)
         ~prepare:(prepare t ?budget_s ?trace)
+        ?prepare_wave ~phase_enter ~phase_done
         ~work:(work t ?trace)
         ~commit:(commit t ?trace requests)
   in

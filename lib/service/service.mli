@@ -31,7 +31,11 @@ open Dadu_core
     When a {!Dadu_util.Trace.t} is supplied, every request contributes
     monotonic-clock spans — [prepare], one [fallback-tier] per solver
     attempt, [solve], [commit] — exportable as JSON lines
-    ([dadu serve-batch --trace out.jsonl]). *)
+    ([dadu serve-batch --trace out.jsonl]).  Each scheduler wave
+    additionally emits one [phase:prepare] / [phase:work] /
+    [phase:commit] span under the sentinel request [-1] (with [base] and
+    [len] attrs), and the same durations accumulate into
+    {!Metrics.record_phase} whether or not a trace is attached. *)
 
 type config = {
   solvers : Fallback.kind list;
@@ -81,6 +85,18 @@ type config = {
           first-iteration FK error in the serial prepare phase and only
           the winner is dispatched — replies stay byte-identical across
           pool sizes and lockstep modes *)
+  snapshot_prepare : bool;
+      (** run each wave's prepare as a frozen snapshot plus a wave-fused
+          scoring pass: every read of mutable serial state (seed-cache
+          probe, posture-library NN query, breaker gates, fault forks,
+          deadline clock) is taken serially in ordinal order into
+          immutable per-request records, then candidate assembly and the
+          R×S candidate scorings run on the pool as chunked sweeps of the
+          SoA row kernel ({!Seed_select.choose_wave}), and winners are
+          sealed serially.  Replies are byte-identical to the per-request
+          prepare across pool sizes (pinned by test); the flag is purely
+          a throughput knob for seed-heavy traffic (DESIGN.md §14).
+          Default off. *)
 }
 
 val default_config : config

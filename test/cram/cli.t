@@ -148,13 +148,15 @@ A malformed deadline is a parse error, not a silent drop:
   [3]
 
 --trace writes one JSON line per span: every request contributes prepare,
-solve and commit spans plus one fallback-tier span per solver attempt —
-8 requests converging on the first attempt means exactly 32 spans:
+solve and commit spans plus one fallback-tier span per solver attempt, and
+each scheduler wave adds one phase:prepare/phase:work/phase:commit span
+under the sentinel request -1 — 8 requests (one wave) converging on the
+first attempt means exactly 32 + 3 = 35 spans:
 
   $ dadu serve-batch demo.problems --trace trace.jsonl | grep Trace
-  Trace    : trace.jsonl (32 spans)
+  Trace    : trace.jsonl (35 spans)
   $ wc -l < trace.jsonl
-  32
+  35
   $ grep -c '"phase":"prepare"' trace.jsonl
   8
   $ grep -c '"phase":"solve"' trace.jsonl
@@ -163,6 +165,10 @@ solve and commit spans plus one fallback-tier span per solver attempt —
   8
   $ grep -c '"phase":"commit"' trace.jsonl
   8
+  $ grep -c '"phase":"phase:' trace.jsonl
+  3
+  $ grep '"phase":"phase:' trace.jsonl | grep -c '"request":-1'
+  3
   $ grep -c '"solver":"quick-ik"' trace.jsonl
   16
 

@@ -1,0 +1,83 @@
+Snapshot-prepare: freeze the wave's serial state into an immutable
+snapshot and score all seed candidates through the wave-fused SoA
+kernel.  Replies must be byte-identical to the per-request serial
+prepare whatever the pool size — every invocation here is
+deterministic, so reply files compare exactly.
+
+Build a posture bank and a mixed-deadline workload (one request carries
+deadline=0, so it expires at prepare time in every mode):
+
+  $ dadu posture-build -r eval:12 -k 64 --seed 42 -o eval12.plib
+  Posture library: eval-12dof, 64 postures (12 DOF), cell 1.500 m -> eval12.plib
+  $ cat > snap.problems <<'EOF'
+  > robot eval:12
+  > target 6.0,2.0,1.0
+  > random 5 seed=9
+  > target 6.0,2.0,1.0 deadline=0
+  > target 6.0,2.0,1.0
+  > EOF
+
+The serial-prepare reference run, 5 seed candidates per request:
+
+  $ dadu serve-batch snap.problems -j 1 --chunk 4 --max-iters 40 \
+  >   --solvers quick-ik --seed-library eval12.plib --seed-candidates 5 \
+  >   --replies serial.replies > serial.out; echo "exit $?"
+  exit 1
+  $ grep Pool serial.out
+  Pool     : 1 domain, chunk 4
+
+--snapshot-prepare commits the same bits, and says so in the header:
+
+  $ dadu serve-batch snap.problems -j 1 --chunk 4 --max-iters 40 \
+  >   --solvers quick-ik --seed-library eval12.plib --seed-candidates 5 \
+  >   --snapshot-prepare --replies snap1.replies > snap1.out; echo "exit $?"
+  exit 1
+  $ grep Pool snap1.out
+  Pool     : 1 domain, chunk 4, snapshot-prepare
+  $ cmp serial.replies snap1.replies && echo identical
+  identical
+
+Pool sizes 2 and 4 sweep the same candidate planes in chunks but commit
+argmins serially in ordinal order — the reply bytes cannot move:
+
+  $ dadu serve-batch snap.problems -j 2 --chunk 4 --max-iters 40 \
+  >   --solvers quick-ik --seed-library eval12.plib --seed-candidates 5 \
+  >   --snapshot-prepare --replies snap2.replies > /dev/null; echo "exit $?"
+  exit 1
+  $ cmp serial.replies snap2.replies && echo identical
+  identical
+  $ dadu serve-batch snap.problems -j 4 --chunk 4 --max-iters 40 \
+  >   --solvers quick-ik --seed-library eval12.plib --seed-candidates 5 \
+  >   --snapshot-prepare --replies snap4.replies > /dev/null; echo "exit $?"
+  exit 1
+  $ cmp serial.replies snap4.replies && echo identical
+  identical
+
+Snapshot-prepare stacks with lockstep mega-batch work — still the same
+bytes:
+
+  $ dadu serve-batch snap.problems -j 2 --chunk 4 --max-iters 40 \
+  >   --solvers quick-ik --seed-library eval12.plib --seed-candidates 5 \
+  >   --snapshot-prepare --lockstep --replies snapls.replies > /dev/null; echo "exit $?"
+  exit 1
+  $ cmp serial.replies snapls.replies && echo identical
+  identical
+
+The deadline=0 request expires inside the frozen snapshot (the deadline
+clock is read in ordinal order before any pool work), so it is tagged
+identically in both modes:
+
+  $ grep -c '"deadline_exceeded":true' serial.replies
+  1
+  $ grep -c '"deadline_exceeded":true' snap1.replies
+  1
+
+The metrics table breaks the batch into wave phases; all three phases
+account time and the serial fraction is reported:
+
+  $ grep -E "phase (prepare|work|commit)|serial fraction" snap1.out | \
+  >   sed -E 's/[0-9]+\.[0-9]+ ms/_ ms/; s/[0-9]+\.[0-9]+%/_%/' | tr -s ' '
+  | phase prepare | _ ms |
+  | phase work | _ ms |
+  | phase commit | _ ms |
+  | serial fraction | _% |

@@ -135,6 +135,83 @@ let test_seed_select_zero () =
   Alcotest.(check (float 0.)) "seed selection minor words per request" 0.
     ((w1 -. w0) /. 1000.)
 
+(* The wave-fused row-scoring kernel (score_rows_into): repeated sweeps
+   over a warm lane-major candidate plane with per-row targets — the
+   steady state of the snapshot-prepare scoring pass — must allocate
+   exactly nothing per candidate score. *)
+let test_score_rows_kernel_zero () =
+  let dof = 30 and rows = 20 in
+  let chain = Robots.eval_chain ~dof in
+  let scratch = Fk.make_scratch () in
+  Fk.precompile scratch chain;
+  let tstride = dof in
+  let thetas = Array.init (rows * tstride) (fun i -> 0.01 *. float_of_int i) in
+  let txs = Array.init rows (fun k -> 0.5 +. (0.01 *. float_of_int k)) in
+  let tys = Array.make rows (-0.3) in
+  let tzs = Array.make rows 1.1 in
+  let pos = Array.make (3 * rows) 0. in
+  let err2 = Array.make rows 0. in
+  let sweep () =
+    Fk.score_rows_into ~scratch ~pos ~err2 ~txs ~tys ~tzs chain ~thetas
+      ~tstride ~stride:rows ~lo:0 ~hi:rows
+  in
+  sweep ();
+  (* warm *)
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    sweep ()
+  done;
+  let w1 = Gc.minor_words () in
+  Alcotest.(check (float 0.)) "row-scoring kernel minor words per sweep" 0.
+    ((w1 -. w0) /. 1000.)
+
+(* A full wave through choose_wave on warm scratch, perturbation-free
+   candidate sets (theta0 / cache / library / zero): the candidate scoring
+   itself stays out of the allocator — what remains per wave is the
+   result array handed to the caller plus per-request refs and stage
+   closures, O(wave) and independent of candidate count and DOF
+   (measured ~372 words for wave=8, ~46/request), where the scored work
+   is wave×4 full-chain FK evaluations.  The bound pins the per-request
+   constant without chasing exact closure sizes. *)
+let test_choose_wave_bounded () =
+  let dof = 30 and wave = 8 in
+  let chain = Robots.eval_chain ~dof in
+  let library = Dadu_service.Posture_library.build ~chain ~count:128 ~seed:7 () in
+  let module Sel = Dadu_service.Seed_select in
+  let cache_seed = Some (Array.make dof 0.1) in
+  let specs =
+    Array.init wave (fun i ->
+        {
+          Sel.ordinal = i;
+          chain;
+          tx = 0.8 +. (0.01 *. float_of_int i);
+          ty = -0.3;
+          tz = 1.1;
+          theta0 = Array.make dof 0.2;
+          cache_seed;
+          library = Some library;
+          library_index =
+            Dadu_service.Posture_library.nearest_index library ~x:0.8 ~y:(-0.3)
+              ~z:1.1;
+          candidates = 4;
+          scale = 0.1;
+          dst = Array.make dof 0.;
+        })
+  in
+  let sel = Sel.create () in
+  let wave_call () = ignore (Sel.choose_wave sel specs) in
+  wave_call ();
+  (* warm *)
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 500 do
+    wave_call ()
+  done;
+  let w1 = Gc.minor_words () in
+  let per_wave = (w1 -. w0) /. 500. in
+  Alcotest.(check bool)
+    (Printf.sprintf "choose_wave words per wave bounded (%.1f)" per_wave)
+    true (per_wave < 100. *. float_of_int wave)
+
 (* Parallel candidate evaluation allocates by design — the domain pool
    builds per-wave task bookkeeping — so it gets a documented slack bound
    rather than zero: the point is that the per-candidate FK work itself
@@ -228,11 +305,15 @@ let () =
             (check_megabatch_zero ~dof:100 ~speculations:16);
           Alcotest.test_case "speculative seed selection, 30 DOF" `Quick
             test_seed_select_zero;
+          Alcotest.test_case "wave-fused row-scoring kernel, 30 DOF" `Quick
+            test_score_rows_kernel_zero;
         ] );
       ( "bounded allocation",
         [
           Alcotest.test_case "quick_ik parallel mode" `Slow
             test_quick_ik_parallel_bounded;
+          Alcotest.test_case "choose_wave, constant per wave" `Quick
+            test_choose_wave_bounded;
           Alcotest.test_case "workspace reuse, constant per solve" `Quick
             test_workspace_reuse_constant_per_solve;
         ] );

@@ -830,6 +830,98 @@ let test_seeded_determinism =
           (Some 4, true);
         ])
 
+(* Tentpole acceptance: the snapshot-prepare path (frozen wave snapshot +
+   wave-fused SoA candidate scoring) produces replies byte-identical to
+   the per-request serial prepare — across pool sizes 1/2/4, candidate
+   counts S in 1..8, mixed DOF from 3 to 100 in one wave, and with a
+   fault plan armed (fault forks are frozen into the snapshot). *)
+let test_snapshot_prepare_determinism =
+  QCheck.Test.make
+    ~name:
+      "snapshot-prepare replies identical to serial prepare (pools 1/2/4, S \
+       1..8, mixed DOF, faults)"
+    ~count:5
+    QCheck.(pair (int_range 1 10) (int_range 1 8))
+    (fun (n, candidates) ->
+      (* shrinkers may probe below the generator's lower bound *)
+      let n = max 1 n and candidates = max 1 candidates in
+      let chains =
+        [|
+          Robots.eval_chain ~dof:3;
+          eval12;
+          Robots.eval_chain ~dof:47;
+          Robots.eval_chain ~dof:100;
+        |]
+      in
+      let rng = Rng.create (9000 + n + (131 * candidates)) in
+      let problems =
+        Array.init n (fun i -> Ik.random_problem rng chains.(i mod 4))
+      in
+      let library = Posture_library.build ~chain:eval12 ~count:32 ~seed:9 () in
+      let fault =
+        Dadu_util.Fault.arm ~seed:7
+          [
+            {
+              Dadu_util.Fault.site = "solver-nan";
+              trigger = Dadu_util.Fault.First 2;
+              arg = 0.;
+            };
+          ]
+      in
+      let run pool snapshot_prepare =
+        let s =
+          Service.create ?pool
+            ~config:
+              {
+                (seeded_config ~candidates ~library ()) with
+                Service.snapshot_prepare;
+                fault;
+                max_iterations = 150;
+              }
+            ()
+        in
+        (* Marshal bytes, not [=]: the armed solver-nan fault writes NaN
+           into theta and NaN <> NaN structurally — the serialized bytes
+           are the actual "byte-identical" pin. *)
+        Array.map
+          (fun r -> Marshal.to_string (strip_latency r) [])
+          (Service.solve_batch s problems)
+      in
+      let reference = run None false in
+      List.for_all
+        (fun size ->
+          match size with
+          | None -> run None true = reference
+          | Some size ->
+            let pool = Pool.create size in
+            Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+            run (Some pool) true = reference)
+        [ None; Some 1; Some 2; Some 4 ])
+
+(* The wave-phase breakdown accounts the batch: all three phases record
+   time, and the snapshot path books its candidate scoring under the
+   prepare phase (per-phase workspace accounting is monotone). *)
+let test_phase_breakdown_records () =
+  let problems = mixed_batch ~seed:271 10 in
+  let library = Posture_library.build ~chain:eval12 ~count:32 ~seed:4 () in
+  let s =
+    Service.create
+      ~config:{ (seeded_config ~library ()) with Service.snapshot_prepare = true }
+      ()
+  in
+  ignore (Service.solve_batch s problems);
+  let m = Service.metrics s in
+  Alcotest.(check bool) "prepare time recorded" true (m.Metrics.prepare_s > 0.);
+  Alcotest.(check bool) "work time recorded" true (m.Metrics.work_s > 0.);
+  Alcotest.(check bool) "commit time recorded" true (m.Metrics.commit_s > 0.);
+  (match Metrics.serial_fraction m with
+  | Some f -> Alcotest.(check bool) "serial fraction in (0,1]" true (f > 0. && f <= 1.)
+  | None -> Alcotest.fail "expected a serial fraction");
+  Service.reset_metrics s;
+  let m = Service.metrics s in
+  Alcotest.(check bool) "reset clears phase accumulators" true
+    (m.Metrics.prepare_s = 0. && m.Metrics.work_s = 0. && m.Metrics.commit_s = 0.)
+
 (* The selector's winner beats or matches every request's own start by
    construction, and the metrics provenance counters account for every
    valid request exactly once. *)
@@ -1287,6 +1379,9 @@ let () =
           qcheck test_seeded_determinism;
           Alcotest.test_case "seeded metrics accounting" `Slow
             test_seeded_metrics_accounting;
+          qcheck test_snapshot_prepare_determinism;
+          Alcotest.test_case "phase breakdown records" `Quick
+            test_phase_breakdown_records;
         ] );
       ( "problem-file",
         [
