@@ -4,7 +4,8 @@
 
    Usage:  dune exec bench/main.exe [-- section ...]
    Sections: table1 fig4 fig5 table2 table3 ablation convergence dse
-   robustness scorecard serve serve-parallel micro all (default all).
+   robustness scorecard serve serve-parallel serve-live micro all
+   (default all).
    Scale knobs: DADU_TARGETS, DADU_MAX_ITERS, DADU_SPECS, DADU_SEED. *)
 
 module Table = Dadu_util.Table
@@ -410,6 +411,246 @@ let run_serve_open_loop () =
     "\n(same seeded arrival schedule per offered load in both modes;\n\
     \ sojourn = queue wait + service, from each request's arrival)\n"
 
+(* ---- live-server load test: open-loop Poisson over a Unix socket ----
+
+   The open-loop section above drives the Service in process; this one
+   drives the whole server — framing, reader threads, the bounded
+   admission queue, the dispatcher — through a real Unix socket, the
+   deployment shape of `dadu serve`.  A seeded Poisson process offers
+   load at multiples of the measured closed-loop capacity; sojourn is
+   measured per request from its scheduled arrival to its reply frame,
+   and the shed rate counts typed [overloaded] replies.  The CI
+   serve-live job uploads results/serve_live.csv as an artifact. *)
+
+let run_serve_live () =
+  heading "Live server: open-loop Poisson arrivals over a Unix socket (12 DOF)";
+  let module Server = Dadu_service.Server in
+  let module Svc = Dadu_service.Service in
+  let module Pf = Dadu_service.Problem_file in
+  let module Json = Dadu_util.Json in
+  let dof = 12 in
+  let n = 240 in
+  let queue_capacity = 64 in
+  let pool_size = Dadu_util.Domain_pool.recommended_size () in
+  let chain = Dadu_kinematics.Robots.eval_chain ~dof in
+  let rng = Dadu_util.Rng.create 2026 in
+  let mk_targets count =
+    Array.init count (fun _ ->
+        (Dadu_core.Ik.random_problem rng chain).Dadu_core.Ik.target)
+  in
+  let path = Filename.temp_file "dadu_live" ".sock" in
+  Sys.remove path;
+  let pool =
+    if pool_size > 1 then Some (Dadu_util.Domain_pool.create pool_size)
+    else None
+  in
+  let config =
+    {
+      Server.service = { Svc.default_config with Svc.chunk = 16 };
+      queue_capacity;
+      max_batch = 64;
+    }
+  in
+  let server = Server.create ?pool ~config () in
+  let runner =
+    Thread.create (fun () -> Server.run server ~listen:(Server.Unix_sock path)) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join runner;
+      Option.iter Dadu_util.Domain_pool.shutdown pool;
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let fd =
+    let rec go tries =
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> fd
+      | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _)
+        when tries < 200 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Thread.delay 0.01;
+        go (tries + 1)
+    in
+    go 0
+  in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (* reply ledger, filled by the reader thread; ids are globally unique
+     across every mode of the run *)
+  let total = 8 * n in
+  let reply_t = Array.make total 0. in
+  let reply_shed = Array.make total false in
+  let replied = ref 0 in
+  let rlock = Mutex.create () in
+  let reader () =
+    let running = ref true in
+    while !running do
+      match Pf.read_frame ic with
+      | Ok None | Error _ -> running := false
+      | exception (Sys_error _ | End_of_file) -> running := false
+      | Ok (Some payload) ->
+        (match Json.of_string payload with
+        | Error _ -> ()
+        | Ok json ->
+          let id =
+            Option.bind (Json.member "id" json) (fun j ->
+                Option.map int_of_float (Json.to_float j))
+          in
+          let kind = Option.bind (Json.member "reply" json) Json.to_str in
+          (match (id, kind) with
+          | Some id, Some ("solved" | "overloaded" | "rejected" | "faulted")
+            when id >= 0 && id < total ->
+            Mutex.lock rlock;
+            reply_t.(id) <- Unix.gettimeofday ();
+            reply_shed.(id) <- kind = Some "overloaded";
+            incr replied;
+            Mutex.unlock rlock
+          | _ -> ()))
+    done
+  in
+  let rd = Thread.create reader () in
+  let next_id = ref 0 in
+  let send_solve target =
+    let id = !next_id in
+    incr next_id;
+    let open Dadu_linalg.Vec3 in
+    Pf.write_frame oc
+      (Printf.sprintf
+         "{\"op\":\"solve\",\"id\":%d,\"robot\":\"eval:%d\",\"target\":[%.17g,%.17g,%.17g]}"
+         id dof target.x target.y target.z);
+    flush oc;
+    id
+  in
+  let await upto =
+    while
+      Mutex.lock rlock;
+      let done_ = !replied >= upto in
+      Mutex.unlock rlock;
+      not done_
+    do
+      Thread.delay 0.002
+    done
+  in
+  (* closed-loop capacity: wall-clock a windowed burst.  Two ways to
+     overstate it and report bogus shed rates at "1x": replaying the
+     warm-up's targets (the timed burst would ride the seed cache), and
+     full pipelining (the dispatcher would see max_batch-sized waves,
+     measuring the large-batch service rate that paced single arrivals
+     never reach).  Fresh targets and a small constant window of
+     outstanding requests approximate the wave sizes open-loop traffic
+     actually produces *)
+  let capacity_rps =
+    let warm = mk_targets n in
+    (* warm: caches, workspaces, the dispatcher *)
+    Array.iter (fun t -> ignore (send_solve t)) warm;
+    await !next_id;
+    let timed = mk_targets n in
+    let window = 8 in
+    let base =
+      Mutex.lock rlock;
+      let b = !replied in
+      Mutex.unlock rlock;
+      b
+    in
+    let t0 = Unix.gettimeofday () in
+    let sent = ref 0 in
+    while !sent < n do
+      let done_ =
+        Mutex.lock rlock;
+        let d = !replied - base in
+        Mutex.unlock rlock;
+        d
+      in
+      if !sent - done_ < window then begin
+        ignore (send_solve timed.(!sent));
+        incr sent
+      end
+      else Thread.delay 0.0005
+    done;
+    await !next_id;
+    float_of_int n /. (Unix.gettimeofday () -. t0)
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "%d one-shot solves per mode at %d DOF over unix:%s; queue %d, \
+            pool %d; offered load relative to closed-loop capacity (%.0f \
+            req/s)"
+           n dof path queue_capacity pool_size capacity_rps)
+      [ ("offered", Table.Right); ("offered req/s", Table.Right);
+        ("achieved req/s", Table.Right); ("sojourn p50 ms", Table.Right);
+        ("sojourn p95 ms", Table.Right); ("sojourn p99 ms", Table.Right);
+        ("shed", Table.Right) ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun mult ->
+      let rate = mult *. capacity_rps in
+      let targets = mk_targets n in
+      let arrivals =
+        let arr_rng = Dadu_util.Rng.create (1000 + int_of_float mult) in
+        let t = ref 0. in
+        Array.init n (fun _ ->
+            t := !t -. (log (1. -. Dadu_util.Rng.float arr_rng 1.) /. rate);
+            !t)
+      in
+      let base = !next_id in
+      let sent_t = Array.make n 0. in
+      let t0 = Unix.gettimeofday () in
+      Array.iteri
+        (fun i target ->
+          let now = Unix.gettimeofday () -. t0 in
+          if arrivals.(i) > now then Unix.sleepf (arrivals.(i) -. now);
+          sent_t.(i) <- Unix.gettimeofday ();
+          ignore (send_solve target))
+        targets;
+      await !next_id;
+      let t_last = Array.fold_left Float.max 0. (Array.sub reply_t base n) in
+      let achieved = float_of_int n /. (t_last -. (t0 +. arrivals.(0))) in
+      let shed = ref 0 in
+      let sojourns = ref [] in
+      for i = 0 to n - 1 do
+        if reply_shed.(base + i) then incr shed
+        else sojourns := (reply_t.(base + i) -. sent_t.(i)) :: !sojourns
+      done;
+      let sj = Array.of_list !sojourns in
+      Array.sort compare sj;
+      let pct p =
+        if Array.length sj = 0 then 0.
+        else sj.(int_of_float (Float.round (p *. float_of_int (Array.length sj - 1))))
+      in
+      let p50 = pct 0.5 and p95 = pct 0.95 and p99 = pct 0.99 in
+      let shed_rate = float_of_int !shed /. float_of_int n in
+      Table.add_row table
+        [ Printf.sprintf "%.0fx" mult; Printf.sprintf "%.0f" rate;
+          Printf.sprintf "%.0f" achieved; Printf.sprintf "%.1f" (1e3 *. p50);
+          Printf.sprintf "%.1f" (1e3 *. p95); Printf.sprintf "%.1f" (1e3 *. p99);
+          Printf.sprintf "%.1f%%" (100. *. shed_rate) ];
+      rows :=
+        [ Printf.sprintf "%.0f" mult; Printf.sprintf "%.1f" rate;
+          Printf.sprintf "%.1f" achieved; Printf.sprintf "%.5f" p50;
+          Printf.sprintf "%.5f" p95; Printf.sprintf "%.5f" p99;
+          Printf.sprintf "%.4f" shed_rate ]
+        :: !rows)
+    [ 1.; 4.; 16. ];
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  Thread.join rd;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Table.print table;
+  write_csv "serve_live.csv"
+    ~header:
+      [ "offered_x"; "offered_rps"; "achieved_rps"; "sojourn_p50_s";
+        "sojourn_p95_s"; "sojourn_p99_s"; "shed_rate" ]
+    (List.rev !rows);
+  Printf.printf
+    "\n(sojourn = scheduled arrival to reply frame, through framing, the\n\
+    \ admission queue and the dispatcher; shed = typed overloaded replies\n\
+    \ from the %d-deep bounded queue)\n"
+    queue_capacity
+
 (* ---- Bechamel micro-benchmarks of the real OCaml kernels ---- *)
 
 let micro_tests () =
@@ -687,9 +928,10 @@ let seeded_steady_state ~dof =
   let choose ~cache_seed ~ordinal p dst =
     let t = p.Dadu_core.Ik.target in
     ignore
-      (Sel.choose sel ~library ~cache_seed ~candidates:4 ~ordinal ~scale:0.1
-         ~chain ~tx:t.Dadu_linalg.Vec3.x ~ty:t.Dadu_linalg.Vec3.y
-         ~tz:t.Dadu_linalg.Vec3.z ~theta0:p.Dadu_core.Ik.theta0 ~dst)
+      (Sel.choose sel ~session_seed:None ~library ~cache_seed ~candidates:4
+         ~ordinal ~scale:0.1 ~chain ~tx:t.Dadu_linalg.Vec3.x
+         ~ty:t.Dadu_linalg.Vec3.y ~tz:t.Dadu_linalg.Vec3.z
+         ~theta0:p.Dadu_core.Ik.theta0 ~dst)
   in
   let mean_iters seeded =
     let total = ref 0 in
@@ -775,6 +1017,7 @@ let prepare_steady_state ~dof =
           ty = t.Dadu_linalg.Vec3.y;
           tz = t.Dadu_linalg.Vec3.z;
           theta0 = p.Dadu_core.Ik.theta0;
+          session_seed = None;
           cache_seed;
           library = Some library;
           library_index =
@@ -793,10 +1036,10 @@ let prepare_steady_state ~dof =
     Array.iter
       (fun (s : Sel.spec) ->
         ignore
-          (Sel.choose sel ~library:s.Sel.library ~cache_seed:s.Sel.cache_seed
-             ~candidates ~ordinal:s.Sel.ordinal ~scale:s.Sel.scale ~chain
-             ~tx:s.Sel.tx ~ty:s.Sel.ty ~tz:s.Sel.tz ~theta0:s.Sel.theta0
-             ~dst:s.Sel.dst))
+          (Sel.choose sel ~session_seed:s.Sel.session_seed
+             ~library:s.Sel.library ~cache_seed:s.Sel.cache_seed ~candidates
+             ~ordinal:s.Sel.ordinal ~scale:s.Sel.scale ~chain ~tx:s.Sel.tx
+             ~ty:s.Sel.ty ~tz:s.Sel.tz ~theta0:s.Sel.theta0 ~dst:s.Sel.dst))
       specs
   in
   let cands = float_of_int (waves * candidates) in
@@ -834,6 +1077,88 @@ let prepare_steady_state ~dof =
   let serial_mean, _, _ = time serial_wave in
   (mean, p50, p95, words_per_cand, serial_mean)
 
+(* Temporal warm-starting along a Cartesian trajectory: the session
+   workload at kernel level.  Waypoint targets are generated by FK along
+   a joint-space sine sweep around a well-conditioned base posture
+   (guaranteed reachable at every DOF, and cyclic so the path never
+   drifts toward a workspace boundary the way a straight joint-space
+   line does), with amplitude scaled so consecutive targets sit ~1.5 cm
+   apart.  Each Quick-IK solve starts from the previous waypoint's
+   solution — the seed chain a trajectory session maintains.
+   [iters_per_waypoint] (warm mean) is a gated, machine-independent
+   metric: the temporal-coherence win the session subsystem exists for
+   must not silently erode. *)
+let session_steady_state ~dof =
+  let open Dadu_kinematics in
+  let chain = Robots.eval_chain ~dof in
+  let scratch = Fk.make_scratch () in
+  let base = Array.make dof 0.1 in
+  let dir = Array.init dof (fun i -> if i land 1 = 0 then 1.0 else -0.7) in
+  (* probe the local Cartesian gain of the joint-space direction, then
+     pick a sine amplitude whose worst-case per-waypoint Cartesian step
+     (gain * amp * omega) is ~1.5 cm *)
+  let dist a b =
+    let open Dadu_linalg.Vec3 in
+    sqrt (((a.x -. b.x) ** 2.) +. ((a.y -. b.y) ** 2.) +. ((a.z -. b.z) ** 2.))
+  in
+  let p0 = Fk.position ~scratch chain base in
+  let p1 =
+    Fk.position ~scratch chain
+      (Array.mapi (fun i b -> b +. (0.01 *. dir.(i))) base)
+  in
+  let gain = dist p0 p1 /. 0.01 in
+  let omega = 0.35 in
+  let amp = 0.015 /. Float.max 1e-9 (gain *. omega) in
+  let at k =
+    Array.mapi
+      (fun i b -> b +. (amp *. sin (omega *. float_of_int k) *. dir.(i)))
+      base
+  in
+  let waypoints = 40 in
+  let targets = Array.init waypoints (fun k -> Fk.position ~scratch chain (at k)) in
+  let ws = Dadu_core.Workspace.create ~dof in
+  let config = { Dadu_core.Ik.default_config with max_iterations = 2_000 } in
+  let seed = Array.make dof 0. in
+  let cold_start = Chain.clamp_config chain (Array.make dof 0.) in
+  let iters_cold = ref 0. and warm_total = ref 0 in
+  let trajectory record =
+    Array.blit cold_start 0 seed 0 dof;
+    Array.iteri
+      (fun k target ->
+        let problem =
+          Dadu_core.Ik.problem ~chain ~target ~theta0:(Array.copy seed)
+        in
+        let r = Dadu_core.Quick_ik.solve ~speculations:64 ~workspace:ws ~config problem in
+        if record then
+          if k = 0 then iters_cold := float_of_int r.Dadu_core.Ik.iterations
+          else warm_total := !warm_total + r.Dadu_core.Ik.iterations;
+        Array.blit r.Dadu_core.Ik.theta 0 seed 0 dof)
+      targets
+  in
+  trajectory true;
+  let iters_per_waypoint =
+    float_of_int !warm_total /. float_of_int (waypoints - 1)
+  in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 5 do
+    trajectory false
+  done;
+  let w1 = Gc.minor_words () in
+  let words_per_waypoint = (w1 -. w0) /. float_of_int (5 * waypoints) in
+  let samples = 31 in
+  let ns = Array.make samples 0. in
+  for s = 0 to samples - 1 do
+    let t0 = Unix.gettimeofday () in
+    trajectory false;
+    ns.(s) <- (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int waypoints
+  done;
+  Array.sort compare ns;
+  let pct p =
+    ns.(int_of_float (Float.round (p *. float_of_int (samples - 1))))
+  in
+  let mean = Array.fold_left ( +. ) 0. ns /. float_of_int samples in
+  (mean, pct 0.5, pct 0.95, words_per_waypoint, !iters_cold, iters_per_waypoint)
+
 let run_micro_json () =
   heading "Quick-IK steady-state kernel benchmark (JSON)";
   let table =
@@ -844,7 +1169,8 @@ let run_micro_json () =
          lane-iteration over a 16-lane bank, serve-request = one warm-cache \
          request through the serial serving path, prepare = one candidate \
          scoring through the wave-fused choose_wave (16 requests x 5 \
-         candidates, sequential)"
+         candidates, sequential), session = one temporally warm-started \
+         waypoint along a 40-point ~1.5 cm cyclic trajectory"
       [ ("benchmark", Table.Left); ("ns/iter", Table.Right);
         ("p50 ns", Table.Right); ("p95 ns", Table.Right);
         ("words/iter", Table.Right) ]
@@ -891,6 +1217,20 @@ let run_micro_json () =
               (fields
               @ [ ("iters_cold", Json.num cold);
                   ("iters_seeded", Json.num seeded) ])
+          | other -> other)
+        dofs
+    @ List.map
+        (fun dof ->
+          let mean, p50, p95, words, cold, per_wp = session_steady_state ~dof in
+          let json =
+            entry (Printf.sprintf "session-dof%d" dof) dof (mean, p50, p95, words)
+          in
+          match json with
+          | Json.Obj fields ->
+            Json.Obj
+              (fields
+              @ [ ("iters_per_waypoint", Json.num per_wp);
+                  ("iters_cold", Json.num cold) ])
           | other -> other)
         dofs
     @ List.map
@@ -976,6 +1316,7 @@ let sections =
     ("scorecard", run_scorecard);
     ("serve", run_serve);
     ("serve-parallel", run_serve_parallel);
+    ("serve-live", run_serve_live);
     ("micro", run_micro);
   ]
 

@@ -521,6 +521,8 @@ let run_serve_batch file solvers speculations max_iters accuracy jobs chunk
               (match e.Dadu_service.Problem_file.deadline_s with
               | Some _ as d -> d
               | None -> default_deadline);
+            session = None;
+            ordinal = None;
           })
         entries
     in
@@ -651,6 +653,299 @@ let serve_batch_cmd =
       $ breaker_cooldown $ fault_plan $ fault_seed $ guard_flag
       $ lockstep_flag $ snapshot_prepare_flag $ seed_library_arg
       $ seed_candidates_arg $ replies_out)
+
+(* ---- serve (persistent streaming server) ---- *)
+
+module Server = Dadu_service.Server
+
+let listen_conv =
+  Arg.conv
+    ( (fun s ->
+        match Server.listen_of_string s with
+        | Ok l -> Ok l
+        | Error msg -> Error (`Msg msg)),
+      fun ppf l ->
+        Format.pp_print_string ppf
+          (match l with
+          | Server.Unix_sock p -> "unix:" ^ p
+          | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p) )
+
+let listen_arg =
+  let doc =
+    "Listen address: unix:<path>, tcp:<host>:<port>, or a bare path (a \
+     Unix socket)."
+  in
+  Arg.(
+    required
+    & opt (some listen_conv) None
+    & info [ "listen" ] ~docv:"ADDR" ~doc)
+
+let queue_arg =
+  let doc =
+    "Admission bound: solve/waypoint requests beyond this many queued jobs \
+     are shed with a typed 'overloaded' reply (0 sheds everything)."
+  in
+  Arg.(
+    value
+    & opt int Server.default_config.Server.queue_capacity
+    & info [ "queue" ] ~doc)
+
+let max_batch_arg =
+  let doc = "Most queued jobs dispatched as one service batch." in
+  Arg.(
+    value
+    & opt int Server.default_config.Server.max_batch
+    & info [ "max-batch" ] ~doc)
+
+let run_serve listen queue max_batch solvers speculations max_iters accuracy
+    jobs chunk cache_cell cache_capacity no_warm_start retries retry_scale
+    guard_flag lockstep snapshot_prepare seed_library seed_candidates =
+  let library =
+    match seed_library with
+    | _ when seed_candidates < 1 -> Error "--seed-candidates must be at least 1"
+    | None -> Ok None
+    | Some path ->
+      (match Dadu_service.Posture_library.load path with
+      | Ok lib -> Ok (Some lib)
+      | Error (Dadu_service.Posture_library.Io msg) -> Error msg
+      | Error e ->
+        Error
+          (Format.asprintf "%s: %a" path
+             Dadu_service.Posture_library.pp_load_error e))
+  in
+  match library with
+  | Error msg ->
+    Format.eprintf "dadu: %s@." msg;
+    3
+  | Ok seed_library ->
+    let service_config =
+      {
+        Svc.solvers;
+        speculations;
+        accuracy;
+        max_iterations = max_iters;
+        time_budget_s = None;
+        warm_start = not no_warm_start;
+        cache_cell_m = cache_cell;
+        cache_capacity;
+        chunk;
+        lockstep;
+        guard = (if guard_flag then Some Ik.default_guard else None);
+        fault = Dadu_util.Fault.disabled;
+        breaker = None;
+        retries;
+        retry_scale;
+        seed_library;
+        seed_candidates;
+        snapshot_prepare;
+      }
+    in
+    let config =
+      { Server.service = service_config; queue_capacity = queue; max_batch }
+    in
+    let pool =
+      if jobs > 1 then Some (Dadu_util.Domain_pool.create jobs) else None
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Dadu_util.Domain_pool.shutdown pool)
+      (fun () ->
+        let server = Server.create ?pool ~config () in
+        let handler = Sys.Signal_handle (fun _ -> Server.stop server) in
+        (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
+        (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
+        Format.eprintf "dadu: serving on %a@."
+          (fun ppf -> function
+            | Server.Unix_sock p -> Format.fprintf ppf "unix:%s" p
+            | Server.Tcp (h, p) -> Format.fprintf ppf "tcp:%s:%d" h p)
+          listen;
+        Server.run server ~listen;
+        print_string (Server.render_tenants server);
+        0)
+
+let serve_cmd =
+  let doc =
+    "Persistent concurrent IK server: length-prefixed JSON frames over a \
+     Unix or TCP socket, trajectory-tracking sessions with temporal \
+     warm-starting, bounded-queue load shedding, per-tenant metrics, \
+     graceful drain on SIGTERM."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ listen_arg $ queue_arg $ max_batch_arg $ solvers_arg
+      $ speculations $ max_iters $ accuracy $ jobs $ chunk $ cache_cell
+      $ cache_capacity $ no_warm_start $ retries $ retry_scale $ guard_flag
+      $ lockstep_flag $ snapshot_prepare_flag $ seed_library_arg
+      $ seed_candidates_arg)
+
+(* ---- client (script-driven frame stream) ---- *)
+
+module Json = Dadu_util.Json
+module Pf = Dadu_service.Problem_file
+
+let sockaddr_of_listen = function
+  | Server.Unix_sock path -> Unix.ADDR_UNIX path
+  | Server.Tcp (host, port) ->
+    let ip =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    Unix.ADDR_INET (ip, port)
+
+(* retry until the server's socket exists and accepts: the CI job starts
+   the server in the background and races the client against its bind *)
+let connect_with_retry addr ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let domain =
+      match addr with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET
+    in
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> Ok fd
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _)
+      when Unix.gettimeofday () < deadline ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.05;
+      go ()
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Unix.error_message e)
+  in
+  go ()
+
+let payload_of_op id = function
+  | Pf.Hello { tenant } -> Printf.sprintf "{\"op\":\"hello\",\"tenant\":%S}" tenant
+  | Pf.Ping -> "{\"op\":\"ping\"}"
+  | Pf.Stats -> "{\"op\":\"stats\"}"
+  | Pf.Raw body -> body
+  | Pf.Open { session; robot } ->
+    Printf.sprintf "{\"op\":\"open\",\"id\":%d,\"session\":%S,\"robot\":%S}" id
+      session robot
+  | Pf.Close { session } ->
+    Printf.sprintf "{\"op\":\"close\",\"id\":%d,\"session\":%S}" id session
+  | Pf.Waypoint { session; x; y; z } ->
+    Printf.sprintf
+      "{\"op\":\"waypoint\",\"id\":%d,\"session\":%S,\"target\":[%.17g,%.17g,%.17g]}"
+      id session x y z
+  | Pf.Solve { robot; x; y; z; theta0; deadline_s } ->
+    let theta0 =
+      match theta0 with
+      | None -> ""
+      | Some ts ->
+        Printf.sprintf ",\"theta0\":[%s]"
+          (String.concat "," (List.map (Printf.sprintf "%.17g") ts))
+    in
+    let deadline =
+      match deadline_s with
+      | None -> ""
+      | Some d -> Printf.sprintf ",\"deadline\":%.17g" d
+    in
+    Printf.sprintf
+      "{\"op\":\"solve\",\"id\":%d,\"robot\":%S,\"target\":[%.17g,%.17g,%.17g]%s%s}"
+      id robot x y z theta0 deadline
+
+(* solve-type replies are keyed by id and dumped sorted; everything else
+   (control replies, typed errors) is printed in arrival order — which
+   is request order, because the server answers control ops from the
+   connection's own reader thread *)
+let reply_is_solve_type payload =
+  match Json.of_string payload with
+  | Error _ -> None
+  | Ok json ->
+    (match Option.bind (Json.member "reply" json) Json.to_str with
+    | Some ("solved" | "rejected" | "faulted" | "overloaded") ->
+      Option.bind (Json.member "id" json) (fun j ->
+          Option.map int_of_float (Json.to_float j))
+    | Some _ | None -> None)
+
+let run_client connect script dump timeout_s =
+  match Pf.parse_script_file script with
+  | Error msg ->
+    Format.eprintf "dadu: %s: %s@." script msg;
+    3
+  | Ok ops ->
+    (match connect_with_retry (sockaddr_of_listen connect) ~timeout_s with
+    | Error msg ->
+      Format.eprintf "dadu: cannot connect: %s@." msg;
+      3
+    | Ok fd ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let solves = Hashtbl.create 64 in
+      let plock = Mutex.create () in
+      let reader () =
+        let running = ref true in
+        while !running do
+          match Pf.read_frame ic with
+          | Ok None | Error _ -> running := false
+          | exception (Sys_error _ | End_of_file) -> running := false
+          | Ok (Some payload) ->
+            Mutex.lock plock;
+            (match reply_is_solve_type payload with
+            | Some id -> Hashtbl.replace solves id payload
+            | None -> print_endline payload);
+            Mutex.unlock plock
+        done
+      in
+      let rd = Thread.create reader () in
+      Array.iteri (fun i op -> Pf.write_frame oc (payload_of_op i op)) ops;
+      flush oc;
+      (* half-close: the server drains this connection's in-flight
+         solves, writes every reply, then closes — our reader sees EOF
+         exactly when the stream is complete *)
+      (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+      Thread.join rd;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let ids = List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) solves []) in
+      (match dump with
+      | None -> ()
+      | Some path ->
+        let out = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out out)
+          (fun () ->
+            List.iter
+              (fun id ->
+                output_string out (Hashtbl.find solves id);
+                output_char out '\n')
+              ids));
+      Format.printf "solve replies: %d@." (List.length ids);
+      0)
+
+let connect_arg =
+  let doc = "Server address (same forms as serve --listen)." in
+  Arg.(
+    required
+    & opt (some listen_conv) None
+    & info [ "connect" ] ~docv:"ADDR" ~doc)
+
+let script_arg =
+  let doc =
+    "Op script: hello/open/waypoint/solve/ping/close/stats/raw lines (see \
+     Dadu_service.Problem_file for the format)."
+  in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc)
+
+let dump_arg =
+  let doc =
+    "Write solve-type replies (solved/rejected/faulted/overloaded), one \
+     JSON line each sorted by request id, to this file — byte-comparable \
+     across server pool sizes and execution modes."
+  in
+  Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc)
+
+let timeout_arg =
+  let doc = "Seconds to keep retrying the initial connection." in
+  Arg.(value & opt float 10.0 & info [ "timeout" ] ~doc)
+
+let client_cmd =
+  let doc =
+    "Stream a script of ops at a running dadu serve instance: control \
+     replies print in arrival order, solve-type replies are dumped sorted \
+     by id for byte-exact comparison."
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const run_client $ connect_arg $ script_arg $ dump_arg $ timeout_arg)
 
 (* ---- posture-build ---- *)
 
@@ -869,6 +1164,8 @@ let () =
             accel_cmd;
             batch_cmd;
             serve_batch_cmd;
+            serve_cmd;
+            client_cmd;
             posture_build_cmd;
             fault_tolerance_cmd;
             plan_cmd;

@@ -16,8 +16,11 @@ type t = {
   retries : int Atomic.t;
   retry_converged : int Atomic.t;
   lockstep_lanes : int Atomic.t;
+  session_requests : int Atomic.t;
+  session_warm : int Atomic.t;
   library_hits : int Atomic.t;
   seed_theta0_wins : int Atomic.t;
+  seed_session_wins : int Atomic.t;
   seed_cache_wins : int Atomic.t;
   seed_library_wins : int Atomic.t;
   seed_zero_wins : int Atomic.t;
@@ -49,8 +52,11 @@ let create () =
     retries = Atomic.make 0;
     retry_converged = Atomic.make 0;
     lockstep_lanes = Atomic.make 0;
+    session_requests = Atomic.make 0;
+    session_warm = Atomic.make 0;
     library_hits = Atomic.make 0;
     seed_theta0_wins = Atomic.make 0;
+    seed_session_wins = Atomic.make 0;
     seed_cache_wins = Atomic.make 0;
     seed_library_wins = Atomic.make 0;
     seed_zero_wins = Atomic.make 0;
@@ -86,6 +92,8 @@ type event =
       diverged : bool;
       fallbacks : int;
       cache_hit : bool;
+      session : bool;
+      session_hit : bool;
       deadline_exceeded : bool;
       breaker_skips : int;
       retries : int;
@@ -109,6 +117,7 @@ let record_seed t ~library_hit (source : Seed_select.source) =
   bump
     (match source with
     | Seed_select.Theta0 -> t.seed_theta0_wins
+    | Seed_select.Session -> t.seed_session_wins
     | Seed_select.Cache -> t.seed_cache_wins
     | Seed_select.Library -> t.seed_library_wins
     | Seed_select.Zero -> t.seed_zero_wins
@@ -125,6 +134,8 @@ let record t event =
         diverged;
         fallbacks;
         cache_hit;
+        session;
+        session_hit;
         deadline_exceeded;
         breaker_skips;
         retries;
@@ -139,7 +150,13 @@ let record t event =
     add t.breaker_skips breaker_skips;
     add t.retries retries;
     if retry_converged then bump t.retry_converged;
-    bump (if cache_hit then t.cache_hits else t.cache_misses);
+    (* session requests bypass the shared seed cache entirely (the slot
+       is the cache), so they count in their own lookup universe *)
+    if session then begin
+      bump t.session_requests;
+      if session_hit then bump t.session_warm
+    end
+    else bump (if cache_hit then t.cache_hits else t.cache_misses);
     Mutex.lock t.lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.lock)
@@ -165,8 +182,11 @@ let reset t =
       t.retries;
       t.retry_converged;
       t.lockstep_lanes;
+      t.session_requests;
+      t.session_warm;
       t.library_hits;
       t.seed_theta0_wins;
+      t.seed_session_wins;
       t.seed_cache_wins;
       t.seed_library_wins;
       t.seed_zero_wins;
@@ -195,8 +215,11 @@ type snapshot = {
   retries : int;
   retry_converged : int;
   lockstep_lanes : int;
+  session_requests : int;
+  session_warm : int;
   library_hits : int;
   seed_theta0_wins : int;
+  seed_session_wins : int;
   seed_cache_wins : int;
   seed_library_wins : int;
   seed_zero_wins : int;
@@ -231,8 +254,11 @@ let snapshot t =
     retries = Atomic.get t.retries;
     retry_converged = Atomic.get t.retry_converged;
     lockstep_lanes = Atomic.get t.lockstep_lanes;
+    session_requests = Atomic.get t.session_requests;
+    session_warm = Atomic.get t.session_warm;
     library_hits = Atomic.get t.library_hits;
     seed_theta0_wins = Atomic.get t.seed_theta0_wins;
+    seed_session_wins = Atomic.get t.seed_session_wins;
     seed_cache_wins = Atomic.get t.seed_cache_wins;
     seed_library_wins = Atomic.get t.seed_library_wins;
     seed_zero_wins = Atomic.get t.seed_zero_wins;
@@ -277,8 +303,18 @@ let render s =
   int_row "retries" s.retries;
   int_row "retry converged" s.retry_converged;
   int_row "lockstep lanes" s.lockstep_lanes;
+  let warm_lookups = s.session_requests in
+  Table.add_row table
+    [
+      "session warm";
+      (if warm_lookups = 0 then "0"
+       else
+         Printf.sprintf "%d/%d (%.1f%%)" s.session_warm warm_lookups
+           (100. *. float_of_int s.session_warm /. float_of_int warm_lookups));
+    ];
   int_row "library hits" s.library_hits;
   int_row "seed wins (theta0)" s.seed_theta0_wins;
+  int_row "seed wins (session)" s.seed_session_wins;
   int_row "seed wins (cache)" s.seed_cache_wins;
   int_row "seed wins (library)" s.seed_library_wins;
   int_row "seed wins (zero)" s.seed_zero_wins;

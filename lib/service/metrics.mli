@@ -10,9 +10,11 @@ open Dadu_core
 
     Invariants (tested):
     [converged + failed + rejected + faulted = requests] and
-    [cache_hits + cache_misses = requests - rejected - faulted]
-    (seed lookups happen only for problems that pass validation and
-    whose solve completes). *)
+    [cache_hits + cache_misses = requests - rejected - faulted -
+    session_requests] (seed-cache lookups happen only for problems that
+    pass validation, complete their solve, and do not belong to a
+    trajectory session — session requests bypass the shared cache, their
+    warm-start slot is counted by [session_warm] instead). *)
 
 type t
 
@@ -26,6 +28,10 @@ type event =
       diverged : bool;  (** reported attempt ended [Diverged] *)
       fallbacks : int;  (** extra solvers tried after the first *)
       cache_hit : bool;  (** warm-started from the seed cache *)
+      session : bool;  (** belongs to a trajectory session *)
+      session_hit : bool;
+          (** the session's warm-start slot was filled and offered
+              (meaningful only when [session] is true) *)
       deadline_exceeded : bool;
           (** dispatched past its deadline or the batch budget:
               short-circuited to the cheapest solver tier *)
@@ -81,8 +87,11 @@ type snapshot = {
   retries : int;  (** total perturbed-seed retries *)
   retry_converged : int;  (** requests rescued by a retry *)
   lockstep_lanes : int;  (** lanes solved via the lockstep mega-batch *)
+  session_requests : int;  (** requests served under a trajectory session *)
+  session_warm : int;  (** session requests offered the warm-start slot *)
   library_hits : int;  (** posture-library NN candidates offered *)
   seed_theta0_wins : int;  (** speculative selections won by θ₀ *)
+  seed_session_wins : int;  (** … by the session warm-start slot *)
   seed_cache_wins : int;  (** … by the seed-cache hit *)
   seed_library_wins : int;  (** … by the posture-library neighbour *)
   seed_zero_wins : int;  (** … by the clamped zero posture *)

@@ -173,6 +173,148 @@ let parse_requests text =
   | Some msg -> Error msg
   | None -> Ok (Array.of_list (List.rev !problems))
 
+(* ---- wire framing -----------------------------------------------------
+
+   One frame of the `dadu serve` protocol: the payload byte length in
+   ASCII decimal, a newline, the payload bytes, a newline.  Both sides of
+   the socket speak only frames; payloads are JSON documents but the
+   framing layer never looks inside them, so a malformed JSON payload
+   costs a typed error reply while the stream stays synchronized.  A
+   malformed length line is different: the reader no longer knows where
+   the next frame starts, so the connection must be dropped (the server
+   sends a final error reply first). *)
+
+(* a garbage length line must not convince us to allocate gigabytes *)
+let max_frame_bytes = 1 lsl 24
+
+let write_frame oc payload =
+  Out_channel.output_string oc (string_of_int (String.length payload));
+  Out_channel.output_char oc '\n';
+  Out_channel.output_string oc payload;
+  Out_channel.output_char oc '\n'
+
+let read_frame ic =
+  match In_channel.input_line ic with
+  | None -> Ok None
+  | Some line ->
+    (match int_of_string_opt (String.trim line) with
+    | Some n when n >= 0 && n <= max_frame_bytes ->
+      (match In_channel.really_input_string ic n with
+      | None -> Error "truncated frame payload"
+      | Some payload ->
+        (match In_channel.input_char ic with
+        | Some '\n' -> Ok (Some payload)
+        | Some _ -> Error "missing frame terminator"
+        | None -> Error "truncated frame (missing terminator)"))
+    | Some n -> Error (Printf.sprintf "frame length out of range (%d)" n)
+    | None ->
+      Error (Printf.sprintf "malformed frame length line (got %S)" line))
+
+(* ---- client scripts ---------------------------------------------------
+
+   The `dadu client` op stream: one op per line, same comment/token
+   rules as problem files.  Robot specs stay strings — the server
+   resolves them, so a bad spec is an exercised error path rather than a
+   client-side crash. *)
+
+type op =
+  | Hello of { tenant : string }
+  | Open of { session : string; robot : string }
+  | Waypoint of { session : string; x : float; y : float; z : float }
+  | Solve of {
+      robot : string;
+      x : float;
+      y : float;
+      z : float;
+      theta0 : float list option;
+      deadline_s : float option;
+    }
+  | Ping
+  | Close of { session : string }
+  | Stats
+  | Raw of string
+
+let parse_script text =
+  let lines = String.split_on_char '\n' text in
+  let ops = ref [] in
+  let robot = ref None in
+  let error = ref None in
+  let fail lineno fmt =
+    Printf.ksprintf
+      (fun msg ->
+        if !error = None then
+          error := Some (Printf.sprintf "line %d: %s" lineno msg))
+      fmt
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if !error = None then begin
+        let stripped = strip_comment line in
+        let line_tokens = tokens stripped in
+        let add op = ops := op :: !ops in
+        match line_tokens with
+        | [] -> ()
+        | "raw" :: _ ->
+          (* verbatim payload after "raw ": the malformed-frame test
+             hook, so no token/comment processing beyond the keyword *)
+          let body =
+            let s = String.trim stripped in
+            String.trim (String.sub s 3 (String.length s - 3))
+          in
+          add (Raw body)
+        | [ "hello"; tenant ] -> add (Hello { tenant })
+        | "robot" :: rest when rest <> [] ->
+          robot := Some (String.concat " " rest)
+        | [ "open"; session; robot ] -> add (Open { session; robot })
+        | [ "waypoint"; session; coords ] ->
+          (match vec3_of_string coords with
+          | None -> fail lineno "expected waypoint <session> x,y,z (got %S)" coords
+          | Some t -> add (Waypoint { session; x = t.Vec3.x; y = t.Vec3.y; z = t.Vec3.z }))
+        | "solve" :: coords :: rest ->
+          (match !robot with
+          | None -> fail lineno "solve before any robot declaration"
+          | Some robot ->
+            (match (vec3_of_string coords, deadline_of_tokens rest) with
+            | None, _ -> fail lineno "expected solve x,y,z (got %S)" coords
+            | _, Error msg -> fail lineno "%s" msg
+            | Some t, Ok deadline_s ->
+              let theta0 =
+                List.find_map (fun tok -> keyed "theta0" tok) rest
+              in
+              (match (theta0, Option.map floats_of_csv theta0) with
+              | Some raw, Some None ->
+                fail lineno "expected theta0=a,b,... (got %S)" raw
+              | _, theta0 ->
+                add
+                  (Solve
+                     {
+                       robot;
+                       x = t.Vec3.x;
+                       y = t.Vec3.y;
+                       z = t.Vec3.z;
+                       theta0 = Option.join theta0;
+                       deadline_s;
+                     }))))
+        | [ "ping" ] -> add Ping
+        | [ "close"; session ] -> add (Close { session })
+        | [ "stats" ] -> add Stats
+        | keyword :: _ ->
+          fail lineno
+            "unknown op %S (hello | robot | open | waypoint | solve | ping | \
+             close | stats | raw)"
+            keyword
+      end)
+    lines;
+  match !error with
+  | Some msg -> Error msg
+  | None -> Ok (Array.of_list (List.rev !ops))
+
+let parse_script_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_script text
+  | exception Sys_error msg -> Error msg
+
 let parse text =
   Result.map
     (Array.map (fun e -> e.problem))

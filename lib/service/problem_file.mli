@@ -45,3 +45,71 @@ val parse : string -> (Ik.problem array, string) result
 
 val parse_file : string -> (Ik.problem array, string) result
 (** Reads and parses a file; I/O failures are reported in the error. *)
+
+(** {1 Wire framing}
+
+    One frame of the `dadu serve` protocol: the payload byte length in
+    ASCII decimal, [\n], the payload bytes, [\n].  Payloads are JSON
+    documents, but the framing layer never inspects them — a malformed
+    JSON payload costs a typed error reply while the stream stays
+    synchronized; a malformed {e length line} desynchronizes the stream
+    and the connection must be dropped. *)
+
+val max_frame_bytes : int
+(** Upper bound on a frame payload (16 MiB): a garbage length line must
+    not turn into a gigabyte allocation. *)
+
+val write_frame : out_channel -> string -> unit
+(** Writes one frame.  The caller flushes. *)
+
+val read_frame : in_channel -> (string option, string) result
+(** Reads one frame: [Ok None] on clean EOF before a length line,
+    [Ok (Some payload)] on success, [Error] on a malformed length line
+    or a truncated/unterminated frame (the stream is desynchronized —
+    close the connection). *)
+
+(** {1 Client scripts}
+
+    The `dadu client` op stream: one op per line, [#] comments and blank
+    lines as in problem files.
+
+    {v
+    hello acme                    # name this connection's tenant
+    open s1 eval:30               # open (or resume) a trajectory session
+    waypoint s1 4.0,1.0,2.0       # stream Cartesian waypoints
+    waypoint s1 4.0,1.1,2.0
+    close s1
+    robot eval:12                 # robot for subsequent one-shot solves
+    solve 3.0,1.0,1.0 deadline=0.5
+    solve 3.0,1.0,1.0 theta0=0.1,0,0,0,0,0,0,0,0,0,0,0
+    ping
+    stats
+    raw {"op":"nonsense"          # verbatim payload (malformed-frame tests)
+    v}
+
+    Robot specs stay strings — the server resolves them, so a bad spec
+    exercises the server's typed error reply rather than failing
+    client-side. *)
+
+type op =
+  | Hello of { tenant : string }
+  | Open of { session : string; robot : string }
+  | Waypoint of { session : string; x : float; y : float; z : float }
+  | Solve of {
+      robot : string;
+      x : float;
+      y : float;
+      z : float;
+      theta0 : float list option;
+      deadline_s : float option;
+    }
+  | Ping
+  | Close of { session : string }
+  | Stats
+  | Raw of string  (** payload sent verbatim in one frame *)
+
+val parse_script : string -> (op array, string) result
+(** Errors carry the 1-based line number and what was expected. *)
+
+val parse_script_file : string -> (op array, string) result
+(** Reads and parses a file; I/O failures are reported in the error. *)

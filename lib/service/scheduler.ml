@@ -43,7 +43,7 @@ type wave_phase = Prepare | Work | Commit
    after with the phase's wall time.  Both default to no-ops and never
    affect scheduling; timing reads use the real monotonic clock, not the
    (injectable) [now], so fake-clock tests keep their reading budget. *)
-let map_waves t ~now ?budget_s ?deadline_s ?prepare_wave ?phase_enter
+let map_waves t ~now ?budget_s ?deadline_s ?cut ?prepare_wave ?phase_enter
     ?phase_done ~prepare ~run ~commit xs =
   let n = Array.length xs in
   if n = 0 then [||]
@@ -64,6 +64,21 @@ let map_waves t ~now ?budget_s ?deadline_s ?prepare_wave ?phase_enter
     while !off < n do
       let base = !off in
       let len = Stdlib.min t.chunk (n - base) in
+      (* [cut ~base i] ends the wave before item [i]: the caller needs the
+         serial commit of an earlier item to run before [i]'s prepare (the
+         session warm-start chain).  Queried in input order, so wave shapes
+         are a pure function of the input array — never of the pool. *)
+      let len =
+        match cut with
+        | None -> len
+        | Some cut ->
+          let stop = ref len in
+          (let i = ref 1 in
+           while !i < !stop do
+             if cut ~base (base + !i) then stop := !i else incr i
+           done);
+          !stop
+      in
       let timed phase f =
         (match phase_enter with None -> () | Some e -> e phase);
         match phase_done with
@@ -107,18 +122,18 @@ let map_waves t ~now ?budget_s ?deadline_s ?prepare_wave ?phase_enter
     out
   end
 
-let map_deadlined t ?(now = Trace.now_s) ?budget_s ?deadline_s ?prepare_wave
-    ?phase_enter ?phase_done ~prepare ~work ~commit xs =
-  map_waves t ~now ?budget_s ?deadline_s ?prepare_wave ?phase_enter ?phase_done
-    ~prepare
+let map_deadlined t ?(now = Trace.now_s) ?budget_s ?deadline_s ?cut
+    ?prepare_wave ?phase_enter ?phase_done ~prepare ~work ~commit xs =
+  map_waves t ~now ?budget_s ?deadline_s ?cut ?prepare_wave ?phase_enter
+    ?phase_done ~prepare
     ~run:(fun prepared ->
       run_wave t (fun j -> guarded work prepared.(j)) (Array.length prepared))
     ~commit xs
 
-let map_lockstep t ?(now = Trace.now_s) ?budget_s ?deadline_s ?prepare_wave
-    ?phase_enter ?phase_done ~prepare ~work_batch ~commit xs =
-  map_waves t ~now ?budget_s ?deadline_s ?prepare_wave ?phase_enter ?phase_done
-    ~prepare
+let map_lockstep t ?(now = Trace.now_s) ?budget_s ?deadline_s ?cut
+    ?prepare_wave ?phase_enter ?phase_done ~prepare ~work_batch ~commit xs =
+  map_waves t ~now ?budget_s ?deadline_s ?cut ?prepare_wave ?phase_enter
+    ?phase_done ~prepare
     ~run:(fun prepared ->
       let len = Array.length prepared in
       match guarded work_batch prepared with

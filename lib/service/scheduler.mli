@@ -54,6 +54,7 @@ val map_deadlined :
   ?now:(unit -> float) ->
   ?budget_s:float ->
   ?deadline_s:(int -> float option) ->
+  ?cut:(base:int -> int -> bool) ->
   ?prepare_wave:(dispatch array -> 'p array) ->
   ?phase_enter:(wave_phase -> unit) ->
   ?phase_done:
@@ -79,6 +80,17 @@ val map_deadlined :
     {!Dadu_util.Trace.now_s}) exists so tests can drive expiry
     deterministically.
 
+    [cut], when given, can end a wave early: a wave starting at [base]
+    stops before the first item [i] (with [base < i < base + chunk])
+    for which [cut ~base i] is true, so that item starts the next wave
+    and its prepare observes the commits of everything before it.  The
+    serving layer uses this to order a trajectory session's waypoints:
+    a waypoint landing in the same wave as an earlier waypoint of the
+    same session must see its committed solution (the session seed
+    slot).  [cut] is queried serially in input order, so wave shapes —
+    and therefore results — are a pure function of the input array,
+    never of the pool size or the clock.
+
     [prepare_wave], when given, replaces the per-item [prepare] calls:
     the wave's dispatches are still built serially in input order — one
     clock read each, {e before} any prepare work runs, so expiry
@@ -103,6 +115,7 @@ val map_lockstep :
   ?now:(unit -> float) ->
   ?budget_s:float ->
   ?deadline_s:(int -> float option) ->
+  ?cut:(base:int -> int -> bool) ->
   ?prepare_wave:(dispatch array -> 'p array) ->
   ?phase_enter:(wave_phase -> unit) ->
   ?phase_done:

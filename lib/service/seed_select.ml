@@ -4,10 +4,11 @@ module Rng = Dadu_util.Rng
 module Pool = Dadu_util.Domain_pool
 module Ws = Dadu_core.Workspace
 
-type source = Theta0 | Cache | Library | Zero | Perturbed
+type source = Theta0 | Session | Cache | Library | Zero | Perturbed
 
 let source_name = function
   | Theta0 -> "theta0"
+  | Session -> "session"
   | Cache -> "cache"
   | Library -> "library"
   | Zero -> "zero"
@@ -124,8 +125,8 @@ let argmin_err2 t =
   done;
   t.best
 
-let choose t ~library ~cache_seed ~candidates ~ordinal ~scale ~chain ~tx ~ty
-    ~tz ~theta0 ~dst =
+let choose t ~session_seed ~library ~cache_seed ~candidates ~ordinal ~scale
+    ~chain ~tx ~ty ~tz ~theta0 ~dst =
   let dof = Chain.dof chain in
   if candidates < 1 then
     invalid_arg "Seed_select.choose: candidates must be at least 1";
@@ -145,6 +146,14 @@ let choose t ~library ~cache_seed ~candidates ~ordinal ~scale ~chain ~tx ~ty
     Array.blit theta0 0 t.plane 0 dof;
     commit t chain ~tx ~ty ~tz 0 Theta0;
     t.n <- 1;
+    (* the temporal warm start outranks the spatial ones: a trajectory's
+       previous waypoint is almost always the closest known posture *)
+    (match session_seed with
+    | Some s when Array.length s = dof && t.n < candidates ->
+      Array.blit s 0 t.plane (t.n * t.tstride) dof;
+      commit t chain ~tx ~ty ~tz t.n Session;
+      t.n <- t.n + 1
+    | Some _ | None -> ());
     (match cache_seed with
     | Some s when Array.length s = dof && t.n < candidates ->
       Array.blit s 0 t.plane (t.n * t.tstride) dof;
@@ -208,6 +217,7 @@ type spec = {
   ty : float;
   tz : float;
   theta0 : Vec.t;
+  session_seed : Vec.t option;
   cache_seed : Vec.t option;
   library : Posture_library.t option;
   library_index : int;
@@ -222,6 +232,13 @@ type spec = {
 let base_plan (s : spec) =
   let dof = Chain.dof s.chain in
   let nb = ref 1 in
+  let use_session =
+    match s.session_seed with
+    | Some ss when Array.length ss = dof && !nb < s.candidates ->
+      incr nb;
+      true
+    | Some _ | None -> false
+  in
   let use_cache =
     match s.cache_seed with
     | Some cs when Array.length cs = dof && !nb < s.candidates ->
@@ -243,7 +260,7 @@ let base_plan (s : spec) =
     end
     else false
   in
-  (use_cache, use_library, use_zero, !nb)
+  (use_session, use_cache, use_library, use_zero, !nb)
 
 let fill_row t (s : spec) r row src fill =
   let off = row * t.tstride in
@@ -259,13 +276,17 @@ let assemble_base t (specs : spec array) r =
   let s = specs.(r) in
   if s.candidates > 1 then begin
     let dof = Chain.dof s.chain in
-    let use_cache, use_library, use_zero, _ = base_plan s in
+    let use_session, use_cache, use_library, use_zero, _ = base_plan s in
     let k = ref t.base_lo.(r) in
     let put src fill =
       fill_row t s r !k src fill;
       incr k
     in
     put Theta0 (fun off -> Array.blit s.theta0 0 t.plane off dof);
+    if use_session then (
+      match s.session_seed with
+      | Some ss -> put Session (fun off -> Array.blit ss 0 t.plane off dof)
+      | None -> assert false);
     if use_cache then (
       match s.cache_seed with
       | Some cs -> put Cache (fun off -> Array.blit cs 0 t.plane off dof)
@@ -392,7 +413,7 @@ let choose_wave t ?pool (specs : spec array) =
       for r = 0 to n - 1 do
         let s = specs.(r) in
         if s.candidates > 1 then begin
-          let _, _, _, nb = base_plan s in
+          let _, _, _, _, nb = base_plan s in
           t.base_lo.(r) <- !next;
           t.base_n.(r) <- nb;
           next := !next + nb

@@ -6,8 +6,10 @@ open Dadu_kinematics
 
     Given a request, up to [candidates] starting configurations are
     assembled in a fixed priority order — the request's own [θ₀], the
-    seed-cache hit, the posture-library nearest neighbour, the clamped
-    zero posture, then Gaussian perturbations of the best-scoring base —
+    trajectory session's previous-waypoint solution (the temporal warm
+    start, see {!Session}), the seed-cache hit, the posture-library
+    nearest neighbour, the clamped zero posture, then Gaussian
+    perturbations of the best-scoring base —
     each scored by its first-iteration FK error (squared end-effector
     distance to the target, computed with the {!Dadu_kinematics.Fk}
     speculation kernel), and only the argmin winner is committed as the
@@ -25,11 +27,12 @@ open Dadu_kinematics
     winner is written into a caller-supplied vector (pinned by the alloc
     suite for the perturbation-free candidate set). *)
 
-type source = Theta0 | Cache | Library | Zero | Perturbed
+type source = Theta0 | Session | Cache | Library | Zero | Perturbed
 (** Where the winning seed came from, in assembly priority order. *)
 
 val source_name : source -> string
-(** ["theta0"], ["cache"], ["library"], ["zero"], ["perturbed"]. *)
+(** ["theta0"], ["session"], ["cache"], ["library"], ["zero"],
+    ["perturbed"]. *)
 
 type t
 (** Reusable scratch: a flat lane-major candidate θ plane (rows of
@@ -45,6 +48,7 @@ val create : unit -> t
 
 val choose :
   t ->
+  session_seed:Vec.t option ->
   library:Posture_library.t option ->
   cache_seed:Vec.t option ->
   candidates:int ->
@@ -59,20 +63,26 @@ val choose :
   source
 (** Writes the winning start (clamped to the chain's joint limits) into
     [dst] (length [Chain.dof chain]) and returns its provenance.
-    [candidates] must be at least 1; [ordinal] is the request's batch
-    index; [scale] is the perturbation std-dev (radians).  [cache_seed]
-    and the library posture are used only when present ([library] only
-    when it {!Posture_library.matches} the chain).  With [candidates = 1]
+    [candidates] must be at least 1; [ordinal] is the request's stable
+    ordinal (batch index, or the session waypoint sequence number);
+    [scale] is the perturbation std-dev (radians).  [session_seed] — the
+    trajectory session's previous converged solution — ranks just below
+    the request's own [θ₀]; it, [cache_seed] and the library posture are
+    used only when present ([library] only when it
+    {!Posture_library.matches} the chain).  With [candidates = 1]
     the request's own [θ₀] is returned unscored (clamped), preserving the
     non-speculative path exactly. *)
 
 type spec = {
-  ordinal : int;  (** request's batch index (perturbation noise key) *)
+  ordinal : int;  (** request's stable ordinal (perturbation noise key) *)
   chain : Chain.t;
   tx : float;
   ty : float;
   tz : float;  (** target position *)
   theta0 : Vec.t;  (** the request's own start (borrowed, not mutated) *)
+  session_seed : Vec.t option;
+      (** frozen session warm-start slot (the previous waypoint's
+          solution), resolved in the serial snapshot pass *)
   cache_seed : Vec.t option;
       (** frozen seed-cache hit, resolved in the serial snapshot pass *)
   library : Posture_library.t option;

@@ -1,0 +1,659 @@
+open Dadu_core
+open Dadu_kinematics
+module Json = Dadu_util.Json
+module Pf = Problem_file
+
+(* ---- listen addresses ------------------------------------------------ *)
+
+type listen = Unix_sock of string | Tcp of string * int
+
+let listen_of_string s =
+  let s = String.trim s in
+  let prefix p =
+    if String.length s > String.length p && String.sub s 0 (String.length p) = p
+    then Some (String.sub s (String.length p) (String.length s - String.length p))
+    else None
+  in
+  match prefix "unix:" with
+  | Some path when path <> "" -> Ok (Unix_sock path)
+  | Some _ -> Error "empty unix socket path"
+  | None ->
+    (match prefix "tcp:" with
+    | Some rest ->
+      (match String.rindex_opt rest ':' with
+      | None -> Error (Printf.sprintf "expected tcp:host:port (got %S)" s)
+      | Some i ->
+        let host = String.sub rest 0 i in
+        let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+        (match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 ->
+          Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+        | Some _ | None ->
+          Error (Printf.sprintf "bad tcp port %S" port)))
+    | None ->
+      if s = "" then Error "empty listen address" else Ok (Unix_sock s))
+
+(* ---- configuration --------------------------------------------------- *)
+
+type config = {
+  service : Service.config;
+  queue_capacity : int;
+  max_batch : int;
+}
+
+let default_config =
+  { service = Service.default_config; queue_capacity = 1024; max_batch = 256 }
+
+(* ---- per-tenant accounting ------------------------------------------- *)
+
+type tenant = { metrics : Metrics.t; overloaded : int Atomic.t }
+
+(* ---- connections ------------------------------------------------------
+
+   One reader thread per connection.  [wlock] serializes frame writes
+   (the reader answers control ops; the dispatcher answers solve ops)
+   and guards the pending/eof/dead lifecycle fields, so the socket is
+   closed exactly once: by the reader at EOF when no replies are in
+   flight, else by whichever reply delivery drains [pending] last. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  wlock : Mutex.t;
+  mutable tenant : string;
+  mutable pending : int; (* solve jobs queued, reply not yet written *)
+  mutable eof : bool; (* reader finished *)
+  mutable dead : bool; (* write failed or fatal framing error: stop writing *)
+  mutable closed : bool;
+}
+
+type job = {
+  jconn : conn;
+  jid : int; (* client-assigned id, echoed in the reply *)
+  jtenant : string; (* tenant at enqueue time *)
+  jsession : string option;
+  jordinal : int;
+  jrequest : Service.request;
+}
+
+type t = {
+  config : config;
+  service : Service.t;
+  sessions : (string, Session.t) Hashtbl.t;
+  slock : Mutex.t;
+  tenants : (string, tenant) Hashtbl.t;
+  tlock : Mutex.t;
+  queue : job Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  mutable stopping : bool; (* written under qlock by [begin_drain] *)
+  stop_flag : bool Atomic.t; (* set by [stop]; signal-safe *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable conns : conn list; (* guarded by clock *)
+  clock : Mutex.t;
+}
+
+let create ?pool ?(config = default_config) () =
+  if config.queue_capacity < 0 then
+    invalid_arg "Server.create: queue_capacity must be non-negative";
+  if config.max_batch < 1 then
+    invalid_arg "Server.create: max_batch must be positive";
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  {
+    config;
+    service = Service.create ?pool ~config:config.service ();
+    sessions = Hashtbl.create 16;
+    slock = Mutex.create ();
+    tenants = Hashtbl.create 4;
+    tlock = Mutex.create ();
+    queue = Queue.create ();
+    qlock = Mutex.create ();
+    qcond = Condition.create ();
+    stopping = false;
+    stop_flag = Atomic.make false;
+    wake_r;
+    wake_w;
+    conns = [];
+    clock = Mutex.create ();
+  }
+
+(* Signal-safe: one atomic store and one pipe write; the accept loop does
+   the lock-taking part of the shutdown from ordinary context. *)
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then
+    ignore (try Unix.write t.wake_w (Bytes.make 1 '!') 0 1 with Unix.Unix_error _ -> 0)
+
+let tenant_of t name =
+  Mutex.lock t.tlock;
+  let tn =
+    match Hashtbl.find_opt t.tenants name with
+    | Some tn -> tn
+    | None ->
+      let tn = { metrics = Metrics.create (); overloaded = Atomic.make 0 } in
+      Hashtbl.add t.tenants name tn;
+      tn
+  in
+  Mutex.unlock t.tlock;
+  tn
+
+(* ---- reply serialization ----------------------------------------------
+
+   Reply payloads are built with Printf (%.17g doubles, %S strings), not
+   a JSON pretty-printer, so their bytes are a pure function of the reply
+   values — the `cmp` determinism gates compare these bytes across pool
+   sizes and execution modes.  Nothing clock-derived is ever included. *)
+
+let json_floats xs =
+  String.concat "," (List.map (Printf.sprintf "%.17g") (Array.to_list xs))
+
+let send conn payload =
+  Mutex.lock conn.wlock;
+  (if not (conn.dead || conn.closed) then
+     try
+       Pf.write_frame conn.oc payload;
+       flush conn.oc
+     with Sys_error _ | Unix.Unix_error _ -> conn.dead <- true);
+  Mutex.unlock conn.wlock
+
+let close_conn conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    (try close_out_noerr conn.oc with _ -> ());
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+(* called with wlock held *)
+let maybe_close_locked conn =
+  if conn.eof && conn.pending = 0 then close_conn conn
+
+let reply_error conn ~id msg =
+  let idpart = if id >= 0 then Printf.sprintf "\"id\":%d," id else "" in
+  send conn (Printf.sprintf "{\"reply\":\"error\",%s\"message\":%S}" idpart msg)
+
+let reply_of job (reply : Service.reply) =
+  match reply with
+  | Service.Rejected invalid ->
+    Printf.sprintf "{\"reply\":\"rejected\",\"id\":%d,\"reason\":%S}" job.jid
+      (Format.asprintf "%a" Ik.pp_invalid invalid)
+  | Service.Faulted msg ->
+    Printf.sprintf "{\"reply\":\"faulted\",\"id\":%d,\"reason\":%S}" job.jid msg
+  | Service.Solved
+      {
+        result;
+        solver;
+        fallbacks;
+        cache_hit;
+        session_hit;
+        deadline_exceeded;
+        retries;
+        _;
+      } ->
+    let spart =
+      match job.jsession with
+      | None -> ""
+      | Some s -> Printf.sprintf "\"session\":%S,\"ordinal\":%d," s job.jordinal
+    in
+    Printf.sprintf
+      "{\"reply\":\"solved\",\"id\":%d,%s\"status\":%S,\"solver\":%S,\"iterations\":%d,\"error\":%.17g,\"fallbacks\":%d,\"retries\":%d,\"cache_hit\":%b,\"session_hit\":%b,\"deadline_exceeded\":%b,\"theta\":[%s]}"
+      job.jid spart
+      (Format.asprintf "%a" Ik.pp_status result.Ik.status)
+      (Fallback.name solver) result.Ik.iterations result.Ik.error fallbacks
+      retries cache_hit session_hit deadline_exceeded
+      (json_floats result.Ik.theta)
+
+(* mirror the Service's own commit-phase accounting into the tenant's
+   registry; replies carry everything the event needs *)
+let record_tenant t job (reply : Service.reply) =
+  let tn = tenant_of t job.jtenant in
+  match reply with
+  | Service.Rejected invalid -> Metrics.record tn.metrics (Metrics.Rejected invalid)
+  | Service.Faulted msg -> Metrics.record tn.metrics (Metrics.Faulted msg)
+  | Service.Solved
+      {
+        result;
+        fallbacks;
+        cache_hit;
+        session_hit;
+        deadline_exceeded;
+        breaker_skips;
+        retries;
+        retry_converged;
+        latency_s;
+        _;
+      } ->
+    Metrics.record tn.metrics
+      (Metrics.Solved
+         {
+           converged = result.Ik.status = Ik.Converged;
+           diverged = result.Ik.status = Ik.Diverged;
+           fallbacks;
+           cache_hit;
+           session = job.jsession <> None;
+           session_hit;
+           deadline_exceeded;
+           breaker_skips;
+           retries;
+           retry_converged;
+           latency_s;
+           iterations = result.Ik.iterations;
+         })
+
+let deliver t job reply =
+  record_tenant t job reply;
+  let payload = reply_of job reply in
+  let conn = job.jconn in
+  Mutex.lock conn.wlock;
+  (if not (conn.dead || conn.closed) then
+     try
+       Pf.write_frame conn.oc payload;
+       flush conn.oc
+     with Sys_error _ | Unix.Unix_error _ -> conn.dead <- true);
+  conn.pending <- conn.pending - 1;
+  maybe_close_locked conn;
+  Mutex.unlock conn.wlock
+
+(* ---- admission --------------------------------------------------------
+
+   The bounded queue is the backpressure point: a full queue sheds the
+   request with a typed [overloaded] reply instead of queueing without
+   bound.  [queue_capacity = 0] sheds everything — the load-test and
+   cram hook.  Shedding is inherently timing-dependent; the determinism
+   contract covers unshed traffic. *)
+
+let enqueue t job =
+  Mutex.lock t.qlock;
+  let admitted =
+    (not t.stopping) && Queue.length t.queue < t.config.queue_capacity
+  in
+  if admitted then begin
+    let conn = job.jconn in
+    Mutex.lock conn.wlock;
+    conn.pending <- conn.pending + 1;
+    Mutex.unlock conn.wlock;
+    Queue.add job t.queue;
+    Condition.signal t.qcond
+  end;
+  Mutex.unlock t.qlock;
+  if not admitted then begin
+    Atomic.incr (tenant_of t job.jtenant).overloaded;
+    let spart =
+      match job.jsession with
+      | None -> ""
+      | Some s -> Printf.sprintf ",\"session\":%S" s
+    in
+    send job.jconn
+      (Printf.sprintf "{\"reply\":\"overloaded\",\"id\":%d%s}" job.jid spart)
+  end
+
+(* ---- dispatcher --------------------------------------------------------
+
+   A single thread drains the queue into batches and runs them through
+   the Service.  Batch composition is FIFO in arrival order; session
+   determinism never depends on where batch (or wave) boundaries fall —
+   the session slot chain plus stable ordinals carry it (DESIGN.md §15). *)
+
+let dispatcher t () =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.qlock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.qcond t.qlock
+    done;
+    if Queue.is_empty t.queue then begin
+      (* stopping and drained *)
+      running := false;
+      Mutex.unlock t.qlock
+    end
+    else begin
+      let jobs = ref [] in
+      let n = ref 0 in
+      while (not (Queue.is_empty t.queue)) && !n < t.config.max_batch do
+        jobs := Queue.pop t.queue :: !jobs;
+        incr n
+      done;
+      Mutex.unlock t.qlock;
+      let jobs = Array.of_list (List.rev !jobs) in
+      let requests = Array.map (fun j -> j.jrequest) jobs in
+      let replies = Service.solve_requests t.service requests in
+      Array.iteri (fun i job -> deliver t job replies.(i)) jobs
+    end
+  done
+
+(* ---- ops ------------------------------------------------------------- *)
+
+let json_int_member key json =
+  match Json.member key json with
+  | Some j -> Option.map int_of_float (Json.to_float j)
+  | None -> None
+
+let json_target json =
+  match Option.bind (Json.member "target" json) Json.to_list with
+  | Some [ x; y; z ] ->
+    (match (Json.to_float x, Json.to_float y, Json.to_float z) with
+    | Some x, Some y, Some z -> Some (Dadu_linalg.Vec3.make x y z)
+    | _ -> None)
+  | Some _ | None -> None
+
+let json_theta0 json =
+  match Json.member "theta0" json with
+  | None -> Ok None
+  | Some j ->
+    (match Json.to_list j with
+    | None -> Error "theta0 must be an array of numbers"
+    | Some xs ->
+      let floats = List.filter_map Json.to_float xs in
+      if List.length floats <> List.length xs then
+        Error "theta0 must be an array of numbers"
+      else Ok (Some (Array.of_list floats)))
+
+let json_deadline json =
+  match Json.member "deadline" json with
+  | None -> Ok None
+  | Some j ->
+    (match Json.to_float j with
+    | Some d when d >= 0. && Float.is_finite d -> Ok (Some d)
+    | Some _ | None -> Error "deadline must be a non-negative number")
+
+let clamped_zero chain =
+  Chain.clamp_config chain (Dadu_linalg.Vec.create (Chain.dof chain))
+
+let handle_open t conn ~id ~session ~robot =
+  match Pf.robot_of_spec robot with
+  | Error msg -> reply_error conn ~id msg
+  | Ok chain ->
+    Mutex.lock t.slock;
+    let outcome =
+      match Hashtbl.find_opt t.sessions session with
+      | Some sess ->
+        if Chain.fingerprint (Session.chain sess) = Chain.fingerprint chain
+        then Ok (sess, true)
+        else Error "session exists with a different robot"
+      | None ->
+        let sess = Session.create ~name:session ~chain in
+        Hashtbl.add t.sessions session sess;
+        Ok (sess, false)
+    in
+    Mutex.unlock t.slock;
+    (match outcome with
+    | Error msg -> reply_error conn ~id msg
+    | Ok (sess, resumed) ->
+      send conn
+        (Printf.sprintf
+           "{\"reply\":\"opened\",\"id\":%d,\"session\":%S,\"dof\":%d,\"resumed\":%b,\"waypoints\":%d}"
+           id session
+           (Chain.dof (Session.chain sess))
+           resumed (Session.accepted sess)))
+
+let handle_waypoint t conn ~id ~session json =
+  match json_target json with
+  | None -> reply_error conn ~id "waypoint needs target:[x,y,z]"
+  | Some target ->
+    (* one reader thread per connection keeps a session's waypoints in
+       client-stream order; the slock-guarded counter then hands out
+       ordinals in that order, so for a fixed per-session waypoint
+       sequence the ordinals — and therefore replies — are fixed
+       whatever interleaving delivers other connections' frames *)
+    Mutex.lock t.slock;
+    let found = Hashtbl.find_opt t.sessions session in
+    let job =
+      match found with
+      | None -> None
+      | Some sess ->
+        let chain = Session.chain sess in
+        let ordinal = Session.next_ordinal sess in
+        let problem =
+          Ik.problem ~chain ~target ~theta0:(clamped_zero chain)
+        in
+        Some
+          {
+            jconn = conn;
+            jid = id;
+            jtenant = conn.tenant;
+            jsession = Some session;
+            jordinal = ordinal;
+            jrequest = Service.request ~session:sess ~ordinal problem;
+          }
+    in
+    Mutex.unlock t.slock;
+    (match job with
+    | None -> reply_error conn ~id (Printf.sprintf "unknown session %S" session)
+    | Some job -> enqueue t job)
+
+let handle_solve t conn ~id json =
+  match Option.bind (Json.member "robot" json) Json.to_str with
+  | None -> reply_error conn ~id "solve needs robot:\"<spec>\""
+  | Some spec ->
+    (match Pf.robot_of_spec spec with
+    | Error msg -> reply_error conn ~id msg
+    | Ok chain ->
+      (match (json_target json, json_theta0 json, json_deadline json) with
+      | None, _, _ -> reply_error conn ~id "solve needs target:[x,y,z]"
+      | _, Error msg, _ | _, _, Error msg -> reply_error conn ~id msg
+      | Some target, Ok theta0, Ok deadline_s ->
+        let dof = Chain.dof chain in
+        (match theta0 with
+        | Some th when Array.length th <> dof ->
+          reply_error conn ~id
+            (Printf.sprintf "theta0 has %d entries but %s has %d DOF"
+               (Array.length th) (Chain.name chain) dof)
+        | _ ->
+          let theta0 =
+            match theta0 with
+            | Some th -> th
+            | None -> clamped_zero chain
+          in
+          let problem = Ik.problem ~chain ~target ~theta0 in
+          (* a one-shot solve's stable ordinal is its client id: the
+             noise key is then chosen by the client stream, not by how
+             the dispatcher happened to batch *)
+          enqueue t
+            {
+              jconn = conn;
+              jid = id;
+              jtenant = conn.tenant;
+              jsession = None;
+              jordinal = id;
+              jrequest = Service.request ?deadline_s ~ordinal:id problem;
+            })))
+
+let handle_close t conn ~id ~session =
+  Mutex.lock t.slock;
+  let found = Hashtbl.find_opt t.sessions session in
+  (match found with
+  | Some _ -> Hashtbl.remove t.sessions session
+  | None -> ());
+  Mutex.unlock t.slock;
+  match found with
+  | None -> reply_error conn ~id (Printf.sprintf "unknown session %S" session)
+  | Some sess ->
+    send conn
+      (Printf.sprintf
+         "{\"reply\":\"closed\",\"id\":%d,\"session\":%S,\"waypoints\":%d}" id
+         session (Session.accepted sess))
+
+let handle_stats t conn =
+  let tn = tenant_of t conn.tenant in
+  let s = Metrics.snapshot tn.metrics in
+  send conn
+    (Printf.sprintf
+       "{\"reply\":\"stats\",\"tenant\":%S,\"requests\":%d,\"converged\":%d,\"failed\":%d,\"rejected\":%d,\"faulted\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"session_requests\":%d,\"session_warm\":%d,\"overloaded\":%d}"
+       conn.tenant s.Metrics.requests s.Metrics.converged s.Metrics.failed
+       s.Metrics.rejected s.Metrics.faulted s.Metrics.cache_hits
+       s.Metrics.cache_misses s.Metrics.session_requests s.Metrics.session_warm
+       (Atomic.get tn.overloaded))
+
+let handle_payload t conn payload =
+  match Json.of_string payload with
+  | Error msg ->
+    (* malformed JSON in a well-framed payload: typed error reply, the
+       connection stays up (pinned by the serve_live cram test) *)
+    reply_error conn ~id:(-1) (Printf.sprintf "malformed payload: %s" msg)
+  | Ok json ->
+    let id = Option.value ~default:(-1) (json_int_member "id" json) in
+    (match Option.bind (Json.member "op" json) Json.to_str with
+    | None -> reply_error conn ~id "missing op"
+    | Some "hello" ->
+      (match Option.bind (Json.member "tenant" json) Json.to_str with
+      | None -> reply_error conn ~id "hello needs tenant:\"<name>\""
+      | Some tenant ->
+        conn.tenant <- tenant;
+        ignore (tenant_of t tenant);
+        send conn (Printf.sprintf "{\"reply\":\"hello\",\"tenant\":%S}" tenant))
+    | Some "ping" -> send conn "{\"reply\":\"pong\"}"
+    | Some "stats" -> handle_stats t conn
+    | Some (("open" | "waypoint" | "solve" | "close") as op) ->
+      if id < 0 then
+        reply_error conn ~id
+          (Printf.sprintf "%s needs a non-negative id" op)
+      else begin
+        let session () =
+          Option.bind (Json.member "session" json) Json.to_str
+        in
+        match op with
+        | "open" ->
+          (match
+             (session (), Option.bind (Json.member "robot" json) Json.to_str)
+           with
+          | None, _ -> reply_error conn ~id "open needs session:\"<name>\""
+          | _, None -> reply_error conn ~id "open needs robot:\"<spec>\""
+          | Some session, Some robot -> handle_open t conn ~id ~session ~robot)
+        | "waypoint" ->
+          (match session () with
+          | None -> reply_error conn ~id "waypoint needs session:\"<name>\""
+          | Some session -> handle_waypoint t conn ~id ~session json)
+        | "solve" -> handle_solve t conn ~id json
+        | _ ->
+          (match session () with
+          | None -> reply_error conn ~id "close needs session:\"<name>\""
+          | Some session -> handle_close t conn ~id ~session)
+      end
+    | Some op -> reply_error conn ~id (Printf.sprintf "unknown op %S" op))
+
+(* ---- connection reader ------------------------------------------------ *)
+
+let reader t conn () =
+  let running = ref true in
+  while !running do
+    match Pf.read_frame conn.ic with
+    | Ok None -> running := false
+    | Ok (Some payload) -> handle_payload t conn payload
+    | Error msg ->
+      (* the frame stream is desynchronized: a final error reply, then
+         drop the connection *)
+      reply_error conn ~id:(-1) msg;
+      running := false
+    | exception (Sys_error _ | End_of_file | Unix.Unix_error _) ->
+      running := false
+  done;
+  Mutex.lock conn.wlock;
+  conn.eof <- true;
+  maybe_close_locked conn;
+  Mutex.unlock conn.wlock
+
+(* ---- accept loop and drain -------------------------------------------- *)
+
+let begin_drain t =
+  Mutex.lock t.qlock;
+  t.stopping <- true;
+  Condition.broadcast t.qcond;
+  Mutex.unlock t.qlock
+
+let run t ~listen =
+  if Atomic.get t.stop_flag then invalid_arg "Server.run: already stopped";
+  (* a client vanishing mid-write must not kill the server *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let domain, addr, cleanup =
+    match listen with
+    | Unix_sock path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      (Unix.PF_UNIX, Unix.ADDR_UNIX path, fun () -> try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp (host, port) ->
+      let ip =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (ip, port), fun () -> ())
+  in
+  let lfd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd addr;
+  Unix.listen lfd 64;
+  let disp = Thread.create (dispatcher t) () in
+  let readers = ref [] in
+  let accepting = ref true in
+  while !accepting do
+    match Unix.select [ lfd; t.wake_r ] [] [] (-1.) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if Atomic.get t.stop_flag then accepting := false
+    | ready, _, _ ->
+      if List.mem t.wake_r ready || Atomic.get t.stop_flag then
+        accepting := false
+      else if List.mem lfd ready then begin
+        match Unix.accept ~cloexec:true lfd with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ ->
+          let conn =
+            {
+              fd;
+              ic = Unix.in_channel_of_descr fd;
+              oc = Unix.out_channel_of_descr fd;
+              wlock = Mutex.create ();
+              tenant = "default";
+              pending = 0;
+              eof = false;
+              dead = false;
+              closed = false;
+            }
+          in
+          Mutex.lock t.clock;
+          t.conns <- conn :: t.conns;
+          Mutex.unlock t.clock;
+          readers := Thread.create (reader t conn) () :: !readers
+      end
+  done;
+  (* graceful drain: stop accepting, push EOF at every reader, let the
+     dispatcher finish everything already admitted, flush, then close *)
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  cleanup ();
+  Mutex.lock t.clock;
+  let conns = t.conns in
+  Mutex.unlock t.clock;
+  List.iter
+    (fun c ->
+      Mutex.lock c.wlock;
+      (if not c.closed then
+         try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+         with Unix.Unix_error _ -> ());
+      Mutex.unlock c.wlock)
+    conns;
+  List.iter Thread.join !readers;
+  begin_drain t;
+  Thread.join disp;
+  List.iter
+    (fun c ->
+      Mutex.lock c.wlock;
+      close_conn c;
+      Mutex.unlock c.wlock)
+    conns
+
+let render_tenants t =
+  Mutex.lock t.tlock;
+  let names =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tenants [])
+  in
+  let out =
+    String.concat "\n"
+      (List.map
+         (fun name ->
+           let tn = Hashtbl.find t.tenants name in
+           Printf.sprintf "tenant %s (overloaded %d)\n%s" name
+             (Atomic.get tn.overloaded)
+             (Metrics.render (Metrics.snapshot tn.metrics)))
+         names)
+  in
+  Mutex.unlock t.tlock;
+  out
+
+let service t = t.service

@@ -1,0 +1,75 @@
+(** Persistent concurrent IK server: the `dadu serve --listen` engine.
+
+    Thread-per-connection readers parse length-prefixed JSON frames
+    ({!Problem_file.read_frame}) and answer control ops (hello / ping /
+    open / close / stats) synchronously; solve and waypoint ops are
+    enqueued into a bounded FIFO that a single dispatcher thread drains
+    in batches through {!Service.solve_requests}.  A full queue sheds
+    the request with a typed [overloaded] reply — backpressure, not
+    unbounded queueing.
+
+    {2 Determinism}
+
+    Solve-type reply payloads are built from reply values only (no
+    clocks, no addresses), with [%.17g] doubles — the bytes a client
+    dumps are compared with [cmp] across pool sizes and the lockstep /
+    snapshot-prepare execution modes in CI.  Session waypoints carry
+    stable ordinals from the session's own enqueue counter and
+    warm-start from the session slot, bypassing the shared seed cache,
+    so their replies are a pure function of the session's waypoint
+    sequence — independent of how other connections interleave
+    (DESIGN.md §15).  One-shot solves use the client-assigned [id] as
+    their stable ordinal; with warm-starting enabled their cache
+    visibility can still depend on dispatcher batch boundaries, so
+    full-stream byte determinism additionally needs the shared cache
+    off.  Shedding consumes nothing for one-shot solves but a shed
+    waypoint still consumed its ordinal — determinism is forfeited for
+    a session that sheds.
+
+    {2 Shutdown}
+
+    {!stop} is async-signal-safe (an atomic flag plus a self-pipe
+    write): install it as the SIGTERM/SIGINT handler.  {!run} then
+    stops accepting, pushes EOF at every connection, lets the
+    dispatcher finish everything already admitted, flushes the replies,
+    and returns — the graceful-drain contract the CI serve-live job
+    asserts by [kill -TERM] and checking exit 0 with all in-flight
+    replies present. *)
+
+type listen = Unix_sock of string | Tcp of string * int
+
+val listen_of_string : string -> (listen, string) result
+(** ["unix:<path>"], ["tcp:<host>:<port>"] (empty host means
+    127.0.0.1), or a bare path (treated as a Unix socket). *)
+
+type config = {
+  service : Service.config;
+  queue_capacity : int;
+      (** admission bound: solve/waypoint ops beyond this many queued
+          jobs are shed with an [overloaded] reply.  [0] sheds
+          everything — the load-shedding test hook. *)
+  max_batch : int;  (** most jobs handed to one {!Service} batch *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?pool:Dadu_util.Domain_pool.t -> ?config:config -> unit -> t
+(** Raises [Invalid_argument] on a negative queue capacity or a
+    non-positive batch size. *)
+
+val stop : t -> unit
+(** Begin a graceful drain.  Async-signal-safe and idempotent. *)
+
+val run : t -> listen:listen -> unit
+(** Bind, accept, and serve until {!stop}; returns after the drain
+    completes.  Ignores SIGPIPE.  An existing Unix socket file at the
+    path is replaced, and removed again on shutdown. *)
+
+val render_tenants : t -> string
+(** Per-tenant metrics tables (sorted by tenant name) with shed
+    counts — the summary the CLI prints after {!run} returns. *)
+
+val service : t -> Service.t
+(** The underlying service (cumulative metrics across all tenants). *)

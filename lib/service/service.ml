@@ -145,14 +145,30 @@ let breaker_states t =
   | Some bs ->
     List.mapi (fun j kind -> (kind, Breaker.state bs.(j))) t.config.solvers
 
-type request = { problem : Ik.problem; deadline_s : float option }
+type request = {
+  problem : Ik.problem;
+  deadline_s : float option;
+  session : Session.t option;
+  ordinal : int option;
+}
 
-let request ?deadline_s problem =
+let request ?deadline_s ?session ?ordinal problem =
   (match deadline_s with
   | Some d when not (d >= 0.) ->
     invalid_arg "Service.request: deadline_s must be non-negative"
   | Some _ | None -> ());
-  { problem; deadline_s }
+  (match ordinal with
+  | Some o when o < 0 ->
+    invalid_arg "Service.request: ordinal must be non-negative"
+  | Some _ | None -> ());
+  { problem; deadline_s; session; ordinal }
+
+(* The stable ordinal: the session waypoint sequence number when the
+   caller assigned one, else the batch index.  It keys every per-request
+   noise stream (speculative perturbations, retry jitter), so a session
+   waypoint's reply is independent of where it lands in a batch. *)
+let req_ordinal (d : Scheduler.dispatch) rq =
+  match rq.ordinal with Some o -> o | None -> d.Scheduler.index
 
 type reply =
   | Solved of {
@@ -160,6 +176,7 @@ type reply =
       solver : Fallback.kind;
       fallbacks : int;
       cache_hit : bool;
+      session_hit : bool;
       deadline_exceeded : bool;
       breaker_skips : int;
       retries : int;
@@ -174,8 +191,10 @@ type reply =
 type prepared =
   | Dispatch of {
       index : int;
+      ordinal : int; (* stable noise key, see [req_ordinal] *)
       problem : Ik.problem;
       cache_hit : bool;
+      session_hit : bool;
       expired : bool;
       solve_budget_s : float option;
       chain : Fallback.kind list;
@@ -223,12 +242,14 @@ let solve_budget t ?budget_s (d : Scheduler.dispatch) (rq : request) =
     (min_opt (remaining rq.deadline_s) (remaining budget_s))
 
 let mk_dispatch t ?budget_s (d : Scheduler.dispatch) (rq : request)
-    ~chain ~breaker_skips problem cache_hit =
+    ~chain ~breaker_skips ?(session_hit = false) problem cache_hit =
   Dispatch
     {
       index = d.Scheduler.index;
+      ordinal = req_ordinal d rq;
       problem;
       cache_hit;
+      session_hit;
       expired = d.Scheduler.expired;
       solve_budget_s = solve_budget t ?budget_s d rq;
       chain;
@@ -244,32 +265,49 @@ let prepare t ?budget_s ?trace (d : Scheduler.dispatch) (rq : request) =
   | Ok () ->
     let chain, breaker_skips = breaker_chain t d in
     let lookup = mk_dispatch t ?budget_s d rq ~chain ~breaker_skips in
-    if (not t.config.warm_start) && t.config.seed_candidates = 1 then
-      lookup p false
+    let is_session = rq.session <> None in
+    if (not t.config.warm_start) && t.config.seed_candidates = 1
+       && not is_session
+    then lookup p false
     else begin
       let dof = Chain.dof p.Ik.chain in
       let chain_id = chain_fingerprint t p.Ik.chain in
+      (* the temporal warm start: the session's previous converged
+         solution.  Session requests bypass the shared seed cache
+         entirely — the slot is the cache, scoped to the trajectory, so
+         a session's replies never depend on other traffic (DESIGN.md
+         §15). *)
+      let session_seed =
+        match rq.session with
+        | None -> None
+        | Some sess -> Session.seed sess ~chain_fp:chain_id
+      in
+      let session_hit = session_seed <> None in
       let cache_seed =
-        if t.config.warm_start then
+        if t.config.warm_start && not is_session then
           Seed_cache.find t.cache ~chain_id ~dof p.Ik.target
         else None
       in
       if t.config.seed_candidates = 1 then
         (* non-speculative path, exactly as before the seed selector *)
-        match cache_seed with
-        | None -> lookup p false
-        | Some seed ->
+        match (session_seed, cache_seed) with
+        | Some seed, _ ->
+          let theta0 = Chain.clamp_config p.Ik.chain seed in
+          lookup ~session_hit:true { p with Ik.theta0 } false
+        | None, Some seed ->
           (* a cached neighbour is a legal warm start once clamped to
              this chain's limits *)
           let theta0 = Chain.clamp_config p.Ik.chain seed in
           lookup { p with Ik.theta0 } true
+        | None, None -> lookup p false
       else begin
         (* multi-seed speculative start: assemble up to seed_candidates
-           starts (θ₀, cache hit, library neighbour, zero, perturbed
-           best), score each by first-iteration FK error, dispatch only
-           the winner.  Runs here in the serial phase, so the winner is a
-           pure function of the request ordinal and the committed history
-           — independent of pool size and lockstep mode. *)
+           starts (θ₀, session slot, cache hit, library neighbour, zero,
+           perturbed best), score each by first-iteration FK error,
+           dispatch only the winner.  Runs here in the serial phase, so
+           the winner is a pure function of the request ordinal and the
+           committed history — independent of pool size and lockstep
+           mode. *)
         let library =
           match t.config.seed_library with
           | Some lib when Posture_library.matches lib p.Ik.chain -> Some lib
@@ -279,8 +317,8 @@ let prepare t ?budget_s ?trace (d : Scheduler.dispatch) (rq : request) =
         let theta0 = Array.make dof 0. in
         let target = p.Ik.target in
         let source =
-          Seed_select.choose t.seed_select ~library ~cache_seed
-            ~candidates:t.config.seed_candidates ~ordinal:d.Scheduler.index
+          Seed_select.choose t.seed_select ~session_seed ~library ~cache_seed
+            ~candidates:t.config.seed_candidates ~ordinal:(req_ordinal d rq)
             ~scale:t.config.retry_scale ~chain:p.Ik.chain
             ~tx:target.Dadu_linalg.Vec3.x ~ty:target.Dadu_linalg.Vec3.y
             ~tz:target.Dadu_linalg.Vec3.z ~theta0:p.Ik.theta0 ~dst:theta0
@@ -299,7 +337,7 @@ let prepare t ?budget_s ?trace (d : Scheduler.dispatch) (rq : request) =
             ~start_s
             ~dur_s:(Trace.now_s () -. start_s)
             ());
-        lookup { p with Ik.theta0 } (cache_seed <> None)
+        lookup ~session_hit { p with Ik.theta0 } (cache_seed <> None)
       end
     end
 
@@ -334,6 +372,7 @@ type snap =
       spec : Seed_select.spec;
       library_hit : bool;
       cache_hit : bool;
+      session_hit : bool;
       chain : Fallback.kind list;
       breaker_skips : int;
     }
@@ -351,22 +390,35 @@ let prepare_wave t ?budget_s ?trace requests (ds : Scheduler.dispatch array) =
         | Ok () ->
           let chain, breaker_skips = breaker_chain t d in
           let lookup = mk_dispatch t ?budget_s d rq ~chain ~breaker_skips in
-          if (not t.config.warm_start) && t.config.seed_candidates = 1 then
-            Snap_done (lookup p false)
+          let is_session = rq.session <> None in
+          if (not t.config.warm_start) && t.config.seed_candidates = 1
+             && not is_session
+          then Snap_done (lookup p false)
           else begin
             let dof = Chain.dof p.Ik.chain in
             let chain_id = chain_fingerprint t p.Ik.chain in
+            (* session slot reads are safe here: the wave cut guarantees
+               no earlier request of this wave writes the slot *)
+            let session_seed =
+              match rq.session with
+              | None -> None
+              | Some sess -> Session.seed sess ~chain_fp:chain_id
+            in
+            let session_hit = session_seed <> None in
             let cache_seed =
-              if t.config.warm_start then
+              if t.config.warm_start && not is_session then
                 Seed_cache.find t.cache ~chain_id ~dof p.Ik.target
               else None
             in
             if t.config.seed_candidates = 1 then
-              match cache_seed with
-              | None -> Snap_done (lookup p false)
-              | Some seed ->
+              match (session_seed, cache_seed) with
+              | Some seed, _ ->
+                let theta0 = Chain.clamp_config p.Ik.chain seed in
+                Snap_done (lookup ~session_hit:true { p with Ik.theta0 } false)
+              | None, Some seed ->
                 let theta0 = Chain.clamp_config p.Ik.chain seed in
                 Snap_done (lookup { p with Ik.theta0 } true)
+              | None, None -> Snap_done (lookup p false)
             else begin
               let library =
                 match t.config.seed_library with
@@ -397,12 +449,13 @@ let prepare_wave t ?budget_s ?trace requests (ds : Scheduler.dispatch array) =
                   rq;
                   spec =
                     {
-                      Seed_select.ordinal = d.Scheduler.index;
+                      Seed_select.ordinal = req_ordinal d rq;
                       chain = p.Ik.chain;
                       tx = p.Ik.target.Dadu_linalg.Vec3.x;
                       ty = p.Ik.target.Dadu_linalg.Vec3.y;
                       tz = p.Ik.target.Dadu_linalg.Vec3.z;
                       theta0 = p.Ik.theta0;
+                      session_seed;
                       cache_seed;
                       library;
                       library_index;
@@ -412,6 +465,7 @@ let prepare_wave t ?budget_s ?trace requests (ds : Scheduler.dispatch array) =
                     };
                   library_hit;
                   cache_hit = cache_seed <> None;
+                  session_hit;
                   chain;
                   breaker_skips;
                 }
@@ -435,8 +489,17 @@ let prepare_wave t ?budget_s ?trace requests (ds : Scheduler.dispatch array) =
     Array.map
       (function
         | Snap_done prepared -> prepared
-        | Snap_spec { d; rq; spec; library_hit; cache_hit; chain; breaker_skips }
-          ->
+        | Snap_spec
+            {
+              d;
+              rq;
+              spec;
+              library_hit;
+              cache_hit;
+              session_hit;
+              chain;
+              breaker_skips;
+            } ->
           let source = sources.(!spec_at) in
           incr spec_at;
           Metrics.record_seed t.metrics ~library_hit source;
@@ -450,7 +513,7 @@ let prepare_wave t ?budget_s ?trace requests (ds : Scheduler.dispatch array) =
               ~attrs:[ ("winner", Seed_select.source_name source) ]
               ~start_s:select_start ~dur_s:select_dur ());
           let p = rq.problem in
-          mk_dispatch t ?budget_s d rq ~chain ~breaker_skips
+          mk_dispatch t ?budget_s d rq ~chain ~breaker_skips ~session_hit
             { p with Ik.theta0 = spec.Seed_select.dst }
             cache_hit)
       snaps
@@ -467,11 +530,12 @@ let prepare_wave t ?budget_s ?trace requests (ds : Scheduler.dispatch array) =
   out
 
 (* Perturbed-seed retry (the IKSel observation: a failed chain often
-   succeeds from a jittered start).  The noise is seeded from the request
-   index and retry ordinal only, so retry [r] of request [i] perturbs
-   identically whatever the pool size or which domain runs it. *)
-let perturbed (p : Ik.problem) ~index ~retry ~scale =
-  let rng = Rng.create (Hashtbl.hash (0x7e72, index, retry)) in
+   succeeds from a jittered start).  The noise is seeded from the
+   request's stable ordinal and retry number only, so retry [r] of
+   ordinal [o] perturbs identically whatever the pool size, which domain
+   runs it, or — for session waypoints — which batch it lands in. *)
+let perturbed (p : Ik.problem) ~ordinal ~retry ~scale =
+  let rng = Rng.create (Hashtbl.hash (0x7e72, ordinal, retry)) in
   let theta0 =
     Chain.clamp_config p.Ik.chain
       (Array.map (fun th -> th +. (scale *. Rng.gaussian rng)) p.Ik.theta0)
@@ -484,8 +548,10 @@ let work t ?trace ?head prep =
   | Dispatch
       {
         index;
+        ordinal;
         problem;
         cache_hit;
+        session_hit;
         expired;
         solve_budget_s;
         chain;
@@ -529,7 +595,7 @@ let work t ?trace ?head prep =
         || retry > t.config.retries || expired
       then (best, retry - 1)
       else begin
-        let rp = perturbed problem ~index ~retry ~scale:t.config.retry_scale in
+        let rp = perturbed problem ~ordinal ~retry ~scale:t.config.retry_scale in
         let start_s = Trace.now_s () in
         let o = solve rp in
         (match trace with
@@ -593,6 +659,7 @@ let work t ?trace ?head prep =
         solver = outcome.Fallback.solver;
         fallbacks = outcome.Fallback.fallbacks;
         cache_hit;
+        session_hit;
         deadline_exceeded = expired;
         breaker_skips;
         retries = retries_used;
@@ -634,6 +701,7 @@ let commit t ?trace requests i result =
           result;
           fallbacks;
           cache_hit;
+          session_hit;
           deadline_exceeded;
           breaker_skips;
           retries;
@@ -642,13 +710,25 @@ let commit t ?trace requests i result =
           _;
         }) ->
     let converged = result.Ik.status = Ik.Converged in
-    if converged then begin
-      let p = requests.(i).problem in
-      Seed_cache.store t.cache
-        ~chain_id:(chain_fingerprint t p.Ik.chain)
-        ~dof:(Chain.dof p.Ik.chain)
-        ~target:p.Ik.target result.Ik.theta
-    end;
+    let rq = requests.(i) in
+    let p = rq.problem in
+    (match rq.session with
+    | Some sess ->
+      (* the session slot replaces the shared cache for this request:
+         the converged solution feeds the next waypoint of the same
+         trajectory and nothing else, keeping session replies
+         independent of other traffic (DESIGN.md §15) *)
+      if converged then
+        Session.store sess
+          ~chain_fp:(chain_fingerprint t p.Ik.chain)
+          result.Ik.theta;
+      Session.record sess ~warm:session_hit
+    | None ->
+      if converged then
+        Seed_cache.store t.cache
+          ~chain_id:(chain_fingerprint t p.Ik.chain)
+          ~dof:(Chain.dof p.Ik.chain)
+          ~target:p.Ik.target result.Ik.theta);
     Metrics.record t.metrics
       (Metrics.Solved
          {
@@ -656,6 +736,8 @@ let commit t ?trace requests i result =
            diverged = result.Ik.status = Ik.Diverged;
            fallbacks;
            cache_hit;
+           session = rq.session <> None;
+           session_hit;
            deadline_exceeded;
            breaker_skips;
            retries;
@@ -722,6 +804,31 @@ let solve_requests ?budget_s ?trace t requests =
       Some (prepare_wave t ?budget_s ?trace requests)
     else None
   in
+  (* Two waypoints of one session must never share a wave: the later
+     one's prepare has to observe the earlier one's serial commit (the
+     warm-start slot).  The cut is queried serially in input order and
+     depends only on the request array, so wave shapes — and replies —
+     stay a pure function of the batch.  Skipped entirely for
+     session-free batches: wave shapes there are exactly the classic
+     fixed chunks. *)
+  let cut =
+    if Array.exists (fun rq -> rq.session <> None) requests then
+      Some
+        (fun ~base i ->
+          match requests.(i).session with
+          | None -> false
+          | Some s ->
+            let dup = ref false in
+            let j = ref base in
+            while (not !dup) && !j < i do
+              (match requests.(!j).session with
+              | Some s' when s' == s -> dup := true
+              | Some _ | None -> ());
+              incr j
+            done;
+            !dup)
+    else None
+  in
   (* phase hooks: workspace accounting attribution plus the wave-phase
      wall-time breakdown (metrics always; trace spans under a sentinel
      request -1 so per-request span pins stay closed over request ids) *)
@@ -756,6 +863,7 @@ let solve_requests ?budget_s ?trace t requests =
     | Some mb when not (Fault.enabled t.config.fault) ->
       Scheduler.map_lockstep t.scheduler ?budget_s
         ~deadline_s:(fun i -> requests.(i).deadline_s)
+        ?cut
         ~prepare:(prepare t ?budget_s ?trace)
         ?prepare_wave ~phase_enter ~phase_done
         ~work_batch:(lockstep_work t ?trace mb)
@@ -763,6 +871,7 @@ let solve_requests ?budget_s ?trace t requests =
     | Some _ | None ->
       Scheduler.map_deadlined t.scheduler ?budget_s
         ~deadline_s:(fun i -> requests.(i).deadline_s)
+        ?cut
         ~prepare:(prepare t ?budget_s ?trace)
         ?prepare_wave ~phase_enter ~phase_done
         ~work:(work t ?trace)
@@ -774,7 +883,13 @@ let solve_requests ?budget_s ?trace t requests =
        | Error exn -> Faulted (Printexc.to_string exn))
 
 let solve_batch t problems =
-  solve_requests t (Array.map (fun problem -> { problem; deadline_s = None }) problems)
+  solve_requests t
+    (Array.map
+       (fun problem ->
+         { problem; deadline_s = None; session = None; ordinal = None })
+       problems)
+
+let seed_cache t = t.cache
 
 let metrics t = Metrics.snapshot t.metrics
 

@@ -124,10 +124,24 @@ type request = {
       (** seconds from the batch's start by which this request should be
           dispatched; once passed it is served by the cheapest tier and
           tagged [deadline_exceeded] *)
+  session : Session.t option;
+      (** the trajectory session this request belongs to.  Session
+          requests warm-start from the session's slot (the previous
+          waypoint's converged solution) and bypass the shared seed
+          cache in both directions; the scheduler wave is cut so two
+          requests of one session never share a wave, making the later
+          one's prepare observe the earlier one's commit even inside a
+          single batch (DESIGN.md §15) *)
+  ordinal : int option;
+      (** stable per-request ordinal overriding the batch index as the
+          noise key for speculative perturbations and retry jitter —
+          the server assigns the session's waypoint sequence number, so
+          a waypoint's reply is independent of how requests were batched *)
 }
 
-val request : ?deadline_s:float -> Ik.problem -> request
-(** Raises [Invalid_argument] on a negative deadline. *)
+val request :
+  ?deadline_s:float -> ?session:Session.t -> ?ordinal:int -> Ik.problem -> request
+(** Raises [Invalid_argument] on a negative deadline or ordinal. *)
 
 type reply =
   | Solved of {
@@ -135,6 +149,11 @@ type reply =
       solver : Fallback.kind;  (** chain member that produced [result] *)
       fallbacks : int;  (** solvers tried after the first *)
       cache_hit : bool;  (** warm-started from a cached neighbour *)
+      session_hit : bool;
+          (** the session's warm-start slot was filled and offered
+              (always false for session-free requests; [cache_hit] is
+              always false for session requests — the two lookup paths
+              are disjoint) *)
       deadline_exceeded : bool;
           (** short-circuited: only the cheapest solver ran *)
       breaker_skips : int;  (** tiers skipped by open breakers *)
@@ -162,6 +181,10 @@ val solve_requests :
 val solve_batch : t -> Ik.problem array -> reply array
 (** {!solve_requests} with no deadlines, no budget, no trace — the fully
     deterministic path. *)
+
+val seed_cache : t -> Seed_cache.t
+(** The shared warm-start cache — exposed for tests that pre-load or
+    poison cells (sessions must never read it). *)
 
 val metrics : t -> Metrics.snapshot
 (** Cumulative across every batch served so far. *)

@@ -1,0 +1,63 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+type t = {
+  name : string;
+  chain : Chain.t;
+  chain_fp : int;
+  mutable slot : Vec.t option;
+      (* last converged joint vector; the temporal warm start *)
+  mutable waypoints : int;
+  mutable warm : int;
+  mutable seq : int; (* next waypoint ordinal (enqueue-side counter) *)
+}
+
+let create ~name ~chain =
+  {
+    name;
+    chain;
+    chain_fp = Chain.fingerprint chain;
+    slot = None;
+    waypoints = 0;
+    warm = 0;
+    seq = 0;
+  }
+
+let name t = t.name
+
+let chain t = t.chain
+
+let waypoints t = t.waypoints
+
+let warm_hits t = t.warm
+
+let next_ordinal t =
+  let o = t.seq in
+  t.seq <- t.seq + 1;
+  o
+
+let accepted t = t.seq
+
+(* The slot is only offered to the chain that filled it: a mismatched
+   fingerprint (different robot under the same session object) is treated
+   as cold rather than risking a wrong-DOF blit. *)
+let seed t ~chain_fp = if chain_fp = t.chain_fp then t.slot else None
+
+let store t ~chain_fp theta =
+  if chain_fp = t.chain_fp then begin
+    let dst =
+      match t.slot with
+      | Some dst when Array.length dst = Array.length theta -> dst
+      | Some _ | None ->
+        let dst = Array.make (Array.length theta) 0. in
+        t.slot <- Some dst;
+        dst
+    in
+    Array.blit theta 0 dst 0 (Array.length theta)
+  end
+
+let record t ~warm =
+  t.waypoints <- t.waypoints + 1;
+  if warm then t.warm <- t.warm + 1
+
+let clear t = t.slot <- None

@@ -1,0 +1,67 @@
+open Dadu_linalg
+open Dadu_kinematics
+
+(** Trajectory-tracking session state: the temporal warm-start slot.
+
+    A session follows one client streaming Cartesian waypoints for one
+    robot (the forward-dynamics tracking workload of Scherzinger et al.).
+    Its heart is a single seed slot holding the {e previous waypoint's}
+    converged joint vector: successive waypoints are close in workspace,
+    so warm-starting each solve from the last solution drops Quick-IK
+    from tens of iterations to a handful (pinned by the session bench
+    entries and the serving tests).
+
+    Determinism contract: the slot is read only in the scheduler's serial
+    prepare phase and written only in its serial commit phase, in request
+    ordinal order ({!Service} enforces a wave cut so two waypoints of the
+    same session never share a wave).  A session's replies are therefore
+    a pure function of its own waypoint sequence — independent of pool
+    size, lockstep/snapshot execution modes, and of how other sessions'
+    requests interleave with it (DESIGN.md §15).  Session requests bypass
+    the shared {!Seed_cache} entirely: the slot {e is} the cache, scoped
+    to the trajectory, which is what makes the independence argument
+    hold.
+
+    Not thread-safe: mutate only from the scheduler's serial phases (the
+    slot) or from a single enqueue thread ({!next_ordinal}). *)
+
+type t
+
+val create : name:string -> chain:Chain.t -> t
+(** A fresh, cold session for [chain].  [name] is only a label. *)
+
+val name : t -> string
+
+val chain : t -> Chain.t
+
+val waypoints : t -> int
+(** Waypoints committed so far. *)
+
+val warm_hits : t -> int
+(** Waypoints that were offered the slot (i.e. all but the cold ones). *)
+
+val next_ordinal : t -> int
+(** The next waypoint's stable ordinal: 0, 1, 2, … — the enqueue-side
+    counter the server assigns so replies are keyed to the session's own
+    sequence, not to arrival interleaving. *)
+
+val accepted : t -> int
+(** Waypoints accepted (ordinals handed out) so far — unlike
+    {!waypoints} this is an enqueue-side count, so it is deterministic
+    for a fixed client stream even while solves are in flight. *)
+
+val seed : t -> chain_fp:int -> Vec.t option
+(** The slot, if filled by a chain with this fingerprint (else [None]:
+    a mismatched robot is served cold rather than risking a wrong-DOF
+    seed).  The returned vector is the live slot — callers must copy or
+    clamp into their own buffer before the next commit. *)
+
+val store : t -> chain_fp:int -> Vec.t -> unit
+(** Overwrite the slot with a converged configuration (copied).  Ignored
+    on a fingerprint mismatch.  Call only from the serial commit phase. *)
+
+val record : t -> warm:bool -> unit
+(** Count one committed waypoint ([warm] when the slot was offered). *)
+
+val clear : t -> unit
+(** Drop the slot (the session goes cold; counters are kept). *)

@@ -1,0 +1,156 @@
+Persistent streaming server, exercised end to end over Unix sockets.
+Each scenario runs its own server on a private socket under /tmp (cram
+sandbox paths can exceed the 108-byte sun_path limit).  Fixed robots
+and fixed scripts make every reply deterministic, so control output is
+matched exactly and solve dumps are byte-compared.
+
+  $ SOCKDIR=$(mktemp -d /tmp/dadu-live-XXXXXX)
+  $ trap 'rm -rf "$SOCKDIR"' EXIT
+
+Happy path: open a 30-DOF trajectory session, stream five waypoints
+2 cm apart, close.  The first waypoint solves cold; the other four
+warm-start from their predecessor's solution through the session seed
+slot (session_hit), never touching the shared seed cache:
+
+  $ cat > traj.script <<'EOF'
+  > hello acme
+  > open s1 eval:30
+  > waypoint s1 4.0,1.00,2.0
+  > waypoint s1 4.0,1.02,2.0
+  > waypoint s1 4.0,1.04,2.0
+  > waypoint s1 4.0,1.06,2.0
+  > waypoint s1 4.0,1.08,2.0
+  > close s1
+  > EOF
+  $ dadu serve --listen "unix:$SOCKDIR/happy.sock" -j 2 --chunk 8 \
+  >   > happy.tenants 2> happy.log &
+  $ HAPPY=$!
+  $ dadu client --connect "unix:$SOCKDIR/happy.sock" --dump pool2.dump traj.script
+  {"reply":"hello","tenant":"acme"}
+  {"reply":"opened","id":1,"session":"s1","dof":30,"resumed":false,"waypoints":0}
+  {"reply":"closed","id":7,"session":"s1","waypoints":5}
+  solve replies: 5
+  $ grep -c '"status":"converged"' pool2.dump
+  5
+  $ grep -c '"session_hit":true' pool2.dump
+  4
+  $ grep -c '"cache_hit":true' pool2.dump
+  0
+  [1]
+
+SIGTERM drains gracefully: exit 0, and the tenant summary the server
+prints on the way out accounts for the five session requests:
+
+  $ kill -TERM $HAPPY
+  $ wait $HAPPY; echo "server exit $?"
+  server exit 0
+  $ grep -c "acme" happy.tenants
+  1
+
+Replies are byte-identical across pool sizes and execution modes for
+the same script: the session seed slot, stable per-session ordinals and
+the wave cut make each reply a pure function of session history, not of
+scheduling.  pool2.dump (from the -j 2 server above) is the reference:
+
+  $ run_mode () {
+  >   name=$1; shift
+  >   dadu serve --listen "unix:$SOCKDIR/$name.sock" "$@" > /dev/null 2>&1 &
+  >   pid=$!
+  >   dadu client --connect "unix:$SOCKDIR/$name.sock" --dump "$name.dump" \
+  >     traj.script > /dev/null
+  >   kill -TERM $pid && wait $pid
+  > }
+  $ run_mode pool1 -j 1 --chunk 8
+  $ run_mode pool4 -j 4 --chunk 8
+  $ run_mode lockstep1 -j 1 --chunk 8 --lockstep --snapshot-prepare
+  $ run_mode lockstep4 -j 4 --chunk 8 --lockstep --snapshot-prepare
+  $ cmp pool2.dump pool1.dump && cmp pool2.dump pool4.dump && echo identical
+  identical
+  $ cmp pool2.dump lockstep1.dump && cmp pool2.dump lockstep4.dump && echo identical
+  identical
+
+Malformed frames get a typed error reply, not a disconnect: an
+unparseable payload, an unknown op and a waypoint for a session that
+was never opened each produce an error, and the connection still
+answers the ping that follows:
+
+  $ cat > malformed.script <<'EOF'
+  > hello acme
+  > raw {"op":nonsense}
+  > raw {"op":"warp"}
+  > waypoint ghost 1,2,3
+  > ping
+  > EOF
+  $ dadu serve --listen "unix:$SOCKDIR/mal.sock" -j 1 > /dev/null 2>&1 &
+  $ MAL=$!
+  $ dadu client --connect "unix:$SOCKDIR/mal.sock" malformed.script
+  {"reply":"hello","tenant":"acme"}
+  {"reply":"error","message":"malformed payload: expected null at offset 6"}
+  {"reply":"error","message":"unknown op \"warp\""}
+  {"reply":"error","id":3,"message":"unknown session \"ghost\""}
+  {"reply":"pong"}
+  solve replies: 0
+  $ kill -TERM $MAL && wait $MAL
+
+A full queue sheds load with typed overloaded replies instead of
+stalling or disconnecting: with --queue 0 every solve is shed, the
+per-tenant counters record the sheds, and no request reaches a solver:
+
+  $ cat > flood.script <<'EOF'
+  > hello burst
+  > robot eval:12
+  > solve 1.0,1.0,1.0
+  > solve 1.0,1.0,1.1
+  > stats
+  > EOF
+  $ dadu serve --listen "unix:$SOCKDIR/flood.sock" --queue 0 -j 1 \
+  >   > /dev/null 2>&1 &
+  $ FLOOD=$!
+  $ dadu client --connect "unix:$SOCKDIR/flood.sock" --dump flood.dump \
+  >   flood.script
+  {"reply":"hello","tenant":"burst"}
+  {"reply":"stats","tenant":"burst","requests":0,"converged":0,"failed":0,"rejected":0,"faulted":0,"cache_hits":0,"cache_misses":0,"session_requests":0,"session_warm":0,"overloaded":2}
+  solve replies: 2
+  $ cat flood.dump
+  {"reply":"overloaded","id":1}
+  {"reply":"overloaded","id":2}
+  $ kill -TERM $FLOOD && wait $FLOOD
+
+A session survives its client disconnecting without close: reconnecting
+and re-opening the same name resumes it (resumed true, accepted count
+carried over), the next waypoint gets the next ordinal and warm-starts
+from the solution streamed on the first connection, and re-opening with
+a different robot is refused:
+
+  $ dadu serve --listen "unix:$SOCKDIR/resume.sock" -j 2 > /dev/null 2>&1 &
+  $ RESUME=$!
+  $ cat > legA.script <<'EOF'
+  > hello acme
+  > open r1 eval:12
+  > waypoint r1 2.0,1.00,0.5
+  > waypoint r1 2.0,1.05,0.5
+  > EOF
+  $ dadu client --connect "unix:$SOCKDIR/resume.sock" --dump legA.dump \
+  >   legA.script
+  {"reply":"hello","tenant":"acme"}
+  {"reply":"opened","id":1,"session":"r1","dof":12,"resumed":false,"waypoints":0}
+  solve replies: 2
+  $ cat > legB.script <<'EOF'
+  > hello acme
+  > open r1 eval:12
+  > waypoint r1 2.0,1.10,0.5
+  > open r1 eval:30
+  > close r1
+  > EOF
+  $ dadu client --connect "unix:$SOCKDIR/resume.sock" --dump legB.dump \
+  >   legB.script
+  {"reply":"hello","tenant":"acme"}
+  {"reply":"opened","id":1,"session":"r1","dof":12,"resumed":true,"waypoints":2}
+  {"reply":"error","id":3,"message":"session exists with a different robot"}
+  {"reply":"closed","id":4,"session":"r1","waypoints":3}
+  solve replies: 1
+  $ grep -c '"ordinal":2' legB.dump
+  1
+  $ grep -c '"session_hit":true' legB.dump
+  1
+  $ kill -TERM $RESUME && wait $RESUME

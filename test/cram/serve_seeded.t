@@ -44,6 +44,7 @@ were offered a library candidate, and the wins partition the batch:
   $ grep -E "library hits|seed wins" seeded.out | tr -s ' '
   | library hits | 8 |
   | seed wins (theta0) | 0 |
+  | seed wins (session) | 0 |
   | seed wins (cache) | 0 |
   | seed wins (library) | 5 |
   | seed wins (zero) | 0 |

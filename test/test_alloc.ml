@@ -121,9 +121,9 @@ let test_seed_select_zero () =
   let dst = Array.make dof 0. in
   let choose ordinal =
     ignore
-      (Dadu_service.Seed_select.choose sel ~library ~cache_seed
-         ~candidates:4 ~ordinal ~scale:0.1 ~chain ~tx:0.8 ~ty:(-0.3) ~tz:1.1
-         ~theta0 ~dst)
+      (Dadu_service.Seed_select.choose sel ~session_seed:None ~library
+         ~cache_seed ~candidates:4 ~ordinal ~scale:0.1 ~chain ~tx:0.8
+         ~ty:(-0.3) ~tz:1.1 ~theta0 ~dst)
   in
   choose 0;
   (* warm *)
@@ -188,6 +188,7 @@ let test_choose_wave_bounded () =
           ty = -0.3;
           tz = 1.1;
           theta0 = Array.make dof 0.2;
+          session_seed = None;
           cache_seed;
           library = Some library;
           library_index =

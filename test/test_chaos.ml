@@ -85,6 +85,7 @@ let strip_latency = function
         solver;
         fallbacks;
         cache_hit;
+        session_hit;
         deadline_exceeded;
         breaker_skips;
         retries;
@@ -97,6 +98,7 @@ let strip_latency = function
         solver,
         fallbacks,
         cache_hit,
+        session_hit,
         deadline_exceeded,
         breaker_skips,
         retries,

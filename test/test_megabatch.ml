@@ -271,6 +271,7 @@ let test_lockstep_with_speculative_seeding () =
           solver;
           fallbacks;
           cache_hit;
+          session_hit;
           deadline_exceeded;
           breaker_skips;
           retries;
@@ -283,6 +284,7 @@ let test_lockstep_with_speculative_seeding () =
           solver,
           fallbacks,
           cache_hit,
+          session_hit,
           deadline_exceeded,
           breaker_skips,
           retries,

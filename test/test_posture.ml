@@ -323,9 +323,10 @@ let test_winner_matches_oracle =
       let sel = Seed_select.create () in
       let dst = Array.make dof 0. in
       let source =
-        Seed_select.choose sel ~library ~cache_seed ~candidates ~ordinal:seed
-          ~scale:0.1 ~chain ~tx:p.Ik.target.Vec3.x ~ty:p.Ik.target.Vec3.y
-          ~tz:p.Ik.target.Vec3.z ~theta0:p.Ik.theta0 ~dst
+        Seed_select.choose sel ~session_seed:None ~library ~cache_seed
+          ~candidates ~ordinal:seed ~scale:0.1 ~chain ~tx:p.Ik.target.Vec3.x
+          ~ty:p.Ik.target.Vec3.y ~tz:p.Ik.target.Vec3.z ~theta0:p.Ik.theta0
+          ~dst
       in
       let osrc, otheta =
         oracle_choose ~library ~cache_seed ~candidates ~ordinal:seed ~scale:0.1
@@ -347,8 +348,9 @@ let test_selector_scratch_reuse () =
     let run sel =
       let dst = Array.make dof 0. in
       let src =
-        Seed_select.choose sel ~library:(Some lib) ~cache_seed:None
-          ~candidates:(2 + (i mod 5)) ~ordinal:i ~scale:0.1 ~chain
+        Seed_select.choose sel ~session_seed:None ~library:(Some lib)
+          ~cache_seed:None ~candidates:(2 + (i mod 5)) ~ordinal:i ~scale:0.1
+          ~chain
           ~tx:p.Ik.target.Vec3.x ~ty:p.Ik.target.Vec3.y ~tz:p.Ik.target.Vec3.z
           ~theta0:p.Ik.theta0 ~dst
       in

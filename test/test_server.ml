@@ -1,0 +1,449 @@
+(* Tests for the persistent streaming server: wire framing, client
+   scripts, listen-address parsing, and live-socket behaviour (sessions,
+   typed error replies, load shedding, resume, graceful drain). *)
+
+open Dadu_service
+module Json = Dadu_util.Json
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---- listen addresses ---- *)
+
+let test_listen_of_string () =
+  let check name expect got =
+    Alcotest.(check bool) name true (got = expect)
+  in
+  check "unix:" (Ok (Server.Unix_sock "/tmp/x.sock"))
+    (Server.listen_of_string "unix:/tmp/x.sock");
+  check "bare path" (Ok (Server.Unix_sock "/tmp/y.sock"))
+    (Server.listen_of_string "/tmp/y.sock");
+  check "tcp" (Ok (Server.Tcp ("localhost", 7001)))
+    (Server.listen_of_string "tcp:localhost:7001");
+  check "tcp empty host" (Ok (Server.Tcp ("127.0.0.1", 7001)))
+    (Server.listen_of_string "tcp::7001");
+  Alcotest.(check bool) "tcp bad port errors" true
+    (Result.is_error (Server.listen_of_string "tcp:host:notaport"));
+  Alcotest.(check bool) "tcp port 0 errors" true
+    (Result.is_error (Server.listen_of_string "tcp:host:0"));
+  Alcotest.(check bool) "empty errors" true
+    (Result.is_error (Server.listen_of_string ""))
+
+(* ---- wire framing ---- *)
+
+let with_frames_file payloads f =
+  let path = Filename.temp_file "dadu_frames" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          List.iter (Problem_file.write_frame oc) payloads);
+      In_channel.with_open_bin path f)
+
+let test_framing_roundtrip () =
+  let payloads = [ "{}"; ""; String.make 4096 'x'; "{\"a\":[1,2,3]}" ] in
+  with_frames_file payloads (fun ic ->
+      List.iter
+        (fun expect ->
+          match Problem_file.read_frame ic with
+          | Ok (Some got) ->
+            Alcotest.(check string) "payload round-trips" expect got
+          | Ok None -> Alcotest.fail "unexpected EOF"
+          | Error msg -> Alcotest.fail msg)
+        payloads;
+      Alcotest.(check bool) "clean EOF after the last frame" true
+        (Problem_file.read_frame ic = Ok None))
+
+let read_error text =
+  let path = Filename.temp_file "dadu_frames" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc text);
+      In_channel.with_open_bin path Problem_file.read_frame)
+
+let test_framing_errors () =
+  (match read_error "nonsense\n{}" with
+  | Error msg ->
+    Alcotest.(check bool) "malformed length line named" true
+      (Astring.String.is_infix ~affix:"malformed frame length" msg)
+  | Ok _ -> Alcotest.fail "expected an error");
+  (match read_error "10\n{}" with
+  | Error "truncated frame payload" -> ()
+  | r ->
+    Alcotest.fail
+      (Printf.sprintf "expected truncated-payload error, got %s"
+         (match r with
+         | Ok _ -> "Ok"
+         | Error m -> m)));
+  (match read_error "2\n{}X" with
+  | Error "missing frame terminator" -> ()
+  | _ -> Alcotest.fail "expected missing-terminator error");
+  match read_error (Printf.sprintf "%d\n" (Problem_file.max_frame_bytes + 1)) with
+  | Error msg ->
+    Alcotest.(check bool) "oversized length rejected before allocation" true
+      (Astring.String.is_infix ~affix:"out of range" msg)
+  | Ok _ -> Alcotest.fail "expected an out-of-range error"
+
+let test_framing_property =
+  QCheck.Test.make ~name:"arbitrary payloads frame and unframe" ~count:50
+    QCheck.(string_of_size (Gen.int_range 0 2000))
+    (fun payload ->
+      let path = Filename.temp_file "dadu_frames" ".bin" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Out_channel.with_open_bin path (fun oc ->
+              Problem_file.write_frame oc payload);
+          In_channel.with_open_bin path (fun ic ->
+              Problem_file.read_frame ic = Ok (Some payload))))
+
+(* ---- client scripts ---- *)
+
+let test_script_parses () =
+  let text =
+    "# trajectory demo\n\
+     hello acme\n\
+     open s1 eval:30\n\
+     waypoint s1 4.0,1.0,2.0  # first\n\
+     close s1\n\
+     robot eval:12\n\
+     solve 3.0,1.0,1.0 deadline=0.5\n\
+     solve 3.0,1.0,1.0 theta0=0.1,0.2\n\
+     ping\n\
+     stats\n\
+     raw {\"op\":\"nonsense\"\n"
+  in
+  match Problem_file.parse_script text with
+  | Error msg -> Alcotest.fail msg
+  | Ok ops ->
+    Alcotest.(check int) "op count" 9 (Array.length ops);
+    (match ops.(0) with
+    | Problem_file.Hello { tenant = "acme" } -> ()
+    | _ -> Alcotest.fail "expected hello acme");
+    (match ops.(2) with
+    | Problem_file.Waypoint { session = "s1"; x; _ } ->
+      Alcotest.(check (float 0.)) "waypoint x" 4.0 x
+    | _ -> Alcotest.fail "expected waypoint");
+    (match ops.(4) with
+    | Problem_file.Solve { robot = "eval:12"; deadline_s = Some d; theta0 = None; _ }
+      ->
+      Alcotest.(check (float 0.)) "deadline" 0.5 d
+    | _ -> Alcotest.fail "expected solve with deadline");
+    (match ops.(5) with
+    | Problem_file.Solve { theta0 = Some [ 0.1; 0.2 ]; deadline_s = None; _ } -> ()
+    | _ -> Alcotest.fail "expected solve with theta0");
+    match ops.(8) with
+    | Problem_file.Raw "{\"op\":\"nonsense\"" -> ()
+    | _ -> Alcotest.fail "expected raw payload verbatim"
+
+let test_script_errors () =
+  (match Problem_file.parse_script "hello a\nsolve 1,2,3\n" with
+  | Error msg ->
+    Alcotest.(check bool) "solve before robot carries line 2" true
+      (Astring.String.is_prefix ~affix:"line 2:" msg)
+  | Ok _ -> Alcotest.fail "expected an error");
+  match Problem_file.parse_script "waypoint s1 nonsense\n" with
+  | Error msg ->
+    Alcotest.(check bool) "bad coords carry line 1" true
+      (Astring.String.is_prefix ~affix:"line 1:" msg)
+  | Ok _ -> Alcotest.fail "expected an error"
+
+(* ---- live server harness ----
+
+   An in-process server on a temp Unix socket, a raw framed client, and
+   tiny helpers for JSON replies.  The server runs on its own thread;
+   [stop] + join is the graceful-drain path the CI job drives with
+   SIGTERM (the handler calls exactly this [Server.stop]). *)
+
+let with_server ?(config = Server.default_config) f =
+  let path = Filename.temp_file "dadu_srv" ".sock" in
+  Sys.remove path;
+  let server = Server.create ~config () in
+  let runner =
+    Thread.create (fun () -> Server.run server ~listen:(Server.Unix_sock path)) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join runner;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f server path)
+
+let connect path =
+  let rec go tries =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) when tries < 100
+      ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Thread.delay 0.02;
+      go (tries + 1)
+  in
+  go 0
+
+let send oc payload =
+  Problem_file.write_frame oc payload;
+  flush oc
+
+let recv ic =
+  match Problem_file.read_frame ic with
+  | Ok (Some payload) ->
+    (match Json.of_string payload with
+    | Ok json -> (payload, json)
+    | Error msg -> Alcotest.fail (Printf.sprintf "bad reply %S: %s" payload msg))
+  | Ok None -> Alcotest.fail "unexpected EOF from server"
+  | Error msg -> Alcotest.fail msg
+
+let str_member key json =
+  Option.bind (Json.member key json) Json.to_str
+
+let bool_member key json =
+  match Json.member key json with Some (Json.Bool b) -> Some b | _ -> None
+
+let int_member key json =
+  Option.bind (Json.member key json) (fun j ->
+      Option.map int_of_float (Json.to_float j))
+
+let reply_kind json =
+  match str_member "reply" json with
+  | Some k -> k
+  | None -> Alcotest.fail "reply without a reply field"
+
+let expect_kind name kind (_, json) =
+  Alcotest.(check string) name kind (reply_kind json);
+  json
+
+let test_live_session_happy_path () =
+  with_server @@ fun _server path ->
+  let fd, ic, oc = connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  send oc "{\"op\":\"hello\",\"tenant\":\"t1\"}";
+  ignore (expect_kind "hello" "hello" (recv ic));
+  send oc "{\"op\":\"open\",\"id\":0,\"session\":\"s\",\"robot\":\"eval:30\"}";
+  let opened = expect_kind "opened" "opened" (recv ic) in
+  Alcotest.(check (option int)) "dof" (Some 30) (int_member "dof" opened);
+  Alcotest.(check (option bool)) "fresh" (Some false) (bool_member "resumed" opened);
+  for i = 0 to 4 do
+    send oc
+      (Printf.sprintf
+         "{\"op\":\"waypoint\",\"id\":%d,\"session\":\"s\",\"target\":[4.0,%.17g,2.0]}"
+         (i + 1)
+         (1.0 +. (0.02 *. float_of_int i)))
+  done;
+  let warm = ref 0 in
+  for i = 0 to 4 do
+    let solved = expect_kind "solved" "solved" (recv ic) in
+    Alcotest.(check (option int))
+      (Printf.sprintf "id %d in stream order" (i + 1))
+      (Some (i + 1)) (int_member "id" solved);
+    Alcotest.(check (option int)) "ordinal" (Some i) (int_member "ordinal" solved);
+    Alcotest.(check (option string)) "status" (Some "converged")
+      (str_member "status" solved);
+    if bool_member "session_hit" solved = Some true then incr warm
+  done;
+  Alcotest.(check int) "all but the first waypoint warm" 4 !warm;
+  send oc "{\"op\":\"close\",\"id\":9,\"session\":\"s\"}";
+  let closed = expect_kind "closed" "closed" (recv ic) in
+  Alcotest.(check (option int)) "accepted waypoints" (Some 5)
+    (int_member "waypoints" closed)
+
+let test_live_malformed_payload_keeps_connection () =
+  with_server @@ fun _server path ->
+  let fd, ic, oc = connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  send oc "{\"op\":\"nonsense\"";
+  let err = expect_kind "malformed JSON gets a typed error" "error" (recv ic) in
+  Alcotest.(check bool) "message mentions the parse" true
+    (match str_member "message" err with
+    | Some m -> Astring.String.is_infix ~affix:"malformed payload" m
+    | None -> false);
+  send oc "{\"op\":\"jump\"}";
+  ignore (expect_kind "unknown op gets a typed error" "error" (recv ic));
+  send oc "{\"op\":\"waypoint\",\"id\":1,\"session\":\"ghost\",\"target\":[1,1,1]}";
+  ignore (expect_kind "unknown session gets a typed error" "error" (recv ic));
+  (* the stream stayed synchronized through all three errors *)
+  send oc "{\"op\":\"ping\"}";
+  ignore (expect_kind "connection still alive" "pong" (recv ic))
+
+let test_live_queue_full_sheds () =
+  with_server
+    ~config:{ Server.default_config with Server.queue_capacity = 0 }
+  @@ fun _server path ->
+  let fd, ic, oc = connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  send oc
+    "{\"op\":\"solve\",\"id\":0,\"robot\":\"eval:12\",\"target\":[3.0,1.0,1.0]}";
+  let shed = expect_kind "zero-capacity queue sheds" "overloaded" (recv ic) in
+  Alcotest.(check (option int)) "shed reply names the request" (Some 0)
+    (int_member "id" shed);
+  send oc "{\"op\":\"stats\"}";
+  let stats = expect_kind "stats" "stats" (recv ic) in
+  Alcotest.(check (option int)) "shed counted per tenant" (Some 1)
+    (int_member "overloaded" stats);
+  Alcotest.(check (option int)) "nothing dispatched" (Some 0)
+    (int_member "requests" stats)
+
+let test_live_session_resumes_across_reconnect () =
+  with_server @@ fun _server path ->
+  let solve_waypoint ic oc i =
+    send oc
+      (Printf.sprintf
+         "{\"op\":\"waypoint\",\"id\":%d,\"session\":\"r\",\"target\":[4.0,%.17g,2.0]}"
+         i
+         (1.0 +. (0.02 *. float_of_int i)));
+    expect_kind "solved" "solved" (recv ic)
+  in
+  let fd, ic, oc = connect path in
+  send oc "{\"op\":\"open\",\"id\":0,\"session\":\"r\",\"robot\":\"eval:30\"}";
+  ignore (expect_kind "opened" "opened" (recv ic));
+  ignore (solve_waypoint ic oc 1);
+  (* drop the connection without closing the session *)
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let fd2, ic2, oc2 = connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  send oc2 "{\"op\":\"open\",\"id\":0,\"session\":\"r\",\"robot\":\"eval:30\"}";
+  let opened = expect_kind "opened" "opened" (recv ic2) in
+  Alcotest.(check (option bool)) "session resumed" (Some true)
+    (bool_member "resumed" opened);
+  let solved = solve_waypoint ic2 oc2 1 in
+  Alcotest.(check (option int)) "ordinal continues the trajectory" (Some 1)
+    (int_member "ordinal" solved);
+  Alcotest.(check (option bool)) "first waypoint after resume is warm"
+    (Some true)
+    (bool_member "session_hit" solved);
+  send oc2 "{\"op\":\"open\",\"id\":2,\"session\":\"r\",\"robot\":\"eval:12\"}";
+  ignore (expect_kind "resume with another robot is refused" "error" (recv ic2))
+
+let test_live_drain_flushes_in_flight () =
+  let path = Filename.temp_file "dadu_srv" ".sock" in
+  Sys.remove path;
+  let server = Server.create () in
+  let runner =
+    Thread.create (fun () -> Server.run server ~listen:(Server.Unix_sock path)) ()
+  in
+  let fd, ic, oc = connect path in
+  let n = 16 in
+  send oc "{\"op\":\"open\",\"id\":0,\"session\":\"d\",\"robot\":\"eval:30\"}";
+  ignore (expect_kind "opened" "opened" (recv ic));
+  for i = 1 to n do
+    send oc
+      (Printf.sprintf
+         "{\"op\":\"waypoint\",\"id\":%d,\"session\":\"d\",\"target\":[4.0,%.17g,2.0]}"
+         i
+         (1.0 +. (0.01 *. float_of_int i)))
+  done;
+  (* stop immediately: every admitted waypoint must still be answered *)
+  Server.stop server;
+  let solved = ref 0 in
+  (try
+     while !solved < n do
+       ignore (expect_kind "solved" "solved" (recv ic));
+       incr solved
+     done
+   with _ -> ());
+  Alcotest.(check int) "drain answered every admitted waypoint" n !solved;
+  Alcotest.(check bool) "then EOF" true (Problem_file.read_frame ic = Ok None);
+  Thread.join runner;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (try Sys.remove path with Sys_error _ -> ());
+  Alcotest.(check bool) "summary renders after drain" true
+    (String.length (Server.render_tenants server) > 0)
+
+(* The determinism gate in miniature: the same waypoint stream against
+   pools 1/2/4 x lockstep x snapshot-prepare produces byte-identical
+   solve replies (CI runs the same comparison with cmp on dump files). *)
+let test_live_replies_byte_identical_across_modes () =
+  let stream ~pool_size ~lockstep ~snapshot_prepare =
+    let config =
+      {
+        Server.default_config with
+        Server.service =
+          {
+            Service.default_config with
+            Service.lockstep;
+            snapshot_prepare;
+            chunk = 8;
+          };
+      }
+    in
+    let path = Filename.temp_file "dadu_srv" ".sock" in
+    Sys.remove path;
+    let pool =
+      if pool_size > 1 then Some (Dadu_util.Domain_pool.create pool_size)
+      else None
+    in
+    let server = Server.create ?pool ~config () in
+    let runner =
+      Thread.create
+        (fun () -> Server.run server ~listen:(Server.Unix_sock path))
+        ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop server;
+        Thread.join runner;
+        Option.iter Dadu_util.Domain_pool.shutdown pool;
+        try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let fd, ic, oc = connect path in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            send oc "{\"op\":\"open\",\"id\":0,\"session\":\"m\",\"robot\":\"eval:30\"}";
+            ignore (recv ic);
+            for i = 1 to 6 do
+              send oc
+                (Printf.sprintf
+                   "{\"op\":\"waypoint\",\"id\":%d,\"session\":\"m\",\"target\":[4.0,%.17g,2.0]}"
+                   i
+                   (1.0 +. (0.02 *. float_of_int i)))
+            done;
+            List.init 6 (fun _ -> fst (recv ic))))
+  in
+  let reference = stream ~pool_size:1 ~lockstep:false ~snapshot_prepare:false in
+  List.iter
+    (fun (pool_size, lockstep, snapshot_prepare) ->
+      let got = stream ~pool_size ~lockstep ~snapshot_prepare in
+      Alcotest.(check (list string))
+        (Printf.sprintf "pool %d lockstep %b snapshot %b" pool_size lockstep
+           snapshot_prepare)
+        reference got)
+    [ (2, false, false); (4, false, false); (1, true, true); (4, true, true) ]
+
+let () =
+  Alcotest.run "dadu_server"
+    [
+      ( "listen",
+        [ Alcotest.test_case "listen_of_string" `Quick test_listen_of_string ] );
+      ( "framing",
+        [
+          Alcotest.test_case "round-trip" `Quick test_framing_roundtrip;
+          Alcotest.test_case "errors" `Quick test_framing_errors;
+          qcheck test_framing_property;
+        ] );
+      ( "script",
+        [
+          Alcotest.test_case "parses" `Quick test_script_parses;
+          Alcotest.test_case "errors carry line numbers" `Quick test_script_errors;
+        ] );
+      ( "live",
+        [
+          Alcotest.test_case "session happy path" `Slow test_live_session_happy_path;
+          Alcotest.test_case "malformed payload keeps connection" `Slow
+            test_live_malformed_payload_keeps_connection;
+          Alcotest.test_case "queue full sheds" `Slow test_live_queue_full_sheds;
+          Alcotest.test_case "session resumes across reconnect" `Slow
+            test_live_session_resumes_across_reconnect;
+          Alcotest.test_case "drain flushes in-flight replies" `Slow
+            test_live_drain_flushes_in_flight;
+          Alcotest.test_case "replies byte-identical across modes" `Slow
+            test_live_replies_byte_identical_across_modes;
+        ] );
+    ]

@@ -336,6 +336,8 @@ let test_metrics_sums () =
          diverged = false;
          fallbacks = 0;
          cache_hit = true;
+         session = false;
+         session_hit = false;
          deadline_exceeded = false;
          breaker_skips = 0;
          retries = 0;
@@ -350,6 +352,8 @@ let test_metrics_sums () =
          diverged = false;
          fallbacks = 2;
          cache_hit = false;
+         session = false;
+         session_hit = false;
          deadline_exceeded = true;
          breaker_skips = 0;
          retries = 0;
@@ -364,6 +368,8 @@ let test_metrics_sums () =
          diverged = true;
          fallbacks = 1;
          cache_hit = false;
+         session = false;
+         session_hit = false;
          deadline_exceeded = false;
          breaker_skips = 1;
          retries = 2;
@@ -399,6 +405,8 @@ let test_metrics_render () =
          diverged = false;
          fallbacks = 0;
          cache_hit = false;
+         session = false;
+         session_hit = false;
          deadline_exceeded = false;
          breaker_skips = 0;
          retries = 0;
@@ -447,6 +455,7 @@ let strip_latency = function
         solver;
         fallbacks;
         cache_hit;
+        session_hit;
         deadline_exceeded;
         breaker_skips;
         retries;
@@ -459,6 +468,7 @@ let strip_latency = function
         solver,
         fallbacks,
         cache_hit,
+        session_hit,
         deadline_exceeded,
         breaker_skips,
         retries,
@@ -998,6 +1008,224 @@ let test_service_trace_spans () =
           (Dadu_util.Json.member "phase" json <> None))
     lines
 
+(* ---- trajectory sessions ---- *)
+
+let eval30 = Robots.eval_chain ~dof:30
+
+(* a short Cartesian line through eval:30's workspace, 3 cm steps — the
+   temporal-coherence workload the session slot exists for *)
+let line_waypoints ?(start = Vec3.make 4.0 1.0 2.0) ?(step = 0.03) n =
+  Array.init n (fun i ->
+      Vec3.make start.Vec3.x (start.Vec3.y +. (float_of_int i *. step)) start.Vec3.z)
+
+let session_requests ?(chain = eval30) sess targets =
+  Array.map
+    (fun target ->
+      let theta0 = Chain.clamp_config chain (Vec.create (Chain.dof chain)) in
+      Service.request ~session:sess
+        ~ordinal:(Session.next_ordinal sess)
+        (Ik.problem ~chain ~target ~theta0))
+    targets
+
+(* Acceptance pin: warm-started waypoints average <= 4 Quick-IK
+   iterations at 30 DOF, against a cold start in the tens. *)
+let test_session_warm_iteration_pin () =
+  let sess = Session.create ~name:"pin" ~chain:eval30 in
+  let requests = session_requests sess (line_waypoints ~step:0.02 12) in
+  let s = Service.create ~config:(service_config ~chunk:8 ()) () in
+  let replies = Service.solve_requests s requests in
+  let iters = ref [] and cold = ref 0 in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Service.Solved { result; session_hit; _ } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "waypoint %d converged" i)
+          true
+          (result.Ik.status = Ik.Converged);
+        Alcotest.(check bool)
+          (Printf.sprintf "waypoint %d warm iff not first" i)
+          (i > 0) session_hit;
+        if i = 0 then cold := result.Ik.iterations
+        else iters := result.Ik.iterations :: !iters
+      | _ -> Alcotest.fail "expected Solved")
+    replies;
+  let warm = List.map float_of_int !iters in
+  let mean = List.fold_left ( +. ) 0. warm /. float_of_int (List.length warm) in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm mean %.2f iters <= 4" mean)
+    true (mean <= 4.);
+  Alcotest.(check bool)
+    (Printf.sprintf "cold start works hard (%d iters)" !cold)
+    true
+    (!cold > 20);
+  let m = Service.metrics s in
+  Alcotest.(check int) "all session requests" 12 m.Metrics.session_requests;
+  Alcotest.(check int) "all but the first warm" 11 m.Metrics.session_warm;
+  Alcotest.(check int) "sessions bypass the shared cache" 0
+    (m.Metrics.cache_hits + m.Metrics.cache_misses)
+
+(* Satellite fix: two waypoints of one session landing in one scheduler
+   chunk must still see each other's results — the wave cut makes the
+   earlier ordinal's commit visible to the later one's prepare, and the
+   shared seed cache (here poisoned with a junk seed at the second
+   waypoint's cell) never enters the picture. *)
+let test_session_intra_wave_ordering () =
+  let targets = line_waypoints 2 in
+  let solve_chunked chunk =
+    let sess = Session.create ~name:"wave" ~chain:eval30 in
+    let s = Service.create ~config:(service_config ~chunk ()) () in
+    (* poison: a junk-but-valid seed sitting exactly where waypoint 1's
+       cache lookup would land *)
+    Seed_cache.store
+      (Service.seed_cache s)
+      ~chain_id:(Chain.fingerprint eval30)
+      ~dof:30 ~target:targets.(1)
+      (Array.make 30 0.7);
+    Array.map strip_latency
+      (Service.solve_requests s (session_requests sess targets))
+  in
+  (* chunk 8: both waypoints land in one chunk; the cut must split them *)
+  let together = solve_chunked 8 in
+  (* chunk 1: waypoints in separate waves by construction — ground truth *)
+  let apart = solve_chunked 1 in
+  Alcotest.(check bool) "same replies whether or not they share a chunk" true
+    (together = apart);
+  match together.(1) with
+  | `Solved (_, _, _, cache_hit, session_hit, _, _, _, _, _) ->
+    Alcotest.(check bool) "second waypoint warm from the slot" true session_hit;
+    Alcotest.(check bool) "poisoned cache never consulted" false cache_hit
+  | _ -> Alcotest.fail "expected Solved"
+
+(* Session replies must not change when the session is created against a
+   different robot than the waypoints claim: the fingerprint guard serves
+   the mismatched waypoint cold instead of feeding it a wrong-DOF seed. *)
+let test_session_chain_mismatch_serves_cold () =
+  let sess = Session.create ~name:"mismatch" ~chain:(Robots.eval_chain ~dof:7) in
+  let requests = session_requests sess (line_waypoints 2) in
+  let s = Service.create ~config:(service_config ()) () in
+  let replies = Service.solve_requests s requests in
+  Array.iter
+    (fun r ->
+      match r with
+      | Service.Solved { session_hit; _ } ->
+        Alcotest.(check bool) "mismatched chain never warm" false session_hit
+      | _ -> Alcotest.fail "expected Solved")
+    replies
+
+(* Tentpole acceptance (DESIGN.md §15): a session's replies are a pure
+   function of its own waypoint sequence.  Riffle session A's waypoints
+   against another session's and one-shot noise in a random arrival
+   order (each stream's own order preserved, as connection readers
+   guarantee) — A's replies must be byte-identical to A running alone. *)
+let test_session_interleaving_independence =
+  QCheck.Test.make
+    ~name:"session replies independent of connection interleaving" ~count:8
+    QCheck.(pair (int_range 2 8) (int_range 0 100_000))
+    (fun (n, salt) ->
+      let n = max 2 n in
+      let targets = line_waypoints n in
+      let alone =
+        let sess = Session.create ~name:"A" ~chain:eval30 in
+        let s = Service.create ~config:(service_config ~chunk:8 ()) () in
+        Array.map strip_latency
+          (Service.solve_requests s (session_requests sess targets))
+      in
+      let interleaved =
+        let sess_a = Session.create ~name:"A" ~chain:eval30 in
+        let sess_b = Session.create ~name:"B" ~chain:eval12 in
+        let a = session_requests sess_a targets in
+        let b =
+          session_requests ~chain:eval12 sess_b
+            (Array.map
+               (fun t -> Vec3.make (t.Vec3.y +. 1.5) 1.0 1.0)
+               (line_waypoints n))
+        in
+        let noise =
+          Array.map (fun p -> Service.request p) (random_problems ~seed:salt n)
+        in
+        (* deterministic riffle keyed by the salt: pick the next element
+           of stream (salt+k mod 3), preserving each stream's order *)
+        let streams = [| Queue.create (); Queue.create (); Queue.create () |] in
+        Array.iter (fun r -> Queue.add r streams.(0)) a;
+        Array.iter (fun r -> Queue.add r streams.(1)) b;
+        Array.iter (fun r -> Queue.add r streams.(2)) noise;
+        let order = ref [] in
+        let k = ref salt in
+        while Array.exists (fun q -> not (Queue.is_empty q)) streams do
+          let q = streams.(!k mod 3) in
+          if not (Queue.is_empty q) then order := Queue.pop q :: !order;
+          incr k
+        done;
+        let requests = Array.of_list (List.rev !order) in
+        let s = Service.create ~config:(service_config ~chunk:8 ()) () in
+        let replies = Service.solve_requests s requests in
+        (* collect A's replies back in ordinal order *)
+        let out = Array.make n None in
+        Array.iteri
+          (fun i rq ->
+            match (rq.Service.session, rq.Service.ordinal) with
+            | Some sess, Some o when sess == sess_a ->
+              out.(o) <- Some (strip_latency replies.(i))
+            | _ -> ())
+          requests;
+        Array.map Option.get out
+      in
+      interleaved = alone)
+
+(* Acceptance: session replies byte-identical across pool sizes 1/2/4 and
+   the lockstep / snapshot-prepare execution modes (the serve-live CI job
+   asserts the same with cmp on reply dumps). *)
+let test_session_determinism_modes =
+  QCheck.Test.make
+    ~name:"session replies identical across pools 1/2/4 x lockstep x snapshot"
+    ~count:4
+    QCheck.(int_range 2 8)
+    (fun n ->
+      let n = max 2 n in
+      let targets = line_waypoints n in
+      let run pool lockstep snapshot_prepare =
+        let sess_a = Session.create ~name:"A" ~chain:eval30 in
+        let sess_b = Session.create ~name:"B" ~chain:eval12 in
+        let a = session_requests sess_a targets in
+        let b =
+          session_requests ~chain:eval12 sess_b
+            (Array.map
+               (fun t -> Vec3.make (t.Vec3.y +. 1.5) 1.0 1.0)
+               (line_waypoints n))
+        in
+        let requests =
+          Array.concat
+            [ Array.init (2 * n) (fun i -> if i mod 2 = 0 then a.(i / 2) else b.(i / 2)) ]
+        in
+        let config =
+          { (service_config ~chunk:8 ()) with Service.lockstep; snapshot_prepare }
+        in
+        let s = Service.create ?pool ~config () in
+        Array.map strip_latency (Service.solve_requests s requests)
+      in
+      let reference = run None false false in
+      List.for_all
+        (fun (size, lockstep, snapshot) ->
+          let same =
+            match size with
+            | None -> run None lockstep snapshot = reference
+            | Some size ->
+              let pool = Pool.create size in
+              Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+              run (Some pool) lockstep snapshot = reference
+          in
+          same)
+        [
+          (None, true, false);
+          (None, false, true);
+          (None, true, true);
+          (Some 2, false, false);
+          (Some 2, true, true);
+          (Some 4, false, true);
+          (Some 4, true, false);
+        ])
+
 (* ---- Problem_file ---- *)
 
 let test_problem_file_parses () =
@@ -1382,6 +1610,17 @@ let () =
           qcheck test_snapshot_prepare_determinism;
           Alcotest.test_case "phase breakdown records" `Quick
             test_phase_breakdown_records;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "warm waypoints <= 4 iters at 30 DOF" `Slow
+            test_session_warm_iteration_pin;
+          Alcotest.test_case "intra-wave ordering (cut + poisoned cache)" `Slow
+            test_session_intra_wave_ordering;
+          Alcotest.test_case "chain mismatch serves cold" `Slow
+            test_session_chain_mismatch_serves_cold;
+          qcheck test_session_interleaving_independence;
+          qcheck test_session_determinism_modes;
         ] );
       ( "problem-file",
         [
