@@ -446,6 +446,7 @@ let run_serve_live () =
   in
   let config =
     {
+      Server.default_config with
       Server.service = { Svc.default_config with Svc.chunk = 16 };
       queue_capacity;
       max_batch = 64;

@@ -697,9 +697,71 @@ let max_batch_arg =
     & opt int Server.default_config.Server.max_batch
     & info [ "max-batch" ] ~doc)
 
-let run_serve listen queue max_batch solvers speculations max_iters accuracy
-    jobs chunk cache_cell cache_capacity no_warm_start retries retry_scale
-    guard_flag lockstep snapshot_prepare seed_library seed_candidates =
+let journal_arg =
+  let doc =
+    "Append every session open/commit/close to this checksummed journal \
+     before the reply is written, and replay its valid prefix on startup: \
+     clients that re-open after a crash resume warm with byte-identical \
+     replies."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let max_conns_arg =
+  let doc =
+    "Live-connection cap: excess connections get one typed 'busy' frame \
+     with a retry_after_ms hint and are closed."
+  in
+  Arg.(
+    value
+    & opt int Server.default_config.Server.max_connections
+    & info [ "max-conns" ] ~doc)
+
+let idle_timeout_arg =
+  let doc =
+    "Drop a connection idle (no frame started) this many seconds; 0 waits \
+     forever."
+  in
+  Arg.(value & opt float 0. & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+
+let frame_timeout_arg =
+  let doc =
+    "Drop a connection whose started frame is still incomplete after this \
+     many seconds (slow-loris defense); 0 waits forever."
+  in
+  Arg.(value & opt float 30. & info [ "frame-timeout" ] ~docv:"SECONDS" ~doc)
+
+let retry_after_arg =
+  let doc = "Back-off hint (ms) attached to busy refusals and shed replies." in
+  Arg.(
+    value
+    & opt int Server.default_config.Server.retry_after_ms
+    & info [ "retry-after" ] ~docv:"MS" ~doc)
+
+let est_job_ms_arg =
+  let doc =
+    "Estimated per-job service time (ms) for deadline-aware shedding: a \
+     queued job whose estimated wait already exceeds its deadline is shed \
+     up-front with the retry_after hint; 0 disables."
+  in
+  Arg.(value & opt float 0. & info [ "est-job-ms" ] ~docv:"MS" ~doc)
+
+let net_fault_plan_arg =
+  let doc =
+    "Wire-level chaos plan applied to this server's connections, e.g. \
+     'net-cut,prob=0.05;net-stall,prob=0.1,arg=0.2'. Sites: net-cut, \
+     net-stall, net-garble, net-short-frame; triggers as in --fault-plan."
+  in
+  Arg.(value & opt (some string) None & info [ "net-fault" ] ~docv:"PLAN" ~doc)
+
+let net_fault_seed_arg =
+  let doc = "Seed for the wire-fault plan's probabilistic triggers." in
+  Arg.(value & opt int 0 & info [ "net-fault-seed" ] ~doc)
+
+let run_serve listen queue max_batch journal max_conns idle_timeout
+    frame_timeout retry_after est_job_ms net_fault_plan net_fault_seed solvers
+    speculations max_iters accuracy jobs chunk cache_cell cache_capacity
+    no_warm_start retries retry_scale guard_flag lockstep snapshot_prepare
+    seed_library seed_candidates =
   let library =
     match seed_library with
     | _ when seed_candidates < 1 -> Error "--seed-candidates must be at least 1"
@@ -713,11 +775,19 @@ let run_serve listen queue max_batch solvers speculations max_iters accuracy
           (Format.asprintf "%s: %a" path
              Dadu_service.Posture_library.pp_load_error e))
   in
-  match library with
-  | Error msg ->
+  let net_fault =
+    match net_fault_plan with
+    | None -> Ok Dadu_util.Fault.disabled
+    | Some s ->
+      Result.map
+        (Dadu_util.Fault.arm ~seed:net_fault_seed)
+        (Dadu_util.Fault.parse_plan s)
+  in
+  match (library, net_fault) with
+  | Error msg, _ | _, Error msg ->
     Format.eprintf "dadu: %s@." msg;
     3
-  | Ok seed_library ->
+  | Ok seed_library, Ok net_fault ->
     let service_config =
       {
         Svc.solvers;
@@ -741,7 +811,19 @@ let run_serve listen queue max_batch solvers speculations max_iters accuracy
       }
     in
     let config =
-      { Server.service = service_config; queue_capacity = queue; max_batch }
+      {
+        Server.service = service_config;
+        queue_capacity = queue;
+        max_batch;
+        max_connections = max_conns;
+        idle_timeout_s = (if idle_timeout > 0. then Some idle_timeout else None);
+        frame_timeout_s =
+          (if frame_timeout > 0. then Some frame_timeout else None);
+        retry_after_ms = retry_after;
+        est_job_ms;
+        net_fault;
+        journal;
+      }
     in
     let pool =
       if jobs > 1 then Some (Dadu_util.Domain_pool.create jobs) else None
@@ -749,7 +831,18 @@ let run_serve listen queue max_batch solvers speculations max_iters accuracy
     Fun.protect
       ~finally:(fun () -> Option.iter Dadu_util.Domain_pool.shutdown pool)
       (fun () ->
-        let server = Server.create ?pool ~config () in
+        match Server.create ?pool ~config () with
+        | exception Invalid_argument msg ->
+          Format.eprintf "dadu: %s@." msg;
+          3
+        | server ->
+        (match Server.journal_recovery server with
+        | Some defect ->
+          Format.eprintf
+            "dadu: journal %s: %a — replayed the valid prefix, tail truncated@."
+            (Option.value ~default:"?" journal)
+            Dadu_service.Journal.pp_load_error defect
+        | None -> ());
         let handler = Sys.Signal_handle (fun _ -> Server.stop server) in
         (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
         (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
@@ -771,7 +864,9 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run_serve $ listen_arg $ queue_arg $ max_batch_arg $ solvers_arg
+      const run_serve $ listen_arg $ queue_arg $ max_batch_arg $ journal_arg
+      $ max_conns_arg $ idle_timeout_arg $ frame_timeout_arg $ retry_after_arg
+      $ est_job_ms_arg $ net_fault_plan_arg $ net_fault_seed_arg $ solvers_arg
       $ speculations $ max_iters $ accuracy $ jobs $ chunk $ cache_cell
       $ cache_capacity $ no_warm_start $ retries $ retry_scale $ guard_flag
       $ lockstep_flag $ snapshot_prepare_flag $ seed_library_arg
@@ -813,104 +908,60 @@ let connect_with_retry addr ~timeout_s =
   in
   go ()
 
-let payload_of_op id = function
-  | Pf.Hello { tenant } -> Printf.sprintf "{\"op\":\"hello\",\"tenant\":%S}" tenant
-  | Pf.Ping -> "{\"op\":\"ping\"}"
-  | Pf.Stats -> "{\"op\":\"stats\"}"
-  | Pf.Raw body -> body
-  | Pf.Open { session; robot } ->
-    Printf.sprintf "{\"op\":\"open\",\"id\":%d,\"session\":%S,\"robot\":%S}" id
-      session robot
-  | Pf.Close { session } ->
-    Printf.sprintf "{\"op\":\"close\",\"id\":%d,\"session\":%S}" id session
-  | Pf.Waypoint { session; x; y; z } ->
-    Printf.sprintf
-      "{\"op\":\"waypoint\",\"id\":%d,\"session\":%S,\"target\":[%.17g,%.17g,%.17g]}"
-      id session x y z
-  | Pf.Solve { robot; x; y; z; theta0; deadline_s } ->
-    let theta0 =
-      match theta0 with
-      | None -> ""
-      | Some ts ->
-        Printf.sprintf ",\"theta0\":[%s]"
-          (String.concat "," (List.map (Printf.sprintf "%.17g") ts))
-    in
-    let deadline =
-      match deadline_s with
-      | None -> ""
-      | Some d -> Printf.sprintf ",\"deadline\":%.17g" d
-    in
-    Printf.sprintf
-      "{\"op\":\"solve\",\"id\":%d,\"robot\":%S,\"target\":[%.17g,%.17g,%.17g]%s%s}"
-      id robot x y z theta0 deadline
+module Client = Dadu_service.Client
 
-(* solve-type replies are keyed by id and dumped sorted; everything else
-   (control replies, typed errors) is printed in arrival order — which
-   is request order, because the server answers control ops from the
-   connection's own reader thread *)
-let reply_is_solve_type payload =
-  match Json.of_string payload with
-  | Error _ -> None
-  | Ok json ->
-    (match Option.bind (Json.member "reply" json) Json.to_str with
-    | Some ("solved" | "rejected" | "faulted" | "overloaded") ->
-      Option.bind (Json.member "id" json) (fun j ->
-          Option.map int_of_float (Json.to_float j))
-    | Some _ | None -> None)
-
-let run_client connect script dump timeout_s =
+let run_client connect script dump timeout_s retries backoff_ms read_timeout
+    net_fault_plan net_fault_seed =
   match Pf.parse_script_file script with
   | Error msg ->
     Format.eprintf "dadu: %s: %s@." script msg;
     3
   | Ok ops ->
-    (match connect_with_retry (sockaddr_of_listen connect) ~timeout_s with
+    let fault =
+      match net_fault_plan with
+      | None -> Ok Dadu_util.Fault.disabled
+      | Some s ->
+        Result.map
+          (Dadu_util.Fault.arm ~seed:net_fault_seed)
+          (Dadu_util.Fault.parse_plan s)
+    in
+    (match fault with
     | Error msg ->
-      Format.eprintf "dadu: cannot connect: %s@." msg;
+      Format.eprintf "dadu: %s@." msg;
       3
-    | Ok fd ->
-      let ic = Unix.in_channel_of_descr fd in
-      let oc = Unix.out_channel_of_descr fd in
-      let solves = Hashtbl.create 64 in
-      let plock = Mutex.create () in
-      let reader () =
-        let running = ref true in
-        while !running do
-          match Pf.read_frame ic with
-          | Ok None | Error _ -> running := false
-          | exception (Sys_error _ | End_of_file) -> running := false
-          | Ok (Some payload) ->
-            Mutex.lock plock;
-            (match reply_is_solve_type payload with
-            | Some id -> Hashtbl.replace solves id payload
-            | None -> print_endline payload);
-            Mutex.unlock plock
-        done
-      in
-      let rd = Thread.create reader () in
-      Array.iteri (fun i op -> Pf.write_frame oc (payload_of_op i op)) ops;
-      flush oc;
-      (* half-close: the server drains this connection's in-flight
-         solves, writes every reply, then closes — our reader sees EOF
-         exactly when the stream is complete *)
-      (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
-      Thread.join rd;
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      let ids = List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) solves []) in
-      (match dump with
-      | None -> ()
-      | Some path ->
-        let out = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out out)
-          (fun () ->
-            List.iter
-              (fun id ->
-                output_string out (Hashtbl.find solves id);
-                output_char out '\n')
-              ids));
-      Format.printf "solve replies: %d@." (List.length ids);
-      0)
+    | Ok fault ->
+      let addr = sockaddr_of_listen connect in
+      let connect () = connect_with_retry addr ~timeout_s in
+      let read_timeout_s = if read_timeout > 0. then Some read_timeout else None in
+      (match
+         Client.run ~retries ~backoff_ms ~seed:net_fault_seed ?read_timeout_s
+           ~fault ~on_event:print_endline
+           ~on_reconnect:(fun k ->
+             Format.eprintf "dadu: connection lost, reconnecting (attempt %d)@."
+               k)
+           ~connect ops
+       with
+      | Error (Client.Connect msg) ->
+        Format.eprintf "dadu: cannot connect: %s@." msg;
+        4
+      | Error (Client.Unrecovered msg) ->
+        Format.eprintf "dadu: stream failed: %s@." msg;
+        6
+      | Ok o ->
+        (match dump with
+        | None -> ()
+        | Some path ->
+          let out = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out out)
+            (fun () ->
+              List.iter
+                (fun (_, payload) ->
+                  output_string out payload;
+                  output_char out '\n')
+                o.Client.solves));
+        Format.printf "solve replies: %d@." (List.length o.Client.solves);
+        if o.Client.overloaded > 0 then 5 else 0))
 
 let connect_arg =
   let doc = "Server address (same forms as serve --listen)." in
@@ -938,14 +989,42 @@ let timeout_arg =
   let doc = "Seconds to keep retrying the initial connection." in
   Arg.(value & opt float 10.0 & info [ "timeout" ] ~doc)
 
+let client_retries_arg =
+  let doc =
+    "Reconnection budget: when the stream dies mid-script, back off, \
+     reconnect (re-sending the session prelude), and resend every \
+     unanswered op — resent waypoints carry their seq so a journal-backed \
+     server replays committed replies instead of re-solving."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let client_backoff_arg =
+  let doc =
+    "Base reconnect back-off in milliseconds (exponential in consecutive \
+     failures, jittered, capped at 10s)."
+  in
+  Arg.(value & opt int 100 & info [ "backoff" ] ~docv:"MS" ~doc)
+
+let client_read_timeout_arg =
+  let doc =
+    "Treat this many seconds without a reply (or with a reply frame stuck \
+     incomplete) as a dead connection; 0 waits forever."
+  in
+  Arg.(value & opt float 0. & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
+
 let client_cmd =
   let doc =
     "Stream a script of ops at a running dadu serve instance: control \
      replies print in arrival order, solve-type replies are dumped sorted \
-     by id for byte-exact comparison."
+     by id for byte-exact comparison. Exit status: 0 all ops answered, 4 \
+     could not connect, 5 answered but some replies were overloaded sheds, \
+     6 stream failed with the retry budget exhausted."
   in
   Cmd.v (Cmd.info "client" ~doc)
-    Term.(const run_client $ connect_arg $ script_arg $ dump_arg $ timeout_arg)
+    Term.(
+      const run_client $ connect_arg $ script_arg $ dump_arg $ timeout_arg
+      $ client_retries_arg $ client_backoff_arg $ client_read_timeout_arg
+      $ net_fault_plan_arg $ net_fault_seed_arg)
 
 (* ---- posture-build ---- *)
 

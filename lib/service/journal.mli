@@ -1,0 +1,71 @@
+(** Crash-safe session journal: the `dadu serve --journal` write-ahead
+    log.
+
+    An append-only stream of length-prefixed, FNV-1a-checksummed records
+    behind a [DADUJRNL] magic+version header — {!Posture_library}'s
+    format discipline, record-oriented so a SIGKILL can only tear the
+    tail.  The server appends one record per session lifecycle event
+    (open / waypoint commit / close) and flushes {e before} writing the
+    reply frame; replaying the journal at startup therefore rebuilds
+    the {!Session} registry (ordinal counter, warm-start slot, recent
+    reply ring) exactly as an uninterrupted server would hold it, which
+    is what makes post-restart replies byte-identical (DESIGN.md §16).
+
+    Recovery never trusts the tail: {!load} stops at the first defect,
+    reports it as a typed {!load_error}, and returns the longest valid
+    prefix; {!open_} additionally truncates the file back to that
+    prefix so subsequent appends extend a well-formed log. *)
+
+type record =
+  | Opened of { session : string; robot : string; chain_fp : int; dof : int }
+      (** a session was created: the robot spec is stored so replay can
+          rebuild the chain, the fingerprint guards against the spec
+          resolving differently (e.g. an edited robot file) *)
+  | Committed of {
+      session : string;
+      ordinal : int;  (** the waypoint's stable ordinal *)
+      theta : float array option;
+          (** the converged joint vector stored in the session slot;
+              [None] when the solve did not converge (slot untouched) *)
+      reply : string;
+          (** the exact reply frame payload, byte-for-byte — replayed
+              verbatim when a reconnecting client resends an
+              already-committed waypoint *)
+    }
+  | Closed of { session : string }
+
+type load_error =
+  | Io of string
+  | Bad_magic
+  | Unsupported_version of int
+  | Truncated  (** the file ends inside a record (torn tail) *)
+  | Checksum_mismatch
+  | Malformed of string
+
+val pp_load_error : Format.formatter -> load_error -> unit
+
+val load : string -> (record list * load_error option, load_error) result
+(** [load path] decodes the longest valid record prefix.  [Error] only
+    for file-level defects (unreadable, bad magic, bad version, file
+    shorter than the header); a damaged record stream yields
+    [Ok (prefix, Some defect)] with the first defect typed.  An intact
+    journal is [Ok (records, None)]. *)
+
+type t
+(** An open journal positioned for appending.  Appends are serialized
+    internally — safe to call from any thread. *)
+
+val open_ : string -> (t * record list * load_error option, load_error) result
+(** [open_ path] creates the journal (with header) if missing, else
+    loads it as {!load} does, {b truncates} any damaged tail back to
+    the valid prefix, and returns the handle positioned at the end
+    together with the recovered records. *)
+
+val append : t -> record -> unit
+(** Encode, write, and flush one record (the WAL barrier: callers write
+    the reply frame only after [append] returns). *)
+
+val appended : t -> int
+(** Records appended through this handle (not counting replayed ones). *)
+
+val close : t -> unit

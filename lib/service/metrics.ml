@@ -25,6 +25,14 @@ type t = {
   seed_library_wins : int Atomic.t;
   seed_zero_wins : int Atomic.t;
   seed_perturbed_wins : int Atomic.t;
+  (* connection-hygiene and crash-safety failure modes, bumped from the
+     server's reader/delivery paths *)
+  timeouts : int Atomic.t;
+  disconnects : int Atomic.t;
+  journal_appends : int Atomic.t;
+  journal_replays : int Atomic.t;
+  retry_after_sheds : int Atomic.t;
+  busy_refusals : int Atomic.t;
   lock : Mutex.t; (* guards the histograms and the phase accumulators *)
   latency : Histogram.t;
   iterations : Histogram.t;
@@ -61,6 +69,12 @@ let create () =
     seed_library_wins = Atomic.make 0;
     seed_zero_wins = Atomic.make 0;
     seed_perturbed_wins = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    disconnects = Atomic.make 0;
+    journal_appends = Atomic.make 0;
+    journal_replays = Atomic.make 0;
+    retry_after_sheds = Atomic.make 0;
+    busy_refusals = Atomic.make 0;
     lock = Mutex.create ();
     latency = Histogram.create ();
     iterations = Histogram.create ();
@@ -122,6 +136,24 @@ let record_seed t ~library_hit (source : Seed_select.source) =
     | Seed_select.Library -> t.seed_library_wins
     | Seed_select.Zero -> t.seed_zero_wins
     | Seed_select.Perturbed -> t.seed_perturbed_wins)
+
+(* server-side failure modes outside the solve pipeline; each bumps one
+   counter, none count as a request *)
+type net_event =
+  | Timeout  (** a connection hit its idle or frame read deadline *)
+  | Disconnect  (** a connection dropped uncleanly (desync, reset, cut) *)
+  | Journal_append  (** one record written to the session journal *)
+  | Journal_replay  (** one record applied from the journal at startup *)
+  | Retry_after_shed  (** a shed that attached a retry_after hint *)
+  | Busy_refusal  (** a connection refused at the connection cap *)
+
+let record_net t = function
+  | Timeout -> bump t.timeouts
+  | Disconnect -> bump t.disconnects
+  | Journal_append -> bump t.journal_appends
+  | Journal_replay -> bump t.journal_replays
+  | Retry_after_shed -> bump t.retry_after_sheds
+  | Busy_refusal -> bump t.busy_refusals
 
 let record t event =
   bump t.requests;
@@ -191,6 +223,12 @@ let reset t =
       t.seed_library_wins;
       t.seed_zero_wins;
       t.seed_perturbed_wins;
+      t.timeouts;
+      t.disconnects;
+      t.journal_appends;
+      t.journal_replays;
+      t.retry_after_sheds;
+      t.busy_refusals;
     ];
   Mutex.lock t.lock;
   Histogram.clear t.latency;
@@ -224,6 +262,12 @@ type snapshot = {
   seed_library_wins : int;
   seed_zero_wins : int;
   seed_perturbed_wins : int;
+  timeouts : int;
+  disconnects : int;
+  journal_appends : int;
+  journal_replays : int;
+  retry_after_sheds : int;
+  busy_refusals : int;
   prepare_s : float;
   work_s : float;
   commit_s : float;
@@ -263,6 +307,12 @@ let snapshot t =
     seed_library_wins = Atomic.get t.seed_library_wins;
     seed_zero_wins = Atomic.get t.seed_zero_wins;
     seed_perturbed_wins = Atomic.get t.seed_perturbed_wins;
+    timeouts = Atomic.get t.timeouts;
+    disconnects = Atomic.get t.disconnects;
+    journal_appends = Atomic.get t.journal_appends;
+    journal_replays = Atomic.get t.journal_replays;
+    retry_after_sheds = Atomic.get t.retry_after_sheds;
+    busy_refusals = Atomic.get t.busy_refusals;
     prepare_s;
     work_s;
     commit_s;
@@ -319,6 +369,12 @@ let render s =
   int_row "seed wins (library)" s.seed_library_wins;
   int_row "seed wins (zero)" s.seed_zero_wins;
   int_row "seed wins (perturbed)" s.seed_perturbed_wins;
+  int_row "timeouts" s.timeouts;
+  int_row "disconnects" s.disconnects;
+  int_row "journal appends" s.journal_appends;
+  int_row "journal replays" s.journal_replays;
+  int_row "retry-after sheds" s.retry_after_sheds;
+  int_row "busy refusals" s.busy_refusals;
   Table.add_sep table;
   let phase_ms name v =
     Table.add_row table [ name; Printf.sprintf "%.3f ms" (1e3 *. v) ]

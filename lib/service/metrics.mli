@@ -44,6 +44,19 @@ type event =
 
 val record : t -> event -> unit
 
+type net_event =
+  | Timeout  (** a connection hit its idle or frame read deadline *)
+  | Disconnect  (** a connection dropped uncleanly (desync, reset, cut) *)
+  | Journal_append  (** one record written to the session journal *)
+  | Journal_replay  (** one record applied from the journal at startup *)
+  | Retry_after_shed  (** a shed that attached a retry_after hint *)
+  | Busy_refusal  (** a connection refused at the connection cap *)
+
+val record_net : t -> net_event -> unit
+(** Server-side failure modes outside the solve pipeline (connection
+    hygiene and crash safety); each bumps its own counter and none
+    count as a request. *)
+
 val record_lockstep : t -> int -> unit
 (** [record_lockstep t n] counts [n] lanes whose head tier was solved by
     the lockstep mega-batch sweep (Service [lockstep] mode); bumped once
@@ -96,6 +109,12 @@ type snapshot = {
   seed_library_wins : int;  (** … by the posture-library neighbour *)
   seed_zero_wins : int;  (** … by the clamped zero posture *)
   seed_perturbed_wins : int;  (** … by a perturbed base *)
+  timeouts : int;  (** connections dropped at a read deadline *)
+  disconnects : int;  (** connections dropped uncleanly *)
+  journal_appends : int;  (** session journal records written *)
+  journal_replays : int;  (** session journal records applied at startup *)
+  retry_after_sheds : int;  (** sheds that attached a retry_after hint *)
+  busy_refusals : int;  (** connections refused at the connection cap *)
   prepare_s : float;  (** wall seconds in serial/snapshot prepare phases *)
   work_s : float;  (** wall seconds in parallel work phases *)
   commit_s : float;  (** wall seconds in serial commit phases *)

@@ -210,6 +210,212 @@ let read_frame ic =
     | None ->
       Error (Printf.sprintf "malformed frame length line (got %S)" line))
 
+(* ---- deadline-aware framing over a raw descriptor ----------------------
+
+   [read_frame] above blocks on a stdlib channel, so a peer that stops
+   mid-frame pins the reading thread forever — the slow-loris hole the
+   server's connection hygiene closes.  This reader works on the raw
+   descriptor with [Unix.select], enforcing two distinct deadlines: an
+   *idle* timeout while waiting for the first byte of the next frame,
+   and a *frame* timeout for completing a frame once its first byte has
+   arrived.  Either [None] means wait forever (the legacy behavior). *)
+
+type frame_reader = {
+  rfd : Unix.file_descr;
+  mutable rbuf : Bytes.t;
+  mutable rlo : int; (* first unconsumed byte *)
+  mutable rhi : int; (* first unfilled byte *)
+}
+
+let frame_reader fd = { rfd = fd; rbuf = Bytes.create 8192; rlo = 0; rhi = 0 }
+
+type framed =
+  | Frame of string
+  | Eof  (** clean EOF before a length line *)
+  | Timed_out of [ `Idle | `Frame ]
+  | Frame_error of string  (** stream desynchronized: drop the connection *)
+
+(* make room to read at least [need] more bytes past rhi *)
+let reserve r need =
+  let cap = Bytes.length r.rbuf in
+  if cap - r.rhi < need then begin
+    let live = r.rhi - r.rlo in
+    if cap - live >= need && r.rlo > 0 then begin
+      Bytes.blit r.rbuf r.rlo r.rbuf 0 live;
+      r.rlo <- 0;
+      r.rhi <- live
+    end
+    else begin
+      let cap' = max (live + need) (2 * cap) in
+      let b = Bytes.create cap' in
+      Bytes.blit r.rbuf r.rlo b 0 live;
+      r.rbuf <- b;
+      r.rlo <- 0;
+      r.rhi <- live
+    end
+  end
+
+(* one refill bounded by [deadline] (absolute seconds, None = forever) *)
+let refill r ~deadline =
+  reserve r 1;
+  let rec wait () =
+    let timeout =
+      match deadline with
+      | None -> -1.
+      | Some d -> d -. Unix.gettimeofday ()
+    in
+    if timeout <= 0. && deadline <> None then `Timeout
+    else
+      match Unix.select [ r.rfd ] [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      | [], _, _ -> if deadline = None then wait () else `Timeout
+      | _ -> (
+        match Unix.read r.rfd r.rbuf r.rhi (Bytes.length r.rbuf - r.rhi) with
+        | 0 -> `Eof
+        | n ->
+          r.rhi <- r.rhi + n;
+          `Ok
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        | exception
+            Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+          ->
+          `Eof
+        | exception Unix.Unix_error (e, _, _) ->
+          `Error (Unix.error_message e))
+  in
+  wait ()
+
+let max_length_line = 32
+
+let read_frame_fd ?idle_timeout_s ?frame_timeout_s r =
+  let deadline_of now = function
+    | None -> None
+    | Some t -> Some (now +. t)
+  in
+  (* phase 1: wait (idle-bounded) for the first byte of the frame *)
+  let rec first_byte () =
+    if r.rhi > r.rlo then Ok ()
+    else
+      match
+        refill r ~deadline:(deadline_of (Unix.gettimeofday ()) idle_timeout_s)
+      with
+      | `Ok -> first_byte ()
+      | `Eof -> Error Eof
+      | `Timeout -> Error (Timed_out `Idle)
+      | `Error msg -> Error (Frame_error msg)
+  in
+  match first_byte () with
+  | Error e -> e
+  | Ok () ->
+    (* phase 2: a frame has started; it must complete within the frame
+       deadline *)
+    let deadline = deadline_of (Unix.gettimeofday ()) frame_timeout_s in
+    let rec fill_until have =
+      if r.rhi - r.rlo >= have then Ok ()
+      else
+        match refill r ~deadline with
+        | `Ok -> fill_until have
+        | `Eof -> Error (Frame_error "truncated frame (eof)")
+        | `Timeout -> Error (Timed_out `Frame)
+        | `Error msg -> Error (Frame_error msg)
+    in
+    (* scan offsets are relative to rlo: refills may compact the buffer
+       and move the live region *)
+    let rec find_nl off =
+      if r.rlo + off < r.rhi then
+        if Bytes.get r.rbuf (r.rlo + off) = '\n' then Ok off
+        else if off >= max_length_line then
+          Error (Frame_error "malformed frame length line (too long)")
+        else find_nl (off + 1)
+      else
+        match refill r ~deadline with
+        | `Ok -> find_nl off
+        | `Eof -> Error (Frame_error "truncated frame (eof in length line)")
+        | `Timeout -> Error (Timed_out `Frame)
+        | `Error msg -> Error (Frame_error msg)
+    in
+    (match find_nl 0 with
+    | Error e -> e
+    | Ok nl ->
+      let line = Bytes.sub_string r.rbuf r.rlo nl in
+      (match int_of_string_opt (String.trim line) with
+      | Some n when n >= 0 && n <= max_frame_bytes ->
+        let line_len = nl + 1 in
+        (match fill_until (line_len + n + 1) with
+        | Error e -> e
+        | Ok () ->
+          let payload = Bytes.sub_string r.rbuf (r.rlo + line_len) n in
+          let term = Bytes.get r.rbuf (r.rlo + line_len + n) in
+          r.rlo <- r.rlo + line_len + n + 1;
+          if r.rlo = r.rhi then begin
+            r.rlo <- 0;
+            r.rhi <- 0
+          end;
+          if term = '\n' then Frame payload
+          else Frame_error "missing frame terminator")
+      | Some n -> Frame_error (Printf.sprintf "frame length out of range (%d)" n)
+      | None ->
+        Frame_error (Printf.sprintf "malformed frame length line (got %S)" line)))
+
+(* ---- wire-level fault injection ----------------------------------------
+
+   The four network sites of Dadu_util.Fault, consulted on the sender
+   side of every frame.  Faults act on the *framing layer*: cut and
+   short-frame abandon the stream (the caller marks the connection dead
+   and shuts it down), garble corrupts the length line (payloads carry
+   no checksum, so only header corruption is reliably detectable by the
+   peer), stall pauses mid-frame — long enough stalls trip the peer's
+   frame deadline.  Consultation order is fixed (cut, short, garble,
+   stall) so a registry's firing sequence depends only on its seed and
+   the frame sequence written through it. *)
+
+let write_frame_injected ~fault oc payload =
+  if not (Dadu_util.Fault.enabled fault) then begin
+    write_frame oc payload;
+    flush oc;
+    true
+  end
+  else begin
+    let fires site = Dadu_util.Fault.fires fault ~site () in
+    match fires Dadu_util.Fault.net_cut with
+    | Some _ -> false
+    | None ->
+      let frame =
+        Printf.sprintf "%d\n%s\n" (String.length payload) payload
+      in
+      (match fires Dadu_util.Fault.net_short_frame with
+      | Some _ ->
+        let keep = max 1 (String.length frame / 2) in
+        (try
+           output_string oc (String.sub frame 0 keep);
+           flush oc
+         with Sys_error _ -> ());
+        false
+      | None ->
+        let frame =
+          match fires Dadu_util.Fault.net_garble with
+          | None -> frame
+          | Some _ ->
+            let b = Bytes.of_string frame in
+            Bytes.set b 0 '#';
+            Bytes.unsafe_to_string b
+        in
+        let stall = fires Dadu_util.Fault.net_stall in
+        (try
+           (match stall with
+           | Some arg when arg > 0. ->
+             let cut = String.index frame '\n' + 1 in
+             output_string oc (String.sub frame 0 cut);
+             flush oc;
+             Thread.delay arg;
+             output_string oc
+               (String.sub frame cut (String.length frame - cut))
+           | _ -> output_string oc frame);
+           flush oc;
+           true
+         with Sys_error _ -> false))
+  end
+
 (* ---- client scripts ---------------------------------------------------
 
    The `dadu client` op stream: one op per line, same comment/token

@@ -68,6 +68,43 @@ val read_frame : in_channel -> (string option, string) result
     or a truncated/unterminated frame (the stream is desynchronized —
     close the connection). *)
 
+(** {2 Deadline-aware framing}
+
+    {!read_frame} blocks on a stdlib channel, so a peer that stops
+    mid-frame pins the reading thread forever.  {!read_frame_fd} works
+    on the raw descriptor with [Unix.select] and enforces two distinct
+    deadlines: an {e idle} timeout while waiting for the first byte of
+    the next frame (slow-loris defense) and a {e frame} timeout for
+    completing a frame once started (a half-written frame cannot pin a
+    reader past it).  Either [None] waits forever. *)
+
+type frame_reader
+(** Buffered reader state for one descriptor; not thread-safe. *)
+
+val frame_reader : Unix.file_descr -> frame_reader
+
+type framed =
+  | Frame of string
+  | Eof  (** clean EOF before a length line *)
+  | Timed_out of [ `Idle | `Frame ]
+  | Frame_error of string
+      (** stream desynchronized or read failure: drop the connection *)
+
+val read_frame_fd :
+  ?idle_timeout_s:float -> ?frame_timeout_s:float -> frame_reader -> framed
+
+val write_frame_injected :
+  fault:Dadu_util.Fault.t -> out_channel -> string -> bool
+(** Write one frame (flushed) through a wire-fault registry consulting
+    the [net-*] sites of {!Dadu_util.Fault} in fixed order (cut, short
+    frame, garble, stall).  Returns [false] when the plan abandoned the
+    stream ([net-cut] writes nothing, [net-short-frame] writes a bare
+    prefix) — the caller must stop using the connection and shut it
+    down.  [net-garble] corrupts the length line (only header
+    corruption is reliably detectable — payloads carry no checksum);
+    [net-stall] sleeps [arg] seconds between length line and payload.
+    With a disabled registry this is exactly [write_frame] + flush. *)
+
 (** {1 Client scripts}
 
     The `dadu client` op stream: one op per line, [#] comments and blank

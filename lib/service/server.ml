@@ -39,10 +39,30 @@ type config = {
   service : Service.config;
   queue_capacity : int;
   max_batch : int;
+  max_connections : int;
+  idle_timeout_s : float option;
+  frame_timeout_s : float option;
+  retry_after_ms : int;
+  est_job_ms : float;
+  net_fault : Dadu_util.Fault.t;
+  journal : string option;
 }
 
 let default_config =
-  { service = Service.default_config; queue_capacity = 1024; max_batch = 256 }
+  {
+    service = Service.default_config;
+    queue_capacity = 1024;
+    max_batch = 256;
+    max_connections = 1024;
+    idle_timeout_s = None;
+    (* a half-written frame may pin a reader for at most this long by
+       default; None restores the legacy block-forever behavior *)
+    frame_timeout_s = Some 30.;
+    retry_after_ms = 50;
+    est_job_ms = 0.;
+    net_fault = Dadu_util.Fault.disabled;
+    journal = None;
+  }
 
 (* ---- per-tenant accounting ------------------------------------------- *)
 
@@ -58,9 +78,13 @@ type tenant = { metrics : Metrics.t; overloaded : int Atomic.t }
 
 type conn = {
   fd : Unix.file_descr;
-  ic : in_channel;
   oc : out_channel;
   wlock : Mutex.t;
+  (* wire-fault forks: reads and writes get separate registries (fork
+     indices 2i / 2i+1 for the i-th accepted connection) so each side's
+     counter-based triggers see a deterministic consultation sequence *)
+  rfault : Dadu_util.Fault.t;
+  wfault : Dadu_util.Fault.t;
   mutable tenant : string;
   mutable pending : int; (* solve jobs queued, reply not yet written *)
   mutable eof : bool; (* reader finished *)
@@ -93,37 +117,11 @@ type t = {
   wake_w : Unix.file_descr;
   mutable conns : conn list; (* guarded by clock *)
   clock : Mutex.t;
+  nconns : int Atomic.t; (* live connections (reader threads running) *)
+  journal : Journal.t option;
+  mutable journal_recovery : Journal.load_error option;
+      (* the defect (if any) found and cut off while opening the journal *)
 }
-
-let create ?pool ?(config = default_config) () =
-  if config.queue_capacity < 0 then
-    invalid_arg "Server.create: queue_capacity must be non-negative";
-  if config.max_batch < 1 then
-    invalid_arg "Server.create: max_batch must be positive";
-  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
-  {
-    config;
-    service = Service.create ?pool ~config:config.service ();
-    sessions = Hashtbl.create 16;
-    slock = Mutex.create ();
-    tenants = Hashtbl.create 4;
-    tlock = Mutex.create ();
-    queue = Queue.create ();
-    qlock = Mutex.create ();
-    qcond = Condition.create ();
-    stopping = false;
-    stop_flag = Atomic.make false;
-    wake_r;
-    wake_w;
-    conns = [];
-    clock = Mutex.create ();
-  }
-
-(* Signal-safe: one atomic store and one pipe write; the accept loop does
-   the lock-taking part of the shutdown from ordinary context. *)
-let stop t =
-  if not (Atomic.exchange t.stop_flag true) then
-    ignore (try Unix.write t.wake_w (Bytes.make 1 '!') 0 1 with Unix.Unix_error _ -> 0)
 
 let tenant_of t name =
   Mutex.lock t.tlock;
@@ -138,6 +136,129 @@ let tenant_of t name =
   Mutex.unlock t.tlock;
   tn
 
+(* Rebuild the session registry from journal records: fold the per
+   session lifecycle (open / commit / close) into the final state, then
+   restore each surviving session with its ordinal counter, warm-start
+   slot, and recent-reply ring — the state an uninterrupted server
+   would hold with in-flight work excluded (DESIGN.md §16). *)
+let replay_journal t records =
+  let open struct
+    type rstate = {
+      rchain : Chain.t;
+      mutable rcommitted : int;
+      mutable rwarm : int;
+      mutable rslot : float array option;
+      mutable rring : (int * string) list; (* newest first *)
+    }
+  end in
+  let live : (string, rstate) Hashtbl.t = Hashtbl.create 16 in
+  let applied = ref 0 in
+  List.iter
+    (fun record ->
+      let ok =
+        match record with
+        | Journal.Opened { session; robot; chain_fp; dof = _ } ->
+          (match Pf.robot_of_spec robot with
+          | Error _ -> false (* spec no longer resolves: drop the session *)
+          | Ok chain ->
+            if Chain.fingerprint chain = chain_fp && not (Hashtbl.mem live session)
+            then begin
+              Hashtbl.replace live session
+                { rchain = chain; rcommitted = 0; rwarm = 0; rslot = None; rring = [] };
+              true
+            end
+            else false)
+        | Journal.Committed { session; ordinal; theta; reply } ->
+          (match Hashtbl.find_opt live session with
+          | None -> false
+          | Some st ->
+            if st.rslot <> None then st.rwarm <- st.rwarm + 1;
+            st.rcommitted <- ordinal + 1;
+            (match theta with Some th -> st.rslot <- Some th | None -> ());
+            st.rring <- (ordinal, reply) :: st.rring;
+            true)
+        | Journal.Closed { session } ->
+          if Hashtbl.mem live session then begin
+            Hashtbl.remove live session;
+            true
+          end
+          else false
+      in
+      if ok then incr applied)
+    records;
+  Hashtbl.iter
+    (fun name st ->
+      let sess =
+        Session.restore ~name ~chain:st.rchain ~committed:st.rcommitted
+          ~warm:st.rwarm ~slot:st.rslot
+      in
+      List.iter
+        (fun (ordinal, reply) -> Session.remember_reply sess ~ordinal reply)
+        (List.rev st.rring);
+      Hashtbl.replace t.sessions name sess)
+    live;
+  !applied
+
+let create ?pool ?(config = default_config) () =
+  if config.queue_capacity < 0 then
+    invalid_arg "Server.create: queue_capacity must be non-negative";
+  if config.max_batch < 1 then
+    invalid_arg "Server.create: max_batch must be positive";
+  if config.max_connections < 1 then
+    invalid_arg "Server.create: max_connections must be positive";
+  if config.retry_after_ms < 0 then
+    invalid_arg "Server.create: retry_after_ms must be non-negative";
+  let journal, records, recovery =
+    match config.journal with
+    | None -> (None, [], None)
+    | Some path ->
+      (match Journal.open_ path with
+      | Ok (j, records, defect) -> (Some j, records, defect)
+      | Error e ->
+        invalid_arg
+          (Format.asprintf "Server.create: journal %s: %a" path
+             Journal.pp_load_error e))
+  in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  let t =
+    {
+      config;
+      service = Service.create ?pool ~config:config.service ();
+      sessions = Hashtbl.create 16;
+      slock = Mutex.create ();
+      tenants = Hashtbl.create 4;
+      tlock = Mutex.create ();
+      queue = Queue.create ();
+      qlock = Mutex.create ();
+      qcond = Condition.create ();
+      stopping = false;
+      stop_flag = Atomic.make false;
+      wake_r;
+      wake_w;
+      conns = [];
+      clock = Mutex.create ();
+      nconns = Atomic.make 0;
+      journal;
+      journal_recovery = recovery;
+    }
+  in
+  if records <> [] then begin
+    let applied = replay_journal t records in
+    let metrics = (tenant_of t "default").metrics in
+    for _ = 1 to applied do
+      Metrics.record_net metrics Metrics.Journal_replay
+    done
+  end;
+  t
+
+let journal_recovery t = t.journal_recovery
+
+(* Signal-safe: one atomic store and one pipe write; the accept loop does
+   the lock-taking part of the shutdown from ordinary context. *)
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then
+    ignore (try Unix.write t.wake_w (Bytes.make 1 '!') 0 1 with Unix.Unix_error _ -> 0)
+
 (* ---- reply serialization ----------------------------------------------
 
    Reply payloads are built with Printf (%.17g doubles, %S strings), not
@@ -148,12 +269,21 @@ let tenant_of t name =
 let json_floats xs =
   String.concat "," (List.map (Printf.sprintf "%.17g") (Array.to_list xs))
 
+(* mark the connection unusable and force the peer to notice: a planned
+   cut or short frame must unblock a peer blocked on replies, so the
+   descriptor is shut down in both directions (closed later, once, by
+   the normal lifecycle).  Called with wlock held. *)
+let kill_conn_locked conn =
+  conn.dead <- true;
+  if not conn.closed then
+    try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
 let send conn payload =
   Mutex.lock conn.wlock;
   (if not (conn.dead || conn.closed) then
      try
-       Pf.write_frame conn.oc payload;
-       flush conn.oc
+       if not (Pf.write_frame_injected ~fault:conn.wfault conn.oc payload)
+       then kill_conn_locked conn
      with Sys_error _ | Unix.Unix_error _ -> conn.dead <- true);
   Mutex.unlock conn.wlock
 
@@ -243,12 +373,38 @@ let record_tenant t job (reply : Service.reply) =
 let deliver t job reply =
   record_tenant t job reply;
   let payload = reply_of job reply in
+  (match job.jsession with
+  | Some sname ->
+    (* write-ahead: journal and remember the committed reply before the
+       frame goes out.  A crash after the append replays these exact
+       bytes to a resending client; a crash before it re-solves the
+       waypoint from the journalled predecessor state — byte-identical
+       either way (DESIGN.md §16). *)
+    let theta =
+      match reply with
+      | Service.Solved { result; _ } when result.Ik.status = Ik.Converged ->
+        Some (Array.copy result.Ik.theta)
+      | _ -> None
+    in
+    (match t.journal with
+    | Some j ->
+      Journal.append j
+        (Journal.Committed
+           { session = sname; ordinal = job.jordinal; theta; reply = payload });
+      Metrics.record_net (tenant_of t job.jtenant).metrics Metrics.Journal_append
+    | None -> ());
+    Mutex.lock t.slock;
+    (match Hashtbl.find_opt t.sessions sname with
+    | Some sess -> Session.remember_reply sess ~ordinal:job.jordinal payload
+    | None -> () (* closed while the waypoint was in flight *));
+    Mutex.unlock t.slock
+  | None -> ());
   let conn = job.jconn in
   Mutex.lock conn.wlock;
   (if not (conn.dead || conn.closed) then
      try
-       Pf.write_frame conn.oc payload;
-       flush conn.oc
+       if not (Pf.write_frame_injected ~fault:conn.wfault conn.oc payload)
+       then kill_conn_locked conn
      with Sys_error _ | Unix.Unix_error _ -> conn.dead <- true);
   conn.pending <- conn.pending - 1;
   maybe_close_locked conn;
@@ -264,8 +420,20 @@ let deliver t job reply =
 
 let enqueue t job =
   Mutex.lock t.qlock;
+  let qlen = Queue.length t.queue in
+  (* deadline-aware shed: with an estimated per-job cost configured, a
+     request whose deadline the queue already cannot meet is refused up
+     front — the retry_after hint tells the client when trying again
+     might actually succeed *)
+  let deadline_shed =
+    t.config.est_job_ms > 0.
+    &&
+    match job.jrequest.Service.deadline_s with
+    | Some d -> float_of_int (qlen + 1) *. t.config.est_job_ms /. 1000. > d
+    | None -> false
+  in
   let admitted =
-    (not t.stopping) && Queue.length t.queue < t.config.queue_capacity
+    (not t.stopping) && (not deadline_shed) && qlen < t.config.queue_capacity
   in
   if admitted then begin
     let conn = job.jconn in
@@ -277,14 +445,17 @@ let enqueue t job =
   end;
   Mutex.unlock t.qlock;
   if not admitted then begin
-    Atomic.incr (tenant_of t job.jtenant).overloaded;
+    let tn = tenant_of t job.jtenant in
+    Atomic.incr tn.overloaded;
+    if deadline_shed then Metrics.record_net tn.metrics Metrics.Retry_after_shed;
     let spart =
       match job.jsession with
       | None -> ""
       | Some s -> Printf.sprintf ",\"session\":%S" s
     in
     send job.jconn
-      (Printf.sprintf "{\"reply\":\"overloaded\",\"id\":%d%s}" job.jid spart)
+      (Printf.sprintf "{\"reply\":\"overloaded\",\"id\":%d%s,\"retry_after_ms\":%d}"
+         job.jid spart t.config.retry_after_ms)
   end
 
 (* ---- dispatcher --------------------------------------------------------
@@ -373,6 +544,19 @@ let handle_open t conn ~id ~session ~robot =
       | None ->
         let sess = Session.create ~name:session ~chain in
         Hashtbl.add t.sessions session sess;
+        (match t.journal with
+        | Some j ->
+          Journal.append j
+            (Journal.Opened
+               {
+                 session;
+                 robot;
+                 chain_fp = Chain.fingerprint chain;
+                 dof = Chain.dof chain;
+               });
+          Metrics.record_net (tenant_of t conn.tenant).metrics
+            Metrics.Journal_append
+        | None -> ());
         Ok (sess, false)
     in
     Mutex.unlock t.slock;
@@ -394,32 +578,59 @@ let handle_waypoint t conn ~id ~session json =
        client-stream order; the slock-guarded counter then hands out
        ordinals in that order, so for a fixed per-session waypoint
        sequence the ordinals — and therefore replies — are fixed
-       whatever interleaving delivers other connections' frames *)
+       whatever interleaving delivers other connections' frames.
+
+       An optional "seq" member carries the client's own per-session
+       waypoint index and makes resends idempotent: a seq behind the
+       session's counter is a waypoint that already committed, answered
+       with the original reply bytes from the ring (at most one solve,
+       exactly one well-formed reply per waypoint, whatever the wire
+       did in between — DESIGN.md §16). *)
+    let seq = json_int_member "seq" json in
     Mutex.lock t.slock;
     let found = Hashtbl.find_opt t.sessions session in
-    let job =
+    let outcome =
       match found with
-      | None -> None
+      | None -> `Unknown
       | Some sess ->
-        let chain = Session.chain sess in
-        let ordinal = Session.next_ordinal sess in
-        let problem =
-          Ik.problem ~chain ~target ~theta0:(clamped_zero chain)
-        in
-        Some
-          {
-            jconn = conn;
-            jid = id;
-            jtenant = conn.tenant;
-            jsession = Some session;
-            jordinal = ordinal;
-            jrequest = Service.request ~session:sess ~ordinal problem;
-          }
+        let accepted = Session.accepted sess in
+        (match seq with
+        | Some k when k < accepted ->
+          (match Session.recall_reply sess ~ordinal:k with
+          | Some payload -> `Replay payload
+          | None -> `Stale (k, accepted))
+        | Some k when k > accepted -> `Gap (k, accepted)
+        | _ ->
+          let chain = Session.chain sess in
+          let ordinal = Session.next_ordinal sess in
+          let problem =
+            Ik.problem ~chain ~target ~theta0:(clamped_zero chain)
+          in
+          `Job
+            {
+              jconn = conn;
+              jid = id;
+              jtenant = conn.tenant;
+              jsession = Some session;
+              jordinal = ordinal;
+              jrequest = Service.request ~session:sess ~ordinal problem;
+            })
     in
     Mutex.unlock t.slock;
-    (match job with
-    | None -> reply_error conn ~id (Printf.sprintf "unknown session %S" session)
-    | Some job -> enqueue t job)
+    (match outcome with
+    | `Unknown ->
+      reply_error conn ~id (Printf.sprintf "unknown session %S" session)
+    | `Replay payload -> send conn payload
+    | `Stale (k, accepted) ->
+      reply_error conn ~id
+        (Printf.sprintf
+           "stale waypoint seq %d (session %S at %d, replay window exhausted)"
+           k session accepted)
+    | `Gap (k, accepted) ->
+      reply_error conn ~id
+        (Printf.sprintf "waypoint seq %d ahead of session %S (at %d)" k
+           session accepted)
+    | `Job job -> enqueue t job)
 
 let handle_solve t conn ~id json =
   match Option.bind (Json.member "robot" json) Json.to_str with
@@ -462,7 +673,14 @@ let handle_close t conn ~id ~session =
   Mutex.lock t.slock;
   let found = Hashtbl.find_opt t.sessions session in
   (match found with
-  | Some _ -> Hashtbl.remove t.sessions session
+  | Some _ ->
+    Hashtbl.remove t.sessions session;
+    (match t.journal with
+    | Some j ->
+      Journal.append j (Journal.Closed { session });
+      Metrics.record_net (tenant_of t conn.tenant).metrics
+        Metrics.Journal_append
+    | None -> ())
   | None -> ());
   Mutex.unlock t.slock;
   match found with
@@ -478,11 +696,13 @@ let handle_stats t conn =
   let s = Metrics.snapshot tn.metrics in
   send conn
     (Printf.sprintf
-       "{\"reply\":\"stats\",\"tenant\":%S,\"requests\":%d,\"converged\":%d,\"failed\":%d,\"rejected\":%d,\"faulted\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"session_requests\":%d,\"session_warm\":%d,\"overloaded\":%d}"
+       "{\"reply\":\"stats\",\"tenant\":%S,\"requests\":%d,\"converged\":%d,\"failed\":%d,\"rejected\":%d,\"faulted\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"session_requests\":%d,\"session_warm\":%d,\"overloaded\":%d,\"timeouts\":%d,\"disconnects\":%d,\"journal_appends\":%d,\"journal_replays\":%d,\"retry_after_sheds\":%d,\"busy\":%d}"
        conn.tenant s.Metrics.requests s.Metrics.converged s.Metrics.failed
        s.Metrics.rejected s.Metrics.faulted s.Metrics.cache_hits
        s.Metrics.cache_misses s.Metrics.session_requests s.Metrics.session_warm
-       (Atomic.get tn.overloaded))
+       (Atomic.get tn.overloaded) s.Metrics.timeouts s.Metrics.disconnects
+       s.Metrics.journal_appends s.Metrics.journal_replays
+       s.Metrics.retry_after_sheds s.Metrics.busy_refusals)
 
 let handle_payload t conn payload =
   match Json.of_string payload with
@@ -534,23 +754,49 @@ let handle_payload t conn payload =
 (* ---- connection reader ------------------------------------------------ *)
 
 let reader t conn () =
+  let module Fault = Dadu_util.Fault in
+  let r = Pf.frame_reader conn.fd in
+  let net_metrics ev = Metrics.record_net (tenant_of t conn.tenant).metrics ev in
   let running = ref true in
+  let unclean = ref false in
   while !running do
-    match Pf.read_frame conn.ic with
-    | Ok None -> running := false
-    | Ok (Some payload) -> handle_payload t conn payload
-    | Error msg ->
-      (* the frame stream is desynchronized: a final error reply, then
-         drop the connection *)
-      reply_error conn ~id:(-1) msg;
+    (* receiver-side net-cut: the wire drops before the next frame is
+       read — the connection dies as if the peer reset it *)
+    if Fault.fires conn.rfault ~site:Fault.net_cut () <> None then begin
+      unclean := true;
       running := false
-    | exception (Sys_error _ | End_of_file | Unix.Unix_error _) ->
-      running := false
+    end
+    else
+      match
+        Pf.read_frame_fd ?idle_timeout_s:t.config.idle_timeout_s
+          ?frame_timeout_s:t.config.frame_timeout_s r
+      with
+      | Pf.Frame payload -> handle_payload t conn payload
+      | Pf.Eof -> running := false
+      | Pf.Timed_out which ->
+        net_metrics Metrics.Timeout;
+        reply_error conn ~id:(-1)
+          (match which with
+          | `Idle -> "idle timeout"
+          | `Frame -> "read timeout: frame incomplete");
+        running := false
+      | Pf.Frame_error msg ->
+        (* the frame stream is desynchronized: a final error reply, then
+           drop the connection *)
+        unclean := true;
+        reply_error conn ~id:(-1) msg;
+        running := false
+      | exception (Sys_error _ | End_of_file | Unix.Unix_error _) ->
+        unclean := true;
+        running := false
   done;
+  if !unclean then net_metrics Metrics.Disconnect;
   Mutex.lock conn.wlock;
   conn.eof <- true;
+  if !unclean then kill_conn_locked conn;
   maybe_close_locked conn;
-  Mutex.unlock conn.wlock
+  Mutex.unlock conn.wlock;
+  Atomic.decr t.nconns
 
 (* ---- accept loop and drain -------------------------------------------- *)
 
@@ -582,6 +828,7 @@ let run t ~listen =
   Unix.listen lfd 64;
   let disp = Thread.create (dispatcher t) () in
   let readers = ref [] in
+  let accepted = ref 0 in
   let accepting = ref true in
   while !accepting do
     match Unix.select [ lfd; t.wake_r ] [] [] (-1.) with
@@ -594,23 +841,44 @@ let run t ~listen =
         match Unix.accept ~cloexec:true lfd with
         | exception Unix.Unix_error _ -> ()
         | fd, _ ->
-          let conn =
-            {
-              fd;
-              ic = Unix.in_channel_of_descr fd;
-              oc = Unix.out_channel_of_descr fd;
-              wlock = Mutex.create ();
-              tenant = "default";
-              pending = 0;
-              eof = false;
-              dead = false;
-              closed = false;
-            }
-          in
-          Mutex.lock t.clock;
-          t.conns <- conn :: t.conns;
-          Mutex.unlock t.clock;
-          readers := Thread.create (reader t conn) () :: !readers
+          if Atomic.get t.nconns >= t.config.max_connections then begin
+            (* typed refusal at the cap: one busy frame, then close —
+               never a silent drop, never an unbounded reader thread *)
+            Metrics.record_net (tenant_of t "default").metrics
+              Metrics.Busy_refusal;
+            let oc = Unix.out_channel_of_descr fd in
+            (try
+               Pf.write_frame oc
+                 (Printf.sprintf "{\"reply\":\"busy\",\"retry_after_ms\":%d}"
+                    t.config.retry_after_ms);
+               flush oc
+             with Sys_error _ | Unix.Unix_error _ -> ());
+            close_out_noerr oc
+          end
+          else begin
+            let idx = !accepted in
+            incr accepted;
+            let conn =
+              {
+                fd;
+                oc = Unix.out_channel_of_descr fd;
+                wlock = Mutex.create ();
+                rfault = Dadu_util.Fault.fork t.config.net_fault (2 * idx);
+                wfault =
+                  Dadu_util.Fault.fork t.config.net_fault ((2 * idx) + 1);
+                tenant = "default";
+                pending = 0;
+                eof = false;
+                dead = false;
+                closed = false;
+              }
+            in
+            Atomic.incr t.nconns;
+            Mutex.lock t.clock;
+            t.conns <- conn :: t.conns;
+            Mutex.unlock t.clock;
+            readers := Thread.create (reader t conn) () :: !readers
+          end
       end
   done;
   (* graceful drain: stop accepting, push EOF at every reader, let the

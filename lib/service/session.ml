@@ -1,6 +1,14 @@
 open Dadu_linalg
 open Dadu_kinematics
 
+(* Recent committed replies, kept verbatim for duplicate replay: a
+   reconnecting client that resends an already-committed waypoint gets
+   the original bytes back instead of a second solve — the at-most-once
+   half of the reconnect contract (DESIGN.md §16).  Bounded: entries
+   older than [ring_capacity] commits are evicted; a resend that far
+   behind is answered with a typed [stale] error by the server. *)
+let ring_capacity = 128
+
 type t = {
   name : string;
   chain : Chain.t;
@@ -10,6 +18,7 @@ type t = {
   mutable waypoints : int;
   mutable warm : int;
   mutable seq : int; (* next waypoint ordinal (enqueue-side counter) *)
+  replies : (int, string) Hashtbl.t; (* ordinal -> committed reply bytes *)
 }
 
 let create ~name ~chain =
@@ -21,7 +30,25 @@ let create ~name ~chain =
     waypoints = 0;
     warm = 0;
     seq = 0;
+    replies = Hashtbl.create 16;
   }
+
+(* Rebuild a session from journal replay: [committed] waypoints are
+   already durable, so the ordinal counter resumes right after them and
+   the slot holds the last converged configuration — the state an
+   uninterrupted server would hold with all in-flight work excluded. *)
+let restore ~name ~chain ~committed ~warm ~slot =
+  let t = create ~name ~chain in
+  t.seq <- committed;
+  t.waypoints <- committed;
+  t.warm <- warm;
+  (match slot with
+  | None -> ()
+  | Some theta ->
+    let dst = Array.make (Array.length theta) 0. in
+    Array.blit theta 0 dst 0 (Array.length theta);
+    t.slot <- Some dst);
+  t
 
 let name t = t.name
 
@@ -59,5 +86,12 @@ let store t ~chain_fp theta =
 let record t ~warm =
   t.waypoints <- t.waypoints + 1;
   if warm then t.warm <- t.warm + 1
+
+let remember_reply t ~ordinal payload =
+  Hashtbl.replace t.replies ordinal payload;
+  let evict = ordinal - ring_capacity in
+  if evict >= 0 then Hashtbl.remove t.replies evict
+
+let recall_reply t ~ordinal = Hashtbl.find_opt t.replies ordinal
 
 let clear t = t.slot <- None

@@ -30,6 +30,21 @@ type t
 val create : name:string -> chain:Chain.t -> t
 (** A fresh, cold session for [chain].  [name] is only a label. *)
 
+val restore :
+  name:string ->
+  chain:Chain.t ->
+  committed:int ->
+  warm:int ->
+  slot:Vec.t option ->
+  t
+(** Rebuild a session from journal replay: the ordinal counter resumes
+    at [committed] (ordinals handed out but never committed before the
+    crash are reissued to the resending client), the waypoint counter
+    matches it, and [slot] (copied) is the last converged configuration
+    — exactly the state an uninterrupted server would hold with
+    in-flight work excluded, which is what makes post-restart replies
+    byte-identical (DESIGN.md §16). *)
+
 val name : t -> string
 
 val chain : t -> Chain.t
@@ -62,6 +77,16 @@ val store : t -> chain_fp:int -> Vec.t -> unit
 
 val record : t -> warm:bool -> unit
 (** Count one committed waypoint ([warm] when the slot was offered). *)
+
+val remember_reply : t -> ordinal:int -> string -> unit
+(** Retain the committed reply bytes for [ordinal] in a bounded ring
+    (the last 128 commits) so a reconnecting client resending an
+    already-committed waypoint can be answered verbatim instead of
+    solved twice.  Call from the server's serial delivery path, under
+    the same lock as {!recall_reply}. *)
+
+val recall_reply : t -> ordinal:int -> string option
+(** The retained reply for [ordinal], if still within the ring. *)
 
 val clear : t -> unit
 (** Drop the slot (the session goes cold; counters are kept). *)

@@ -171,3 +171,15 @@ let consultations t ~site =
     Array.fold_left
       (fun acc ar -> if String.equal ar.rule.site site then Stdlib.max acc ar.hits else acc)
       0 rules
+
+(* ---- well-known network sites ------------------------------------------
+
+   The wire-level chaos sites consulted by the streaming server's frame
+   writer (Dadu_service.Problem_file.write_frame_injected) and the
+   resilient client.  Kept here so injectors and consumers agree on the
+   spelling. *)
+
+let net_cut = "net-cut"
+let net_stall = "net-stall"
+let net_garble = "net-garble"
+let net_short_frame = "net-short-frame"

@@ -70,3 +70,29 @@ val fires : t -> site:string -> ?iteration:int -> unit -> float option
 val consultations : t -> site:string -> int
 (** Total consultations recorded against [site] (0 when disabled) —
     lets reports distinguish "no faults planned" from "none triggered". *)
+
+(** {1 Well-known network sites}
+
+    The wire-level chaos sites of the streaming server, consulted on
+    the sender side of every frame (see
+    [Dadu_service.Problem_file.write_frame_injected]).  Each concurrent
+    frame stream takes its own {!fork}, so firings are independent of
+    pool size and of other connections' traffic. *)
+
+val net_cut : string
+(** ["net-cut"]: abandon the stream without writing — the peer sees a
+    hard disconnect. *)
+
+val net_stall : string
+(** ["net-stall"]: pause for [arg] seconds between the length line and
+    the payload — a mid-frame stall that trips the peer's frame
+    deadline when longer than it. *)
+
+val net_garble : string
+(** ["net-garble"]: corrupt the frame's length line — the peer's
+    framing layer desynchronizes and must drop the connection. *)
+
+val net_short_frame : string
+(** ["net-short-frame"]: write only a prefix of the frame, then
+    abandon the stream — the half-written frame the read deadline
+    regression test guards against. *)

@@ -1,0 +1,105 @@
+Crash safety end to end: a trajectory session interrupted by SIGKILL
+resumes from the session journal with byte-identical replies.  The
+trajectory is split into two legs; the reference runs both against one
+uninterrupted (journal-less) server, the crash run kills the server
+with -9 between the legs and restarts it from the journal.  Every
+solve reply — ordinals, warm-start provenance, theta bytes — must
+compare equal with cmp.
+
+  $ SOCKDIR=$(mktemp -d /tmp/dadu-crash-XXXXXX)
+  $ trap 'rm -rf "$SOCKDIR"' EXIT
+
+  $ cat > legA.script <<'EOF'
+  > hello acme
+  > open t1 eval:30
+  > waypoint t1 4.0,1.00,2.0
+  > waypoint t1 4.0,1.02,2.0
+  > waypoint t1 4.0,1.04,2.0
+  > EOF
+  $ cat > legB.script <<'EOF'
+  > hello acme
+  > open t1 eval:30
+  > waypoint t1 4.0,1.06,2.0
+  > waypoint t1 4.0,1.08,2.0
+  > waypoint t1 4.0,1.10,2.0
+  > close t1
+  > EOF
+
+Reference: both legs against one server that never dies:
+
+  $ dadu serve --listen "unix:$SOCKDIR/ref.sock" -j 2 --chunk 8 \
+  >   > /dev/null 2>&1 &
+  $ REF=$!
+  $ dadu client --connect "unix:$SOCKDIR/ref.sock" --dump refA.dump legA.script
+  {"reply":"hello","tenant":"acme"}
+  {"reply":"opened","id":1,"session":"t1","dof":30,"resumed":false,"waypoints":0}
+  solve replies: 3
+  $ dadu client --connect "unix:$SOCKDIR/ref.sock" --dump refB.dump legB.script
+  {"reply":"hello","tenant":"acme"}
+  {"reply":"opened","id":1,"session":"t1","dof":30,"resumed":true,"waypoints":3}
+  {"reply":"closed","id":5,"session":"t1","waypoints":6}
+  solve replies: 3
+  $ kill -TERM $REF && wait $REF
+
+Crash run: same legs, but the server is SIGKILLed after leg A — no
+drain, no flush beyond the journal's own write-ahead appends — and a
+fresh process restarts from the journal before leg B:
+
+  $ dadu serve --listen "unix:$SOCKDIR/crash.sock" --journal "$SOCKDIR/t.wal" \
+  >   -j 2 --chunk 8 > /dev/null 2>&1 &
+  $ SRV=$!
+  $ dadu client --connect "unix:$SOCKDIR/crash.sock" --dump crashA.dump \
+  >   legA.script
+  {"reply":"hello","tenant":"acme"}
+  {"reply":"opened","id":1,"session":"t1","dof":30,"resumed":false,"waypoints":0}
+  solve replies: 3
+  $ kill -9 $SRV
+  $ wait $SRV
+  Killed
+  [137]
+  $ dadu serve --listen "unix:$SOCKDIR/crash.sock" --journal "$SOCKDIR/t.wal" \
+  >   -j 2 --chunk 8 > /dev/null 2> restart.log &
+  $ SRV2=$!
+  $ dadu client --connect "unix:$SOCKDIR/crash.sock" --dump crashB.dump \
+  >   legB.script
+  {"reply":"hello","tenant":"acme"}
+  {"reply":"opened","id":1,"session":"t1","dof":30,"resumed":true,"waypoints":3}
+  {"reply":"closed","id":5,"session":"t1","waypoints":6}
+  solve replies: 3
+
+The journal replayed clean (no defect notice), and the resumed run is
+byte-identical to the uninterrupted one — including the first
+post-restart waypoint warm-starting from the journal-restored seed:
+
+  $ grep -c "journal" restart.log
+  0
+  [1]
+  $ cmp crashA.dump refA.dump && cmp crashB.dump refB.dump && echo identical
+  identical
+  $ grep -c '"session_hit":true' crashB.dump
+  3
+
+A torn tail — the crash window where the process dies mid-append —
+is recovered, not fatal: garbage after the last good record yields a
+defect notice naming the valid-prefix replay, and the server still
+serves.  The prefix includes leg B's close, so re-opening the name
+starts a fresh trajectory:
+
+  $ kill -TERM $SRV2 && wait $SRV2
+  $ printf 'torn!' >> "$SOCKDIR/t.wal"
+  $ dadu serve --listen "unix:$SOCKDIR/crash.sock" --journal "$SOCKDIR/t.wal" \
+  >   -j 2 --chunk 8 > /dev/null 2> torn.log &
+  $ SRV3=$!
+  $ cat > reopen.script <<'EOF'
+  > hello acme
+  > open t1 eval:30
+  > close t1
+  > EOF
+  $ dadu client --connect "unix:$SOCKDIR/crash.sock" reopen.script
+  {"reply":"hello","tenant":"acme"}
+  {"reply":"opened","id":1,"session":"t1","dof":30,"resumed":false,"waypoints":0}
+  {"reply":"closed","id":2,"session":"t1","waypoints":0}
+  solve replies: 0
+  $ grep -c "replayed the valid prefix" torn.log
+  1
+  $ kill -TERM $SRV3 && wait $SRV3

@@ -94,7 +94,9 @@ answers the ping that follows:
 
 A full queue sheds load with typed overloaded replies instead of
 stalling or disconnecting: with --queue 0 every solve is shed, the
-per-tenant counters record the sheds, and no request reaches a solver:
+shed replies carry a retry_after_ms back-off hint, the per-tenant
+counters record the sheds, no request reaches a solver, and the client
+reports the degraded run with exit status 5:
 
   $ cat > flood.script <<'EOF'
   > hello burst
@@ -109,11 +111,12 @@ per-tenant counters record the sheds, and no request reaches a solver:
   $ dadu client --connect "unix:$SOCKDIR/flood.sock" --dump flood.dump \
   >   flood.script
   {"reply":"hello","tenant":"burst"}
-  {"reply":"stats","tenant":"burst","requests":0,"converged":0,"failed":0,"rejected":0,"faulted":0,"cache_hits":0,"cache_misses":0,"session_requests":0,"session_warm":0,"overloaded":2}
+  {"reply":"stats","tenant":"burst","requests":0,"converged":0,"failed":0,"rejected":0,"faulted":0,"cache_hits":0,"cache_misses":0,"session_requests":0,"session_warm":0,"overloaded":2,"timeouts":0,"disconnects":0,"journal_appends":0,"journal_replays":0,"retry_after_sheds":0,"busy":0}
   solve replies: 2
+  [5]
   $ cat flood.dump
-  {"reply":"overloaded","id":1}
-  {"reply":"overloaded","id":2}
+  {"reply":"overloaded","id":1,"retry_after_ms":50}
+  {"reply":"overloaded","id":2,"retry_after_ms":50}
   $ kill -TERM $FLOOD && wait $FLOOD
 
 A session survives its client disconnecting without close: reconnecting

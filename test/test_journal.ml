@@ -1,0 +1,224 @@
+(* Tests for the crash-safe session journal: encode/decode round-trips,
+   typed recovery from torn tails, bit-flipped checksums and bad magic,
+   and the open_-truncates-then-extends contract.  The QCheck property
+   cuts a valid journal at every possible byte offset and checks that
+   recovery always yields the longest valid record prefix plus a typed
+   defect — never a crash, never a phantom record. *)
+
+open Dadu_service
+module J = Journal
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ---- helpers ---- *)
+
+let with_tmp f =
+  let path = Filename.temp_file "dadu_journal" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let write_records path records =
+  Sys.remove path;
+  match J.open_ path with
+  | Error e -> Alcotest.fail (Format.asprintf "open_: %a" J.pp_load_error e)
+  | Ok (t, replayed, defect) ->
+    Alcotest.(check int) "fresh journal is empty" 0 (List.length replayed);
+    Alcotest.(check bool) "fresh journal has no defect" true (defect = None);
+    List.iter (J.append t) records;
+    Alcotest.(check int) "appended count" (List.length records) (J.appended t);
+    J.close t
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path bytes =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc bytes)
+
+let sample_records =
+  [
+    J.Opened { session = "s1"; robot = "eval:12"; chain_fp = 0x1234; dof = 12 };
+    J.Committed
+      {
+        session = "s1";
+        ordinal = 0;
+        theta = Some [| 0.1; -0.25; 1e-300; Float.pi |];
+        reply = "{\"reply\":\"solved\",\"id\":1,\"ordinal\":0}";
+      };
+    J.Committed
+      { session = "s1"; ordinal = 1; theta = None; reply = "{\"id\":2}" };
+    J.Opened { session = "s2"; robot = "arm7"; chain_fp = -77; dof = 7 };
+    J.Committed
+      {
+        session = "s2";
+        ordinal = 0;
+        theta = Some (Array.init 7 (fun i -> float_of_int i /. 7.));
+        reply = String.make 300 'x';
+      };
+    J.Closed { session = "s1" };
+  ]
+
+let check_records name expect got =
+  Alcotest.(check bool)
+    name true
+    (List.length expect = List.length got && List.for_all2 ( = ) expect got)
+
+(* ---- round-trip ---- *)
+
+let test_roundtrip () =
+  with_tmp @@ fun path ->
+  write_records path sample_records;
+  match J.load path with
+  | Error e -> Alcotest.fail (Format.asprintf "load: %a" J.pp_load_error e)
+  | Ok (records, defect) ->
+    Alcotest.(check bool) "no defect" true (defect = None);
+    check_records "records round-trip" sample_records records
+
+(* ---- torn tail ---- *)
+
+let test_truncated_tail () =
+  with_tmp @@ fun path ->
+  write_records path sample_records;
+  let bytes = read_file path in
+  (* cut the last 5 bytes: the final record's checksum is torn *)
+  write_file path (String.sub bytes 0 (String.length bytes - 5));
+  match J.load path with
+  | Error e -> Alcotest.fail (Format.asprintf "load: %a" J.pp_load_error e)
+  | Ok (records, defect) ->
+    Alcotest.(check bool) "typed Truncated" true (defect = Some J.Truncated);
+    check_records "valid prefix recovered"
+      (List.filteri (fun i _ -> i < List.length sample_records - 1)
+         sample_records)
+      records
+
+let test_checksum_flip () =
+  with_tmp @@ fun path ->
+  write_records path sample_records;
+  let bytes = Bytes.of_string (read_file path) in
+  (* flip one bit in the last record's payload *)
+  let off = Bytes.length bytes - 12 in
+  Bytes.set bytes off (Char.chr (Char.code (Bytes.get bytes off) lxor 0x10));
+  write_file path (Bytes.to_string bytes);
+  match J.load path with
+  | Error e -> Alcotest.fail (Format.asprintf "load: %a" J.pp_load_error e)
+  | Ok (records, defect) ->
+    Alcotest.(check bool) "typed Checksum_mismatch" true
+      (defect = Some J.Checksum_mismatch);
+    Alcotest.(check int) "prefix stops before the flipped record"
+      (List.length sample_records - 1)
+      (List.length records)
+
+let test_bad_magic () =
+  with_tmp @@ fun path ->
+  write_records path sample_records;
+  let bytes = Bytes.of_string (read_file path) in
+  Bytes.set bytes 0 'X';
+  write_file path (Bytes.to_string bytes);
+  match J.load path with
+  | Error J.Bad_magic -> ()
+  | Error e ->
+    Alcotest.fail (Format.asprintf "expected Bad_magic, got %a" J.pp_load_error e)
+  | Ok _ -> Alcotest.fail "expected Bad_magic, got Ok"
+
+(* ---- open_ truncates the tail and extends cleanly ---- *)
+
+let test_open_truncates_and_extends () =
+  with_tmp @@ fun path ->
+  write_records path sample_records;
+  let bytes = read_file path in
+  write_file path (String.sub bytes 0 (String.length bytes - 3));
+  (match J.open_ path with
+  | Error e -> Alcotest.fail (Format.asprintf "open_: %a" J.pp_load_error e)
+  | Ok (t, records, defect) ->
+    Alcotest.(check bool) "defect surfaced" true (defect = Some J.Truncated);
+    Alcotest.(check int) "prefix replayed"
+      (List.length sample_records - 1)
+      (List.length records);
+    (* the torn tail was cut off: a fresh append must leave a journal
+       that loads clean end to end *)
+    J.append t (J.Closed { session = "s2" });
+    J.close t);
+  match J.load path with
+  | Error e -> Alcotest.fail (Format.asprintf "reload: %a" J.pp_load_error e)
+  | Ok (records, defect) ->
+    Alcotest.(check bool) "clean after repair + append" true (defect = None);
+    check_records "repaired journal holds prefix + new record"
+      (List.filteri (fun i _ -> i < List.length sample_records - 1)
+         sample_records
+      @ [ J.Closed { session = "s2" } ])
+      records
+
+(* ---- property: any byte-level cut recovers a typed valid prefix ---- *)
+
+let record_gen =
+  let open QCheck.Gen in
+  let session = oneofl [ "a"; "bb"; "sess-3" ] in
+  let str = string_size ~gen:printable (int_range 0 40) in
+  oneof
+    [
+      (let* s = session and* r = oneofl [ "eval:12"; "arm7"; "scara" ]
+       and* fp = int and* dof = int_range 0 64 in
+       return (J.Opened { session = s; robot = r; chain_fp = fp; dof }));
+      (let* s = session and* ordinal = int_range 0 1000 and* reply = str
+       and* theta =
+         oneof
+           [
+             return None;
+             (let* n = int_range 0 12 in
+              let* xs = list_repeat n (float_range (-4.) 4.) in
+              return (Some (Array.of_list xs)));
+           ]
+       in
+       return (J.Committed { session = s; ordinal; theta; reply }));
+      (let* s = session in
+       return (J.Closed { session = s }));
+    ]
+
+let arbitrary_cut =
+  QCheck.Test.make ~name:"every byte-level cut yields a typed valid prefix"
+    ~count:200
+    QCheck.(
+      make
+        Gen.(
+          let* records = list_size (int_range 1 8) record_gen in
+          let* cut_frac = float_range 0. 1. in
+          return (records, cut_frac)))
+    (fun (records, cut_frac) ->
+      with_tmp @@ fun path ->
+      write_records path records;
+      let bytes = read_file path in
+      let cut =
+        int_of_float (cut_frac *. float_of_int (String.length bytes))
+      in
+      write_file path (String.sub bytes 0 cut);
+      match J.load path with
+      | Error (J.Io _ | J.Bad_magic | J.Unsupported_version _ | J.Truncated) ->
+        (* cuts inside the header are file-level defects *)
+        cut < 12
+      | Error (J.Checksum_mismatch | J.Malformed _) -> false
+      | Ok (prefix, defect) ->
+        let n = List.length prefix in
+        n <= List.length records
+        && List.for_all2 ( = ) prefix
+             (List.filteri (fun i _ -> i < n) records)
+        (* an uncut journal must decode fully and cleanly; a cut one may
+           end exactly on a record boundary (defect None, short prefix)
+           or inside a record (typed defect) — phantom records never *)
+        && (cut < String.length bytes
+           || (defect = None && n = List.length records)))
+
+let () =
+  Alcotest.run "dadu_journal"
+    [
+      ( "roundtrip",
+        [ Alcotest.test_case "encode -> load is identical" `Quick test_roundtrip ]
+      );
+      ( "recovery",
+        [
+          Alcotest.test_case "torn tail" `Quick test_truncated_tail;
+          Alcotest.test_case "bit-flipped checksum" `Quick test_checksum_flip;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "open_ truncates and extends" `Quick
+            test_open_truncates_and_extends;
+          qcheck arbitrary_cut;
+        ] );
+    ]

@@ -417,6 +417,209 @@ let test_live_replies_byte_identical_across_modes () =
         reference got)
     [ (2, false, false); (4, false, false); (1, true, true); (4, true, true) ]
 
+(* Regression: a half-written frame (length line sent, payload never
+   completed) used to park the blocking reader forever, wedging the
+   connection slot.  With a frame deadline armed the connection is
+   reaped, the timeout is counted, and the listener keeps serving. *)
+let test_live_half_written_frame_reaped () =
+  with_server
+    ~config:{ Server.default_config with Server.frame_timeout_s = Some 0.2 }
+  @@ fun _server path ->
+  let fd, ic, oc = connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  output_string oc "64\n{\"op\":\"pi";
+  flush oc;
+  let err = expect_kind "stalled frame gets a typed error" "error" (recv ic) in
+  Alcotest.(check (option string)) "error names the frame deadline"
+    (Some "read timeout: frame incomplete")
+    (str_member "message" err);
+  Alcotest.(check bool) "then the connection is reaped" true
+    (Problem_file.read_frame ic = Ok None);
+  let fd2, ic2, oc2 = connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  send oc2 "{\"op\":\"ping\"}";
+  ignore (expect_kind "listener still serving" "pong" (recv ic2));
+  send oc2 "{\"op\":\"stats\"}";
+  let stats = expect_kind "stats" "stats" (recv ic2) in
+  Alcotest.(check bool) "timeout counted" true
+    (match int_member "timeouts" stats with Some n -> n >= 1 | None -> false)
+
+(* slow-loris defense: a connection that opens and then says nothing is
+   closed once the idle deadline passes *)
+let test_live_idle_timeout () =
+  with_server
+    ~config:{ Server.default_config with Server.idle_timeout_s = Some 0.15 }
+  @@ fun _server path ->
+  let fd, ic, _oc = connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let err = expect_kind "idle connection gets a typed error" "error" (recv ic) in
+  Alcotest.(check (option string)) "error names the idle deadline"
+    (Some "idle timeout")
+    (str_member "message" err);
+  Alcotest.(check bool) "then the connection is closed" true
+    (Problem_file.read_frame ic = Ok None);
+  Alcotest.(check bool) "closed by the deadline, not by test teardown" true
+    (Unix.gettimeofday () -. t0 < 5.0)
+
+(* the connection cap refuses with a typed busy reply (plus back-off
+   hint) instead of hanging the dialer, and the slot frees on close *)
+let test_live_connection_cap_busy () =
+  with_server
+    ~config:{ Server.default_config with Server.max_connections = 1 }
+  @@ fun _server path ->
+  let fd1, ic1, oc1 = connect path in
+  send oc1 "{\"op\":\"ping\"}";
+  ignore (expect_kind "first connection admitted" "pong" (recv ic1));
+  let fd2, ic2, _oc2 = connect path in
+  let busy = expect_kind "over the cap refuses" "busy" (recv ic2) in
+  Alcotest.(check (option int)) "busy carries a back-off hint" (Some 50)
+    (int_member "retry_after_ms" busy);
+  Alcotest.(check bool) "refused connection is closed" true
+    (Problem_file.read_frame ic2 = Ok None);
+  (try Unix.close fd2 with Unix.Unix_error _ -> ());
+  send oc1 "{\"op\":\"stats\"}";
+  let stats = expect_kind "stats" "stats" (recv ic1) in
+  Alcotest.(check bool) "refusal counted" true
+    (match int_member "busy" stats with Some n -> n >= 1 | None -> false);
+  (try Unix.close fd1 with Unix.Unix_error _ -> ());
+  (* the slot frees once the reader notices the close; retry until the
+     next dialer gets a pong instead of busy *)
+  let rec admitted tries =
+    let fd3, ic3, oc3 = connect path in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd3 with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    send oc3 "{\"op\":\"ping\"}";
+    match recv ic3 with
+    | _, json when reply_kind json = "pong" -> true
+    | _ when tries < 100 ->
+      Thread.delay 0.02;
+      admitted (tries + 1)
+    | _ -> false
+  in
+  Alcotest.(check bool) "slot freed after close" true (admitted 0)
+
+(* deadline-aware shedding: with a per-job cost estimate configured, a
+   solve whose deadline cannot be met even at the queue head is shed
+   up front with retry_after, while a feasible deadline is admitted *)
+let test_live_deadline_shed () =
+  with_server
+    ~config:{ Server.default_config with Server.est_job_ms = 10_000. }
+  @@ fun _server path ->
+  let fd, ic, oc = connect path in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  send oc
+    "{\"op\":\"solve\",\"id\":7,\"robot\":\"eval:12\",\"target\":[3.0,1.0,1.0],\"deadline\":0.001}";
+  let shed = expect_kind "infeasible deadline shed up front" "overloaded" (recv ic) in
+  Alcotest.(check (option int)) "shed names the request" (Some 7)
+    (int_member "id" shed);
+  Alcotest.(check (option int)) "shed carries retry_after" (Some 50)
+    (int_member "retry_after_ms" shed);
+  send oc
+    "{\"op\":\"solve\",\"id\":8,\"robot\":\"eval:12\",\"target\":[3.0,1.0,1.0],\"deadline\":60.0}";
+  ignore (expect_kind "feasible deadline admitted" "solved" (recv ic));
+  send oc "{\"op\":\"stats\"}";
+  let stats = expect_kind "stats" "stats" (recv ic) in
+  Alcotest.(check (option int)) "deadline shed counted" (Some 1)
+    (int_member "retry_after_sheds" stats);
+  Alcotest.(check (option int)) "also visible as overloaded" (Some 1)
+    (int_member "overloaded" stats)
+
+(* The crash-safety gate in miniature (CI runs the same comparison with
+   kill -9 and cmp): a trajectory interrupted mid-stream, with the
+   server restarted from its journal, produces — resends and all —
+   exactly the reply bytes of an uninterrupted run.  Resent committed
+   waypoints are answered from the journal-fed reply ring; the next
+   fresh waypoint warm-starts from the journal-restored seed. *)
+let test_live_journal_restart_byte_identical () =
+  let journal = Filename.temp_file "dadu_jrnl" ".wal" in
+  Sys.remove journal;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove journal with Sys_error _ -> ())
+  @@ fun () ->
+  let wp oc i seq =
+    send oc
+      (Printf.sprintf
+         "{\"op\":\"waypoint\",\"id\":%d,\"session\":\"j\",\"seq\":%d,\"target\":[4.0,%.17g,2.0]}"
+         i seq
+         (1.0 +. (0.02 *. float_of_int i)))
+  in
+  let open_session ic oc =
+    send oc "{\"op\":\"open\",\"id\":0,\"session\":\"j\",\"robot\":\"eval:30\"}";
+    expect_kind "opened" "opened" (recv ic)
+  in
+  (* uninterrupted reference: no journal, four waypoints straight through *)
+  let reference =
+    with_server @@ fun _server path ->
+    let fd, ic, oc = connect path in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    ignore (open_session ic oc);
+    List.init 4 (fun i ->
+        wp oc (i + 1) i;
+        fst (recv ic))
+  in
+  let config = { Server.default_config with Server.journal = Some journal } in
+  (* leg A: two waypoints commit, then the connection (and server) dies *)
+  let legA =
+    with_server ~config @@ fun _server path ->
+    let fd, ic, oc = connect path in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let opened = open_session ic oc in
+    Alcotest.(check (option bool)) "fresh open" (Some false)
+      (bool_member "resumed" opened);
+    List.init 2 (fun i ->
+        wp oc (i + 1) i;
+        fst (recv ic))
+  in
+  (* leg B: a fresh server replays the journal; the client re-opens,
+     resends both committed waypoints, then continues the trajectory *)
+  let legB =
+    with_server ~config @@ fun server path ->
+    Alcotest.(check bool) "journal replayed clean" true
+      (Server.journal_recovery server = None);
+    let fd, ic, oc = connect path in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let opened = open_session ic oc in
+    Alcotest.(check (option bool)) "restart resumes the session" (Some true)
+      (bool_member "resumed" opened);
+    Alcotest.(check (option int)) "committed count carried over" (Some 2)
+      (int_member "waypoints" opened);
+    let replies =
+      List.init 4 (fun i ->
+          wp oc (i + 1) i;
+          fst (recv ic))
+    in
+    (match Json.of_string (List.nth replies 2) with
+    | Ok j ->
+      Alcotest.(check (option bool)) "first fresh waypoint is warm"
+        (Some true) (bool_member "session_hit" j)
+    | Error msg -> Alcotest.fail msg);
+    send oc "{\"op\":\"stats\"}";
+    let stats = expect_kind "stats" "stats" (recv ic) in
+    Alcotest.(check bool) "replays counted" true
+      (match int_member "journal_replays" stats with
+      | Some n -> n >= 1
+      | None -> false);
+    replies
+  in
+  Alcotest.(check (list string)) "leg A matches the reference prefix"
+    (List.filteri (fun i _ -> i < 2) reference)
+    legA;
+  Alcotest.(check (list string))
+    "resumed run byte-identical to the uninterrupted run" reference legB
+
 let () =
   Alcotest.run "dadu_server"
     [
@@ -445,5 +648,13 @@ let () =
             test_live_drain_flushes_in_flight;
           Alcotest.test_case "replies byte-identical across modes" `Slow
             test_live_replies_byte_identical_across_modes;
+          Alcotest.test_case "half-written frame reaped" `Slow
+            test_live_half_written_frame_reaped;
+          Alcotest.test_case "idle timeout" `Slow test_live_idle_timeout;
+          Alcotest.test_case "connection cap busy refusal" `Slow
+            test_live_connection_cap_busy;
+          Alcotest.test_case "deadline-aware shed" `Slow test_live_deadline_shed;
+          Alcotest.test_case "journal restart byte-identical" `Slow
+            test_live_journal_restart_byte_identical;
         ] );
     ]
